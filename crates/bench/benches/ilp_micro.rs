@@ -1,0 +1,40 @@
+//! Microbenchmarks of the MDIE engine: saturation, coverage evaluation,
+//! and a full rule search on the carcinogenesis-shaped dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2mdie_datasets::carcinogenesis;
+use std::hint::black_box;
+
+fn bench_ilp(c: &mut Criterion) {
+    let d = carcinogenesis(0.15, 7);
+    let seed = &d.examples.pos[0];
+    c.bench_function("ilp/saturate_one_molecule", |bench| {
+        bench.iter(|| black_box(d.engine.saturate(black_box(seed))))
+    });
+
+    let bottom = d.engine.saturate(seed).expect("saturates");
+    let best_shape = p2mdie_ilp::refine::RuleShape::from_indices(vec![0]);
+    let clause = best_shape.to_clause(&bottom);
+    c.bench_function("ilp/coverage_one_rule", |bench| {
+        bench.iter(|| black_box(d.engine.evaluate(black_box(&clause), &d.examples, None, None)))
+    });
+
+    let mut g = c.benchmark_group("ilp_search");
+    g.sample_size(10);
+    g.bench_function("full_breadth_first_search", |bench| {
+        bench.iter(|| black_box(d.engine.search(black_box(&bottom), &d.examples, None, &[])))
+    });
+    g.finish();
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    use p2mdie_ilp::bitset::Bitset;
+    let a = Bitset::from_indices(4096, (0..4096).step_by(3));
+    let b = Bitset::from_indices(4096, (0..4096).step_by(5));
+    c.bench_function("bitset/intersection_count_4096", |bench| {
+        bench.iter(|| black_box(a.intersection_count(black_box(&b))))
+    });
+}
+
+criterion_group!(benches, bench_ilp, bench_bitset);
+criterion_main!(benches);

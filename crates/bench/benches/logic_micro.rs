@@ -1,0 +1,79 @@
+//! Microbenchmarks of the logic substrate: unification, proving,
+//! θ-subsumption, parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2mdie_logic::prover::{ProofLimits, Prover};
+use p2mdie_logic::subst::Bindings;
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::Term;
+use p2mdie_logic::{theta, Parser, Program};
+use std::hint::black_box;
+
+fn family_program() -> Program {
+    let mut p = Program::new();
+    let mut src = String::new();
+    for i in 0..200 {
+        src.push_str(&format!("parent(p{i}, p{}).\n", i + 1));
+    }
+    src.push_str("ancestor(X, Y) :- parent(X, Y).\n");
+    src.push_str("ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n");
+    p.consult(&src).expect("consult");
+    p
+}
+
+fn bench_unify(c: &mut Criterion) {
+    let t = SymbolTable::new();
+    let f = t.intern("f");
+    let deep = |v: u32| {
+        let mut x = Term::Var(v);
+        for _ in 0..20 {
+            x = Term::app(f, vec![x, Term::Int(1)]);
+        }
+        x
+    };
+    let a = deep(0);
+    let b = deep(1);
+    c.bench_function("unify/deep_terms", |bench| {
+        bench.iter(|| {
+            let mut bd = Bindings::new();
+            black_box(bd.unify(black_box(&a), black_box(&b), false))
+        })
+    });
+}
+
+fn bench_prove(c: &mut Criterion) {
+    let p = family_program();
+    let prover = Prover::new(p.kb(), ProofLimits { max_depth: 64, max_steps: 1_000_000 });
+    let goal = p.parse_query("ancestor(p0, p50)").unwrap();
+    c.bench_function("prove/ancestor_50_hops", |bench| {
+        bench.iter(|| black_box(prover.prove_ground(black_box(&goal))))
+    });
+    let fail = p.parse_query("ancestor(p50, p0)").unwrap();
+    c.bench_function("prove/ancestor_failure", |bench| {
+        bench.iter(|| black_box(prover.prove_ground(black_box(&fail))))
+    });
+}
+
+fn bench_subsumption(c: &mut Criterion) {
+    let t = SymbolTable::new();
+    let clause = |src: &str| Parser::new(&t, src).unwrap().parse_clause().unwrap();
+    let g = clause("p(X) :- q(X, Y), r(Y, Z), q(Z, W).");
+    let s = clause("p(A) :- q(A, b1), r(b1, b2), q(b2, b3), r(b3, b4), q(b4, b5).");
+    c.bench_function("theta/subsumes_chain", |bench| {
+        bench.iter(|| black_box(theta::subsumes(black_box(&g), black_box(&s))))
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let t = SymbolTable::new();
+    let src = "active(M) :- atm(M, A, c, C), gteq(C, 0.25), bond(M, A, B, 7).";
+    c.bench_function("parser/clause", |bench| {
+        bench.iter(|| {
+            let c = Parser::new(&t, black_box(src)).unwrap().parse_clause().unwrap();
+            black_box(c)
+        })
+    });
+}
+
+criterion_group!(benches, bench_unify, bench_prove, bench_subsumption, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Meso-benchmarks: one bench target per paper table, exercising the exact
+//! code path that regenerates it (at a small scale so `cargo bench`
+//! finishes in minutes; the `reproduce` binary runs the full versions).
+//!
+//! * Table 1 -> dataset generation cost
+//! * Tables 2/3 -> one sequential + one parallel run (speedup/time path)
+//! * Table 4 -> communication accounting of a nolimit run
+//! * Table 5 -> epoch counting across p
+//! * Table 6 -> fold scoring (accuracy path)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2mdie_cluster::CostModel;
+use p2mdie_core::driver::{run_parallel, run_sequential_timed, ParallelConfig};
+use p2mdie_datasets::{carcinogenesis, mesh, pyrimidines};
+use p2mdie_eval::{score_theory, stratified_folds};
+use p2mdie_ilp::settings::Width;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.08;
+const SEED: u64 = 2005;
+
+fn bench_table1_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_generation");
+    g.sample_size(10);
+    g.bench_function("carcinogenesis", |b| b.iter(|| black_box(carcinogenesis(SCALE, SEED))));
+    g.bench_function("mesh", |b| b.iter(|| black_box(mesh(SCALE, SEED))));
+    g.bench_function("pyrimidines", |b| b.iter(|| black_box(pyrimidines(SCALE, SEED))));
+    g.finish();
+}
+
+fn bench_table23_speedup_path(c: &mut Criterion) {
+    let d = carcinogenesis(SCALE, SEED);
+    let model = CostModel::beowulf_2005();
+    let mut g = c.benchmark_group("table2_3_runs");
+    g.sample_size(10);
+    g.bench_function("sequential_T1", |b| {
+        b.iter(|| black_box(run_sequential_timed(&d.engine, &d.examples, &model)))
+    });
+    for p in [2, 4] {
+        g.bench_function(format!("parallel_T{p}_width10"), |b| {
+            b.iter(|| {
+                let cfg = ParallelConfig::new(p, Width::Limit(10), SEED);
+                black_box(run_parallel(&d.engine, &d.examples, &cfg).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table4_communication_path(c: &mut Criterion) {
+    let d = mesh(0.03, SEED);
+    let mut g = c.benchmark_group("table4_comm");
+    g.sample_size(10);
+    g.bench_function("mesh_nolimit_p2", |b| {
+        b.iter(|| {
+            let cfg = ParallelConfig::new(2, Width::Unlimited, SEED);
+            let rep = run_parallel(&d.engine, &d.examples, &cfg).unwrap();
+            black_box(rep.megabytes())
+        })
+    });
+    g.finish();
+}
+
+fn bench_table5_epoch_path(c: &mut Criterion) {
+    let d = pyrimidines(SCALE, SEED);
+    let mut g = c.benchmark_group("table5_epochs");
+    g.sample_size(10);
+    g.bench_function("pyrimidines_p4_width10", |b| {
+        b.iter(|| {
+            let cfg = ParallelConfig::new(4, Width::Limit(10), SEED);
+            black_box(run_parallel(&d.engine, &d.examples, &cfg).unwrap().epochs)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table6_accuracy_path(c: &mut Criterion) {
+    let d = carcinogenesis(SCALE, SEED);
+    let folds = stratified_folds(&d.examples, 5, SEED);
+    let run = d.engine.run_sequential(&folds[0].train);
+    let theory: Vec<_> = run.theory.iter().map(|r| r.clause.clone()).collect();
+    c.bench_function("table6_score_theory_on_test_fold", |b| {
+        b.iter(|| black_box(score_theory(&d.engine, &theory, &folds[0].test)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1_generators,
+    bench_table23_speedup_path,
+    bench_table4_communication_path,
+    bench_table5_epoch_path,
+    bench_table6_accuracy_path
+);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Benchmark harness crate: hosts the `reproduce` binary (regenerates every
+//! table and figure of the paper) and the Criterion micro/meso benches
+//! (`cargo bench -p p2mdie-bench`). See `src/bin/reproduce.rs`.

@@ -1,0 +1,288 @@
+//! Byte-accurate wire codec.
+//!
+//! Every message between ranks is serialized through [`Wire`]; the byte
+//! counts feed the per-link traffic statistics that regenerate the paper's
+//! Table 4 (communication in MBytes) and the bandwidth term of the
+//! virtual-time model. Encoding is little-endian and self-describing only
+//! where necessary (length prefixes); no compression.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decoding failure (truncated or malformed payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was being decoded.
+    pub context: &'static str,
+}
+
+impl DecodeError {
+    /// Creates an error tagged with the decoding context.
+    pub fn new(context: &'static str) -> Self {
+        DecodeError { context }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: truncated or malformed {}", self.context)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Types that can be serialized to and from the wire.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decodes a value, consuming bytes from `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError>;
+}
+
+/// Encodes a value into a fresh byte buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    value.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decodes a value from a byte buffer, requiring full consumption.
+pub fn from_bytes<T: Wire>(mut bytes: Bytes) -> Result<T, DecodeError> {
+    let v = T::decode(&mut bytes)?;
+    if bytes.has_remaining() {
+        return Err(DecodeError::new("trailing bytes"));
+    }
+    Ok(v)
+}
+
+macro_rules! need {
+    ($buf:expr, $n:expr, $ctx:literal) => {
+        if $buf.remaining() < $n {
+            return Err(DecodeError::new($ctx));
+        }
+    };
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 1, "u8");
+        Ok(buf.get_u8())
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 4, "u32");
+        Ok(buf.get_u32_le())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 8, "u64");
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 8, "i64");
+        Ok(buf.get_i64_le())
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 8, "f64");
+        Ok(buf.get_f64_le())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 1, "bool");
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::new("bool")),
+        }
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 8, "usize");
+        Ok(buf.get_u64_le() as usize)
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let n = u32::decode(buf)? as usize;
+        need!(buf, n, "string body");
+        let raw = buf.copy_to_bytes(n);
+        String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::new("string utf8"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let n = u32::decode(buf)? as usize;
+        // Sanity bound: a length prefix can never exceed remaining bytes
+        // (each element takes at least one byte).
+        if n > buf.remaining() {
+            return Err(DecodeError::new("vec length"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 1, "option tag");
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(DecodeError::new("option tag")),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let b = to_bytes(&v);
+        let back: T = from_bytes(b).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(42u32);
+        roundtrip(u64::MAX);
+        roundtrip(-7i64);
+        roundtrip(1.5f64);
+        roundtrip(true);
+        roundtrip(12345usize);
+        roundtrip("héllo".to_owned());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(Some(9u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip((1u32, "x".to_owned()));
+        roundtrip((1u32, 2u64, vec![false, true]));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let b = to_bytes(&42u64);
+        let mut short = b.slice(..4);
+        assert!(u64::decode(&mut short).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = BytesMut::new();
+        42u32.encode(&mut buf);
+        0u8.encode(&mut buf);
+        assert_eq!(from_bytes::<u32>(buf.freeze()).unwrap_err().context, "trailing bytes");
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        // Claim 2^31 elements with a 1-byte body.
+        let mut buf = BytesMut::new();
+        (1u32 << 31).encode(&mut buf);
+        buf.put_u8(0);
+        assert!(from_bytes::<Vec<u32>>(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        assert!(from_bytes::<bool>(buf.freeze()).is_err());
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        assert!(from_bytes::<Option<u8>>(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn byte_counts_are_exact() {
+        assert_eq!(to_bytes(&7u32).len(), 4);
+        assert_eq!(to_bytes(&vec![1u32, 2]).len(), 4 + 8);
+        assert_eq!(to_bytes(&"ab".to_owned()).len(), 4 + 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! The communication endpoint: the paper's §2.2 abstraction.
+//!
+//! Exactly three operations, with the paper's semantics:
+//!
+//! * [`Endpoint::send`] — non-blocking point-to-point send;
+//! * [`Endpoint::broadcast`] — non-blocking send to every other rank;
+//! * [`Endpoint::recv_from`] — *blocking* receive from a named source rank
+//!   (MPI `MPI_Recv` with an explicit source), buffering messages from
+//!   other sources until asked for.
+//!
+//! Every send is timestamped with its virtual arrival time at the
+//! destination (`sender_clock + latency + bytes/bandwidth`); every receive
+//! Lamport-merges the arrival into the receiver's clock. Every payload's
+//! exact encoded size is recorded in the shared [`TrafficStats`].
+
+use crate::codec::{from_bytes, to_bytes, DecodeError, Wire};
+use crate::stats::TrafficStats;
+use crate::vtime::{CostModel, VirtualClock};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::VecDeque;
+
+/// A timestamped message in flight.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sender rank.
+    pub from: usize,
+    /// Virtual time at which the message reaches the destination.
+    pub arrival: f64,
+    /// True for the internal panic-propagation marker.
+    pub poison: bool,
+    /// Encoded payload.
+    pub payload: Bytes,
+}
+
+/// A rank poisoned the cluster by panicking; receivers panic in turn so the
+/// whole run unwinds instead of deadlocking.
+#[derive(Debug)]
+pub struct Poisoned {
+    /// The rank whose panic started the unwind.
+    pub origin: usize,
+}
+
+/// One rank's communication endpoint.
+pub struct Endpoint {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    pending: Vec<VecDeque<Envelope>>,
+    clock: VirtualClock,
+    model: CostModel,
+    stats: TrafficStats,
+    compute_steps: u64,
+    poisoned: bool,
+}
+
+impl Endpoint {
+    /// Assembles an endpoint (used by the runtime; not public API).
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Envelope>>,
+        rx: Receiver<Envelope>,
+        model: CostModel,
+        stats: TrafficStats,
+    ) -> Self {
+        Endpoint {
+            rank,
+            size,
+            senders,
+            rx,
+            pending: (0..size).map(|_| VecDeque::new()).collect(),
+            clock: VirtualClock::new(),
+            model,
+            stats,
+            compute_steps: 0,
+            poisoned: false,
+        }
+    }
+
+    /// This rank's id (0 = master).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks (workers + master).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of worker ranks (`size - 1`).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.size - 1
+    }
+
+    /// Current virtual time at this rank.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The cost model in force.
+    #[inline]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Shared traffic statistics.
+    #[inline]
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Total metered compute steps charged so far.
+    #[inline]
+    pub fn compute_steps(&self) -> u64 {
+        self.compute_steps
+    }
+
+    /// Charges `steps` inference steps of compute to this rank's clock.
+    pub fn advance_steps(&mut self, steps: u64) {
+        self.compute_steps += steps;
+        self.clock.advance(self.model.compute_time(steps));
+    }
+
+    /// Advances the clock by raw seconds (setup costs etc.).
+    pub fn advance_secs(&mut self, secs: f64) {
+        self.clock.advance(secs);
+    }
+
+    /// Non-blocking send of an encodable message to rank `to`.
+    pub fn send<T: Wire>(&mut self, to: usize, msg: &T) {
+        self.send_bytes(to, to_bytes(msg));
+    }
+
+    /// Non-blocking send of pre-encoded bytes to rank `to`.
+    pub fn send_bytes(&mut self, to: usize, payload: Bytes) {
+        assert!(to < self.size, "destination rank {to} out of range");
+        assert_ne!(to, self.rank, "no loopback sends in this protocol");
+        self.stats.record(self.rank, to, payload.len());
+        self.clock.advance(self.model.send_overhead);
+        let arrival = self.clock.now() + self.model.transfer_time(payload.len());
+        let env = Envelope { from: self.rank, arrival, poison: false, payload };
+        // Receiver gone ⇒ the run is already unwinding; drop silently.
+        let _ = self.senders[to].send(env);
+    }
+
+    /// Non-blocking broadcast to every other rank (implemented, like LAM on
+    /// switched Ethernet, as point-to-point sends — each counted in the
+    /// traffic statistics).
+    pub fn broadcast<T: Wire>(&mut self, msg: &T) {
+        let payload = to_bytes(msg);
+        for to in 0..self.size {
+            if to != self.rank {
+                self.send_bytes(to, payload.clone());
+            }
+        }
+    }
+
+    /// Blocking receive of the next message *from a specific rank*,
+    /// buffering messages from other sources. Merges the arrival time into
+    /// this rank's clock and charges the receive overhead.
+    ///
+    /// # Panics
+    /// Panics with [`Poisoned`] when a peer rank panicked, and on channel
+    /// disconnection (protocol error).
+    pub fn recv_from(&mut self, from: usize) -> Bytes {
+        assert!(from < self.size, "source rank {from} out of range");
+        loop {
+            if let Some(env) = self.pending[from].pop_front() {
+                return self.deliver(env);
+            }
+            let env = self
+                .rx
+                .recv()
+                .unwrap_or_else(|_| panic!("rank {}: channel closed while receiving", self.rank));
+            if env.poison {
+                self.enter_poisoned(env.from);
+            }
+            if env.from == from {
+                return self.deliver(env);
+            }
+            self.pending[env.from].push_back(env);
+        }
+    }
+
+    /// Blocking receive from a specific rank, decoded.
+    pub fn recv_msg<T: Wire>(&mut self, from: usize) -> Result<T, DecodeError> {
+        from_bytes(self.recv_from(from))
+    }
+
+    fn deliver(&mut self, env: Envelope) -> Bytes {
+        self.clock.merge(env.arrival);
+        self.clock.advance(self.model.recv_overhead);
+        env.payload
+    }
+
+    /// True once this endpoint observed a poison marker.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Sends the poison marker to every other rank (used by the runtime's
+    /// panic handler) unless already poisoned by someone else.
+    pub(crate) fn broadcast_poison(&mut self) {
+        if self.poisoned {
+            return;
+        }
+        self.poisoned = true;
+        for to in 0..self.size {
+            if to != self.rank {
+                let _ = self.senders[to].send(Envelope {
+                    from: self.rank,
+                    arrival: self.clock.now(),
+                    poison: true,
+                    payload: Bytes::new(),
+                });
+            }
+        }
+    }
+
+    fn enter_poisoned(&mut self, origin: usize) -> ! {
+        self.poisoned = true;
+        std::panic::panic_any(Poisoned { origin });
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Endpoint(rank {}/{}, t={:.6}s)", self.rank, self.size, self.now())
+    }
+}

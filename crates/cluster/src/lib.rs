@@ -1,0 +1,45 @@
+//! Message-passing cluster substrate with a LogP-style virtual-time model.
+//!
+//! Plays the role LAM/MPI + the 8-CPU Beowulf cluster played in Fonseca et
+//! al. (CLUSTER 2005): ranks are OS threads, links are crossbeam channels,
+//! and every rank carries a deterministic virtual clock so that execution
+//! time, speedup, and communication volume can be *measured* even though
+//! everything runs on one machine (DESIGN.md §3, substitution 1).
+//!
+//! * [`codec`] — byte-accurate wire encoding (Table 4's MBytes);
+//! * [`vtime`] — the cost model (`t_step`, latency, bandwidth) and clocks;
+//! * [`stats`] — per-link traffic counters;
+//! * [`comm`] — the paper's §2.2 primitives: non-blocking `send` and
+//!   `broadcast`, blocking `recv_from`;
+//! * [`runtime`] — `run_cluster(p, model, master, worker)`.
+//!
+//! ```
+//! use p2mdie_cluster::{run_cluster, CostModel};
+//!
+//! let out = run_cluster(
+//!     2,
+//!     CostModel::free(),
+//!     |ep| {
+//!         ep.broadcast(&21u64);
+//!         (1..=2).map(|w| ep.recv_msg::<u64>(w).unwrap()).sum::<u64>()
+//!     },
+//!     |ep| {
+//!         let x: u64 = ep.recv_msg(0).unwrap();
+//!         ep.send(0, &(x * ep.rank() as u64));
+//!     },
+//! )
+//! .unwrap();
+//! assert_eq!(out.result, 21 + 42);
+//! ```
+
+pub mod codec;
+pub mod comm;
+pub mod runtime;
+pub mod stats;
+pub mod vtime;
+
+pub use codec::{from_bytes, to_bytes, DecodeError, Wire};
+pub use comm::{Endpoint, Envelope};
+pub use runtime::{run_cluster, ClusterError, ClusterOutcome};
+pub use stats::TrafficStats;
+pub use vtime::{CostModel, VirtualClock};

@@ -1,0 +1,123 @@
+//! Per-link traffic accounting.
+//!
+//! Every `send` records its exact encoded byte count against the
+//! `(from, to)` link. Summing the matrix reproduces the paper's Table 4
+//! ("average communication exchanged in MBytes").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe traffic counters for a cluster of `size` ranks.
+#[derive(Clone, Debug)]
+pub struct TrafficStats {
+    size: usize,
+    bytes: Arc<Vec<AtomicU64>>,
+    messages: Arc<Vec<AtomicU64>>,
+}
+
+impl TrafficStats {
+    /// Creates zeroed counters for `size` ranks.
+    pub fn new(size: usize) -> Self {
+        TrafficStats {
+            size,
+            bytes: Arc::new((0..size * size).map(|_| AtomicU64::new(0)).collect()),
+            messages: Arc::new((0..size * size).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn idx(&self, from: usize, to: usize) -> usize {
+        assert!(from < self.size && to < self.size, "rank out of range");
+        from * self.size + to
+    }
+
+    /// Records one message of `bytes` bytes on the `(from, to)` link.
+    pub fn record(&self, from: usize, to: usize, bytes: usize) {
+        let i = self.idx(from, to);
+        self.bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes sent on a specific link.
+    pub fn bytes_between(&self, from: usize, to: usize) -> u64 {
+        self.bytes[self.idx(from, to)].load(Ordering::Relaxed)
+    }
+
+    /// Messages sent on a specific link.
+    pub fn messages_between(&self, from: usize, to: usize) -> u64 {
+        self.messages[self.idx(from, to)].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total messages over all links.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total traffic in megabytes (10^6 bytes, as the paper reports).
+    pub fn total_megabytes(&self) -> f64 {
+        self.total_bytes() as f64 / 1.0e6
+    }
+
+    /// A plain snapshot of the byte matrix (`[from][to]`).
+    pub fn byte_matrix(&self) -> Vec<Vec<u64>> {
+        (0..self.size)
+            .map(|f| (0..self.size).map(|t| self.bytes_between(f, t)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let s = TrafficStats::new(3);
+        s.record(0, 1, 100);
+        s.record(0, 1, 50);
+        s.record(2, 0, 7);
+        assert_eq!(s.bytes_between(0, 1), 150);
+        assert_eq!(s.messages_between(0, 1), 2);
+        assert_eq!(s.bytes_between(1, 0), 0);
+        assert_eq!(s.total_bytes(), 157);
+        assert_eq!(s.total_messages(), 3);
+    }
+
+    #[test]
+    fn megabytes_use_decimal_units() {
+        let s = TrafficStats::new(2);
+        s.record(0, 1, 2_500_000);
+        assert!((s.total_megabytes() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_snapshot_matches() {
+        let s = TrafficStats::new(2);
+        s.record(1, 0, 9);
+        assert_eq!(s.byte_matrix(), vec![vec![0, 0], vec![9, 0]]);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = TrafficStats::new(2);
+        let s2 = s.clone();
+        s2.record(0, 1, 4);
+        assert_eq!(s.total_bytes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn out_of_range_rank_panics() {
+        TrafficStats::new(2).record(0, 2, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! `p2mdie-core` — the pipelined data-parallel covering algorithm of
+//! Fonseca, Silva, Santos Costa & Camacho, *"A pipelined data-parallel
+//! algorithm for ILP"*, IEEE CLUSTER 2005 (the paper's §4).
+//!
+//! The example set is partitioned evenly over `p` workers; `p` rule
+//! searches run simultaneously, each structured as a pipeline of `p`
+//! stages that refines candidate rules against one worker's local subset
+//! and forwards the best `W` to the next; the master pools the surviving
+//! rules, scores them globally, and consumes the bag MDIE-style — several
+//! rules per epoch.
+//!
+//! * [`protocol`] — the wire messages (Figures 5–7 as a protocol);
+//! * [`partition`] — seeded random even example partitioning;
+//! * [`pipeline`] — one stage of `learn_rule'` (Figure 7);
+//! * [`worker`] — the worker script (Figure 6);
+//! * [`master`] — the epoch loop and bag consumption (Figure 5);
+//! * [`bag`] — the rule bag with global scoring;
+//! * [`report`] — run reports and the Figure 3/4 trace renderer;
+//! * [`driver`] — `run_parallel` / `run_sequential_timed`.
+
+pub mod bag;
+pub mod baselines;
+pub mod driver;
+pub mod master;
+pub mod partition;
+pub mod pipeline;
+pub mod protocol;
+pub mod report;
+pub mod worker;
+
+pub use bag::{BagRule, RuleBag};
+pub use baselines::{run_coverage_parallel, BaselineReport, EvalGranularity};
+pub use driver::{run_parallel, run_sequential_timed, ParallelConfig};
+pub use master::{run_master, AcceptedRule, EpochTrace, MasterOutcome};
+pub use partition::{partition_examples, Partition};
+pub use protocol::{Msg, PipelineToken, StageTrace};
+pub use report::{render_pipeline_trace, ParallelReport, SequentialReport};
+pub use worker::{run_worker, WorkerContext};

@@ -1,0 +1,318 @@
+//! The master rank (paper Figure 5).
+//!
+//! Epochs repeat until every positive example is covered: start `p`
+//! pipelines, gather each pipeline's surviving rules into the bag, have all
+//! workers score the bag globally, then consume the bag — pick the globally
+//! best rule, broadcast `mark_covered`, re-evaluate, drop what is no longer
+//! good — accepting *several* rules per epoch (the key difference from the
+//! sequential algorithm, and the source of the epoch reduction in Table 5).
+//!
+//! One deliberate deviation from the letter of Figure 5 is documented in
+//! DESIGN.md §6: the bag is filtered with `notGood` *before* every pick
+//! (including the first), so a globally-bad rule is never accepted; Figure 5
+//! only filters after the first acceptance. This matches the figure's
+//! stated intent of "emulating MDIE as closely as possible".
+
+use crate::bag::RuleBag;
+use crate::protocol::{Msg, StageTrace};
+use p2mdie_cluster::comm::Endpoint;
+use p2mdie_ilp::settings::Settings;
+use p2mdie_logic::clause::Clause;
+
+/// A rule accepted into the global theory.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AcceptedRule {
+    /// The clause.
+    pub clause: Clause,
+    /// Global positive cover at acceptance time (over live examples).
+    pub pos: u32,
+    /// Global negative cover at acceptance time.
+    pub neg: u32,
+    /// Epoch in which it was accepted (1-based).
+    pub epoch: u32,
+    /// Pipeline origin the rule came from (worker rank).
+    pub origin: u8,
+}
+
+/// Trace of one epoch's `p` pipelines (raw material for Figures 3–4).
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpochTrace {
+    /// Epoch number (1-based).
+    pub epoch: u32,
+    /// Stage traces, one vector per pipeline origin (index 0 = origin 1).
+    pub pipelines: Vec<Vec<StageTrace>>,
+    /// Rules gathered into the bag this epoch (after dedup).
+    pub bag_size: u32,
+    /// Rules accepted this epoch.
+    pub accepted: u32,
+}
+
+/// What the master reports when the run finishes.
+#[derive(Clone, Debug, Default)]
+pub struct MasterOutcome {
+    /// The induced theory in acceptance order.
+    pub theory: Vec<AcceptedRule>,
+    /// Number of epochs executed.
+    pub epochs: u32,
+    /// Positive examples retired without a covering rule.
+    pub set_aside: u32,
+    /// Per-epoch pipeline traces.
+    pub traces: Vec<EpochTrace>,
+    /// True when the run had to bail out of an inconsistent state (no
+    /// progress possible but `remaining > 0`); should never happen.
+    pub stalled: bool,
+}
+
+/// Runs the master protocol of Figure 5. `total_pos` is `|E+|` over all
+/// subsets; `settings` must be the same the workers use (shared data
+/// assumption).
+pub fn run_master(ep: &mut Endpoint, settings: &Settings, total_pos: usize) -> MasterOutcome {
+    let p = ep.workers();
+    let mut out = MasterOutcome::default();
+    let mut remaining = total_pos;
+
+    ep.broadcast(&Msg::LoadExamples);
+
+    while remaining > 0 {
+        out.epochs += 1;
+        let epoch = out.epochs;
+        let mut trace = EpochTrace {
+            epoch,
+            pipelines: vec![Vec::new(); p],
+            bag_size: 0,
+            accepted: 0,
+        };
+
+        // Fig. 5 steps 6–9: start p pipelines, gather the rule sets. The
+        // pipeline of origin k delivers from its last stage, worker k-1
+        // (wrapping), so receiving from ranks 1..=p in order collects all
+        // of them deterministically.
+        for k in 1..=p {
+            ep.send(k, &Msg::StartPipeline { epoch });
+        }
+        let mut bag = RuleBag::new();
+        let mut any_seed = false;
+        for k in 1..=p {
+            let msg: Msg = ep.recv_msg(k).expect("master: malformed RulesFound");
+            let Msg::RulesFound { origin, rules, had_seed, trace: ptrace } = msg else {
+                panic!("master: expected RulesFound from rank {k}, got {msg:?}");
+            };
+            any_seed |= had_seed;
+            for (clause, _, _) in rules {
+                bag.insert(clause, origin);
+            }
+            trace.pipelines[origin as usize - 1] = ptrace;
+        }
+        trace.bag_size = bag.len() as u32;
+
+        if !any_seed {
+            // No worker has a live example but `remaining > 0`: the count
+            // drifted (should be impossible). Bail out rather than spin.
+            out.stalled = true;
+            out.traces.push(trace);
+            break;
+        }
+
+        // Fig. 5 steps 10–22: consume the bag.
+        let mut accepted_this_epoch = 0u32;
+        if !bag.is_empty() {
+            evaluate_bag(ep, p, &mut bag);
+            loop {
+                bag.drop_not_good(settings);
+                if bag.is_empty() {
+                    break;
+                }
+                // Bag bookkeeping is master-side compute: charge one step
+                // per scanned rule.
+                ep.advance_steps(bag.len() as u64);
+                let best = bag.pick_best(settings.score).expect("bag non-empty");
+                let (pos, neg) = (best.global_pos(), best.global_neg());
+                ep.broadcast(&Msg::MarkCovered { rule: best.clause.clone() });
+                remaining = remaining.saturating_sub(pos as usize);
+                out.theory.push(AcceptedRule {
+                    clause: best.clause,
+                    pos,
+                    neg,
+                    epoch,
+                    origin: best.origin,
+                });
+                accepted_this_epoch += 1;
+                if bag.is_empty() {
+                    break;
+                }
+                evaluate_bag(ep, p, &mut bag);
+            }
+        }
+        trace.accepted = accepted_this_epoch;
+        out.traces.push(trace);
+
+        // Progress guarantee: an epoch that accepted nothing retires the
+        // seed examples its pipelines started from (April sets aside
+        // examples no good rule explains).
+        if accepted_this_epoch == 0 && remaining > 0 {
+            ep.broadcast(&Msg::RetireSeed);
+            let mut retired = 0u32;
+            for k in 1..=p {
+                let msg: Msg = ep.recv_msg(k).expect("master: malformed SeedRetired");
+                let Msg::SeedRetired { removed } = msg else {
+                    panic!("master: expected SeedRetired from rank {k}, got {msg:?}");
+                };
+                retired += removed;
+            }
+            if retired == 0 {
+                out.stalled = true;
+                break;
+            }
+            remaining = remaining.saturating_sub(retired as usize);
+            out.set_aside += retired;
+        }
+    }
+
+    ep.broadcast(&Msg::Stop);
+    out
+}
+
+/// The §4.1 repartitioning variant: identical to [`run_master`] except that
+/// the live examples are randomly re-dealt to the workers *before every
+/// epoch* (shipping the example literals in full — the communication cost
+/// the paper cites as the reason not to do this), and every `MarkCovered`
+/// is answered with covered indices so the master can track the global
+/// live set the next deal draws from.
+pub fn run_master_repartition(
+    ep: &mut Endpoint,
+    settings: &Settings,
+    examples: &p2mdie_ilp::examples::Examples,
+    seed: u64,
+) -> MasterOutcome {
+    use p2mdie_ilp::bitset::Bitset;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let p = ep.workers();
+    let mut out = MasterOutcome::default();
+    let mut live = Bitset::full(examples.num_pos());
+
+    ep.broadcast(&Msg::LoadExamples);
+
+    while live.any() {
+        out.epochs += 1;
+        let epoch = out.epochs;
+        let mut trace =
+            EpochTrace { epoch, pipelines: vec![Vec::new(); p], bag_size: 0, accepted: 0 };
+
+        // Re-deal the live positives (and all negatives) evenly.
+        let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
+        let mut live_idx: Vec<usize> = live.iter_ones().collect();
+        live_idx.shuffle(&mut rng);
+        let mut neg_idx: Vec<usize> = (0..examples.num_neg()).collect();
+        neg_idx.shuffle(&mut rng);
+        let mut assign: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for (i, g) in live_idx.iter().enumerate() {
+            assign[i % p].push(*g);
+        }
+        for (k, part) in assign.iter().enumerate() {
+            let pos: Vec<_> = part.iter().map(|&g| examples.pos[g].clone()).collect();
+            let neg: Vec<_> = neg_idx
+                .iter()
+                .skip(k)
+                .step_by(p)
+                .map(|&g| examples.neg[g].clone())
+                .collect();
+            ep.send(k + 1, &Msg::NewPartition { pos, neg });
+        }
+
+        // Pipelines, exactly as in the static master.
+        for k in 1..=p {
+            ep.send(k, &Msg::StartPipeline { epoch });
+        }
+        let mut bag = RuleBag::new();
+        for k in 1..=p {
+            let msg: Msg = ep.recv_msg(k).expect("master: malformed RulesFound");
+            let Msg::RulesFound { origin, rules, had_seed: _, trace: ptrace } = msg else {
+                panic!("master: expected RulesFound from rank {k}, got {msg:?}");
+            };
+            for (clause, _, _) in rules {
+                bag.insert(clause, origin);
+            }
+            trace.pipelines[origin as usize - 1] = ptrace;
+        }
+        trace.bag_size = bag.len() as u32;
+
+        // Bag consumption with master-side live tracking.
+        let mut accepted_this_epoch = 0u32;
+        if !bag.is_empty() {
+            evaluate_bag(ep, p, &mut bag);
+            loop {
+                bag.drop_not_good(settings);
+                if bag.is_empty() {
+                    break;
+                }
+                ep.advance_steps(bag.len() as u64);
+                let best = bag.pick_best(settings.score).expect("bag non-empty");
+                let (pos, neg) = (best.global_pos(), best.global_neg());
+                ep.broadcast(&Msg::MarkCovered { rule: best.clause.clone() });
+                for k in 1..=p {
+                    let msg: Msg = ep.recv_msg(k).expect("master: malformed CoveredIdx");
+                    let Msg::CoveredIdx { pos: covered } = msg else {
+                        panic!("master: expected CoveredIdx from rank {k}, got {msg:?}");
+                    };
+                    for local in covered {
+                        live.clear(assign[k - 1][local as usize]);
+                    }
+                }
+                out.theory.push(AcceptedRule {
+                    clause: best.clause,
+                    pos,
+                    neg,
+                    epoch,
+                    origin: best.origin,
+                });
+                accepted_this_epoch += 1;
+                if bag.is_empty() {
+                    break;
+                }
+                evaluate_bag(ep, p, &mut bag);
+            }
+        }
+        trace.accepted = accepted_this_epoch;
+        out.traces.push(trace);
+
+        // Progress guarantee, master-side: a fresh partition means each
+        // worker's epoch seed was its first assigned example.
+        if accepted_this_epoch == 0 {
+            let mut retired = 0u32;
+            for part in &assign {
+                if let Some(&g) = part.first() {
+                    if live.get(g) {
+                        live.clear(g);
+                        retired += 1;
+                    }
+                }
+            }
+            if retired == 0 {
+                out.stalled = true;
+                break;
+            }
+            out.set_aside += retired;
+        }
+    }
+
+    ep.broadcast(&Msg::Stop);
+    out
+}
+
+/// One global evaluation round: broadcast the bag, collect per-subset
+/// counts from every worker (Fig. 5 steps 10–11 / 18–19).
+fn evaluate_bag(ep: &mut Endpoint, p: usize, bag: &mut RuleBag) {
+    ep.broadcast(&Msg::Evaluate { rules: bag.clauses() });
+    let mut results = Vec::with_capacity(p);
+    for k in 1..=p {
+        let msg: Msg = ep.recv_msg(k).expect("master: malformed EvalResult");
+        let Msg::EvalResult { counts } = msg else {
+            panic!("master: expected EvalResult from rank {k}, got {msg:?}");
+        };
+        results.push(counts);
+    }
+    bag.set_results(&results);
+}

@@ -1,0 +1,188 @@
+//! One pipeline stage: the paper's `learn_rule'` (Figure 7).
+//!
+//! A stage receives (or, at stage 1, creates) a token carrying ⊥e and a set
+//! of rules `S`, runs a seeded breadth-first search on the *local* example
+//! subset, merges `Good = S ∪ {new good rules}`, ranks by local score, cuts
+//! to the pipeline width `W`, and forwards — to the next worker, or to the
+//! master when this was stage `p`.
+
+use crate::protocol::{PipelineToken, StageTrace};
+use p2mdie_ilp::bitset::Bitset;
+use p2mdie_ilp::bottom::BottomClause;
+use p2mdie_ilp::engine::IlpEngine;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_ilp::refine::RuleShape;
+use p2mdie_ilp::search::ScoredRule;
+use p2mdie_ilp::settings::Width;
+use std::collections::HashSet;
+
+/// What a stage computed: the outgoing ranked rules and the fuel burnt.
+#[derive(Clone, Debug)]
+pub struct StageResult {
+    /// `Good` after the width cut, ranked by local score.
+    pub rules: Vec<ScoredRule>,
+    /// Inference steps consumed by the stage's search.
+    pub steps: u64,
+}
+
+/// Runs the search part of one pipeline stage on the local subset.
+///
+/// `incoming` is `S`, the rules from the previous stage (empty at stage 1).
+/// Per Figure 7 the incoming rules *stay in the stream* even when the local
+/// subset scores them badly; they are re-ranked with local scores where
+/// available, keeping their previous-stage scores when the node budget ran
+/// out before re-scoring them.
+pub fn run_stage_search(
+    engine: &IlpEngine,
+    local: &Examples,
+    live: &Bitset,
+    bottom: &BottomClause,
+    incoming: &[ScoredRule],
+    width: Width,
+) -> StageResult {
+    let seeds: Vec<RuleShape> = incoming.iter().map(|r| r.shape.clone()).collect();
+    let out = engine.search(bottom, local, Some(live), &seeds);
+
+    // Good = S ∪ new-good. Locally re-scored seeds replace their incoming
+    // versions; seeds the budget never reached keep their old scores.
+    let mut merged: Vec<ScoredRule> = Vec::with_capacity(out.good.len() + incoming.len());
+    let mut taken: HashSet<RuleShape> = HashSet::new();
+    for r in out.seed_scored.iter().chain(out.good.iter()) {
+        if taken.insert(r.shape.clone()) {
+            merged.push(r.clone());
+        }
+    }
+    for r in incoming {
+        if taken.insert(r.shape.clone()) {
+            merged.push(r.clone());
+        }
+    }
+    merged.sort_by(|a, b| a.rank_key().cmp(&b.rank_key()));
+    merged.truncate(width.cap());
+
+    StageResult { rules: merged, steps: out.steps }
+}
+
+/// Assembles the outgoing token for a non-final stage.
+pub fn next_token(
+    mut token_trace: Vec<StageTrace>,
+    origin: u8,
+    executed_step: u8,
+    bottom: Option<BottomClause>,
+    rules: Vec<ScoredRule>,
+    stage_trace: StageTrace,
+) -> PipelineToken {
+    token_trace.push(stage_trace);
+    PipelineToken { origin, step: executed_step + 1, bottom, rules, trace: token_trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2mdie_ilp::modes::ModeSet;
+    use p2mdie_ilp::settings::Settings;
+    use p2mdie_logic::clause::Literal;
+    use p2mdie_logic::kb::KnowledgeBase;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    fn engine_and_examples() -> (SymbolTable, IlpEngine, Examples) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 1..=30i64 {
+            if i % 2 == 0 {
+                kb.assert_fact(Literal::new(t.intern("even"), vec![Term::Int(i)]));
+            }
+            if i % 3 == 0 {
+                kb.assert_fact(Literal::new(t.intern("div3"), vec![Term::Int(i)]));
+            }
+        }
+        let modes =
+            ModeSet::parse(&t, "div6(+num)", &[(1, "even(+num)"), (1, "div3(+num)")]).unwrap();
+        let tgt = t.intern("div6");
+        let ex = Examples::new(
+            (1..=30i64).filter(|i| i % 6 == 0).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            (1..=30i64).filter(|i| i % 6 != 0).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+        );
+        let engine =
+            IlpEngine::new(kb, modes, Settings { min_pos: 2, noise: 0, ..Settings::default() });
+        (t, engine, ex)
+    }
+
+    #[test]
+    fn stage_one_finds_and_ranks_rules() {
+        let (_, engine, ex) = engine_and_examples();
+        let live = ex.full_pos_live();
+        let bottom = engine.saturate(&ex.pos[0]).unwrap();
+        let r = run_stage_search(&engine, &ex, &live, &bottom, &[], Width::Unlimited);
+        assert!(!r.rules.is_empty());
+        assert!(r.steps > 0);
+        // Best rule must be the clean conjunction.
+        assert_eq!(r.rules[0].neg, 0);
+    }
+
+    #[test]
+    fn width_truncates_the_stream() {
+        let (_, mut engine, ex) = engine_and_examples();
+        // Allow noisy rules so that {even}, {div3} and {even, div3} are all
+        // good and the stream has something to truncate.
+        engine.settings.noise = 10;
+        let live = ex.full_pos_live();
+        let bottom = engine.saturate(&ex.pos[0]).unwrap();
+        let wide = run_stage_search(&engine, &ex, &live, &bottom, &[], Width::Unlimited);
+        let narrow = run_stage_search(&engine, &ex, &live, &bottom, &[], Width::Limit(1));
+        assert!(wide.rules.len() > 1);
+        assert_eq!(narrow.rules.len(), 1);
+        assert_eq!(narrow.rules[0], wide.rules[0], "width cut keeps the best rules");
+    }
+
+    #[test]
+    fn incoming_rules_survive_even_if_locally_bad() {
+        let (_, engine, ex) = engine_and_examples();
+        // A live mask with zero live examples: nothing can be locally good.
+        let live = Bitset::new(ex.num_pos());
+        let bottom = engine.saturate(&ex.pos[0]).unwrap();
+        let incoming = vec![ScoredRule {
+            shape: RuleShape::from_indices(vec![0]),
+            pos: 5,
+            neg: 0,
+            score: 5,
+        }];
+        let r = run_stage_search(&engine, &ex, &live, &bottom, &incoming, Width::Unlimited);
+        assert!(
+            r.rules.iter().any(|x| x.shape == incoming[0].shape),
+            "Good = S must keep incoming rules in the stream"
+        );
+    }
+
+    #[test]
+    fn incoming_rules_are_rescored_locally() {
+        let (_, engine, ex) = engine_and_examples();
+        let live = ex.full_pos_live();
+        let bottom = engine.saturate(&ex.pos[0]).unwrap();
+        let incoming = vec![ScoredRule {
+            shape: RuleShape::from_indices(vec![0]),
+            pos: 999, // bogus score from "elsewhere"
+            neg: 0,
+            score: 999,
+        }];
+        let r = run_stage_search(&engine, &ex, &live, &bottom, &incoming, Width::Unlimited);
+        let re = r.rules.iter().find(|x| x.shape == incoming[0].shape).unwrap();
+        assert!(re.pos <= ex.num_pos() as u32, "local re-scoring replaced the bogus count");
+    }
+
+    #[test]
+    fn token_assembly_appends_trace() {
+        let tok = next_token(
+            vec![StageTrace { worker: 1, step: 1, start: 0.0, end: 1.0, rules_in: 0, rules_out: 2 }],
+            1,
+            2,
+            None,
+            vec![],
+            StageTrace { worker: 2, step: 2, start: 1.0, end: 2.0, rules_in: 2, rules_out: 1 },
+        );
+        assert_eq!(tok.step, 3);
+        assert_eq!(tok.trace.len(), 2);
+        assert_eq!(tok.trace[1].worker, 2);
+    }
+}

@@ -1,0 +1,598 @@
+//! The p²-mdie wire protocol.
+//!
+//! One message enum covers the whole algorithm (paper Figures 5–7):
+//! `LoadExamples` / `StartPipeline` / `PipelineStage` / `RulesFound` /
+//! `Evaluate` / `EvalResult` / `MarkCovered` / `RetireSeed` / `SeedRetired` /
+//! `Stop`. Every payload is encoded through the byte-accurate
+//! [`Wire`] codec, so the traffic statistics reproduce Table 4 exactly as
+//! "bytes that would have crossed the network".
+//!
+//! Terms reference [`SymbolId`]s shared by all ranks — the analogue of the
+//! paper's assumption that "data can be shared by all processors through a
+//! distributed file system", under which every node agrees on every name.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use p2mdie_cluster::codec::{DecodeError, Wire};
+use p2mdie_ilp::bottom::{BottomClause, BottomLiteral};
+use p2mdie_ilp::refine::RuleShape;
+use p2mdie_ilp::search::ScoredRule;
+use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::symbol::SymbolId;
+use p2mdie_logic::term::{Term, F64};
+
+// ---------------------------------------------------------------------------
+// Wire helpers for foreign types (the `Wire` trait is foreign too, so these
+// are free functions rather than impls).
+// ---------------------------------------------------------------------------
+
+fn encode_term(t: &Term, buf: &mut BytesMut) {
+    match t {
+        Term::Var(v) => {
+            buf.put_u8(0);
+            v.encode(buf);
+        }
+        Term::Sym(s) => {
+            buf.put_u8(1);
+            s.0.encode(buf);
+        }
+        Term::Int(i) => {
+            buf.put_u8(2);
+            i.encode(buf);
+        }
+        Term::Float(f) => {
+            buf.put_u8(3);
+            f.0.encode(buf);
+        }
+        Term::App(f, args) => {
+            buf.put_u8(4);
+            f.0.encode(buf);
+            (args.len() as u32).encode(buf);
+            for a in args.iter() {
+                encode_term(a, buf);
+            }
+        }
+    }
+}
+
+fn decode_term(buf: &mut Bytes) -> Result<Term, DecodeError> {
+    let tag = u8::decode(buf)?;
+    Ok(match tag {
+        0 => Term::Var(u32::decode(buf)?),
+        1 => Term::Sym(SymbolId(u32::decode(buf)?)),
+        2 => Term::Int(i64::decode(buf)?),
+        3 => Term::Float(F64(f64::decode(buf)?)),
+        4 => {
+            let f = SymbolId(u32::decode(buf)?);
+            let n = u32::decode(buf)? as usize;
+            if n > buf.len() {
+                return Err(DecodeError::new("term arity"));
+            }
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(decode_term(buf)?);
+            }
+            Term::app(f, args)
+        }
+        _ => return Err(DecodeError::new("term tag")),
+    })
+}
+
+fn encode_literal(l: &Literal, buf: &mut BytesMut) {
+    l.pred.0.encode(buf);
+    (l.args.len() as u32).encode(buf);
+    for a in l.args.iter() {
+        encode_term(a, buf);
+    }
+}
+
+fn decode_literal(buf: &mut Bytes) -> Result<Literal, DecodeError> {
+    let pred = SymbolId(u32::decode(buf)?);
+    let n = u32::decode(buf)? as usize;
+    if n > buf.len() {
+        return Err(DecodeError::new("literal arity"));
+    }
+    let mut args = Vec::with_capacity(n);
+    for _ in 0..n {
+        args.push(decode_term(buf)?);
+    }
+    Ok(Literal::new(pred, args))
+}
+
+fn encode_clause(c: &Clause, buf: &mut BytesMut) {
+    encode_literal(&c.head, buf);
+    (c.body.len() as u32).encode(buf);
+    for l in &c.body {
+        encode_literal(l, buf);
+    }
+}
+
+fn decode_clause(buf: &mut Bytes) -> Result<Clause, DecodeError> {
+    let head = decode_literal(buf)?;
+    let n = u32::decode(buf)? as usize;
+    if n > buf.len() {
+        return Err(DecodeError::new("clause body length"));
+    }
+    let mut body = Vec::with_capacity(n);
+    for _ in 0..n {
+        body.push(decode_literal(buf)?);
+    }
+    Ok(Clause::new(head, body))
+}
+
+fn encode_bottom(b: &BottomClause, buf: &mut BytesMut) {
+    encode_literal(&b.head, buf);
+    b.head_vars.encode(buf);
+    (b.lits.len() as u32).encode(buf);
+    for bl in &b.lits {
+        encode_literal(&bl.lit, buf);
+        bl.inputs.encode(buf);
+        bl.outputs.encode(buf);
+        bl.depth.encode(buf);
+    }
+    b.num_vars.encode(buf);
+    encode_literal(&b.example, buf);
+    // `steps` is deliberately not shipped: it is rank-local accounting.
+}
+
+fn decode_bottom(buf: &mut Bytes) -> Result<BottomClause, DecodeError> {
+    let head = decode_literal(buf)?;
+    let head_vars = Vec::<u32>::decode(buf)?;
+    let n = u32::decode(buf)? as usize;
+    if n > buf.len() {
+        return Err(DecodeError::new("bottom body length"));
+    }
+    let mut lits = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lit = decode_literal(buf)?;
+        let inputs = Vec::<u32>::decode(buf)?;
+        let outputs = Vec::<u32>::decode(buf)?;
+        let depth = u32::decode(buf)?;
+        lits.push(BottomLiteral { lit, inputs, outputs, depth });
+    }
+    let num_vars = u32::decode(buf)?;
+    let example = decode_literal(buf)?;
+    Ok(BottomClause { head, head_vars, lits, num_vars, example, steps: 0 })
+}
+
+fn encode_scored(r: &ScoredRule, buf: &mut BytesMut) {
+    r.shape.lits.encode(buf);
+    r.pos.encode(buf);
+    r.neg.encode(buf);
+    r.score.encode(buf);
+}
+
+fn decode_scored(buf: &mut Bytes) -> Result<ScoredRule, DecodeError> {
+    let lits = Vec::<u32>::decode(buf)?;
+    let pos = u32::decode(buf)?;
+    let neg = u32::decode(buf)?;
+    let score = i64::decode(buf)?;
+    Ok(ScoredRule { shape: RuleShape { lits }, pos, neg, score })
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline traces (raw material for the paper's Figures 3–4).
+// ---------------------------------------------------------------------------
+
+/// One pipeline stage's execution record, carried along with the token so
+/// the master can reconstruct the pipeline diagram of Figures 3–4.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageTrace {
+    /// Worker rank that executed the stage.
+    pub worker: u8,
+    /// Stage number (1-based).
+    pub step: u8,
+    /// Virtual time when the stage started.
+    pub start: f64,
+    /// Virtual time when the stage finished.
+    pub end: f64,
+    /// Rules received as search seeds.
+    pub rules_in: u32,
+    /// Rules forwarded to the next stage (after the width cut).
+    pub rules_out: u32,
+}
+
+impl Wire for StageTrace {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.worker.encode(buf);
+        self.step.encode(buf);
+        self.start.encode(buf);
+        self.end.encode(buf);
+        self.rules_in.encode(buf);
+        self.rules_out.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(StageTrace {
+            worker: u8::decode(buf)?,
+            step: u8::decode(buf)?,
+            start: f64::decode(buf)?,
+            end: f64::decode(buf)?,
+            rules_in: u32::decode(buf)?,
+            rules_out: u32::decode(buf)?,
+        })
+    }
+}
+
+/// A pipeline token travelling between stages: the bottom clause built by
+/// the origin worker, the good rules found so far, and the trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineToken {
+    /// Worker rank (1-based) whose seed example started this pipeline.
+    pub origin: u8,
+    /// Stage the *receiver* must execute (2-based when travelling).
+    pub step: u8,
+    /// The ⊥e the whole pipeline searches under; `None` when the origin had
+    /// no live example (an empty token that just keeps the schedule static).
+    pub bottom: Option<BottomClause>,
+    /// Rules found so far (ranked by local score at the previous stage).
+    pub rules: Vec<ScoredRule>,
+    /// Per-stage execution records.
+    pub trace: Vec<StageTrace>,
+}
+
+impl Wire for PipelineToken {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.origin.encode(buf);
+        self.step.encode(buf);
+        match &self.bottom {
+            None => buf.put_u8(0),
+            Some(b) => {
+                buf.put_u8(1);
+                encode_bottom(b, buf);
+            }
+        }
+        (self.rules.len() as u32).encode(buf);
+        for r in &self.rules {
+            encode_scored(r, buf);
+        }
+        self.trace.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let origin = u8::decode(buf)?;
+        let step = u8::decode(buf)?;
+        let bottom = match u8::decode(buf)? {
+            0 => None,
+            1 => Some(decode_bottom(buf)?),
+            _ => return Err(DecodeError::new("token bottom tag")),
+        };
+        let n = u32::decode(buf)? as usize;
+        if n > buf.len() {
+            return Err(DecodeError::new("token rule count"));
+        }
+        let mut rules = Vec::with_capacity(n);
+        for _ in 0..n {
+            rules.push(decode_scored(buf)?);
+        }
+        let trace = Vec::<StageTrace>::decode(buf)?;
+        Ok(PipelineToken { origin, step, bottom, rules, trace })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The message enum.
+// ---------------------------------------------------------------------------
+
+/// Every message exchanged by the p²-mdie master and workers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Master → workers: load your subset (the data itself is shared, as in
+    /// the paper's distributed-file-system assumption).
+    LoadExamples,
+    /// Master → worker k: start a pipeline from one of your live examples.
+    StartPipeline {
+        /// Epoch number (for tracing).
+        epoch: u32,
+    },
+    /// Worker → next worker: the travelling pipeline token.
+    PipelineStage(PipelineToken),
+    /// Last stage → master: the pipeline's surviving rules, materialized as
+    /// clauses (the master has no bottom clause to expand shapes against).
+    RulesFound {
+        /// Pipeline origin (worker rank).
+        origin: u8,
+        /// Surviving rules with their final-stage local scores.
+        rules: Vec<(Clause, u32, u32)>,
+        /// Whether the origin actually had a live seed example.
+        had_seed: bool,
+        /// The pipeline's trace (for Figures 3–4).
+        trace: Vec<StageTrace>,
+    },
+    /// Master → workers: score these rules on your live subset.
+    Evaluate {
+        /// Bag contents, in bag order.
+        rules: Vec<Clause>,
+    },
+    /// Worker → master: `(pos, neg)` counts aligned with the `Evaluate`
+    /// bag order.
+    EvalResult {
+        /// Per-rule local coverage counts.
+        counts: Vec<(u32, u32)>,
+    },
+    /// Master → workers: a rule was accepted; remove the positives it
+    /// covers and add it to the local background (paper Fig. 6).
+    MarkCovered {
+        /// The accepted rule.
+        rule: Clause,
+    },
+    /// Master → workers: the epoch made no progress; retire your current
+    /// seed example so the run terminates (April sets such examples aside).
+    RetireSeed,
+    /// Worker → master: how many examples the retire removed (0 or 1).
+    SeedRetired {
+        /// Removed count.
+        removed: u32,
+    },
+    /// Worker → master: the *local indices* of positives covered by the
+    /// last `MarkCovered` rule. Used by the coverage-parallel baseline and
+    /// by the repartitioning variant, where the master tracks the global
+    /// live set (plain p²-mdie never needs it).
+    CoveredIdx {
+        /// Local positive-example indices removed from the live set.
+        pos: Vec<u32>,
+    },
+    /// Master → worker: replace your local example subset (the §4.1
+    /// repartitioning variant; deliberately expensive — the examples
+    /// travel in full).
+    NewPartition {
+        /// New local positive examples.
+        pos: Vec<Literal>,
+        /// New local negative examples.
+        neg: Vec<Literal>,
+    },
+    /// Master → workers: run over, shut down.
+    Stop,
+}
+
+impl Wire for Msg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Msg::LoadExamples => buf.put_u8(0),
+            Msg::StartPipeline { epoch } => {
+                buf.put_u8(1);
+                epoch.encode(buf);
+            }
+            Msg::PipelineStage(tok) => {
+                buf.put_u8(2);
+                tok.encode(buf);
+            }
+            Msg::RulesFound { origin, rules, had_seed, trace } => {
+                buf.put_u8(3);
+                origin.encode(buf);
+                (rules.len() as u32).encode(buf);
+                for (c, p, n) in rules {
+                    encode_clause(c, buf);
+                    p.encode(buf);
+                    n.encode(buf);
+                }
+                had_seed.encode(buf);
+                trace.encode(buf);
+            }
+            Msg::Evaluate { rules } => {
+                buf.put_u8(4);
+                (rules.len() as u32).encode(buf);
+                for c in rules {
+                    encode_clause(c, buf);
+                }
+            }
+            Msg::EvalResult { counts } => {
+                buf.put_u8(5);
+                counts.encode(buf);
+            }
+            Msg::MarkCovered { rule } => {
+                buf.put_u8(6);
+                encode_clause(rule, buf);
+            }
+            Msg::RetireSeed => buf.put_u8(7),
+            Msg::SeedRetired { removed } => {
+                buf.put_u8(8);
+                removed.encode(buf);
+            }
+            Msg::Stop => buf.put_u8(9),
+            Msg::CoveredIdx { pos } => {
+                buf.put_u8(10);
+                pos.encode(buf);
+            }
+            Msg::NewPartition { pos, neg } => {
+                buf.put_u8(11);
+                (pos.len() as u32).encode(buf);
+                for l in pos {
+                    encode_literal(l, buf);
+                }
+                (neg.len() as u32).encode(buf);
+                for l in neg {
+                    encode_literal(l, buf);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            0 => Msg::LoadExamples,
+            1 => Msg::StartPipeline { epoch: u32::decode(buf)? },
+            2 => Msg::PipelineStage(PipelineToken::decode(buf)?),
+            3 => {
+                let origin = u8::decode(buf)?;
+                let n = u32::decode(buf)? as usize;
+                if n > buf.len() {
+                    return Err(DecodeError::new("rules-found count"));
+                }
+                let mut rules = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let c = decode_clause(buf)?;
+                    let p = u32::decode(buf)?;
+                    let ng = u32::decode(buf)?;
+                    rules.push((c, p, ng));
+                }
+                let had_seed = bool::decode(buf)?;
+                let trace = Vec::<StageTrace>::decode(buf)?;
+                Msg::RulesFound { origin, rules, had_seed, trace }
+            }
+            4 => {
+                let n = u32::decode(buf)? as usize;
+                if n > buf.len() {
+                    return Err(DecodeError::new("evaluate count"));
+                }
+                let mut rules = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rules.push(decode_clause(buf)?);
+                }
+                Msg::Evaluate { rules }
+            }
+            5 => Msg::EvalResult { counts: Vec::<(u32, u32)>::decode(buf)? },
+            6 => Msg::MarkCovered { rule: decode_clause(buf)? },
+            7 => Msg::RetireSeed,
+            8 => Msg::SeedRetired { removed: u32::decode(buf)? },
+            9 => Msg::Stop,
+            10 => Msg::CoveredIdx { pos: Vec::<u32>::decode(buf)? },
+            11 => {
+                let np = u32::decode(buf)? as usize;
+                if np > buf.len() {
+                    return Err(DecodeError::new("partition pos count"));
+                }
+                let mut pos = Vec::with_capacity(np);
+                for _ in 0..np {
+                    pos.push(decode_literal(buf)?);
+                }
+                let nn = u32::decode(buf)? as usize;
+                if nn > buf.len() {
+                    return Err(DecodeError::new("partition neg count"));
+                }
+                let mut neg = Vec::with_capacity(nn);
+                for _ in 0..nn {
+                    neg.push(decode_literal(buf)?);
+                }
+                Msg::NewPartition { pos, neg }
+            }
+            _ => return Err(DecodeError::new("message tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2mdie_cluster::codec::{from_bytes, to_bytes};
+    use p2mdie_logic::symbol::SymbolTable;
+
+    fn sample_clause(t: &SymbolTable) -> Clause {
+        Clause::new(
+            Literal::new(t.intern("active"), vec![Term::Var(0)]),
+            vec![
+                Literal::new(
+                    t.intern("atm"),
+                    vec![Term::Var(0), Term::Var(1), Term::Sym(t.intern("n")), Term::Float(F64(0.5))],
+                ),
+                Literal::new(t.intern(">="), vec![Term::Var(1), Term::Int(3)]),
+            ],
+        )
+    }
+
+    fn sample_bottom(t: &SymbolTable) -> BottomClause {
+        BottomClause {
+            head: Literal::new(t.intern("active"), vec![Term::Var(0)]),
+            head_vars: vec![0],
+            lits: vec![BottomLiteral {
+                lit: Literal::new(t.intern("atm"), vec![Term::Var(0), Term::Var(1)]),
+                inputs: vec![0],
+                outputs: vec![1],
+                depth: 1,
+            }],
+            num_vars: 2,
+            example: Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))]),
+            steps: 0,
+        }
+    }
+
+    fn roundtrip(msg: Msg) {
+        let b = to_bytes(&msg);
+        let back: Msg = from_bytes(b).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_message_variants_roundtrip() {
+        let t = SymbolTable::new();
+        roundtrip(Msg::LoadExamples);
+        roundtrip(Msg::StartPipeline { epoch: 3 });
+        roundtrip(Msg::PipelineStage(PipelineToken {
+            origin: 2,
+            step: 3,
+            bottom: Some(sample_bottom(&t)),
+            rules: vec![ScoredRule {
+                shape: RuleShape::from_indices(vec![0, 4]),
+                pos: 7,
+                neg: 1,
+                score: 6,
+            }],
+            trace: vec![StageTrace { worker: 2, step: 1, start: 0.5, end: 1.5, rules_in: 0, rules_out: 1 }],
+        }));
+        roundtrip(Msg::PipelineStage(PipelineToken {
+            origin: 1,
+            step: 2,
+            bottom: None,
+            rules: vec![],
+            trace: vec![],
+        }));
+        roundtrip(Msg::RulesFound {
+            origin: 1,
+            rules: vec![(sample_clause(&t), 5, 0)],
+            had_seed: true,
+            trace: vec![],
+        });
+        roundtrip(Msg::Evaluate { rules: vec![sample_clause(&t), sample_clause(&t)] });
+        roundtrip(Msg::EvalResult { counts: vec![(3, 0), (9, 2)] });
+        roundtrip(Msg::MarkCovered { rule: sample_clause(&t) });
+        roundtrip(Msg::RetireSeed);
+        roundtrip(Msg::SeedRetired { removed: 1 });
+        roundtrip(Msg::CoveredIdx { pos: vec![0, 5, 9] });
+        roundtrip(Msg::NewPartition {
+            pos: vec![Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))])],
+            neg: vec![Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m2"))])],
+        });
+        roundtrip(Msg::Stop);
+    }
+
+    #[test]
+    fn corrupt_tag_is_rejected() {
+        let mut raw = to_bytes(&Msg::Stop).to_vec();
+        raw[0] = 200;
+        assert!(from_bytes::<Msg>(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn token_sizes_grow_with_rules() {
+        let t = SymbolTable::new();
+        let mk = |n: usize| {
+            Msg::PipelineStage(PipelineToken {
+                origin: 1,
+                step: 2,
+                bottom: Some(sample_bottom(&t)),
+                rules: (0..n)
+                    .map(|i| ScoredRule {
+                        shape: RuleShape::from_indices(vec![i as u32]),
+                        pos: 1,
+                        neg: 0,
+                        score: 1,
+                    })
+                    .collect(),
+                trace: vec![],
+            })
+        };
+        let small = to_bytes(&mk(1)).len();
+        let big = to_bytes(&mk(100)).len();
+        assert!(big > small + 99 * 16, "each rule costs at least 16 bytes on the wire");
+    }
+
+    #[test]
+    fn term_nesting_roundtrips() {
+        let t = SymbolTable::new();
+        let deep = Term::app(
+            t.intern("f"),
+            vec![Term::app(t.intern("g"), vec![Term::Var(3), Term::Int(-9)]), Term::Float(F64(2.5))],
+        );
+        let lit = Literal::new(t.intern("p"), vec![deep]);
+        let msg = Msg::MarkCovered { rule: Clause::fact(lit) };
+        roundtrip(msg);
+    }
+}

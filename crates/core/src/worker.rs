@@ -1,0 +1,451 @@
+//! The worker rank (paper Figure 6 plus the stage scheduling of Figure 7).
+//!
+//! A worker's epoch is a fixed, deterministic script — the message pattern
+//! of p²-mdie is static, so every receive names its source rank (MPI-style
+//! `recv_from`), which makes whole runs reproducible:
+//!
+//! 1. `StartPipeline` from the master → run stage 1 of *this* worker's
+//!    pipeline and forward the token;
+//! 2. exactly `p − 1` `PipelineStage` tokens from the predecessor → run
+//!    their next stage, forward (to the successor, or to the master as
+//!    `RulesFound` after stage `p`);
+//! 3. then serve master commands — `Evaluate`, `MarkCovered`, `RetireSeed` —
+//!    until the next `StartPipeline` or `Stop`.
+
+use crate::pipeline::run_stage_search;
+use crate::protocol::{Msg, PipelineToken, StageTrace};
+use p2mdie_cluster::comm::Endpoint;
+use p2mdie_ilp::bitset::Bitset;
+use p2mdie_ilp::engine::IlpEngine;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_ilp::settings::Width;
+
+/// Everything a worker owns locally: its engine (background knowledge,
+/// modes, settings), its example subset, and the pipeline width.
+pub struct WorkerContext {
+    /// The local ILP engine (the KB grows as rules are accepted).
+    pub engine: IlpEngine,
+    /// The local example subset `(E+_k, E-_k)`.
+    pub local: Examples,
+    /// Pipeline width `W`.
+    pub width: Width,
+    /// Repartitioning mode (paper §4.1's rejected alternative): the master
+    /// re-deals live examples every epoch via `NewPartition`, and each
+    /// `MarkCovered` is answered with the covered local indices so the
+    /// master can track the global live set.
+    pub repartition: bool,
+}
+
+impl WorkerContext {
+    /// A static-partition context (plain p²-mdie).
+    pub fn new(engine: IlpEngine, local: Examples, width: Width) -> Self {
+        WorkerContext { engine, local, width, repartition: false }
+    }
+}
+
+/// Runs the worker protocol until `Stop`. Rank 0 is the master; this must
+/// be called on ranks `1..=p`.
+pub fn run_worker(ep: &mut Endpoint, mut ctx: WorkerContext) {
+    let me = ep.rank();
+    assert!(me >= 1, "run_worker must not run on the master rank");
+    let p = ep.workers();
+    let next = me % p + 1;
+    let prev = if me == 1 { p } else { me - 1 };
+
+    let mut live = ctx.local.full_pos_live();
+    let mut current_seed: Option<usize> = None;
+
+    loop {
+        let msg: Msg = ep.recv_msg(0).expect("worker: malformed master message");
+        match msg {
+            Msg::LoadExamples => {
+                // Data is shared (distributed-FS assumption); loading costs
+                // compute proportional to the local subset.
+                ep.advance_steps(ctx.local.len() as u64);
+            }
+            Msg::StartPipeline { epoch: _ } => {
+                run_epoch_pipelines(ep, &mut ctx, &live, &mut current_seed, me as u8, p, next, prev);
+            }
+            Msg::Evaluate { rules } => {
+                let mut counts = Vec::with_capacity(rules.len());
+                for rule in &rules {
+                    let cov = ctx.engine.evaluate(rule, &ctx.local, Some(&live), None);
+                    ep.advance_steps(cov.steps);
+                    counts.push((cov.pos_count(), cov.neg_count()));
+                }
+                ep.send(0, &Msg::EvalResult { counts });
+            }
+            Msg::MarkCovered { rule } => {
+                let cov = ctx.engine.evaluate(&rule, &ctx.local, Some(&live), None);
+                ep.advance_steps(cov.steps);
+                if ctx.repartition {
+                    let idx: Vec<u32> = cov.pos.iter_ones().map(|i| i as u32).collect();
+                    ep.send(0, &Msg::CoveredIdx { pos: idx });
+                }
+                live.difference_with(&cov.pos);
+                // Fig. 6: B := B ∪ {R}.
+                ctx.engine.assert_rule(rule);
+            }
+            Msg::NewPartition { pos, neg } => {
+                // §4.1 repartitioning: adopt the freshly-dealt subset.
+                assert!(ctx.repartition, "NewPartition outside repartition mode");
+                ep.advance_steps((pos.len() + neg.len()) as u64);
+                ctx.local = Examples::new(pos, neg);
+                live = ctx.local.full_pos_live();
+                current_seed = None;
+            }
+            Msg::RetireSeed => {
+                let mut removed = 0u32;
+                if let Some(idx) = current_seed {
+                    if live.get(idx) {
+                        live.clear(idx);
+                        removed = 1;
+                    }
+                }
+                ep.send(0, &Msg::SeedRetired { removed });
+            }
+            Msg::Stop => return,
+            other => panic!("worker {me}: unexpected master message {other:?}"),
+        }
+    }
+}
+
+/// Stage 1 of the own pipeline plus the `p − 1` incoming stages.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_pipelines(
+    ep: &mut Endpoint,
+    ctx: &mut WorkerContext,
+    live: &Bitset,
+    current_seed: &mut Option<usize>,
+    me: u8,
+    p: usize,
+    next: usize,
+    prev: usize,
+) {
+    // --- Stage 1: seed, saturate, search. -----------------------------
+    // Seeds advance round-robin through the live set (April's "select an
+    // example"): picking the next live example after the previous seed
+    // keeps one uncoverable example from monopolizing this pipeline.
+    let start = ep.now();
+    *current_seed = next_live_seed(live, *current_seed);
+    let (bottom, rules) = match *current_seed {
+        None => (None, Vec::new()),
+        Some(idx) => {
+            let seed_example = ctx.local.pos[idx].clone();
+            match ctx.engine.saturate(&seed_example) {
+                None => (None, Vec::new()),
+                Some(bottom) => {
+                    ep.advance_steps(bottom.steps);
+                    let stage =
+                        run_stage_search(&ctx.engine, &ctx.local, live, &bottom, &[], ctx.width);
+                    ep.advance_steps(stage.steps);
+                    (Some(bottom), stage.rules)
+                }
+            }
+        }
+    };
+    let trace = StageTrace {
+        worker: me,
+        step: 1,
+        start,
+        end: ep.now(),
+        rules_in: 0,
+        rules_out: rules.len() as u32,
+    };
+    dispatch(ep, p, next, PipelineToken { origin: me, step: 2, bottom, rules, trace: vec![trace] });
+
+    // --- Stages 2..=p of the pipelines passing through this worker. ----
+    for _ in 0..p - 1 {
+        let msg: Msg = ep.recv_msg(prev).expect("worker: malformed stage token");
+        let Msg::PipelineStage(token) = msg else {
+            panic!("worker {me}: expected a pipeline token from rank {prev}, got {msg:?}");
+        };
+        let start = ep.now();
+        let step = token.step;
+        let rules_in = token.rules.len() as u32;
+        let (bottom, rules) = match token.bottom {
+            None => (None, Vec::new()),
+            Some(bottom) => {
+                let stage = run_stage_search(
+                    &ctx.engine,
+                    &ctx.local,
+                    live,
+                    &bottom,
+                    &token.rules,
+                    ctx.width,
+                );
+                ep.advance_steps(stage.steps);
+                (Some(bottom), stage.rules)
+            }
+        };
+        let trace = StageTrace {
+            worker: me,
+            step,
+            start,
+            end: ep.now(),
+            rules_in,
+            rules_out: rules.len() as u32,
+        };
+        let mut full_trace = token.trace;
+        full_trace.push(trace);
+        dispatch(
+            ep,
+            p,
+            next,
+            PipelineToken { origin: token.origin, step: step + 1, bottom, rules, trace: full_trace },
+        );
+    }
+}
+
+/// The next live example index strictly after `prev` (wrapping), or the
+/// first live one when `prev` is `None` or nothing lies after it.
+fn next_live_seed(live: &Bitset, prev: Option<usize>) -> Option<usize> {
+    if let Some(p) = prev {
+        if let Some(idx) = (p + 1..live.len()).find(|&i| live.get(i)) {
+            return Some(idx);
+        }
+    }
+    live.first()
+}
+
+/// Forwards a token whose `step` is the stage the *receiver* would run: to
+/// the next worker while `step <= p`, to the master as `RulesFound` after
+/// the final stage.
+fn dispatch(ep: &mut Endpoint, p: usize, next: usize, token: PipelineToken) {
+    if (token.step as usize) <= p {
+        ep.send(next, &Msg::PipelineStage(token));
+        return;
+    }
+    let had_seed = token.bottom.is_some();
+    let rules = match &token.bottom {
+        None => Vec::new(),
+        Some(bottom) => token
+            .rules
+            .iter()
+            .map(|r| (r.shape.to_clause(bottom), r.pos, r.neg))
+            .collect(),
+    };
+    ep.send(0, &Msg::RulesFound { origin: token.origin, rules, had_seed, trace: token.trace });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2mdie_cluster::codec::to_bytes;
+    use p2mdie_cluster::{run_cluster, CostModel};
+    use p2mdie_ilp::modes::ModeSet;
+    use p2mdie_ilp::settings::Settings;
+    use p2mdie_logic::clause::Literal;
+    use p2mdie_logic::kb::KnowledgeBase;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    fn make_ctx(lo: i64, hi: i64) -> (SymbolTable, WorkerContext) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 1..=60i64 {
+            if i % 2 == 0 {
+                kb.assert_fact(Literal::new(t.intern("even"), vec![Term::Int(i)]));
+            }
+            if i % 3 == 0 {
+                kb.assert_fact(Literal::new(t.intern("div3"), vec![Term::Int(i)]));
+            }
+        }
+        let modes =
+            ModeSet::parse(&t, "div6(+num)", &[(1, "even(+num)"), (1, "div3(+num)")]).unwrap();
+        let tgt = t.intern("div6");
+        let local = Examples::new(
+            (lo..=hi).filter(|i| i % 6 == 0).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            (lo..=hi).filter(|i| i % 6 != 0).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+        );
+        let engine =
+            IlpEngine::new(kb, modes, Settings { min_pos: 1, noise: 0, ..Settings::default() });
+        (t, WorkerContext::new(engine, local, Width::Unlimited))
+    }
+
+    /// Drives a single worker through one epoch by hand from the master
+    /// side and checks every protocol step.
+    #[test]
+    fn single_worker_epoch_protocol() {
+        let (_t, ctx) = make_ctx(1, 30);
+        let ctx = std::sync::Mutex::new(Some(ctx));
+        let out = run_cluster(
+            1,
+            CostModel::free(),
+            |ep| {
+                ep.broadcast(&Msg::LoadExamples);
+                ep.send(1, &Msg::StartPipeline { epoch: 1 });
+                // p = 1: the worker's own stage is final; RulesFound comes
+                // straight back.
+                let Msg::RulesFound { origin, rules, had_seed, trace } =
+                    ep.recv_msg(1).unwrap()
+                else {
+                    panic!("expected RulesFound")
+                };
+                assert_eq!(origin, 1);
+                assert!(had_seed);
+                assert!(!rules.is_empty());
+                assert_eq!(trace.len(), 1);
+
+                // Evaluate the first returned rule.
+                let clause = rules[0].0.clone();
+                ep.send(1, &Msg::Evaluate { rules: vec![clause.clone()] });
+                let Msg::EvalResult { counts } = ep.recv_msg(1).unwrap() else {
+                    panic!("expected EvalResult")
+                };
+                assert_eq!(counts.len(), 1);
+                assert!(counts[0].0 >= 1);
+
+                // Mark covered, then re-evaluate: live cover must shrink to 0
+                // for a rule that covered everything.
+                ep.send(1, &Msg::MarkCovered { rule: clause.clone() });
+                ep.send(1, &Msg::Evaluate { rules: vec![clause] });
+                let Msg::EvalResult { counts: after } = ep.recv_msg(1).unwrap() else {
+                    panic!("expected EvalResult")
+                };
+                assert_eq!(after[0].0, 0, "covered examples must be retired");
+
+                ep.send(1, &Msg::Stop);
+            },
+            |ep| {
+                let c = ctx.lock().unwrap().take().expect("single worker");
+                run_worker(ep, c);
+            },
+        )
+        .unwrap();
+        assert!(out.stats.total_bytes() > 0);
+    }
+
+    /// Two workers: tokens must travel 1 → 2 → master and 2 → 1 → master.
+    #[test]
+    fn two_worker_pipelines_route_tokens() {
+        let (_t1, c1) = make_ctx(1, 30);
+        let (_t2, c2) = make_ctx(31, 60);
+        let ctxs = std::sync::Mutex::new(vec![Some(c1), Some(c2)]);
+        run_cluster(
+            2,
+            CostModel::free(),
+            |ep| {
+                ep.broadcast(&Msg::LoadExamples);
+                for k in 1..=2 {
+                    ep.send(k, &Msg::StartPipeline { epoch: 1 });
+                }
+                // RulesFound for origin 1 arrives from worker 2 (its last
+                // stage) and vice versa.
+                let Msg::RulesFound { origin: o2, trace: t2, .. } = ep.recv_msg(1).unwrap() else {
+                    panic!()
+                };
+                let Msg::RulesFound { origin: o1, trace: t1, .. } = ep.recv_msg(2).unwrap() else {
+                    panic!()
+                };
+                assert_eq!(o1, 1);
+                assert_eq!(o2, 2);
+                // Each pipeline executed exactly two stages, in order.
+                assert_eq!(t1.iter().map(|s| s.step).collect::<Vec<_>>(), vec![1, 2]);
+                assert_eq!(t1.iter().map(|s| s.worker).collect::<Vec<_>>(), vec![1, 2]);
+                assert_eq!(t2.iter().map(|s| s.worker).collect::<Vec<_>>(), vec![2, 1]);
+                ep.broadcast(&Msg::Stop);
+            },
+            |ep| {
+                let c = ctxs.lock().unwrap()[ep.rank() - 1].take().expect("ctx");
+                run_worker(ep, c);
+            },
+        )
+        .unwrap();
+    }
+
+    /// A worker with no live examples must still keep the schedule static
+    /// (empty token, `had_seed = false`).
+    #[test]
+    fn empty_subset_sends_empty_pipeline() {
+        let (_t1, c1) = make_ctx(1, 30);
+        let (t2, mut c2) = make_ctx(31, 60);
+        c2.local = Examples::new(vec![], vec![Literal::new(t2.intern("div6"), vec![Term::Int(1)])]);
+        let ctxs = std::sync::Mutex::new(vec![Some(c1), Some(c2)]);
+        run_cluster(
+            2,
+            CostModel::free(),
+            |ep| {
+                ep.broadcast(&Msg::LoadExamples);
+                for k in 1..=2 {
+                    ep.send(k, &Msg::StartPipeline { epoch: 1 });
+                }
+                let Msg::RulesFound { origin: o2, had_seed: h2, rules: r2, .. } =
+                    ep.recv_msg(1).unwrap()
+                else {
+                    panic!()
+                };
+                let Msg::RulesFound { origin: o1, had_seed: h1, .. } = ep.recv_msg(2).unwrap()
+                else {
+                    panic!()
+                };
+                assert_eq!((o1, h1), (1, true));
+                assert_eq!((o2, h2), (2, false));
+                assert!(r2.is_empty());
+                ep.broadcast(&Msg::Stop);
+            },
+            |ep| {
+                let c = ctxs.lock().unwrap()[ep.rank() - 1].take().expect("ctx");
+                run_worker(ep, c);
+            },
+        )
+        .unwrap();
+    }
+
+    /// RetireSeed removes exactly the current seed.
+    #[test]
+    fn retire_seed_protocol() {
+        let (_t, ctx) = make_ctx(1, 30);
+        let n_pos = ctx.local.num_pos() as u32;
+        let ctx = std::sync::Mutex::new(Some(ctx));
+        run_cluster(
+            1,
+            CostModel::free(),
+            |ep| {
+                ep.broadcast(&Msg::LoadExamples);
+                ep.send(1, &Msg::StartPipeline { epoch: 1 });
+                let _ = ep.recv_from(1); // RulesFound
+                ep.send(1, &Msg::RetireSeed);
+                let Msg::SeedRetired { removed } = ep.recv_msg(1).unwrap() else { panic!() };
+                assert_eq!(removed, 1);
+                // Retiring again in the same epoch is a no-op.
+                ep.send(1, &Msg::RetireSeed);
+                let Msg::SeedRetired { removed } = ep.recv_msg(1).unwrap() else { panic!() };
+                assert_eq!(removed, 0);
+                // The retired seed is gone from the live set.
+                ep.send(1, &Msg::Evaluate { rules: vec![] });
+                let _ = ep.recv_from(1);
+                assert!(n_pos >= 1);
+                ep.send(1, &Msg::Stop);
+            },
+            |ep| {
+                let c = ctx.lock().unwrap().take().expect("single worker");
+                run_worker(ep, c);
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unexpected_message_panics_worker() {
+        let (_t, ctx) = make_ctx(1, 30);
+        let ctx = std::sync::Mutex::new(Some(ctx));
+        let err = run_cluster(
+            1,
+            CostModel::free(),
+            |ep| {
+                // EvalResult is a worker→master message; sending it down is
+                // a protocol violation.
+                ep.send_bytes(1, to_bytes(&Msg::EvalResult { counts: vec![] }));
+                let _ = ep.recv_from(1);
+            },
+            |ep| {
+                let c = ctx.lock().unwrap().take().expect("single worker");
+                run_worker(ep, c);
+            },
+        )
+        .unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("unexpected"), "got: {msg}");
+    }
+}

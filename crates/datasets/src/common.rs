@@ -1,0 +1,43 @@
+//! The [`Dataset`] bundle and shared generator helpers.
+
+use p2mdie_ilp::engine::IlpEngine;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_logic::symbol::SymbolTable;
+
+/// A ready-to-learn ILP problem: background knowledge + modes + recommended
+/// settings (inside the engine) and the labelled examples.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name as used in the paper's tables.
+    pub name: &'static str,
+    /// The shared symbol table.
+    pub syms: SymbolTable,
+    /// KB + modes + tuned settings.
+    pub engine: IlpEngine,
+    /// Positive and negative examples.
+    pub examples: Examples,
+}
+
+impl Dataset {
+    /// `(|E+|, |E-|)` — the row of the paper's Table 1.
+    pub fn characterization(&self) -> (usize, usize) {
+        (self.examples.num_pos(), self.examples.num_neg())
+    }
+}
+
+/// Scales an example-count target, keeping at least `min`.
+pub(crate) fn scaled(count: usize, scale: f64, min: usize) -> usize {
+    ((count as f64 * scale).round() as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_rounds_and_floors() {
+        assert_eq!(scaled(162, 1.0, 4), 162);
+        assert_eq!(scaled(162, 0.25, 4), 41);
+        assert_eq!(scaled(10, 0.01, 4), 4);
+    }
+}

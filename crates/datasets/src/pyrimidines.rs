@@ -1,0 +1,211 @@
+//! A pyrimidines-shaped dataset (King, Muggleton & Sternberg's QSAR task by
+//! proxy): learn the activity *ordering* of drug pairs — `great(D1, D2)`
+//! holds when drug D1 is more active than drug D2.
+//!
+//! Drugs carry substituents at three ring positions; substituents have
+//! numeric chemical properties; the hidden activity is a weighted sum of
+//! those properties. The background knowledge exposes *comparative* checks
+//! (`polar3_gt(A,B)`: "A's position-3 substituent is more polar than B's")
+//! as intensional rules, so coverage testing exercises real deduction.
+
+use crate::common::{scaled, Dataset};
+use p2mdie_ilp::engine::IlpEngine;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_ilp::modes::ModeSet;
+use p2mdie_ilp::settings::Settings;
+use p2mdie_logic::clause::Literal;
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::parser::Parser;
+use p2mdie_logic::prover::ProofLimits;
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::Term;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+const PROPS: &[&str] = &["polar", "size", "flex", "h_don", "h_acc", "pi_don"];
+const POSITIONS: &[&str] = &["pos3", "pos4", "pos5"];
+const N_SUBSTS: usize = 12;
+const LABEL_NOISE: f64 = 0.05;
+/// Property weights of the hidden activity function, one per (prop, pos).
+const WEIGHTS: [[f64; 3]; 6] = [
+    [3.0, 1.0, 0.5],  // polar
+    [0.5, 2.5, 0.5],  // size
+    [1.0, 0.5, 2.0],  // flex
+    [0.8, 0.3, 0.2],  // h_don
+    [0.2, 0.8, 0.4],  // h_acc
+    [0.4, 0.2, 0.9],  // pi_don
+];
+
+/// Generates the pyrimidines-shaped dataset. `scale` multiplies the
+/// paper's example counts (1.0 reproduces Table 1's 848/764).
+pub fn pyrimidines(scale: f64, seed: u64) -> Dataset {
+    let pos_target = scaled(848, scale, 12);
+    let neg_target = scaled(764, scale, 12);
+    let n_drugs = ((55.0 * scale.sqrt()).round() as usize).max(12);
+
+    let syms = SymbolTable::new();
+    let mut kb = KnowledgeBase::new(syms.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let great = syms.intern("great");
+
+    // Substituents with integer property values 0..=8.
+    let mut prop_val = vec![[0u8; 6]; N_SUBSTS];
+    for (s, vals) in prop_val.iter_mut().enumerate() {
+        let subst = Term::Sym(syms.intern(&format!("sub{s}")));
+        for (pi, prop) in PROPS.iter().enumerate() {
+            let v = rng.random_range(0..=8u8);
+            vals[pi] = v;
+            kb.assert_fact(Literal::new(
+                syms.intern(prop),
+                vec![subst.clone(), Term::Int(v as i64)],
+            ));
+        }
+    }
+
+    // Drugs: one substituent per ring position; hidden activity.
+    let mut activity = Vec::with_capacity(n_drugs);
+    for d in 0..n_drugs {
+        let drug = Term::Sym(syms.intern(&format!("d{d}")));
+        let mut act = 0.0;
+        for (posi, pos) in POSITIONS.iter().enumerate() {
+            let s = rng.random_range(0..N_SUBSTS);
+            kb.assert_fact(Literal::new(
+                syms.intern(pos),
+                vec![drug.clone(), Term::Sym(syms.intern(&format!("sub{s}")))],
+            ));
+            for (pi, w) in WEIGHTS.iter().enumerate() {
+                act += w[posi] * prop_val[s][pi] as f64;
+            }
+        }
+        act += rng.random::<f64>() * 2.0; // small unexplained variance
+        activity.push((drug, act));
+    }
+
+    // Comparative checks as intensional BK: one rule per (prop, position).
+    let mut rules = String::new();
+    for prop in PROPS {
+        for pos in POSITIONS {
+            rules.push_str(&format!(
+                "{prop}_{pos}_gt(A, B) :- {pos}(A, SA), {pos}(B, SB), {prop}(SA, VA), {prop}(SB, VB), VA > VB.\n"
+            ));
+        }
+    }
+    for c in Parser::new(&syms, &rules).expect("lex").parse_program().expect("parse") {
+        kb.assert(c);
+    }
+
+    // Example pairs: correctly-ordered pairs are positives, inverted pairs
+    // are negatives; 5% label flips.
+    let margin = 1.0;
+    let mut pos_pool = Vec::new();
+    let mut neg_pool = Vec::new();
+    for i in 0..n_drugs {
+        for j in 0..n_drugs {
+            if i == j {
+                continue;
+            }
+            let (da, aa) = &activity[i];
+            let (db, ab) = &activity[j];
+            if aa - ab > margin {
+                let ex = Literal::new(great, vec![da.clone(), db.clone()]);
+                if rng.random_bool(LABEL_NOISE) {
+                    neg_pool.push(ex);
+                } else {
+                    pos_pool.push(ex);
+                }
+            } else if ab - aa > margin {
+                let ex = Literal::new(great, vec![da.clone(), db.clone()]);
+                if rng.random_bool(LABEL_NOISE) {
+                    pos_pool.push(ex);
+                } else {
+                    neg_pool.push(ex);
+                }
+            }
+        }
+    }
+    pos_pool.shuffle(&mut rng);
+    neg_pool.shuffle(&mut rng);
+    assert!(
+        pos_pool.len() >= pos_target && neg_pool.len() >= neg_target,
+        "drug count too small for the example quotas ({} pos, {} neg available)",
+        pos_pool.len(),
+        neg_pool.len()
+    );
+    pos_pool.truncate(pos_target);
+    neg_pool.truncate(neg_target);
+
+    // Modes: every comparative check on the head's drug pair, both ways.
+    let mut body_modes: Vec<(u32, String)> = Vec::new();
+    for prop in PROPS {
+        for pos in POSITIONS {
+            body_modes.push((1, format!("{prop}_{pos}_gt(+drug, +drug)")));
+        }
+    }
+    let body_refs: Vec<(u32, &str)> = body_modes.iter().map(|(r, s)| (*r, s.as_str())).collect();
+    let modes =
+        ModeSet::parse(&syms, "great(+drug, +drug)", &body_refs).expect("static templates parse");
+
+    let settings = Settings {
+        noise: (neg_target as f64 * 0.04).round().max(2.0) as u32,
+        min_pos: ((pos_target as f64) / 40.0).round().max(2.0) as u32,
+        max_body: 3,
+        max_nodes: 300,
+        max_var_depth: 1,
+        max_bottom_literals: 80,
+        proof: ProofLimits { max_depth: 4, max_steps: 2_000 },
+        ..Settings::default()
+    };
+
+    Dataset {
+        name: "pyrimidines",
+        syms,
+        engine: IlpEngine::new(kb, modes, settings),
+        examples: Examples::new(pos_pool, neg_pool),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_at_full_scale() {
+        let d = pyrimidines(1.0, 13);
+        assert_eq!(d.characterization(), (848, 764));
+    }
+
+    #[test]
+    fn comparative_checks_prove_correctly() {
+        let d = pyrimidines(0.1, 13);
+        // For the first positive pair great(A, B), at least one comparative
+        // check must hold (A beats B somewhere — activity is a weighted sum).
+        let e = &d.examples.pos[0];
+        let bottom = d.engine.saturate(e).expect("saturates");
+        assert!(!bottom.lits.is_empty(), "some comparative literal must hold");
+    }
+
+    #[test]
+    fn learnable_with_reasonable_quality() {
+        let d = pyrimidines(0.08, 13);
+        let run = d.engine.run_sequential(&d.examples);
+        assert!(!run.theory.is_empty());
+        let mut cp = p2mdie_ilp::bitset::Bitset::new(d.examples.num_pos());
+        let mut cn = p2mdie_ilp::bitset::Bitset::new(d.examples.num_neg());
+        for r in &run.theory {
+            let cov = d.engine.evaluate(&r.clause, &d.examples, None, None);
+            cp.union_with(&cov.pos);
+            cn.union_with(&cov.neg);
+        }
+        let correct = cp.count() + (d.examples.num_neg() - cn.count());
+        let acc = correct as f64 / d.examples.len() as f64;
+        assert!(acc > 0.6, "training accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = pyrimidines(0.05, 4);
+        let b = pyrimidines(0.05, 4);
+        assert_eq!(a.examples, b.examples);
+    }
+}

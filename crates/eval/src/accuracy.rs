@@ -1,0 +1,120 @@
+//! Predictive accuracy of an induced theory on held-out examples.
+//!
+//! An example is predicted positive when at least one theory clause covers
+//! it (head unifies, body provable from the background knowledge).
+//! Accuracy is the percentage of correctly classified examples — the
+//! quantity of the paper's Table 6.
+
+use p2mdie_ilp::bitset::Bitset;
+use p2mdie_ilp::engine::IlpEngine;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_logic::clause::Clause;
+
+/// Confusion counts of a theory on an example set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Positives covered (true positives).
+    pub tp: usize,
+    /// Positives missed (false negatives).
+    pub fn_: usize,
+    /// Negatives covered (false positives).
+    pub fp: usize,
+    /// Negatives rejected (true negatives).
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Accuracy in percent (the paper reports percentages).
+    pub fn accuracy_pct(&self) -> f64 {
+        let total = self.tp + self.fn_ + self.fp + self.tn;
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * (self.tp + self.tn) as f64 / total as f64
+    }
+}
+
+/// Scores `theory` on `examples` using `engine`'s background knowledge and
+/// proof limits.
+pub fn score_theory(engine: &IlpEngine, theory: &[Clause], examples: &Examples) -> Confusion {
+    let mut cp = Bitset::new(examples.num_pos());
+    let mut cn = Bitset::new(examples.num_neg());
+    for clause in theory {
+        let cov = engine.evaluate(clause, examples, None, None);
+        cp.union_with(&cov.pos);
+        cn.union_with(&cov.neg);
+    }
+    Confusion {
+        tp: cp.count(),
+        fn_: examples.num_pos() - cp.count(),
+        fp: cn.count(),
+        tn: examples.num_neg() - cn.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2mdie_ilp::modes::ModeSet;
+    use p2mdie_ilp::settings::Settings;
+    use p2mdie_logic::clause::Literal;
+    use p2mdie_logic::kb::KnowledgeBase;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    fn setup() -> (SymbolTable, IlpEngine, Examples) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 1..=10i64 {
+            if i % 2 == 0 {
+                kb.assert_fact(Literal::new(t.intern("even"), vec![Term::Int(i)]));
+            }
+        }
+        let modes = ModeSet::parse(&t, "tgt(+num)", &[(1, "even(+num)")]).unwrap();
+        let engine = IlpEngine::new(kb, modes, Settings::default());
+        let tgt = t.intern("tgt");
+        let ex = Examples::new(
+            vec![2, 4, 6].into_iter().map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            vec![3, 5].into_iter().map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+        );
+        (t, engine, ex)
+    }
+
+    #[test]
+    fn perfect_theory_scores_100() {
+        let (t, engine, ex) = setup();
+        let theory = vec![Clause::new(
+            Literal::new(t.intern("tgt"), vec![Term::Var(0)]),
+            vec![Literal::new(t.intern("even"), vec![Term::Var(0)])],
+        )];
+        let c = score_theory(&engine, &theory, &ex);
+        assert_eq!(c, Confusion { tp: 3, fn_: 0, fp: 0, tn: 2 });
+        assert!((c.accuracy_pct() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_theory_predicts_all_negative() {
+        let (_, engine, ex) = setup();
+        let c = score_theory(&engine, &[], &ex);
+        assert_eq!(c.tp, 0);
+        assert_eq!(c.tn, 2);
+        assert!((c.accuracy_pct() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overgeneral_theory_pays_on_negatives() {
+        let (t, engine, ex) = setup();
+        let theory = vec![Clause::fact(Literal::new(t.intern("tgt"), vec![Term::Var(0)]))];
+        let c = score_theory(&engine, &theory, &ex);
+        assert_eq!(c.tp, 3);
+        assert_eq!(c.fp, 2);
+        assert!((c.accuracy_pct() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_example_set_is_zero() {
+        let (_, engine, _) = setup();
+        let c = score_theory(&engine, &[], &Examples::default());
+        assert_eq!(c.accuracy_pct(), 0.0);
+    }
+}

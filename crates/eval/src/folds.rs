@@ -1,0 +1,116 @@
+//! Stratified k-fold cross-validation (the paper's §5.2: 5-fold CV).
+
+use p2mdie_ilp::examples::Examples;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One train/test split.
+#[derive(Clone, Debug)]
+pub struct Fold {
+    /// Training examples (k−1 folds joined).
+    pub train: Examples,
+    /// Held-out test examples.
+    pub test: Examples,
+}
+
+/// Splits `examples` into `k` stratified folds (positives and negatives
+/// dealt independently, so class balance is preserved per fold) and returns
+/// the `k` train/test splits.
+pub fn stratified_folds(examples: &Examples, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "need at least two folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let deal = |n: usize, rng: &mut StdRng| -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        let mut folds = vec![Vec::new(); k];
+        for (i, e) in idx.into_iter().enumerate() {
+            folds[i % k].push(e);
+        }
+        folds
+    };
+    let pos_folds = deal(examples.num_pos(), &mut rng);
+    let neg_folds = deal(examples.num_neg(), &mut rng);
+
+    (0..k)
+        .map(|t| {
+            let mut train_pos = Vec::new();
+            let mut train_neg = Vec::new();
+            for f in 0..k {
+                if f != t {
+                    train_pos.extend(pos_folds[f].iter().copied());
+                    train_neg.extend(neg_folds[f].iter().copied());
+                }
+            }
+            Fold {
+                train: examples.subset(&train_pos, &train_neg),
+                test: examples.subset(&pos_folds[t], &neg_folds[t]),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2mdie_logic::clause::Literal;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    fn ex(n_pos: usize, n_neg: usize) -> Examples {
+        let t = SymbolTable::new();
+        let p = t.intern("p");
+        Examples::new(
+            (0..n_pos).map(|i| Literal::new(p, vec![Term::Int(i as i64)])).collect(),
+            (0..n_neg).map(|i| Literal::new(p, vec![Term::Int(-1 - i as i64)])).collect(),
+        )
+    }
+
+    #[test]
+    fn folds_partition_everything() {
+        let e = ex(23, 17);
+        let folds = stratified_folds(&e, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let total_test_pos: usize = folds.iter().map(|f| f.test.num_pos()).sum();
+        let total_test_neg: usize = folds.iter().map(|f| f.test.num_neg()).sum();
+        assert_eq!(total_test_pos, 23);
+        assert_eq!(total_test_neg, 17);
+        for f in &folds {
+            assert_eq!(f.train.num_pos() + f.test.num_pos(), 23);
+            assert_eq!(f.train.num_neg() + f.test.num_neg(), 17);
+        }
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let e = ex(50, 50);
+        for f in stratified_folds(&e, 5, 2) {
+            assert_eq!(f.test.num_pos(), 10);
+            assert_eq!(f.test.num_neg(), 10);
+        }
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint() {
+        let e = ex(20, 10);
+        for f in stratified_folds(&e, 4, 3) {
+            for t in &f.test.pos {
+                assert!(!f.train.pos.contains(t));
+            }
+            for t in &f.test.neg {
+                assert!(!f.train.neg.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = ex(20, 10);
+        let a = stratified_folds(&e, 5, 7);
+        let b = stratified_folds(&e, 5, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.test, y.test);
+        }
+    }
+}

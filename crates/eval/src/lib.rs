@@ -1,0 +1,18 @@
+//! Evaluation machinery for the p²-mdie reproduction: stratified k-fold
+//! cross-validation, theory accuracy, the paired Student t-test of the
+//! paper's Table 6, ASCII table rendering, and the experiment sweep driver
+//! that regenerates Tables 1–6 from live runs.
+
+pub mod accuracy;
+pub mod folds;
+pub mod stats;
+pub mod sweep;
+pub mod tables;
+pub mod ttest;
+
+pub use accuracy::{score_theory, Confusion};
+pub use folds::{stratified_folds, Fold};
+pub use stats::{betai, ln_gamma, mean, stddev};
+pub use sweep::{run_sweep, DatasetSweep, RunSeries, SweepConfig, SweepResults};
+pub use tables::{render_table, table1, table2, table3, table4, table5, table6};
+pub use ttest::{paired_ttest, t_two_tailed_p, TTest};

@@ -1,0 +1,151 @@
+//! Small numeric helpers: mean, sample standard deviation, and the
+//! regularized incomplete beta function backing the t-distribution CDF.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator). Returns 0 for fewer than
+/// two values.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// ln Γ(x) (Lanczos approximation, g = 7, n = 9; |error| < 1e-10 for the
+/// arguments used here).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function I_x(a, b) via the Lentz continued
+/// fraction (Numerical Recipes §6.4).
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x out of [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let bt = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        bt * betacf(a, b, x) / a
+    } else {
+        1.0 - bt * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_IT: usize = 200;
+    const EPS: f64 = 3.0e-14;
+    const FPMIN: f64 = 1.0e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_IT {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betai_boundaries_and_symmetry() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let x = 0.3;
+        assert!((betai(2.0, 5.0, x) - (1.0 - betai(5.0, 2.0, 1.0 - x))).abs() < 1e-10);
+    }
+
+    #[test]
+    fn betai_known_value() {
+        // I_{0.5}(1,1) = 0.5 (uniform), I_{0.25}(1,1) = 0.25.
+        assert!((betai(1.0, 1.0, 0.5) - 0.5).abs() < 1e-10);
+        assert!((betai(1.0, 1.0, 0.25) - 0.25).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,117 @@
+//! Paired two-tailed Student t-test — the paper's Table 6 significance
+//! machinery ("we use the paired t-test to detect significance ... up to a
+//! 98% confidence level").
+
+use crate::stats::{betai, mean, stddev};
+
+/// Result of a paired t-test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TTest {
+    /// The t statistic (0 when the differences are all zero).
+    pub t: f64,
+    /// Degrees of freedom (n − 1).
+    pub df: usize,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+}
+
+impl TTest {
+    /// Significant at confidence level `conf` (e.g. 0.98)?
+    pub fn significant_at(&self, conf: f64) -> bool {
+        self.p_value < 1.0 - conf
+    }
+}
+
+/// Two-tailed CDF complement of the t distribution:
+/// `P(|T| > t) = I_x(df/2, 1/2)` with `x = df / (df + t²)`.
+pub fn t_two_tailed_p(t: f64, df: usize) -> f64 {
+    if df == 0 {
+        return 1.0;
+    }
+    let dff = df as f64;
+    betai(dff / 2.0, 0.5, dff / (dff + t * t))
+}
+
+/// Runs a paired t-test over two same-length samples (e.g. per-fold
+/// accuracies of two systems). Returns `None` when fewer than two pairs.
+pub fn paired_ttest(a: &[f64], b: &[f64]) -> Option<TTest> {
+    assert_eq!(a.len(), b.len(), "paired test needs paired samples");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let m = mean(&diffs);
+    let sd = stddev(&diffs);
+    let df = n - 1;
+    if sd == 0.0 {
+        // All differences identical: either exactly zero (no effect) or a
+        // constant shift (infinitely significant).
+        let p = if m == 0.0 { 1.0 } else { 0.0 };
+        return Some(TTest { t: if m == 0.0 { 0.0 } else { f64::INFINITY }, df, p_value: p });
+    }
+    let t = m / (sd / (n as f64).sqrt());
+    Some(TTest { t, df, p_value: t_two_tailed_p(t, df) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_t_distribution_quantiles() {
+        // For df=4: P(|T| > 2.776) ≈ 0.05; P(|T| > 4.604) ≈ 0.01.
+        assert!((t_two_tailed_p(2.776, 4) - 0.05).abs() < 2e-3);
+        assert!((t_two_tailed_p(4.604, 4) - 0.01).abs() < 1e-3);
+        // t = 0 is maximally insignificant.
+        assert!((t_two_tailed_p(0.0, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_are_insignificant() {
+        let a = [60.0, 62.0, 58.0, 61.0, 59.0];
+        let t = paired_ttest(&a, &a).unwrap();
+        assert_eq!(t.t, 0.0);
+        assert!(!t.significant_at(0.98));
+    }
+
+    #[test]
+    fn constant_shift_is_maximally_significant() {
+        let a = [60.0, 62.0, 58.0];
+        let b = [61.0, 63.0, 59.0];
+        let t = paired_ttest(&a, &b).unwrap();
+        assert!(t.significant_at(0.98));
+    }
+
+    #[test]
+    fn clear_difference_is_detected() {
+        let a = [50.0, 51.0, 49.5, 50.2, 50.8];
+        let b = [70.1, 69.8, 70.5, 69.5, 70.2];
+        let t = paired_ttest(&a, &b).unwrap();
+        assert!(t.p_value < 0.001);
+        assert!(t.significant_at(0.98));
+    }
+
+    #[test]
+    fn noisy_similar_samples_are_not_significant() {
+        let a = [60.0, 65.0, 55.0, 62.0, 58.0];
+        let b = [61.0, 63.0, 56.0, 60.0, 60.0];
+        let t = paired_ttest(&a, &b).unwrap();
+        assert!(!t.significant_at(0.98), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn symmetry_in_sign() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 3.0, 3.5, 5.5];
+        let x = paired_ttest(&a, &b).unwrap();
+        let y = paired_ttest(&b, &a).unwrap();
+        assert!((x.p_value - y.p_value).abs() < 1e-12);
+        assert!((x.t + y.t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_pair_returns_none() {
+        assert!(paired_ttest(&[1.0], &[2.0]).is_none());
+    }
+}

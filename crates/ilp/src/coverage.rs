@@ -1,0 +1,197 @@
+//! Coverage evaluation (`evalOnExamples` in the paper's Figure 2).
+//!
+//! A rule covers an example when the example unifies with the rule's head
+//! and the body is provable from the background knowledge under the proof
+//! bounds. The cost — inference steps, summed over examples — is the main
+//! component of the virtual-time model: evaluating a rule on a subset of
+//! `|E|/p` examples costs roughly `1/p` of evaluating it on all of `E`,
+//! which is exactly the data-parallel effect the paper exploits.
+
+use crate::bitset::Bitset;
+use crate::examples::Examples;
+use p2mdie_logic::clause::Clause;
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::prover::{ProofLimits, Prover};
+use p2mdie_logic::subst::Bindings;
+
+/// The result of evaluating one rule on an example set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coverage {
+    /// Bit `i` set iff positive example `i` is covered (only live examples
+    /// are ever evaluated; dead ones stay 0).
+    pub pos: Bitset,
+    /// Bit `i` set iff negative example `i` is covered.
+    pub neg: Bitset,
+    /// Total inference steps spent (virtual-time fuel).
+    pub steps: u64,
+}
+
+impl Coverage {
+    /// Number of covered positive examples.
+    pub fn pos_count(&self) -> u32 {
+        self.pos.count() as u32
+    }
+
+    /// Number of covered negative examples.
+    pub fn neg_count(&self) -> u32 {
+        self.neg.count() as u32
+    }
+}
+
+/// Evaluates `rule` on `examples`, optionally restricted to live subsets.
+///
+/// `live_pos` / `live_neg` — when given — skip evaluation of retired
+/// examples entirely (their bits are left unset), mirroring the paper's
+/// removal of covered examples from the training set.
+pub fn evaluate_rule(
+    kb: &KnowledgeBase,
+    proof: ProofLimits,
+    rule: &Clause,
+    examples: &Examples,
+    live_pos: Option<&Bitset>,
+    live_neg: Option<&Bitset>,
+) -> Coverage {
+    let prover = Prover::new(kb, proof);
+    let mut steps = 0u64;
+
+    let mut eval_side = |lits: &[p2mdie_logic::clause::Literal], live: Option<&Bitset>| {
+        let mut bits = Bitset::new(lits.len());
+        for (i, ex) in lits.iter().enumerate() {
+            if let Some(l) = live {
+                if !l.get(i) {
+                    continue;
+                }
+            }
+            steps += 1; // head-match attempt
+            let mut b = Bindings::with_capacity(rule.var_span() as usize);
+            if !b.unify_literals(&rule.head, ex, false) {
+                continue;
+            }
+            let (ok, st) = prover.prove_with_bindings(&rule.body, b);
+            steps += st.steps;
+            if ok {
+                bits.set(i);
+            }
+        }
+        bits
+    };
+
+    let pos = eval_side(&examples.pos, live_pos);
+    let neg = eval_side(&examples.neg, live_neg);
+    Coverage { pos, neg, steps }
+}
+
+/// Evaluates only the positive side (used by `mark_covered`).
+pub fn covered_positives(
+    kb: &KnowledgeBase,
+    proof: ProofLimits,
+    rule: &Clause,
+    examples: &Examples,
+    live_pos: Option<&Bitset>,
+) -> (Bitset, u64) {
+    let cov = evaluate_rule(
+        kb,
+        proof,
+        rule,
+        &Examples { pos: examples.pos.clone(), neg: Vec::new() },
+        live_pos,
+        None,
+    );
+    (cov.pos, cov.steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2mdie_logic::clause::Literal;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    /// World: numbers 1..6 with even/3-divisibility facts; target div6(X).
+    fn world() -> (SymbolTable, KnowledgeBase, Examples) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let even = t.intern("even");
+        let div3 = t.intern("div3");
+        for i in 1..=12i64 {
+            if i % 2 == 0 {
+                kb.assert_fact(Literal::new(even, vec![Term::Int(i)]));
+            }
+            if i % 3 == 0 {
+                kb.assert_fact(Literal::new(div3, vec![Term::Int(i)]));
+            }
+        }
+        let tgt = t.intern("div6");
+        let ex = Examples::new(
+            vec![6, 12].into_iter().map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            vec![2, 3, 4, 9].into_iter().map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+        );
+        (t, kb, ex)
+    }
+
+    #[test]
+    fn correct_rule_covers_pos_only() {
+        let (t, kb, ex) = world();
+        // div6(X) :- even(X), div3(X).
+        let rule = Clause::new(
+            Literal::new(t.intern("div6"), vec![Term::Var(0)]),
+            vec![
+                Literal::new(t.intern("even"), vec![Term::Var(0)]),
+                Literal::new(t.intern("div3"), vec![Term::Var(0)]),
+            ],
+        );
+        let cov = evaluate_rule(&kb, ProofLimits::default(), &rule, &ex, None, None);
+        assert_eq!(cov.pos_count(), 2);
+        assert_eq!(cov.neg_count(), 0);
+        assert!(cov.steps > 0);
+    }
+
+    #[test]
+    fn overgeneral_rule_covers_negatives() {
+        let (t, kb, ex) = world();
+        // div6(X) :- even(X). covers neg 2 and 4.
+        let rule = Clause::new(
+            Literal::new(t.intern("div6"), vec![Term::Var(0)]),
+            vec![Literal::new(t.intern("even"), vec![Term::Var(0)])],
+        );
+        let cov = evaluate_rule(&kb, ProofLimits::default(), &rule, &ex, None, None);
+        assert_eq!(cov.pos_count(), 2);
+        assert_eq!(cov.neg_count(), 2);
+    }
+
+    #[test]
+    fn live_mask_skips_examples() {
+        let (t, kb, ex) = world();
+        let rule = Clause::new(
+            Literal::new(t.intern("div6"), vec![Term::Var(0)]),
+            vec![Literal::new(t.intern("even"), vec![Term::Var(0)])],
+        );
+        let mut live = Bitset::new(ex.num_pos());
+        live.set(1); // only example 12 is live
+        let cov = evaluate_rule(&kb, ProofLimits::default(), &rule, &ex, Some(&live), None);
+        assert_eq!(cov.pos.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn head_constant_filters_cheaply() {
+        let (t, kb, _) = world();
+        // Rule head div6(6) only matches the literal example div6(6).
+        let rule = Clause::fact(Literal::new(t.intern("div6"), vec![Term::Int(6)]));
+        let tgt = t.intern("div6");
+        let ex = Examples::new(
+            vec![Literal::new(tgt, vec![Term::Int(6)]), Literal::new(tgt, vec![Term::Int(12)])],
+            vec![],
+        );
+        let cov = evaluate_rule(&kb, ProofLimits::default(), &rule, &ex, None, None);
+        assert_eq!(cov.pos.iter_ones().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn empty_body_rule_covers_all_matching() {
+        let (t, kb, ex) = world();
+        let rule = Clause::fact(Literal::new(t.intern("div6"), vec![Term::Var(0)]));
+        let cov = evaluate_rule(&kb, ProofLimits::default(), &rule, &ex, None, None);
+        assert_eq!(cov.pos_count(), 2);
+        assert_eq!(cov.neg_count(), 4);
+    }
+}

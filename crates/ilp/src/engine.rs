@@ -1,0 +1,106 @@
+//! The [`IlpEngine`] facade: one bundle of KB + modes + settings used by
+//! the sequential baseline, the parallel workers, and the evaluation code.
+
+use crate::bitset::Bitset;
+use crate::bottom::{saturate, BottomClause};
+use crate::coverage::{evaluate_rule, Coverage};
+use crate::examples::Examples;
+use crate::mdie::{run_sequential, SequentialOutcome};
+use crate::modes::ModeSet;
+use crate::refine::RuleShape;
+use crate::search::{search_rules, SearchOutcome};
+use crate::settings::Settings;
+use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::kb::KnowledgeBase;
+
+/// An ILP problem instance: background knowledge, language bias, and the
+/// search constraints. Cheap to clone (the KB's symbol table is shared).
+#[derive(Clone, Debug)]
+pub struct IlpEngine {
+    /// Background knowledge `B`.
+    pub kb: KnowledgeBase,
+    /// Language bias (mode declarations).
+    pub modes: ModeSet,
+    /// Constraints `C`.
+    pub settings: Settings,
+}
+
+impl IlpEngine {
+    /// Bundles an engine.
+    pub fn new(kb: KnowledgeBase, modes: ModeSet, settings: Settings) -> Self {
+        IlpEngine { kb, modes, settings }
+    }
+
+    /// Builds ⊥e for a seed example (`build_msh`, Fig. 1 step 5).
+    pub fn saturate(&self, example: &Literal) -> Option<BottomClause> {
+        saturate(&self.kb, &self.modes, &self.settings, example)
+    }
+
+    /// Runs one rule search (`learn_rule`, Fig. 2 / `learn_rule'`, Fig. 7).
+    pub fn search(
+        &self,
+        bottom: &BottomClause,
+        examples: &Examples,
+        live_pos: Option<&Bitset>,
+        seeds: &[RuleShape],
+    ) -> SearchOutcome {
+        search_rules(&self.kb, &self.settings, bottom, examples, live_pos, seeds)
+    }
+
+    /// Evaluates one rule (`evalOnExamples`, Fig. 2 step 6).
+    pub fn evaluate(
+        &self,
+        rule: &Clause,
+        examples: &Examples,
+        live_pos: Option<&Bitset>,
+        live_neg: Option<&Bitset>,
+    ) -> Coverage {
+        evaluate_rule(&self.kb, self.settings.proof, rule, examples, live_pos, live_neg)
+    }
+
+    /// Runs the full sequential covering loop (Fig. 1).
+    pub fn run_sequential(&self, examples: &Examples) -> SequentialOutcome {
+        run_sequential(&self.kb, &self.modes, &self.settings, examples)
+    }
+
+    /// Adds an accepted rule to the background knowledge (the paper's
+    /// `mark_covered` asserts `B ∪ {R}`, Fig. 6).
+    pub fn assert_rule(&mut self, rule: Clause) {
+        self.kb.assert_rule(rule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    #[test]
+    fn facade_round_trip() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 1..=10i64 {
+            if i % 2 == 0 {
+                kb.assert_fact(Literal::new(t.intern("even"), vec![Term::Int(i)]));
+            }
+        }
+        let modes = ModeSet::parse(&t, "tgt(+num)", &[(1, "even(+num)")]).unwrap();
+        let engine = IlpEngine::new(kb, modes, Settings { min_pos: 1, ..Settings::default() });
+        let tgt = t.intern("tgt");
+        let ex = Examples::new(
+            vec![Literal::new(tgt, vec![Term::Int(2)]), Literal::new(tgt, vec![Term::Int(4)])],
+            vec![Literal::new(tgt, vec![Term::Int(3)])],
+        );
+        let bottom = engine.saturate(&ex.pos[0]).unwrap();
+        let found = engine.search(&bottom, &ex, None, &[]);
+        let best = found.best().unwrap();
+        assert_eq!(best.pos, 2);
+        assert_eq!(best.neg, 0);
+        let clause = best.shape.to_clause(&bottom);
+        let cov = engine.evaluate(&clause, &ex, None, None);
+        assert_eq!(cov.pos_count(), 2);
+        let seq = engine.run_sequential(&ex);
+        assert_eq!(seq.theory.len(), 1);
+    }
+}

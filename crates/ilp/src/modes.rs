@@ -1,0 +1,195 @@
+//! Mode declarations (`modeh`/`modeb`), the language bias of MDIE.
+//!
+//! A mode template like `bond(+mol, +atom, -atom, #bondtype)` declares, per
+//! argument: `+type` — input, must be bound to an already-known term of that
+//! type; `-type` — output, introduces new terms; `#type` — a ground constant
+//! kept literally in learned rules. `recall` bounds how many solutions of
+//! the predicate saturation may use per input instantiation (paper §3.1,
+//! following Muggleton's Progol).
+
+use p2mdie_logic::symbol::{SymbolId, SymbolTable};
+
+/// One argument slot of a mode template.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ModeArg {
+    /// `+type`: input variable of the given type.
+    Input(SymbolId),
+    /// `-type`: output variable of the given type.
+    Output(SymbolId),
+    /// `#type`: ground constant of the given type.
+    Const(SymbolId),
+}
+
+impl ModeArg {
+    /// The type symbol of this slot.
+    pub fn type_sym(self) -> SymbolId {
+        match self {
+            ModeArg::Input(t) | ModeArg::Output(t) | ModeArg::Const(t) => t,
+        }
+    }
+}
+
+/// A mode declaration: recall bound plus predicate template.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ModeDecl {
+    /// Maximum solutions used per input instantiation during saturation.
+    pub recall: u32,
+    /// Predicate symbol.
+    pub pred: SymbolId,
+    /// Argument slots.
+    pub args: Vec<ModeArg>,
+}
+
+impl ModeDecl {
+    /// Parses a template like `"bond(+mol, +atom, -atom, #bondtype)"`.
+    ///
+    /// Arity-0 predicates are written without parentheses.
+    pub fn parse(syms: &SymbolTable, recall: u32, template: &str) -> Result<ModeDecl, String> {
+        let template = template.trim();
+        let (name, rest) = match template.find('(') {
+            None => {
+                if template.is_empty() {
+                    return Err("empty mode template".to_owned());
+                }
+                return Ok(ModeDecl { recall, pred: syms.intern(template), args: vec![] });
+            }
+            Some(i) => (&template[..i], &template[i + 1..]),
+        };
+        let Some(inner) = rest.strip_suffix(')') else {
+            return Err(format!("mode template `{template}` missing ')'"));
+        };
+        let mut args = Vec::new();
+        for raw in inner.split(',') {
+            let raw = raw.trim();
+            let (marker, ty) = raw.split_at(1);
+            let ty = ty.trim();
+            if ty.is_empty() {
+                return Err(format!("mode arg `{raw}` missing type name"));
+            }
+            let t = syms.intern(ty);
+            args.push(match marker {
+                "+" => ModeArg::Input(t),
+                "-" => ModeArg::Output(t),
+                "#" => ModeArg::Const(t),
+                other => return Err(format!("mode arg `{raw}` must start with +, - or #, got `{other}`")),
+            });
+        }
+        if name.is_empty() {
+            return Err(format!("mode template `{template}` missing predicate name"));
+        }
+        Ok(ModeDecl { recall, pred: syms.intern(name), args })
+    }
+
+    /// Arity of the declared predicate.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Indices of `+` slots.
+    pub fn input_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a, ModeArg::Input(_)))
+            .map(|(i, _)| i)
+    }
+}
+
+/// The complete language bias: one head mode plus body modes.
+///
+/// Determinations are implicit — every body mode may appear in a rule for
+/// the head predicate (April behaves the same when every `modeb` predicate
+/// is determined for the target).
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ModeSet {
+    /// The head (`modeh`) declaration.
+    pub head: ModeDecl,
+    /// The body (`modeb`) declarations, in declaration order.
+    pub body: Vec<ModeDecl>,
+}
+
+impl ModeSet {
+    /// Creates a mode set with the given head declaration.
+    pub fn new(head: ModeDecl) -> Self {
+        ModeSet { head, body: Vec::new() }
+    }
+
+    /// Parses and appends a body mode, builder-style.
+    pub fn with_body(mut self, syms: &SymbolTable, recall: u32, template: &str) -> Self {
+        let decl = ModeDecl::parse(syms, recall, template)
+            .unwrap_or_else(|e| panic!("invalid body mode `{template}`: {e}"));
+        self.body.push(decl);
+        self
+    }
+
+    /// Parses a full mode set from a head template and body templates.
+    pub fn parse(
+        syms: &SymbolTable,
+        head_template: &str,
+        body_templates: &[(u32, &str)],
+    ) -> Result<ModeSet, String> {
+        let head = ModeDecl::parse(syms, 1, head_template)?;
+        let mut body = Vec::with_capacity(body_templates.len());
+        for (recall, t) in body_templates {
+            body.push(ModeDecl::parse(syms, *recall, t)?);
+        }
+        Ok(ModeSet { head, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_template() {
+        let t = SymbolTable::new();
+        let m = ModeDecl::parse(&t, 5, "bond(+mol, +atom, -atom, #bondtype)").unwrap();
+        assert_eq!(m.recall, 5);
+        assert_eq!(&*t.name(m.pred), "bond");
+        assert_eq!(m.arity(), 4);
+        assert_eq!(m.args[0], ModeArg::Input(t.intern("mol")));
+        assert_eq!(m.args[2], ModeArg::Output(t.intern("atom")));
+        assert_eq!(m.args[3], ModeArg::Const(t.intern("bondtype")));
+        assert_eq!(m.input_slots().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn parse_arity_zero() {
+        let t = SymbolTable::new();
+        let m = ModeDecl::parse(&t, 1, "anything").unwrap();
+        assert_eq!(m.arity(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_bad_markers() {
+        let t = SymbolTable::new();
+        assert!(ModeDecl::parse(&t, 1, "p(?x)").is_err());
+        assert!(ModeDecl::parse(&t, 1, "p(+x").is_err());
+        assert!(ModeDecl::parse(&t, 1, "(+x)").is_err());
+        assert!(ModeDecl::parse(&t, 1, "p(+)").is_err());
+    }
+
+    #[test]
+    fn mode_set_builder() {
+        let t = SymbolTable::new();
+        let ms = ModeSet::new(ModeDecl::parse(&t, 1, "active(+mol)").unwrap())
+            .with_body(&t, 8, "atm(+mol, -atom, #elem, -charge)")
+            .with_body(&t, 4, "bond(+mol, +atom, -atom, #bondtype)");
+        assert_eq!(ms.body.len(), 2);
+        assert_eq!(ms.head.args.len(), 1);
+    }
+
+    #[test]
+    fn parse_whole_set() {
+        let t = SymbolTable::new();
+        let ms = ModeSet::parse(
+            &t,
+            "active(+mol)",
+            &[(8, "atm(+mol, -atom, #elem, -charge)"), (4, "gteq(+charge, #charge)")],
+        )
+        .unwrap();
+        assert_eq!(ms.body.len(), 2);
+        assert_eq!(ms.head.recall, 1);
+    }
+}

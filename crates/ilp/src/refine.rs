@@ -1,0 +1,187 @@
+//! Downward refinement over the bottom clause.
+//!
+//! Following Progol/April, the search space for one seed example is the set
+//! of clauses whose body is a subset of ⊥e's body (ordered by index). A
+//! [`RuleShape`] is such a subset; refinement appends a bottom literal with
+//! a *strictly larger index* whose input variables are all bound by the head
+//! or by already-selected literals. Because saturation emits producers
+//! before consumers (see `bottom.rs`), increasing-index enumeration reaches
+//! every dataflow-closed subset exactly once — the lattice is explored
+//! without duplicates.
+
+use crate::bottom::BottomClause;
+use p2mdie_logic::clause::Clause;
+use p2mdie_logic::term::VarId;
+
+/// A candidate rule: indices (ascending) into the bottom clause's body.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct RuleShape {
+    /// Selected bottom-literal indices, strictly ascending.
+    pub lits: Vec<u32>,
+}
+
+impl RuleShape {
+    /// The most general rule: head with an empty body.
+    pub fn empty() -> Self {
+        RuleShape::default()
+    }
+
+    /// Builds a shape from indices (must be strictly ascending).
+    pub fn from_indices(lits: Vec<u32>) -> Self {
+        debug_assert!(lits.windows(2).all(|w| w[0] < w[1]), "indices must ascend");
+        RuleShape { lits }
+    }
+
+    /// Number of body literals.
+    pub fn body_len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Materializes the shape against its bottom clause.
+    pub fn to_clause(&self, bottom: &BottomClause) -> Clause {
+        Clause::new(
+            bottom.head.clone(),
+            self.lits.iter().map(|&i| bottom.lits[i as usize].lit.clone()).collect(),
+        )
+    }
+
+    /// The variables bound once this shape's literals are in the clause:
+    /// head variables plus every variable of every selected literal.
+    pub fn bound_vars(&self, bottom: &BottomClause) -> Vec<VarId> {
+        let mut bound = bottom.head_vars.clone();
+        for &i in &self.lits {
+            let bl = &bottom.lits[i as usize];
+            for &v in bl.inputs.iter().chain(bl.outputs.iter()) {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+        }
+        bound
+    }
+
+    /// One-step specializations: append an addable literal with index
+    /// greater than the current maximum. Returns shapes in index order
+    /// (deterministic).
+    pub fn successors(&self, bottom: &BottomClause, max_body: usize) -> Vec<RuleShape> {
+        if self.lits.len() >= max_body {
+            return Vec::new();
+        }
+        let bound = self.bound_vars(bottom);
+        let start = self.lits.last().map_or(0, |&i| i as usize + 1);
+        let mut out = Vec::new();
+        for j in start..bottom.lits.len() {
+            let bl = &bottom.lits[j];
+            if bl.inputs.iter().all(|v| bound.contains(v)) {
+                let mut lits = Vec::with_capacity(self.lits.len() + 1);
+                lits.extend_from_slice(&self.lits);
+                lits.push(j as u32);
+                out.push(RuleShape { lits });
+            }
+        }
+        out
+    }
+
+    /// True when `self`'s literal set is a subset of `other`'s (θ-subsumption
+    /// restricted to the shared bottom-clause lattice: fewer literals of the
+    /// same ⊥ means more general).
+    pub fn generalizes(&self, other: &RuleShape) -> bool {
+        let mut it = other.lits.iter();
+        self.lits.iter().all(|a| it.any(|b| b == a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom::BottomLiteral;
+    use p2mdie_logic::clause::Literal;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    /// Hand-built bottom clause:
+    ///   head  p(V0)
+    ///   0: q(V0, V1)   inputs [0], outputs [1]
+    ///   1: r(V1)       inputs [1], outputs []
+    ///   2: s(V0)       inputs [0], outputs []
+    fn bottom() -> (SymbolTable, BottomClause) {
+        let t = SymbolTable::new();
+        let lit = |n: &str, args: Vec<Term>| Literal::new(t.intern(n), args);
+        let b = BottomClause {
+            head: lit("p", vec![Term::Var(0)]),
+            head_vars: vec![0],
+            lits: vec![
+                BottomLiteral {
+                    lit: lit("q", vec![Term::Var(0), Term::Var(1)]),
+                    inputs: vec![0],
+                    outputs: vec![1],
+                    depth: 1,
+                },
+                BottomLiteral { lit: lit("r", vec![Term::Var(1)]), inputs: vec![1], outputs: vec![], depth: 2 },
+                BottomLiteral { lit: lit("s", vec![Term::Var(0)]), inputs: vec![0], outputs: vec![], depth: 1 },
+            ],
+            num_vars: 2,
+            example: lit("p", vec![Term::Sym(t.intern("a"))]),
+            steps: 0,
+        };
+        (t, b)
+    }
+
+    #[test]
+    fn empty_successors_respect_dataflow() {
+        let (_, b) = bottom();
+        let succ = RuleShape::empty().successors(&b, 4);
+        // r needs V1 which is not yet bound; q and s are addable.
+        let idx: Vec<Vec<u32>> = succ.into_iter().map(|s| s.lits).collect();
+        assert_eq!(idx, vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn outputs_unlock_consumers() {
+        let (_, b) = bottom();
+        let succ = RuleShape::from_indices(vec![0]).successors(&b, 4);
+        let idx: Vec<Vec<u32>> = succ.into_iter().map(|s| s.lits).collect();
+        assert_eq!(idx, vec![vec![0, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn max_body_stops_expansion() {
+        let (_, b) = bottom();
+        assert!(RuleShape::from_indices(vec![0]).successors(&b, 1).is_empty());
+    }
+
+    #[test]
+    fn to_clause_materializes_selected_literals() {
+        let (t, b) = bottom();
+        let c = RuleShape::from_indices(vec![0, 1]).to_clause(&b);
+        assert_eq!(format!("{}", c.display(&t)), "p(A) :- q(A,B), r(B).");
+    }
+
+    #[test]
+    fn generalizes_is_subset_order() {
+        let a = RuleShape::from_indices(vec![0]);
+        let ab = RuleShape::from_indices(vec![0, 2]);
+        assert!(a.generalizes(&ab));
+        assert!(!ab.generalizes(&a));
+        assert!(RuleShape::empty().generalizes(&a));
+        assert!(a.generalizes(&a));
+    }
+
+    #[test]
+    fn lattice_enumeration_reaches_all_closed_subsets() {
+        let (_, b) = bottom();
+        // BFS from empty must reach exactly the dataflow-closed subsets:
+        // {}, {0}, {2}, {0,1}, {0,2}, {0,1,2}.
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = vec![RuleShape::empty()];
+        while let Some(s) = queue.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            queue.extend(s.successors(&b, 4));
+        }
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&RuleShape::from_indices(vec![0, 1, 2])));
+        assert!(!seen.contains(&RuleShape::from_indices(vec![1])));
+    }
+}

@@ -1,0 +1,275 @@
+//! Top-down breadth-first rule search (the paper's `learn_rule`, Figure 2).
+//!
+//! Starting from seed shapes (the most-general rule by default, or the rules
+//! received from the previous pipeline stage in `learn_rule'`, Figure 7),
+//! the search expands the refinement lattice breadth-first, evaluates every
+//! candidate on the (local) examples, collects the "good" rules, and stops
+//! on the node budget — April's "threshold on the number of rules that can
+//! be generated on each search" (§5.2).
+
+use crate::bitset::Bitset;
+use crate::bottom::BottomClause;
+use crate::coverage::evaluate_rule;
+use crate::examples::Examples;
+use crate::refine::RuleShape;
+use crate::settings::Settings;
+use p2mdie_logic::kb::KnowledgeBase;
+use std::collections::{HashSet, VecDeque};
+
+/// A rule with its (local) coverage and score.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ScoredRule {
+    /// The rule as bottom-clause indices (wire-friendly).
+    pub shape: RuleShape,
+    /// Covered positive examples (on the evaluating subset).
+    pub pos: u32,
+    /// Covered negative examples (on the evaluating subset).
+    pub neg: u32,
+    /// Score under the configured [`crate::settings::ScoreFn`].
+    pub score: i64,
+}
+
+impl ScoredRule {
+    /// Deterministic ordering: higher score first, then shorter body, then
+    /// lexicographically smaller shape.
+    pub fn rank_key(&self) -> (i64, i64, &[u32]) {
+        (-self.score, self.shape.body_len() as i64, &self.shape.lits)
+    }
+}
+
+/// The outcome of one search.
+#[derive(Clone, Debug, Default)]
+pub struct SearchOutcome {
+    /// Good rules found, best first (deterministic order).
+    pub good: Vec<ScoredRule>,
+    /// Every seed rule with its local score, good or not. The pipelined
+    /// `learn_rule'` (paper Fig. 7) initializes `Good = S`: rules received
+    /// from the previous stage stay in the stream even when the local
+    /// subset dislikes them — the master's *global* evaluation decides.
+    pub seed_scored: Vec<ScoredRule>,
+    /// Nodes (candidate rules) evaluated.
+    pub nodes: usize,
+    /// Inference steps spent evaluating candidates (virtual-time fuel).
+    pub steps: u64,
+}
+
+impl SearchOutcome {
+    /// The best good rule, if any.
+    pub fn best(&self) -> Option<&ScoredRule> {
+        self.good.first()
+    }
+}
+
+/// Runs one breadth-first search over `bottom`'s refinement lattice.
+///
+/// * `live_pos` — positive examples still uncovered (dead ones are skipped).
+/// * `seeds` — starting shapes; when empty, starts from the most-general
+///   rule. Seeds are also evaluated (they may already be good here even if
+///   they were found on another worker's subset).
+pub fn search_rules(
+    kb: &KnowledgeBase,
+    settings: &Settings,
+    bottom: &BottomClause,
+    examples: &Examples,
+    live_pos: Option<&Bitset>,
+    seeds: &[RuleShape],
+) -> SearchOutcome {
+    let mut out = SearchOutcome::default();
+    let mut queue: VecDeque<RuleShape> = VecDeque::new();
+    let mut visited: HashSet<RuleShape> = HashSet::new();
+    let mut seed_set: HashSet<&RuleShape> = HashSet::new();
+
+    if seeds.is_empty() {
+        queue.push_back(RuleShape::empty());
+    } else {
+        let mut queued: HashSet<&RuleShape> = HashSet::new();
+        for s in seeds {
+            seed_set.insert(s);
+            if queued.insert(s) {
+                queue.push_back(s.clone());
+            }
+        }
+    }
+
+    while let Some(shape) = queue.pop_front() {
+        if out.nodes >= settings.max_nodes {
+            break;
+        }
+        if !visited.insert(shape.clone()) {
+            continue;
+        }
+        let clause = shape.to_clause(bottom);
+        let cov = evaluate_rule(kb, settings.proof, &clause, examples, live_pos, None);
+        out.nodes += 1;
+        out.steps += cov.steps;
+        let (pos, neg) = (cov.pos_count(), cov.neg_count());
+
+        if seed_set.contains(&shape) {
+            out.seed_scored.push(ScoredRule {
+                shape: shape.clone(),
+                pos,
+                neg,
+                score: settings.score.score(pos, neg, shape.body_len()),
+            });
+        }
+
+        if settings.is_good(pos, neg) {
+            out.good.push(ScoredRule {
+                shape: shape.clone(),
+                pos,
+                neg,
+                score: settings.score.score(pos, neg, shape.body_len()),
+            });
+            if out.good.len() > settings.good_cap {
+                // Keep the cap loose: sort and truncate only when exceeded.
+                out.good.sort_by(|a, b| a.rank_key().cmp(&b.rank_key()));
+                out.good.truncate(settings.good_cap);
+            }
+        }
+
+        // Specializing cannot regain positive cover: prune hopeless subtrees.
+        if pos < settings.min_pos {
+            continue;
+        }
+        for succ in shape.successors(bottom, settings.max_body) {
+            if !visited.contains(&succ) {
+                queue.push_back(succ);
+            }
+        }
+    }
+
+    out.good.sort_by(|a, b| a.rank_key().cmp(&b.rank_key()));
+    out
+}
+
+/// Selects the top `cap` rules of an already-ranked good list (the pipeline
+/// width `W` applied when forwarding; paper §4.1).
+pub fn take_top(mut good: Vec<ScoredRule>, cap: usize) -> Vec<ScoredRule> {
+    good.truncate(cap);
+    good
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom::saturate;
+    use crate::modes::ModeSet;
+    use p2mdie_logic::clause::Literal;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    /// Numbers 1..20; target div6; BK: even/1, div3/1.
+    fn world() -> (SymbolTable, KnowledgeBase, ModeSet, Examples) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 1..=20i64 {
+            if i % 2 == 0 {
+                kb.assert_fact(Literal::new(t.intern("even"), vec![Term::Int(i)]));
+            }
+            if i % 3 == 0 {
+                kb.assert_fact(Literal::new(t.intern("div3"), vec![Term::Int(i)]));
+            }
+        }
+        let tgt = t.intern("div6");
+        let pos: Vec<Literal> =
+            [6i64, 12, 18].iter().map(|&i| Literal::new(tgt, vec![Term::Int(i)])).collect();
+        let neg: Vec<Literal> =
+            [2i64, 3, 4, 9, 10, 15].iter().map(|&i| Literal::new(tgt, vec![Term::Int(i)])).collect();
+        let modes =
+            ModeSet::parse(&t, "div6(+num)", &[(1, "even(+num)"), (1, "div3(+num)")]).unwrap();
+        (t, kb, modes, Examples::new(pos, neg))
+    }
+
+    use p2mdie_logic::kb::KnowledgeBase;
+
+    #[test]
+    fn finds_the_conjunction_rule() {
+        let (t, kb, modes, ex) = world();
+        let settings = Settings { min_pos: 2, noise: 0, ..Settings::default() };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let out = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
+        let best = out.best().expect("must find a rule");
+        assert_eq!(best.pos, 3);
+        assert_eq!(best.neg, 0);
+        let c = best.shape.to_clause(&bottom);
+        assert_eq!(c.body.len(), 2, "needs both even and div3: {:?}", c.display(&t).to_string());
+        assert!(out.nodes >= 3);
+    }
+
+    #[test]
+    fn node_budget_caps_search() {
+        let (_, kb, modes, ex) = world();
+        let settings = Settings { max_nodes: 1, ..Settings::default() };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let out = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
+        assert_eq!(out.nodes, 1);
+        assert!(out.good.is_empty(), "root rule covers all negatives");
+    }
+
+    #[test]
+    fn noise_admits_impure_rules() {
+        let (_, kb, modes, ex) = world();
+        // With noise 3, "div6(X) :- even(X)" (3 pos, 3 neg: 2/4/10) becomes
+        // good, as does "div6(X) :- div3(X)" (3 neg: 3/9/15).
+        let settings = Settings { noise: 3, min_pos: 2, ..Settings::default() };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let out = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
+        assert!(out.good.len() >= 2);
+    }
+
+    #[test]
+    fn seeded_search_extends_seed_rules() {
+        let (_, kb, modes, ex) = world();
+        let settings = Settings { min_pos: 2, noise: 0, ..Settings::default() };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        // Seed with {even} only; search must refine it to {even, div3}.
+        let seed = RuleShape::from_indices(vec![0]);
+        let out = search_rules(&kb, &settings, &bottom, &ex, None, &[seed]);
+        let best = out.best().expect("refined rule");
+        assert_eq!(best.neg, 0);
+    }
+
+    #[test]
+    fn live_mask_changes_counts() {
+        let (_, kb, modes, ex) = world();
+        let settings = Settings { min_pos: 1, noise: 0, ..Settings::default() };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let mut live = Bitset::new(ex.num_pos());
+        live.set(0);
+        let out = search_rules(&kb, &settings, &bottom, &ex, Some(&live), &[]);
+        let best = out.best().unwrap();
+        assert_eq!(best.pos, 1);
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let (_, kb, modes, ex) = world();
+        let settings = Settings { noise: 3, min_pos: 1, ..Settings::default() };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let a = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
+        let b = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
+        assert_eq!(a.good, b.good);
+    }
+
+    #[test]
+    fn seeds_are_scored_even_when_locally_bad() {
+        let (_, kb, modes, ex) = world();
+        let settings = Settings { min_pos: 2, noise: 0, ..Settings::default() };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        // The empty shape covers every negative: never "good", but as a
+        // seed it must still come back scored (Fig. 7's Good = S).
+        let out = search_rules(&kb, &settings, &bottom, &ex, None, &[RuleShape::empty()]);
+        assert_eq!(out.seed_scored.len(), 1);
+        assert_eq!(out.seed_scored[0].pos, 3);
+        assert_eq!(out.seed_scored[0].neg, 6);
+    }
+
+    #[test]
+    fn take_top_truncates() {
+        let rules: Vec<ScoredRule> = (0..5)
+            .map(|i| ScoredRule { shape: RuleShape::from_indices(vec![i]), pos: 1, neg: 0, score: 1 })
+            .collect();
+        assert_eq!(take_top(rules.clone(), 2).len(), 2);
+        assert_eq!(take_top(rules, 100).len(), 5);
+    }
+}

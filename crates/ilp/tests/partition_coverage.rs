@@ -1,0 +1,72 @@
+//! The invariant all of p²-mdie's global evaluation rests on: coverage
+//! counts over a partition of the examples sum to the counts over the
+//! whole set — for any rule, any partition.
+
+use p2mdie_ilp::coverage::evaluate_rule;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::prover::ProofLimits;
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::Term;
+use proptest::prelude::*;
+
+/// A small random world: numbers 1..=n with divisibility facts, a random
+/// conjunction rule, and a random pos/neg labelling of examples.
+fn world(n: i64) -> (SymbolTable, KnowledgeBase) {
+    let t = SymbolTable::new();
+    let mut kb = KnowledgeBase::new(t.clone());
+    for i in 1..=n {
+        for (d, p) in [(2, "d2"), (3, "d3"), (5, "d5")] {
+            if i % d == 0 {
+                kb.assert_fact(Literal::new(t.intern(p), vec![Term::Int(i)]));
+            }
+        }
+    }
+    (t, kb)
+}
+
+proptest! {
+    #[test]
+    fn partitioned_coverage_sums_to_global(
+        n in 10i64..80,
+        body in proptest::collection::vec(0usize..3, 0..3),
+        labels in proptest::collection::vec(any::<bool>(), 80),
+        cuts in proptest::collection::vec(0usize..4, 80),
+    ) {
+        let (t, kb) = world(n);
+        let preds = ["d2", "d3", "d5"];
+        let tgt = t.intern("tgt");
+        let rule = Clause::new(
+            Literal::new(tgt, vec![Term::Var(0)]),
+            body.iter().map(|&i| Literal::new(t.intern(preds[i]), vec![Term::Var(0)])).collect(),
+        );
+        let pos: Vec<Literal> = (1..=n)
+            .filter(|i| labels[(*i as usize - 1) % labels.len()])
+            .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+            .collect();
+        let neg: Vec<Literal> = (1..=n)
+            .filter(|i| !labels[(*i as usize - 1) % labels.len()])
+            .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+            .collect();
+        let all = Examples::new(pos.clone(), neg.clone());
+        let limits = ProofLimits::default();
+
+        let full = evaluate_rule(&kb, limits, &rule, &all, None, None);
+
+        // Split into 4 parts by the random cut assignment.
+        let mut sum_pos = 0u32;
+        let mut sum_neg = 0u32;
+        for part in 0..4usize {
+            let sub = Examples::new(
+                pos.iter().enumerate().filter(|(i, _)| cuts[i % cuts.len()] == part).map(|(_, l)| l.clone()).collect(),
+                neg.iter().enumerate().filter(|(i, _)| cuts[i % cuts.len()] == part).map(|(_, l)| l.clone()).collect(),
+            );
+            let cov = evaluate_rule(&kb, limits, &rule, &sub, None, None);
+            sum_pos += cov.pos_count();
+            sum_neg += cov.neg_count();
+        }
+        prop_assert_eq!(sum_pos, full.pos_count());
+        prop_assert_eq!(sum_neg, full.neg_count());
+    }
+}

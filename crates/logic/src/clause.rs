@@ -1,0 +1,345 @@
+//! Literals and Horn clauses.
+
+use crate::symbol::{SymbolId, SymbolTable};
+use crate::term::{var_name, write_term, Term, VarId};
+use std::fmt;
+
+/// A predicate applied to arguments, e.g. `bond(M, A, B, 2)`.
+///
+/// Literals are positive; Horn clauses are `head :- body` where every body
+/// literal is proved by SLD resolution (builtins included). Negation is not
+/// part of the language the paper's search uses.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Literal {
+    /// Predicate symbol.
+    pub pred: SymbolId,
+    /// Argument terms (may be empty for propositional atoms).
+    pub args: Box<[Term]>,
+}
+
+impl Literal {
+    /// Builds a literal from a predicate and argument vector.
+    pub fn new(pred: SymbolId, args: Vec<Term>) -> Self {
+        Literal { pred, args: args.into_boxed_slice() }
+    }
+
+    /// Number of arguments.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The `(predicate, arity)` key used for indexing.
+    #[inline]
+    pub fn key(&self) -> PredKey {
+        PredKey { pred: self.pred, arity: self.args.len() as u32 }
+    }
+
+    /// True when no argument contains a variable.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Appends every variable id occurring in the literal to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        for a in self.args.iter() {
+            a.collect_vars(out);
+        }
+    }
+
+    /// The largest variable id occurring in the literal, if any.
+    pub fn max_var(&self) -> Option<VarId> {
+        self.args.iter().filter_map(Term::max_var).max()
+    }
+
+    /// Returns a copy with every variable id shifted by `offset`.
+    pub fn offset_vars(&self, offset: VarId) -> Literal {
+        Literal {
+            pred: self.pred,
+            args: self.args.iter().map(|a| a.offset_vars(offset)).collect(),
+        }
+    }
+
+    /// Applies `map` to every variable, returning the rewritten literal.
+    pub fn map_vars(&self, map: &mut impl FnMut(VarId) -> Term) -> Literal {
+        Literal {
+            pred: self.pred,
+            args: self.args.iter().map(|a| a.map_vars(map)).collect(),
+        }
+    }
+
+    /// Structural size (1 for the predicate plus the size of each argument).
+    pub fn size(&self) -> usize {
+        1 + self.args.iter().map(Term::size).sum::<usize>()
+    }
+
+    /// Pretty-printer against a symbol table.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> LiteralDisplay<'a> {
+        LiteralDisplay { lit: self, syms }
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// `(predicate, arity)` pair identifying a relation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PredKey {
+    /// Predicate symbol.
+    pub pred: SymbolId,
+    /// Arity.
+    pub arity: u32,
+}
+
+/// Display adapter produced by [`Literal::display`].
+pub struct LiteralDisplay<'a> {
+    lit: &'a Literal,
+    syms: &'a SymbolTable,
+}
+
+impl fmt::Display for LiteralDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.syms.name(self.lit.pred))?;
+        if self.lit.args.is_empty() {
+            return Ok(());
+        }
+        write!(f, "(")?;
+        for (i, a) in self.lit.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write_term(f, a, self.syms)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A definite Horn clause `head :- body` (a fact when the body is empty).
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Clause {
+    /// The single positive literal.
+    pub head: Literal,
+    /// Conjunction of body literals, proved left to right.
+    pub body: Vec<Literal>,
+}
+
+impl Clause {
+    /// Builds a clause from a head and body.
+    pub fn new(head: Literal, body: Vec<Literal>) -> Self {
+        Clause { head, body }
+    }
+
+    /// Builds a fact (empty body).
+    pub fn fact(head: Literal) -> Self {
+        Clause { head, body: Vec::new() }
+    }
+
+    /// True when the body is empty.
+    #[inline]
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Number of body literals (the "length" used by ILP size constraints).
+    #[inline]
+    pub fn length(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Appends every variable id of head and body to `out` (with duplicates).
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        self.head.collect_vars(out);
+        for l in &self.body {
+            l.collect_vars(out);
+        }
+    }
+
+    /// The distinct variables of the clause, in first-occurrence order.
+    pub fn distinct_vars(&self) -> Vec<VarId> {
+        let mut all = Vec::new();
+        self.collect_vars(&mut all);
+        let mut seen = Vec::new();
+        for v in all {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+
+    /// The largest variable id in the clause, if any.
+    pub fn max_var(&self) -> Option<VarId> {
+        self.head
+            .max_var()
+            .into_iter()
+            .chain(self.body.iter().filter_map(Literal::max_var))
+            .max()
+    }
+
+    /// One past the largest variable id (0 for ground clauses); the number of
+    /// fresh slots a [`crate::subst::Bindings`] needs for this clause.
+    pub fn var_span(&self) -> VarId {
+        self.max_var().map_or(0, |v| v + 1)
+    }
+
+    /// Returns a copy with every variable id shifted by `offset`.
+    pub fn offset_vars(&self, offset: VarId) -> Clause {
+        Clause {
+            head: self.head.offset_vars(offset),
+            body: self.body.iter().map(|l| l.offset_vars(offset)).collect(),
+        }
+    }
+
+    /// Renames variables to the compact range `0..n` in first-occurrence
+    /// order, returning the renamed clause. Two clauses that are equal up to
+    /// consistent renaming normalize to the same value.
+    pub fn normalize(&self) -> Clause {
+        let vars = self.distinct_vars();
+        let mut map = std::collections::HashMap::with_capacity(vars.len());
+        for (i, v) in vars.iter().enumerate() {
+            map.insert(*v, i as VarId);
+        }
+        let mut f = |v: VarId| Term::Var(map[&v]);
+        Clause {
+            head: self.head.map_vars(&mut f),
+            body: self.body.iter().map(|l| l.map_vars(&mut f)).collect(),
+        }
+    }
+
+    /// Structural size of head plus body.
+    pub fn size(&self) -> usize {
+        self.head.size() + self.body.iter().map(Literal::size).sum::<usize>()
+    }
+
+    /// True when the clause contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.head.is_ground() && self.body.iter().all(Literal::is_ground)
+    }
+
+    /// Pretty-printer against a symbol table.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> ClauseDisplay<'a> {
+        ClauseDisplay { clause: self, syms }
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Display adapter produced by [`Clause::display`].
+pub struct ClauseDisplay<'a> {
+    clause: &'a Clause,
+    syms: &'a SymbolTable,
+}
+
+impl fmt::Display for ClauseDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.clause.head.display(self.syms))?;
+        if !self.clause.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.clause.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", l.display(self.syms))?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// Pretty name for variables in error messages and traces.
+pub fn pretty_var(v: VarId) -> String {
+    var_name(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn lit(syms: &SymbolTable, name: &str, args: Vec<Term>) -> Literal {
+        Literal::new(syms.intern(name), args)
+    }
+
+    #[test]
+    fn keys_distinguish_arity() {
+        let t = SymbolTable::new();
+        let a = lit(&t, "p", vec![Term::Int(1)]);
+        let b = lit(&t, "p", vec![Term::Int(1), Term::Int(2)]);
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key().pred, b.key().pred);
+    }
+
+    #[test]
+    fn clause_var_utilities() {
+        let t = SymbolTable::new();
+        let head = lit(&t, "p", vec![Term::Var(3)]);
+        let body = vec![lit(&t, "q", vec![Term::Var(3), Term::Var(7)])];
+        let c = Clause::new(head, body);
+        assert_eq!(c.distinct_vars(), vec![3, 7]);
+        assert_eq!(c.max_var(), Some(7));
+        assert_eq!(c.var_span(), 8);
+        assert_eq!(c.length(), 1);
+        assert!(!c.is_fact());
+    }
+
+    #[test]
+    fn normalize_is_alpha_invariant() {
+        let t = SymbolTable::new();
+        let c1 = Clause::new(
+            lit(&t, "p", vec![Term::Var(5)]),
+            vec![lit(&t, "q", vec![Term::Var(5), Term::Var(9)])],
+        );
+        let c2 = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0), Term::Var(1)])],
+        );
+        assert_eq!(c1.normalize(), c2.normalize());
+    }
+
+    #[test]
+    fn display_shapes() {
+        let t = SymbolTable::new();
+        let c = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0)])],
+        );
+        assert_eq!(format!("{}", c.display(&t)), "p(A) :- q(A).");
+        let f = Clause::fact(lit(&t, "r", vec![]));
+        assert_eq!(format!("{}", f.display(&t)), "r.");
+    }
+
+    #[test]
+    fn offset_shifts_all_literals() {
+        let t = SymbolTable::new();
+        let c = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(1)])],
+        );
+        let c2 = c.offset_vars(10);
+        assert_eq!(c2.distinct_vars(), vec![10, 11]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Indexed clause store (the "database" role of YAP in the paper's stack).
+//!
+//! Background knowledge in ILP applications is mostly *extensional* (ground
+//! facts: atoms, bonds, edge properties...), plus a few intensional rules.
+//! Facts are stored per `(predicate, arity)` with a first-argument index, so
+//! a coverage query like `atm(m17, A, n, C)` touches only the facts of
+//! molecule `m17` — this is the single most important constant factor in
+//! coverage testing (see guide notes on algorithmic wins).
+
+use crate::builtins::BuiltinTable;
+use crate::clause::{Clause, Literal, PredKey};
+use crate::symbol::SymbolTable;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// Per-predicate storage: ground facts (indexed) plus rules.
+#[derive(Default, Debug, Clone)]
+struct PredEntry {
+    facts: Vec<Literal>,
+    /// First-arg constant -> indices into `facts`. Only constants index.
+    index: HashMap<Term, Vec<u32>>,
+    /// Facts whose first argument is a variable or compound (rare).
+    unindexed: Vec<u32>,
+    rules: Vec<Clause>,
+}
+
+/// A knowledge base: interned symbols, indexed facts, and rules.
+#[derive(Clone)]
+pub struct KnowledgeBase {
+    syms: SymbolTable,
+    builtins: BuiltinTable,
+    preds: HashMap<PredKey, PredEntry>,
+    num_facts: usize,
+    num_rules: usize,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty KB sharing `syms`.
+    pub fn new(syms: SymbolTable) -> Self {
+        let builtins = BuiltinTable::new(&syms);
+        KnowledgeBase { syms, builtins, preds: HashMap::new(), num_facts: 0, num_rules: 0 }
+    }
+
+    /// The symbol table this KB interns against.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.syms
+    }
+
+    /// The builtin-predicate table.
+    pub fn builtins(&self) -> &BuiltinTable {
+        &self.builtins
+    }
+
+    /// Adds a ground (or at least first-arg-indexable) fact.
+    pub fn assert_fact(&mut self, fact: Literal) {
+        let entry = self.preds.entry(fact.key()).or_default();
+        let idx = entry.facts.len() as u32;
+        match fact.args.first() {
+            Some(t) if t.is_constant() => entry.index.entry(t.clone()).or_default().push(idx),
+            Some(_) => entry.unindexed.push(idx),
+            None => entry.unindexed.push(idx),
+        }
+        entry.facts.push(fact);
+        self.num_facts += 1;
+    }
+
+    /// Adds a clause; facts route to the fact store, rules to the rule list.
+    pub fn assert(&mut self, clause: Clause) {
+        if clause.is_fact() && clause.head.is_ground() {
+            self.assert_fact(clause.head);
+        } else {
+            self.assert_rule(clause);
+        }
+    }
+
+    /// Adds a rule (non-empty body or non-ground head).
+    pub fn assert_rule(&mut self, rule: Clause) {
+        self.preds.entry(rule.head.key()).or_default().rules.push(rule);
+        self.num_rules += 1;
+    }
+
+    /// Facts possibly matching `goal`: if the first argument resolves to a
+    /// constant the first-arg index narrows the candidates, otherwise all
+    /// facts of the predicate are returned.
+    ///
+    /// `first_arg` must already be dereferenced by the caller's bindings.
+    pub fn candidate_facts(&self, key: PredKey, first_arg: Option<&Term>) -> FactIter<'_> {
+        let Some(entry) = self.preds.get(&key) else {
+            return FactIter::Empty;
+        };
+        match first_arg {
+            Some(t) if t.is_constant() => {
+                let indexed = entry.index.get(t).map(|v| v.as_slice()).unwrap_or(&[]);
+                FactIter::Indexed { facts: &entry.facts, indexed, unindexed: &entry.unindexed, pos: 0 }
+            }
+            _ => FactIter::All { facts: &entry.facts, pos: 0 },
+        }
+    }
+
+    /// Rules whose head predicate matches `key`.
+    pub fn rules_for(&self, key: PredKey) -> &[Clause] {
+        self.preds.get(&key).map(|e| e.rules.as_slice()).unwrap_or(&[])
+    }
+
+    /// All facts of a predicate (unfiltered).
+    pub fn facts_for(&self, key: PredKey) -> &[Literal] {
+        self.preds.get(&key).map(|e| e.facts.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of stored facts.
+    pub fn num_facts(&self) -> usize {
+        self.num_facts
+    }
+
+    /// Total number of stored rules.
+    pub fn num_rules(&self) -> usize {
+        self.num_rules
+    }
+
+    /// Every `(predicate, arity)` with at least one fact or rule.
+    pub fn predicates(&self) -> impl Iterator<Item = PredKey> + '_ {
+        self.preds.keys().copied()
+    }
+
+    /// Removes every rule of `key`, returning how many were removed.
+    /// (Used by tests and by theory resets between cross-validation folds.)
+    pub fn retract_rules(&mut self, key: PredKey) -> usize {
+        let Some(entry) = self.preds.get_mut(&key) else {
+            return 0;
+        };
+        let n = entry.rules.len();
+        entry.rules.clear();
+        self.num_rules -= n;
+        n
+    }
+}
+
+impl std::fmt::Debug for KnowledgeBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KnowledgeBase({} preds, {} facts, {} rules)",
+            self.preds.len(),
+            self.num_facts,
+            self.num_rules
+        )
+    }
+}
+
+/// Iterator over candidate facts returned by [`KnowledgeBase::candidate_facts`].
+pub enum FactIter<'a> {
+    /// No facts for this predicate.
+    Empty,
+    /// All facts (first argument unbound or non-constant).
+    All {
+        #[allow(missing_docs)]
+        facts: &'a [Literal],
+        #[allow(missing_docs)]
+        pos: usize,
+    },
+    /// Index hits followed by facts the index could not cover.
+    Indexed {
+        #[allow(missing_docs)]
+        facts: &'a [Literal],
+        #[allow(missing_docs)]
+        indexed: &'a [u32],
+        #[allow(missing_docs)]
+        unindexed: &'a [u32],
+        #[allow(missing_docs)]
+        pos: usize,
+    },
+}
+
+impl<'a> Iterator for FactIter<'a> {
+    type Item = &'a Literal;
+
+    fn next(&mut self) -> Option<&'a Literal> {
+        match self {
+            FactIter::Empty => None,
+            FactIter::All { facts, pos } => {
+                let f = facts.get(*pos)?;
+                *pos += 1;
+                Some(f)
+            }
+            FactIter::Indexed { facts, indexed, unindexed, pos } => {
+                let total = indexed.len() + unindexed.len();
+                if *pos >= total {
+                    return None;
+                }
+                let idx = if *pos < indexed.len() {
+                    indexed[*pos]
+                } else {
+                    unindexed[*pos - indexed.len()]
+                };
+                *pos += 1;
+                Some(&facts[idx as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(t: &SymbolTable, name: &str, args: Vec<Term>) -> Literal {
+        Literal::new(t.intern(name), args)
+    }
+
+    #[test]
+    fn indexed_lookup_narrows_candidates() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let m1 = Term::Sym(t.intern("m1"));
+        let m2 = Term::Sym(t.intern("m2"));
+        for i in 0..5 {
+            kb.assert_fact(lit(&t, "atm", vec![m1.clone(), Term::Int(i)]));
+        }
+        kb.assert_fact(lit(&t, "atm", vec![m2.clone(), Term::Int(9)]));
+
+        let key = lit(&t, "atm", vec![m1.clone(), Term::Int(0)]).key();
+        assert_eq!(kb.candidate_facts(key, Some(&m1)).count(), 5);
+        assert_eq!(kb.candidate_facts(key, Some(&m2)).count(), 1);
+        assert_eq!(kb.candidate_facts(key, None).count(), 6);
+        // A constant with no index entry yields nothing.
+        let m3 = Term::Sym(t.intern("m3"));
+        assert_eq!(kb.candidate_facts(key, Some(&m3)).count(), 0);
+    }
+
+    #[test]
+    fn rules_and_facts_are_separated() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        kb.assert(Clause::fact(lit(&t, "p", vec![Term::Sym(t.intern("a"))])));
+        kb.assert(Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0)])],
+        ));
+        assert_eq!(kb.num_facts(), 1);
+        assert_eq!(kb.num_rules(), 1);
+        let key = lit(&t, "p", vec![Term::Int(0)]).key();
+        assert_eq!(kb.rules_for(key).len(), 1);
+        assert_eq!(kb.facts_for(key).len(), 1);
+    }
+
+    #[test]
+    fn non_ground_fact_goes_to_rules() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        // p(X). is a (rare) universally-quantified fact; stored as a rule.
+        kb.assert(Clause::fact(lit(&t, "p", vec![Term::Var(0)])));
+        assert_eq!(kb.num_rules(), 1);
+        assert_eq!(kb.num_facts(), 0);
+    }
+
+    #[test]
+    fn retract_rules_clears_only_rules() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let key = lit(&t, "p", vec![Term::Int(0)]).key();
+        kb.assert_fact(lit(&t, "p", vec![Term::Int(1)]));
+        kb.assert_rule(Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0)])],
+        ));
+        assert_eq!(kb.retract_rules(key), 1);
+        assert_eq!(kb.num_rules(), 0);
+        assert_eq!(kb.num_facts(), 1);
+    }
+}

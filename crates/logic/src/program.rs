@@ -1,0 +1,126 @@
+//! A convenience bundle of symbol table + knowledge base + parser.
+
+use crate::clause::Literal;
+use crate::kb::KnowledgeBase;
+use crate::parser::{ParseError, Parser};
+use crate::symbol::SymbolTable;
+
+/// A logic program: interner plus knowledge base, with textual loading.
+///
+/// This is the entry point for examples and tests; the ILP engine works
+/// against the underlying [`KnowledgeBase`] directly.
+#[derive(Clone, Debug)]
+pub struct Program {
+    syms: SymbolTable,
+    kb: KnowledgeBase,
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Program {
+    /// Creates an empty program with a fresh symbol table.
+    pub fn new() -> Self {
+        let syms = SymbolTable::new();
+        let kb = KnowledgeBase::new(syms.clone());
+        Program { syms, kb }
+    }
+
+    /// Creates a program sharing an existing symbol table.
+    pub fn with_symbols(syms: SymbolTable) -> Self {
+        let kb = KnowledgeBase::new(syms.clone());
+        Program { syms, kb }
+    }
+
+    /// Parses `src` and asserts every clause, returning how many were added.
+    pub fn consult(&mut self, src: &str) -> Result<usize, ParseError> {
+        let clauses = Parser::new(&self.syms, src)?.parse_program()?;
+        let n = clauses.len();
+        for c in clauses {
+            self.kb.assert(c);
+        }
+        Ok(n)
+    }
+
+    /// Parses a single goal literal, e.g. `"parent(ann, X)"`.
+    pub fn parse_query(&self, src: &str) -> Result<Literal, ParseError> {
+        let mut p = Parser::new(&self.syms, src)?;
+        let goals = p.parse_conjunction()?;
+        match <[Literal; 1]>::try_from(goals) {
+            Ok([g]) => Ok(g),
+            Err(gs) => Err(ParseError {
+                message: format!("expected a single goal, found a conjunction of {}", gs.len()),
+                line: 1,
+                col: 1,
+            }),
+        }
+    }
+
+    /// Parses a conjunction of goals sharing one variable scope.
+    pub fn parse_goals(&self, src: &str) -> Result<Vec<Literal>, ParseError> {
+        Parser::new(&self.syms, src)?.parse_conjunction()
+    }
+
+    /// The shared symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.syms
+    }
+
+    /// The knowledge base (shared reference).
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The knowledge base (mutable).
+    pub fn kb_mut(&mut self) -> &mut KnowledgeBase {
+        &mut self.kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::{ProofLimits, Prover};
+
+    #[test]
+    fn consult_and_prove() {
+        let mut p = Program::new();
+        let n = p
+            .consult(
+                "parent(ann, bob).
+                 parent(bob, carl).
+                 grandparent(X, Z) :- parent(X, Y), parent(Y, Z).",
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        let goal = p.parse_query("grandparent(ann, carl)").unwrap();
+        let prover = Prover::new(p.kb(), ProofLimits::default());
+        let (ok, _) = prover.prove_ground(&goal);
+        assert!(ok);
+    }
+
+    #[test]
+    fn query_rejects_conjunction() {
+        let p = Program::new();
+        assert!(p.parse_query("a(X), b(X)").is_err());
+    }
+
+    #[test]
+    fn goals_share_scope() {
+        let mut p = Program::new();
+        p.consult("n(1). n(2). m(2).").unwrap();
+        let goals = p.parse_goals("n(X), m(X)").unwrap();
+        let prover = Prover::new(p.kb(), ProofLimits::default());
+        let (ok, _) = prover.prove_goals(&goals);
+        assert!(ok);
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let mut p = Program::new();
+        assert!(p.consult("p(a") .is_err());
+    }
+}

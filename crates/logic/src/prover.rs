@@ -1,0 +1,406 @@
+//! Depth- and step-bounded SLD resolution with inference-step metering.
+//!
+//! This is the workhorse behind ILP coverage testing: prove a (mostly
+//! ground) goal conjunction against the background KB. Two resource bounds
+//! keep every proof finite — a recursion *depth* bound on rule expansions
+//! and a *step* budget counting every unification candidate tried and every
+//! builtin evaluated. The step count doubles as the *fuel* consumed by the
+//! cluster substrate's virtual-time model: compute time on a rank is
+//! `steps × t_step` (DESIGN.md §3, substitution 1).
+//!
+//! The search strategy is standard Prolog: goals left-to-right, clauses in
+//! assertion order, facts before rules, backtracking on failure.
+
+use crate::builtins::solve_builtin;
+use crate::clause::Literal;
+use crate::kb::KnowledgeBase;
+use crate::subst::Bindings;
+use crate::term::VarId;
+
+/// Resource limits for a single proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ProofLimits {
+    /// Maximum rule-expansion depth (facts are depth-free).
+    pub max_depth: u32,
+    /// Maximum inference steps for one proof attempt.
+    pub max_steps: u64,
+}
+
+impl Default for ProofLimits {
+    fn default() -> Self {
+        ProofLimits { max_depth: 10, max_steps: 100_000 }
+    }
+}
+
+/// What a proof attempt cost and whether bounds were hit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProofStats {
+    /// Inference steps consumed (unification candidates + builtin calls).
+    pub steps: u64,
+    /// Number of branches pruned by the depth bound.
+    pub depth_cuts: u64,
+    /// True when the step budget ran out (result is then "not proved").
+    pub aborted: bool,
+}
+
+impl ProofStats {
+    /// Accumulates another proof's stats into this one.
+    pub fn absorb(&mut self, other: ProofStats) {
+        self.steps += other.steps;
+        self.depth_cuts += other.depth_cuts;
+        self.aborted |= other.aborted;
+    }
+}
+
+/// Flow control for the backtracking search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Control {
+    /// Keep enumerating alternatives.
+    More,
+    /// A callback asked to stop (enough solutions).
+    Done,
+    /// The step budget is exhausted.
+    Abort,
+}
+
+/// A bounded SLD prover over a knowledge base.
+pub struct Prover<'a> {
+    kb: &'a KnowledgeBase,
+    limits: ProofLimits,
+}
+
+impl<'a> Prover<'a> {
+    /// Creates a prover for `kb` with the given limits.
+    pub fn new(kb: &'a KnowledgeBase, limits: ProofLimits) -> Self {
+        Prover { kb, limits }
+    }
+
+    /// The limits in force.
+    pub fn limits(&self) -> ProofLimits {
+        self.limits
+    }
+
+    /// Proves a single goal, stopping at the first solution.
+    /// Typically used with ground goals ("is this example derivable?").
+    pub fn prove_ground(&self, goal: &Literal) -> (bool, ProofStats) {
+        self.prove_goals(std::slice::from_ref(goal))
+    }
+
+    /// Proves a conjunction, stopping at the first solution.
+    pub fn prove_goals(&self, goals: &[Literal]) -> (bool, ProofStats) {
+        self.prove_with_bindings(goals, Bindings::new())
+    }
+
+    /// Proves a conjunction under pre-established bindings (the ILP coverage
+    /// path: head variables are already bound to the example's constants).
+    pub fn prove_with_bindings(&self, goals: &[Literal], bindings: Bindings) -> (bool, ProofStats) {
+        let mut found = false;
+        let stats = self.run(goals, bindings, &mut |_| {
+            found = true;
+            false // stop at first solution
+        });
+        (found, stats)
+    }
+
+    /// Enumerates up to `max` solutions of `goal`, returning the distinct
+    /// fully-resolved instances in discovery order (duplicates collapsed, as
+    /// saturation only cares about distinct bindings).
+    pub fn solutions(&self, goal: &Literal, max: usize) -> (Vec<Literal>, ProofStats) {
+        let mut out: Vec<Literal> = Vec::new();
+        if max == 0 {
+            return (out, ProofStats::default());
+        }
+        let stats = self.run(std::slice::from_ref(goal), Bindings::new(), &mut |b| {
+            let inst = b.resolve_literal(goal);
+            if !out.contains(&inst) {
+                out.push(inst);
+            }
+            out.len() < max
+        });
+        (out, stats)
+    }
+
+    /// Runs the search, invoking `on_solution` at every solution. The
+    /// callback returns `true` to continue enumerating, `false` to stop.
+    /// Returns the accumulated stats.
+    pub fn run(
+        &self,
+        goals: &[Literal],
+        mut bindings: Bindings,
+        on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
+    ) -> ProofStats {
+        let mut next_var: VarId = goals
+            .iter()
+            .filter_map(Literal::max_var)
+            .max()
+            .map_or(0, |v| v + 1)
+            .max(bindings.len() as VarId);
+        bindings.ensure(next_var as usize);
+        let tagged: Vec<(Literal, u32)> = goals.iter().map(|g| (g.clone(), 0)).collect();
+        let mut ctx = Ctx {
+            kb: self.kb,
+            limits: self.limits,
+            stats: ProofStats::default(),
+            bindings,
+            next_var: &mut next_var,
+        };
+        ctx.solve(&tagged, on_solution);
+        ctx.stats
+    }
+}
+
+struct Ctx<'a, 'v> {
+    kb: &'a KnowledgeBase,
+    limits: ProofLimits,
+    stats: ProofStats,
+    bindings: Bindings,
+    next_var: &'v mut VarId,
+}
+
+impl Ctx<'_, '_> {
+    #[inline]
+    fn tick(&mut self) -> bool {
+        self.stats.steps += 1;
+        if self.stats.steps > self.limits.max_steps {
+            self.stats.aborted = true;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Solves the goal list; restores `bindings` to its entry state before
+    /// returning, so callers' choice points stay clean.
+    fn solve(
+        &mut self,
+        goals: &[(Literal, u32)],
+        on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
+    ) -> Control {
+        let Some(((goal, depth), rest)) = goals.split_first() else {
+            return if on_solution(&mut self.bindings) { Control::More } else { Control::Done };
+        };
+
+        // Builtins: deterministic, at most one continuation.
+        if let Some(b) = self.kb.builtins().get(goal.pred) {
+            if !self.tick() {
+                return Control::Abort;
+            }
+            let mark = self.bindings.mark();
+            let ok = solve_builtin(b, goal, &mut self.bindings, self.kb.symbols());
+            let ctrl = if ok == Some(true) { self.solve(rest, on_solution) } else { Control::More };
+            self.bindings.undo_to(mark);
+            return ctrl;
+        }
+
+        let kb = self.kb;
+        let key = goal.key();
+
+        // Facts, through the first-argument index where possible.
+        let first = goal.args.first().map(|t| self.bindings.walk(t).clone());
+        for fact in kb.candidate_facts(key, first.as_ref()) {
+            if !self.tick() {
+                return Control::Abort;
+            }
+            let mark = self.bindings.mark();
+            if self.bindings.unify_literals(goal, fact, false) {
+                match self.solve(rest, on_solution) {
+                    Control::More => {}
+                    c => {
+                        self.bindings.undo_to(mark);
+                        return c;
+                    }
+                }
+            }
+            self.bindings.undo_to(mark);
+        }
+
+        // Rules: rename apart, push the body at depth+1.
+        for rule in kb.rules_for(key) {
+            if *depth + 1 > self.limits.max_depth {
+                self.stats.depth_cuts += 1;
+                continue;
+            }
+            if !self.tick() {
+                return Control::Abort;
+            }
+            let offset = *self.next_var;
+            *self.next_var += rule.var_span();
+            let head = rule.head.offset_vars(offset);
+            let mark = self.bindings.mark();
+            if self.bindings.unify_literals(goal, &head, false) {
+                let mut new_goals: Vec<(Literal, u32)> = Vec::with_capacity(rule.body.len() + rest.len());
+                for l in &rule.body {
+                    new_goals.push((l.offset_vars(offset), depth + 1));
+                }
+                new_goals.extend_from_slice(rest);
+                match self.solve(&new_goals, on_solution) {
+                    Control::More => {}
+                    c => {
+                        self.bindings.undo_to(mark);
+                        return c;
+                    }
+                }
+            }
+            self.bindings.undo_to(mark);
+        }
+
+        Control::More
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::Clause;
+    use crate::symbol::SymbolTable;
+    use crate::term::Term;
+
+    fn lit(t: &SymbolTable, name: &str, args: Vec<Term>) -> Literal {
+        Literal::new(t.intern(name), args)
+    }
+
+    fn family_kb() -> (SymbolTable, KnowledgeBase) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let c = |n: &str| Term::Sym(t.intern(n));
+        for (a, b) in [("ann", "bob"), ("bob", "carl"), ("carl", "dee")] {
+            kb.assert_fact(lit(&t, "parent", vec![c(a), c(b)]));
+        }
+        // ancestor(X,Y) :- parent(X,Y).
+        kb.assert_rule(Clause::new(
+            lit(&t, "ancestor", vec![Term::Var(0), Term::Var(1)]),
+            vec![lit(&t, "parent", vec![Term::Var(0), Term::Var(1)])],
+        ));
+        // ancestor(X,Z) :- parent(X,Y), ancestor(Y,Z).
+        kb.assert_rule(Clause::new(
+            lit(&t, "ancestor", vec![Term::Var(0), Term::Var(2)]),
+            vec![
+                lit(&t, "parent", vec![Term::Var(0), Term::Var(1)]),
+                lit(&t, "ancestor", vec![Term::Var(1), Term::Var(2)]),
+            ],
+        ));
+        (t, kb)
+    }
+
+    #[test]
+    fn facts_prove_directly() {
+        let (t, kb) = family_kb();
+        let p = Prover::new(&kb, ProofLimits::default());
+        let c = |n: &str| Term::Sym(t.intern(n));
+        let (ok, st) = p.prove_ground(&lit(&t, "parent", vec![c("ann"), c("bob")]));
+        assert!(ok);
+        assert!(st.steps >= 1);
+        let (ok, _) = p.prove_ground(&lit(&t, "parent", vec![c("bob"), c("ann")]));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn recursive_rules_chain() {
+        let (t, kb) = family_kb();
+        let p = Prover::new(&kb, ProofLimits::default());
+        let c = |n: &str| Term::Sym(t.intern(n));
+        let (ok, _) = p.prove_ground(&lit(&t, "ancestor", vec![c("ann"), c("dee")]));
+        assert!(ok);
+        let (ok, _) = p.prove_ground(&lit(&t, "ancestor", vec![c("dee"), c("ann")]));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn depth_bound_cuts_recursion() {
+        let (t, kb) = family_kb();
+        // Depth 1 allows only the base case: ancestor(ann,dee) needs 3 hops.
+        let p = Prover::new(&kb, ProofLimits { max_depth: 1, max_steps: 10_000 });
+        let c = |n: &str| Term::Sym(t.intern(n));
+        let (ok, st) = p.prove_ground(&lit(&t, "ancestor", vec![c("ann"), c("dee")]));
+        assert!(!ok);
+        assert!(st.depth_cuts > 0);
+        let (ok, _) = p.prove_ground(&lit(&t, "ancestor", vec![c("ann"), c("bob")]));
+        assert!(ok);
+    }
+
+    #[test]
+    fn step_budget_aborts() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        // loop(X) :- loop(X). — infinite without bounds.
+        kb.assert_rule(Clause::new(
+            lit(&t, "loop", vec![Term::Var(0)]),
+            vec![lit(&t, "loop", vec![Term::Var(0)])],
+        ));
+        let p = Prover::new(&kb, ProofLimits { max_depth: u32::MAX, max_steps: 500 });
+        let (ok, st) = p.prove_ground(&lit(&t, "loop", vec![Term::Int(1)]));
+        assert!(!ok);
+        assert!(st.aborted);
+        assert!(st.steps >= 500);
+    }
+
+    #[test]
+    fn solutions_enumerates_with_recall_bound() {
+        let (t, kb) = family_kb();
+        let p = Prover::new(&kb, ProofLimits::default());
+        let goal = lit(&t, "parent", vec![Term::Var(0), Term::Var(1)]);
+        let (sols, _) = p.solutions(&goal, 10);
+        assert_eq!(sols.len(), 3);
+        let (sols, _) = p.solutions(&goal, 2);
+        assert_eq!(sols.len(), 2);
+        let (sols, _) = p.solutions(&goal, 0);
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn solutions_are_deduplicated() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        kb.assert_fact(lit(&t, "q", vec![Term::Int(1), Term::Int(1)]));
+        kb.assert_fact(lit(&t, "q", vec![Term::Int(1), Term::Int(2)]));
+        // p(X) :- q(X, _): X=1 twice, but only one distinct instance p(1).
+        kb.assert_rule(Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0), Term::Var(1)])],
+        ));
+        let p = Prover::new(&kb, ProofLimits::default());
+        let (sols, _) = p.solutions(&lit(&t, "p", vec![Term::Var(0)]), 10);
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn builtins_interleave_with_facts() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 1..=5 {
+            kb.assert_fact(lit(&t, "val", vec![Term::Int(i)]));
+        }
+        // big(X) :- val(X), X >= 4.
+        kb.assert_rule(Clause::new(
+            lit(&t, "big", vec![Term::Var(0)]),
+            vec![
+                lit(&t, "val", vec![Term::Var(0)]),
+                lit(&t, ">=", vec![Term::Var(0), Term::Int(4)]),
+            ],
+        ));
+        let p = Prover::new(&kb, ProofLimits::default());
+        let (sols, _) = p.solutions(&lit(&t, "big", vec![Term::Var(0)]), 10);
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn prove_with_prebound_head_vars() {
+        let (t, kb) = family_kb();
+        let p = Prover::new(&kb, ProofLimits::default());
+        // Simulate coverage: head var 0 bound to ann, prove parent(V0, bob).
+        let mut b = Bindings::new();
+        b.bind(0, Term::Sym(t.intern("ann")));
+        let body = vec![lit(&t, "parent", vec![Term::Var(0), Term::Sym(t.intern("bob"))])];
+        let (ok, _) = p.prove_with_bindings(&body, b);
+        assert!(ok);
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = ProofStats { steps: 5, depth_cuts: 1, aborted: false };
+        a.absorb(ProofStats { steps: 7, depth_cuts: 0, aborted: true });
+        assert_eq!(a.steps, 12);
+        assert_eq!(a.depth_cuts, 1);
+        assert!(a.aborted);
+    }
+}

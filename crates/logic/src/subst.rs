@@ -1,0 +1,271 @@
+//! Variable bindings with an undo trail, plus unification.
+//!
+//! The prover backtracks constantly, so bindings are stored in a flat slot
+//! vector indexed by [`VarId`], and every binding is recorded on a trail.
+//! [`Bindings::mark`]/[`Bindings::undo_to`] give O(1)-amortized backtracking
+//! without cloning substitutions — the same trick a WAM uses.
+
+use crate::clause::Literal;
+use crate::term::{Term, VarId};
+
+/// A mutable binding store with trail-based undo.
+#[derive(Default, Debug)]
+pub struct Bindings {
+    slots: Vec<Option<Term>>,
+    trail: Vec<VarId>,
+}
+
+/// A checkpoint returned by [`Bindings::mark`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mark(usize);
+
+impl Bindings {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store with capacity for `n` variables.
+    pub fn with_capacity(n: usize) -> Self {
+        Bindings { slots: vec![None; n], trail: Vec::with_capacity(n) }
+    }
+
+    /// Grows the slot vector so ids `0..n` are addressable.
+    pub fn ensure(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, None);
+        }
+    }
+
+    /// Number of addressable variable slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns a checkpoint; bindings made after it can be undone with
+    /// [`Bindings::undo_to`].
+    #[inline]
+    pub fn mark(&self) -> Mark {
+        Mark(self.trail.len())
+    }
+
+    /// Undoes every binding made since `mark`.
+    pub fn undo_to(&mut self, mark: Mark) {
+        while self.trail.len() > mark.0 {
+            let v = self.trail.pop().expect("trail length checked");
+            self.slots[v as usize] = None;
+        }
+    }
+
+    /// Binds variable `v` to `t`, recording the binding on the trail.
+    /// `v` must be unbound.
+    #[inline]
+    pub fn bind(&mut self, v: VarId, t: Term) {
+        self.ensure(v as usize + 1);
+        debug_assert!(self.slots[v as usize].is_none(), "rebinding bound var");
+        self.slots[v as usize] = Some(t);
+        self.trail.push(v);
+    }
+
+    /// The raw binding of `v`, if any (not dereferenced).
+    #[inline]
+    pub fn lookup(&self, v: VarId) -> Option<&Term> {
+        self.slots.get(v as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Follows variable-to-variable bindings until hitting an unbound
+    /// variable or a non-variable term. Returns the final term (shallow: the
+    /// arguments of a compound are *not* resolved).
+    pub fn walk<'a>(&'a self, t: &'a Term) -> &'a Term {
+        let mut cur = t;
+        while let Term::Var(v) = cur {
+            match self.lookup(*v) {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Fully applies the substitution to `t`, producing a new term with
+    /// every bound variable replaced (recursively).
+    pub fn resolve(&self, t: &Term) -> Term {
+        let w = self.walk(t);
+        match w {
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| self.resolve(a)).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// Fully applies the substitution to a literal.
+    pub fn resolve_literal(&self, l: &Literal) -> Literal {
+        Literal { pred: l.pred, args: l.args.iter().map(|a| self.resolve(a)).collect() }
+    }
+
+    /// True when `t` is ground under the current bindings.
+    pub fn is_ground(&self, t: &Term) -> bool {
+        match self.walk(t) {
+            Term::Var(_) => false,
+            Term::App(_, args) => args.iter().all(|a| self.is_ground(a)),
+            _ => true,
+        }
+    }
+
+    /// Occurs check: does variable `v` occur in `t` (under bindings)?
+    fn occurs(&self, v: VarId, t: &Term) -> bool {
+        match self.walk(t) {
+            Term::Var(w) => *w == v,
+            Term::App(_, args) => args.iter().any(|a| self.occurs(v, a)),
+            _ => false,
+        }
+    }
+
+    /// Unifies `a` and `b` under the current bindings, extending them on
+    /// success. On failure the bindings are left as they were at entry.
+    ///
+    /// `occurs_check` guards against cyclic terms; coverage queries in ILP
+    /// are against ground facts, so the check is usually disabled for speed.
+    pub fn unify(&mut self, a: &Term, b: &Term, occurs_check: bool) -> bool {
+        let mark = self.mark();
+        if self.unify_inner(a, b, occurs_check) {
+            true
+        } else {
+            self.undo_to(mark);
+            false
+        }
+    }
+
+    fn unify_inner(&mut self, a: &Term, b: &Term, occurs_check: bool) -> bool {
+        let wa = self.walk(a).clone();
+        let wb = self.walk(b).clone();
+        match (wa, wb) {
+            (Term::Var(x), Term::Var(y)) if x == y => true,
+            (Term::Var(x), t) => {
+                if occurs_check && self.occurs(x, &t) {
+                    return false;
+                }
+                self.bind(x, t);
+                true
+            }
+            (t, Term::Var(y)) => {
+                if occurs_check && self.occurs(y, &t) {
+                    return false;
+                }
+                self.bind(y, t);
+                true
+            }
+            (Term::Sym(x), Term::Sym(y)) => x == y,
+            (Term::Int(x), Term::Int(y)) => x == y,
+            (Term::Float(x), Term::Float(y)) => x == y,
+            (Term::App(f, xs), Term::App(g, ys)) => {
+                if f != g || xs.len() != ys.len() {
+                    return false;
+                }
+                xs.iter().zip(ys.iter()).all(|(x, y)| self.unify_inner(x, y, occurs_check))
+            }
+            _ => false,
+        }
+    }
+
+    /// Unifies two literals (same predicate, same arity, pairwise args).
+    pub fn unify_literals(&mut self, a: &Literal, b: &Literal, occurs_check: bool) -> bool {
+        if a.pred != b.pred || a.args.len() != b.args.len() {
+            return false;
+        }
+        let mark = self.mark();
+        for (x, y) in a.args.iter().zip(b.args.iter()) {
+            if !self.unify_inner(x, y, occurs_check) {
+                self.undo_to(mark);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Clears all bindings and the trail, keeping slot capacity.
+    pub fn clear(&mut self) {
+        for v in self.trail.drain(..) {
+            self.slots[v as usize] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn app(t: &SymbolTable, f: &str, args: Vec<Term>) -> Term {
+        Term::app(t.intern(f), args)
+    }
+
+    #[test]
+    fn unify_binds_and_resolves() {
+        let t = SymbolTable::new();
+        let mut b = Bindings::new();
+        let x = Term::Var(0);
+        let a = Term::Sym(t.intern("a"));
+        assert!(b.unify(&x, &a, false));
+        assert_eq!(b.resolve(&x), a);
+    }
+
+    #[test]
+    fn unify_failure_undoes_partial_bindings() {
+        let t = SymbolTable::new();
+        let mut b = Bindings::new();
+        // f(X, a) vs f(b, c): X gets bound to b before a/c clash; must undo.
+        let lhs = app(&t, "f", vec![Term::Var(0), Term::Sym(t.intern("a"))]);
+        let rhs = app(&t, "f", vec![Term::Sym(t.intern("b")), Term::Sym(t.intern("c"))]);
+        assert!(!b.unify(&lhs, &rhs, false));
+        assert!(b.lookup(0).is_none());
+    }
+
+    #[test]
+    fn var_var_chains_walk() {
+        let t = SymbolTable::new();
+        let mut b = Bindings::new();
+        assert!(b.unify(&Term::Var(0), &Term::Var(1), false));
+        let a = Term::Sym(t.intern("a"));
+        assert!(b.unify(&Term::Var(1), &a, false));
+        assert_eq!(b.resolve(&Term::Var(0)), a);
+    }
+
+    #[test]
+    fn occurs_check_blocks_cycles() {
+        let t = SymbolTable::new();
+        let mut b = Bindings::new();
+        let fx = app(&t, "f", vec![Term::Var(0)]);
+        assert!(!b.unify(&Term::Var(0), &fx, true));
+        // Without the check, the cyclic binding is permitted (Prolog-style).
+        assert!(b.unify(&Term::Var(0), &fx, false));
+    }
+
+    #[test]
+    fn mark_undo_restores_state() {
+        let t = SymbolTable::new();
+        let mut b = Bindings::new();
+        assert!(b.unify(&Term::Var(0), &Term::Sym(t.intern("a")), false));
+        let m = b.mark();
+        assert!(b.unify(&Term::Var(1), &Term::Sym(t.intern("b")), false));
+        b.undo_to(m);
+        assert!(b.lookup(0).is_some());
+        assert!(b.lookup(1).is_none());
+    }
+
+    #[test]
+    fn literal_unification_checks_pred_and_arity() {
+        let t = SymbolTable::new();
+        let mut b = Bindings::new();
+        let p = crate::clause::Literal::new(t.intern("p"), vec![Term::Var(0)]);
+        let q = crate::clause::Literal::new(t.intern("q"), vec![Term::Int(1)]);
+        assert!(!b.unify_literals(&p, &q, false));
+        let p2 = crate::clause::Literal::new(t.intern("p"), vec![Term::Int(1)]);
+        assert!(b.unify_literals(&p, &p2, false));
+        assert_eq!(b.resolve(&Term::Var(0)), Term::Int(1));
+    }
+}

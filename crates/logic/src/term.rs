@@ -1,0 +1,254 @@
+//! First-order terms.
+
+use crate::symbol::{SymbolId, SymbolTable};
+use std::fmt;
+
+/// Identifier of a logic variable. Variables are clause-local; the prover
+/// renames clauses apart by offsetting variable ids.
+pub type VarId = u32;
+
+/// An `f64` with total ordering and hashing (by bit pattern), so terms can
+/// be used as map keys. NaN is permitted but compares by bits.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct F64(pub f64);
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for F64 {}
+impl std::hash::Hash for F64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state)
+    }
+}
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A first-order term.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Term {
+    /// A logic variable.
+    Var(VarId),
+    /// An atomic constant (interned name).
+    Sym(SymbolId),
+    /// An integer constant.
+    Int(i64),
+    /// A floating-point constant.
+    Float(F64),
+    /// A compound term `f(t1, ..., tn)` with `n >= 1`.
+    App(SymbolId, Box<[Term]>),
+}
+
+impl Term {
+    /// Convenience constructor for a compound term.
+    pub fn app(f: SymbolId, args: Vec<Term>) -> Term {
+        Term::App(f, args.into_boxed_slice())
+    }
+
+    /// True when the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Sym(_) | Term::Int(_) | Term::Float(_) => true,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// True when the term is a constant (not a variable or compound).
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Term::Sym(_) | Term::Int(_) | Term::Float(_))
+    }
+
+    /// Collects every variable id occurring in the term (with duplicates).
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::App(_, args) => {
+                for a in args.iter() {
+                    a.collect_vars(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The largest variable id occurring in the term, if any.
+    pub fn max_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::App(_, args) => args.iter().filter_map(Term::max_var).max(),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy with every variable id shifted by `offset`.
+    pub fn offset_vars(&self, offset: VarId) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(v + offset),
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.offset_vars(offset)).collect()),
+            t => t.clone(),
+        }
+    }
+
+    /// Applies `map` to every variable id, returning the rewritten term.
+    pub fn map_vars(&self, map: &mut impl FnMut(VarId) -> Term) -> Term {
+        match self {
+            Term::Var(v) => map(*v),
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.map_vars(map)).collect()),
+            t => t.clone(),
+        }
+    }
+
+    /// Structural size (number of symbol/constant/variable nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Pretty-prints the term against a symbol table.
+    pub fn display<'a>(&'a self, syms: &'a SymbolTable) -> TermDisplay<'a> {
+        TermDisplay { term: self, syms }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "_{v}"),
+            Term::Sym(s) => write!(f, "{s:?}"),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Float(x) => write!(f, "{}", x.0),
+            Term::App(s, args) => {
+                write!(f, "{s:?}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a:?}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Display adapter produced by [`Term::display`].
+pub struct TermDisplay<'a> {
+    term: &'a Term,
+    syms: &'a SymbolTable,
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(f, self.term, self.syms)
+    }
+}
+
+/// Writes `term` in (approximate) Prolog syntax.
+pub fn write_term(f: &mut fmt::Formatter<'_>, term: &Term, syms: &SymbolTable) -> fmt::Result {
+    match term {
+        Term::Var(v) => write!(f, "{}", var_name(*v)),
+        Term::Sym(s) => write!(f, "{}", syms.name(*s)),
+        Term::Int(i) => write!(f, "{i}"),
+        // Keep a decimal point so the token re-parses as a float.
+        Term::Float(x) if x.0.fract() == 0.0 && x.0.is_finite() => write!(f, "{:.1}", x.0),
+        Term::Float(x) => write!(f, "{}", x.0),
+        Term::App(s, args) => {
+            write!(f, "{}(", syms.name(*s))?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write_term(f, a, syms)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+/// Human-readable variable name for id `v` (`A`, `B`, ..., `Z`, `A1`, ...).
+pub fn var_name(v: VarId) -> String {
+    let letter = (b'A' + (v % 26) as u8) as char;
+    let round = v / 26;
+    if round == 0 {
+        letter.to_string()
+    } else {
+        format!("{letter}{round}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn groundness() {
+        let t = syms();
+        let f = t.intern("f");
+        let a = Term::Sym(t.intern("a"));
+        assert!(a.is_ground());
+        let c = Term::app(f, vec![a.clone(), Term::Var(0)]);
+        assert!(!c.is_ground());
+        let g = Term::app(f, vec![a.clone(), Term::Int(3)]);
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn var_collection_and_offset() {
+        let t = syms();
+        let f = t.intern("f");
+        let term = Term::app(f, vec![Term::Var(0), Term::app(f, vec![Term::Var(2)])]);
+        let mut vars = vec![];
+        term.collect_vars(&mut vars);
+        assert_eq!(vars, vec![0, 2]);
+        assert_eq!(term.max_var(), Some(2));
+        let shifted = term.offset_vars(10);
+        assert_eq!(shifted.max_var(), Some(12));
+    }
+
+    #[test]
+    fn f64_total_order() {
+        assert_eq!(F64(1.5), F64(1.5));
+        assert!(F64(1.0) < F64(2.0));
+        assert_eq!(F64(f64::NAN), F64(f64::NAN)); // bitwise equality
+    }
+
+    #[test]
+    fn term_size() {
+        let t = syms();
+        let f = t.intern("f");
+        let term = Term::app(f, vec![Term::Int(1), Term::app(f, vec![Term::Int(2)])]);
+        assert_eq!(term.size(), 4);
+    }
+
+    #[test]
+    fn var_names_cycle() {
+        assert_eq!(var_name(0), "A");
+        assert_eq!(var_name(25), "Z");
+        assert_eq!(var_name(26), "A1");
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let t = syms();
+        let f = t.intern("f");
+        let term = Term::app(f, vec![Term::Sym(t.intern("a")), Term::Var(1)]);
+        assert_eq!(format!("{}", term.display(&t)), "f(a,B)");
+    }
+}

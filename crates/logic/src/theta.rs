@@ -1,0 +1,292 @@
+//! θ-subsumption (Plotkin 1970) — the generality order ILP search spaces
+//! are structured by (paper §3.1).
+//!
+//! Clause `C` θ-subsumes clause `D` iff there is a substitution θ such that
+//! `Cθ ⊆ D` (literals compared as sets). `C` is then *at least as general*
+//! as `D`. Deciding subsumption is NP-complete in general; clauses here are
+//! short (bounded by the ILP length constraint), so a backtracking matcher
+//! with predicate-key pruning is entirely adequate.
+
+use crate::clause::{Clause, Literal};
+use crate::term::{Term, VarId};
+use std::collections::HashMap;
+
+/// One-way matcher: only variables of the *subsumer* may bind; variables of
+/// the subsumee behave as constants (standard skolemization-free trick).
+#[derive(Default)]
+struct Matcher {
+    bound: HashMap<VarId, Term>,
+    trail: Vec<VarId>,
+}
+
+impl Matcher {
+    fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail non-empty");
+            self.bound.remove(&v);
+        }
+    }
+
+    /// Matches subsumer term `a` against subsumee term `b`; `b` is rigid.
+    fn match_term(&mut self, a: &Term, b: &Term) -> bool {
+        match a {
+            Term::Var(v) => {
+                if let Some(t) = self.bound.get(v) {
+                    // Must map consistently: previously-bound image equals b.
+                    t == b
+                } else {
+                    self.bound.insert(*v, b.clone());
+                    self.trail.push(*v);
+                    true
+                }
+            }
+            Term::Sym(x) => matches!(b, Term::Sym(y) if x == y),
+            Term::Int(x) => matches!(b, Term::Int(y) if x == y),
+            Term::Float(x) => matches!(b, Term::Float(y) if x == y),
+            Term::App(f, xs) => match b {
+                Term::App(g, ys) if f == g && xs.len() == ys.len() => {
+                    xs.iter().zip(ys.iter()).all(|(x, y)| self.match_term(x, y))
+                }
+                _ => false,
+            },
+        }
+    }
+
+    fn match_literal(&mut self, a: &Literal, b: &Literal) -> bool {
+        if a.pred != b.pred || a.args.len() != b.args.len() {
+            return false;
+        }
+        let m = self.mark();
+        if a.args.iter().zip(b.args.iter()).all(|(x, y)| self.match_term(x, y)) {
+            true
+        } else {
+            self.undo_to(m);
+            false
+        }
+    }
+}
+
+/// Returns true iff `general` θ-subsumes `specific`.
+///
+/// The head must map onto the head; each body literal of `general` must map
+/// onto *some* body literal of `specific` under a single consistent θ.
+pub fn subsumes(general: &Clause, specific: &Clause) -> bool {
+    // Standardize apart: shift the subsumer's variables above the subsumee's
+    // so a subsumer variable is never confused with an identical subsumee id.
+    let shift = specific.var_span();
+    let general = general.offset_vars(shift);
+
+    let mut m = Matcher::default();
+    if !m.match_literal(&general.head, &specific.head) {
+        return false;
+    }
+    // Order body literals most-constrained first: fewer candidate targets
+    // means earlier failure.
+    let mut order: Vec<usize> = (0..general.body.len()).collect();
+    let candidates: Vec<Vec<usize>> = general
+        .body
+        .iter()
+        .map(|gl| {
+            specific
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, sl)| sl.key() == gl.key())
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    order.sort_by_key(|&i| candidates[i].len());
+
+    fn assign(
+        m: &mut Matcher,
+        order: &[usize],
+        pos: usize,
+        general: &Clause,
+        specific: &Clause,
+        candidates: &[Vec<usize>],
+    ) -> bool {
+        let Some(&gi) = order.get(pos) else {
+            return true;
+        };
+        for &si in &candidates[gi] {
+            let mark = m.mark();
+            if m.match_literal(&general.body[gi], &specific.body[si])
+                && assign(m, order, pos + 1, general, specific, candidates)
+            {
+                return true;
+            }
+            m.undo_to(mark);
+        }
+        false
+    }
+
+    assign(&mut m, &order, 0, &general, specific, &candidates)
+}
+
+/// True when the clauses are equal up to a consistent renaming of variables.
+pub fn variants(a: &Clause, b: &Clause) -> bool {
+    a.normalize() == b.normalize()
+}
+
+/// True when the clauses subsume each other (θ-equivalence).
+pub fn equivalent(a: &Clause, b: &Clause) -> bool {
+    subsumes(a, b) && subsumes(b, a)
+}
+
+/// Plotkin reduction: removes body literals that are redundant under
+/// θ-subsumption, returning an equivalent, minimal clause.
+pub fn reduce(c: &Clause) -> Clause {
+    let mut cur = c.clone();
+    let mut i = 0;
+    while i < cur.body.len() {
+        let mut shorter = cur.clone();
+        shorter.body.remove(i);
+        // Removing a literal always generalizes; the removal is sound iff the
+        // shorter clause is still subsumed by the original (θ-equivalent).
+        if subsumes(&cur, &shorter) {
+            cur = shorter;
+        } else {
+            i += 1;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn lit(t: &SymbolTable, name: &str, args: Vec<Term>) -> Literal {
+        Literal::new(t.intern(name), args)
+    }
+
+    fn setup() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn clause_subsumes_itself() {
+        let t = setup();
+        let c = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0), Term::Var(1)])],
+        );
+        assert!(subsumes(&c, &c));
+    }
+
+    #[test]
+    fn more_general_subsumes_specialization() {
+        let t = setup();
+        // p(X) :- q(X,Y)   subsumes   p(X) :- q(X,a), r(X)
+        let g = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0), Term::Var(1)])],
+        );
+        let s = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![
+                lit(&t, "q", vec![Term::Var(0), Term::Sym(t.intern("a"))]),
+                lit(&t, "r", vec![Term::Var(0)]),
+            ],
+        );
+        assert!(subsumes(&g, &s));
+        assert!(!subsumes(&s, &g));
+    }
+
+    #[test]
+    fn theta_must_be_consistent_across_literals() {
+        let t = setup();
+        // p(X) :- q(X), r(X)  does NOT subsume  p(a) :- q(a), r(b)
+        let g = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0)]), lit(&t, "r", vec![Term::Var(0)])],
+        );
+        let s = Clause::new(
+            lit(&t, "p", vec![Term::Sym(t.intern("a"))]),
+            vec![
+                lit(&t, "q", vec![Term::Sym(t.intern("a"))]),
+                lit(&t, "r", vec![Term::Sym(t.intern("b"))]),
+            ],
+        );
+        assert!(!subsumes(&g, &s));
+    }
+
+    #[test]
+    fn subsumee_vars_are_rigid() {
+        let t = setup();
+        // p(a) does not subsume p(X): constants cannot generalize to vars.
+        let g = Clause::fact(lit(&t, "p", vec![Term::Sym(t.intern("a"))]));
+        let s = Clause::fact(lit(&t, "p", vec![Term::Var(0)]));
+        assert!(!subsumes(&g, &s));
+        assert!(subsumes(&s, &g));
+    }
+
+    #[test]
+    fn same_variable_ids_do_not_alias() {
+        let t = setup();
+        // Both clauses use Var(0); standardize-apart must keep them distinct.
+        let g = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0)])],
+        );
+        let s = Clause::new(
+            lit(&t, "p", vec![Term::Sym(t.intern("c"))]),
+            vec![lit(&t, "q", vec![Term::Sym(t.intern("c"))])],
+        );
+        assert!(subsumes(&g, &s));
+    }
+
+    #[test]
+    fn variant_detection() {
+        let t = setup();
+        let a = Clause::new(
+            lit(&t, "p", vec![Term::Var(2)]),
+            vec![lit(&t, "q", vec![Term::Var(2), Term::Var(5)])],
+        );
+        let b = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(0), Term::Var(1)])],
+        );
+        assert!(variants(&a, &b));
+        let c = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![lit(&t, "q", vec![Term::Var(1), Term::Var(0)])],
+        );
+        assert!(!variants(&a, &c));
+    }
+
+    #[test]
+    fn reduction_removes_duplicate_literal() {
+        let t = setup();
+        // p(X) :- q(X,Y), q(X,Z)  reduces to  p(X) :- q(X,Y)
+        let c = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![
+                lit(&t, "q", vec![Term::Var(0), Term::Var(1)]),
+                lit(&t, "q", vec![Term::Var(0), Term::Var(2)]),
+            ],
+        );
+        let r = reduce(&c);
+        assert_eq!(r.body.len(), 1);
+        assert!(equivalent(&c, &r));
+    }
+
+    #[test]
+    fn reduction_keeps_needed_literals() {
+        let t = setup();
+        let c = Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![
+                lit(&t, "q", vec![Term::Var(0)]),
+                lit(&t, "r", vec![Term::Var(0)]),
+            ],
+        );
+        assert_eq!(reduce(&c).body.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property: pretty-printing a clause and parsing it back yields an
+//! α-equivalent clause (display/parse round-trip).
+
+use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::parser::Parser;
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::{Term, F64};
+use proptest::prelude::*;
+
+fn arb_term(t: SymbolTable) -> BoxedStrategy<Term> {
+    let consts: Vec<Term> =
+        ["a", "b", "cde", "x1"].iter().map(|n| Term::Sym(t.intern(n))).collect();
+    let f = t.intern("f");
+    let leaf = prop_oneof![
+        (0u32..5).prop_map(Term::Var),
+        proptest::sample::select(consts),
+        (-99i64..99).prop_map(Term::Int),
+        // Floats chosen to print exactly (avoid 0.1 + parse mismatch).
+        (-8i32..8).prop_map(|i| Term::Float(F64(i as f64 * 0.5))),
+    ];
+    leaf.prop_recursive(2, 12, 3, move |inner| {
+        proptest::collection::vec(inner, 1..3).prop_map(move |args| Term::app(f, args))
+    })
+    .boxed()
+}
+
+fn arb_clause(t: SymbolTable) -> impl Strategy<Value = Clause> {
+    let p = t.intern("p");
+    let q = t.intern("qq");
+    let term = arb_term(t);
+    let lit = prop_oneof![
+        term.clone().prop_map(move |a| Literal::new(p, vec![a])),
+        (term.clone(), term.clone()).prop_map(move |(a, b)| Literal::new(q, vec![a, b])),
+    ];
+    (lit.clone(), proptest::collection::vec(lit, 0..3))
+        .prop_map(|(h, b)| Clause::new(h, b))
+}
+
+proptest! {
+    #[test]
+    fn display_then_parse_is_alpha_identity(c in {
+        let t = SymbolTable::new();
+        arb_clause(t)
+    }) {
+        // Fresh table per case would lose the symbols; rebuild the clause's
+        // text against its own table and parse with the same table.
+        let t = SymbolTable::new();
+        // Re-intern the fixed vocabulary in the same order as arb_clause
+        // interns it (p, qq first, then arb_term's constants, then f).
+        t.intern("p");
+        t.intern("qq");
+        for n in ["a", "b", "cde", "x1"] { t.intern(n); }
+        t.intern("f");
+        let text = format!("{}", c.display(&t));
+        let parsed = Parser::new(&t, &text).unwrap().parse_clause().unwrap();
+        prop_assert_eq!(parsed.normalize(), c.normalize(), "text was: {}", text);
+    }
+}

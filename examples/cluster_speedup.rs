@@ -1,0 +1,50 @@
+//! Speedup curve: T(1)/T(p) for p = 1, 2, 4, 8 on the carcinogenesis-shaped
+//! dataset — the experiment behind the paper's Tables 2 and 3, on one
+//! dataset, in one command.
+//!
+//! ```sh
+//! cargo run --release --example cluster_speedup
+//! ```
+
+use p2mdie::cluster::CostModel;
+use p2mdie::core::driver::{run_parallel, run_sequential_timed, ParallelConfig};
+use p2mdie::ilp::settings::Width;
+
+fn main() {
+    let ds = p2mdie::datasets::carcinogenesis(0.5, 2005);
+    println!(
+        "dataset: {} ({} pos / {} neg)\n",
+        ds.name,
+        ds.examples.num_pos(),
+        ds.examples.num_neg()
+    );
+
+    let seq = run_sequential_timed(&ds.engine, &ds.examples, &CostModel::beowulf_2005());
+    println!(
+        "p = 1 (sequential MDIE):   T = {:>8.1} virtual s   ({} epochs)",
+        seq.vtime, seq.epochs
+    );
+
+    for width in [Width::Unlimited, Width::Limit(10)] {
+        println!("\npipeline width = {}:", width.label());
+        for p in [2, 4, 8] {
+            let rep = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(p, width, 2005))
+                .expect("cluster run");
+            let speedup = seq.vtime / rep.vtime;
+            let bar = "#".repeat((speedup * 4.0).round() as usize);
+            println!(
+                "  p = {p}: T = {:>8.1} virtual s  speedup {speedup:>5.2} {bar}  \
+                 ({} epochs, {:.2} MB)",
+                rep.vtime,
+                rep.epochs,
+                rep.megabytes()
+            );
+        }
+    }
+    println!(
+        "\n(virtual Beowulf-2005 cost model: {} s/step, {} µs latency, {} MB/s links)",
+        CostModel::beowulf_2005().sec_per_step,
+        CostModel::beowulf_2005().latency * 1e6,
+        CostModel::beowulf_2005().bytes_per_sec / 1e6
+    );
+}

@@ -1,0 +1,255 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: unification, θ-subsumption, the wire codec, partitioning,
+//! bitsets, and the t-test.
+
+use p2mdie::cluster::codec::{from_bytes, to_bytes};
+use p2mdie::core::partition::partition_examples;
+use p2mdie::core::protocol::Msg;
+use p2mdie::ilp::bitset::Bitset;
+use p2mdie::ilp::examples::Examples;
+use p2mdie::logic::clause::{Clause, Literal};
+use p2mdie::logic::subst::Bindings;
+use p2mdie::logic::symbol::SymbolTable;
+use p2mdie::logic::term::Term;
+use p2mdie::logic::theta;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// Arbitrary terms over a small vocabulary (functors f/g, constants a..e,
+/// ints, variables 0..6), depth-bounded.
+fn arb_term() -> impl Strategy<Value = Term> {
+    let t = SymbolTable::new();
+    let consts: Vec<Term> = ["a", "b", "c", "d", "e"]
+        .iter()
+        .map(|n| Term::Sym(t.intern(n)))
+        .collect();
+    let f = t.intern("f");
+    let g = t.intern("g");
+    let leaf = prop_oneof![
+        (0u32..6).prop_map(Term::Var),
+        proptest::sample::select(consts),
+        (-5i64..5).prop_map(Term::Int),
+    ];
+    leaf.prop_recursive(3, 24, 3, move |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3)
+                .prop_map(move |args| Term::app(f, args)),
+            proptest::collection::vec(inner, 1..2).prop_map(move |args| Term::app(g, args)),
+        ]
+    })
+}
+
+/// Arbitrary short clauses over predicates p/1, q/2, r/1.
+fn arb_clause() -> impl Strategy<Value = Clause> {
+    let t = SymbolTable::new();
+    let p = t.intern("p");
+    let q = t.intern("q");
+    let r = t.intern("r");
+    let var = (0u32..4).prop_map(Term::Var);
+    let cst = proptest::sample::select(vec![
+        Term::Sym(t.intern("a")),
+        Term::Sym(t.intern("b")),
+        Term::Int(1),
+    ]);
+    let arg = prop_oneof![var, cst];
+    let lit = prop_oneof![
+        arg.clone().prop_map(move |a| Literal::new(p, vec![a])),
+        (arg.clone(), arg.clone()).prop_map(move |(a, b)| Literal::new(q, vec![a, b])),
+        arg.clone().prop_map(move |a| Literal::new(r, vec![a])),
+    ];
+    (lit.clone(), proptest::collection::vec(lit, 0..4))
+        .prop_map(|(head, body)| Clause::new(head, body))
+}
+
+// ---------------------------------------------------------------------
+// Unification
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A successful unifier really unifies: applying the bindings to both
+    /// sides yields syntactically equal terms.
+    #[test]
+    fn unifier_unifies(a in arb_term(), b in arb_term()) {
+        let mut bd = Bindings::new();
+        if bd.unify(&a, &b, true) {
+            prop_assert_eq!(bd.resolve(&a), bd.resolve(&b));
+        }
+    }
+
+    /// Unification is symmetric in success.
+    #[test]
+    fn unification_is_symmetric(a in arb_term(), b in arb_term()) {
+        let mut b1 = Bindings::new();
+        let mut b2 = Bindings::new();
+        prop_assert_eq!(b1.unify(&a, &b, true), b2.unify(&b, &a, true));
+    }
+
+    /// Failed unification leaves no bindings behind.
+    #[test]
+    fn failed_unification_is_clean(a in arb_term(), b in arb_term()) {
+        let mut bd = Bindings::new();
+        if !bd.unify(&a, &b, true) {
+            for v in 0..8 {
+                prop_assert!(bd.lookup(v).is_none());
+            }
+        }
+    }
+
+    /// A term always unifies with itself without creating bindings on
+    /// distinct variables... (it may bind nothing at all).
+    #[test]
+    fn self_unification_succeeds(a in arb_term()) {
+        let mut bd = Bindings::new();
+        prop_assert!(bd.unify(&a, &a, true));
+        prop_assert_eq!(bd.resolve(&a), bd.resolve(&a));
+    }
+}
+
+// ---------------------------------------------------------------------
+// θ-subsumption
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Reflexivity: every clause subsumes itself.
+    #[test]
+    fn subsumption_is_reflexive(c in arb_clause()) {
+        prop_assert!(theta::subsumes(&c, &c));
+    }
+
+    /// Dropping body literals generalizes: the shorter clause subsumes the
+    /// longer one.
+    #[test]
+    fn literal_dropping_generalizes(c in arb_clause(), k in 0usize..4) {
+        prop_assume!(!c.body.is_empty());
+        let mut shorter = c.clone();
+        shorter.body.remove(k % c.body.len());
+        prop_assert!(theta::subsumes(&shorter, &c));
+    }
+
+    /// Variants subsume each other.
+    #[test]
+    fn variants_are_theta_equivalent(c in arb_clause(), off in 1u32..5) {
+        let renamed = c.offset_vars(off);
+        prop_assert!(theta::variants(&c, &renamed));
+        prop_assert!(theta::subsumes(&c, &renamed));
+        prop_assert!(theta::subsumes(&renamed, &c));
+    }
+
+    /// Plotkin reduction preserves θ-equivalence and never grows.
+    #[test]
+    fn reduction_preserves_equivalence(c in arb_clause()) {
+        let r = theta::reduce(&c);
+        prop_assert!(r.body.len() <= c.body.len());
+        prop_assert!(theta::subsumes(&r, &c) && theta::subsumes(&c, &r));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// MarkCovered messages round-trip through the codec for arbitrary
+    /// clauses (the hardest payload: nested terms).
+    #[test]
+    fn codec_roundtrips_clauses(c in arb_clause()) {
+        let msg = Msg::MarkCovered { rule: c };
+        let bytes = to_bytes(&msg);
+        let back: Msg = from_bytes(bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// EvalResult count vectors round-trip exactly.
+    #[test]
+    fn codec_roundtrips_counts(counts in proptest::collection::vec((0u32..9999, 0u32..9999), 0..64)) {
+        let msg = Msg::EvalResult { counts };
+        let back: Msg = from_bytes(to_bytes(&msg)).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Decoding arbitrary junk never panics (it may error).
+    #[test]
+    fn codec_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes::<Msg>(bytes::Bytes::from(bytes));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Partitioning is a permutation into near-even parts, for any sizes.
+    #[test]
+    fn partition_permutes_evenly(n_pos in 0usize..60, n_neg in 0usize..60, p in 1usize..9, seed in 0u64..50) {
+        let t = SymbolTable::new();
+        let pr = t.intern("e");
+        let ex = Examples::new(
+            (0..n_pos).map(|i| Literal::new(pr, vec![Term::Int(i as i64)])).collect(),
+            (0..n_neg).map(|i| Literal::new(pr, vec![Term::Int(-1 - i as i64)])).collect(),
+        );
+        let (subs, part) = partition_examples(&ex, p, seed);
+        let mut all: Vec<usize> = part.pos.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n_pos).collect::<Vec<_>>());
+        let sizes: Vec<usize> = subs.iter().map(|s| s.num_pos()).collect();
+        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1, "uneven partition: {:?}", sizes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bitsets
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// De Morgan-ish law: |A| = |A∩B| + |A\B|.
+    #[test]
+    fn bitset_partition_law(len in 1usize..300,
+                            a in proptest::collection::vec(any::<bool>(), 1..300),
+                            b in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let n = len.min(a.len()).min(b.len());
+        let sa = Bitset::from_indices(n, (0..n).filter(|&i| a[i]));
+        let sb = Bitset::from_indices(n, (0..n).filter(|&i| b[i]));
+        let inter = sa.intersection_count(&sb);
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        prop_assert_eq!(sa.count(), inter + diff.count());
+    }
+
+    /// iter_ones is sorted, in range, and matches count().
+    #[test]
+    fn bitset_iteration_invariants(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let n = bits.len();
+        let s = Bitset::from_indices(n, (0..n).filter(|&i| bits[i]));
+        let ones: Vec<usize> = s.iter_ones().collect();
+        prop_assert_eq!(ones.len(), s.count());
+        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ones.iter().all(|&i| i < n && s.get(i)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The paired t-test is antisymmetric in its arguments and its p-value
+    /// always lies in [0, 1].
+    #[test]
+    fn ttest_antisymmetry(xs in proptest::collection::vec(0.0f64..100.0, 2..12),
+                          ys in proptest::collection::vec(0.0f64..100.0, 2..12)) {
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        let fwd = p2mdie::eval::paired_ttest(a, b).unwrap();
+        let rev = p2mdie::eval::paired_ttest(b, a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&fwd.p_value));
+        if fwd.t.is_finite() {
+            prop_assert!((fwd.t + rev.t).abs() < 1e-6);
+            prop_assert!((fwd.p_value - rev.p_value).abs() < 1e-9);
+        }
+    }
+}
