@@ -35,16 +35,30 @@ fn bench_strategies(c: &mut Criterion) {
     g.bench_function("coverage_parallel_per_level", |b| {
         b.iter(|| {
             black_box(
-                run_coverage_parallel(&d.engine, &d.examples, P, EvalGranularity::PerLevel, model, SEED)
-                    .unwrap(),
+                run_coverage_parallel(
+                    &d.engine,
+                    &d.examples,
+                    P,
+                    EvalGranularity::PerLevel,
+                    model,
+                    SEED,
+                )
+                .unwrap(),
             )
         })
     });
     g.bench_function("coverage_parallel_per_clause", |b| {
         b.iter(|| {
             black_box(
-                run_coverage_parallel(&d.engine, &d.examples, P, EvalGranularity::PerClause, model, SEED)
-                    .unwrap(),
+                run_coverage_parallel(
+                    &d.engine,
+                    &d.examples,
+                    P,
+                    EvalGranularity::PerClause,
+                    model,
+                    SEED,
+                )
+                .unwrap(),
             )
         })
     });
@@ -56,7 +70,12 @@ fn bench_width_sweep(c: &mut Criterion) {
     let d = carcinogenesis(SCALE, SEED);
     let mut g = c.benchmark_group("width_ablation");
     g.sample_size(10);
-    for width in [Width::Limit(1), Width::Limit(10), Width::Limit(100), Width::Unlimited] {
+    for width in [
+        Width::Limit(1),
+        Width::Limit(10),
+        Width::Limit(100),
+        Width::Unlimited,
+    ] {
         g.bench_function(format!("width_{}", width.label()), |b| {
             b.iter(|| {
                 let cfg = ParallelConfig::new(P, width, SEED);

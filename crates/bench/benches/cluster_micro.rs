@@ -12,10 +12,11 @@ fn bench_codec(c: &mut Criterion) {
     // A realistic MarkCovered message with a 3-literal clause.
     let d = carcinogenesis(0.1, 7);
     let bottom = d.engine.saturate(&d.examples.pos[0]).expect("saturates");
-    let shape = p2mdie_ilp::refine::RuleShape::from_indices(
-        (0..bottom.body_len().min(3) as u32).collect(),
-    );
-    let msg = Msg::MarkCovered { rule: shape.to_clause(&bottom) };
+    let shape =
+        p2mdie_ilp::refine::RuleShape::from_indices((0..bottom.body_len().min(3) as u32).collect());
+    let msg = Msg::MarkCovered {
+        rule: shape.to_clause(&bottom),
+    };
     let encoded = to_bytes(&msg);
     c.bench_function("codec/encode_mark_covered", |bench| {
         bench.iter(|| black_box(to_bytes(black_box(&msg))))

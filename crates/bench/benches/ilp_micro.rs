@@ -16,7 +16,12 @@ fn bench_ilp(c: &mut Criterion) {
     let best_shape = p2mdie_ilp::refine::RuleShape::from_indices(vec![0]);
     let clause = best_shape.to_clause(&bottom);
     c.bench_function("ilp/coverage_one_rule", |bench| {
-        bench.iter(|| black_box(d.engine.evaluate(black_box(&clause), &d.examples, None, None)))
+        bench.iter(|| {
+            black_box(
+                d.engine
+                    .evaluate(black_box(&clause), &d.examples, None, None),
+            )
+        })
     });
 
     let mut g = c.benchmark_group("ilp_search");

@@ -43,7 +43,13 @@ fn bench_unify(c: &mut Criterion) {
 
 fn bench_prove(c: &mut Criterion) {
     let p = family_program();
-    let prover = Prover::new(p.kb(), ProofLimits { max_depth: 64, max_steps: 1_000_000 });
+    let prover = Prover::new(
+        p.kb(),
+        ProofLimits {
+            max_depth: 64,
+            max_steps: 1_000_000,
+        },
+    );
     let goal = p.parse_query("ancestor(p0, p50)").unwrap();
     c.bench_function("prove/ancestor_50_hops", |bench| {
         bench.iter(|| black_box(prover.prove_ground(black_box(&goal))))
@@ -69,11 +75,20 @@ fn bench_parser(c: &mut Criterion) {
     let src = "active(M) :- atm(M, A, c, C), gteq(C, 0.25), bond(M, A, B, 7).";
     c.bench_function("parser/clause", |bench| {
         bench.iter(|| {
-            let c = Parser::new(&t, black_box(src)).unwrap().parse_clause().unwrap();
+            let c = Parser::new(&t, black_box(src))
+                .unwrap()
+                .parse_clause()
+                .unwrap();
             black_box(c)
         })
     });
 }
 
-criterion_group!(benches, bench_unify, bench_prove, bench_subsumption, bench_parser);
+criterion_group!(
+    benches,
+    bench_unify,
+    bench_prove,
+    bench_subsumption,
+    bench_parser
+);
 criterion_main!(benches);

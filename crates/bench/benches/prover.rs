@@ -1,0 +1,161 @@
+//! Before/after microbenches for the PR-1 deduction hot path: the seed's
+//! clone-per-expansion prover and unmasked coverage (via `p2mdie_bench::legacy`
+//! and `prover::reference`) against the optimized goal-stack prover, monotone
+//! coverage pruning, and per-side evaluation. `cargo bench -p p2mdie-bench
+//! --bench prover`. The `bench_prover` binary runs the same comparison and
+//! writes `BENCH_prover.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2mdie_bench::legacy;
+use p2mdie_datasets::carcinogenesis;
+use p2mdie_ilp::coverage::{evaluate_rule_threads, Coverage};
+use p2mdie_ilp::refine::RuleShape;
+use p2mdie_ilp::search::search_rules;
+use p2mdie_logic::prover::{reference, ProofLimits, Prover};
+use p2mdie_logic::Program;
+use std::hint::black_box;
+
+fn chain_program() -> Program {
+    let mut p = Program::new();
+    let mut src = String::new();
+    for i in 0..200 {
+        src.push_str(&format!("parent(p{i}, p{}).\n", i + 1));
+    }
+    src.push_str("ancestor(X, Y) :- parent(X, Y).\n");
+    src.push_str("ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n");
+    p.consult(&src).expect("consult");
+    p
+}
+
+fn bench_backtracking(c: &mut Criterion) {
+    let p = chain_program();
+    let limits = ProofLimits {
+        max_depth: 256,
+        max_steps: 10_000_000,
+    };
+    let hit = p.parse_query("ancestor(p0, p150)").unwrap();
+    let miss = p.parse_query("ancestor(p150, p0)").unwrap();
+    let mut g = c.benchmark_group("prover_backtracking");
+    let old = reference::Prover::new(p.kb(), limits);
+    g.bench_function("before", |b| {
+        b.iter(|| {
+            black_box(old.prove_ground(black_box(&hit)));
+            black_box(old.prove_ground(black_box(&miss)))
+        })
+    });
+    let new = Prover::new(p.kb(), limits);
+    g.bench_function("after", |b| {
+        b.iter(|| {
+            black_box(new.prove_ground(black_box(&hit)));
+            black_box(new.prove_ground(black_box(&miss)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let d = carcinogenesis(0.5, 7);
+    let proof = d.engine.settings.proof;
+    let kb = &d.engine.kb;
+    let bottom = d.engine.saturate(&d.examples.pos[0]).expect("saturates");
+
+    // The frontier-walk workload of `learn_rule`: per level, the first few
+    // successors of the current node, descending into the first.
+    let max_body = d.engine.settings.max_body;
+    let mut levels = vec![vec![RuleShape::empty()]];
+    let mut shape = RuleShape::empty();
+    for _ in 0..max_body {
+        let succ: Vec<RuleShape> = shape
+            .successors(&bottom, max_body)
+            .into_iter()
+            .take(3)
+            .collect();
+        if succ.is_empty() {
+            break;
+        }
+        shape = succ[0].clone();
+        levels.push(succ);
+    }
+    let level_clauses: Vec<Vec<_>> = levels
+        .iter()
+        .map(|l| l.iter().map(|s| s.to_clause(&bottom)).collect())
+        .collect();
+
+    let mut g = c.benchmark_group("coverage_carcinogenesis");
+    g.sample_size(10);
+    g.bench_function("before", |b| {
+        b.iter(|| {
+            for level in &level_clauses {
+                for clause in level {
+                    black_box(legacy::evaluate_rule(
+                        kb,
+                        proof,
+                        clause,
+                        &d.examples,
+                        None,
+                        None,
+                    ));
+                }
+            }
+        })
+    });
+    g.bench_function("after", |b| {
+        b.iter(|| {
+            let mut masks: Option<Coverage> = None;
+            for level in &level_clauses {
+                let mut first: Option<Coverage> = None;
+                for clause in level {
+                    let cov = evaluate_rule_threads(
+                        kb,
+                        proof,
+                        clause,
+                        &d.examples,
+                        masks.as_ref().map(|m| &m.pos),
+                        masks.as_ref().map(|m| &m.neg),
+                        1,
+                    );
+                    if first.is_none() {
+                        first = Some(black_box(cov));
+                    }
+                }
+                masks = first;
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let d = carcinogenesis(0.5, 7);
+    let bottom = d.engine.saturate(&d.examples.pos[0]).expect("saturates");
+    let mut g = c.benchmark_group("learn_rule_search");
+    g.sample_size(10);
+    g.bench_function("before", |b| {
+        b.iter(|| {
+            black_box(legacy::search_rules(
+                &d.engine.kb,
+                &d.engine.settings,
+                &bottom,
+                &d.examples,
+                None,
+                &[],
+            ))
+        })
+    });
+    g.bench_function("after", |b| {
+        b.iter(|| {
+            black_box(search_rules(
+                &d.engine.kb,
+                &d.engine.settings,
+                &bottom,
+                &d.examples,
+                None,
+                &[],
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_backtracking, bench_coverage, bench_search);
+criterion_main!(benches);

@@ -22,9 +22,13 @@ const SEED: u64 = 2005;
 fn bench_table1_generators(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_generation");
     g.sample_size(10);
-    g.bench_function("carcinogenesis", |b| b.iter(|| black_box(carcinogenesis(SCALE, SEED))));
+    g.bench_function("carcinogenesis", |b| {
+        b.iter(|| black_box(carcinogenesis(SCALE, SEED)))
+    });
     g.bench_function("mesh", |b| b.iter(|| black_box(mesh(SCALE, SEED))));
-    g.bench_function("pyrimidines", |b| b.iter(|| black_box(pyrimidines(SCALE, SEED))));
+    g.bench_function("pyrimidines", |b| {
+        b.iter(|| black_box(pyrimidines(SCALE, SEED)))
+    });
     g.finish();
 }
 

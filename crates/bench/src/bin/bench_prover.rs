@@ -1,0 +1,255 @@
+//! Before/after benchmark for the PR-1 deduction-hot-path rework.
+//!
+//! Measures the pre-refactor implementation (the verbatim seed replicas in
+//! `p2mdie_bench::legacy`, built on `prover::reference`) against the
+//! optimized stack (goal-stack prover, monotone coverage pruning, optional
+//! thread fan-out) on three workloads:
+//!
+//! 1. `prover_backtracking` — deep recursive `ancestor/2` proofs;
+//! 2. `coverage_eval` — rule evaluation over a carcinogenesis-scale KB,
+//!    both a single rule and the refinement-chain workload `learn_rule`
+//!    actually issues (parent coverage masking the child);
+//! 3. `learn_rule_search` — a full breadth-first search from one seed.
+//!
+//! Writes the numbers to `BENCH_prover.json` (repo root) and exits non-zero
+//! when the coverage-evaluation speedup falls below 2x, so CI can gate on
+//! the acceptance criterion.
+
+use p2mdie_bench::legacy;
+use p2mdie_datasets::carcinogenesis;
+use p2mdie_ilp::coverage::{evaluate_rule_threads, Coverage};
+use p2mdie_ilp::refine::RuleShape;
+use p2mdie_ilp::search::search_rules;
+use p2mdie_logic::prover::{reference, ProofLimits, Prover};
+use p2mdie_logic::Program;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-N wall time for a routine, in nanoseconds per run.
+fn best_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    before_ns: f64,
+    after_ns: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.before_ns / self.after_ns
+    }
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+    let samples = 7;
+
+    // ---- 1. Prover backtracking: deep recursion over a 200-link chain.
+    {
+        let mut prog = Program::new();
+        let mut src = String::new();
+        for i in 0..200 {
+            src.push_str(&format!("parent(p{i}, p{}).\n", i + 1));
+        }
+        src.push_str("ancestor(X, Y) :- parent(X, Y).\n");
+        src.push_str("ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).\n");
+        prog.consult(&src).expect("consult");
+        let limits = ProofLimits {
+            max_depth: 256,
+            max_steps: 10_000_000,
+        };
+        let hit = prog.parse_query("ancestor(p0, p150)").unwrap();
+        let miss = prog.parse_query("ancestor(p150, p0)").unwrap();
+
+        let old = reference::Prover::new(prog.kb(), limits);
+        let before = best_ns(samples, || {
+            black_box(old.prove_ground(black_box(&hit)));
+            black_box(old.prove_ground(black_box(&miss)));
+        });
+        let new = Prover::new(prog.kb(), limits);
+        let after = best_ns(samples, || {
+            black_box(new.prove_ground(black_box(&hit)));
+            black_box(new.prove_ground(black_box(&miss)));
+        });
+        entries.push(Entry {
+            name: "prover_backtracking",
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // ---- 2 + 3. Carcinogenesis-scale KB.
+    let d = carcinogenesis(0.5, 7);
+    let proof = d.engine.settings.proof;
+    let kb = &d.engine.kb;
+    let bottom = d.engine.saturate(&d.examples.pos[0]).expect("saturates");
+
+    // The refinement workload `learn_rule` issues: walk down the lattice
+    // one level at a time; at each level evaluate the first few successors
+    // of the current node (the breadth-first frontier slice), then descend
+    // into the first of them. Levels: 0 (root) .. max_body.
+    let max_body = d.engine.settings.max_body;
+    let mut levels: Vec<Vec<RuleShape>> = vec![vec![RuleShape::empty()]];
+    let mut shape = RuleShape::empty();
+    for _ in 0..max_body {
+        let succ: Vec<RuleShape> = shape
+            .successors(&bottom, max_body)
+            .into_iter()
+            .take(3)
+            .collect();
+        if succ.is_empty() {
+            break;
+        }
+        shape = succ[0].clone();
+        levels.push(succ);
+    }
+    let level_clauses: Vec<Vec<_>> = levels
+        .iter()
+        .map(|l| l.iter().map(|s| s.to_clause(&bottom)).collect())
+        .collect();
+
+    // Single-rule coverage (no masks apply: like-for-like raw eval).
+    {
+        let clause = &level_clauses[1][0];
+        let before = best_ns(samples, || {
+            black_box(legacy::evaluate_rule(
+                kb,
+                proof,
+                clause,
+                &d.examples,
+                None,
+                None,
+            ));
+        });
+        let after = best_ns(samples, || {
+            black_box(evaluate_rule_threads(
+                kb,
+                proof,
+                clause,
+                &d.examples,
+                None,
+                None,
+                1,
+            ));
+        });
+        entries.push(Entry {
+            name: "coverage_single_rule",
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // Refinement coverage: the workload the search actually issues. Legacy
+    // evaluates every frontier node on the full example set; the optimized
+    // path masks each level's nodes with their shared parent's coverage
+    // (bit-identical results, O(|parent coverage|) work per node).
+    {
+        let before = best_ns(samples, || {
+            for level in &level_clauses {
+                for clause in level {
+                    black_box(legacy::evaluate_rule(
+                        kb,
+                        proof,
+                        clause,
+                        &d.examples,
+                        None,
+                        None,
+                    ));
+                }
+            }
+        });
+        let after = best_ns(samples, || {
+            let mut masks: Option<Coverage> = None;
+            for level in &level_clauses {
+                let mut first_cov: Option<Coverage> = None;
+                for clause in level {
+                    let cov = evaluate_rule_threads(
+                        kb,
+                        proof,
+                        clause,
+                        &d.examples,
+                        masks.as_ref().map(|m| &m.pos),
+                        masks.as_ref().map(|m| &m.neg),
+                        1,
+                    );
+                    if first_cov.is_none() {
+                        first_cov = Some(black_box(cov));
+                    }
+                }
+                // Descend into the level's first node, as the walk above did.
+                masks = first_cov;
+            }
+        });
+        entries.push(Entry {
+            name: "coverage_eval",
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // Full learn_rule search from one seed.
+    {
+        let settings = &d.engine.settings;
+        let before = best_ns(3, || {
+            black_box(legacy::search_rules(
+                kb,
+                settings,
+                &bottom,
+                &d.examples,
+                None,
+                &[],
+            ));
+        });
+        let after = best_ns(3, || {
+            black_box(search_rules(kb, settings, &bottom, &d.examples, None, &[]));
+        });
+        entries.push(Entry {
+            name: "learn_rule_search",
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // ---- Report.
+    let mut json = String::from("{\n  \"description\": \"PR-1 deduction hot path: pre-refactor (seed replica) vs optimized, best-of-N wall times\",\n  \"benches\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        println!(
+            "{:<24} before {:>12.0} ns   after {:>12.0} ns   speedup {:>5.2}x",
+            e.name,
+            e.before_ns,
+            e.after_ns,
+            e.speedup()
+        );
+        json.push_str(&format!(
+            "    \"{}\": {{ \"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.3} }}{}\n",
+            e.name,
+            e.before_ns,
+            e.after_ns,
+            e.speedup(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_prover.json", &json).expect("write BENCH_prover.json");
+    println!("\nwrote BENCH_prover.json");
+
+    let coverage = entries
+        .iter()
+        .find(|e| e.name == "coverage_eval")
+        .expect("coverage entry");
+    if coverage.speedup() < 2.0 {
+        eprintln!(
+            "FAIL: coverage_eval speedup {:.2}x is below the 2x acceptance bar",
+            coverage.speedup()
+        );
+        std::process::exit(1);
+    }
+}

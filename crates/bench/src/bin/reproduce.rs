@@ -44,7 +44,10 @@ fn parse_args() -> Result<Args, String> {
         seed: 2005,
         folds: 5,
         procs: vec![2, 4, 8],
-        datasets: p2mdie_datasets::PAPER_DATASETS.iter().map(|s| s.to_string()).collect(),
+        datasets: p2mdie_datasets::PAPER_DATASETS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         verbose: true,
     };
     let mut it = std::env::args().skip(1);
@@ -61,7 +64,10 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--datasets" => {
-                args.datasets = grab("--datasets")?.split(',').map(|s| s.to_owned()).collect();
+                args.datasets = grab("--datasets")?
+                    .split(',')
+                    .map(|s| s.to_owned())
+                    .collect();
             }
             "--quiet" => args.verbose = false,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
@@ -85,7 +91,9 @@ fn main() {
     };
 
     let wants = |k: &str| args.what.iter().any(|w| w == k || w == "all");
-    let needs_sweep = ["table2", "table3", "table4", "table5", "table6"].iter().any(|t| wants(t));
+    let needs_sweep = ["table2", "table3", "table4", "table5", "table6"]
+        .iter()
+        .any(|t| wants(t));
 
     // Table 1 always reports the paper-scale characterization; the sweep
     // scale only affects the measured tables.
@@ -150,18 +158,32 @@ fn main() {
         // per-clause / Graham per-level) vs per-epoch repartitioning.
         let model = CostModel::beowulf_2005();
         let p = 4;
-        println!("Ablation. Parallelization strategies (scale {}, p = {p})\n", args.scale);
-        println!("{:<34} {:>10} {:>9} {:>10} {:>8}", "strategy", "T(p) [s]", "speedup", "MBytes", "msgs");
+        println!(
+            "Ablation. Parallelization strategies (scale {}, p = {p})\n",
+            args.scale
+        );
+        println!(
+            "{:<34} {:>10} {:>9} {:>10} {:>8}",
+            "strategy", "T(p) [s]", "speedup", "MBytes", "msgs"
+        );
         for name in &args.datasets {
             let ds = p2mdie_datasets::by_name(name, args.scale, args.seed)
                 .unwrap_or_else(|| panic!("unknown dataset `{name}`"));
             let seq = run_sequential_timed(&ds.engine, &ds.examples, &model);
             println!("--- {name} (T(1) = {:.0} s) ---", seq.vtime);
-            let p2 = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(p, Width::Limit(10), args.seed))
-                .expect("p2mdie run");
+            let p2 = run_parallel(
+                &ds.engine,
+                &ds.examples,
+                &ParallelConfig::new(p, Width::Limit(10), args.seed),
+            )
+            .expect("p2mdie run");
             println!(
                 "{:<34} {:>10.0} {:>9.2} {:>10.2} {:>8}",
-                "p2-mdie (width 10)", p2.vtime, seq.vtime / p2.vtime, p2.megabytes(), p2.total_messages
+                "p2-mdie (width 10)",
+                p2.vtime,
+                seq.vtime / p2.vtime,
+                p2.megabytes(),
+                p2.total_messages
             );
             let rp = run_parallel(
                 &ds.engine,
@@ -171,7 +193,11 @@ fn main() {
             .expect("repartition run");
             println!(
                 "{:<34} {:>10.0} {:>9.2} {:>10.2} {:>8}",
-                "p2-mdie + epoch repartitioning", rp.vtime, seq.vtime / rp.vtime, rp.megabytes(), rp.total_messages
+                "p2-mdie + epoch repartitioning",
+                rp.vtime,
+                seq.vtime / rp.vtime,
+                rp.megabytes(),
+                rp.total_messages
             );
             for (label, gran) in [
                 ("coverage-parallel (per level)", EvalGranularity::PerLevel),
@@ -181,7 +207,11 @@ fn main() {
                     .expect("baseline run");
                 println!(
                     "{:<34} {:>10.0} {:>9.2} {:>10.2} {:>8}",
-                    label, cp.vtime, seq.vtime / cp.vtime, cp.megabytes(), cp.total_messages
+                    label,
+                    cp.vtime,
+                    seq.vtime / cp.vtime,
+                    cp.megabytes(),
+                    cp.total_messages
                 );
             }
         }

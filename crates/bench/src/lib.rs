@@ -1,3 +1,212 @@
 //! Benchmark harness crate: hosts the `reproduce` binary (regenerates every
 //! table and figure of the paper) and the Criterion micro/meso benches
 //! (`cargo bench -p p2mdie-bench`). See `src/bin/reproduce.rs`.
+//!
+//! This crate also hosts verbatim replicas of the *pre-refactor* deduction
+//! hot path ([`legacy`]) so benches can pin the speedup of the PR-1 prover
+//! and coverage rework against the true seed implementation rather than a
+//! reconstruction. The replicas build on [`p2mdie_logic::prover::reference`]
+//! (the seed's clone-per-expansion prover, kept in-tree for differential
+//! testing).
+
+pub mod legacy {
+    //! The seed's coverage evaluation and breadth-first search, exactly as
+    //! they stood before the zero-allocation prover, monotone coverage
+    //! pruning, and parallel evaluation landed.
+
+    use p2mdie_ilp::bitset::Bitset;
+    use p2mdie_ilp::bottom::BottomClause;
+    use p2mdie_ilp::coverage::Coverage;
+    use p2mdie_ilp::examples::Examples;
+    use p2mdie_ilp::refine::RuleShape;
+    use p2mdie_ilp::search::{ScoredRule, SearchOutcome};
+    use p2mdie_ilp::settings::Settings;
+    use p2mdie_logic::clause::Clause;
+    use p2mdie_logic::kb::KnowledgeBase;
+    use p2mdie_logic::prover::{reference, ProofLimits};
+    use p2mdie_logic::subst::Bindings;
+    use std::collections::{HashSet, VecDeque};
+
+    /// Seed `evaluate_rule`: reference prover, one fresh binding store per
+    /// example, no masks, no fan-out.
+    pub fn evaluate_rule(
+        kb: &KnowledgeBase,
+        proof: ProofLimits,
+        rule: &Clause,
+        examples: &Examples,
+        live_pos: Option<&Bitset>,
+        live_neg: Option<&Bitset>,
+    ) -> Coverage {
+        let prover = reference::Prover::new(kb, proof);
+        let mut steps = 0u64;
+
+        let mut eval_side = |lits: &[p2mdie_logic::clause::Literal], live: Option<&Bitset>| {
+            let mut bits = Bitset::new(lits.len());
+            for (i, ex) in lits.iter().enumerate() {
+                if let Some(l) = live {
+                    if !l.get(i) {
+                        continue;
+                    }
+                }
+                steps += 1; // head-match attempt
+                let mut b = Bindings::with_capacity(rule.var_span() as usize);
+                if !b.unify_literals(&rule.head, ex, false) {
+                    continue;
+                }
+                let (ok, st) = prover.prove_with_bindings(&rule.body, b);
+                steps += st.steps;
+                if ok {
+                    bits.set(i);
+                }
+            }
+            bits
+        };
+
+        let pos = eval_side(&examples.pos, live_pos);
+        let neg = eval_side(&examples.neg, live_neg);
+        Coverage { pos, neg, steps }
+    }
+
+    /// Seed `search_rules`: every node evaluated on the full live set (no
+    /// parent-coverage masks), through [`evaluate_rule`] above.
+    pub fn search_rules(
+        kb: &KnowledgeBase,
+        settings: &Settings,
+        bottom: &BottomClause,
+        examples: &Examples,
+        live_pos: Option<&Bitset>,
+        seeds: &[RuleShape],
+    ) -> SearchOutcome {
+        let mut out = SearchOutcome::default();
+        let mut queue: VecDeque<RuleShape> = VecDeque::new();
+        let mut visited: HashSet<RuleShape> = HashSet::new();
+        let mut seed_set: HashSet<&RuleShape> = HashSet::new();
+
+        if seeds.is_empty() {
+            queue.push_back(RuleShape::empty());
+        } else {
+            let mut queued: HashSet<&RuleShape> = HashSet::new();
+            for s in seeds {
+                seed_set.insert(s);
+                if queued.insert(s) {
+                    queue.push_back(s.clone());
+                }
+            }
+        }
+
+        while let Some(shape) = queue.pop_front() {
+            if out.nodes >= settings.max_nodes {
+                break;
+            }
+            if !visited.insert(shape.clone()) {
+                continue;
+            }
+            let clause = shape.to_clause(bottom);
+            let cov = evaluate_rule(kb, settings.proof, &clause, examples, live_pos, None);
+            out.nodes += 1;
+            out.steps += cov.steps;
+            let (pos, neg) = (cov.pos_count(), cov.neg_count());
+
+            if seed_set.contains(&shape) {
+                out.seed_scored.push(ScoredRule {
+                    shape: shape.clone(),
+                    pos,
+                    neg,
+                    score: settings.score.score(pos, neg, shape.body_len()),
+                });
+            }
+
+            if settings.is_good(pos, neg) {
+                out.good.push(ScoredRule {
+                    shape: shape.clone(),
+                    pos,
+                    neg,
+                    score: settings.score.score(pos, neg, shape.body_len()),
+                });
+                if out.good.len() > settings.good_cap {
+                    out.good.sort_by(|a, b| a.rank_key().cmp(&b.rank_key()));
+                    out.good.truncate(settings.good_cap);
+                }
+            }
+
+            if pos < settings.min_pos {
+                continue;
+            }
+            for succ in shape.successors(bottom, settings.max_body) {
+                if !visited.contains(&succ) {
+                    queue.push_back(succ);
+                }
+            }
+        }
+
+        out.good.sort_by(|a, b| a.rank_key().cmp(&b.rank_key()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::legacy;
+    use p2mdie_datasets::carcinogenesis;
+    use p2mdie_ilp::coverage::evaluate_rule;
+    use p2mdie_ilp::search::search_rules;
+
+    /// The legacy replicas and the optimized implementations must agree on
+    /// coverage bits and search outcomes — this is what makes the benched
+    /// speedup a like-for-like comparison.
+    #[test]
+    fn legacy_and_optimized_agree_on_carcinogenesis() {
+        let d = carcinogenesis(0.08, 7);
+        let bottom = d.engine.saturate(&d.examples.pos[0]).expect("saturates");
+        let shapes = [
+            p2mdie_ilp::refine::RuleShape::empty(),
+            p2mdie_ilp::refine::RuleShape::from_indices(vec![0]),
+        ];
+        for shape in &shapes {
+            let clause = shape.to_clause(&bottom);
+            let old = legacy::evaluate_rule(
+                &d.engine.kb,
+                d.engine.settings.proof,
+                &clause,
+                &d.examples,
+                None,
+                None,
+            );
+            let new = evaluate_rule(
+                &d.engine.kb,
+                d.engine.settings.proof,
+                &clause,
+                &d.examples,
+                None,
+                None,
+            );
+            assert_eq!(old.pos, new.pos);
+            assert_eq!(old.neg, new.neg);
+            assert_eq!(old.steps, new.steps);
+        }
+
+        let old = legacy::search_rules(
+            &d.engine.kb,
+            &d.engine.settings,
+            &bottom,
+            &d.examples,
+            None,
+            &[],
+        );
+        let new = search_rules(
+            &d.engine.kb,
+            &d.engine.settings,
+            &bottom,
+            &d.examples,
+            None,
+            &[],
+        );
+        assert_eq!(old.good, new.good, "search outcomes diverged");
+        assert_eq!(old.nodes, new.nodes);
+        // `steps` intentionally differs: monotone pruning is the point.
+        assert!(
+            new.steps <= old.steps,
+            "pruned search must not spend more fuel"
+        );
+    }
+}

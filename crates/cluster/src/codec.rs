@@ -257,7 +257,10 @@ mod tests {
         let mut buf = BytesMut::new();
         42u32.encode(&mut buf);
         0u8.encode(&mut buf);
-        assert_eq!(from_bytes::<u32>(buf.freeze()).unwrap_err().context, "trailing bytes");
+        assert_eq!(
+            from_bytes::<u32>(buf.freeze()).unwrap_err().context,
+            "trailing bytes"
+        );
     }
 
     #[test]

@@ -144,7 +144,12 @@ impl Endpoint {
         self.stats.record(self.rank, to, payload.len());
         self.clock.advance(self.model.send_overhead);
         let arrival = self.clock.now() + self.model.transfer_time(payload.len());
-        let env = Envelope { from: self.rank, arrival, poison: false, payload };
+        let env = Envelope {
+            from: self.rank,
+            arrival,
+            poison: false,
+            payload,
+        };
         // Receiver gone ⇒ the run is already unwinding; drop silently.
         let _ = self.senders[to].send(env);
     }
@@ -231,6 +236,12 @@ impl Endpoint {
 
 impl std::fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Endpoint(rank {}/{}, t={:.6}s)", self.rank, self.size, self.now())
+        write!(
+            f,
+            "Endpoint(rank {}/{}, t={:.6}s)",
+            self.rank,
+            self.size,
+            self.now()
+        )
     }
 }

@@ -119,15 +119,20 @@ pub fn run_cluster<R: Send>(
         if master_result.is_err() {
             master_ep.broadcast_poison();
         }
-        let reports: Vec<WorkerReport> =
-            handles.into_iter().map(|h| h.join().expect("worker report")).collect();
+        let reports: Vec<WorkerReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker report"))
+            .collect();
         (master_result, reports)
     });
 
     // Surface the first worker failure (rank order) as the run error.
     for (i, (_, _, failure)) in reports.iter().enumerate() {
         if let Some(msg) = failure {
-            return Err(ClusterError::WorkerPanicked { rank: i + 1, message: msg.clone() });
+            return Err(ClusterError::WorkerPanicked {
+                rank: i + 1,
+                message: msg.clone(),
+            });
         }
     }
     let result = match master_result {
@@ -153,7 +158,10 @@ mod tests {
 
     #[test]
     fn ping_pong_round_trip() {
-        let model = CostModel { latency: 0.5, ..CostModel::free() };
+        let model = CostModel {
+            latency: 0.5,
+            ..CostModel::free()
+        };
         let out = run_cluster(
             2,
             model,
@@ -200,8 +208,11 @@ mod tests {
 
     #[test]
     fn virtual_time_uses_lamport_merge() {
-        let model =
-            CostModel { sec_per_step: 1.0, latency: 10.0, ..CostModel::free() };
+        let model = CostModel {
+            sec_per_step: 1.0,
+            latency: 10.0,
+            ..CostModel::free()
+        };
         let out = run_cluster(
             1,
             model,
@@ -296,7 +307,10 @@ mod tests {
 
     #[test]
     fn worker_clocks_are_reported() {
-        let model = CostModel { sec_per_step: 2.0, ..CostModel::free() };
+        let model = CostModel {
+            sec_per_step: 2.0,
+            ..CostModel::free()
+        };
         let out = run_cluster(
             2,
             model,

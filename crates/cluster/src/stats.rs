@@ -60,7 +60,10 @@ impl TrafficStats {
 
     /// Total messages over all links.
     pub fn total_messages(&self) -> u64 {
-        self.messages.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.messages
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total traffic in megabytes (10^6 bytes, as the paper reports).

@@ -132,14 +132,21 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_with_bytes() {
-        let m = CostModel { latency: 0.1, bytes_per_sec: 100.0, ..CostModel::free() };
+        let m = CostModel {
+            latency: 0.1,
+            bytes_per_sec: 100.0,
+            ..CostModel::free()
+        };
         assert!((m.transfer_time(50) - 0.6).abs() < 1e-12);
         assert!((m.transfer_time(0) - 0.1).abs() < 1e-12);
     }
 
     #[test]
     fn compute_time_scales_with_steps() {
-        let m = CostModel { sec_per_step: 2.0, ..CostModel::free() };
+        let m = CostModel {
+            sec_per_step: 2.0,
+            ..CostModel::free()
+        };
         assert_eq!(m.compute_time(3), 6.0);
     }
 

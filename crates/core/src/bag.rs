@@ -58,7 +58,11 @@ impl RuleBag {
         if !self.seen.insert(key) {
             return false;
         }
-        self.rules.push(BagRule { clause, origin, per_worker: Vec::new() });
+        self.rules.push(BagRule {
+            clause,
+            origin,
+            per_worker: Vec::new(),
+        });
         true
     }
 
@@ -117,7 +121,8 @@ impl RuleBag {
     /// dropped.
     pub fn drop_not_good(&mut self, settings: &Settings) -> usize {
         let before = self.rules.len();
-        self.rules.retain(|r| settings.is_good(r.global_pos(), r.global_neg()));
+        self.rules
+            .retain(|r| settings.is_good(r.global_pos(), r.global_neg()));
         before - self.rules.len()
     }
 }
@@ -132,7 +137,10 @@ mod tests {
     fn clause(t: &SymbolTable, body_preds: &[&str]) -> Clause {
         Clause::new(
             Literal::new(t.intern("h"), vec![Term::Var(0)]),
-            body_preds.iter().map(|p| Literal::new(t.intern(p), vec![Term::Var(0)])).collect(),
+            body_preds
+                .iter()
+                .map(|p| Literal::new(t.intern(p), vec![Term::Var(0)]))
+                .collect(),
         )
     }
 
@@ -194,7 +202,11 @@ mod tests {
         bag.insert(clause(&t, &["r"]), 2);
         // Rule 0: 1 pos (below min_pos 2); rule 1: fine.
         bag.set_results(&[vec![(1, 0), (5, 0)]]);
-        let settings = Settings { min_pos: 2, noise: 0, ..Settings::default() };
+        let settings = Settings {
+            min_pos: 2,
+            noise: 0,
+            ..Settings::default()
+        };
         assert_eq!(bag.drop_not_good(&settings), 1);
         assert_eq!(bag.len(), 1);
         assert_eq!(bag.rules[0].global_pos(), 5);

@@ -74,8 +74,15 @@ pub fn run_coverage_parallel(
 ) -> Result<BaselineReport, ClusterError> {
     let started = Instant::now();
     let (subsets, partition) = partition_examples(examples, workers, seed);
-    let contexts: Vec<Mutex<Option<(IlpEngine, Examples)>>> =
-        subsets.into_iter().map(|local| Mutex::new(Some((engine.clone(), local)))).collect();
+    let threads_per_rank = crate::driver::threads_per_worker(engine.settings.eval_threads, workers);
+    let contexts: Vec<Mutex<Option<(IlpEngine, Examples)>>> = subsets
+        .into_iter()
+        .map(|local| {
+            let mut worker_engine = engine.clone();
+            worker_engine.settings.eval_threads = threads_per_rank;
+            Mutex::new(Some((worker_engine, local)))
+        })
+        .collect();
 
     let outcome = run_cluster(
         workers,
@@ -136,14 +143,22 @@ fn baseline_worker(ep: &mut Endpoint, mut engine: IlpEngine, local: Examples) {
 /// One distributed evaluation round: broadcast, gather, sum.
 fn eval_round(ep: &mut Endpoint, clauses: &[Clause]) -> Vec<(u32, u32)> {
     let p = ep.workers();
-    ep.broadcast(&Msg::Evaluate { rules: clauses.to_vec() });
+    ep.broadcast(&Msg::Evaluate {
+        rules: clauses.to_vec(),
+    });
     let mut totals = vec![(0u32, 0u32); clauses.len()];
     for k in 1..=p {
-        let msg: Msg = ep.recv_msg(k).expect("baseline master: malformed EvalResult");
+        let msg: Msg = ep
+            .recv_msg(k)
+            .expect("baseline master: malformed EvalResult");
         let Msg::EvalResult { counts } = msg else {
             panic!("baseline master: expected EvalResult, got {msg:?}");
         };
-        assert_eq!(counts.len(), clauses.len(), "worker {k} count vector misaligned");
+        assert_eq!(
+            counts.len(),
+            clauses.len(),
+            "worker {k} count vector misaligned"
+        );
         for (t, c) in totals.iter_mut().zip(counts) {
             t.0 += c.0;
             t.1 += c.1;
@@ -228,10 +243,14 @@ fn baseline_master(
             }
             Some((shape, _, _, _)) => {
                 let clause = shape.to_clause(&bottom);
-                ep.broadcast(&Msg::MarkCovered { rule: clause.clone() });
+                ep.broadcast(&Msg::MarkCovered {
+                    rule: clause.clone(),
+                });
                 let p = ep.workers();
                 for k in 1..=p {
-                    let msg: Msg = ep.recv_msg(k).expect("baseline master: malformed CoveredIdx");
+                    let msg: Msg = ep
+                        .recv_msg(k)
+                        .expect("baseline master: malformed CoveredIdx");
                     let Msg::CoveredIdx { pos } = msg else {
                         panic!("baseline master: expected CoveredIdx, got {msg:?}");
                     };
@@ -274,15 +293,9 @@ mod tests {
     fn baseline_learns_the_trains_concept() {
         let ds = p2mdie_datasets::trains(20, 5);
         for gran in [EvalGranularity::PerLevel, EvalGranularity::PerClause] {
-            let rep = run_coverage_parallel(
-                &ds.engine,
-                &ds.examples,
-                2,
-                gran,
-                CostModel::free(),
-                5,
-            )
-            .unwrap();
+            let rep =
+                run_coverage_parallel(&ds.engine, &ds.examples, 2, gran, CostModel::free(), 5)
+                    .unwrap();
             assert!(!rep.theory.is_empty(), "{gran:?} must learn");
             // Theory must cover every positive, no negative (noise-free).
             let mut covered = Bitset::new(ds.examples.num_pos());
@@ -299,9 +312,15 @@ mod tests {
     fn per_clause_granularity_pays_in_messages_and_time() {
         let ds = p2mdie_datasets::trains(20, 5);
         let model = CostModel::beowulf_2005();
-        let level =
-            run_coverage_parallel(&ds.engine, &ds.examples, 4, EvalGranularity::PerLevel, model, 5)
-                .unwrap();
+        let level = run_coverage_parallel(
+            &ds.engine,
+            &ds.examples,
+            4,
+            EvalGranularity::PerLevel,
+            model,
+            5,
+        )
+        .unwrap();
         let clause = run_coverage_parallel(
             &ds.engine,
             &ds.examples,
@@ -329,12 +348,24 @@ mod tests {
     fn baseline_is_deterministic() {
         let ds = p2mdie_datasets::carcinogenesis(0.1, 3);
         let model = CostModel::beowulf_2005();
-        let a =
-            run_coverage_parallel(&ds.engine, &ds.examples, 3, EvalGranularity::PerLevel, model, 3)
-                .unwrap();
-        let b =
-            run_coverage_parallel(&ds.engine, &ds.examples, 3, EvalGranularity::PerLevel, model, 3)
-                .unwrap();
+        let a = run_coverage_parallel(
+            &ds.engine,
+            &ds.examples,
+            3,
+            EvalGranularity::PerLevel,
+            model,
+            3,
+        )
+        .unwrap();
+        let b = run_coverage_parallel(
+            &ds.engine,
+            &ds.examples,
+            3,
+            EvalGranularity::PerLevel,
+            model,
+            3,
+        )
+        .unwrap();
         assert_eq!(a.theory, b.theory);
         assert_eq!(a.total_bytes, b.total_bytes);
         assert!((a.vtime - b.vtime).abs() < 1e-12);

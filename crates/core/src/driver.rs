@@ -33,7 +33,13 @@ pub struct ParallelConfig {
 impl ParallelConfig {
     /// A config with the Beowulf-2005 cost model.
     pub fn new(workers: usize, width: Width, seed: u64) -> Self {
-        ParallelConfig { workers, width, model: CostModel::beowulf_2005(), seed, repartition: false }
+        ParallelConfig {
+            workers,
+            width,
+            model: CostModel::beowulf_2005(),
+            seed,
+            repartition: false,
+        }
     }
 
     /// Enables per-epoch repartitioning (§4.1 variant).
@@ -61,10 +67,18 @@ pub fn run_parallel(
     } else {
         partition_examples(examples, cfg.workers, cfg.seed).0
     };
+    // Simulated ranks run on real threads; split the physical cores among
+    // them so each rank's coverage evaluation (see
+    // `p2mdie_ilp::coverage::evaluate_rule_threads`) exploits its share
+    // without oversubscribing the machine. An explicit `eval_threads` in
+    // the caller's settings wins.
+    let threads_per_rank = threads_per_worker(engine.settings.eval_threads, cfg.workers);
     let contexts: Vec<Mutex<Option<WorkerContext>>> = subsets
         .into_iter()
         .map(|local| {
-            let mut ctx = WorkerContext::new(engine.clone(), local, cfg.width);
+            let mut worker_engine = engine.clone();
+            worker_engine.settings.eval_threads = threads_per_rank;
+            let mut ctx = WorkerContext::new(worker_engine, local, cfg.width);
             ctx.repartition = cfg.repartition;
             Mutex::new(Some(ctx))
         })
@@ -107,6 +121,19 @@ pub fn run_parallel(
         traces: master.traces,
         stalled: master.stalled,
     })
+}
+
+/// Each simulated rank's fair share of the machine's cores: an explicit
+/// non-zero `eval_threads` is kept as-is, `0` (auto) divides the available
+/// parallelism by the number of ranks evaluating concurrently.
+pub(crate) fn threads_per_worker(configured: usize, workers: usize) -> usize {
+    if configured != 0 {
+        return configured;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores / workers.max(1)).max(1)
 }
 
 /// Runs the sequential baseline (Figure 1) and prices it with the same
@@ -174,19 +201,32 @@ mod tests {
         let engine = IlpEngine::new(
             kb,
             modes,
-            Settings { min_pos: 2, noise: 0, max_body: 3, ..Settings::default() },
+            Settings {
+                min_pos: 2,
+                noise: 0,
+                max_body: 3,
+                ..Settings::default()
+            },
         );
         (engine, ex)
     }
 
-    fn check_complete_and_consistent(engine: &IlpEngine, ex: &Examples, clauses: &[p2mdie_logic::clause::Clause]) {
+    fn check_complete_and_consistent(
+        engine: &IlpEngine,
+        ex: &Examples,
+        clauses: &[p2mdie_logic::clause::Clause],
+    ) {
         let mut covered = p2mdie_ilp::bitset::Bitset::new(ex.num_pos());
         for c in clauses {
             let cov = engine.evaluate(c, ex, None, None);
             covered.union_with(&cov.pos);
             assert_eq!(cov.neg_count(), 0, "inconsistent clause in theory");
         }
-        assert_eq!(covered.count(), ex.num_pos(), "theory must cover all positives");
+        assert_eq!(
+            covered.count(),
+            ex.num_pos(),
+            "theory must cover all positives"
+        );
     }
 
     #[test]
@@ -246,7 +286,8 @@ mod tests {
         // The paper's stated reason for rejecting repartitioning: "the high
         // communication cost of repartitioning". Measure it.
         let (engine, ex) = problem();
-        let stat = run_parallel(&engine, &ex, &ParallelConfig::new(3, Width::Limit(10), 42)).unwrap();
+        let stat =
+            run_parallel(&engine, &ex, &ParallelConfig::new(3, Width::Limit(10), 42)).unwrap();
         let repa = run_parallel(
             &engine,
             &ex,
@@ -277,7 +318,10 @@ mod tests {
     #[test]
     fn sequential_baseline_reports_virtual_time() {
         let (engine, ex) = problem();
-        let model = CostModel { sec_per_step: 1e-6, ..CostModel::free() };
+        let model = CostModel {
+            sec_per_step: 1e-6,
+            ..CostModel::free()
+        };
         let rep = run_sequential_timed(&engine, &ex, &model);
         assert!(rep.steps > 0);
         assert!((rep.vtime - rep.steps as f64 * 1e-6).abs() < 1e-9);

@@ -94,7 +94,13 @@ pub fn run_master(ep: &mut Endpoint, settings: &Settings, total_pos: usize) -> M
         let mut any_seed = false;
         for k in 1..=p {
             let msg: Msg = ep.recv_msg(k).expect("master: malformed RulesFound");
-            let Msg::RulesFound { origin, rules, had_seed, trace: ptrace } = msg else {
+            let Msg::RulesFound {
+                origin,
+                rules,
+                had_seed,
+                trace: ptrace,
+            } = msg
+            else {
                 panic!("master: expected RulesFound from rank {k}, got {msg:?}");
             };
             any_seed |= had_seed;
@@ -127,7 +133,9 @@ pub fn run_master(ep: &mut Endpoint, settings: &Settings, total_pos: usize) -> M
                 ep.advance_steps(bag.len() as u64);
                 let best = bag.pick_best(settings.score).expect("bag non-empty");
                 let (pos, neg) = (best.global_pos(), best.global_neg());
-                ep.broadcast(&Msg::MarkCovered { rule: best.clause.clone() });
+                ep.broadcast(&Msg::MarkCovered {
+                    rule: best.clause.clone(),
+                });
                 remaining = remaining.saturating_sub(pos as usize);
                 out.theory.push(AcceptedRule {
                     clause: best.clause,
@@ -198,8 +206,12 @@ pub fn run_master_repartition(
     while live.any() {
         out.epochs += 1;
         let epoch = out.epochs;
-        let mut trace =
-            EpochTrace { epoch, pipelines: vec![Vec::new(); p], bag_size: 0, accepted: 0 };
+        let mut trace = EpochTrace {
+            epoch,
+            pipelines: vec![Vec::new(); p],
+            bag_size: 0,
+            accepted: 0,
+        };
 
         // Re-deal the live positives (and all negatives) evenly.
         let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
@@ -229,7 +241,13 @@ pub fn run_master_repartition(
         let mut bag = RuleBag::new();
         for k in 1..=p {
             let msg: Msg = ep.recv_msg(k).expect("master: malformed RulesFound");
-            let Msg::RulesFound { origin, rules, had_seed: _, trace: ptrace } = msg else {
+            let Msg::RulesFound {
+                origin,
+                rules,
+                had_seed: _,
+                trace: ptrace,
+            } = msg
+            else {
                 panic!("master: expected RulesFound from rank {k}, got {msg:?}");
             };
             for (clause, _, _) in rules {
@@ -251,7 +269,9 @@ pub fn run_master_repartition(
                 ep.advance_steps(bag.len() as u64);
                 let best = bag.pick_best(settings.score).expect("bag non-empty");
                 let (pos, neg) = (best.global_pos(), best.global_neg());
-                ep.broadcast(&Msg::MarkCovered { rule: best.clause.clone() });
+                ep.broadcast(&Msg::MarkCovered {
+                    rule: best.clause.clone(),
+                });
                 for k in 1..=p {
                     let msg: Msg = ep.recv_msg(k).expect("master: malformed CoveredIdx");
                     let Msg::CoveredIdx { pos: covered } = msg else {
@@ -305,7 +325,9 @@ pub fn run_master_repartition(
 /// One global evaluation round: broadcast the bag, collect per-subset
 /// counts from every worker (Fig. 5 steps 10–11 / 18–19).
 fn evaluate_bag(ep: &mut Endpoint, p: usize, bag: &mut RuleBag) {
-    ep.broadcast(&Msg::Evaluate { rules: bag.clauses() });
+    ep.broadcast(&Msg::Evaluate {
+        rules: bag.clauses(),
+    });
     let mut results = Vec::with_capacity(p);
     for k in 1..=p {
         let msg: Msg = ep.recv_msg(k).expect("master: malformed EvalResult");

@@ -60,7 +60,10 @@ pub fn run_stage_search(
     merged.sort_by(|a, b| a.rank_key().cmp(&b.rank_key()));
     merged.truncate(width.cap());
 
-    StageResult { rules: merged, steps: out.steps }
+    StageResult {
+        rules: merged,
+        steps: out.steps,
+    }
 }
 
 /// Assembles the outgoing token for a non-final stage.
@@ -73,7 +76,13 @@ pub fn next_token(
     stage_trace: StageTrace,
 ) -> PipelineToken {
     token_trace.push(stage_trace);
-    PipelineToken { origin, step: executed_step + 1, bottom, rules, trace: token_trace }
+    PipelineToken {
+        origin,
+        step: executed_step + 1,
+        bottom,
+        rules,
+        trace: token_trace,
+    }
 }
 
 #[cfg(test)]
@@ -101,11 +110,24 @@ mod tests {
             ModeSet::parse(&t, "div6(+num)", &[(1, "even(+num)"), (1, "div3(+num)")]).unwrap();
         let tgt = t.intern("div6");
         let ex = Examples::new(
-            (1..=30i64).filter(|i| i % 6 == 0).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
-            (1..=30i64).filter(|i| i % 6 != 0).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            (1..=30i64)
+                .filter(|i| i % 6 == 0)
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
+            (1..=30i64)
+                .filter(|i| i % 6 != 0)
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
         );
-        let engine =
-            IlpEngine::new(kb, modes, Settings { min_pos: 2, noise: 0, ..Settings::default() });
+        let engine = IlpEngine::new(
+            kb,
+            modes,
+            Settings {
+                min_pos: 2,
+                noise: 0,
+                ..Settings::default()
+            },
+        );
         (t, engine, ex)
     }
 
@@ -133,7 +155,10 @@ mod tests {
         let narrow = run_stage_search(&engine, &ex, &live, &bottom, &[], Width::Limit(1));
         assert!(wide.rules.len() > 1);
         assert_eq!(narrow.rules.len(), 1);
-        assert_eq!(narrow.rules[0], wide.rules[0], "width cut keeps the best rules");
+        assert_eq!(
+            narrow.rules[0], wide.rules[0],
+            "width cut keeps the best rules"
+        );
     }
 
     #[test]
@@ -167,19 +192,40 @@ mod tests {
             score: 999,
         }];
         let r = run_stage_search(&engine, &ex, &live, &bottom, &incoming, Width::Unlimited);
-        let re = r.rules.iter().find(|x| x.shape == incoming[0].shape).unwrap();
-        assert!(re.pos <= ex.num_pos() as u32, "local re-scoring replaced the bogus count");
+        let re = r
+            .rules
+            .iter()
+            .find(|x| x.shape == incoming[0].shape)
+            .unwrap();
+        assert!(
+            re.pos <= ex.num_pos() as u32,
+            "local re-scoring replaced the bogus count"
+        );
     }
 
     #[test]
     fn token_assembly_appends_trace() {
         let tok = next_token(
-            vec![StageTrace { worker: 1, step: 1, start: 0.0, end: 1.0, rules_in: 0, rules_out: 2 }],
+            vec![StageTrace {
+                worker: 1,
+                step: 1,
+                start: 0.0,
+                end: 1.0,
+                rules_in: 0,
+                rules_out: 2,
+            }],
             1,
             2,
             None,
             vec![],
-            StageTrace { worker: 2, step: 2, start: 1.0, end: 2.0, rules_in: 2, rules_out: 1 },
+            StageTrace {
+                worker: 2,
+                step: 2,
+                start: 1.0,
+                end: 2.0,
+                rules_in: 2,
+                rules_out: 1,
+            },
         );
         assert_eq!(tok.step, 3);
         assert_eq!(tok.trace.len(), 2);

@@ -147,11 +147,23 @@ fn decode_bottom(buf: &mut Bytes) -> Result<BottomClause, DecodeError> {
         let inputs = Vec::<u32>::decode(buf)?;
         let outputs = Vec::<u32>::decode(buf)?;
         let depth = u32::decode(buf)?;
-        lits.push(BottomLiteral { lit, inputs, outputs, depth });
+        lits.push(BottomLiteral {
+            lit,
+            inputs,
+            outputs,
+            depth,
+        });
     }
     let num_vars = u32::decode(buf)?;
     let example = decode_literal(buf)?;
-    Ok(BottomClause { head, head_vars, lits, num_vars, example, steps: 0 })
+    Ok(BottomClause {
+        head,
+        head_vars,
+        lits,
+        num_vars,
+        example,
+        steps: 0,
+    })
 }
 
 fn encode_scored(r: &ScoredRule, buf: &mut BytesMut) {
@@ -166,7 +178,12 @@ fn decode_scored(buf: &mut Bytes) -> Result<ScoredRule, DecodeError> {
     let pos = u32::decode(buf)?;
     let neg = u32::decode(buf)?;
     let score = i64::decode(buf)?;
-    Ok(ScoredRule { shape: RuleShape { lits }, pos, neg, score })
+    Ok(ScoredRule {
+        shape: RuleShape { lits },
+        pos,
+        neg,
+        score,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -263,7 +280,13 @@ impl Wire for PipelineToken {
             rules.push(decode_scored(buf)?);
         }
         let trace = Vec::<StageTrace>::decode(buf)?;
-        Ok(PipelineToken { origin, step, bottom, rules, trace })
+        Ok(PipelineToken {
+            origin,
+            step,
+            bottom,
+            rules,
+            trace,
+        })
     }
 }
 
@@ -354,7 +377,12 @@ impl Wire for Msg {
                 buf.put_u8(2);
                 tok.encode(buf);
             }
-            Msg::RulesFound { origin, rules, had_seed, trace } => {
+            Msg::RulesFound {
+                origin,
+                rules,
+                had_seed,
+                trace,
+            } => {
                 buf.put_u8(3);
                 origin.encode(buf);
                 (rules.len() as u32).encode(buf);
@@ -409,7 +437,9 @@ impl Wire for Msg {
         let tag = u8::decode(buf)?;
         Ok(match tag {
             0 => Msg::LoadExamples,
-            1 => Msg::StartPipeline { epoch: u32::decode(buf)? },
+            1 => Msg::StartPipeline {
+                epoch: u32::decode(buf)?,
+            },
             2 => Msg::PipelineStage(PipelineToken::decode(buf)?),
             3 => {
                 let origin = u8::decode(buf)?;
@@ -426,7 +456,12 @@ impl Wire for Msg {
                 }
                 let had_seed = bool::decode(buf)?;
                 let trace = Vec::<StageTrace>::decode(buf)?;
-                Msg::RulesFound { origin, rules, had_seed, trace }
+                Msg::RulesFound {
+                    origin,
+                    rules,
+                    had_seed,
+                    trace,
+                }
             }
             4 => {
                 let n = u32::decode(buf)? as usize;
@@ -439,12 +474,20 @@ impl Wire for Msg {
                 }
                 Msg::Evaluate { rules }
             }
-            5 => Msg::EvalResult { counts: Vec::<(u32, u32)>::decode(buf)? },
-            6 => Msg::MarkCovered { rule: decode_clause(buf)? },
+            5 => Msg::EvalResult {
+                counts: Vec::<(u32, u32)>::decode(buf)?,
+            },
+            6 => Msg::MarkCovered {
+                rule: decode_clause(buf)?,
+            },
             7 => Msg::RetireSeed,
-            8 => Msg::SeedRetired { removed: u32::decode(buf)? },
+            8 => Msg::SeedRetired {
+                removed: u32::decode(buf)?,
+            },
             9 => Msg::Stop,
-            10 => Msg::CoveredIdx { pos: Vec::<u32>::decode(buf)? },
+            10 => Msg::CoveredIdx {
+                pos: Vec::<u32>::decode(buf)?,
+            },
             11 => {
                 let np = u32::decode(buf)? as usize;
                 if np > buf.len() {
@@ -481,7 +524,12 @@ mod tests {
             vec![
                 Literal::new(
                     t.intern("atm"),
-                    vec![Term::Var(0), Term::Var(1), Term::Sym(t.intern("n")), Term::Float(F64(0.5))],
+                    vec![
+                        Term::Var(0),
+                        Term::Var(1),
+                        Term::Sym(t.intern("n")),
+                        Term::Float(F64(0.5)),
+                    ],
                 ),
                 Literal::new(t.intern(">="), vec![Term::Var(1), Term::Int(3)]),
             ],
@@ -525,7 +573,14 @@ mod tests {
                 neg: 1,
                 score: 6,
             }],
-            trace: vec![StageTrace { worker: 2, step: 1, start: 0.5, end: 1.5, rules_in: 0, rules_out: 1 }],
+            trace: vec![StageTrace {
+                worker: 2,
+                step: 1,
+                start: 0.5,
+                end: 1.5,
+                rules_in: 0,
+                rules_out: 1,
+            }],
         }));
         roundtrip(Msg::PipelineStage(PipelineToken {
             origin: 1,
@@ -540,15 +595,27 @@ mod tests {
             had_seed: true,
             trace: vec![],
         });
-        roundtrip(Msg::Evaluate { rules: vec![sample_clause(&t), sample_clause(&t)] });
-        roundtrip(Msg::EvalResult { counts: vec![(3, 0), (9, 2)] });
-        roundtrip(Msg::MarkCovered { rule: sample_clause(&t) });
+        roundtrip(Msg::Evaluate {
+            rules: vec![sample_clause(&t), sample_clause(&t)],
+        });
+        roundtrip(Msg::EvalResult {
+            counts: vec![(3, 0), (9, 2)],
+        });
+        roundtrip(Msg::MarkCovered {
+            rule: sample_clause(&t),
+        });
         roundtrip(Msg::RetireSeed);
         roundtrip(Msg::SeedRetired { removed: 1 });
         roundtrip(Msg::CoveredIdx { pos: vec![0, 5, 9] });
         roundtrip(Msg::NewPartition {
-            pos: vec![Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))])],
-            neg: vec![Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m2"))])],
+            pos: vec![Literal::new(
+                t.intern("active"),
+                vec![Term::Sym(t.intern("m1"))],
+            )],
+            neg: vec![Literal::new(
+                t.intern("active"),
+                vec![Term::Sym(t.intern("m2"))],
+            )],
         });
         roundtrip(Msg::Stop);
     }
@@ -581,7 +648,10 @@ mod tests {
         };
         let small = to_bytes(&mk(1)).len();
         let big = to_bytes(&mk(100)).len();
-        assert!(big > small + 99 * 16, "each rule costs at least 16 bytes on the wire");
+        assert!(
+            big > small + 99 * 16,
+            "each rule costs at least 16 bytes on the wire"
+        );
     }
 
     #[test]
@@ -589,10 +659,15 @@ mod tests {
         let t = SymbolTable::new();
         let deep = Term::app(
             t.intern("f"),
-            vec![Term::app(t.intern("g"), vec![Term::Var(3), Term::Int(-9)]), Term::Float(F64(2.5))],
+            vec![
+                Term::app(t.intern("g"), vec![Term::Var(3), Term::Int(-9)]),
+                Term::Float(F64(2.5)),
+            ],
         );
         let lit = Literal::new(t.intern("p"), vec![deep]);
-        let msg = Msg::MarkCovered { rule: Clause::fact(lit) };
+        let msg = Msg::MarkCovered {
+            rule: Clause::fact(lit),
+        };
         roundtrip(msg);
     }
 }

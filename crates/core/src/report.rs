@@ -75,7 +75,14 @@ pub struct SequentialReport {
 /// executed the stage and the number of rules flowing out of it.
 pub fn render_pipeline_trace(trace: &EpochTrace, _syms: &SymbolTable) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "epoch {} — {} pipelines, bag {} rules, {} accepted", trace.epoch, trace.pipelines.len(), trace.bag_size, trace.accepted);
+    let _ = writeln!(
+        out,
+        "epoch {} — {} pipelines, bag {} rules, {} accepted",
+        trace.epoch,
+        trace.pipelines.len(),
+        trace.bag_size,
+        trace.accepted
+    );
 
     // Time scale across all stages of the epoch.
     let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -93,7 +100,7 @@ pub fn render_pipeline_trace(trace: &EpochTrace, _syms: &SymbolTable) -> String 
     let scale = COLS as f64 / (t1 - t0);
 
     for (i, stages) in trace.pipelines.iter().enumerate() {
-        let mut row = vec![b' '; COLS + 1];
+        let mut row = [b' '; COLS + 1];
         for s in stages {
             let a = ((s.start - t0) * scale).floor() as usize;
             let b = (((s.end - t0) * scale).ceil() as usize).clamp(a + 1, COLS);
@@ -114,7 +121,11 @@ pub fn render_pipeline_trace(trace: &EpochTrace, _syms: &SymbolTable) -> String 
                 .join(" ")
         );
     }
-    let _ = writeln!(out, "  (digits = worker executing the stage; span {:.3}s..{:.3}s virtual)", t0, t1);
+    let _ = writeln!(
+        out,
+        "  (digits = worker executing the stage; span {:.3}s..{:.3}s virtual)",
+        t0, t1
+    );
     out
 }
 
@@ -128,12 +139,40 @@ mod tests {
             epoch: 1,
             pipelines: vec![
                 vec![
-                    StageTrace { worker: 1, step: 1, start: 0.0, end: 1.0, rules_in: 0, rules_out: 3 },
-                    StageTrace { worker: 2, step: 2, start: 1.2, end: 2.0, rules_in: 3, rules_out: 2 },
+                    StageTrace {
+                        worker: 1,
+                        step: 1,
+                        start: 0.0,
+                        end: 1.0,
+                        rules_in: 0,
+                        rules_out: 3,
+                    },
+                    StageTrace {
+                        worker: 2,
+                        step: 2,
+                        start: 1.2,
+                        end: 2.0,
+                        rules_in: 3,
+                        rules_out: 2,
+                    },
                 ],
                 vec![
-                    StageTrace { worker: 2, step: 1, start: 0.0, end: 0.8, rules_in: 0, rules_out: 1 },
-                    StageTrace { worker: 1, step: 2, start: 1.0, end: 1.7, rules_in: 1, rules_out: 1 },
+                    StageTrace {
+                        worker: 2,
+                        step: 1,
+                        start: 0.0,
+                        end: 0.8,
+                        rules_in: 0,
+                        rules_out: 1,
+                    },
+                    StageTrace {
+                        worker: 1,
+                        step: 2,
+                        start: 1.0,
+                        end: 1.7,
+                        rules_in: 1,
+                        rules_out: 1,
+                    },
                 ],
             ],
             bag_size: 3,
@@ -154,7 +193,12 @@ mod tests {
 
     #[test]
     fn empty_trace_does_not_panic() {
-        let t = EpochTrace { epoch: 3, pipelines: vec![vec![], vec![]], bag_size: 0, accepted: 0 };
+        let t = EpochTrace {
+            epoch: 3,
+            pipelines: vec![vec![], vec![]],
+            bag_size: 0,
+            accepted: 0,
+        };
         let s = render_pipeline_trace(&t, &SymbolTable::new());
         assert!(s.contains("no stage activity"));
     }

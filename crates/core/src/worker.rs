@@ -22,6 +22,11 @@ use p2mdie_ilp::settings::Width;
 
 /// Everything a worker owns locally: its engine (background knowledge,
 /// modes, settings), its example subset, and the pipeline width.
+///
+/// The engine's `settings.eval_threads` controls how many OS threads this
+/// rank's coverage evaluations fan out over (the driver splits the physical
+/// cores across ranks); results are bit-identical for any value, so the
+/// simulated cluster stays deterministic while exploiting real cores.
 pub struct WorkerContext {
     /// The local ILP engine (the KB grows as rules are accepted).
     pub engine: IlpEngine,
@@ -39,7 +44,12 @@ pub struct WorkerContext {
 impl WorkerContext {
     /// A static-partition context (plain p²-mdie).
     pub fn new(engine: IlpEngine, local: Examples, width: Width) -> Self {
-        WorkerContext { engine, local, width, repartition: false }
+        WorkerContext {
+            engine,
+            local,
+            width,
+            repartition: false,
+        }
     }
 }
 
@@ -64,7 +74,16 @@ pub fn run_worker(ep: &mut Endpoint, mut ctx: WorkerContext) {
                 ep.advance_steps(ctx.local.len() as u64);
             }
             Msg::StartPipeline { epoch: _ } => {
-                run_epoch_pipelines(ep, &mut ctx, &live, &mut current_seed, me as u8, p, next, prev);
+                run_epoch_pipelines(
+                    ep,
+                    &mut ctx,
+                    &live,
+                    &mut current_seed,
+                    me as u8,
+                    p,
+                    next,
+                    prev,
+                );
             }
             Msg::Evaluate { rules } => {
                 let mut counts = Vec::with_capacity(rules.len());
@@ -152,7 +171,18 @@ fn run_epoch_pipelines(
         rules_in: 0,
         rules_out: rules.len() as u32,
     };
-    dispatch(ep, p, next, PipelineToken { origin: me, step: 2, bottom, rules, trace: vec![trace] });
+    dispatch(
+        ep,
+        p,
+        next,
+        PipelineToken {
+            origin: me,
+            step: 2,
+            bottom,
+            rules,
+            trace: vec![trace],
+        },
+    );
 
     // --- Stages 2..=p of the pipelines passing through this worker. ----
     for _ in 0..p - 1 {
@@ -192,7 +222,13 @@ fn run_epoch_pipelines(
             ep,
             p,
             next,
-            PipelineToken { origin: token.origin, step: step + 1, bottom, rules, trace: full_trace },
+            PipelineToken {
+                origin: token.origin,
+                step: step + 1,
+                bottom,
+                rules,
+                trace: full_trace,
+            },
         );
     }
 }
@@ -225,7 +261,15 @@ fn dispatch(ep: &mut Endpoint, p: usize, next: usize, token: PipelineToken) {
             .map(|r| (r.shape.to_clause(bottom), r.pos, r.neg))
             .collect(),
     };
-    ep.send(0, &Msg::RulesFound { origin: token.origin, rules, had_seed, trace: token.trace });
+    ep.send(
+        0,
+        &Msg::RulesFound {
+            origin: token.origin,
+            rules,
+            had_seed,
+            trace: token.trace,
+        },
+    );
 }
 
 #[cfg(test)]
@@ -255,11 +299,24 @@ mod tests {
             ModeSet::parse(&t, "div6(+num)", &[(1, "even(+num)"), (1, "div3(+num)")]).unwrap();
         let tgt = t.intern("div6");
         let local = Examples::new(
-            (lo..=hi).filter(|i| i % 6 == 0).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
-            (lo..=hi).filter(|i| i % 6 != 0).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            (lo..=hi)
+                .filter(|i| i % 6 == 0)
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
+            (lo..=hi)
+                .filter(|i| i % 6 != 0)
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
         );
-        let engine =
-            IlpEngine::new(kb, modes, Settings { min_pos: 1, noise: 0, ..Settings::default() });
+        let engine = IlpEngine::new(
+            kb,
+            modes,
+            Settings {
+                min_pos: 1,
+                noise: 0,
+                ..Settings::default()
+            },
+        );
         (t, WorkerContext::new(engine, local, Width::Unlimited))
     }
 
@@ -277,8 +334,12 @@ mod tests {
                 ep.send(1, &Msg::StartPipeline { epoch: 1 });
                 // p = 1: the worker's own stage is final; RulesFound comes
                 // straight back.
-                let Msg::RulesFound { origin, rules, had_seed, trace } =
-                    ep.recv_msg(1).unwrap()
+                let Msg::RulesFound {
+                    origin,
+                    rules,
+                    had_seed,
+                    trace,
+                } = ep.recv_msg(1).unwrap()
                 else {
                     panic!("expected RulesFound")
                 };
@@ -289,7 +350,12 @@ mod tests {
 
                 // Evaluate the first returned rule.
                 let clause = rules[0].0.clone();
-                ep.send(1, &Msg::Evaluate { rules: vec![clause.clone()] });
+                ep.send(
+                    1,
+                    &Msg::Evaluate {
+                        rules: vec![clause.clone()],
+                    },
+                );
                 let Msg::EvalResult { counts } = ep.recv_msg(1).unwrap() else {
                     panic!("expected EvalResult")
                 };
@@ -298,8 +364,18 @@ mod tests {
 
                 // Mark covered, then re-evaluate: live cover must shrink to 0
                 // for a rule that covered everything.
-                ep.send(1, &Msg::MarkCovered { rule: clause.clone() });
-                ep.send(1, &Msg::Evaluate { rules: vec![clause] });
+                ep.send(
+                    1,
+                    &Msg::MarkCovered {
+                        rule: clause.clone(),
+                    },
+                );
+                ep.send(
+                    1,
+                    &Msg::Evaluate {
+                        rules: vec![clause],
+                    },
+                );
                 let Msg::EvalResult { counts: after } = ep.recv_msg(1).unwrap() else {
                     panic!("expected EvalResult")
                 };
@@ -332,10 +408,20 @@ mod tests {
                 }
                 // RulesFound for origin 1 arrives from worker 2 (its last
                 // stage) and vice versa.
-                let Msg::RulesFound { origin: o2, trace: t2, .. } = ep.recv_msg(1).unwrap() else {
+                let Msg::RulesFound {
+                    origin: o2,
+                    trace: t2,
+                    ..
+                } = ep.recv_msg(1).unwrap()
+                else {
                     panic!()
                 };
-                let Msg::RulesFound { origin: o1, trace: t1, .. } = ep.recv_msg(2).unwrap() else {
+                let Msg::RulesFound {
+                    origin: o1,
+                    trace: t1,
+                    ..
+                } = ep.recv_msg(2).unwrap()
+                else {
                     panic!()
                 };
                 assert_eq!(o1, 1);
@@ -360,7 +446,10 @@ mod tests {
     fn empty_subset_sends_empty_pipeline() {
         let (_t1, c1) = make_ctx(1, 30);
         let (t2, mut c2) = make_ctx(31, 60);
-        c2.local = Examples::new(vec![], vec![Literal::new(t2.intern("div6"), vec![Term::Int(1)])]);
+        c2.local = Examples::new(
+            vec![],
+            vec![Literal::new(t2.intern("div6"), vec![Term::Int(1)])],
+        );
         let ctxs = std::sync::Mutex::new(vec![Some(c1), Some(c2)]);
         run_cluster(
             2,
@@ -370,12 +459,20 @@ mod tests {
                 for k in 1..=2 {
                     ep.send(k, &Msg::StartPipeline { epoch: 1 });
                 }
-                let Msg::RulesFound { origin: o2, had_seed: h2, rules: r2, .. } =
-                    ep.recv_msg(1).unwrap()
+                let Msg::RulesFound {
+                    origin: o2,
+                    had_seed: h2,
+                    rules: r2,
+                    ..
+                } = ep.recv_msg(1).unwrap()
                 else {
                     panic!()
                 };
-                let Msg::RulesFound { origin: o1, had_seed: h1, .. } = ep.recv_msg(2).unwrap()
+                let Msg::RulesFound {
+                    origin: o1,
+                    had_seed: h1,
+                    ..
+                } = ep.recv_msg(2).unwrap()
                 else {
                     panic!()
                 };
@@ -406,11 +503,15 @@ mod tests {
                 ep.send(1, &Msg::StartPipeline { epoch: 1 });
                 let _ = ep.recv_from(1); // RulesFound
                 ep.send(1, &Msg::RetireSeed);
-                let Msg::SeedRetired { removed } = ep.recv_msg(1).unwrap() else { panic!() };
+                let Msg::SeedRetired { removed } = ep.recv_msg(1).unwrap() else {
+                    panic!()
+                };
                 assert_eq!(removed, 1);
                 // Retiring again in the same epoch is a no-op.
                 ep.send(1, &Msg::RetireSeed);
-                let Msg::SeedRetired { removed } = ep.recv_msg(1).unwrap() else { panic!() };
+                let Msg::SeedRetired { removed } = ep.recv_msg(1).unwrap() else {
+                    panic!()
+                };
                 assert_eq!(removed, 0);
                 // The retired seed is gone from the live set.
                 ep.send(1, &Msg::Evaluate { rules: vec![] });

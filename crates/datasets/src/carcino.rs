@@ -25,8 +25,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
-const ELEMS: &[(&str, f64)] =
-    &[("c", 0.58), ("h", 0.20), ("o", 0.10), ("n", 0.08), ("cl", 0.02), ("s", 0.02)];
+const ELEMS: &[(&str, f64)] = &[
+    ("c", 0.58),
+    ("h", 0.20),
+    ("o", 0.10),
+    ("n", 0.08),
+    ("cl", 0.02),
+    ("s", 0.02),
+];
 const LABEL_NOISE: f64 = 0.18;
 
 /// The planted ground-truth theory (must stay inside the mode language).
@@ -65,67 +71,94 @@ pub fn carcinogenesis(scale: f64, seed: u64) -> Dataset {
     // Charge-threshold helpers. Descending for >=, ascending for =<, so a
     // small saturation recall captures the *tightest* satisfied thresholds.
     for lvl in [0.5, 0.25, 0.0, -0.25, -0.5] {
-        kb.assert_fact(Literal::new(syms.intern("chg_desc"), vec![Term::Float(F64(lvl))]));
+        kb.assert_fact(Literal::new(
+            syms.intern("chg_desc"),
+            vec![Term::Float(F64(lvl))],
+        ));
     }
     for lvl in [-0.5, -0.25, 0.0, 0.25, 0.5] {
-        kb.assert_fact(Literal::new(syms.intern("chg_asc"), vec![Term::Float(F64(lvl))]));
+        kb.assert_fact(Literal::new(
+            syms.intern("chg_asc"),
+            vec![Term::Float(F64(lvl))],
+        ));
     }
     let helper_rules = "
         gteq_chg(C, L) :- chg_desc(L), C >= L.
         lteq_chg(C, L) :- chg_asc(L), C =< L.
     ";
-    for c in Parser::new(&syms, helper_rules).expect("lex").parse_program().expect("parse") {
+    for c in Parser::new(&syms, helper_rules)
+        .expect("lex")
+        .parse_program()
+        .expect("parse")
+    {
         kb.assert(c);
     }
 
     // Generate molecules in batches until both label quotas are met.
     let mut candidates: Vec<Term> = Vec::new();
     let mut mol_id = 0usize;
-    let mut gen_batch = |kb: &mut KnowledgeBase, rng: &mut StdRng, candidates: &mut Vec<Term>, n: usize| {
-        for _ in 0..n {
-            let mol = Term::Sym(syms.intern(&format!("m{mol_id}")));
-            mol_id += 1;
-            let n_atoms = rng.random_range(8..=20);
-            let atoms: Vec<Term> =
-                (0..n_atoms).map(|a| Term::Sym(syms.intern(&format!("m{}_a{a}", mol_id - 1)))).collect();
-            for a in &atoms {
-                let elem = Term::Sym(syms.intern(pick_elem(rng)));
-                let charge = Term::Float(F64((rng.random::<f64>() * 2.0 - 1.0 + f64::EPSILON).round_to(2)));
-                kb.assert_fact(Literal::new(atm, vec![mol.clone(), a.clone(), elem.clone(), charge]));
-                kb.assert_fact(Literal::new(atmel, vec![mol.clone(), a.clone(), elem]));
-            }
-            // A connecting chain plus ~n/3 random extra bonds.
-            let n_extra = n_atoms / 3;
-            let add_bond = |kb: &mut KnowledgeBase, rng: &mut StdRng, i: usize, j: usize| {
-                let t: i64 = match rng.random::<f64>() {
-                    x if x < 0.70 => 1,
-                    x if x < 0.85 => 2,
-                    x if x < 0.92 => 3,
-                    _ => 7,
-                };
-                kb.assert_fact(Literal::new(
-                    bond,
-                    vec![mol.clone(), atoms[i].clone(), atoms[j].clone(), Term::Int(t)],
-                ));
-            };
-            for i in 1..n_atoms {
-                add_bond(kb, rng, i - 1, i);
-            }
-            for _ in 0..n_extra {
-                let i = rng.random_range(0..n_atoms);
-                let j = rng.random_range(0..n_atoms);
-                if i != j {
-                    add_bond(kb, rng, i, j);
+    let mut gen_batch =
+        |kb: &mut KnowledgeBase, rng: &mut StdRng, candidates: &mut Vec<Term>, n: usize| {
+            for _ in 0..n {
+                let mol = Term::Sym(syms.intern(&format!("m{mol_id}")));
+                mol_id += 1;
+                let n_atoms = rng.random_range(8..=20);
+                let atoms: Vec<Term> = (0..n_atoms)
+                    .map(|a| Term::Sym(syms.intern(&format!("m{}_a{a}", mol_id - 1))))
+                    .collect();
+                for a in &atoms {
+                    let elem = Term::Sym(syms.intern(pick_elem(rng)));
+                    let charge = Term::Float(F64(
+                        (rng.random::<f64>() * 2.0 - 1.0 + f64::EPSILON).round_to(2)
+                    ));
+                    kb.assert_fact(Literal::new(
+                        atm,
+                        vec![mol.clone(), a.clone(), elem.clone(), charge],
+                    ));
+                    kb.assert_fact(Literal::new(atmel, vec![mol.clone(), a.clone(), elem]));
                 }
+                // A connecting chain plus ~n/3 random extra bonds.
+                let n_extra = n_atoms / 3;
+                let add_bond = |kb: &mut KnowledgeBase, rng: &mut StdRng, i: usize, j: usize| {
+                    let t: i64 = match rng.random::<f64>() {
+                        x if x < 0.70 => 1,
+                        x if x < 0.85 => 2,
+                        x if x < 0.92 => 3,
+                        _ => 7,
+                    };
+                    kb.assert_fact(Literal::new(
+                        bond,
+                        vec![
+                            mol.clone(),
+                            atoms[i].clone(),
+                            atoms[j].clone(),
+                            Term::Int(t),
+                        ],
+                    ));
+                };
+                for i in 1..n_atoms {
+                    add_bond(kb, rng, i - 1, i);
+                }
+                for _ in 0..n_extra {
+                    let i = rng.random_range(0..n_atoms);
+                    let j = rng.random_range(0..n_atoms);
+                    if i != j {
+                        add_bond(kb, rng, i, j);
+                    }
+                }
+                candidates.push(mol);
             }
-            candidates.push(mol);
-        }
-    };
+        };
 
     // Label candidates with the planted theory, then flip 8%.
-    let planted: Vec<p2mdie_logic::clause::Clause> =
-        Parser::new(&syms, PLANTED).expect("lex").parse_program().expect("parse");
-    let proof = ProofLimits { max_depth: 4, max_steps: 4_000 };
+    let planted: Vec<p2mdie_logic::clause::Clause> = Parser::new(&syms, PLANTED)
+        .expect("lex")
+        .parse_program()
+        .expect("parse");
+    let proof = ProofLimits {
+        max_depth: 4,
+        max_steps: 4_000,
+    };
 
     let mut pos = Vec::new();
     let mut neg = Vec::new();
@@ -136,7 +169,10 @@ pub fn carcinogenesis(scale: f64, seed: u64) -> Dataset {
         let mut fresh = Vec::new();
         gen_batch(&mut kb, &mut rng, &mut fresh, 128);
         let cand_examples = Examples::new(
-            fresh.iter().map(|m| Literal::new(active, vec![m.clone()])).collect(),
+            fresh
+                .iter()
+                .map(|m| Literal::new(active, vec![m.clone()]))
+                .collect(),
             vec![],
         );
         let mut truth = p2mdie_ilp::bitset::Bitset::new(fresh.len());
@@ -158,8 +194,16 @@ pub fn carcinogenesis(scale: f64, seed: u64) -> Dataset {
         }
         candidates.extend(fresh);
     }
-    assert_eq!(pos.len(), pos_target, "generator could not reach the positive quota");
-    assert_eq!(neg.len(), neg_target, "generator could not reach the negative quota");
+    assert_eq!(
+        pos.len(),
+        pos_target,
+        "generator could not reach the positive quota"
+    );
+    assert_eq!(
+        neg.len(),
+        neg_target,
+        "generator could not reach the negative quota"
+    );
     pos.shuffle(&mut rng);
     neg.shuffle(&mut rng);
 
@@ -183,7 +227,10 @@ pub fn carcinogenesis(scale: f64, seed: u64) -> Dataset {
         max_nodes: 800,
         max_var_depth: 2,
         max_bottom_literals: 120,
-        proof: ProofLimits { max_depth: 4, max_steps: 3_000 },
+        proof: ProofLimits {
+            max_depth: 4,
+            max_steps: 3_000,
+        },
         ..Settings::default()
     };
 

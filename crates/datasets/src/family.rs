@@ -68,8 +68,13 @@ pub fn family(families: usize, seed: u64) -> Dataset {
 
     // Positives: daughter(C, P) for every parent(P, C) with female C.
     // Negatives: same pairs with male C, plus reversed pairs.
-    let is_female =
-        |t: &Term| people.iter().find(|(p, _)| p == t).map(|(_, f)| *f).unwrap_or(false);
+    let is_female = |t: &Term| {
+        people
+            .iter()
+            .find(|(p, _)| p == t)
+            .map(|(_, f)| *f)
+            .unwrap_or(false)
+    };
     let mut pos = Vec::new();
     let mut neg = Vec::new();
     for (p, c) in &parent_pairs {
@@ -87,7 +92,11 @@ pub fn family(families: usize, seed: u64) -> Dataset {
     let modes = ModeSet::parse(
         &syms,
         "daughter(+person, +person)",
-        &[(2, "parent(+person, +person)"), (1, "female(+person)"), (1, "male(+person)")],
+        &[
+            (2, "parent(+person, +person)"),
+            (1, "female(+person)"),
+            (1, "male(+person)"),
+        ],
     )
     .expect("static templates parse");
 
@@ -97,11 +106,19 @@ pub fn family(families: usize, seed: u64) -> Dataset {
         max_body: 3,
         max_nodes: 500,
         max_var_depth: 2,
-        proof: ProofLimits { max_depth: 4, max_steps: 2_000 },
+        proof: ProofLimits {
+            max_depth: 4,
+            max_steps: 2_000,
+        },
         ..Settings::default()
     };
 
-    Dataset { name: "family", syms, engine: IlpEngine::new(kb, modes, settings), examples: Examples::new(pos, neg) }
+    Dataset {
+        name: "family",
+        syms,
+        engine: IlpEngine::new(kb, modes, settings),
+        examples: Examples::new(pos, neg),
+    }
 }
 
 #[cfg(test)]

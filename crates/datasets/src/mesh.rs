@@ -38,7 +38,11 @@ pub fn mesh(scale: f64, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mesh_p = syms.intern("mesh");
-    let lens = [syms.intern("short"), syms.intern("mid_len"), syms.intern("long")];
+    let lens = [
+        syms.intern("short"),
+        syms.intern("mid_len"),
+        syms.intern("long"),
+    ];
     let sups = [syms.intern("fixed"), syms.intern("free")];
     let loads = [syms.intern("loaded"), syms.intern("unloaded")];
     let neighbour = syms.intern("neighbour");
@@ -49,9 +53,9 @@ pub fn mesh(scale: f64, seed: u64) -> Dataset {
 
     for e in 0..pos_target {
         let edge = Term::Sym(syms.intern(&format!("e{e}")));
-        let len = rng.random_range(0..3);
-        let sup = rng.random_range(0..2);
-        let load = rng.random_range(0..2);
+        let len: usize = rng.random_range(0..3);
+        let sup: usize = rng.random_range(0..2);
+        let load: usize = rng.random_range(0..2);
         kb.assert_fact(Literal::new(lens[len], vec![edge.clone()]));
         kb.assert_fact(Literal::new(sups[sup], vec![edge.clone()]));
         kb.assert_fact(Literal::new(loads[load], vec![edge.clone()]));
@@ -61,7 +65,11 @@ pub fn mesh(scale: f64, seed: u64) -> Dataset {
         if rng.random_bool(COUNT_NOISE) {
             // Noise: displace to a different class.
             let wrong = rng.random_range(1..=12i64);
-            count = if wrong == count { (count % 12) + 1 } else { wrong };
+            count = if wrong == count {
+                (count % 12) + 1
+            } else {
+                wrong
+            };
         }
         pos.push(Literal::new(mesh_p, vec![edge.clone(), Term::Int(count)]));
         edges.push(edge);
@@ -76,13 +84,25 @@ pub fn mesh(scale: f64, seed: u64) -> Dataset {
         }
         for i in 0..n {
             let j = (i + 1) % n;
-            kb.assert_fact(Literal::new(neighbour, vec![chunk[i].clone(), chunk[j].clone()]));
-            kb.assert_fact(Literal::new(neighbour, vec![chunk[j].clone(), chunk[i].clone()]));
+            kb.assert_fact(Literal::new(
+                neighbour,
+                vec![chunk[i].clone(), chunk[j].clone()],
+            ));
+            kb.assert_fact(Literal::new(
+                neighbour,
+                vec![chunk[j].clone(), chunk[i].clone()],
+            ));
         }
         for i in 0..n / 2 {
             let j = i + n / 2;
-            kb.assert_fact(Literal::new(opposite, vec![chunk[i].clone(), chunk[j].clone()]));
-            kb.assert_fact(Literal::new(opposite, vec![chunk[j].clone(), chunk[i].clone()]));
+            kb.assert_fact(Literal::new(
+                opposite,
+                vec![chunk[i].clone(), chunk[j].clone()],
+            ));
+            kb.assert_fact(Literal::new(
+                opposite,
+                vec![chunk[j].clone(), chunk[i].clone()],
+            ));
         }
     }
 
@@ -90,12 +110,17 @@ pub fn mesh(scale: f64, seed: u64) -> Dataset {
     let mut neg = Vec::new();
     while neg.len() < neg_target {
         let i = rng.random_range(0..pos.len());
-        let Term::Int(right) = pos[i].args[1] else { unreachable!("counts are ints") };
+        let Term::Int(right) = pos[i].args[1] else {
+            unreachable!("counts are ints")
+        };
         let mut wrong = rng.random_range(1..=12i64);
         if wrong == right {
             wrong = (wrong % 12) + 1;
         }
-        neg.push(Literal::new(mesh_p, vec![pos[i].args[0].clone(), Term::Int(wrong)]));
+        neg.push(Literal::new(
+            mesh_p,
+            vec![pos[i].args[0].clone(), Term::Int(wrong)],
+        ));
     }
     pos.shuffle(&mut rng);
     neg.shuffle(&mut rng);
@@ -124,7 +149,10 @@ pub fn mesh(scale: f64, seed: u64) -> Dataset {
         max_nodes: 250,
         max_var_depth: 2,
         max_bottom_literals: 40,
-        proof: ProofLimits { max_depth: 4, max_steps: 1_500 },
+        proof: ProofLimits {
+            max_depth: 4,
+            max_steps: 1_500,
+        },
         ..Settings::default()
     };
 

@@ -29,12 +29,12 @@ const N_SUBSTS: usize = 12;
 const LABEL_NOISE: f64 = 0.05;
 /// Property weights of the hidden activity function, one per (prop, pos).
 const WEIGHTS: [[f64; 3]; 6] = [
-    [3.0, 1.0, 0.5],  // polar
-    [0.5, 2.5, 0.5],  // size
-    [1.0, 0.5, 2.0],  // flex
-    [0.8, 0.3, 0.2],  // h_don
-    [0.2, 0.8, 0.4],  // h_acc
-    [0.4, 0.2, 0.9],  // pi_don
+    [3.0, 1.0, 0.5], // polar
+    [0.5, 2.5, 0.5], // size
+    [1.0, 0.5, 2.0], // flex
+    [0.8, 0.3, 0.2], // h_don
+    [0.2, 0.8, 0.4], // h_acc
+    [0.4, 0.2, 0.9], // pi_don
 ];
 
 /// Generates the pyrimidines-shaped dataset. `scale` multiplies the
@@ -50,7 +50,7 @@ pub fn pyrimidines(scale: f64, seed: u64) -> Dataset {
     let great = syms.intern("great");
 
     // Substituents with integer property values 0..=8.
-    let mut prop_val = vec![[0u8; 6]; N_SUBSTS];
+    let mut prop_val = [[0u8; 6]; N_SUBSTS];
     for (s, vals) in prop_val.iter_mut().enumerate() {
         let subst = Term::Sym(syms.intern(&format!("sub{s}")));
         for (pi, prop) in PROPS.iter().enumerate() {
@@ -91,7 +91,11 @@ pub fn pyrimidines(scale: f64, seed: u64) -> Dataset {
             ));
         }
     }
-    for c in Parser::new(&syms, &rules).expect("lex").parse_program().expect("parse") {
+    for c in Parser::new(&syms, &rules)
+        .expect("lex")
+        .parse_program()
+        .expect("parse")
+    {
         kb.assert(c);
     }
 
@@ -153,7 +157,10 @@ pub fn pyrimidines(scale: f64, seed: u64) -> Dataset {
         max_nodes: 300,
         max_var_depth: 1,
         max_bottom_literals: 80,
-        proof: ProofLimits { max_depth: 4, max_steps: 2_000 },
+        proof: ProofLimits {
+            max_depth: 4,
+            max_steps: 2_000,
+        },
         ..Settings::default()
     };
 
@@ -182,7 +189,10 @@ mod tests {
         // check must hold (A beats B somewhere — activity is a weighted sum).
         let e = &d.examples.pos[0];
         let bottom = d.engine.saturate(e).expect("saturates");
-        assert!(!bottom.lits.is_empty(), "some comparative literal must hold");
+        assert!(
+            !bottom.lits.is_empty(),
+            "some comparative literal must hold"
+        );
     }
 
     #[test]

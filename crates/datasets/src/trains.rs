@@ -59,7 +59,10 @@ pub fn trains(n_trains: usize, seed: u64) -> Dataset {
                 is_closed = false;
             }
             has_short_closed |= is_short && is_closed;
-            kb.assert_fact(Literal::new(if is_short { short } else { long }, vec![car.clone()]));
+            kb.assert_fact(Literal::new(
+                if is_short { short } else { long },
+                vec![car.clone()],
+            ));
             kb.assert_fact(Literal::new(
                 if is_closed { closed } else { open_car },
                 vec![car.clone()],
@@ -76,7 +79,11 @@ pub fn trains(n_trains: usize, seed: u64) -> Dataset {
             ));
             kb.assert_fact(Literal::new(
                 load,
-                vec![car.clone(), Term::Sym(syms.intern(lshape)), Term::Int(rng.random_range(1..=3))],
+                vec![
+                    car.clone(),
+                    Term::Sym(syms.intern(lshape)),
+                    Term::Int(rng.random_range(1..=3)),
+                ],
             ));
         }
         let ex = Literal::new(eastbound, vec![train]);
@@ -109,11 +116,19 @@ pub fn trains(n_trains: usize, seed: u64) -> Dataset {
         max_body: 3,
         max_nodes: 800,
         max_var_depth: 2,
-        proof: ProofLimits { max_depth: 4, max_steps: 2_000 },
+        proof: ProofLimits {
+            max_depth: 4,
+            max_steps: 2_000,
+        },
         ..Settings::default()
     };
 
-    Dataset { name: "trains", syms, engine: IlpEngine::new(kb, modes, settings), examples: Examples::new(pos, neg) }
+    Dataset {
+        name: "trains",
+        syms,
+        engine: IlpEngine::new(kb, modes, settings),
+        examples: Examples::new(pos, neg),
+    }
 }
 
 #[cfg(test)]

@@ -74,8 +74,14 @@ mod tests {
         let engine = IlpEngine::new(kb, modes, Settings::default());
         let tgt = t.intern("tgt");
         let ex = Examples::new(
-            vec![2, 4, 6].into_iter().map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
-            vec![3, 5].into_iter().map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            vec![2, 4, 6]
+                .into_iter()
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
+            vec![3, 5]
+                .into_iter()
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
         );
         (t, engine, ex)
     }
@@ -88,7 +94,15 @@ mod tests {
             vec![Literal::new(t.intern("even"), vec![Term::Var(0)])],
         )];
         let c = score_theory(&engine, &theory, &ex);
-        assert_eq!(c, Confusion { tp: 3, fn_: 0, fp: 0, tn: 2 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 3,
+                fn_: 0,
+                fp: 0,
+                tn: 2
+            }
+        );
         assert!((c.accuracy_pct() - 100.0).abs() < 1e-12);
     }
 
@@ -104,7 +118,10 @@ mod tests {
     #[test]
     fn overgeneral_theory_pays_on_negatives() {
         let (t, engine, ex) = setup();
-        let theory = vec![Clause::fact(Literal::new(t.intern("tgt"), vec![Term::Var(0)]))];
+        let theory = vec![Clause::fact(Literal::new(
+            t.intern("tgt"),
+            vec![Term::Var(0)],
+        ))];
         let c = score_theory(&engine, &theory, &ex);
         assert_eq!(c.tp, 3);
         assert_eq!(c.fp, 2);

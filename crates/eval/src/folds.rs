@@ -62,8 +62,12 @@ mod tests {
         let t = SymbolTable::new();
         let p = t.intern("p");
         Examples::new(
-            (0..n_pos).map(|i| Literal::new(p, vec![Term::Int(i as i64)])).collect(),
-            (0..n_neg).map(|i| Literal::new(p, vec![Term::Int(-1 - i as i64)])).collect(),
+            (0..n_pos)
+                .map(|i| Literal::new(p, vec![Term::Int(i as i64)]))
+                .collect(),
+            (0..n_neg)
+                .map(|i| Literal::new(p, vec![Term::Int(-1 - i as i64)]))
+                .collect(),
         )
     }
 

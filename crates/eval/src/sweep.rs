@@ -34,7 +34,10 @@ pub struct SweepConfig {
 impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
-            datasets: p2mdie_datasets::PAPER_DATASETS.iter().map(|s| s.to_string()).collect(),
+            datasets: p2mdie_datasets::PAPER_DATASETS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             scale: 1.0,
             seed: 2005,
             folds: 5,
@@ -79,7 +82,10 @@ pub struct DatasetSweep {
 impl DatasetSweep {
     /// Finds a cell's series.
     pub fn cell(&self, width: Width, procs: usize) -> Option<&RunSeries> {
-        self.cells.iter().find(|(w, p, _)| *w == width && *p == procs).map(|(_, _, s)| s)
+        self.cells
+            .iter()
+            .find(|(w, p, _)| *w == width && *p == procs)
+            .map(|(_, _, s)| s)
     }
 }
 
@@ -104,7 +110,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
             .unwrap_or_else(|| panic!("unknown dataset `{name}`"));
         datasets.push(sweep_dataset(&ds, cfg));
     }
-    SweepResults { config: cfg.clone(), datasets }
+    SweepResults {
+        config: cfg.clone(),
+        datasets,
+    }
 }
 
 fn sweep_dataset(ds: &Dataset, cfg: &SweepConfig) -> DatasetSweep {
@@ -114,7 +123,11 @@ fn sweep_dataset(ds: &Dataset, cfg: &SweepConfig) -> DatasetSweep {
         pos: ds.examples.num_pos(),
         neg: ds.examples.num_neg(),
         seq: RunSeries::default(),
-        cells: cfg.widths.iter().flat_map(|w| cfg.procs.iter().map(|p| (*w, *p, RunSeries::default()))).collect::<Vec<_>>(),
+        cells: cfg
+            .widths
+            .iter()
+            .flat_map(|w| cfg.procs.iter().map(|p| (*w, *p, RunSeries::default())))
+            .collect::<Vec<_>>(),
     };
 
     for (fi, fold) in folds.iter().enumerate() {

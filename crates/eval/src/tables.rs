@@ -23,10 +23,10 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
         let _ = writeln!(out, "+");
     };
     let line = |out: &mut String, cells: &[String]| {
-        for i in 0..ncols {
+        for (i, w) in widths.iter().enumerate().take(ncols) {
             let empty = String::new();
             let c = cells.get(i).unwrap_or(&empty);
-            let _ = write!(out, "| {c:>w$} ", w = widths[i]);
+            let _ = write!(out, "| {c:>w$} ");
         }
         let _ = writeln!(out, "|");
     };
@@ -92,16 +92,22 @@ pub fn table2(res: &SweepResults) -> String {
 
 /// Table 3: average execution time (virtual seconds).
 pub fn table3(res: &SweepResults) -> String {
-    grid_table(res, "Table 3. Average execution time (in seconds)", true, |s| {
-        format!("{:.0}", mean(&s.times))
-    })
+    grid_table(
+        res,
+        "Table 3. Average execution time (in seconds)",
+        true,
+        |s| format!("{:.0}", mean(&s.times)),
+    )
 }
 
 /// Table 4: average communication exchanged (MBytes).
 pub fn table4(res: &SweepResults) -> String {
-    grid_table(res, "Table 4. Average communication exchanged (in MBytes)", false, |s| {
-        format!("{:.1}", mean(&s.mbytes))
-    })
+    grid_table(
+        res,
+        "Table 4. Average communication exchanged (in MBytes)",
+        false,
+        |s| format!("{:.1}", mean(&s.mbytes)),
+    )
 }
 
 /// Table 5: average number of epochs.
@@ -133,12 +139,20 @@ pub fn table6(res: &SweepResults) -> String {
                     Some(t) if t.significant_at(0.98) => "*",
                     _ => "",
                 };
-                row.push(format!("{star}{:.2} ({:.2})", mean(&s.accs), stddev(&s.accs)));
+                row.push(format!(
+                    "{star}{:.2} ({:.2})",
+                    mean(&s.accs),
+                    stddev(&s.accs)
+                ));
             }
             rows.push(row);
         }
     }
-    render_table("Table 6. Average predictive accuracy (std in parenthesis)", &header, &rows)
+    render_table(
+        "Table 6. Average predictive accuracy (std in parenthesis)",
+        &header,
+        &rows,
+    )
 }
 
 #[cfg(test)]

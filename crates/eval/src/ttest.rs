@@ -48,10 +48,18 @@ pub fn paired_ttest(a: &[f64], b: &[f64]) -> Option<TTest> {
         // All differences identical: either exactly zero (no effect) or a
         // constant shift (infinitely significant).
         let p = if m == 0.0 { 1.0 } else { 0.0 };
-        return Some(TTest { t: if m == 0.0 { 0.0 } else { f64::INFINITY }, df, p_value: p });
+        return Some(TTest {
+            t: if m == 0.0 { 0.0 } else { f64::INFINITY },
+            df,
+            p_value: p,
+        });
     }
     let t = m / (sd / (n as f64).sqrt());
-    Some(TTest { t, df, p_value: t_two_tailed_p(t, df) })
+    Some(TTest {
+        t,
+        df,
+        p_value: t_two_tailed_p(t, df),
+    })
 }
 
 #[cfg(test)]

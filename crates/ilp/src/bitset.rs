@@ -15,7 +15,10 @@ pub struct Bitset {
 impl Bitset {
     /// Creates an all-zero bitset of `len` bits.
     pub fn new(len: usize) -> Self {
-        Bitset { blocks: vec![0; len.div_ceil(64)], len }
+        Bitset {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates a bitset with every bit in `0..len` set.
@@ -142,12 +145,19 @@ impl Bitset {
     /// True when every set bit of `self` is also set in `other`.
     pub fn is_subset(&self, other: &Bitset) -> bool {
         assert_eq!(self.len, other.len, "bitset length mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterator over set-bit indices, ascending.
     pub fn iter_ones(&self) -> Ones<'_> {
-        Ones { set: self, block: 0, bits: self.blocks.first().copied().unwrap_or(0) }
+        Ones {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
     }
 }
 

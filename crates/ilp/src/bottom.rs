@@ -57,7 +57,10 @@ pub struct BottomClause {
 impl BottomClause {
     /// The full most-specific clause as a [`Clause`].
     pub fn to_clause(&self) -> Clause {
-        Clause::new(self.head.clone(), self.lits.iter().map(|b| b.lit.clone()).collect())
+        Clause::new(
+            self.head.clone(),
+            self.lits.iter().map(|b| b.lit.clone()).collect(),
+        )
     }
 
     /// Body size of ⊥e.
@@ -233,7 +236,12 @@ pub fn saturate(
                     }
                     let lit = Literal::new(mode.pred, args);
                     if body_seen.insert(lit.clone()) {
-                        lits.push(BottomLiteral { lit, inputs, outputs, depth });
+                        lits.push(BottomLiteral {
+                            lit,
+                            inputs,
+                            outputs,
+                            depth,
+                        });
                         if lits.len() >= sat.settings.max_bottom_literals {
                             break 'depths;
                         }
@@ -268,16 +276,30 @@ mod tests {
         let atm = t.intern("atm");
         let bond = t.intern("bond");
         // atm(Mol, Atom, Elem)
-        for (m, a, e) in [("m1", "a1", "n"), ("m1", "a2", "c"), ("m2", "b1", "c"), ("m2", "b2", "c")] {
+        for (m, a, e) in [
+            ("m1", "a1", "n"),
+            ("m1", "a2", "c"),
+            ("m2", "b1", "c"),
+            ("m2", "b2", "c"),
+        ] {
             kb.assert_fact(Literal::new(atm, vec![c(m), c(a), c(e)]));
         }
         // bond(Mol, A, B, Type)
-        kb.assert_fact(Literal::new(bond, vec![c("m1"), c("a1"), c("a2"), Term::Int(2)]));
-        kb.assert_fact(Literal::new(bond, vec![c("m2"), c("b1"), c("b2"), Term::Int(1)]));
+        kb.assert_fact(Literal::new(
+            bond,
+            vec![c("m1"), c("a1"), c("a2"), Term::Int(2)],
+        ));
+        kb.assert_fact(Literal::new(
+            bond,
+            vec![c("m2"), c("b1"), c("b2"), Term::Int(1)],
+        ));
         let modes = ModeSet::parse(
             &t,
             "active(+mol)",
-            &[(4, "atm(+mol, -atom, #elem)"), (4, "bond(+mol, +atom, -atom, #bondtype)")],
+            &[
+                (4, "atm(+mol, -atom, #elem)"),
+                (4, "bond(+mol, +atom, -atom, #bondtype)"),
+            ],
         )
         .unwrap();
         (t, kb, modes)
@@ -294,8 +316,16 @@ mod tests {
         assert!(matches!(b.head.args[0], Term::Var(0)));
         // Body: atm(m1,a1,n), atm(m1,a2,c) at depth 1; bonds at depth 2
         // (atoms only become available after depth 1).
-        let atm_count = b.lits.iter().filter(|l| l.lit.pred == t.intern("atm")).count();
-        let bond_count = b.lits.iter().filter(|l| l.lit.pred == t.intern("bond")).count();
+        let atm_count = b
+            .lits
+            .iter()
+            .filter(|l| l.lit.pred == t.intern("atm"))
+            .count();
+        let bond_count = b
+            .lits
+            .iter()
+            .filter(|l| l.lit.pred == t.intern("bond"))
+            .count();
         assert_eq!(atm_count, 2);
         assert_eq!(bond_count, 1, "only m1's bond should appear");
         assert!(b.steps > 0);
@@ -334,7 +364,10 @@ mod tests {
     #[test]
     fn depth_one_has_no_bonds() {
         let (t, kb, modes) = toy();
-        let s = Settings { max_var_depth: 1, ..Settings::default() };
+        let s = Settings {
+            max_var_depth: 1,
+            ..Settings::default()
+        };
         let e = Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))]);
         let b = saturate(&kb, &modes, &s, &e).unwrap();
         assert!(b.lits.iter().all(|l| l.lit.pred != t.intern("bond")));
@@ -343,7 +376,10 @@ mod tests {
     #[test]
     fn bottom_cap_is_respected() {
         let (t, kb, modes) = toy();
-        let s = Settings { max_bottom_literals: 1, ..Settings::default() };
+        let s = Settings {
+            max_bottom_literals: 1,
+            ..Settings::default()
+        };
         let e = Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))]);
         let b = saturate(&kb, &modes, &s, &e).unwrap();
         assert_eq!(b.lits.len(), 1);

@@ -6,13 +6,27 @@
 //! component of the virtual-time model: evaluating a rule on a subset of
 //! `|E|/p` examples costs roughly `1/p` of evaluating it on all of `E`,
 //! which is exactly the data-parallel effect the paper exploits.
+//!
+//! # Parallel evaluation
+//!
+//! Each example's covered-bit and step count depend only on that example,
+//! so the example axis parallelizes embarrassingly: [`evaluate_rule_threads`]
+//! splits the example range into contiguous chunks, proves each chunk on its
+//! own OS thread, and merges chunk results in chunk order. Bits land at
+//! fixed positions and the step sum is order-invariant, so the outcome is
+//! bit-identical for every thread count — determinism (and the virtual-time
+//! fuel accounting) is preserved exactly.
 
 use crate::bitset::Bitset;
 use crate::examples::Examples;
-use p2mdie_logic::clause::Clause;
+use p2mdie_logic::clause::{Clause, Literal};
 use p2mdie_logic::kb::KnowledgeBase;
 use p2mdie_logic::prover::{ProofLimits, Prover};
 use p2mdie_logic::subst::Bindings;
+
+/// Below this many live examples on a side, thread spawn overhead outweighs
+/// the win and evaluation stays on the calling thread.
+const PARALLEL_MIN_EXAMPLES: usize = 128;
 
 /// The result of evaluating one rule on an example set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,11 +52,114 @@ impl Coverage {
     }
 }
 
+/// Resolves a thread-count knob: `0` means "one thread per available core".
+fn resolve_threads(threads: usize) -> usize {
+    if threads != 0 {
+        return threads;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluates one side (positive or negative examples) over `[lo, hi)`,
+/// reusing one binding store across the whole range.
+fn eval_range(
+    prover: &Prover<'_>,
+    rule: &Clause,
+    lits: &[Literal],
+    live: Option<&Bitset>,
+    lo: usize,
+    hi: usize,
+) -> (Bitset, u64) {
+    let mut bits = Bitset::new(lits.len());
+    let mut steps = 0u64;
+    let span = rule.var_span() as usize;
+    let mut scratch = Bindings::with_capacity(span);
+    let mut eval_one = |i: usize| {
+        let ex = &lits[i];
+        steps += 1; // head-match attempt
+        scratch.reset(span);
+        if !scratch.unify_literals(&rule.head, ex, false) {
+            return;
+        }
+        let (ok, st) = prover.prove_reusing(&rule.body, &mut scratch);
+        steps += st.steps;
+        if ok {
+            bits.set(i);
+        }
+    };
+    match live {
+        None => (lo..hi).for_each(&mut eval_one),
+        // Walk set bits directly: a sparse mask (deep refinements cover
+        // little) costs O(|coverage|), not O(|E|).
+        Some(l) => l
+            .iter_ones()
+            .skip_while(|&i| i < lo)
+            .take_while(|&i| i < hi)
+            .for_each(&mut eval_one),
+    }
+    (bits, steps)
+}
+
+/// Evaluates `rule` on one side (a positive or negative example list),
+/// fanned out over `threads` contiguous chunks; `0` means one thread per
+/// available core. Returns the covered bitset and the inference steps
+/// spent. Bit-identical for every thread count.
+pub fn evaluate_side_threads(
+    kb: &KnowledgeBase,
+    proof: ProofLimits,
+    rule: &Clause,
+    lits: &[Literal],
+    live: Option<&Bitset>,
+    threads: usize,
+) -> (Bitset, u64) {
+    let threads = resolve_threads(threads);
+    let n = lits.len();
+    // Threshold on *live* examples: under monotone pruning a deep
+    // refinement may be live on a handful of a thousand examples, and
+    // spawning threads for mostly-dead ranges costs more than it saves.
+    let workload = live.map_or(n, Bitset::count);
+    let threads = threads.min(workload.div_ceil(PARALLEL_MIN_EXAMPLES).max(1));
+    if threads <= 1 {
+        let prover = Prover::new(kb, proof);
+        return eval_range(&prover, rule, lits, live, 0, n);
+    }
+    let chunk = n.div_ceil(threads);
+    let parts: Vec<(Bitset, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|k| {
+                let lo = k * chunk;
+                let hi = (lo + chunk).min(n);
+                scope.spawn(move || {
+                    let prover = Prover::new(kb, proof);
+                    eval_range(&prover, rule, lits, live, lo, hi)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("coverage worker panicked"))
+            .collect()
+    });
+    // Merge in chunk order: bits are disjoint, the step sum is
+    // order-invariant — bit-identical to the sequential pass.
+    let mut bits = Bitset::new(n);
+    let mut steps = 0u64;
+    for (b, s) in parts {
+        bits.union_with(&b);
+        steps += s;
+    }
+    (bits, steps)
+}
+
 /// Evaluates `rule` on `examples`, optionally restricted to live subsets.
 ///
 /// `live_pos` / `live_neg` — when given — skip evaluation of retired
 /// examples entirely (their bits are left unset), mirroring the paper's
 /// removal of covered examples from the training set.
+///
+/// Runs on the calling thread; use [`evaluate_rule_threads`] to fan out.
 pub fn evaluate_rule(
     kb: &KnowledgeBase,
     proof: ProofLimits,
@@ -51,34 +168,28 @@ pub fn evaluate_rule(
     live_pos: Option<&Bitset>,
     live_neg: Option<&Bitset>,
 ) -> Coverage {
-    let prover = Prover::new(kb, proof);
-    let mut steps = 0u64;
+    evaluate_rule_threads(kb, proof, rule, examples, live_pos, live_neg, 1)
+}
 
-    let mut eval_side = |lits: &[p2mdie_logic::clause::Literal], live: Option<&Bitset>| {
-        let mut bits = Bitset::new(lits.len());
-        for (i, ex) in lits.iter().enumerate() {
-            if let Some(l) = live {
-                if !l.get(i) {
-                    continue;
-                }
-            }
-            steps += 1; // head-match attempt
-            let mut b = Bindings::with_capacity(rule.var_span() as usize);
-            if !b.unify_literals(&rule.head, ex, false) {
-                continue;
-            }
-            let (ok, st) = prover.prove_with_bindings(&rule.body, b);
-            steps += st.steps;
-            if ok {
-                bits.set(i);
-            }
-        }
-        bits
-    };
-
-    let pos = eval_side(&examples.pos, live_pos);
-    let neg = eval_side(&examples.neg, live_neg);
-    Coverage { pos, neg, steps }
+/// [`evaluate_rule`] with an explicit thread count: `1` stays on the calling
+/// thread, `0` uses one thread per available core, `n` uses `n` threads.
+/// The result is bit-identical for every thread count.
+pub fn evaluate_rule_threads(
+    kb: &KnowledgeBase,
+    proof: ProofLimits,
+    rule: &Clause,
+    examples: &Examples,
+    live_pos: Option<&Bitset>,
+    live_neg: Option<&Bitset>,
+    threads: usize,
+) -> Coverage {
+    let (pos, pos_steps) = evaluate_side_threads(kb, proof, rule, &examples.pos, live_pos, threads);
+    let (neg, neg_steps) = evaluate_side_threads(kb, proof, rule, &examples.neg, live_neg, threads);
+    Coverage {
+        pos,
+        neg,
+        steps: pos_steps + neg_steps,
+    }
 }
 
 /// Evaluates only the positive side (used by `mark_covered`).
@@ -89,15 +200,7 @@ pub fn covered_positives(
     examples: &Examples,
     live_pos: Option<&Bitset>,
 ) -> (Bitset, u64) {
-    let cov = evaluate_rule(
-        kb,
-        proof,
-        rule,
-        &Examples { pos: examples.pos.clone(), neg: Vec::new() },
-        live_pos,
-        None,
-    );
-    (cov.pos, cov.steps)
+    evaluate_side_threads(kb, proof, rule, &examples.pos, live_pos, 1)
 }
 
 #[cfg(test)]
@@ -123,8 +226,14 @@ mod tests {
         }
         let tgt = t.intern("div6");
         let ex = Examples::new(
-            vec![6, 12].into_iter().map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
-            vec![2, 3, 4, 9].into_iter().map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            vec![6, 12]
+                .into_iter()
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
+            vec![2, 3, 4, 9]
+                .into_iter()
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
         );
         (t, kb, ex)
     }
@@ -179,7 +288,10 @@ mod tests {
         let rule = Clause::fact(Literal::new(t.intern("div6"), vec![Term::Int(6)]));
         let tgt = t.intern("div6");
         let ex = Examples::new(
-            vec![Literal::new(tgt, vec![Term::Int(6)]), Literal::new(tgt, vec![Term::Int(12)])],
+            vec![
+                Literal::new(tgt, vec![Term::Int(6)]),
+                Literal::new(tgt, vec![Term::Int(12)]),
+            ],
             vec![],
         );
         let cov = evaluate_rule(&kb, ProofLimits::default(), &rule, &ex, None, None);
@@ -193,5 +305,83 @@ mod tests {
         let cov = evaluate_rule(&kb, ProofLimits::default(), &rule, &ex, None, None);
         assert_eq!(cov.pos_count(), 2);
         assert_eq!(cov.neg_count(), 4);
+    }
+
+    /// A large world exercising the actual fan-out path (above the
+    /// [`PARALLEL_MIN_EXAMPLES`] threshold).
+    fn big_world() -> (SymbolTable, KnowledgeBase, Examples) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let even = t.intern("even");
+        let div3 = t.intern("div3");
+        for i in 1..=2000i64 {
+            if i % 2 == 0 {
+                kb.assert_fact(Literal::new(even, vec![Term::Int(i)]));
+            }
+            if i % 3 == 0 {
+                kb.assert_fact(Literal::new(div3, vec![Term::Int(i)]));
+            }
+        }
+        let tgt = t.intern("div6");
+        let ex = Examples::new(
+            (1..=2000i64)
+                .filter(|i| i % 6 == 0)
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
+            (1..=2000i64)
+                .filter(|i| i % 6 != 0)
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
+        );
+        (t, kb, ex)
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let (t, kb, ex) = big_world();
+        let rule = Clause::new(
+            Literal::new(t.intern("div6"), vec![Term::Var(0)]),
+            vec![
+                Literal::new(t.intern("even"), vec![Term::Var(0)]),
+                Literal::new(t.intern("div3"), vec![Term::Var(0)]),
+            ],
+        );
+        let mut live = ex.full_pos_live();
+        live.clear(3);
+        live.clear(117);
+        let baseline = evaluate_rule_threads(
+            &kb,
+            ProofLimits::default(),
+            &rule,
+            &ex,
+            Some(&live),
+            None,
+            1,
+        );
+        assert!(baseline.pos_count() > 0);
+        for threads in [0, 2, 3, 7, 16] {
+            let cov = evaluate_rule_threads(
+                &kb,
+                ProofLimits::default(),
+                &rule,
+                &ex,
+                Some(&live),
+                None,
+                threads,
+            );
+            assert_eq!(cov, baseline, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn small_sides_stay_sequential_but_agree() {
+        let (t, kb, ex) = world();
+        let rule = Clause::new(
+            Literal::new(t.intern("div6"), vec![Term::Var(0)]),
+            vec![Literal::new(t.intern("even"), vec![Term::Var(0)])],
+        );
+        let a = evaluate_rule_threads(&kb, ProofLimits::default(), &rule, &ex, None, None, 1);
+        let b = evaluate_rule_threads(&kb, ProofLimits::default(), &rule, &ex, None, None, 8);
+        assert_eq!(a, b);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::bitset::Bitset;
 use crate::bottom::{saturate, BottomClause};
-use crate::coverage::{evaluate_rule, Coverage};
+use crate::coverage::Coverage;
 use crate::examples::Examples;
 use crate::mdie::{run_sequential, SequentialOutcome};
 use crate::modes::ModeSet;
@@ -28,7 +28,11 @@ pub struct IlpEngine {
 impl IlpEngine {
     /// Bundles an engine.
     pub fn new(kb: KnowledgeBase, modes: ModeSet, settings: Settings) -> Self {
-        IlpEngine { kb, modes, settings }
+        IlpEngine {
+            kb,
+            modes,
+            settings,
+        }
     }
 
     /// Builds ⊥e for a seed example (`build_msh`, Fig. 1 step 5).
@@ -47,7 +51,8 @@ impl IlpEngine {
         search_rules(&self.kb, &self.settings, bottom, examples, live_pos, seeds)
     }
 
-    /// Evaluates one rule (`evalOnExamples`, Fig. 2 step 6).
+    /// Evaluates one rule (`evalOnExamples`, Fig. 2 step 6), fanning out
+    /// over `settings.eval_threads` when the example set is large enough.
     pub fn evaluate(
         &self,
         rule: &Clause,
@@ -55,7 +60,15 @@ impl IlpEngine {
         live_pos: Option<&Bitset>,
         live_neg: Option<&Bitset>,
     ) -> Coverage {
-        evaluate_rule(&self.kb, self.settings.proof, rule, examples, live_pos, live_neg)
+        crate::coverage::evaluate_rule_threads(
+            &self.kb,
+            self.settings.proof,
+            rule,
+            examples,
+            live_pos,
+            live_neg,
+            self.settings.eval_threads,
+        )
     }
 
     /// Runs the full sequential covering loop (Fig. 1).
@@ -86,10 +99,20 @@ mod tests {
             }
         }
         let modes = ModeSet::parse(&t, "tgt(+num)", &[(1, "even(+num)")]).unwrap();
-        let engine = IlpEngine::new(kb, modes, Settings { min_pos: 1, ..Settings::default() });
+        let engine = IlpEngine::new(
+            kb,
+            modes,
+            Settings {
+                min_pos: 1,
+                ..Settings::default()
+            },
+        );
         let tgt = t.intern("tgt");
         let ex = Examples::new(
-            vec![Literal::new(tgt, vec![Term::Int(2)]), Literal::new(tgt, vec![Term::Int(4)])],
+            vec![
+                Literal::new(tgt, vec![Term::Int(2)]),
+                Literal::new(tgt, vec![Term::Int(4)]),
+            ],
             vec![Literal::new(tgt, vec![Term::Int(3)])],
         );
         let bottom = engine.saturate(&ex.pos[0]).unwrap();

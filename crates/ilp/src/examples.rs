@@ -73,8 +73,12 @@ mod tests {
         let t = SymbolTable::new();
         let p = t.intern("p");
         Examples::new(
-            (0..n).map(|i| Literal::new(p, vec![Term::Int(i as i64)])).collect(),
-            (0..m).map(|i| Literal::new(p, vec![Term::Int(-(i as i64) - 1)])).collect(),
+            (0..n)
+                .map(|i| Literal::new(p, vec![Term::Int(i as i64)]))
+                .collect(),
+            (0..m)
+                .map(|i| Literal::new(p, vec![Term::Int(-(i as i64) - 1)]))
+                .collect(),
         )
     }
 

@@ -78,7 +78,11 @@ pub fn run_sequential(
                     live.clear(seed_idx);
                     out.set_aside += 1;
                 }
-                out.theory.push(LearnedRule { clause, pos: best.pos, neg: best.neg });
+                out.theory.push(LearnedRule {
+                    clause,
+                    pos: best.pos,
+                    neg: best.neg,
+                });
             }
         }
     }
@@ -130,7 +134,12 @@ mod tests {
     #[test]
     fn learns_a_complete_consistent_theory() {
         let (_, kb, modes, ex) = world();
-        let settings = Settings { min_pos: 2, noise: 0, max_body: 3, ..Settings::default() };
+        let settings = Settings {
+            min_pos: 2,
+            noise: 0,
+            max_body: 3,
+            ..Settings::default()
+        };
         let out = run_sequential(&kb, &modes, &settings, &ex);
         assert!(out.theory.len() >= 2, "needs one rule per disjunct");
         assert_eq!(out.set_aside, 0);
@@ -149,7 +158,12 @@ mod tests {
     #[test]
     fn one_rule_per_epoch() {
         let (_, kb, modes, ex) = world();
-        let settings = Settings { min_pos: 2, noise: 0, max_body: 3, ..Settings::default() };
+        let settings = Settings {
+            min_pos: 2,
+            noise: 0,
+            max_body: 3,
+            ..Settings::default()
+        };
         let out = run_sequential(&kb, &modes, &settings, &ex);
         assert_eq!(out.epochs, out.theory.len() + out.set_aside);
     }
@@ -158,8 +172,11 @@ mod tests {
     fn impossible_settings_set_everything_aside() {
         let (_, kb, modes, ex) = world();
         // min_pos larger than |E+| makes every rule bad.
-        let settings =
-            Settings { min_pos: ex.num_pos() as u32 + 1, noise: 0, ..Settings::default() };
+        let settings = Settings {
+            min_pos: ex.num_pos() as u32 + 1,
+            noise: 0,
+            ..Settings::default()
+        };
         let out = run_sequential(&kb, &modes, &settings, &ex);
         assert!(out.theory.is_empty());
         assert_eq!(out.set_aside, ex.num_pos());

@@ -51,7 +51,11 @@ impl ModeDecl {
                 if template.is_empty() {
                     return Err("empty mode template".to_owned());
                 }
-                return Ok(ModeDecl { recall, pred: syms.intern(template), args: vec![] });
+                return Ok(ModeDecl {
+                    recall,
+                    pred: syms.intern(template),
+                    args: vec![],
+                });
             }
             Some(i) => (&template[..i], &template[i + 1..]),
         };
@@ -71,13 +75,21 @@ impl ModeDecl {
                 "+" => ModeArg::Input(t),
                 "-" => ModeArg::Output(t),
                 "#" => ModeArg::Const(t),
-                other => return Err(format!("mode arg `{raw}` must start with +, - or #, got `{other}`")),
+                other => {
+                    return Err(format!(
+                        "mode arg `{raw}` must start with +, - or #, got `{other}`"
+                    ))
+                }
             });
         }
         if name.is_empty() {
             return Err(format!("mode template `{template}` missing predicate name"));
         }
-        Ok(ModeDecl { recall, pred: syms.intern(name), args })
+        Ok(ModeDecl {
+            recall,
+            pred: syms.intern(name),
+            args,
+        })
     }
 
     /// Arity of the declared predicate.
@@ -111,7 +123,10 @@ pub struct ModeSet {
 impl ModeSet {
     /// Creates a mode set with the given head declaration.
     pub fn new(head: ModeDecl) -> Self {
-        ModeSet { head, body: Vec::new() }
+        ModeSet {
+            head,
+            body: Vec::new(),
+        }
     }
 
     /// Parses and appends a body mode, builder-style.
@@ -186,7 +201,10 @@ mod tests {
         let ms = ModeSet::parse(
             &t,
             "active(+mol)",
-            &[(8, "atm(+mol, -atom, #elem, -charge)"), (4, "gteq(+charge, #charge)")],
+            &[
+                (8, "atm(+mol, -atom, #elem, -charge)"),
+                (4, "gteq(+charge, #charge)"),
+            ],
         )
         .unwrap();
         assert_eq!(ms.body.len(), 2);

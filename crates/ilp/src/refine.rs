@@ -14,7 +14,18 @@ use p2mdie_logic::clause::Clause;
 use p2mdie_logic::term::VarId;
 
 /// A candidate rule: indices (ascending) into the bottom clause's body.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone,
+    Debug,
+    Default,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct RuleShape {
     /// Selected bottom-literal indices, strictly ascending.
     pub lits: Vec<u32>,
@@ -41,7 +52,10 @@ impl RuleShape {
     pub fn to_clause(&self, bottom: &BottomClause) -> Clause {
         Clause::new(
             bottom.head.clone(),
-            self.lits.iter().map(|&i| bottom.lits[i as usize].lit.clone()).collect(),
+            self.lits
+                .iter()
+                .map(|&i| bottom.lits[i as usize].lit.clone())
+                .collect(),
         )
     }
 
@@ -117,8 +131,18 @@ mod tests {
                     outputs: vec![1],
                     depth: 1,
                 },
-                BottomLiteral { lit: lit("r", vec![Term::Var(1)]), inputs: vec![1], outputs: vec![], depth: 2 },
-                BottomLiteral { lit: lit("s", vec![Term::Var(0)]), inputs: vec![0], outputs: vec![], depth: 1 },
+                BottomLiteral {
+                    lit: lit("r", vec![Term::Var(1)]),
+                    inputs: vec![1],
+                    outputs: vec![],
+                    depth: 2,
+                },
+                BottomLiteral {
+                    lit: lit("s", vec![Term::Var(0)]),
+                    inputs: vec![0],
+                    outputs: vec![],
+                    depth: 1,
+                },
             ],
             num_vars: 2,
             example: lit("p", vec![Term::Sym(t.intern("a"))]),
@@ -147,7 +171,9 @@ mod tests {
     #[test]
     fn max_body_stops_expansion() {
         let (_, b) = bottom();
-        assert!(RuleShape::from_indices(vec![0]).successors(&b, 1).is_empty());
+        assert!(RuleShape::from_indices(vec![0])
+            .successors(&b, 1)
+            .is_empty());
     }
 
     #[test]

@@ -6,15 +6,30 @@
 //! candidate on the (local) examples, collects the "good" rules, and stops
 //! on the node budget — April's "threshold on the number of rules that can
 //! be generated on each search" (§5.2).
+//!
+//! # Monotone coverage pruning
+//!
+//! Refinement only ever appends body literals, and an SLD proof of the
+//! extended body passes through a proof of the prefix within the same step
+//! and depth budget — so a child rule can only cover a *subset* of its
+//! parent's coverage, even under bounded proofs. The search exploits this:
+//! each evaluated node's covered-positive/covered-negative bitsets are
+//! threaded down (shared via `Rc` among its successors) as the live masks
+//! for child evaluation. A child is then evaluated on O(|parent coverage|)
+//! examples instead of O(|E|), with bit-identical results; examples the
+//! parent already failed to cover are never touched again anywhere in that
+//! subtree.
 
 use crate::bitset::Bitset;
 use crate::bottom::BottomClause;
-use crate::coverage::evaluate_rule;
+use crate::coverage::evaluate_side_threads;
 use crate::examples::Examples;
 use crate::refine::RuleShape;
 use crate::settings::Settings;
+use p2mdie_logic::fxhash::FxHashSet;
 use p2mdie_logic::kb::KnowledgeBase;
 use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
 
 /// A rule with its (local) coverage and score.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -75,23 +90,26 @@ pub fn search_rules(
     seeds: &[RuleShape],
 ) -> SearchOutcome {
     let mut out = SearchOutcome::default();
-    let mut queue: VecDeque<RuleShape> = VecDeque::new();
-    let mut visited: HashSet<RuleShape> = HashSet::new();
+    // Each queued node carries its parent's coverage masks (shared among
+    // siblings); roots and seeds evaluate under the caller's live mask.
+    type Masks = Rc<(Bitset, Bitset)>;
+    let mut queue: VecDeque<(RuleShape, Option<Masks>)> = VecDeque::new();
+    let mut visited: FxHashSet<RuleShape> = FxHashSet::default();
     let mut seed_set: HashSet<&RuleShape> = HashSet::new();
 
     if seeds.is_empty() {
-        queue.push_back(RuleShape::empty());
+        queue.push_back((RuleShape::empty(), None));
     } else {
         let mut queued: HashSet<&RuleShape> = HashSet::new();
         for s in seeds {
             seed_set.insert(s);
             if queued.insert(s) {
-                queue.push_back(s.clone());
+                queue.push_back((s.clone(), None));
             }
         }
     }
 
-    while let Some(shape) = queue.pop_front() {
+    while let Some((shape, parent_cov)) = queue.pop_front() {
         if out.nodes >= settings.max_nodes {
             break;
         }
@@ -99,12 +117,43 @@ pub fn search_rules(
             continue;
         }
         let clause = shape.to_clause(bottom);
-        let cov = evaluate_rule(kb, settings.proof, &clause, examples, live_pos, None);
+        // Monotonicity: the child's coverage is a subset of the parent's, so
+        // the parent's covered sets are exact live masks for the child.
+        let (live_p, live_n) = match &parent_cov {
+            Some(m) => (Some(&m.0), Some(&m.1)),
+            None => (live_pos, None),
+        };
         out.nodes += 1;
-        out.steps += cov.steps;
-        let (pos, neg) = (cov.pos_count(), cov.neg_count());
+        let (pos_bits, pos_steps) = evaluate_side_threads(
+            kb,
+            settings.proof,
+            &clause,
+            &examples.pos,
+            live_p,
+            settings.eval_threads,
+        );
+        out.steps += pos_steps;
+        let pos = pos_bits.count() as u32;
+        let is_seed = seed_set.contains(&shape);
 
-        if seed_set.contains(&shape) {
+        // Lazy negative side: a non-seed node below `min_pos` can never be
+        // good, reports nothing, and is not expanded — its negative
+        // coverage is unobservable, so don't pay for it.
+        if pos < settings.min_pos && !is_seed {
+            continue;
+        }
+        let (neg_bits, neg_steps) = evaluate_side_threads(
+            kb,
+            settings.proof,
+            &clause,
+            &examples.neg,
+            live_n,
+            settings.eval_threads,
+        );
+        out.steps += neg_steps;
+        let neg = neg_bits.count() as u32;
+
+        if is_seed {
             out.seed_scored.push(ScoredRule {
                 shape: shape.clone(),
                 pos,
@@ -131,9 +180,10 @@ pub fn search_rules(
         if pos < settings.min_pos {
             continue;
         }
+        let masks: Masks = Rc::new((pos_bits, neg_bits));
         for succ in shape.successors(bottom, settings.max_body) {
             if !visited.contains(&succ) {
-                queue.push_back(succ);
+                queue.push_back((succ, Some(Rc::clone(&masks))));
             }
         }
     }
@@ -171,10 +221,14 @@ mod tests {
             }
         }
         let tgt = t.intern("div6");
-        let pos: Vec<Literal> =
-            [6i64, 12, 18].iter().map(|&i| Literal::new(tgt, vec![Term::Int(i)])).collect();
-        let neg: Vec<Literal> =
-            [2i64, 3, 4, 9, 10, 15].iter().map(|&i| Literal::new(tgt, vec![Term::Int(i)])).collect();
+        let pos: Vec<Literal> = [6i64, 12, 18]
+            .iter()
+            .map(|&i| Literal::new(tgt, vec![Term::Int(i)]))
+            .collect();
+        let neg: Vec<Literal> = [2i64, 3, 4, 9, 10, 15]
+            .iter()
+            .map(|&i| Literal::new(tgt, vec![Term::Int(i)]))
+            .collect();
         let modes =
             ModeSet::parse(&t, "div6(+num)", &[(1, "even(+num)"), (1, "div3(+num)")]).unwrap();
         (t, kb, modes, Examples::new(pos, neg))
@@ -185,21 +239,33 @@ mod tests {
     #[test]
     fn finds_the_conjunction_rule() {
         let (t, kb, modes, ex) = world();
-        let settings = Settings { min_pos: 2, noise: 0, ..Settings::default() };
+        let settings = Settings {
+            min_pos: 2,
+            noise: 0,
+            ..Settings::default()
+        };
         let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
         let out = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
         let best = out.best().expect("must find a rule");
         assert_eq!(best.pos, 3);
         assert_eq!(best.neg, 0);
         let c = best.shape.to_clause(&bottom);
-        assert_eq!(c.body.len(), 2, "needs both even and div3: {:?}", c.display(&t).to_string());
+        assert_eq!(
+            c.body.len(),
+            2,
+            "needs both even and div3: {:?}",
+            c.display(&t).to_string()
+        );
         assert!(out.nodes >= 3);
     }
 
     #[test]
     fn node_budget_caps_search() {
         let (_, kb, modes, ex) = world();
-        let settings = Settings { max_nodes: 1, ..Settings::default() };
+        let settings = Settings {
+            max_nodes: 1,
+            ..Settings::default()
+        };
         let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
         let out = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
         assert_eq!(out.nodes, 1);
@@ -211,7 +277,11 @@ mod tests {
         let (_, kb, modes, ex) = world();
         // With noise 3, "div6(X) :- even(X)" (3 pos, 3 neg: 2/4/10) becomes
         // good, as does "div6(X) :- div3(X)" (3 neg: 3/9/15).
-        let settings = Settings { noise: 3, min_pos: 2, ..Settings::default() };
+        let settings = Settings {
+            noise: 3,
+            min_pos: 2,
+            ..Settings::default()
+        };
         let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
         let out = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
         assert!(out.good.len() >= 2);
@@ -220,7 +290,11 @@ mod tests {
     #[test]
     fn seeded_search_extends_seed_rules() {
         let (_, kb, modes, ex) = world();
-        let settings = Settings { min_pos: 2, noise: 0, ..Settings::default() };
+        let settings = Settings {
+            min_pos: 2,
+            noise: 0,
+            ..Settings::default()
+        };
         let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
         // Seed with {even} only; search must refine it to {even, div3}.
         let seed = RuleShape::from_indices(vec![0]);
@@ -232,7 +306,11 @@ mod tests {
     #[test]
     fn live_mask_changes_counts() {
         let (_, kb, modes, ex) = world();
-        let settings = Settings { min_pos: 1, noise: 0, ..Settings::default() };
+        let settings = Settings {
+            min_pos: 1,
+            noise: 0,
+            ..Settings::default()
+        };
         let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
         let mut live = Bitset::new(ex.num_pos());
         live.set(0);
@@ -244,7 +322,11 @@ mod tests {
     #[test]
     fn deterministic_ordering() {
         let (_, kb, modes, ex) = world();
-        let settings = Settings { noise: 3, min_pos: 1, ..Settings::default() };
+        let settings = Settings {
+            noise: 3,
+            min_pos: 1,
+            ..Settings::default()
+        };
         let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
         let a = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
         let b = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
@@ -254,7 +336,11 @@ mod tests {
     #[test]
     fn seeds_are_scored_even_when_locally_bad() {
         let (_, kb, modes, ex) = world();
-        let settings = Settings { min_pos: 2, noise: 0, ..Settings::default() };
+        let settings = Settings {
+            min_pos: 2,
+            noise: 0,
+            ..Settings::default()
+        };
         let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
         // The empty shape covers every negative: never "good", but as a
         // seed it must still come back scored (Fig. 7's Good = S).
@@ -267,7 +353,12 @@ mod tests {
     #[test]
     fn take_top_truncates() {
         let rules: Vec<ScoredRule> = (0..5)
-            .map(|i| ScoredRule { shape: RuleShape::from_indices(vec![i]), pos: 1, neg: 0, score: 1 })
+            .map(|i| ScoredRule {
+                shape: RuleShape::from_indices(vec![i]),
+                pos: 1,
+                neg: 0,
+                score: 1,
+            })
             .collect();
         assert_eq!(take_top(rules.clone(), 2).len(), 2);
         assert_eq!(take_top(rules, 100).len(), 5);

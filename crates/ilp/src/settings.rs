@@ -52,6 +52,10 @@ pub struct Settings {
     /// Cap on how many good rules one search retains (memory guard; the
     /// pipeline width `W` is applied separately when rules are *sent*).
     pub good_cap: usize,
+    /// Thread count for coverage evaluation: `1` = on the calling thread,
+    /// `0` = one thread per available core, `n` = exactly `n` threads. The
+    /// result is bit-identical for every setting; only wall-clock changes.
+    pub eval_threads: usize,
 }
 
 impl Default for Settings {
@@ -64,9 +68,13 @@ impl Default for Settings {
             default_recall: 8,
             max_var_depth: 2,
             max_bottom_literals: 200,
-            proof: ProofLimits { max_depth: 6, max_steps: 4_000 },
+            proof: ProofLimits {
+                max_depth: 6,
+                max_steps: 4_000,
+            },
             score: ScoreFn::Coverage,
             good_cap: 20_000,
+            eval_threads: 0,
         }
     }
 }
@@ -121,7 +129,11 @@ mod tests {
 
     #[test]
     fn goodness_criteria() {
-        let s = Settings { noise: 1, min_pos: 2, ..Settings::default() };
+        let s = Settings {
+            noise: 1,
+            min_pos: 2,
+            ..Settings::default()
+        };
         assert!(s.is_good(2, 0));
         assert!(s.is_good(5, 1));
         assert!(!s.is_good(1, 0)); // too few positives

@@ -1,0 +1,147 @@
+//! Property: evaluating a refinement under its parent's coverage masks is
+//! bit-identical to evaluating it unmasked — for random refinement chains,
+//! random example labellings, and tight proof bounds. This is the invariant
+//! the search's monotone coverage pruning rests on.
+
+use p2mdie_ilp::coverage::{evaluate_rule, evaluate_rule_threads};
+use p2mdie_ilp::examples::Examples;
+use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::prover::ProofLimits;
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::Term;
+use proptest::prelude::*;
+
+/// Numbers 1..=n with divisibility and parity facts, plus a recursive
+/// `reach/2` relation so proofs actually expand rules under the bounds.
+fn world(n: i64) -> (SymbolTable, KnowledgeBase) {
+    let t = SymbolTable::new();
+    let mut kb = KnowledgeBase::new(t.clone());
+    for i in 1..=n {
+        for (d, p) in [(2, "d2"), (3, "d3"), (5, "d5"), (7, "d7")] {
+            if i % d == 0 {
+                kb.assert_fact(Literal::new(t.intern(p), vec![Term::Int(i)]));
+            }
+        }
+        kb.assert_fact(Literal::new(
+            t.intern("succ"),
+            vec![Term::Int(i), Term::Int(i + 1)],
+        ));
+    }
+    // near(X,Y) :- succ(X,Y).    near(X,Z) :- succ(X,Y), near(Y,Z).
+    kb.assert_rule(Clause::new(
+        Literal::new(t.intern("near"), vec![Term::Var(0), Term::Var(1)]),
+        vec![Literal::new(
+            t.intern("succ"),
+            vec![Term::Var(0), Term::Var(1)],
+        )],
+    ));
+    kb.assert_rule(Clause::new(
+        Literal::new(t.intern("near"), vec![Term::Var(0), Term::Var(2)]),
+        vec![
+            Literal::new(t.intern("succ"), vec![Term::Var(0), Term::Var(1)]),
+            Literal::new(t.intern("near"), vec![Term::Var(1), Term::Var(2)]),
+        ],
+    ));
+    (t, kb)
+}
+
+/// Body literal pool a refinement chain draws from, all over head var 0.
+fn body_pool(t: &SymbolTable) -> Vec<Literal> {
+    let mut pool: Vec<Literal> = ["d2", "d3", "d5", "d7"]
+        .iter()
+        .map(|p| Literal::new(t.intern(p), vec![Term::Var(0)]))
+        .collect();
+    // A rule-backed literal with a fresh output variable.
+    pool.push(Literal::new(
+        t.intern("near"),
+        vec![Term::Var(0), Term::Var(1)],
+    ));
+    pool.push(Literal::new(t.intern("d2"), vec![Term::Var(1)]));
+    pool
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Masked child evaluation == unmasked child evaluation, along a whole
+    /// random refinement chain, with masks chained exactly as the search
+    /// chains them (each child's masked coverage masks its own children).
+    #[test]
+    fn masked_chain_is_bit_identical(
+        n in 20i64..90,
+        picks in proptest::collection::vec(0usize..6, 1..5),
+        labels in proptest::collection::vec(any::<bool>(), 90),
+        max_steps in 20u64..2000,
+        threads in 1usize..4,
+    ) {
+        let (t, kb) = world(n);
+        let pool = body_pool(&t);
+        let tgt = t.intern("tgt");
+        let pos: Vec<Literal> = (1..=n)
+            .filter(|i| labels[(*i as usize - 1) % labels.len()])
+            .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+            .collect();
+        let neg: Vec<Literal> = (1..=n)
+            .filter(|i| !labels[(*i as usize - 1) % labels.len()])
+            .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+            .collect();
+        let ex = Examples::new(pos, neg);
+        let limits = ProofLimits { max_depth: 4, max_steps };
+        let head = Literal::new(tgt, vec![Term::Var(0)]);
+
+        // Build the chain: body grows by one pool literal per step.
+        let mut body: Vec<Literal> = Vec::new();
+        let mut parent_masks: Option<(p2mdie_ilp::bitset::Bitset, p2mdie_ilp::bitset::Bitset)> = None;
+        for &pick in &picks {
+            body.push(pool[pick % pool.len()].clone());
+            let rule = Clause::new(head.clone(), body.clone());
+
+            let full = evaluate_rule(&kb, limits, &rule, &ex, None, None);
+            let masked = evaluate_rule_threads(
+                &kb,
+                limits,
+                &rule,
+                &ex,
+                parent_masks.as_ref().map(|m| &m.0),
+                parent_masks.as_ref().map(|m| &m.1),
+                threads,
+            );
+            prop_assert_eq!(&masked.pos, &full.pos, "pos bits diverged at body {:?}", body.len());
+            prop_assert_eq!(&masked.neg, &full.neg, "neg bits diverged at body {:?}", body.len());
+            // Chain the *masked* coverage down, as the search does.
+            parent_masks = Some((masked.pos, masked.neg));
+        }
+    }
+
+    /// The subset property itself: a child's coverage never exceeds its
+    /// parent's, even under tight step budgets.
+    #[test]
+    fn refinement_coverage_is_monotone(
+        n in 20i64..90,
+        picks in proptest::collection::vec(0usize..6, 2..5),
+        max_steps in 20u64..2000,
+    ) {
+        let (t, kb) = world(n);
+        let pool = body_pool(&t);
+        let tgt = t.intern("tgt");
+        let ex = Examples::new(
+            (1..=n).map(|i| Literal::new(tgt, vec![Term::Int(i)])).collect(),
+            (1..=n).map(|i| Literal::new(tgt, vec![Term::Int(-i)])).collect(),
+        );
+        let limits = ProofLimits { max_depth: 4, max_steps };
+        let head = Literal::new(tgt, vec![Term::Var(0)]);
+
+        let mut body: Vec<Literal> = Vec::new();
+        let mut prev: Option<p2mdie_ilp::coverage::Coverage> = None;
+        for &pick in &picks {
+            body.push(pool[pick % pool.len()].clone());
+            let cov = evaluate_rule(&kb, limits, &Clause::new(head.clone(), body.clone()), &ex, None, None);
+            if let Some(p) = &prev {
+                prop_assert!(cov.pos.is_subset(&p.pos), "positive coverage grew under refinement");
+                prop_assert!(cov.neg.is_subset(&p.neg), "negative coverage grew under refinement");
+            }
+            prev = Some(cov);
+        }
+    }
+}

@@ -6,10 +6,10 @@
 //! binding variables (`is`, `=`).
 
 use crate::clause::Literal;
+use crate::fxhash::FxHashMap;
 use crate::subst::Bindings;
 use crate::symbol::{SymbolId, SymbolTable};
 use crate::term::Term;
-use std::collections::HashMap;
 
 /// The builtin predicates understood by the prover.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,13 +43,16 @@ pub enum Builtin {
 /// the word aliases used in generated datasets (`lteq`) are registered.
 #[derive(Clone, Debug)]
 pub struct BuiltinTable {
-    map: HashMap<SymbolId, Builtin>,
+    /// Dense, indexed by `SymbolId`: the table is probed once per goal the
+    /// prover solves, and builtin names are interned at KB creation, so
+    /// their ids are small — an array probe beats any hash.
+    dense: Vec<Option<Builtin>>,
 }
 
 impl BuiltinTable {
     /// Interns every builtin name into `syms` and builds the lookup table.
     pub fn new(syms: &SymbolTable) -> Self {
-        let mut map = HashMap::new();
+        let mut map = FxHashMap::default();
         let mut reg = |name: &str, b: Builtin| {
             map.insert(syms.intern(name), b);
         };
@@ -70,19 +73,28 @@ impl BuiltinTable {
         reg("gt", Builtin::Gt);
         reg("gteq", Builtin::Ge);
         reg("neq", Builtin::NotUnify);
-        BuiltinTable { map }
+        let top = map
+            .keys()
+            .map(|s: &SymbolId| s.index())
+            .max()
+            .expect("builtins registered");
+        let mut dense = vec![None; top + 1];
+        for (sym, b) in map {
+            dense[sym.index()] = Some(b);
+        }
+        BuiltinTable { dense }
     }
 
     /// Looks up the builtin for a predicate symbol.
     #[inline]
     pub fn get(&self, pred: SymbolId) -> Option<Builtin> {
-        self.map.get(&pred).copied()
+        self.dense.get(pred.index()).copied().flatten()
     }
 
     /// True when `pred` names a builtin.
     #[inline]
     pub fn is_builtin(&self, pred: SymbolId) -> bool {
-        self.map.contains_key(&pred)
+        self.get(pred).is_some()
     }
 }
 
@@ -220,7 +232,12 @@ pub fn solve_builtin(
             let v = eval_arith(&goal.args[1], bindings, syms)?;
             Some(bindings.unify(&goal.args[0], &v.to_term(), false))
         }
-        Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge | Builtin::ArithEq | Builtin::ArithNeq => {
+        Builtin::Lt
+        | Builtin::Le
+        | Builtin::Gt
+        | Builtin::Ge
+        | Builtin::ArithEq
+        | Builtin::ArithNeq => {
             if goal.args.len() != 2 {
                 return None;
             }
@@ -281,11 +298,17 @@ mod tests {
         let (t, b) = setup();
         let mut bnd = Bindings::new();
         let lt = Literal::new(t.intern("<"), vec![Term::Int(1), Term::Int(2)]);
-        assert_eq!(solve_builtin(b.get(lt.pred).unwrap(), &lt, &mut bnd, &t), Some(true));
+        assert_eq!(
+            solve_builtin(b.get(lt.pred).unwrap(), &lt, &mut bnd, &t),
+            Some(true)
+        );
 
         let is = Literal::new(
             t.intern("is"),
-            vec![Term::Var(0), Term::app(t.intern("*"), vec![Term::Int(3), Term::Int(4)])],
+            vec![
+                Term::Var(0),
+                Term::app(t.intern("*"), vec![Term::Int(3), Term::Int(4)]),
+            ],
         );
         assert_eq!(solve_builtin(Builtin::Is, &is, &mut bnd, &t), Some(true));
         assert_eq!(bnd.resolve(&Term::Var(0)), Term::Int(12));
@@ -297,7 +320,10 @@ mod tests {
         let mut bnd = Bindings::new();
         let g = Literal::new(t.intern("\\="), vec![Term::Var(0), Term::Int(1)]);
         // X \= 1 with X unbound: they unify, so \= fails...
-        assert_eq!(solve_builtin(Builtin::NotUnify, &g, &mut bnd, &t), Some(false));
+        assert_eq!(
+            solve_builtin(Builtin::NotUnify, &g, &mut bnd, &t),
+            Some(false)
+        );
         // ...and must not leave X bound.
         assert!(bnd.lookup(0).is_none());
     }

@@ -20,7 +20,10 @@ pub struct Literal {
 impl Literal {
     /// Builds a literal from a predicate and argument vector.
     pub fn new(pred: SymbolId, args: Vec<Term>) -> Self {
-        Literal { pred, args: args.into_boxed_slice() }
+        Literal {
+            pred,
+            args: args.into_boxed_slice(),
+        }
     }
 
     /// Number of arguments.
@@ -32,7 +35,10 @@ impl Literal {
     /// The `(predicate, arity)` key used for indexing.
     #[inline]
     pub fn key(&self) -> PredKey {
-        PredKey { pred: self.pred, arity: self.args.len() as u32 }
+        PredKey {
+            pred: self.pred,
+            arity: self.args.len() as u32,
+        }
     }
 
     /// True when no argument contains a variable.
@@ -93,7 +99,9 @@ impl fmt::Debug for Literal {
 }
 
 /// `(predicate, arity)` pair identifying a relation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct PredKey {
     /// Predicate symbol.
     pub pred: SymbolId,
@@ -141,7 +149,10 @@ impl Clause {
 
     /// Builds a fact (empty body).
     pub fn fact(head: Literal) -> Self {
-        Clause { head, body: Vec::new() }
+        Clause {
+            head,
+            body: Vec::new(),
+        }
     }
 
     /// True when the body is empty.

@@ -1,0 +1,107 @@
+//! Firefox/rustc-style multiply-xor hashing (`FxHash`).
+//!
+//! The KB's predicate and first-argument indexes plus the symbol table are
+//! probed on every goal the prover solves; SipHash's per-lookup cost is pure
+//! overhead there (the keys are interned ids and tiny terms — trusted,
+//! non-adversarial input). This is the same algorithm `rustc-hash` ships;
+//! it lives in-crate because the build environment is offline (see
+//! `shims/README.md`).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The `rustc-hash` multiply-xor hasher: one rotate, one xor, one multiply
+/// per word of input.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut raw = [0u8; 8];
+            raw[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(raw));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_eq!(h(b"hello"), h(b"hello"));
+        assert_ne!(h(b"hello"), h(b"hellp"));
+        assert_ne!(h(b"a"), h(b"b"));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

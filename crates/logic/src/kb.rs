@@ -9,16 +9,17 @@
 
 use crate::builtins::BuiltinTable;
 use crate::clause::{Clause, Literal, PredKey};
+use crate::fxhash::FxHashMap;
 use crate::symbol::SymbolTable;
 use crate::term::Term;
-use std::collections::HashMap;
 
 /// Per-predicate storage: ground facts (indexed) plus rules.
 #[derive(Default, Debug, Clone)]
 struct PredEntry {
     facts: Vec<Literal>,
     /// First-arg constant -> indices into `facts`. Only constants index.
-    index: HashMap<Term, Vec<u32>>,
+    /// Fx-hashed: this map is probed once per goal the prover solves.
+    index: FxHashMap<Term, Vec<u32>>,
     /// Facts whose first argument is a variable or compound (rare).
     unindexed: Vec<u32>,
     rules: Vec<Clause>,
@@ -29,7 +30,7 @@ struct PredEntry {
 pub struct KnowledgeBase {
     syms: SymbolTable,
     builtins: BuiltinTable,
-    preds: HashMap<PredKey, PredEntry>,
+    preds: FxHashMap<PredKey, PredEntry>,
     num_facts: usize,
     num_rules: usize,
 }
@@ -38,7 +39,13 @@ impl KnowledgeBase {
     /// Creates an empty KB sharing `syms`.
     pub fn new(syms: SymbolTable) -> Self {
         let builtins = BuiltinTable::new(&syms);
-        KnowledgeBase { syms, builtins, preds: HashMap::new(), num_facts: 0, num_rules: 0 }
+        KnowledgeBase {
+            syms,
+            builtins,
+            preds: FxHashMap::default(),
+            num_facts: 0,
+            num_rules: 0,
+        }
     }
 
     /// The symbol table this KB interns against.
@@ -75,7 +82,11 @@ impl KnowledgeBase {
 
     /// Adds a rule (non-empty body or non-ground head).
     pub fn assert_rule(&mut self, rule: Clause) {
-        self.preds.entry(rule.head.key()).or_default().rules.push(rule);
+        self.preds
+            .entry(rule.head.key())
+            .or_default()
+            .rules
+            .push(rule);
         self.num_rules += 1;
     }
 
@@ -91,20 +102,34 @@ impl KnowledgeBase {
         match first_arg {
             Some(t) if t.is_constant() => {
                 let indexed = entry.index.get(t).map(|v| v.as_slice()).unwrap_or(&[]);
-                FactIter::Indexed { facts: &entry.facts, indexed, unindexed: &entry.unindexed, pos: 0 }
+                FactIter::Indexed {
+                    facts: &entry.facts,
+                    indexed,
+                    unindexed: &entry.unindexed,
+                    pos: 0,
+                }
             }
-            _ => FactIter::All { facts: &entry.facts, pos: 0 },
+            _ => FactIter::All {
+                facts: &entry.facts,
+                pos: 0,
+            },
         }
     }
 
     /// Rules whose head predicate matches `key`.
     pub fn rules_for(&self, key: PredKey) -> &[Clause] {
-        self.preds.get(&key).map(|e| e.rules.as_slice()).unwrap_or(&[])
+        self.preds
+            .get(&key)
+            .map(|e| e.rules.as_slice())
+            .unwrap_or(&[])
     }
 
     /// All facts of a predicate (unfiltered).
     pub fn facts_for(&self, key: PredKey) -> &[Literal] {
-        self.preds.get(&key).map(|e| e.facts.as_slice()).unwrap_or(&[])
+        self.preds
+            .get(&key)
+            .map(|e| e.facts.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Total number of stored facts.
@@ -182,7 +207,12 @@ impl<'a> Iterator for FactIter<'a> {
                 *pos += 1;
                 Some(f)
             }
-            FactIter::Indexed { facts, indexed, unindexed, pos } => {
+            FactIter::Indexed {
+                facts,
+                indexed,
+                unindexed,
+                pos,
+            } => {
                 let total = indexed.len() + unindexed.len();
                 if *pos >= total {
                     return None;

@@ -31,6 +31,7 @@
 
 pub mod builtins;
 pub mod clause;
+pub mod fxhash;
 pub mod kb;
 pub mod parser;
 pub mod program;

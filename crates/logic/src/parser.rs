@@ -25,7 +25,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -54,11 +58,20 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(src: &'s str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { message: msg.into(), line: self.line, col: self.col }
+        ParseError {
+            message: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -270,9 +283,13 @@ impl<'s> Lexer<'s> {
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
         if is_float {
-            text.parse::<f64>().map(Tok::Float).map_err(|e| self.err(e.to_string()))
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| self.err(e.to_string()))
         } else {
-            text.parse::<i64>().map(Tok::Int).map_err(|e| self.err(e.to_string()))
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| self.err(e.to_string()))
         }
     }
 }
@@ -297,7 +314,13 @@ impl<'s> Parser<'s> {
         while let Some(t) = lx.next_token()? {
             toks.push(t);
         }
-        Ok(Parser { syms, toks, pos: 0, vars: HashMap::new(), next_var: 0 })
+        Ok(Parser {
+            syms,
+            toks,
+            pos: 0,
+            vars: HashMap::new(),
+            next_var: 0,
+        })
     }
 
     fn err_here(&self, msg: impl Into<String>) -> ParseError {
@@ -307,7 +330,11 @@ impl<'s> Parser<'s> {
             .map(|&(_, l, c)| (l, c))
             .or_else(|| self.toks.last().map(|&(_, l, c)| (l, c)))
             .unwrap_or((1, 1));
-        ParseError { message: msg.into(), line, col }
+        ParseError {
+            message: msg.into(),
+            line,
+            col,
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -508,7 +535,10 @@ mod tests {
         assert_eq!(c.body.len(), 2);
         assert_eq!(c.distinct_vars().len(), 3);
         // Ids follow first occurrence: X=A, Z=B, Y=C.
-        assert_eq!(format!("{}", c.display(&t)), "grandparent(A,B) :- parent(A,C), parent(C,B).");
+        assert_eq!(
+            format!("{}", c.display(&t)),
+            "grandparent(A,B) :- parent(A,C), parent(C,B)."
+        );
     }
 
     #[test]
@@ -557,10 +587,13 @@ mod tests {
     #[test]
     fn quoted_atoms() {
         let (t, c) = parse_one("elem('Cl').");
-        assert_eq!(&*t.name(match c.head.args[0] {
-            Term::Sym(s) => s,
-            _ => panic!(),
-        }), "Cl");
+        assert_eq!(
+            &*t.name(match c.head.args[0] {
+                Term::Sym(s) => s,
+                _ => panic!(),
+            }),
+            "Cl"
+        );
     }
 
     #[test]
@@ -568,14 +601,20 @@ mod tests {
         let t = SymbolTable::new();
         let e = Parser::new(&t, "p(a)").unwrap().parse_clause().unwrap_err();
         assert!(e.line >= 1);
-        let e = Parser::new(&t, "p(a) :- .").unwrap().parse_clause().unwrap_err();
+        let e = Parser::new(&t, "p(a) :- .")
+            .unwrap()
+            .parse_clause()
+            .unwrap_err();
         assert!(!e.message.is_empty());
     }
 
     #[test]
     fn var_scope_resets_between_clauses() {
         let t = SymbolTable::new();
-        let prog = Parser::new(&t, "p(X) :- q(X). r(X).").unwrap().parse_program().unwrap();
+        let prog = Parser::new(&t, "p(X) :- q(X). r(X).")
+            .unwrap()
+            .parse_program()
+            .unwrap();
         assert_eq!(prog[0].distinct_vars(), vec![0]);
         assert_eq!(prog[1].distinct_vars(), vec![0]);
     }

@@ -52,7 +52,10 @@ impl Program {
         match <[Literal; 1]>::try_from(goals) {
             Ok([g]) => Ok(g),
             Err(gs) => Err(ParseError {
-                message: format!("expected a single goal, found a conjunction of {}", gs.len()),
+                message: format!(
+                    "expected a single goal, found a conjunction of {}",
+                    gs.len()
+                ),
                 line: 1,
                 col: 1,
             }),
@@ -121,6 +124,6 @@ mod tests {
     #[test]
     fn parse_error_propagates() {
         let mut p = Program::new();
-        assert!(p.consult("p(a") .is_err());
+        assert!(p.consult("p(a").is_err());
     }
 }

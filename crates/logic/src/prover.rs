@@ -10,6 +10,20 @@
 //!
 //! The search strategy is standard Prolog: goals left-to-right, clauses in
 //! assertion order, facts before rules, backtracking on failure.
+//!
+//! # Zero-allocation inner loop
+//!
+//! Pending goals live in an immutable cons-list of [`Frame`]s allocated on
+//! the Rust call stack: each frame borrows a run of literals straight out of
+//! the query or a KB clause, together with the variable offset that renames
+//! that clause apart. Pushing a rule body is O(1) pointer work — no literal
+//! is ever cloned — and unification applies the offsets on the fly (see
+//! [`crate::subst::Bindings::unify_off`]). The previous implementation,
+//! which materialized a fresh `Vec<(Literal, u32)>` with `offset_vars`
+//! clones on every rule expansion, is preserved verbatim in [`reference`]
+//! for differential testing and benchmarking.
+
+pub mod reference;
 
 use crate::builtins::solve_builtin;
 use crate::clause::Literal;
@@ -28,7 +42,10 @@ pub struct ProofLimits {
 
 impl Default for ProofLimits {
     fn default() -> Self {
-        ProofLimits { max_depth: 10, max_steps: 100_000 }
+        ProofLimits {
+            max_depth: 10,
+            max_steps: 100_000,
+        }
     }
 }
 
@@ -63,6 +80,17 @@ enum Control {
     Abort,
 }
 
+/// A segment of pending goals: a run of literals borrowed from one clause
+/// (or the query), the variable offset renaming that clause apart, the rule
+/// depth, and the continuation. Frames are allocated on the call stack and
+/// shared immutably across choice points.
+struct Frame<'a> {
+    lits: &'a [Literal],
+    offset: VarId,
+    depth: u32,
+    next: Option<&'a Frame<'a>>,
+}
+
 /// A bounded SLD prover over a knowledge base.
 pub struct Prover<'a> {
     kb: &'a KnowledgeBase,
@@ -93,9 +121,20 @@ impl<'a> Prover<'a> {
 
     /// Proves a conjunction under pre-established bindings (the ILP coverage
     /// path: head variables are already bound to the example's constants).
-    pub fn prove_with_bindings(&self, goals: &[Literal], bindings: Bindings) -> (bool, ProofStats) {
+    pub fn prove_with_bindings(
+        &self,
+        goals: &[Literal],
+        mut bindings: Bindings,
+    ) -> (bool, ProofStats) {
+        self.prove_reusing(goals, &mut bindings)
+    }
+
+    /// Like [`Prover::prove_with_bindings`], but borrows the binding store so
+    /// hot loops (coverage testing) can reuse one allocation across proofs.
+    /// The caller clears the store between proofs.
+    pub fn prove_reusing(&self, goals: &[Literal], bindings: &mut Bindings) -> (bool, ProofStats) {
         let mut found = false;
-        let stats = self.run(goals, bindings, &mut |_| {
+        let stats = self.run_reusing(goals, bindings, &mut |_| {
             found = true;
             false // stop at first solution
         });
@@ -110,9 +149,10 @@ impl<'a> Prover<'a> {
         if max == 0 {
             return (out, ProofStats::default());
         }
+        let mut seen: crate::fxhash::FxHashSet<Literal> = crate::fxhash::FxHashSet::default();
         let stats = self.run(std::slice::from_ref(goal), Bindings::new(), &mut |b| {
             let inst = b.resolve_literal(goal);
-            if !out.contains(&inst) {
+            if seen.insert(inst.clone()) {
                 out.push(inst);
             }
             out.len() < max
@@ -129,6 +169,16 @@ impl<'a> Prover<'a> {
         mut bindings: Bindings,
         on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
     ) -> ProofStats {
+        self.run_reusing(goals, &mut bindings, on_solution)
+    }
+
+    /// [`Prover::run`] over a borrowed binding store.
+    pub fn run_reusing(
+        &self,
+        goals: &[Literal],
+        bindings: &mut Bindings,
+        on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
+    ) -> ProofStats {
         let mut next_var: VarId = goals
             .iter()
             .filter_map(Literal::max_var)
@@ -136,7 +186,6 @@ impl<'a> Prover<'a> {
             .map_or(0, |v| v + 1)
             .max(bindings.len() as VarId);
         bindings.ensure(next_var as usize);
-        let tagged: Vec<(Literal, u32)> = goals.iter().map(|g| (g.clone(), 0)).collect();
         let mut ctx = Ctx {
             kb: self.kb,
             limits: self.limits,
@@ -144,7 +193,13 @@ impl<'a> Prover<'a> {
             bindings,
             next_var: &mut next_var,
         };
-        ctx.solve(&tagged, on_solution);
+        let root = Frame {
+            lits: goals,
+            offset: 0,
+            depth: 0,
+            next: None,
+        };
+        ctx.solve(Some(&root), on_solution);
         ctx.stats
     }
 }
@@ -153,7 +208,7 @@ struct Ctx<'a, 'v> {
     kb: &'a KnowledgeBase,
     limits: ProofLimits,
     stats: ProofStats,
-    bindings: Bindings,
+    bindings: &'v mut Bindings,
     next_var: &'v mut VarId,
 }
 
@@ -169,15 +224,30 @@ impl Ctx<'_, '_> {
         }
     }
 
-    /// Solves the goal list; restores `bindings` to its entry state before
+    /// Solves the goal stack; restores `bindings` to its entry state before
     /// returning, so callers' choice points stay clean.
     fn solve(
         &mut self,
-        goals: &[(Literal, u32)],
+        frame: Option<&Frame<'_>>,
         on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
     ) -> Control {
-        let Some(((goal, depth), rest)) = goals.split_first() else {
-            return if on_solution(&mut self.bindings) { Control::More } else { Control::Done };
+        let Some(f) = frame else {
+            return if on_solution(self.bindings) {
+                Control::More
+            } else {
+                Control::Done
+            };
+        };
+        let Some((goal, rest_lits)) = f.lits.split_first() else {
+            return self.solve(f.next, on_solution);
+        };
+        let goff = f.offset;
+        let depth = f.depth;
+        let rest = Frame {
+            lits: rest_lits,
+            offset: goff,
+            depth,
+            next: f.next,
         };
 
         // Builtins: deterministic, at most one continuation.
@@ -186,8 +256,20 @@ impl Ctx<'_, '_> {
                 return Control::Abort;
             }
             let mark = self.bindings.mark();
-            let ok = solve_builtin(b, goal, &mut self.bindings, self.kb.symbols());
-            let ctrl = if ok == Some(true) { self.solve(rest, on_solution) } else { Control::More };
+            // Builtins take a plain literal; goals from the query are at
+            // offset 0, so the rename-apart clone only happens for builtins
+            // inside KB rule bodies (rare, and those literals are tiny).
+            let ok = if goff == 0 {
+                solve_builtin(b, goal, self.bindings, self.kb.symbols())
+            } else {
+                let shifted = goal.offset_vars(goff);
+                solve_builtin(b, &shifted, self.bindings, self.kb.symbols())
+            };
+            let ctrl = if ok == Some(true) {
+                self.solve(Some(&rest), on_solution)
+            } else {
+                Control::More
+            };
             self.bindings.undo_to(mark);
             return ctrl;
         }
@@ -196,14 +278,17 @@ impl Ctx<'_, '_> {
         let key = goal.key();
 
         // Facts, through the first-argument index where possible.
-        let first = goal.args.first().map(|t| self.bindings.walk(t).clone());
+        let first = goal
+            .args
+            .first()
+            .and_then(|t| self.bindings.resolved_constant(t, goff));
         for fact in kb.candidate_facts(key, first.as_ref()) {
             if !self.tick() {
                 return Control::Abort;
             }
             let mark = self.bindings.mark();
-            if self.bindings.unify_literals(goal, fact, false) {
-                match self.solve(rest, on_solution) {
+            if self.bindings.unify_literals_off(goal, goff, fact, 0, false) {
+                match self.solve(Some(&rest), on_solution) {
                     Control::More => {}
                     c => {
                         self.bindings.undo_to(mark);
@@ -214,9 +299,9 @@ impl Ctx<'_, '_> {
             self.bindings.undo_to(mark);
         }
 
-        // Rules: rename apart, push the body at depth+1.
+        // Rules: rename apart via a fresh offset, push the body at depth+1.
         for rule in kb.rules_for(key) {
-            if *depth + 1 > self.limits.max_depth {
+            if depth + 1 > self.limits.max_depth {
                 self.stats.depth_cuts += 1;
                 continue;
             }
@@ -225,15 +310,18 @@ impl Ctx<'_, '_> {
             }
             let offset = *self.next_var;
             *self.next_var += rule.var_span();
-            let head = rule.head.offset_vars(offset);
             let mark = self.bindings.mark();
-            if self.bindings.unify_literals(goal, &head, false) {
-                let mut new_goals: Vec<(Literal, u32)> = Vec::with_capacity(rule.body.len() + rest.len());
-                for l in &rule.body {
-                    new_goals.push((l.offset_vars(offset), depth + 1));
-                }
-                new_goals.extend_from_slice(rest);
-                match self.solve(&new_goals, on_solution) {
+            if self
+                .bindings
+                .unify_literals_off(goal, goff, &rule.head, offset, false)
+            {
+                let body = Frame {
+                    lits: &rule.body,
+                    offset,
+                    depth: depth + 1,
+                    next: Some(&rest),
+                };
+                match self.solve(Some(&body), on_solution) {
                     Control::More => {}
                     c => {
                         self.bindings.undo_to(mark);
@@ -309,7 +397,13 @@ mod tests {
     fn depth_bound_cuts_recursion() {
         let (t, kb) = family_kb();
         // Depth 1 allows only the base case: ancestor(ann,dee) needs 3 hops.
-        let p = Prover::new(&kb, ProofLimits { max_depth: 1, max_steps: 10_000 });
+        let p = Prover::new(
+            &kb,
+            ProofLimits {
+                max_depth: 1,
+                max_steps: 10_000,
+            },
+        );
         let c = |n: &str| Term::Sym(t.intern(n));
         let (ok, st) = p.prove_ground(&lit(&t, "ancestor", vec![c("ann"), c("dee")]));
         assert!(!ok);
@@ -327,7 +421,13 @@ mod tests {
             lit(&t, "loop", vec![Term::Var(0)]),
             vec![lit(&t, "loop", vec![Term::Var(0)])],
         ));
-        let p = Prover::new(&kb, ProofLimits { max_depth: u32::MAX, max_steps: 500 });
+        let p = Prover::new(
+            &kb,
+            ProofLimits {
+                max_depth: u32::MAX,
+                max_steps: 500,
+            },
+        );
         let (ok, st) = p.prove_ground(&lit(&t, "loop", vec![Term::Int(1)]));
         assert!(!ok);
         assert!(st.aborted);
@@ -390,17 +490,49 @@ mod tests {
         // Simulate coverage: head var 0 bound to ann, prove parent(V0, bob).
         let mut b = Bindings::new();
         b.bind(0, Term::Sym(t.intern("ann")));
-        let body = vec![lit(&t, "parent", vec![Term::Var(0), Term::Sym(t.intern("bob"))])];
+        let body = vec![lit(
+            &t,
+            "parent",
+            vec![Term::Var(0), Term::Sym(t.intern("bob"))],
+        )];
         let (ok, _) = p.prove_with_bindings(&body, b);
         assert!(ok);
     }
 
     #[test]
     fn stats_absorb_accumulates() {
-        let mut a = ProofStats { steps: 5, depth_cuts: 1, aborted: false };
-        a.absorb(ProofStats { steps: 7, depth_cuts: 0, aborted: true });
+        let mut a = ProofStats {
+            steps: 5,
+            depth_cuts: 1,
+            aborted: false,
+        };
+        a.absorb(ProofStats {
+            steps: 7,
+            depth_cuts: 0,
+            aborted: true,
+        });
         assert_eq!(a.steps, 12);
         assert_eq!(a.depth_cuts, 1);
         assert!(a.aborted);
+    }
+
+    #[test]
+    fn reused_bindings_give_identical_results() {
+        let (t, kb) = family_kb();
+        let p = Prover::new(&kb, ProofLimits::default());
+        let c = |n: &str| Term::Sym(t.intern(n));
+        let goals = [
+            lit(&t, "ancestor", vec![c("ann"), c("dee")]),
+            lit(&t, "ancestor", vec![c("bob"), c("dee")]),
+            lit(&t, "ancestor", vec![c("dee"), c("ann")]),
+        ];
+        let mut scratch = Bindings::new();
+        for g in &goals {
+            let fresh = p.prove_ground(g);
+            scratch.clear();
+            let reused = p.prove_reusing(std::slice::from_ref(g), &mut scratch);
+            assert_eq!(fresh.0, reused.0);
+            assert_eq!(fresh.1.steps, reused.1.steps);
+        }
     }
 }

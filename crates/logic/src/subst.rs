@@ -4,9 +4,16 @@
 //! vector indexed by [`VarId`], and every binding is recorded on a trail.
 //! [`Bindings::mark`]/[`Bindings::undo_to`] give O(1)-amortized backtracking
 //! without cloning substitutions — the same trick a WAM uses.
+//!
+//! Unification is *offset-aware*: both sides carry a variable offset that is
+//! applied on the fly, so the prover can unify a goal against a knowledge-
+//! base clause without first renaming the clause apart (no `offset_vars`
+//! clone per candidate). A term is only materialized (cloned, with its
+//! offset baked in) at the moment a variable is bound to it.
 
 use crate::clause::Literal;
-use crate::term::{Term, VarId};
+use crate::symbol::SymbolId;
+use crate::term::{Term, VarId, F64};
 
 /// A mutable binding store with trail-based undo.
 #[derive(Default, Debug)]
@@ -19,6 +26,25 @@ pub struct Bindings {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Mark(usize);
 
+/// A term walked down to its binding, with variable offsets resolved.
+/// Constants are carried by value; compounds stay borrowed unless they came
+/// out of a binding slot (then one clone surfaces them).
+pub(crate) enum View<'i> {
+    /// An unbound variable (absolute id).
+    Var(VarId),
+    /// An atomic constant.
+    Sym(SymbolId),
+    /// An integer constant.
+    Int(i64),
+    /// A float constant.
+    Float(F64),
+    /// A compound borrowed from the input term; the offset applies to every
+    /// variable inside it.
+    App(&'i Term, VarId),
+    /// A compound cloned out of a binding slot (absolute variable ids).
+    OwnedApp(Term),
+}
+
 impl Bindings {
     /// Creates an empty store.
     pub fn new() -> Self {
@@ -27,7 +53,10 @@ impl Bindings {
 
     /// Creates a store with capacity for `n` variables.
     pub fn with_capacity(n: usize) -> Self {
-        Bindings { slots: vec![None; n], trail: Vec::with_capacity(n) }
+        Bindings {
+            slots: vec![None; n],
+            trail: Vec::with_capacity(n),
+        }
     }
 
     /// Grows the slot vector so ids `0..n` are addressable.
@@ -104,7 +133,10 @@ impl Bindings {
 
     /// Fully applies the substitution to a literal.
     pub fn resolve_literal(&self, l: &Literal) -> Literal {
-        Literal { pred: l.pred, args: l.args.iter().map(|a| self.resolve(a)).collect() }
+        Literal {
+            pred: l.pred,
+            args: l.args.iter().map(|a| self.resolve(a)).collect(),
+        }
     }
 
     /// True when `t` is ground under the current bindings.
@@ -116,12 +148,55 @@ impl Bindings {
         }
     }
 
-    /// Occurs check: does variable `v` occur in `t` (under bindings)?
-    fn occurs(&self, v: VarId, t: &Term) -> bool {
-        match self.walk(t) {
-            Term::Var(w) => *w == v,
-            Term::App(_, args) => args.iter().any(|a| self.occurs(v, a)),
-            _ => false,
+    /// Walks `t` under offset `off` down to a [`View`]: the variable offset
+    /// is applied on the fly, and slot-resident terms are surfaced without
+    /// cloning except when a slot holds a compound (rare in ILP workloads,
+    /// where bound values are almost always constants).
+    pub(crate) fn resolve_view<'i>(&self, t: &'i Term, off: VarId) -> View<'i> {
+        match t {
+            Term::Var(v) => {
+                let mut abs = v + off;
+                loop {
+                    match self.lookup(abs) {
+                        None => return View::Var(abs),
+                        // Slot terms are stored with absolute variable ids.
+                        Some(Term::Var(w)) => abs = *w,
+                        Some(Term::Sym(s)) => return View::Sym(*s),
+                        Some(Term::Int(i)) => return View::Int(*i),
+                        Some(Term::Float(f)) => return View::Float(*f),
+                        Some(app @ Term::App(..)) => return View::OwnedApp(app.clone()),
+                    }
+                }
+            }
+            Term::Sym(s) => View::Sym(*s),
+            Term::Int(i) => View::Int(*i),
+            Term::Float(f) => View::Float(*f),
+            Term::App(..) => View::App(t, off),
+        }
+    }
+
+    /// The goal's first argument as an owned constant, if it resolves to
+    /// one — the key the first-argument index is probed with.
+    pub fn resolved_constant(&self, t: &Term, off: VarId) -> Option<Term> {
+        match self.resolve_view(t, off) {
+            View::Sym(s) => Some(Term::Sym(s)),
+            View::Int(i) => Some(Term::Int(i)),
+            View::Float(f) => Some(Term::Float(f)),
+            View::Var(_) | View::App(..) | View::OwnedApp(_) => None,
+        }
+    }
+
+    /// Turns a view into an owned term with absolute variable ids (the value
+    /// stored in a slot when a variable is bound to the view).
+    fn materialize(view: View<'_>) -> Term {
+        match view {
+            View::Var(v) => Term::Var(v),
+            View::Sym(s) => Term::Sym(s),
+            View::Int(i) => Term::Int(i),
+            View::Float(f) => Term::Float(f),
+            View::App(t, 0) => t.clone(),
+            View::App(t, off) => t.offset_vars(off),
+            View::OwnedApp(t) => t,
         }
     }
 
@@ -132,7 +207,7 @@ impl Bindings {
     /// are against ground facts, so the check is usually disabled for speed.
     pub fn unify(&mut self, a: &Term, b: &Term, occurs_check: bool) -> bool {
         let mark = self.mark();
-        if self.unify_inner(a, b, occurs_check) {
+        if self.unify_off(a, 0, b, 0, occurs_check) {
             true
         } else {
             self.undo_to(mark);
@@ -140,46 +215,119 @@ impl Bindings {
         }
     }
 
-    fn unify_inner(&mut self, a: &Term, b: &Term, occurs_check: bool) -> bool {
-        let wa = self.walk(a).clone();
-        let wb = self.walk(b).clone();
-        match (wa, wb) {
-            (Term::Var(x), Term::Var(y)) if x == y => true,
-            (Term::Var(x), t) => {
-                if occurs_check && self.occurs(x, &t) {
+    /// Offset-aware unification: every variable in `a` is shifted by `aoff`
+    /// and every variable in `b` by `boff`, without cloning either term.
+    /// Partial bindings of a failed attempt are NOT undone here — callers
+    /// bracket the attempt with [`Bindings::mark`]/[`Bindings::undo_to`].
+    pub fn unify_off(
+        &mut self,
+        a: &Term,
+        aoff: VarId,
+        b: &Term,
+        boff: VarId,
+        occurs_check: bool,
+    ) -> bool {
+        let va = self.resolve_view(a, aoff);
+        let vb = self.resolve_view(b, boff);
+        match (va, vb) {
+            (View::Var(x), View::Var(y)) => {
+                if x != y {
+                    self.bind(x, Term::Var(y));
+                }
+                true
+            }
+            (View::Var(x), vb) => {
+                if occurs_check && self.occurs_view(x, &vb) {
                     return false;
                 }
+                let t = Self::materialize(vb);
                 self.bind(x, t);
                 true
             }
-            (t, Term::Var(y)) => {
-                if occurs_check && self.occurs(y, &t) {
+            (va, View::Var(y)) => {
+                if occurs_check && self.occurs_view(y, &va) {
                     return false;
                 }
+                let t = Self::materialize(va);
                 self.bind(y, t);
                 true
             }
-            (Term::Sym(x), Term::Sym(y)) => x == y,
-            (Term::Int(x), Term::Int(y)) => x == y,
-            (Term::Float(x), Term::Float(y)) => x == y,
-            (Term::App(f, xs), Term::App(g, ys)) => {
-                if f != g || xs.len() != ys.len() {
-                    return false;
-                }
-                xs.iter().zip(ys.iter()).all(|(x, y)| self.unify_inner(x, y, occurs_check))
+            (View::Sym(x), View::Sym(y)) => x == y,
+            (View::Int(x), View::Int(y)) => x == y,
+            (View::Float(x), View::Float(y)) => x == y,
+            (View::App(ta, oa), View::App(tb, ob)) => self.unify_args(ta, oa, tb, ob, occurs_check),
+            (View::App(ta, oa), View::OwnedApp(tb)) => {
+                self.unify_args(ta, oa, &tb, 0, occurs_check)
+            }
+            (View::OwnedApp(ta), View::App(tb, ob)) => {
+                self.unify_args(&ta, 0, tb, ob, occurs_check)
+            }
+            (View::OwnedApp(ta), View::OwnedApp(tb)) => {
+                self.unify_args(&ta, 0, &tb, 0, occurs_check)
             }
             _ => false,
         }
     }
 
+    /// Pairwise unification of two compounds' arguments.
+    fn unify_args(
+        &mut self,
+        a: &Term,
+        aoff: VarId,
+        b: &Term,
+        boff: VarId,
+        occurs_check: bool,
+    ) -> bool {
+        let (Term::App(f, xs), Term::App(g, ys)) = (a, b) else {
+            unreachable!("unify_args called on non-compounds");
+        };
+        if f != g || xs.len() != ys.len() {
+            return false;
+        }
+        xs.iter()
+            .zip(ys.iter())
+            .all(|(x, y)| self.unify_off(x, aoff, y, boff, occurs_check))
+    }
+
+    /// Occurs check against a walked view.
+    fn occurs_view(&self, v: VarId, view: &View<'_>) -> bool {
+        match view {
+            View::Var(w) => *w == v,
+            View::App(t, off) => self.occurs_in_args(v, t, *off),
+            View::OwnedApp(t) => self.occurs_in_args(v, t, 0),
+            _ => false,
+        }
+    }
+
+    fn occurs_in_args(&self, v: VarId, t: &Term, off: VarId) -> bool {
+        let Term::App(_, args) = t else { return false };
+        args.iter().any(|a| {
+            let view = self.resolve_view(a, off);
+            self.occurs_view(v, &view)
+        })
+    }
+
     /// Unifies two literals (same predicate, same arity, pairwise args).
     pub fn unify_literals(&mut self, a: &Literal, b: &Literal, occurs_check: bool) -> bool {
+        self.unify_literals_off(a, 0, b, 0, occurs_check)
+    }
+
+    /// Offset-aware literal unification (see [`Bindings::unify_off`]); undoes
+    /// its partial bindings on failure.
+    pub fn unify_literals_off(
+        &mut self,
+        a: &Literal,
+        aoff: VarId,
+        b: &Literal,
+        boff: VarId,
+        occurs_check: bool,
+    ) -> bool {
         if a.pred != b.pred || a.args.len() != b.args.len() {
             return false;
         }
         let mark = self.mark();
         for (x, y) in a.args.iter().zip(b.args.iter()) {
-            if !self.unify_inner(x, y, occurs_check) {
+            if !self.unify_off(x, aoff, y, boff, occurs_check) {
                 self.undo_to(mark);
                 return false;
             }
@@ -192,6 +340,16 @@ impl Bindings {
         for v in self.trail.drain(..) {
             self.slots[v as usize] = None;
         }
+    }
+
+    /// Clears all bindings and shrinks the slot vector back to `keep`
+    /// addressable variables. Hot loops that reuse one store across many
+    /// proofs call this between proofs so rename-apart offsets from one
+    /// proof don't inflate the slot vector (and the fresh-variable base) of
+    /// the next.
+    pub fn reset(&mut self, keep: usize) {
+        self.clear();
+        self.slots.truncate(keep);
     }
 }
 
@@ -220,7 +378,11 @@ mod tests {
         let mut b = Bindings::new();
         // f(X, a) vs f(b, c): X gets bound to b before a/c clash; must undo.
         let lhs = app(&t, "f", vec![Term::Var(0), Term::Sym(t.intern("a"))]);
-        let rhs = app(&t, "f", vec![Term::Sym(t.intern("b")), Term::Sym(t.intern("c"))]);
+        let rhs = app(
+            &t,
+            "f",
+            vec![Term::Sym(t.intern("b")), Term::Sym(t.intern("c"))],
+        );
         assert!(!b.unify(&lhs, &rhs, false));
         assert!(b.lookup(0).is_none());
     }

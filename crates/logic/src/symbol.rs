@@ -8,13 +8,15 @@
 //! Beowulf cluster loaded identical data files and therefore agreed on the
 //! meaning of every name.
 
+use crate::fxhash::FxHashMap;
 use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// Compact identifier for an interned string.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct SymbolId(pub u32);
 
 impl SymbolId {
@@ -34,7 +36,7 @@ impl fmt::Debug for SymbolId {
 #[derive(Default)]
 struct Inner {
     names: Vec<Arc<str>>,
-    map: HashMap<Arc<str>, SymbolId>,
+    map: FxHashMap<Arc<str>, SymbolId>,
 }
 
 /// A shared, append-only string interner.
@@ -147,7 +149,11 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let t = t.clone();
-                std::thread::spawn(move || (0..100).map(|i| t.intern(&format!("s{i}")).0).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| t.intern(&format!("s{i}")).0)
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

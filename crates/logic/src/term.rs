@@ -95,7 +95,9 @@ impl Term {
     pub fn offset_vars(&self, offset: VarId) -> Term {
         match self {
             Term::Var(v) => Term::Var(v + offset),
-            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.offset_vars(offset)).collect()),
+            Term::App(f, args) => {
+                Term::App(*f, args.iter().map(|a| a.offset_vars(offset)).collect())
+            }
             t => t.clone(),
         }
     }

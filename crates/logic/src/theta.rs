@@ -61,7 +61,11 @@ impl Matcher {
             return false;
         }
         let m = self.mark();
-        if a.args.iter().zip(b.args.iter()).all(|(x, y)| self.match_term(x, y)) {
+        if a.args
+            .iter()
+            .zip(b.args.iter())
+            .all(|(x, y)| self.match_term(x, y))
+        {
             true
         } else {
             self.undo_to(m);
@@ -205,7 +209,10 @@ mod tests {
         // p(X) :- q(X), r(X)  does NOT subsume  p(a) :- q(a), r(b)
         let g = Clause::new(
             lit(&t, "p", vec![Term::Var(0)]),
-            vec![lit(&t, "q", vec![Term::Var(0)]), lit(&t, "r", vec![Term::Var(0)])],
+            vec![
+                lit(&t, "q", vec![Term::Var(0)]),
+                lit(&t, "r", vec![Term::Var(0)]),
+            ],
         );
         let s = Clause::new(
             lit(&t, "p", vec![Term::Sym(t.intern("a"))]),

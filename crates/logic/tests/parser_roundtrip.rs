@@ -8,8 +8,10 @@ use p2mdie_logic::term::{Term, F64};
 use proptest::prelude::*;
 
 fn arb_term(t: SymbolTable) -> BoxedStrategy<Term> {
-    let consts: Vec<Term> =
-        ["a", "b", "cde", "x1"].iter().map(|n| Term::Sym(t.intern(n))).collect();
+    let consts: Vec<Term> = ["a", "b", "cde", "x1"]
+        .iter()
+        .map(|n| Term::Sym(t.intern(n)))
+        .collect();
     let f = t.intern("f");
     let leaf = prop_oneof![
         (0u32..5).prop_map(Term::Var),
@@ -32,8 +34,7 @@ fn arb_clause(t: SymbolTable) -> impl Strategy<Value = Clause> {
         term.clone().prop_map(move |a| Literal::new(p, vec![a])),
         (term.clone(), term.clone()).prop_map(move |(a, b)| Literal::new(q, vec![a, b])),
     ];
-    (lit.clone(), proptest::collection::vec(lit, 0..3))
-        .prop_map(|(h, b)| Clause::new(h, b))
+    (lit.clone(), proptest::collection::vec(lit, 0..3)).prop_map(|(h, b)| Clause::new(h, b))
 }
 
 proptest! {

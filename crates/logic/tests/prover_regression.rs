@@ -1,0 +1,228 @@
+//! Differential regression: the zero-allocation goal-stack prover must
+//! report exactly the seed semantics — same `proved`, same `steps`, same
+//! `depth_cuts`, same `aborted` — as the pre-refactor clone-per-expansion
+//! implementation kept in `prover::reference`, across recursion, builtins,
+//! compounds, tight step budgets, and tight depth bounds.
+
+use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::prover::{reference, ProofLimits, Prover};
+use p2mdie_logic::subst::Bindings;
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::Term;
+
+fn lit(t: &SymbolTable, name: &str, args: Vec<Term>) -> Literal {
+    Literal::new(t.intern(name), args)
+}
+
+/// Family chain with the classic two-clause `ancestor/2` recursion.
+fn family_kb(n: usize) -> (SymbolTable, KnowledgeBase) {
+    let t = SymbolTable::new();
+    let mut kb = KnowledgeBase::new(t.clone());
+    for i in 0..n {
+        kb.assert_fact(lit(
+            &t,
+            "parent",
+            vec![
+                Term::Sym(t.intern(&format!("p{i}"))),
+                Term::Sym(t.intern(&format!("p{}", i + 1))),
+            ],
+        ));
+    }
+    kb.assert_rule(Clause::new(
+        lit(&t, "ancestor", vec![Term::Var(0), Term::Var(1)]),
+        vec![lit(&t, "parent", vec![Term::Var(0), Term::Var(1)])],
+    ));
+    kb.assert_rule(Clause::new(
+        lit(&t, "ancestor", vec![Term::Var(0), Term::Var(2)]),
+        vec![
+            lit(&t, "parent", vec![Term::Var(0), Term::Var(1)]),
+            lit(&t, "ancestor", vec![Term::Var(1), Term::Var(2)]),
+        ],
+    ));
+    (t, kb)
+}
+
+/// Trains-style KB: cars with attributes, rules mixing facts, compounds and
+/// arithmetic builtins.
+fn trains_kb() -> (SymbolTable, KnowledgeBase) {
+    let t = SymbolTable::new();
+    let mut kb = KnowledgeBase::new(t.clone());
+    let cfg = t.intern("cfg");
+    for tr in 0..12i64 {
+        let train = Term::Sym(t.intern(&format!("t{tr}")));
+        for c in 0..(2 + tr % 3) {
+            let car = Term::Sym(t.intern(&format!("t{tr}c{c}")));
+            kb.assert_fact(lit(&t, "has_car", vec![train.clone(), car.clone()]));
+            kb.assert_fact(lit(
+                &t,
+                "wheels",
+                vec![car.clone(), Term::Int(2 + (tr + c) % 3)],
+            ));
+            if (tr + c) % 2 == 0 {
+                kb.assert_fact(lit(&t, "closed", vec![car.clone()]));
+            }
+            // A compound-valued attribute to exercise App unification.
+            kb.assert_fact(lit(
+                &t,
+                "shape",
+                vec![
+                    car.clone(),
+                    Term::app(cfg, vec![Term::Int(tr % 4), Term::Int(c % 2)]),
+                ],
+            ));
+        }
+    }
+    // heavy(T) :- has_car(T, C), wheels(C, W), W >= 3.
+    kb.assert_rule(Clause::new(
+        lit(&t, "heavy", vec![Term::Var(0)]),
+        vec![
+            lit(&t, "has_car", vec![Term::Var(0), Term::Var(1)]),
+            lit(&t, "wheels", vec![Term::Var(1), Term::Var(2)]),
+            lit(&t, ">=", vec![Term::Var(2), Term::Int(3)]),
+        ],
+    ));
+    // boxy(T) :- has_car(T, C), closed(C), shape(C, cfg(S, 0)).
+    kb.assert_rule(Clause::new(
+        lit(&t, "boxy", vec![Term::Var(0)]),
+        vec![
+            lit(&t, "has_car", vec![Term::Var(0), Term::Var(1)]),
+            lit(&t, "closed", vec![Term::Var(1)]),
+            lit(
+                &t,
+                "shape",
+                vec![
+                    Term::Var(1),
+                    Term::app(cfg, vec![Term::Var(2), Term::Int(0)]),
+                ],
+            ),
+        ],
+    ));
+    // good(T) :- heavy(T), boxy(T).   (rule-over-rule nesting)
+    kb.assert_rule(Clause::new(
+        lit(&t, "good", vec![Term::Var(0)]),
+        vec![
+            lit(&t, "heavy", vec![Term::Var(0)]),
+            lit(&t, "boxy", vec![Term::Var(0)]),
+        ],
+    ));
+    (t, kb)
+}
+
+fn assert_agree(kb: &KnowledgeBase, limits: ProofLimits, goal: &Literal) {
+    let new = Prover::new(kb, limits).prove_ground(goal);
+    let old = reference::Prover::new(kb, limits).prove_ground(goal);
+    assert_eq!(new.0, old.0, "proved mismatch on {goal:?} under {limits:?}");
+    assert_eq!(new.1, old.1, "stats mismatch on {goal:?} under {limits:?}");
+}
+
+#[test]
+fn family_chain_agrees_across_limits() {
+    let (t, kb) = family_kb(30);
+    let c = |n: &str| Term::Sym(t.intern(n));
+    let queries = [
+        lit(&t, "parent", vec![c("p0"), c("p1")]),
+        lit(&t, "parent", vec![c("p1"), c("p0")]),
+        lit(&t, "ancestor", vec![c("p0"), c("p30")]),
+        lit(&t, "ancestor", vec![c("p30"), c("p0")]),
+        lit(&t, "ancestor", vec![c("p5"), c("p6")]),
+        lit(&t, "ancestor", vec![c("p5"), Term::Var(0)]),
+    ];
+    let limit_grid = [
+        ProofLimits::default(),
+        ProofLimits {
+            max_depth: 3,
+            max_steps: 100_000,
+        },
+        ProofLimits {
+            max_depth: 64,
+            max_steps: 100_000,
+        },
+        ProofLimits {
+            max_depth: 64,
+            max_steps: 200,
+        },
+        ProofLimits {
+            max_depth: 64,
+            max_steps: 7,
+        },
+        ProofLimits {
+            max_depth: 1,
+            max_steps: 50,
+        },
+    ];
+    for limits in limit_grid {
+        for q in &queries {
+            assert_agree(&kb, limits, q);
+        }
+    }
+}
+
+#[test]
+fn trains_kb_agrees_on_every_train() {
+    let (t, kb) = trains_kb();
+    for tr in 0..12 {
+        let train = Term::Sym(t.intern(&format!("t{tr}")));
+        for pred in ["heavy", "boxy", "good"] {
+            for limits in [
+                ProofLimits::default(),
+                ProofLimits {
+                    max_depth: 2,
+                    max_steps: 4_000,
+                },
+                ProofLimits {
+                    max_depth: 10,
+                    max_steps: 25,
+                },
+            ] {
+                assert_agree(&kb, limits, &lit(&t, pred, vec![train.clone()]));
+            }
+        }
+    }
+}
+
+#[test]
+fn open_queries_enumerate_identically() {
+    let (t, kb) = trains_kb();
+    let limits = ProofLimits::default();
+    let goal = lit(&t, "heavy", vec![Term::Var(0)]);
+    let new = Prover::new(&kb, limits);
+    let old = reference::Prover::new(&kb, limits);
+
+    let mut new_sols = Vec::new();
+    let new_stats = new.run(std::slice::from_ref(&goal), Bindings::new(), &mut |b| {
+        new_sols.push(b.resolve_literal(&goal));
+        true
+    });
+    let mut old_sols = Vec::new();
+    let old_stats = old.run(std::slice::from_ref(&goal), Bindings::new(), &mut |b| {
+        old_sols.push(b.resolve_literal(&goal));
+        true
+    });
+    assert!(!new_sols.is_empty());
+    assert_eq!(
+        new_sols, old_sols,
+        "solution streams must match in order and content"
+    );
+    assert_eq!(new_stats, old_stats);
+}
+
+#[test]
+fn prebound_coverage_path_agrees() {
+    let (t, kb) = trains_kb();
+    let limits = ProofLimits::default();
+    // Simulate coverage: V0 prebound to each train, prove the `good` body.
+    let body = vec![
+        lit(&t, "heavy", vec![Term::Var(0)]),
+        lit(&t, "boxy", vec![Term::Var(0)]),
+    ];
+    for tr in 0..12 {
+        let mut b1 = Bindings::new();
+        b1.bind(0, Term::Sym(t.intern(&format!("t{tr}"))));
+        let mut b2 = Bindings::new();
+        b2.bind(0, Term::Sym(t.intern(&format!("t{tr}"))));
+        let new = Prover::new(&kb, limits).prove_with_bindings(&body, b1);
+        let old = reference::Prover::new(&kb, limits).prove_with_bindings(&body, b2);
+        assert_eq!(new, old, "train t{tr}");
+    }
+}

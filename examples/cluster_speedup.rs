@@ -28,8 +28,12 @@ fn main() {
     for width in [Width::Unlimited, Width::Limit(10)] {
         println!("\npipeline width = {}:", width.label());
         for p in [2, 4, 8] {
-            let rep = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(p, width, 2005))
-                .expect("cluster run");
+            let rep = run_parallel(
+                &ds.engine,
+                &ds.examples,
+                &ParallelConfig::new(p, width, 2005),
+            )
+            .expect("cluster run");
             let speedup = seq.vtime / rep.vtime;
             let bar = "#".repeat((speedup * 4.0).round() as usize);
             println!(

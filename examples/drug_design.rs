@@ -49,5 +49,9 @@ fn main() {
             }
         }
     }
-    println!("\n5-fold accuracy: {:.2}% ({:.2})", mean(&accs), stddev(&accs));
+    println!(
+        "\n5-fold accuracy: {:.2}% ({:.2})",
+        mean(&accs),
+        stddev(&accs)
+    );
 }

@@ -60,6 +60,11 @@ fn main() {
 
     println!("\nsample rules (width 10 run):");
     for rule in width10.theory.iter().take(5) {
-        println!("  {}  [{} pos / {} neg]", rule.clause.display(&ds.syms), rule.pos, rule.neg);
+        println!(
+            "  {}  [{} pos / {} neg]",
+            rule.clause.display(&ds.syms),
+            rule.pos,
+            rule.neg
+        );
     }
 }

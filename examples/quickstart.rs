@@ -21,7 +21,10 @@ fn main() {
 
     // Sequential MDIE (the paper's Figure 1).
     let seq = run_sequential_timed(&ds.engine, &ds.examples, &CostModel::beowulf_2005());
-    println!("\nsequential: {} epochs, T(1) = {:.2} virtual s", seq.epochs, seq.vtime);
+    println!(
+        "\nsequential: {} epochs, T(1) = {:.2} virtual s",
+        seq.epochs, seq.vtime
+    );
     for clause in &seq.theory {
         println!("  {}", clause.display(&ds.syms));
     }
@@ -36,7 +39,11 @@ fn main() {
         par.megabytes()
     );
     for rule in &par.theory {
-        println!("  [epoch {:>2}] {}", rule.epoch, rule.clause.display(&ds.syms));
+        println!(
+            "  [epoch {:>2}] {}",
+            rule.epoch,
+            rule.clause.display(&ds.syms)
+        );
     }
     println!("\nspeedup T(1)/T(4) = {:.2}", seq.vtime / par.vtime);
 }

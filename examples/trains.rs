@@ -18,10 +18,17 @@ fn main() {
     // Step 1: saturate the first eastbound train into its bottom clause.
     let seed = &ds.examples.pos[0];
     println!("\nseed example: {}", seed.display(&ds.syms));
-    let bottom = ds.engine.saturate(seed).expect("seed matches the head mode");
+    let bottom = ds
+        .engine
+        .saturate(seed)
+        .expect("seed matches the head mode");
     println!("bottom clause ⊥e has {} body literals:", bottom.body_len());
     for (i, bl) in bottom.lits.iter().enumerate().take(12) {
-        println!("  [{i:>2}, depth {}] {}", bl.depth, bl.lit.display(&ds.syms));
+        println!(
+            "  [{i:>2}, depth {}] {}",
+            bl.depth,
+            bl.lit.display(&ds.syms)
+        );
     }
     if bottom.body_len() > 12 {
         println!("  ... and {} more", bottom.body_len() - 12);

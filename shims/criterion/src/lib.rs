@@ -1,0 +1,231 @@
+//! Offline shim for `criterion`: wall-clock micro-benchmarking with the
+//! `Criterion`/`criterion_group!`/`criterion_main!` surface. Each bench is
+//! warmed up, then measured over a fixed number of samples; mean and
+//! best-sample times are printed in a criterion-like format and appended as
+//! JSON lines to `target/shim-criterion.jsonl` for tooling.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    min_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            min_sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One measured sample set.
+#[derive(Clone, Copy, Debug)]
+pub struct Estimate {
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time, nanoseconds.
+    pub best_ns: f64,
+    /// Iterations per sample used.
+    pub iters: u64,
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn record(id: &str, e: Estimate) {
+    println!(
+        "{id:<48} time: [{} .. {}]",
+        fmt_time(e.best_ns),
+        fmt_time(e.mean_ns)
+    );
+    let line = format!(
+        "{{\"id\":\"{id}\",\"mean_ns\":{:.1},\"best_ns\":{:.1},\"iters\":{}}}\n",
+        e.mean_ns, e.best_ns, e.iters
+    );
+    let path = std::path::Path::new("target");
+    if path.is_dir() {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.join("shim-criterion.jsonl"))
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Runs `routine` through warmup + sampling and returns the estimate.
+fn run_bench(
+    sample_size: usize,
+    min_sample_time: Duration,
+    routine: &mut dyn FnMut() -> Duration,
+) -> Estimate {
+    // Warmup + calibration: how many iterations fill one sample window?
+    let mut one = routine();
+    if one.is_zero() {
+        one = Duration::from_nanos(1);
+    }
+    let iters = (min_sample_time.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        let mut sample = Duration::ZERO;
+        for _ in 0..iters {
+            sample += routine();
+        }
+        total += sample;
+        best = best.min(sample);
+    }
+    let denom = (sample_size as u64 * iters) as f64;
+    Estimate {
+        mean_ns: total.as_nanos() as f64 / denom,
+        best_ns: best.as_nanos() as f64 / iters as f64,
+        iters,
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut routine = || {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed
+        };
+        let e = run_bench(self.sample_size, self.min_sample_time, &mut routine);
+        record(&id, e);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Timing handle passed to bench closures.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut routine = || {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed
+        };
+        let e = run_bench(samples, self.parent.min_sample_time, &mut routine);
+        record(&full, e);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point running each function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            min_sample_time: Duration::from_micros(50),
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

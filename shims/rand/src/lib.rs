@@ -1,0 +1,238 @@
+//! Offline shim for `rand`: a deterministic SplitMix64 generator behind the
+//! `StdRng`/`SeedableRng`/`RngExt`/`SliceRandom` surface this workspace
+//! uses. Dataset generation and partitioning only need a seeded, stable,
+//! well-mixed stream — reproducibility matters more than cryptographic or
+//! statistical perfection here.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a 64-bit output stream.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// Deterministic standard generator (SplitMix64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014), public domain reference.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Random: Sized {
+    /// Samples a uniform value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Random for u32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Random for u8 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+impl Random for i64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Random for f64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Random for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`]. The element type is a
+/// trait parameter (as in real `rand`) so integer literals in a range
+/// expression infer from the call site.
+pub trait SampleRange<T> {
+    /// Samples uniformly from the range. Panics when the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in random_range");
+        lo + f64::random(rng) * (hi - lo)
+    }
+}
+
+/// Convenience sampling methods (the `rand` 0.9 `Rng`/`RngExt` surface).
+pub trait RngExt: RngCore {
+    /// Uniform value of an inferable type.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniform value in a range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::random(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Compatibility alias: older call sites spell the extension trait `Rng`.
+pub use RngExt as Rng;
+
+/// Slice utilities.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        /// Uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3..9);
+            assert!((3..9).contains(&v));
+            let w = r.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice fully sorted");
+    }
+}

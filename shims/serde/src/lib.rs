@@ -1,0 +1,13 @@
+//! Offline shim for `serde`: trait names + no-op derives, enough for code
+//! that derives `Serialize`/`Deserialize` without ever serializing through
+//! serde. See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the workspace only uses
+//! `#[derive(serde::Serialize, serde::Deserialize)]` as annotations — no
+//! code path actually serializes through serde (the wire codec in
+//! `p2mdie-cluster` is hand-rolled). The derives therefore expand to
+//! nothing; the matching traits in the `serde` shim are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -18,8 +18,12 @@ fn trains_quality_parity_across_p() {
     assert_eq!(seq_conf.fn_, 0, "sequential theory must be complete");
 
     for p in [1, 2, 3, 5] {
-        let rep = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(p, Width::Limit(10), 5))
-            .unwrap();
+        let rep = run_parallel(
+            &ds.engine,
+            &ds.examples,
+            &ParallelConfig::new(p, Width::Limit(10), 5),
+        )
+        .unwrap();
         assert!(!rep.stalled);
         let conf = score_theory(&ds.engine, &rep.clauses(), &ds.examples);
         assert_eq!(conf.fp, 0, "p={p}: parallel theory must be consistent");
@@ -55,7 +59,10 @@ fn traffic_accounting_is_consistent() {
     assert!((rep.megabytes() - rep.total_bytes as f64 / 1e6).abs() < 1e-12);
     // Pipelines imply worker->worker traffic, the bag implies
     // master<->worker traffic; all must be present at p >= 2.
-    assert!(rep.total_messages >= (3 * rep.epochs as u64), "at least one message per pipeline");
+    assert!(
+        rep.total_messages >= (3 * rep.epochs as u64),
+        "at least one message per pipeline"
+    );
 }
 
 /// More workers must not increase the epoch count (the paper's Table 5
@@ -63,12 +70,20 @@ fn traffic_accounting_is_consistent() {
 #[test]
 fn epochs_do_not_grow_with_p() {
     let ds = p2mdie::datasets::mesh(0.04, 11);
-    let e2 = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(2, Width::Limit(10), 11))
-        .unwrap()
-        .epochs;
-    let e8 = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(8, Width::Limit(10), 11))
-        .unwrap()
-        .epochs;
+    let e2 = run_parallel(
+        &ds.engine,
+        &ds.examples,
+        &ParallelConfig::new(2, Width::Limit(10), 11),
+    )
+    .unwrap()
+    .epochs;
+    let e8 = run_parallel(
+        &ds.engine,
+        &ds.examples,
+        &ParallelConfig::new(8, Width::Limit(10), 11),
+    )
+    .unwrap()
+    .epochs;
     assert!(e8 <= e2, "epochs at p=8 ({e8}) must not exceed p=2 ({e2})");
 }
 
@@ -77,10 +92,18 @@ fn epochs_do_not_grow_with_p() {
 #[test]
 fn zero_width_pipeline_terminates_empty() {
     let ds = p2mdie::datasets::trains(10, 5);
-    let rep = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(2, Width::Limit(0), 5))
-        .unwrap();
+    let rep = run_parallel(
+        &ds.engine,
+        &ds.examples,
+        &ParallelConfig::new(2, Width::Limit(0), 5),
+    )
+    .unwrap();
     assert!(rep.theory.is_empty());
-    assert_eq!(rep.set_aside as usize, ds.examples.num_pos(), "every positive is set aside");
+    assert_eq!(
+        rep.set_aside as usize,
+        ds.examples.num_pos(),
+        "every positive is set aside"
+    );
     assert!(!rep.stalled);
 }
 
@@ -94,20 +117,34 @@ fn zero_width_pipeline_terminates_empty() {
 fn more_workers_than_examples_terminates_cleanly() {
     let ds = p2mdie::datasets::trains(8, 5); // 4 positive examples
     assert!(ds.examples.num_pos() < 6);
-    let rep = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(6, Width::Limit(10), 1))
-        .unwrap();
+    let rep = run_parallel(
+        &ds.engine,
+        &ds.examples,
+        &ParallelConfig::new(6, Width::Limit(10), 1),
+    )
+    .unwrap();
     assert!(!rep.stalled);
-    assert_eq!(rep.set_aside as usize + count_covered(&ds, &rep), ds.examples.num_pos());
+    assert_eq!(
+        rep.set_aside as usize + count_covered(&ds, &rep),
+        ds.examples.num_pos()
+    );
 
     // With enough examples per worker, the same cluster size learns fine.
     let ds = p2mdie::datasets::trains(60, 5); // 30 positive examples
-    let rep = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(6, Width::Limit(10), 1))
-        .unwrap();
+    let rep = run_parallel(
+        &ds.engine,
+        &ds.examples,
+        &ParallelConfig::new(6, Width::Limit(10), 1),
+    )
+    .unwrap();
     let conf = score_theory(&ds.engine, &rep.clauses(), &ds.examples);
     assert_eq!(conf.fn_, 0, "all positives covered");
 }
 
-fn count_covered(ds: &p2mdie::datasets::Dataset, rep: &p2mdie::core::report::ParallelReport) -> usize {
+fn count_covered(
+    ds: &p2mdie::datasets::Dataset,
+    rep: &p2mdie::core::report::ParallelReport,
+) -> usize {
     score_theory(&ds.engine, &rep.clauses(), &ds.examples).tp
 }
 
@@ -122,9 +159,12 @@ fn parallel_accuracy_tracks_sequential() {
     for fold in &folds {
         let seq = run_sequential_timed(&ds.engine, &fold.train, &CostModel::free());
         seq_accs.push(score_theory(&ds.engine, &seq.theory, &fold.test).accuracy_pct());
-        let rep =
-            run_parallel(&ds.engine, &fold.train, &ParallelConfig::new(4, Width::Limit(10), 13))
-                .unwrap();
+        let rep = run_parallel(
+            &ds.engine,
+            &fold.train,
+            &ParallelConfig::new(4, Width::Limit(10), 13),
+        )
+        .unwrap();
         par_accs.push(score_theory(&ds.engine, &rep.clauses(), &fold.test).accuracy_pct());
     }
     let seq_mean = p2mdie::eval::mean(&seq_accs);
@@ -145,7 +185,13 @@ fn parallel_virtual_time_beats_sequential() {
     let rep = run_parallel(
         &ds.engine,
         &ds.examples,
-        &ParallelConfig { workers: 4, width: Width::Limit(10), model, seed: 7, repartition: false },
+        &ParallelConfig {
+            workers: 4,
+            width: Width::Limit(10),
+            model,
+            seed: 7,
+            repartition: false,
+        },
     )
     .unwrap();
     assert!(
@@ -162,8 +208,12 @@ fn parallel_virtual_time_beats_sequential() {
 #[test]
 fn master_vtime_is_a_valid_makespan() {
     let ds = p2mdie::datasets::family(4, 2);
-    let rep = run_parallel(&ds.engine, &ds.examples, &ParallelConfig::new(3, Width::Limit(5), 2))
-        .unwrap();
+    let rep = run_parallel(
+        &ds.engine,
+        &ds.examples,
+        &ParallelConfig::new(3, Width::Limit(5), 2),
+    )
+    .unwrap();
     for (w, t) in rep.worker_vtimes.iter().enumerate() {
         assert!(*t > 0.0, "worker {} did no timed work", w + 1);
         assert!(

@@ -35,8 +35,7 @@ fn arb_term() -> impl Strategy<Value = Term> {
     ];
     leaf.prop_recursive(3, 24, 3, move |inner| {
         prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3)
-                .prop_map(move |args| Term::app(f, args)),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(move |args| Term::app(f, args)),
             proptest::collection::vec(inner, 1..2).prop_map(move |args| Term::app(g, args)),
         ]
     })
