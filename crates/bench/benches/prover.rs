@@ -6,7 +6,7 @@
 //! writes `BENCH_prover.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use p2mdie_bench::legacy;
+use p2mdie_bench::{legacy, workloads};
 use p2mdie_datasets::carcinogenesis;
 use p2mdie_ilp::coverage::{evaluate_rule_threads, Coverage};
 use p2mdie_ilp::refine::RuleShape;
@@ -157,5 +157,26 @@ fn bench_search(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_backtracking, bench_coverage, bench_search);
+/// `bond/4` retrieval with the *second* argument bound and the molecule
+/// unbound: the seed's first-argument index degenerates to a full scan per
+/// query, the compiled KB's per-position posting lists touch ~1 fact.
+fn bench_second_arg_bound(c: &mut Criterion) {
+    let (_t, kb, queries) = workloads::bond_world();
+    let mut g = c.benchmark_group("second_arg_bound");
+    g.bench_function("before", |b| {
+        b.iter(|| black_box(workloads::run_bond_reference(&kb, &queries)))
+    });
+    g.bench_function("after", |b| {
+        b.iter(|| black_box(workloads::run_bond_compiled(&kb, &queries)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backtracking,
+    bench_coverage,
+    bench_search,
+    bench_second_arg_bound
+);
 criterion_main!(benches);

@@ -91,7 +91,12 @@ pub fn run_coverage_parallel(
         |ep| {
             let (eng, local) = contexts[ep.rank() - 1]
                 .lock()
-                .expect("context lock")
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: worker-context lock poisoned by an earlier panic",
+                        ep.rank()
+                    )
+                })
                 .take()
                 .expect("taken once");
             baseline_worker(ep, eng, local);
@@ -114,7 +119,7 @@ pub fn run_coverage_parallel(
 fn baseline_worker(ep: &mut Endpoint, mut engine: IlpEngine, local: Examples) {
     let mut live = local.full_pos_live();
     loop {
-        let msg: Msg = ep.recv_msg(0).expect("baseline worker: malformed message");
+        let msg = Msg::recv(ep, 0, "a baseline master command");
         match msg {
             Msg::LoadExamples => ep.advance_steps(local.len() as u64),
             Msg::Evaluate { rules } => {
@@ -148,9 +153,7 @@ fn eval_round(ep: &mut Endpoint, clauses: &[Clause]) -> Vec<(u32, u32)> {
     });
     let mut totals = vec![(0u32, 0u32); clauses.len()];
     for k in 1..=p {
-        let msg: Msg = ep
-            .recv_msg(k)
-            .expect("baseline master: malformed EvalResult");
+        let msg = Msg::recv(ep, k, "EvalResult");
         let Msg::EvalResult { counts } = msg else {
             panic!("baseline master: expected EvalResult, got {msg:?}");
         };
@@ -248,9 +251,7 @@ fn baseline_master(
                 });
                 let p = ep.workers();
                 for k in 1..=p {
-                    let msg: Msg = ep
-                        .recv_msg(k)
-                        .expect("baseline master: malformed CoveredIdx");
+                    let msg = Msg::recv(ep, k, "CoveredIdx");
                     let Msg::CoveredIdx { pos } = msg else {
                         panic!("baseline master: expected CoveredIdx, got {msg:?}");
                     };

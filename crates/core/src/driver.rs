@@ -99,7 +99,12 @@ pub fn run_parallel(
         |ep| {
             let ctx = contexts[ep.rank() - 1]
                 .lock()
-                .expect("context lock")
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: worker-context lock poisoned by an earlier panic",
+                        ep.rank()
+                    )
+                })
                 .take()
                 .expect("each worker context is taken exactly once");
             run_worker(ep, ctx);

@@ -93,7 +93,7 @@ pub fn run_master(ep: &mut Endpoint, settings: &Settings, total_pos: usize) -> M
         let mut bag = RuleBag::new();
         let mut any_seed = false;
         for k in 1..=p {
-            let msg: Msg = ep.recv_msg(k).expect("master: malformed RulesFound");
+            let msg = Msg::recv(ep, k, "RulesFound");
             let Msg::RulesFound {
                 origin,
                 rules,
@@ -161,7 +161,7 @@ pub fn run_master(ep: &mut Endpoint, settings: &Settings, total_pos: usize) -> M
             ep.broadcast(&Msg::RetireSeed);
             let mut retired = 0u32;
             for k in 1..=p {
-                let msg: Msg = ep.recv_msg(k).expect("master: malformed SeedRetired");
+                let msg = Msg::recv(ep, k, "SeedRetired");
                 let Msg::SeedRetired { removed } = msg else {
                     panic!("master: expected SeedRetired from rank {k}, got {msg:?}");
                 };
@@ -240,7 +240,7 @@ pub fn run_master_repartition(
         }
         let mut bag = RuleBag::new();
         for k in 1..=p {
-            let msg: Msg = ep.recv_msg(k).expect("master: malformed RulesFound");
+            let msg = Msg::recv(ep, k, "RulesFound");
             let Msg::RulesFound {
                 origin,
                 rules,
@@ -273,7 +273,7 @@ pub fn run_master_repartition(
                     rule: best.clause.clone(),
                 });
                 for k in 1..=p {
-                    let msg: Msg = ep.recv_msg(k).expect("master: malformed CoveredIdx");
+                    let msg = Msg::recv(ep, k, "CoveredIdx");
                     let Msg::CoveredIdx { pos: covered } = msg else {
                         panic!("master: expected CoveredIdx from rank {k}, got {msg:?}");
                     };
@@ -330,7 +330,7 @@ fn evaluate_bag(ep: &mut Endpoint, p: usize, bag: &mut RuleBag) {
     });
     let mut results = Vec::with_capacity(p);
     for k in 1..=p {
-        let msg: Msg = ep.recv_msg(k).expect("master: malformed EvalResult");
+        let msg = Msg::recv(ep, k, "EvalResult");
         let Msg::EvalResult { counts } = msg else {
             panic!("master: expected EvalResult from rank {k}, got {msg:?}");
         };

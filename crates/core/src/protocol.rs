@@ -10,9 +10,16 @@
 //! Terms reference [`SymbolId`]s shared by all ranks — the analogue of the
 //! paper's assumption that "data can be shared by all processors through a
 //! distributed file system", under which every node agrees on every name.
+//!
+//! Clauses travel in their *plain* (uncompiled) form: `PredId`s, term-arena
+//! ids and posting lists are rank-local artifacts of each worker's
+//! [`p2mdie_logic::kb::KnowledgeBase`], so a shipped rule is recompiled on
+//! arrival by the receiver's `assert_rule` (dispatch resolution is one map
+//! probe per body literal — negligible next to the wire transfer itself).
 
 use bytes::{BufMut, Bytes, BytesMut};
 use p2mdie_cluster::codec::{DecodeError, Wire};
+use p2mdie_cluster::comm::Endpoint;
 use p2mdie_ilp::bottom::{BottomClause, BottomLiteral};
 use p2mdie_ilp::refine::RuleShape;
 use p2mdie_ilp::search::ScoredRule;
@@ -293,6 +300,24 @@ impl Wire for PipelineToken {
 // ---------------------------------------------------------------------------
 // The message enum.
 // ---------------------------------------------------------------------------
+
+impl Msg {
+    /// Receives and decodes the next message from rank `from`, panicking
+    /// with a diagnosis naming the receiving rank, the source rank, and
+    /// what was expected when the frame is malformed. Cluster-sim failures
+    /// then report *which* rank and message died instead of a bare
+    /// `unwrap` backtrace (the panic still poisons the run, so every rank
+    /// unwinds as before).
+    pub fn recv(ep: &mut Endpoint, from: usize, expected: &str) -> Msg {
+        match ep.recv_msg(from) {
+            Ok(msg) => msg,
+            Err(e) => panic!(
+                "rank {}: malformed message (expected {expected}) from rank {from}: {e}",
+                ep.rank()
+            ),
+        }
+    }
+}
 
 /// Every message exchanged by the p²-mdie master and workers.
 #[derive(Clone, Debug, PartialEq)]
@@ -652,6 +677,28 @@ mod tests {
             big > small + 99 * 16,
             "each rule costs at least 16 bytes on the wire"
         );
+    }
+
+    /// Rules ship uncompiled; the receiving rank's KB resolves dispatch on
+    /// assert (PredIds and arena ids are rank-local, SymbolIds global).
+    #[test]
+    fn shipped_clause_recompiles_at_receiver() {
+        use p2mdie_logic::clause::LitKind;
+        let t = SymbolTable::new();
+        let rule = sample_clause(&t);
+        let bytes = to_bytes(&Msg::MarkCovered { rule: rule.clone() });
+        let Msg::MarkCovered { rule: arrived } = from_bytes(bytes).unwrap() else {
+            panic!("expected MarkCovered");
+        };
+        let mut kb = p2mdie_logic::kb::KnowledgeBase::new(t.clone());
+        kb.assert_rule(arrived);
+        let pid = kb
+            .pred_id(rule.head.key())
+            .expect("entry created on assert");
+        let crule = &kb.rules_compiled(pid)[0];
+        assert!(matches!(crule.body[0].kind, LitKind::Pred(_)));
+        assert!(matches!(crule.body[1].kind, LitKind::Builtin(_)));
+        assert_eq!(crule.var_span, rule.var_span());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn run_worker(ep: &mut Endpoint, mut ctx: WorkerContext) {
     let mut current_seed: Option<usize> = None;
 
     loop {
-        let msg: Msg = ep.recv_msg(0).expect("worker: malformed master message");
+        let msg = Msg::recv(ep, 0, "a master command");
         match msg {
             Msg::LoadExamples => {
                 // Data is shared (distributed-FS assumption); loading costs
@@ -186,7 +186,7 @@ fn run_epoch_pipelines(
 
     // --- Stages 2..=p of the pipelines passing through this worker. ----
     for _ in 0..p - 1 {
-        let msg: Msg = ep.recv_msg(prev).expect("worker: malformed stage token");
+        let msg = Msg::recv(ep, prev, "a PipelineStage token");
         let Msg::PipelineStage(token) = msg else {
             panic!("worker {me}: expected a pipeline token from rank {prev}, got {msg:?}");
         };

@@ -234,6 +234,10 @@ pub fn carcinogenesis(scale: f64, seed: u64) -> Dataset {
         ..Settings::default()
     };
 
+    // Release the generators' load-time over-allocation (arena, columns,
+    // posting lists) before the KB is cloned per rank.
+    kb.optimize();
+
     Dataset {
         name: "carcinogenesis",
         syms,

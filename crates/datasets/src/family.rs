@@ -113,6 +113,10 @@ pub fn family(families: usize, seed: u64) -> Dataset {
         ..Settings::default()
     };
 
+    // Release the generators' load-time over-allocation (arena, columns,
+    // posting lists) before the KB is cloned per rank.
+    kb.optimize();
+
     Dataset {
         name: "family",
         syms,

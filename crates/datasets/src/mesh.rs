@@ -156,6 +156,10 @@ pub fn mesh(scale: f64, seed: u64) -> Dataset {
         ..Settings::default()
     };
 
+    // Release the generators' load-time over-allocation (arena, columns,
+    // posting lists) before the KB is cloned per rank.
+    kb.optimize();
+
     Dataset {
         name: "mesh",
         syms,

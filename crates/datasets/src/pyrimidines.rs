@@ -164,6 +164,10 @@ pub fn pyrimidines(scale: f64, seed: u64) -> Dataset {
         ..Settings::default()
     };
 
+    // Release the generators' load-time over-allocation (arena, columns,
+    // posting lists) before the KB is cloned per rank.
+    kb.optimize();
+
     Dataset {
         name: "pyrimidines",
         syms,

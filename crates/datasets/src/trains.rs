@@ -123,6 +123,10 @@ pub fn trains(n_trains: usize, seed: u64) -> Dataset {
         ..Settings::default()
     };
 
+    // Release the generators' load-time over-allocation (arena, columns,
+    // posting lists) before the KB is cloned per rank.
+    kb.optimize();
+
     Dataset {
         name: "trains",
         syms,

@@ -153,6 +153,8 @@ pub fn saturate(
     let mut lits: Vec<BottomLiteral> = Vec::new();
     let mut body_seen: HashSet<Literal> = HashSet::new();
     let prover = Prover::new(kb, settings.proof);
+    // One binding store shared by every saturation query (cleared per call).
+    let mut scratch = p2mdie_logic::subst::Bindings::new();
 
     'depths: for depth in 1..=settings.max_var_depth {
         // Freeze availability: literals at this depth consume only terms
@@ -210,7 +212,8 @@ pub fn saturate(
                     }
                 }
                 let query = Literal::new(mode.pred, qargs);
-                let (solutions, pstats) = prover.solutions(&query, mode.recall as usize);
+                let (solutions, pstats) =
+                    prover.solutions_reusing(&query, mode.recall as usize, &mut scratch);
                 sat.steps += pstats.steps;
 
                 for sol in solutions {

@@ -19,7 +19,7 @@
 
 use crate::bitset::Bitset;
 use crate::examples::Examples;
-use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::clause::{Clause, CompiledGoals, Literal};
 use p2mdie_logic::kb::KnowledgeBase;
 use p2mdie_logic::prover::{ProofLimits, Prover};
 use p2mdie_logic::subst::Bindings;
@@ -62,11 +62,34 @@ fn resolve_threads(threads: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// A rule compiled for repeated evaluation: body dispatch resolved once
+/// (see [`p2mdie_logic::clause::CompiledGoals`]), rename-apart span
+/// precomputed. Prepare once per candidate rule; prove per example.
+#[derive(Clone, Debug)]
+pub struct PreparedRule {
+    /// The rule head (examples unify against it).
+    pub head: Literal,
+    /// Compiled body conjunction.
+    pub body: CompiledGoals,
+    /// Variable span of the whole clause (head + body).
+    pub span: usize,
+}
+
+/// Compiles `rule` against `kb` for evaluation via
+/// [`evaluate_side_prepared`].
+pub fn prepare_rule(kb: &KnowledgeBase, rule: &Clause) -> PreparedRule {
+    PreparedRule {
+        head: rule.head.clone(),
+        body: kb.compile_goals(&rule.body),
+        span: rule.var_span() as usize,
+    }
+}
+
 /// Evaluates one side (positive or negative examples) over `[lo, hi)`,
 /// reusing one binding store across the whole range.
 fn eval_range(
     prover: &Prover<'_>,
-    rule: &Clause,
+    rule: &PreparedRule,
     lits: &[Literal],
     live: Option<&Bitset>,
     lo: usize,
@@ -74,7 +97,7 @@ fn eval_range(
 ) -> (Bitset, u64) {
     let mut bits = Bitset::new(lits.len());
     let mut steps = 0u64;
-    let span = rule.var_span() as usize;
+    let span = rule.span;
     let mut scratch = Bindings::with_capacity(span);
     let mut eval_one = |i: usize| {
         let ex = &lits[i];
@@ -83,7 +106,7 @@ fn eval_range(
         if !scratch.unify_literals(&rule.head, ex, false) {
             return;
         }
-        let (ok, st) = prover.prove_reusing(&rule.body, &mut scratch);
+        let (ok, st) = prover.prove_compiled_reusing(&rule.body, &mut scratch);
         steps += st.steps;
         if ok {
             bits.set(i);
@@ -110,6 +133,21 @@ pub fn evaluate_side_threads(
     kb: &KnowledgeBase,
     proof: ProofLimits,
     rule: &Clause,
+    lits: &[Literal],
+    live: Option<&Bitset>,
+    threads: usize,
+) -> (Bitset, u64) {
+    let prepared = prepare_rule(kb, rule);
+    evaluate_side_prepared(kb, proof, &prepared, lits, live, threads)
+}
+
+/// [`evaluate_side_threads`] over an already-compiled rule: the per-rule
+/// compile (dispatch resolution, span scan) is hoisted out of the search's
+/// two-sides-per-node pattern.
+pub fn evaluate_side_prepared(
+    kb: &KnowledgeBase,
+    proof: ProofLimits,
+    rule: &PreparedRule,
     lits: &[Literal],
     live: Option<&Bitset>,
     threads: usize,

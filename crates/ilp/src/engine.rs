@@ -26,8 +26,15 @@ pub struct IlpEngine {
 }
 
 impl IlpEngine {
-    /// Bundles an engine.
-    pub fn new(kb: KnowledgeBase, modes: ModeSet, settings: Settings) -> Self {
+    /// Bundles an engine. The mode declarations double as an index-tuning
+    /// signal: posting lists on argument positions the language bias can
+    /// never bind — output slots whose type occurs nowhere else, so no
+    /// shared variable can ever reach them bound — are pruned from the KB
+    /// (see [`ModeSet::bound_positions`]).
+    pub fn new(mut kb: KnowledgeBase, modes: ModeSet, settings: Settings) -> Self {
+        for (key, keep) in modes.bound_positions() {
+            kb.retain_indexes(key, &keep);
+        }
         IlpEngine {
             kb,
             modes,

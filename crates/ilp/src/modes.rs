@@ -7,6 +7,7 @@
 //! the predicate saturation may use per input instantiation (paper §3.1,
 //! following Muggleton's Progol).
 
+use p2mdie_logic::clause::PredKey;
 use p2mdie_logic::symbol::{SymbolId, SymbolTable};
 
 /// One argument slot of a mode template.
@@ -150,11 +151,86 @@ impl ModeSet {
         }
         Ok(ModeSet { head, body })
     }
+
+    /// Argument positions that can arrive *bound* in proof goals, per body
+    /// predicate (merged across declarations of the same relation). `+`
+    /// inputs are bound by dataflow and `#` constants stay ground in
+    /// learned rules; a `-` output slot can *also* arrive bound, but only
+    /// through a shared variable — saturation shares variables by
+    /// `(term, type)` identity, so that requires its type to occur in at
+    /// least one other slot of the language bias (e.g. the second `-atom`
+    /// of `bond(+mol, -atom, -atom, #ty)` rejoins atoms produced earlier).
+    /// Output slots of a type that occurs nowhere else can never be probed;
+    /// this is the signal the KB uses to prune their posting-list indexes
+    /// (see [`p2mdie_logic::kb::KnowledgeBase::retain_indexes`]).
+    pub fn bound_positions(&self) -> Vec<(PredKey, Vec<usize>)> {
+        // Type-occurrence census over every slot (head included): an output
+        // type seen exactly once can never be shared with another literal.
+        let mut type_count: p2mdie_logic::fxhash::FxHashMap<SymbolId, usize> =
+            p2mdie_logic::fxhash::FxHashMap::default();
+        for a in self
+            .head
+            .args
+            .iter()
+            .chain(self.body.iter().flat_map(|m| m.args.iter()))
+        {
+            *type_count.entry(a.type_sym()).or_insert(0) += 1;
+        }
+        let mut out: Vec<(PredKey, Vec<usize>)> = Vec::new();
+        for m in &self.body {
+            let key = PredKey {
+                pred: m.pred,
+                arity: m.args.len() as u32,
+            };
+            let positions = m.args.iter().enumerate().filter_map(|(i, a)| match a {
+                ModeArg::Input(_) | ModeArg::Const(_) => Some(i),
+                ModeArg::Output(t) => (type_count[t] >= 2).then_some(i),
+            });
+            match out.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, ps)) => {
+                    for p in positions {
+                        if !ps.contains(&p) {
+                            ps.push(p);
+                        }
+                    }
+                }
+                None => out.push((key, positions.collect())),
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bound_positions_keep_shareable_output_slots() {
+        let t = SymbolTable::new();
+        let m = ModeSet::parse(
+            &t,
+            "tgt(+mol)",
+            &[
+                (1, "bond(+mol, -atom, -atom, #ty)"),
+                (1, "lonely(+mol, -unique)"),
+            ],
+        )
+        .unwrap();
+        let bp = m.bound_positions();
+        let get = |name: &str| {
+            bp.iter()
+                .find(|(k, _)| k.pred == t.intern(name))
+                .map(|(_, ps)| ps.clone())
+                .unwrap()
+        };
+        // `atom` occurs twice, so a bond goal's `-atom` slots can arrive
+        // bound through sharing: every position stays indexable.
+        assert_eq!(get("bond"), vec![0, 1, 2, 3]);
+        // `unique` occurs only in its own slot — no shared variable can
+        // ever bind it, so the position is safely prunable.
+        assert_eq!(get("lonely"), vec![0]);
+    }
 
     #[test]
     fn parse_full_template() {

@@ -22,7 +22,7 @@
 
 use crate::bitset::Bitset;
 use crate::bottom::BottomClause;
-use crate::coverage::evaluate_side_threads;
+use crate::coverage::{evaluate_side_prepared, prepare_rule};
 use crate::examples::Examples;
 use crate::refine::RuleShape;
 use crate::settings::Settings;
@@ -116,7 +116,9 @@ pub fn search_rules(
         if !visited.insert(shape.clone()) {
             continue;
         }
-        let clause = shape.to_clause(bottom);
+        // Compile the candidate once; both sides (and every example) reuse
+        // the resolved dispatch.
+        let clause = prepare_rule(kb, &shape.to_clause(bottom));
         // Monotonicity: the child's coverage is a subset of the parent's, so
         // the parent's covered sets are exact live masks for the child.
         let (live_p, live_n) = match &parent_cov {
@@ -124,7 +126,7 @@ pub fn search_rules(
             None => (live_pos, None),
         };
         out.nodes += 1;
-        let (pos_bits, pos_steps) = evaluate_side_threads(
+        let (pos_bits, pos_steps) = evaluate_side_prepared(
             kb,
             settings.proof,
             &clause,
@@ -142,7 +144,7 @@ pub fn search_rules(
         if pos < settings.min_pos && !is_seed {
             continue;
         }
-        let (neg_bits, neg_steps) = evaluate_side_threads(
+        let (neg_bits, neg_steps) = evaluate_side_prepared(
             kb,
             settings.proof,
             &clause,

@@ -1,0 +1,161 @@
+//! Interned ground-term storage (the compiled KB's term arena).
+//!
+//! Every ground argument of every fact is interned once into a per-KB
+//! [`TermArena`] and referred to by a dense [`TermId`]. Fact storage then
+//! becomes columnar `Vec<TermId>` (see `kb.rs`): one `u32` per argument
+//! instead of one heap-boxed [`Term`] tree per occurrence, which both
+//! shrinks the KB footprint (ILP background knowledge repeats the same
+//! molecule/atom/element constants millions of times) and turns index
+//! probing into a dense-integer hash lookup.
+//!
+//! The arena is append-only: ids are stable for the lifetime of the KB, so
+//! posting lists and columns can hold raw `u32`s without invalidation.
+
+use crate::fxhash::FxHashMap;
+use crate::term::Term;
+
+/// Dense identifier of an interned ground term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Sentinel for "not interned" (a non-ground argument in a fact column).
+    pub const NONE: TermId = TermId(u32::MAX);
+
+    /// The raw index of this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True when this is the [`TermId::NONE`] sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == TermId::NONE
+    }
+}
+
+impl std::fmt::Debug for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "term#none")
+        } else {
+            write!(f, "term#{}", self.0)
+        }
+    }
+}
+
+/// An append-only interner of ground terms.
+///
+/// Interning the same ground term twice yields the same [`TermId`], so id
+/// equality is term equality and a column of ids can be compared or hashed
+/// without touching the term structure.
+#[derive(Default, Clone)]
+pub struct TermArena {
+    terms: Vec<Term>,
+    map: FxHashMap<Term, TermId>,
+}
+
+impl TermArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a ground term, returning its stable id. The term is cloned
+    /// only on first occurrence.
+    ///
+    /// Callers must only pass ground terms; interning a variable would make
+    /// id-equality unsound (debug-checked).
+    pub fn intern(&mut self, t: &Term) -> TermId {
+        debug_assert!(t.is_ground(), "only ground terms may be interned");
+        if let Some(&id) = self.map.get(t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        assert!(id.0 != u32::MAX, "term arena full");
+        self.terms.push(t.clone());
+        self.map.insert(t.clone(), id);
+        id
+    }
+
+    /// Looks up an already-interned term without inserting.
+    #[inline]
+    pub fn lookup(&self, t: &Term) -> Option<TermId> {
+        self.map.get(t).copied()
+    }
+
+    /// The term behind `id`. Panics on [`TermId::NONE`] or a foreign id.
+    #[inline]
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Releases over-reserved capacity (called once bulk loading is done).
+    pub fn shrink_to_fit(&mut self) {
+        self.terms.shrink_to_fit();
+    }
+}
+
+impl std::fmt::Debug for TermArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TermArena({} terms)", self.terms.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let t = SymbolTable::new();
+        let mut a = TermArena::new();
+        let x = Term::Sym(t.intern("x"));
+        let y = Term::Int(7);
+        let i = a.intern(&x);
+        let j = a.intern(&y);
+        assert_eq!(a.intern(&x), i);
+        assert_ne!(i, j);
+        assert_eq!((i.index(), j.index()), (0, 1));
+        assert_eq!(a.term(i), &x);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn compound_terms_dedupe_structurally() {
+        let t = SymbolTable::new();
+        let mut a = TermArena::new();
+        let f = t.intern("f");
+        let c1 = Term::app(f, vec![Term::Int(1), Term::Sym(t.intern("a"))]);
+        let c2 = Term::app(f, vec![Term::Int(1), Term::Sym(t.intern("a"))]);
+        assert_eq!(a.intern(&c1), a.intern(&c2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut a = TermArena::new();
+        assert_eq!(a.lookup(&Term::Int(3)), None);
+        let id = a.intern(&Term::Int(3));
+        assert_eq!(a.lookup(&Term::Int(3)), Some(id));
+    }
+
+    #[test]
+    fn none_sentinel_is_distinct() {
+        assert!(TermId::NONE.is_none());
+        assert!(!TermId(0).is_none());
+        assert_eq!(format!("{:?}", TermId::NONE), "term#none");
+    }
+}

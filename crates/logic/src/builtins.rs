@@ -7,9 +7,9 @@
 
 use crate::clause::Literal;
 use crate::fxhash::FxHashMap;
-use crate::subst::Bindings;
+use crate::subst::{Bindings, View};
 use crate::symbol::{SymbolId, SymbolTable};
-use crate::term::Term;
+use crate::term::{Term, VarId};
 
 /// The builtin predicates understood by the prover.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,67 +128,80 @@ impl Num {
 /// Supported: numeric constants, bound variables, and the functors
 /// `+/2, -/2, *-/2, //2, mod/2, min/2, max/2, abs/1, -/1`.
 pub fn eval_arith(t: &Term, bindings: &Bindings, syms: &SymbolTable) -> Option<Num> {
-    let t = bindings.walk(t);
-    match t {
-        Term::Int(i) => Some(Num::Int(*i)),
-        Term::Float(f) => Some(Num::Float(f.0)),
-        Term::Var(_) | Term::Sym(_) => None,
-        Term::App(f, args) => {
-            let name = syms.name(*f);
-            match (&*name, args.len()) {
-                ("+", 2) => bin(args, bindings, syms, |a, b| a + b, |a, b| a.checked_add(b)),
-                ("-", 2) => bin(args, bindings, syms, |a, b| a - b, |a, b| a.checked_sub(b)),
-                ("*", 2) => bin(args, bindings, syms, |a, b| a * b, |a, b| a.checked_mul(b)),
-                ("/", 2) => {
-                    let a = eval_arith(&args[0], bindings, syms)?;
-                    let b = eval_arith(&args[1], bindings, syms)?;
-                    let d = b.as_f64();
-                    if d == 0.0 {
-                        return None;
-                    }
-                    Some(Num::Float(a.as_f64() / d))
-                }
-                ("mod", 2) => {
-                    let a = eval_arith(&args[0], bindings, syms)?;
-                    let b = eval_arith(&args[1], bindings, syms)?;
-                    match (a, b) {
-                        (Num::Int(x), Num::Int(y)) if y != 0 => Some(Num::Int(x.rem_euclid(y))),
-                        _ => None,
-                    }
-                }
-                ("min", 2) => {
-                    let a = eval_arith(&args[0], bindings, syms)?;
-                    let b = eval_arith(&args[1], bindings, syms)?;
-                    Some(if a.as_f64() <= b.as_f64() { a } else { b })
-                }
-                ("max", 2) => {
-                    let a = eval_arith(&args[0], bindings, syms)?;
-                    let b = eval_arith(&args[1], bindings, syms)?;
-                    Some(if a.as_f64() >= b.as_f64() { a } else { b })
-                }
-                ("abs", 1) => match eval_arith(&args[0], bindings, syms)? {
-                    Num::Int(i) => Some(Num::Int(i.abs())),
-                    Num::Float(f) => Some(Num::Float(f.abs())),
-                },
-                ("-", 1) => match eval_arith(&args[0], bindings, syms)? {
-                    Num::Int(i) => Some(Num::Int(-i)),
-                    Num::Float(f) => Some(Num::Float(-f)),
-                },
-                _ => None,
+    eval_arith_off(t, 0, bindings, syms)
+}
+
+/// Offset-aware [`eval_arith`]: every variable in `t` is shifted by `off`
+/// on the fly, so expressions inside knowledge-base rule bodies evaluate
+/// without a rename-apart clone of the term tree.
+pub fn eval_arith_off(
+    t: &Term,
+    off: VarId,
+    bindings: &Bindings,
+    syms: &SymbolTable,
+) -> Option<Num> {
+    match bindings.resolve_view(t, off) {
+        View::Int(i) => Some(Num::Int(i)),
+        View::Float(f) => Some(Num::Float(f.0)),
+        View::Var(_) | View::Sym(_) => None,
+        // Slot-resident terms carry absolute variable ids (offset 0).
+        View::App(app, app_off) => eval_app(app, app_off, bindings, syms),
+        View::OwnedApp(app) => eval_app(&app, 0, bindings, syms),
+    }
+}
+
+/// Evaluates a compound arithmetic functor whose variables are at `off`.
+fn eval_app(t: &Term, off: VarId, bindings: &Bindings, syms: &SymbolTable) -> Option<Num> {
+    let Term::App(f, args) = t else {
+        unreachable!("eval_app called on non-compound");
+    };
+    let name = syms.name(*f);
+    let ev = |i: usize| eval_arith_off(&args[i], off, bindings, syms);
+    match (&*name, args.len()) {
+        ("+", 2) => bin(ev(0)?, ev(1)?, |a, b| a + b, |a, b| a.checked_add(b)),
+        ("-", 2) => bin(ev(0)?, ev(1)?, |a, b| a - b, |a, b| a.checked_sub(b)),
+        ("*", 2) => bin(ev(0)?, ev(1)?, |a, b| a * b, |a, b| a.checked_mul(b)),
+        ("/", 2) => {
+            let a = ev(0)?;
+            let b = ev(1)?;
+            let d = b.as_f64();
+            if d == 0.0 {
+                return None;
             }
+            Some(Num::Float(a.as_f64() / d))
         }
+        ("mod", 2) => match (ev(0)?, ev(1)?) {
+            (Num::Int(x), Num::Int(y)) if y != 0 => Some(Num::Int(x.rem_euclid(y))),
+            _ => None,
+        },
+        ("min", 2) => {
+            let a = ev(0)?;
+            let b = ev(1)?;
+            Some(if a.as_f64() <= b.as_f64() { a } else { b })
+        }
+        ("max", 2) => {
+            let a = ev(0)?;
+            let b = ev(1)?;
+            Some(if a.as_f64() >= b.as_f64() { a } else { b })
+        }
+        ("abs", 1) => match ev(0)? {
+            Num::Int(i) => Some(Num::Int(i.abs())),
+            Num::Float(f) => Some(Num::Float(f.abs())),
+        },
+        ("-", 1) => match ev(0)? {
+            Num::Int(i) => Some(Num::Int(-i)),
+            Num::Float(f) => Some(Num::Float(-f)),
+        },
+        _ => None,
     }
 }
 
 fn bin(
-    args: &[Term],
-    bindings: &Bindings,
-    syms: &SymbolTable,
+    a: Num,
+    b: Num,
     ff: impl Fn(f64, f64) -> f64,
     ii: impl Fn(i64, i64) -> Option<i64>,
 ) -> Option<Num> {
-    let a = eval_arith(&args[0], bindings, syms)?;
-    let b = eval_arith(&args[1], bindings, syms)?;
     match (a, b) {
         (Num::Int(x), Num::Int(y)) => ii(x, y).map(Num::Int),
         _ => Some(Num::Float(ff(a.as_f64(), b.as_f64()))),
@@ -207,6 +220,20 @@ pub fn solve_builtin(
     bindings: &mut Bindings,
     syms: &SymbolTable,
 ) -> Option<bool> {
+    solve_builtin_off(b, goal, 0, bindings, syms)
+}
+
+/// Offset-aware [`solve_builtin`]: every variable in `goal` is shifted by
+/// `goff` on the fly. This is how the optimized prover runs builtins inside
+/// renamed-apart rule bodies without cloning the goal literal (the seed
+/// semantics cloned via `offset_vars`; results and bindings are identical).
+pub fn solve_builtin_off(
+    b: Builtin,
+    goal: &Literal,
+    goff: VarId,
+    bindings: &mut Bindings,
+    syms: &SymbolTable,
+) -> Option<bool> {
     match b {
         Builtin::True => Some(true),
         Builtin::Fail => Some(false),
@@ -214,14 +241,14 @@ pub fn solve_builtin(
             if goal.args.len() != 2 {
                 return None;
             }
-            Some(bindings.unify(&goal.args[0], &goal.args[1], false))
+            Some(bindings.unify_pair(&goal.args[0], goff, &goal.args[1], goff, false))
         }
         Builtin::NotUnify => {
             if goal.args.len() != 2 {
                 return None;
             }
             let mark = bindings.mark();
-            let unified = bindings.unify(&goal.args[0], &goal.args[1], false);
+            let unified = bindings.unify_off(&goal.args[0], goff, &goal.args[1], goff, false);
             bindings.undo_to(mark);
             Some(!unified)
         }
@@ -229,8 +256,8 @@ pub fn solve_builtin(
             if goal.args.len() != 2 {
                 return None;
             }
-            let v = eval_arith(&goal.args[1], bindings, syms)?;
-            Some(bindings.unify(&goal.args[0], &v.to_term(), false))
+            let v = eval_arith_off(&goal.args[1], goff, bindings, syms)?;
+            Some(bindings.unify_pair(&goal.args[0], goff, &v.to_term(), 0, false))
         }
         Builtin::Lt
         | Builtin::Le
@@ -241,8 +268,8 @@ pub fn solve_builtin(
             if goal.args.len() != 2 {
                 return None;
             }
-            let x = eval_arith(&goal.args[0], bindings, syms)?.as_f64();
-            let y = eval_arith(&goal.args[1], bindings, syms)?.as_f64();
+            let x = eval_arith_off(&goal.args[0], goff, bindings, syms)?.as_f64();
+            let y = eval_arith_off(&goal.args[1], goff, bindings, syms)?.as_f64();
             Some(match b {
                 Builtin::Lt => x < y,
                 Builtin::Le => x <= y,

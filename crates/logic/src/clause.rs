@@ -109,6 +109,78 @@ pub struct PredKey {
     pub arity: u32,
 }
 
+/// Dense identifier of a `(predicate, arity)` relation inside one
+/// [`crate::kb::KnowledgeBase`]. Replaces per-goal [`PredKey`] map probes
+/// with a direct array index; ids are stable for the KB's lifetime.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// The raw index of this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pred#{}", self.0)
+    }
+}
+
+/// Pre-classified dispatch of a goal literal: what the prover does with it,
+/// decided once at compile time instead of once per proof step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LitKind {
+    /// The predicate symbol names a builtin (checked before arity, exactly
+    /// like the interpreted dispatch did).
+    Builtin(crate::builtins::Builtin),
+    /// A user predicate with a knowledge-base entry.
+    Pred(PredId),
+    /// A predicate unknown to the KB at compile time: no facts, no rules —
+    /// the goal fails without consuming any inference step.
+    Unknown,
+}
+
+/// A body literal with its dispatch resolved (the "compiled" form the
+/// prover's inner loop consumes — WAM-lite: direct slots, no bytecode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledLiteral {
+    /// The literal's term structure (the unification payload).
+    pub lit: Literal,
+    /// Resolved dispatch.
+    pub kind: LitKind,
+}
+
+/// A clause whose body literals carry resolved dispatch and whose
+/// rename-apart variable span is precomputed.
+///
+/// Stored next to the plain [`Clause`] in the KB: the optimized prover
+/// walks `CompiledClause`s, the differential oracle
+/// ([`crate::prover::reference`]) keeps walking the plain form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledClause {
+    /// The clause head (never dispatched on, so it stays a plain literal).
+    pub head: Literal,
+    /// Compiled body, proved left to right.
+    pub body: Box<[CompiledLiteral]>,
+    /// One past the largest variable id ([`Clause::var_span`], precomputed
+    /// so rule expansion skips the per-candidate `max_var` scan).
+    pub var_span: VarId,
+}
+
+/// A compiled goal conjunction: the form [`crate::prover::Prover`] actually
+/// runs. Compile once per query (or once per rule evaluation) and reuse
+/// across thousands of proofs — coverage testing's hot path.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledGoals {
+    /// Compiled goals, proved left to right.
+    pub lits: Box<[CompiledLiteral]>,
+    /// One past the largest variable id of the original goals.
+    pub var_span: VarId,
+}
+
 /// Display adapter produced by [`Literal::display`].
 pub struct LiteralDisplay<'a> {
     lit: &'a Literal,

@@ -1,36 +1,113 @@
-//! Indexed clause store (the "database" role of YAP in the paper's stack).
+//! Compiled, indexed clause store (the "database" role of YAP in the
+//! paper's stack).
 //!
 //! Background knowledge in ILP applications is mostly *extensional* (ground
 //! facts: atoms, bonds, edge properties...), plus a few intensional rules.
-//! Facts are stored per `(predicate, arity)` with a first-argument index, so
-//! a coverage query like `atm(m17, A, n, C)` touches only the facts of
-//! molecule `m17` — this is the single most important constant factor in
-//! coverage testing (see guide notes on algorithmic wins).
+//! The store keeps three coordinated representations per `(predicate,
+//! arity)` relation, addressed by a dense [`PredId`]:
+//!
+//! 1. **Columnar tuples** — every ground argument in the indexable prefix
+//!    (the first [`MAX_INDEXED_ARGS`] positions) is interned into the
+//!    per-KB [`TermArena`] and stored as `Vec<TermId>` columns: one `u32`
+//!    per cell, deduplicated term storage, and one-compare membership
+//!    tests when a plan narrows a first-argument walk by a sparser
+//!    position.
+//! 2. **Per-position posting lists** — for each of the first
+//!    [`MAX_INDEXED_ARGS`] argument positions (unless pruned via
+//!    [`KnowledgeBase::retain_indexes`], e.g. from mode declarations), a
+//!    hash index `TermId -> sorted fact indices`. At query time the prover
+//!    asks for a [`FactPlan`]: the store picks the *most selective* bound
+//!    position (hash-join style), so a `bond/4` goal bound on its second
+//!    argument touches only that atom's bonds instead of scanning the
+//!    molecule — or the whole relation (ROADMAP "index beyond first-arg").
+//! 3. **Row literals** — the original `Literal` per fact, kept as the view
+//!    of the differential oracle ([`crate::prover::reference`]) through the
+//!    legacy [`KnowledgeBase::candidate_facts`] iterator, and as the
+//!    fallback unification target for the rare non-ground fact argument.
+//!
+//! Rules are stored both as plain [`Clause`]s (oracle view) and as
+//! [`CompiledClause`]s whose body literals carry pre-resolved dispatch
+//! ([`crate::clause::LitKind`]) and whose rename-apart variable span is
+//! precomputed — per-goal dispatch in the optimized prover is array reads.
+//!
+//! # Step-accounting contract
+//!
+//! The inference-step count is the cluster substrate's virtual-time fuel,
+//! pinned bit-identical to the seed semantics: a goal is charged one step
+//! per candidate *the first-argument index would have enumerated* (plus one
+//! per rule head tried). A narrower plan therefore reports, alongside the
+//! facts actually worth trying, the rank each occupies in that reference
+//! enumeration — the prover bulk-charges the skipped candidates, which are
+//! exactly the ones that provably fail unification on the chosen bound
+//! position (see [`FactPlan::Narrowed`]).
 
+use crate::arena::{TermArena, TermId};
 use crate::builtins::BuiltinTable;
-use crate::clause::{Clause, Literal, PredKey};
+use crate::clause::{Clause, CompiledClause, CompiledGoals, CompiledLiteral, LitKind, Literal};
+use crate::clause::{PredId, PredKey};
 use crate::fxhash::FxHashMap;
 use crate::symbol::SymbolTable;
 use crate::term::Term;
 
-/// Per-predicate storage: ground facts (indexed) plus rules.
-#[derive(Default, Debug, Clone)]
+/// How many leading argument positions get a posting-list index by default.
+pub const MAX_INDEXED_ARGS: usize = 4;
+
+/// Reference candidate counts at or below this size skip the probe for a
+/// better position: probing costs two hash lookups per indexed position,
+/// which only pays off against a walk of some length (molecule-bound ILP
+/// goals sit in the tens; the scans worth narrowing sit in the thousands).
+const NARROW_MIN: u64 = 64;
+
+/// Per-predicate storage: columnar facts with posting-list indexes, plus
+/// rules in plain and compiled form.
+#[derive(Debug, Clone)]
 struct PredEntry {
+    /// Row view of every fact (oracle + unification target).
     facts: Vec<Literal>,
-    /// First-arg constant -> indices into `facts`. Only constants index.
-    /// Fx-hashed: this map is probed once per goal the prover solves.
-    index: FxHashMap<Term, Vec<u32>>,
-    /// Facts whose first argument is a variable or compound (rare).
-    unindexed: Vec<u32>,
+    /// Columnar view of the *indexable* argument positions: `cols[p][f]` is
+    /// fact `f`'s argument `p` as an interned id ([`TermId::NONE`] for a
+    /// non-ground argument). Plans use these for one-compare membership
+    /// tests; positions past [`MAX_INDEXED_ARGS`] are never probed, so no
+    /// column is kept for them.
+    cols: Vec<Vec<TermId>>,
+    /// Posting lists per indexed position: atomic-constant id -> ascending
+    /// fact indices. `None` = index pruned for this position.
+    postings: Vec<Option<FxHashMap<TermId, Vec<u32>>>>,
+    /// Per indexed position: facts whose argument there is *not* an atomic
+    /// constant (they match any probe, so every plan includes them).
+    unindexed: Vec<Vec<u32>>,
     rules: Vec<Clause>,
+    crules: Vec<CompiledClause>,
 }
 
-/// A knowledge base: interned symbols, indexed facts, and rules.
+impl PredEntry {
+    fn new(arity: usize) -> Self {
+        let indexed = arity.min(MAX_INDEXED_ARGS);
+        PredEntry {
+            facts: Vec::new(),
+            cols: vec![Vec::new(); indexed],
+            postings: (0..indexed).map(|_| Some(FxHashMap::default())).collect(),
+            unindexed: vec![Vec::new(); indexed],
+            rules: Vec::new(),
+            crules: Vec::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.facts.is_empty() && self.rules.is_empty()
+    }
+}
+
+/// A knowledge base: interned symbols and terms, indexed columnar facts,
+/// and compiled rules.
 #[derive(Clone)]
 pub struct KnowledgeBase {
     syms: SymbolTable,
     builtins: BuiltinTable,
-    preds: FxHashMap<PredKey, PredEntry>,
+    arena: TermArena,
+    pred_index: FxHashMap<PredKey, PredId>,
+    keys: Vec<PredKey>,
+    entries: Vec<PredEntry>,
     num_facts: usize,
     num_rules: usize,
 }
@@ -42,7 +119,10 @@ impl KnowledgeBase {
         KnowledgeBase {
             syms,
             builtins,
-            preds: FxHashMap::default(),
+            arena: TermArena::new(),
+            pred_index: FxHashMap::default(),
+            keys: Vec::new(),
+            entries: Vec::new(),
             num_facts: 0,
             num_rules: 0,
         }
@@ -58,14 +138,55 @@ impl KnowledgeBase {
         &self.builtins
     }
 
+    /// The ground-term arena backing the columnar fact store.
+    pub fn arena(&self) -> &TermArena {
+        &self.arena
+    }
+
+    /// The dense id of `key`, if the KB has an entry for it.
+    #[inline]
+    pub fn pred_id(&self, key: PredKey) -> Option<PredId> {
+        self.pred_index.get(&key).copied()
+    }
+
+    /// The dense id of `key`, allocating an (empty) entry when absent.
+    pub fn pred_id_or_insert(&mut self, key: PredKey) -> PredId {
+        if let Some(&id) = self.pred_index.get(&key) {
+            return id;
+        }
+        let id = PredId(self.entries.len() as u32);
+        self.pred_index.insert(key, id);
+        self.keys.push(key);
+        self.entries.push(PredEntry::new(key.arity as usize));
+        id
+    }
+
     /// Adds a ground (or at least first-arg-indexable) fact.
     pub fn assert_fact(&mut self, fact: Literal) {
-        let entry = self.preds.entry(fact.key()).or_default();
+        // Only the indexable prefix of the argument tuple is interned —
+        // positions past [`MAX_INDEXED_ARGS`] are never probed, so paying
+        // arena and column space for them would buy nothing.
+        let indexed = fact.args.len().min(MAX_INDEXED_ARGS);
+        let tids: Vec<TermId> = fact.args[..indexed]
+            .iter()
+            .map(|a| {
+                if a.is_ground() {
+                    self.arena.intern(a)
+                } else {
+                    TermId::NONE
+                }
+            })
+            .collect();
+        let pid = self.pred_id_or_insert(fact.key());
+        let entry = &mut self.entries[pid.index()];
         let idx = entry.facts.len() as u32;
-        match fact.args.first() {
-            Some(t) if t.is_constant() => entry.index.entry(t.clone()).or_default().push(idx),
-            Some(_) => entry.unindexed.push(idx),
-            None => entry.unindexed.push(idx),
+        for (p, (&tid, arg)) in tids.iter().zip(fact.args.iter()).enumerate() {
+            entry.cols[p].push(tid);
+            match &mut entry.postings[p] {
+                Some(map) if arg.is_constant() => map.entry(tid).or_default().push(idx),
+                Some(_) => entry.unindexed[p].push(idx),
+                None => {}
+            }
         }
         entry.facts.push(fact);
         self.num_facts += 1;
@@ -80,32 +201,293 @@ impl KnowledgeBase {
         }
     }
 
-    /// Adds a rule (non-empty body or non-ground head).
+    /// Adds a rule (non-empty body or non-ground head), compiling its body
+    /// dispatch eagerly. Predicates first seen in the body get (empty)
+    /// entries, so their [`PredId`]s are stable if facts or rules for them
+    /// arrive later.
     pub fn assert_rule(&mut self, rule: Clause) {
-        self.preds
-            .entry(rule.head.key())
-            .or_default()
-            .rules
-            .push(rule);
+        let var_span = rule.var_span();
+        let body: Box<[CompiledLiteral]> = rule
+            .body
+            .iter()
+            .map(|l| {
+                let kind = self.litkind_or_insert(l);
+                CompiledLiteral {
+                    lit: l.clone(),
+                    kind,
+                }
+            })
+            .collect();
+        let compiled = CompiledClause {
+            head: rule.head.clone(),
+            body,
+            var_span,
+        };
+        let pid = self.pred_id_or_insert(rule.head.key());
+        let entry = &mut self.entries[pid.index()];
+        entry.rules.push(rule);
+        entry.crules.push(compiled);
         self.num_rules += 1;
     }
 
-    /// Facts possibly matching `goal`: if the first argument resolves to a
-    /// constant the first-arg index narrows the candidates, otherwise all
-    /// facts of the predicate are returned.
+    fn litkind_or_insert(&mut self, l: &Literal) -> LitKind {
+        if let Some(b) = self.builtins.get(l.pred) {
+            return LitKind::Builtin(b);
+        }
+        LitKind::Pred(self.pred_id_or_insert(l.key()))
+    }
+
+    /// Resolves a goal literal's dispatch without mutating the KB (the
+    /// query-compilation path: the prover holds `&KnowledgeBase`).
+    pub fn litkind(&self, l: &Literal) -> LitKind {
+        if let Some(b) = self.builtins.get(l.pred) {
+            return LitKind::Builtin(b);
+        }
+        match self.pred_id(l.key()) {
+            Some(id) => LitKind::Pred(id),
+            None => LitKind::Unknown,
+        }
+    }
+
+    /// Compiles one goal literal (see [`KnowledgeBase::compile_goals`]).
+    pub fn compile_literal(&self, l: &Literal) -> CompiledLiteral {
+        CompiledLiteral {
+            lit: l.clone(),
+            kind: self.litkind(l),
+        }
+    }
+
+    /// Compiles a goal conjunction for repeated proving. Predicate and
+    /// builtin dispatch is resolved once here; per-goal work in the prover
+    /// becomes array reads. Compile once per rule evaluation, not per
+    /// example.
+    pub fn compile_goals(&self, goals: &[Literal]) -> CompiledGoals {
+        CompiledGoals {
+            lits: goals.iter().map(|l| self.compile_literal(l)).collect(),
+            var_span: goals
+                .iter()
+                .filter_map(Literal::max_var)
+                .max()
+                .map_or(0, |v| v + 1),
+        }
+    }
+
+    /// Compiled rules whose head predicate is `id` (assertion order).
+    #[inline]
+    pub fn rules_compiled(&self, id: PredId) -> &[CompiledClause] {
+        &self.entries[id.index()].crules
+    }
+
+    /// The row view of predicate `id`'s facts — the unification targets
+    /// once a plan has selected candidates (row-at-a-time unification has
+    /// better locality than per-argument column reads; the columns' job is
+    /// building the plan).
+    #[inline]
+    pub fn fact_rows(&self, id: PredId) -> &[Literal] {
+        &self.entries[id.index()].facts
+    }
+
+    /// Builds the retrieval plan for a goal on predicate `id`.
+    ///
+    /// `resolve(p)` must return the goal's argument `p` dereferenced to an
+    /// atomic constant (`None` when unbound or non-atomic); it is invoked
+    /// lazily, only for indexed positions that could pay off. The returned
+    /// plan enumerates a *superset* of the facts unifiable with the goal,
+    /// and a *subset* of the reference (first-argument) candidate set, in
+    /// reference order — see the module docs for the step contract.
+    pub fn fact_plan(
+        &self,
+        id: PredId,
+        mut resolve: impl FnMut(usize) -> Option<Term>,
+    ) -> FactPlan<'_> {
+        let entry = &self.entries[id.index()];
+        let n = entry.facts.len();
+        if n == 0 {
+            return FactPlan::Empty;
+        }
+        // The reference candidate sequence R: first-arg posting hits then
+        // first-arg-unindexable facts when the first argument is bound to an
+        // atomic constant, every fact otherwise.
+        let first_segments = if entry.postings.is_empty() {
+            None
+        } else {
+            resolve(0).map(|c| {
+                let posting = entry.postings[0]
+                    .as_ref()
+                    .expect("position 0 is never pruned");
+                let hits = self
+                    .arena
+                    .lookup(&c)
+                    .and_then(|tid| posting.get(&tid))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]);
+                (hits, entry.unindexed[0].as_slice())
+            })
+        };
+        let r_len = first_segments.map_or(n as u64, |(a, b)| (a.len() + b.len()) as u64);
+
+        // Hash-join choice: the most selective bound position, by candidate
+        // count (posting hits + position-unindexable facts). `tid` is the
+        // probe constant's arena id ([`TermId::NONE`] when the constant was
+        // never interned, which no column cell of an all-atomic position can
+        // equal).
+        struct Alt<'a> {
+            pos: usize,
+            tid: TermId,
+            hits: &'a [u32],
+            un: &'a [u32],
+            size: u64,
+        }
+        let mut best: Option<Alt<'_>> = None;
+        if r_len > NARROW_MIN {
+            for p in 1..entry.postings.len() {
+                let Some(posting) = entry.postings[p].as_ref() else {
+                    continue;
+                };
+                let Some(c) = resolve(p) else { continue };
+                let tid = self.arena.lookup(&c).unwrap_or(TermId::NONE);
+                let hits = posting.get(&tid).map(|v| v.as_slice()).unwrap_or(&[]);
+                let un = entry.unindexed[p].as_slice();
+                let size = (hits.len() + un.len()) as u64;
+                if best.as_ref().is_none_or(|b| size < b.size) {
+                    best = Some(Alt {
+                        pos: p,
+                        tid,
+                        hits,
+                        un,
+                        size,
+                    });
+                }
+            }
+        }
+
+        match (best, first_segments) {
+            // A strictly narrower position wins: enumerate its candidates
+            // restricted to R, tagged with their rank in R.
+            (Some(alt), segs) if alt.size.saturating_mul(2) < r_len => {
+                let mut tried = Vec::with_capacity((alt.size as usize).min(r_len as usize));
+                let total = match segs {
+                    // R is the whole relation: the posting list *is* the
+                    // tried set, and a fact's rank is its own index.
+                    None => {
+                        for &f in merge_sorted(alt.hits, alt.un).iter() {
+                            tried.push((f, f as u64));
+                        }
+                        n as u64
+                    }
+                    // R is the first-arg candidate walk. When every fact's
+                    // argument at `alt.pos` is an atomic constant (the
+                    // common, all-ground case), membership is one columnar
+                    // u32 compare per reference candidate.
+                    Some((s1, s2)) if alt.un.is_empty() => {
+                        let col = &entry.cols[alt.pos];
+                        for (rank, &f) in s1.iter().enumerate() {
+                            if col[f as usize] == alt.tid {
+                                tried.push((f, rank as u64));
+                            }
+                        }
+                        for (rank, &f) in s2.iter().enumerate() {
+                            if col[f as usize] == alt.tid {
+                                tried.push((f, (s1.len() + rank) as u64));
+                            }
+                        }
+                        r_len
+                    }
+                    // Mixed atomic/non-atomic arguments: intersect the
+                    // sorted posting candidates with the R segments.
+                    Some((s1, s2)) => {
+                        let merged = merge_sorted(alt.hits, alt.un);
+                        intersect_ranks(s1, &merged, 0, &mut tried);
+                        intersect_ranks(s2, &merged, s1.len() as u64, &mut tried);
+                        r_len
+                    }
+                };
+                FactPlan::Narrowed { tried, total }
+            }
+            (_, Some((indexed, unindexed))) => FactPlan::Seq { indexed, unindexed },
+            (_, None) => FactPlan::All { n: n as u32 },
+        }
+    }
+
+    /// Test/debug view of [`KnowledgeBase::fact_plan`]: the fact indices the
+    /// plan would try (in reference order) and the reference candidate
+    /// count, for a goal with the given per-position atomic constants.
+    pub fn plan_candidates(&self, key: PredKey, bound: &[Option<Term>]) -> (Vec<u32>, u64) {
+        let Some(id) = self.pred_id(key) else {
+            return (Vec::new(), 0);
+        };
+        let plan = self.fact_plan(id, |p| bound.get(p).cloned().flatten());
+        match plan {
+            FactPlan::Empty => (Vec::new(), 0),
+            FactPlan::All { n } => ((0..n).collect(), n as u64),
+            FactPlan::Seq { indexed, unindexed } => {
+                let mut v = indexed.to_vec();
+                v.extend_from_slice(unindexed);
+                let total = v.len() as u64;
+                (v, total)
+            }
+            FactPlan::Narrowed { tried, total } => {
+                (tried.into_iter().map(|(f, _)| f).collect(), total)
+            }
+        }
+    }
+
+    /// Prunes the posting lists of `key` down to `keep` argument positions
+    /// (position 0 is always retained: it defines the reference candidate
+    /// set). Callers with a language bias — mode declarations say which
+    /// positions ever arrive bound — use this to drop indexes that can
+    /// never be probed.
+    pub fn retain_indexes(&mut self, key: PredKey, keep: &[usize]) {
+        let pid = self.pred_id_or_insert(key);
+        let entry = &mut self.entries[pid.index()];
+        for p in 1..entry.postings.len() {
+            if !keep.contains(&p) {
+                entry.postings[p] = None;
+                entry.unindexed[p] = Vec::new();
+            }
+        }
+    }
+
+    /// Releases load-time over-allocation (arena, columns, posting lists).
+    /// Call once after bulk construction.
+    pub fn optimize(&mut self) {
+        self.arena.shrink_to_fit();
+        for entry in &mut self.entries {
+            entry.facts.shrink_to_fit();
+            for col in &mut entry.cols {
+                col.shrink_to_fit();
+            }
+            for posting in entry.postings.iter_mut().flatten() {
+                for v in posting.values_mut() {
+                    v.shrink_to_fit();
+                }
+            }
+        }
+    }
+
+    /// Facts possibly matching `goal` under first-argument indexing only —
+    /// the seed semantics, preserved verbatim as the view of the
+    /// differential oracle ([`crate::prover::reference`]). The optimized
+    /// prover uses [`KnowledgeBase::fact_plan`] instead.
     ///
     /// `first_arg` must already be dereferenced by the caller's bindings.
     pub fn candidate_facts(&self, key: PredKey, first_arg: Option<&Term>) -> FactIter<'_> {
-        let Some(entry) = self.preds.get(&key) else {
+        let Some(&pid) = self.pred_index.get(&key) else {
             return FactIter::Empty;
         };
+        let entry = &self.entries[pid.index()];
         match first_arg {
-            Some(t) if t.is_constant() => {
-                let indexed = entry.index.get(t).map(|v| v.as_slice()).unwrap_or(&[]);
+            Some(t) if t.is_constant() && !entry.postings.is_empty() => {
+                let indexed = self
+                    .arena
+                    .lookup(t)
+                    .and_then(|tid| entry.postings[0].as_ref().expect("pos 0 kept").get(&tid))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]);
                 FactIter::Indexed {
                     facts: &entry.facts,
                     indexed,
-                    unindexed: &entry.unindexed,
+                    unindexed: &entry.unindexed[0],
                     pos: 0,
                 }
             }
@@ -118,17 +500,15 @@ impl KnowledgeBase {
 
     /// Rules whose head predicate matches `key`.
     pub fn rules_for(&self, key: PredKey) -> &[Clause] {
-        self.preds
-            .get(&key)
-            .map(|e| e.rules.as_slice())
+        self.pred_id(key)
+            .map(|id| self.entries[id.index()].rules.as_slice())
             .unwrap_or(&[])
     }
 
-    /// All facts of a predicate (unfiltered).
+    /// All facts of a predicate (unfiltered row view).
     pub fn facts_for(&self, key: PredKey) -> &[Literal] {
-        self.preds
-            .get(&key)
-            .map(|e| e.facts.as_slice())
+        self.pred_id(key)
+            .map(|id| self.entries[id.index()].facts.as_slice())
             .unwrap_or(&[])
     }
 
@@ -142,19 +522,26 @@ impl KnowledgeBase {
         self.num_rules
     }
 
-    /// Every `(predicate, arity)` with at least one fact or rule.
+    /// Every `(predicate, arity)` with at least one fact or rule. (Entries
+    /// allocated only as compiled body references are skipped.)
     pub fn predicates(&self) -> impl Iterator<Item = PredKey> + '_ {
-        self.preds.keys().copied()
+        self.keys
+            .iter()
+            .zip(self.entries.iter())
+            .filter(|(_, e)| !e.is_empty())
+            .map(|(k, _)| *k)
     }
 
     /// Removes every rule of `key`, returning how many were removed.
     /// (Used by tests and by theory resets between cross-validation folds.)
     pub fn retract_rules(&mut self, key: PredKey) -> usize {
-        let Some(entry) = self.preds.get_mut(&key) else {
+        let Some(id) = self.pred_id(key) else {
             return 0;
         };
+        let entry = &mut self.entries[id.index()];
         let n = entry.rules.len();
         entry.rules.clear();
+        entry.crules.clear();
         self.num_rules -= n;
         n
     }
@@ -164,12 +551,92 @@ impl std::fmt::Debug for KnowledgeBase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "KnowledgeBase({} preds, {} facts, {} rules)",
-            self.preds.len(),
+            "KnowledgeBase({} preds, {} facts, {} rules, {} terms)",
+            self.pred_index.len(),
             self.num_facts,
-            self.num_rules
+            self.num_rules,
+            self.arena.len(),
         )
     }
+}
+
+/// Merges two sorted, disjoint index slices into one ascending vector.
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Pushes `(fact, rank_base + rank-in-seg)` for every member of `cands`
+/// found in the ascending slice `seg`. Binary search with a moving floor:
+/// O(|cands| · log |seg|), and output ranks ascend.
+fn intersect_ranks(seg: &[u32], cands: &[u32], rank_base: u64, out: &mut Vec<(u32, u64)>) {
+    let mut lo = 0usize;
+    for &c in cands {
+        if lo >= seg.len() {
+            break;
+        }
+        match seg[lo..].binary_search(&c) {
+            Ok(k) => {
+                out.push((c, rank_base + (lo + k) as u64));
+                lo += k + 1;
+            }
+            Err(k) => lo += k,
+        }
+    }
+}
+
+/// A fact-retrieval plan produced by [`KnowledgeBase::fact_plan`].
+///
+/// All variants enumerate candidates in *reference order* (first-argument
+/// posting hits, then first-arg-unindexable facts; or plain fact order), so
+/// solution discovery order — and therefore early-exit behavior — matches
+/// the oracle exactly.
+#[derive(Debug)]
+pub enum FactPlan<'a> {
+    /// No facts for this predicate.
+    Empty,
+    /// Scan every fact (first argument unbound or non-atomic, and no better
+    /// position available).
+    All {
+        /// Number of facts.
+        n: u32,
+    },
+    /// The reference first-argument enumeration: posting hits then
+    /// unindexable facts, each to be tried (and charged) individually.
+    Seq {
+        /// Posting hits for the first argument's constant.
+        indexed: &'a [u32],
+        /// Facts whose first argument is not an atomic constant.
+        unindexed: &'a [u32],
+    },
+    /// A narrower position was chosen: try only `tried` (fact index plus
+    /// its rank in the reference enumeration, ranks ascending); every
+    /// reference candidate in between fails unification on the chosen bound
+    /// position and is bulk-charged by the prover.
+    Narrowed {
+        /// `(fact index, rank in the reference enumeration)`, rank-ascending.
+        tried: Vec<(u32, u64)>,
+        /// Reference candidate count (facts the seed semantics would try).
+        total: u64,
+    },
 }
 
 /// Iterator over candidate facts returned by [`KnowledgeBase::candidate_facts`].
@@ -296,5 +763,150 @@ mod tests {
         assert_eq!(kb.retract_rules(key), 1);
         assert_eq!(kb.num_rules(), 0);
         assert_eq!(kb.num_facts(), 1);
+        assert!(kb.rules_compiled(kb.pred_id(key).unwrap()).is_empty());
+    }
+
+    /// bond/3-shaped relation: the second-argument posting must narrow a
+    /// first-arg-unbound goal to the matching facts only.
+    #[test]
+    fn second_arg_plan_narrows_when_first_unbound() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let key = {
+            let mut k = None;
+            for m in 0..10i64 {
+                for a in 0..100i64 {
+                    let f = lit(
+                        &t,
+                        "bond",
+                        vec![Term::Int(m), Term::Int(1000 * m + a), Term::Int(a % 3)],
+                    );
+                    k = Some(f.key());
+                    kb.assert_fact(f);
+                }
+            }
+            k.unwrap()
+        };
+        // Second argument bound, first unbound: 1 candidate out of 1000.
+        let (tried, total) = kb.plan_candidates(key, &[None, Some(Term::Int(3007))]);
+        assert_eq!(total, 1000, "reference would scan every fact");
+        assert_eq!(
+            tried,
+            vec![307],
+            "3007 = fact 3*100+7, rank = its own index"
+        );
+        // Both bound: the sparser second-arg posting still wins over the
+        // 100-fact first-arg walk.
+        let (tried, total) = kb.plan_candidates(key, &[Some(Term::Int(3)), Some(Term::Int(3007))]);
+        assert_eq!(total, 100, "reference = molecule 3's facts");
+        assert_eq!(tried.len(), 1);
+        // Unknown constant: nothing to try, reference count preserved.
+        let (tried, total) = kb.plan_candidates(key, &[None, Some(Term::Int(99_999))]);
+        assert!(tried.is_empty());
+        assert_eq!(total, 1000);
+    }
+
+    /// The plan's tried set must contain every fact that actually matches
+    /// the bound pattern, and stay within the reference candidate set.
+    #[test]
+    fn plans_are_supersets_of_matches_and_subsets_of_reference() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for m in 0..6i64 {
+            for a in 0..8i64 {
+                kb.assert_fact(lit(
+                    &t,
+                    "e",
+                    vec![Term::Int(m), Term::Int(a), Term::Int((m + a) % 4)],
+                ));
+            }
+        }
+        let key = lit(&t, "e", vec![Term::Int(0); 3]).key();
+        let facts = kb.facts_for(key).to_vec();
+        for bound in [
+            vec![None, Some(Term::Int(5)), None],
+            vec![None, None, Some(Term::Int(2))],
+            vec![Some(Term::Int(2)), None, Some(Term::Int(1))],
+            vec![Some(Term::Int(2)), Some(Term::Int(5)), Some(Term::Int(3))],
+        ] {
+            let (tried, total) = kb.plan_candidates(key, &bound);
+            let matching: Vec<u32> = facts
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| {
+                    bound
+                        .iter()
+                        .zip(f.args.iter())
+                        .all(|(b, a)| b.as_ref().is_none_or(|c| c == a))
+                })
+                .map(|(i, _)| i as u32)
+                .collect();
+            for m in &matching {
+                assert!(tried.contains(m), "plan missed matching fact {m}");
+            }
+            assert!(tried.len() as u64 <= total);
+        }
+    }
+
+    #[test]
+    fn retained_indexes_prune_postings() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 0..40i64 {
+            kb.assert_fact(lit(&t, "r", vec![Term::Int(i % 2), Term::Int(i)]));
+        }
+        let key = lit(&t, "r", vec![Term::Int(0), Term::Int(0)]).key();
+        kb.retain_indexes(key, &[]);
+        // Second-arg probe no longer narrows; reference set = all facts.
+        let (tried, total) = kb.plan_candidates(key, &[None, Some(Term::Int(7))]);
+        assert_eq!(tried.len() as u64, total);
+        assert_eq!(total, 40);
+        // Facts asserted after pruning stay consistent.
+        kb.assert_fact(lit(&t, "r", vec![Term::Int(0), Term::Int(77)]));
+        let (tried, total) = kb.plan_candidates(key, &[Some(Term::Int(0)), None]);
+        assert_eq!(total, 21);
+        assert_eq!(tried.len(), 21);
+    }
+
+    #[test]
+    fn compiled_rules_resolve_dispatch() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        kb.assert_fact(lit(&t, "q", vec![Term::Int(1)]));
+        kb.assert_rule(Clause::new(
+            lit(&t, "p", vec![Term::Var(0)]),
+            vec![
+                lit(&t, "q", vec![Term::Var(0)]),
+                lit(&t, ">=", vec![Term::Var(0), Term::Int(0)]),
+                lit(&t, "later", vec![Term::Var(0)]),
+            ],
+        ));
+        let pid = kb.pred_id(lit(&t, "p", vec![Term::Int(0)]).key()).unwrap();
+        let crule = &kb.rules_compiled(pid)[0];
+        assert_eq!(crule.var_span, 1);
+        assert!(matches!(crule.body[0].kind, LitKind::Pred(_)));
+        assert!(matches!(crule.body[1].kind, LitKind::Builtin(_)));
+        // `later` got a stable (empty) entry at compile time; facts asserted
+        // afterwards land in the same id.
+        let LitKind::Pred(later_id) = crule.body[2].kind else {
+            panic!("body preds compile to Pred ids");
+        };
+        kb.assert_fact(lit(&t, "later", vec![Term::Int(1)]));
+        assert_eq!(
+            kb.pred_id(lit(&t, "later", vec![Term::Int(0)]).key()),
+            Some(later_id)
+        );
+    }
+
+    #[test]
+    fn arena_dedupes_fact_arguments() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let m = Term::Sym(t.intern("mol"));
+        for i in 0..100i64 {
+            kb.assert_fact(lit(&t, "atm", vec![m.clone(), Term::Int(i % 5)]));
+        }
+        // 1 molecule constant + 5 distinct ints.
+        assert_eq!(kb.arena().len(), 6);
     }
 }

@@ -29,6 +29,7 @@
 //! assert!(proved);
 //! ```
 
+pub mod arena;
 pub mod builtins;
 pub mod clause;
 pub mod fxhash;
@@ -41,7 +42,10 @@ pub mod symbol;
 pub mod term;
 pub mod theta;
 
-pub use clause::{Clause, Literal};
+pub use arena::{TermArena, TermId};
+pub use clause::{
+    Clause, CompiledClause, CompiledGoals, CompiledLiteral, LitKind, Literal, PredId,
+};
 pub use kb::KnowledgeBase;
 pub use parser::{ParseError, Parser};
 pub use program::Program;

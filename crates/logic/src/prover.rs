@@ -11,23 +11,36 @@
 //! The search strategy is standard Prolog: goals left-to-right, clauses in
 //! assertion order, facts before rules, backtracking on failure.
 //!
-//! # Zero-allocation inner loop
+//! # Compiled goals, zero-allocation inner loop
 //!
-//! Pending goals live in an immutable cons-list of [`Frame`]s allocated on
-//! the Rust call stack: each frame borrows a run of literals straight out of
-//! the query or a KB clause, together with the variable offset that renames
-//! that clause apart. Pushing a rule body is O(1) pointer work — no literal
-//! is ever cloned — and unification applies the offsets on the fly (see
-//! [`crate::subst::Bindings::unify_off`]). The previous implementation,
-//! which materialized a fresh `Vec<(Literal, u32)>` with `offset_vars`
-//! clones on every rule expansion, is preserved verbatim in [`reference`]
-//! for differential testing and benchmarking.
+//! The prover runs [`CompiledGoals`]: each literal carries its dispatch
+//! ([`LitKind`]) resolved once at compile time — builtin slot, dense
+//! [`crate::clause::PredId`], or unknown — so per-goal dispatch is array
+//! reads instead of hash probes. Pending goals live in an immutable
+//! cons-list of `Frame`s allocated on the Rust call stack: each frame
+//! borrows a run of compiled literals straight out of the query or a KB
+//! clause (the KB stores [`crate::clause::CompiledClause`]s), together with
+//! the variable offset that renames that clause apart. Pushing a rule body
+//! is O(1) pointer work — no literal is ever cloned — and unification
+//! applies the offsets on the fly (see [`crate::subst::Bindings::unify_off`]).
+//!
+//! # Multi-argument indexing with pinned step accounting
+//!
+//! Fact retrieval goes through [`KnowledgeBase::fact_plan`], which may pick
+//! a *more selective* bound argument position than the first (hash-join
+//! choice). The inference-step fuel stays bit-identical to the seed
+//! semantics: candidates the narrower index skips are exactly those that
+//! provably fail unification on the chosen position, so the prover
+//! *bulk-charges* their steps by rank without touching
+//! them. `(proved, steps, depth_cuts, aborted)` — and solution order — are
+//! pinned equal to [`mod@reference`], the seed implementation preserved
+//! verbatim for differential testing and benchmarking.
 
 pub mod reference;
 
-use crate::builtins::solve_builtin;
-use crate::clause::Literal;
-use crate::kb::KnowledgeBase;
+use crate::builtins::solve_builtin_off;
+use crate::clause::{CompiledGoals, CompiledLiteral, LitKind, Literal};
+use crate::kb::{FactPlan, KnowledgeBase};
 use crate::subst::Bindings;
 use crate::term::VarId;
 
@@ -80,12 +93,12 @@ enum Control {
     Abort,
 }
 
-/// A segment of pending goals: a run of literals borrowed from one clause
-/// (or the query), the variable offset renaming that clause apart, the rule
-/// depth, and the continuation. Frames are allocated on the call stack and
-/// shared immutably across choice points.
+/// A segment of pending goals: a run of compiled literals borrowed from one
+/// clause (or the query), the variable offset renaming that clause apart,
+/// the rule depth, and the continuation. Frames are allocated on the call
+/// stack and shared immutably across choice points.
 struct Frame<'a> {
-    lits: &'a [Literal],
+    lits: &'a [CompiledLiteral],
     offset: VarId,
     depth: u32,
     next: Option<&'a Frame<'a>>,
@@ -106,6 +119,12 @@ impl<'a> Prover<'a> {
     /// The limits in force.
     pub fn limits(&self) -> ProofLimits {
         self.limits
+    }
+
+    /// Compiles a goal conjunction for repeated proving (the coverage hot
+    /// path compiles a rule body once and proves it per example).
+    pub fn compile(&self, goals: &[Literal]) -> CompiledGoals {
+        self.kb.compile_goals(goals)
     }
 
     /// Proves a single goal, stopping at the first solution.
@@ -133,8 +152,19 @@ impl<'a> Prover<'a> {
     /// hot loops (coverage testing) can reuse one allocation across proofs.
     /// The caller clears the store between proofs.
     pub fn prove_reusing(&self, goals: &[Literal], bindings: &mut Bindings) -> (bool, ProofStats) {
+        let compiled = self.compile(goals);
+        self.prove_compiled_reusing(&compiled, bindings)
+    }
+
+    /// [`Prover::prove_reusing`] over pre-compiled goals: no dispatch
+    /// resolution, no allocation — prove thousands of times per compile.
+    pub fn prove_compiled_reusing(
+        &self,
+        goals: &CompiledGoals,
+        bindings: &mut Bindings,
+    ) -> (bool, ProofStats) {
         let mut found = false;
-        let stats = self.run_reusing(goals, bindings, &mut |_| {
+        let stats = self.run_compiled_reusing(goals, bindings, &mut |_| {
             found = true;
             false // stop at first solution
         });
@@ -145,12 +175,25 @@ impl<'a> Prover<'a> {
     /// fully-resolved instances in discovery order (duplicates collapsed, as
     /// saturation only cares about distinct bindings).
     pub fn solutions(&self, goal: &Literal, max: usize) -> (Vec<Literal>, ProofStats) {
+        let mut scratch = Bindings::new();
+        self.solutions_reusing(goal, max, &mut scratch)
+    }
+
+    /// [`Prover::solutions`] over a borrowed binding store (cleared here), so
+    /// saturation's many queries share one allocation.
+    pub fn solutions_reusing(
+        &self,
+        goal: &Literal,
+        max: usize,
+        scratch: &mut Bindings,
+    ) -> (Vec<Literal>, ProofStats) {
         let mut out: Vec<Literal> = Vec::new();
         if max == 0 {
             return (out, ProofStats::default());
         }
+        scratch.reset(0);
         let mut seen: crate::fxhash::FxHashSet<Literal> = crate::fxhash::FxHashSet::default();
-        let stats = self.run(std::slice::from_ref(goal), Bindings::new(), &mut |b| {
+        let stats = self.run_reusing(std::slice::from_ref(goal), scratch, &mut |b| {
             let inst = b.resolve_literal(goal);
             if seen.insert(inst.clone()) {
                 out.push(inst);
@@ -179,12 +222,18 @@ impl<'a> Prover<'a> {
         bindings: &mut Bindings,
         on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
     ) -> ProofStats {
-        let mut next_var: VarId = goals
-            .iter()
-            .filter_map(Literal::max_var)
-            .max()
-            .map_or(0, |v| v + 1)
-            .max(bindings.len() as VarId);
+        let compiled = self.compile(goals);
+        self.run_compiled_reusing(&compiled, bindings, on_solution)
+    }
+
+    /// [`Prover::run`] over pre-compiled goals and a borrowed binding store.
+    pub fn run_compiled_reusing(
+        &self,
+        goals: &CompiledGoals,
+        bindings: &mut Bindings,
+        on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
+    ) -> ProofStats {
+        let mut next_var: VarId = goals.var_span.max(bindings.len() as VarId);
         bindings.ensure(next_var as usize);
         let mut ctx = Ctx {
             kb: self.kb,
@@ -194,7 +243,7 @@ impl<'a> Prover<'a> {
             next_var: &mut next_var,
         };
         let root = Frame {
-            lits: goals,
+            lits: &goals.lits,
             offset: 0,
             depth: 0,
             next: None,
@@ -212,7 +261,7 @@ struct Ctx<'a, 'v> {
     next_var: &'v mut VarId,
 }
 
-impl Ctx<'_, '_> {
+impl<'a> Ctx<'a, '_> {
     #[inline]
     fn tick(&mut self) -> bool {
         self.stats.steps += 1;
@@ -220,6 +269,26 @@ impl Ctx<'_, '_> {
             self.stats.aborted = true;
             false
         } else {
+            true
+        }
+    }
+
+    /// Bulk-charges `k` steps for candidates the retrieval plan skipped
+    /// (each would have cost exactly one step and failed unification).
+    /// Reproduces the per-candidate abort point: if the budget is crossed
+    /// inside the run, steps land on `max_steps + 1` exactly as
+    /// [`Ctx::tick`] would have left them.
+    #[inline]
+    fn charge(&mut self, k: u64) -> bool {
+        if k == 0 {
+            return true;
+        }
+        if k > self.limits.max_steps.saturating_sub(self.stats.steps) {
+            self.stats.steps = self.limits.max_steps.saturating_add(1);
+            self.stats.aborted = true;
+            false
+        } else {
+            self.stats.steps += k;
             true
         }
     }
@@ -250,57 +319,79 @@ impl Ctx<'_, '_> {
             next: f.next,
         };
 
-        // Builtins: deterministic, at most one continuation.
-        if let Some(b) = self.kb.builtins().get(goal.pred) {
-            if !self.tick() {
-                return Control::Abort;
+        let pid = match goal.kind {
+            // Builtins: deterministic, at most one continuation; evaluated
+            // offset-aware (no rename-apart clone).
+            LitKind::Builtin(b) => {
+                if !self.tick() {
+                    return Control::Abort;
+                }
+                let mark = self.bindings.mark();
+                let ok = solve_builtin_off(b, &goal.lit, goff, self.bindings, self.kb.symbols());
+                let ctrl = if ok == Some(true) {
+                    self.solve(Some(&rest), on_solution)
+                } else {
+                    Control::More
+                };
+                self.bindings.undo_to(mark);
+                return ctrl;
             }
-            let mark = self.bindings.mark();
-            // Builtins take a plain literal; goals from the query are at
-            // offset 0, so the rename-apart clone only happens for builtins
-            // inside KB rule bodies (rare, and those literals are tiny).
-            let ok = if goff == 0 {
-                solve_builtin(b, goal, self.bindings, self.kb.symbols())
-            } else {
-                let shifted = goal.offset_vars(goff);
-                solve_builtin(b, &shifted, self.bindings, self.kb.symbols())
-            };
-            let ctrl = if ok == Some(true) {
-                self.solve(Some(&rest), on_solution)
-            } else {
-                Control::More
-            };
-            self.bindings.undo_to(mark);
-            return ctrl;
-        }
+            // No KB entry existed at compile time: no facts, no rules, no
+            // steps — the goal just fails (seed semantics).
+            LitKind::Unknown => return Control::More,
+            LitKind::Pred(pid) => pid,
+        };
 
         let kb = self.kb;
-        let key = goal.key();
+        let glit = &goal.lit;
 
-        // Facts, through the first-argument index where possible.
-        let first = goal
-            .args
-            .first()
-            .and_then(|t| self.bindings.resolved_constant(t, goff));
-        for fact in kb.candidate_facts(key, first.as_ref()) {
-            if !self.tick() {
-                return Control::Abort;
-            }
-            let mark = self.bindings.mark();
-            if self.bindings.unify_literals_off(goal, goff, fact, 0, false) {
-                match self.solve(Some(&rest), on_solution) {
-                    Control::More => {}
-                    c => {
-                        self.bindings.undo_to(mark);
-                        return c;
+        // Facts, through the most selective available argument index; step
+        // accounting stays pinned to the first-argument reference plan.
+        {
+            let bindings = &*self.bindings;
+            let plan = kb.fact_plan(pid, |p| bindings.resolved_constant(&glit.args[p], goff));
+            let facts = kb.fact_rows(pid);
+            match plan {
+                FactPlan::Empty => {}
+                FactPlan::All { .. } => {
+                    for fact in facts {
+                        match self.try_fact(fact, glit, goff, &rest, on_solution) {
+                            Control::More => {}
+                            c => return c,
+                        }
+                    }
+                }
+                FactPlan::Seq { indexed, unindexed } => {
+                    for &fidx in indexed.iter().chain(unindexed.iter()) {
+                        match self.try_fact(&facts[fidx as usize], glit, goff, &rest, on_solution) {
+                            Control::More => {}
+                            c => return c,
+                        }
+                    }
+                }
+                FactPlan::Narrowed { tried, total } => {
+                    let mut charged: u64 = 0;
+                    for (fidx, rank) in tried {
+                        if !self.charge(rank - charged) {
+                            return Control::Abort;
+                        }
+                        charged = rank;
+                        match self.try_fact(&facts[fidx as usize], glit, goff, &rest, on_solution) {
+                            Control::More => {}
+                            c => return c,
+                        }
+                        charged += 1;
+                    }
+                    if !self.charge(total - charged) {
+                        return Control::Abort;
                     }
                 }
             }
-            self.bindings.undo_to(mark);
         }
 
-        // Rules: rename apart via a fresh offset, push the body at depth+1.
-        for rule in kb.rules_for(key) {
+        // Rules: rename apart via a fresh offset (the span is precompiled),
+        // push the compiled body at depth+1.
+        for crule in kb.rules_compiled(pid) {
             if depth + 1 > self.limits.max_depth {
                 self.stats.depth_cuts += 1;
                 continue;
@@ -309,14 +400,14 @@ impl Ctx<'_, '_> {
                 return Control::Abort;
             }
             let offset = *self.next_var;
-            *self.next_var += rule.var_span();
+            *self.next_var += crule.var_span;
             let mark = self.bindings.mark();
             if self
                 .bindings
-                .unify_literals_off(goal, goff, &rule.head, offset, false)
+                .unify_literals_off(glit, goff, &crule.head, offset, false)
             {
                 let body = Frame {
-                    lits: &rule.body,
+                    lits: &crule.body,
                     offset,
                     depth: depth + 1,
                     next: Some(&rest),
@@ -332,6 +423,33 @@ impl Ctx<'_, '_> {
             self.bindings.undo_to(mark);
         }
 
+        Control::More
+    }
+
+    /// One fact candidate: tick, unify against the row, recurse on success.
+    #[inline]
+    fn try_fact(
+        &mut self,
+        fact: &'a Literal,
+        goal: &Literal,
+        goff: VarId,
+        rest: &Frame<'_>,
+        on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
+    ) -> Control {
+        if !self.tick() {
+            return Control::Abort;
+        }
+        let mark = self.bindings.mark();
+        if self.bindings.unify_literals_off(goal, goff, fact, 0, false) {
+            match self.solve(Some(rest), on_solution) {
+                Control::More => {}
+                c => {
+                    self.bindings.undo_to(mark);
+                    return c;
+                }
+            }
+        }
+        self.bindings.undo_to(mark);
         Control::More
     }
 }
@@ -529,10 +647,85 @@ mod tests {
         let mut scratch = Bindings::new();
         for g in &goals {
             let fresh = p.prove_ground(g);
-            scratch.clear();
+            scratch.reset(0);
             let reused = p.prove_reusing(std::slice::from_ref(g), &mut scratch);
             assert_eq!(fresh.0, reused.0);
             assert_eq!(fresh.1.steps, reused.1.steps);
+        }
+    }
+
+    #[test]
+    fn compiled_goals_match_one_shot_proofs() {
+        let (t, kb) = family_kb();
+        let p = Prover::new(&kb, ProofLimits::default());
+        let c = |n: &str| Term::Sym(t.intern(n));
+        let goals = vec![lit(&t, "ancestor", vec![Term::Var(0), c("dee")])];
+        let compiled = p.compile(&goals);
+        let mut scratch = Bindings::new();
+        for who in ["ann", "bob", "carl", "dee"] {
+            scratch.reset(1);
+            scratch.bind(0, c(who));
+            let (ok_c, st_c) = p.prove_compiled_reusing(&compiled, &mut scratch);
+            let mut fresh = Bindings::new();
+            fresh.bind(0, c(who));
+            let (ok_f, st_f) = p.prove_with_bindings(&goals, fresh);
+            assert_eq!((ok_c, st_c), (ok_f, st_f), "seed {who} diverged");
+        }
+    }
+
+    /// Second-argument-bound retrieval must agree with the reference prover
+    /// on the full stats tuple even under tight step budgets (the
+    /// bulk-charge path lands on the same abort point).
+    #[test]
+    fn narrowed_plans_stay_bit_identical_to_reference() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for m in 0..20i64 {
+            for a in 0..12i64 {
+                kb.assert_fact(lit(
+                    &t,
+                    "bond",
+                    vec![
+                        Term::Int(m),
+                        Term::Int(m * 100 + a),
+                        Term::Int(m * 100 + a + 1),
+                        Term::Int(a % 3),
+                    ],
+                ));
+            }
+        }
+        let goals = [
+            // Second arg bound, first unbound: reference scans all facts.
+            lit(
+                &t,
+                "bond",
+                vec![Term::Var(0), Term::Int(507), Term::Var(1), Term::Var(2)],
+            ),
+            // Third arg bound.
+            lit(
+                &t,
+                "bond",
+                vec![Term::Var(0), Term::Var(1), Term::Int(1103), Term::Var(2)],
+            ),
+            // Both bound, no hit.
+            lit(
+                &t,
+                "bond",
+                vec![Term::Int(3), Term::Int(9999), Term::Var(0), Term::Var(1)],
+            ),
+        ];
+        for max_steps in [2, 17, 63, 100, 150, 239, 240, 241, 5000] {
+            let limits = ProofLimits {
+                max_depth: 8,
+                max_steps,
+            };
+            let new = Prover::new(&kb, limits);
+            let old = reference::Prover::new(&kb, limits);
+            for g in &goals {
+                let a = new.prove_ground(g);
+                let b = old.prove_ground(g);
+                assert_eq!(a, b, "goal {g:?} max_steps {max_steps} diverged");
+            }
         }
     }
 }

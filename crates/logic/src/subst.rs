@@ -206,8 +206,23 @@ impl Bindings {
     /// `occurs_check` guards against cyclic terms; coverage queries in ILP
     /// are against ground facts, so the check is usually disabled for speed.
     pub fn unify(&mut self, a: &Term, b: &Term, occurs_check: bool) -> bool {
+        self.unify_pair(a, 0, b, 0, occurs_check)
+    }
+
+    /// Offset-aware [`Bindings::unify`]: shifts `a`'s variables by `aoff`
+    /// and `b`'s by `boff` on the fly, undoing partial bindings on failure.
+    /// This is the entry point for offset-aware builtins (`=`, `is`), which
+    /// previously had to clone their goal literal to bake the offset in.
+    pub fn unify_pair(
+        &mut self,
+        a: &Term,
+        aoff: VarId,
+        b: &Term,
+        boff: VarId,
+        occurs_check: bool,
+    ) -> bool {
         let mark = self.mark();
-        if self.unify_off(a, 0, b, 0, occurs_check) {
+        if self.unify_off(a, aoff, b, boff, occurs_check) {
             true
         } else {
             self.undo_to(mark);

@@ -1,0 +1,219 @@
+//! Property tests pinning the compiled knowledge base to the seed
+//! semantics:
+//!
+//! 1. **Differential proving** — on randomized programs (multi-argument
+//!    facts, recursive rules, builtins) and randomized queries/limits, the
+//!    compiled-KB prover reports exactly the oracle's
+//!    `(proved, steps, depth_cuts, aborted)` and the same solution list —
+//!    including when multi-argument join indexes narrow fact retrieval and
+//!    the skipped candidates are bulk-charged.
+//! 2. **Index vs. linear scan** — a retrieval plan's candidate set contains
+//!    every fact a linear scan finds matching the bound pattern, and never
+//!    exceeds the reference (first-argument) candidate set.
+
+use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::prover::{reference, ProofLimits, ProofStats, Prover};
+use p2mdie_logic::subst::Bindings;
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::Term;
+use proptest::prelude::*;
+
+const ELEMS: [&str; 3] = ["c", "n", "o"];
+
+/// Builds a molecule-flavored KB from raw byte seeds: `bond/4` and `atm/3`
+/// fact tables (dense enough for posting collisions), a `val/1` numeric
+/// table, a recursive `path/3` relation, and a builtin-using rule `big/1`.
+fn build_kb(
+    bonds: &[(u8, u8, u8, u8)],
+    atms: &[(u8, u8, u8)],
+    vals: &[i64],
+) -> (SymbolTable, KnowledgeBase) {
+    let t = SymbolTable::new();
+    let mut kb = KnowledgeBase::new(t.clone());
+    let mol = |m: u8| Term::Sym(t.intern(&format!("m{}", m % 6)));
+    let atom = |a: u8| Term::Sym(t.intern(&format!("a{}", a % 25)));
+    for &(m, a, b, ty) in bonds {
+        kb.assert_fact(Literal::new(
+            t.intern("bond"),
+            vec![mol(m), atom(a), atom(b), Term::Int((ty % 4) as i64)],
+        ));
+    }
+    for &(m, a, e) in atms {
+        kb.assert_fact(Literal::new(
+            t.intern("atm"),
+            vec![
+                mol(m),
+                atom(a),
+                Term::Sym(t.intern(ELEMS[(e % 3) as usize])),
+            ],
+        ));
+    }
+    for &v in vals {
+        kb.assert_fact(Literal::new(t.intern("val"), vec![Term::Int(v % 20)]));
+    }
+    // path(M,A,B) :- bond(M,A,B,T).
+    // path(M,A,C) :- bond(M,A,B,T), path(M,B,C).
+    let lit = |name: &str, args: Vec<Term>| Literal::new(t.intern(name), args);
+    kb.assert_rule(Clause::new(
+        lit("path", vec![Term::Var(0), Term::Var(1), Term::Var(2)]),
+        vec![lit(
+            "bond",
+            vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)],
+        )],
+    ));
+    kb.assert_rule(Clause::new(
+        lit("path", vec![Term::Var(0), Term::Var(1), Term::Var(4)]),
+        vec![
+            lit(
+                "bond",
+                vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)],
+            ),
+            lit("path", vec![Term::Var(0), Term::Var(2), Term::Var(4)]),
+        ],
+    ));
+    // big(X) :- val(X), X >= 10.
+    kb.assert_rule(Clause::new(
+        lit("big", vec![Term::Var(0)]),
+        vec![
+            lit("val", vec![Term::Var(0)]),
+            lit(">=", vec![Term::Var(0), Term::Int(10)]),
+        ],
+    ));
+    (t, kb)
+}
+
+/// Builds a query literal for one of the KB's predicates from raw seeds:
+/// each argument becomes a (possibly shared) variable, an in-pool constant,
+/// or an absent constant.
+fn build_query(t: &SymbolTable, pred_pick: u8, seeds: &[u8]) -> Literal {
+    let (name, arity) = match pred_pick % 5 {
+        0 => ("bond", 4),
+        1 => ("atm", 3),
+        2 => ("val", 1),
+        3 => ("path", 3),
+        _ => ("big", 1),
+    };
+    let mut args = Vec::with_capacity(arity);
+    for p in 0..arity {
+        let s = seeds[p % seeds.len()].wrapping_add(p as u8);
+        let term = match s % 4 {
+            // Shared variables exercise bound-by-earlier-goal paths.
+            0 => Term::Var((s / 4 % 3) as u32),
+            1 => match (name, p) {
+                ("bond", 0) | ("atm", 0) | ("path", 0) => {
+                    Term::Sym(t.intern(&format!("m{}", s % 6)))
+                }
+                ("bond", 3) => Term::Int((s % 4) as i64),
+                ("val", _) | ("big", _) => Term::Int((s % 20) as i64),
+                ("atm", 2) => Term::Sym(t.intern(ELEMS[(s % 3) as usize])),
+                _ => Term::Sym(t.intern(&format!("a{}", s % 25))),
+            },
+            2 => match (name, p) {
+                ("val", _) | ("big", _) | ("bond", 3) => Term::Int((s % 25) as i64),
+                _ => Term::Sym(t.intern(&format!("a{}", s % 25))),
+            },
+            // A constant no fact mentions.
+            _ => Term::Sym(t.intern("zz_absent")),
+        };
+        args.push(term);
+    }
+    Literal::new(t.intern(name), args)
+}
+
+/// The oracle's version of [`Prover::solutions`] (same dedup + recall cut).
+fn ref_solutions(
+    kb: &KnowledgeBase,
+    limits: ProofLimits,
+    goal: &Literal,
+    max: usize,
+) -> (Vec<Literal>, ProofStats) {
+    let mut out: Vec<Literal> = Vec::new();
+    if max == 0 {
+        return (out, ProofStats::default());
+    }
+    let mut seen = std::collections::HashSet::new();
+    let p = reference::Prover::new(kb, limits);
+    let stats = p.run(std::slice::from_ref(goal), Bindings::new(), &mut |b| {
+        let inst = b.resolve_literal(goal);
+        if seen.insert(inst.clone()) {
+            out.push(inst);
+        }
+        out.len() < max
+    });
+    (out, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Compiled-KB proving is bit-identical to `prover::reference` on
+    /// randomized programs, queries, and resource limits.
+    #[test]
+    fn compiled_prover_matches_reference(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..120),
+        atms in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..60),
+        vals in proptest::collection::vec(0i64..40, 0..20),
+        queries in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 1..5)), 1..6),
+        max_steps in 1u64..3000,
+        max_depth in 0u32..6,
+        recall in 0usize..8,
+    ) {
+        let (t, kb) = build_kb(&bonds, &atms, &vals);
+        let limits = ProofLimits { max_depth, max_steps };
+        let new = Prover::new(&kb, limits);
+        let old = reference::Prover::new(&kb, limits);
+        for (pick, seeds) in &queries {
+            let goal = build_query(&t, *pick, seeds);
+            let a = new.prove_ground(&goal);
+            let b = old.prove_ground(&goal);
+            prop_assert_eq!(a, b, "prove diverged on {:?}", goal);
+            let (sols_new, st_new) = new.solutions(&goal, recall);
+            let (sols_old, st_old) = ref_solutions(&kb, limits, &goal, recall);
+            prop_assert_eq!(&sols_new, &sols_old, "solutions diverged on {:?}", goal);
+            prop_assert_eq!(st_new, st_old, "solution stats diverged on {:?}", goal);
+        }
+    }
+
+    /// Indexed retrieval returns every fact a linear scan matches under the
+    /// bound pattern, within the reference candidate budget.
+    #[test]
+    fn indexed_retrieval_matches_linear_scan(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..200),
+        pattern in proptest::collection::vec(any::<u8>(), 4),
+    ) {
+        let (t, kb) = build_kb(&bonds, &[], &[]);
+        let key = Literal::new(t.intern("bond"), vec![Term::Int(0); 4]).key();
+        let bound: Vec<Option<Term>> = pattern
+            .iter()
+            .enumerate()
+            .map(|(p, &s)| match s % 3 {
+                0 => None,
+                _ => Some(match p {
+                    0 => Term::Sym(t.intern(&format!("m{}", s % 7))), // incl. absent m6
+                    3 => Term::Int((s % 5) as i64),                   // incl. absent type 4
+                    _ => Term::Sym(t.intern(&format!("a{}", s % 26))),
+                }),
+            })
+            .collect();
+        let (tried, total) = kb.plan_candidates(key, &bound);
+        let facts = kb.facts_for(key);
+        // Linear scan: which facts match every bound position?
+        for (i, fact) in facts.iter().enumerate() {
+            let matches = bound
+                .iter()
+                .zip(fact.args.iter())
+                .all(|(b, a)| b.as_ref().is_none_or(|c| c == a));
+            if matches {
+                prop_assert!(
+                    tried.contains(&(i as u32)),
+                    "plan missed matching fact {} under {:?}", i, bound
+                );
+            }
+        }
+        prop_assert!(tried.len() as u64 <= total, "plan larger than reference set");
+        // The reference budget itself: first-arg candidates or the scan.
+        let ref_count = kb.candidate_facts(key, bound[0].as_ref()).count() as u64;
+        prop_assert_eq!(total, ref_count, "reference step budget drifted");
+    }
+}
