@@ -11,19 +11,27 @@
 //!    actually issues (parent coverage masking the child);
 //! 3. `learn_rule_search` — a full breadth-first search from one seed;
 //! 4. `second_arg_bound` — `bond/4` retrieval with the molecule unbound,
-//!    where only the compiled KB's multi-argument join indexes narrow.
+//!    where only the compiled KB's multi-argument join indexes narrow;
+//! 5. `worker_startup` — building the background KB fresh (consult the
+//!    textual theory: parse, intern, index) vs adopting a serialized
+//!    compiled-KB snapshot (decode bytes, validate, done — see
+//!    `p2mdie_logic::snapshot`).
 //!
 //! Writes the numbers to `BENCH_prover.json` (repo root) and exits non-zero
-//! when the coverage-evaluation speedup falls below 2x or the
-//! second-arg-bound speedup falls below 3x, so CI can gate on the
-//! acceptance criteria.
+//! when the coverage-evaluation speedup falls below 2x, the
+//! second-arg-bound speedup falls below 3x, or the worker-startup speedup
+//! falls below 5x, so CI can gate on the acceptance criteria.
 
 use p2mdie_bench::{legacy, workloads};
+use p2mdie_cluster::codec::{from_bytes, to_bytes};
 use p2mdie_datasets::carcinogenesis;
 use p2mdie_ilp::coverage::{evaluate_rule_threads, Coverage};
 use p2mdie_ilp::refine::RuleShape;
 use p2mdie_ilp::search::search_rules;
+use p2mdie_logic::kb::KnowledgeBase;
 use p2mdie_logic::prover::{reference, ProofLimits, Prover};
+use p2mdie_logic::snapshot::KbSnapshot;
+use p2mdie_logic::symbol::SymbolTable;
 use p2mdie_logic::Program;
 use std::hint::black_box;
 use std::time::Instant;
@@ -246,8 +254,93 @@ fn main() {
         });
     }
 
+    // ---- 5. Worker startup: fresh build vs snapshot load.
+    // "Fresh" is what every rank of a real deployment does today: read the
+    // background theory in its textual (Prolog) form and rebuild symbols,
+    // arena, columns, posting lists, and compiled rules from scratch.
+    // "Snapshot" is the PR-3 path: decode the wire bytes of the master's
+    // compiled KB and adopt it after structural validation. Bar: >= 5x.
+    {
+        let syms = &d.syms;
+        // Literal renderer that re-parses: comparison/arith builtins print
+        // infix (the clause pretty-printer emits them prefix, which the
+        // parser rejects at term position).
+        let infix = ["=", "\\=", "<", "=<", ">", ">=", "=:=", "=\\=", "is"];
+        let render_lit = |l: &p2mdie_logic::clause::Literal| -> String {
+            let name = syms.name(l.pred);
+            if l.args.len() == 2 && infix.contains(&&*name) {
+                format!(
+                    "{} {} {}",
+                    l.args[0].display(syms),
+                    name,
+                    l.args[1].display(syms)
+                )
+            } else {
+                format!("{}", l.display(syms))
+            }
+        };
+        let mut src = String::new();
+        for key in kb.predicates() {
+            for f in kb.facts_for(key) {
+                src.push_str(&format!("{}.\n", f.display(syms)));
+            }
+            for r in kb.rules_for(key) {
+                let body: Vec<String> = r.body.iter().map(&render_lit).collect();
+                src.push_str(&format!(
+                    "{} :- {}.\n",
+                    r.head.display(syms),
+                    body.join(", ")
+                ));
+            }
+        }
+        let snap_bytes = to_bytes(&kb.to_snapshot());
+
+        // Both paths must produce the same store before we time anything.
+        let mut prog = Program::new();
+        prog.consult(&src).expect("background theory re-parses");
+        prog.kb_mut().optimize();
+        assert_eq!(prog.kb().num_facts(), kb.num_facts(), "parse lost facts");
+        let loaded = KnowledgeBase::from_snapshot(
+            from_bytes::<KbSnapshot>(snap_bytes.clone()).expect("snapshot decodes"),
+            SymbolTable::new(),
+        )
+        .expect("snapshot validates");
+        assert_eq!(loaded.num_facts(), kb.num_facts(), "snapshot lost facts");
+        assert_eq!(loaded.num_rules(), kb.num_rules(), "snapshot lost rules");
+
+        // Time construction only — the clock stops before the store is
+        // dropped (teardown is not startup, and both sides tear down the
+        // same store).
+        let mut before = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let mut prog = Program::new();
+            prog.consult(black_box(&src)).expect("consult");
+            // Every dataset loader ends its bulk load this way.
+            prog.kb_mut().optimize();
+            black_box(prog.kb().num_facts());
+            before = before.min(start.elapsed().as_nanos() as f64);
+            drop(prog);
+        }
+        let mut after = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let snap: KbSnapshot =
+                from_bytes(black_box(snap_bytes.clone())).expect("snapshot decodes");
+            let loaded = KnowledgeBase::from_snapshot(snap, SymbolTable::new()).expect("validates");
+            black_box(loaded.num_facts());
+            after = after.min(start.elapsed().as_nanos() as f64);
+            drop(loaded);
+        }
+        entries.push(Entry {
+            name: "worker_startup",
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
     // ---- Report.
-    let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes), best-of-N wall times\",\n  \"benches\": {\n");
+    let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes); worker_startup: fresh textual consult vs compiled-KB snapshot load. Best-of-N wall times\",\n  \"benches\": {\n");
     for (i, e) in entries.iter().enumerate() {
         println!(
             "{:<24} before {:>12.0} ns   after {:>12.0} ns   speedup {:>5.2}x",
@@ -270,7 +363,11 @@ fn main() {
     println!("\nwrote BENCH_prover.json");
 
     let mut failed = false;
-    for (name, bar) in [("coverage_eval", 2.0), ("second_arg_bound", 3.0)] {
+    for (name, bar) in [
+        ("coverage_eval", 2.0),
+        ("second_arg_bound", 3.0),
+        ("worker_startup", 5.0),
+    ] {
         let e = entries
             .iter()
             .find(|e| e.name == name)

@@ -5,8 +5,23 @@
 //! Table 4 (communication in MBytes) and the bandwidth term of the
 //! virtual-time model. Encoding is little-endian and self-describing only
 //! where necessary (length prefixes); no compression.
+//!
+//! Besides the primitives and containers, this module implements [`Wire`]
+//! for the logic crate's terms, literals, clauses, and the serialized
+//! compiled knowledge base ([`KbSnapshot`]) — the payload that lets a
+//! master ship its fully-indexed background theory to workers in one
+//! message (`Msg::KbSnapshot` in the core protocol) instead of every rank
+//! rebuilding arena, posting lists, and compiled rules from scratch.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use p2mdie_logic::arena::TermId;
+use p2mdie_logic::builtins::Builtin;
+use p2mdie_logic::clause::{
+    Clause, CompiledClause, CompiledLiteral, LitKind, Literal, PredId, PredKey,
+};
+use p2mdie_logic::snapshot::{KbSnapshot, PredSnapshot};
+use p2mdie_logic::symbol::SymbolId;
+use p2mdie_logic::term::{Term, F64};
 use std::fmt;
 
 /// Decoding failure (truncated or malformed payload).
@@ -210,6 +225,301 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
     fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
         Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Logic-crate payloads: terms, literals, clauses, and the compiled-KB
+// snapshot. Byte layouts for terms/literals/clauses are the ones the core
+// protocol has used since PR 0, so traffic statistics are unchanged.
+// ---------------------------------------------------------------------------
+
+impl Wire for Term {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Term::Var(v) => {
+                buf.put_u8(0);
+                v.encode(buf);
+            }
+            Term::Sym(s) => {
+                buf.put_u8(1);
+                s.0.encode(buf);
+            }
+            Term::Int(i) => {
+                buf.put_u8(2);
+                i.encode(buf);
+            }
+            Term::Float(f) => {
+                buf.put_u8(3);
+                f.0.encode(buf);
+            }
+            Term::App(f, args) => {
+                buf.put_u8(4);
+                f.0.encode(buf);
+                (args.len() as u32).encode(buf);
+                for a in args.iter() {
+                    a.encode(buf);
+                }
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            0 => Term::Var(u32::decode(buf)?),
+            1 => Term::Sym(SymbolId(u32::decode(buf)?)),
+            2 => Term::Int(i64::decode(buf)?),
+            3 => Term::Float(F64(f64::decode(buf)?)),
+            4 => {
+                let f = SymbolId(u32::decode(buf)?);
+                let n = u32::decode(buf)? as usize;
+                if n > buf.len() {
+                    return Err(DecodeError::new("term arity"));
+                }
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(Term::decode(buf)?);
+                }
+                Term::app(f, args)
+            }
+            _ => return Err(DecodeError::new("term tag")),
+        })
+    }
+}
+
+impl Wire for Literal {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.pred.0.encode(buf);
+        (self.args.len() as u32).encode(buf);
+        for a in self.args.iter() {
+            a.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let pred = SymbolId(u32::decode(buf)?);
+        let n = u32::decode(buf)? as usize;
+        if n > buf.len() {
+            return Err(DecodeError::new("literal arity"));
+        }
+        let mut args = Vec::with_capacity(n);
+        for _ in 0..n {
+            args.push(Term::decode(buf)?);
+        }
+        Ok(Literal::new(pred, args))
+    }
+}
+
+impl Wire for Clause {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.head.encode(buf);
+        (self.body.len() as u32).encode(buf);
+        for l in &self.body {
+            l.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let head = Literal::decode(buf)?;
+        let n = u32::decode(buf)? as usize;
+        if n > buf.len() {
+            return Err(DecodeError::new("clause body length"));
+        }
+        let mut body = Vec::with_capacity(n);
+        for _ in 0..n {
+            body.push(Literal::decode(buf)?);
+        }
+        Ok(Clause::new(head, body))
+    }
+}
+
+impl Wire for TermId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(TermId(u32::decode(buf)?))
+    }
+}
+
+impl Wire for PredKey {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.pred.0.encode(buf);
+        self.arity.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(PredKey {
+            pred: SymbolId(u32::decode(buf)?),
+            arity: u32::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for LitKind {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            LitKind::Unknown => buf.put_u8(0),
+            LitKind::Pred(id) => {
+                buf.put_u8(1);
+                id.0.encode(buf);
+            }
+            LitKind::Builtin(b) => {
+                buf.put_u8(2);
+                buf.put_u8(b.code());
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(buf)? {
+            0 => LitKind::Unknown,
+            1 => LitKind::Pred(PredId(u32::decode(buf)?)),
+            2 => LitKind::Builtin(
+                Builtin::from_code(u8::decode(buf)?)
+                    .ok_or_else(|| DecodeError::new("builtin code"))?,
+            ),
+            _ => return Err(DecodeError::new("litkind tag")),
+        })
+    }
+}
+
+impl Wire for CompiledLiteral {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.lit.encode(buf);
+        self.kind.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(CompiledLiteral {
+            lit: Literal::decode(buf)?,
+            kind: LitKind::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for CompiledClause {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.head.encode(buf);
+        (self.body.len() as u32).encode(buf);
+        for l in self.body.iter() {
+            l.encode(buf);
+        }
+        self.var_span.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let head = Literal::decode(buf)?;
+        let n = u32::decode(buf)? as usize;
+        if n > buf.len() {
+            return Err(DecodeError::new("compiled body length"));
+        }
+        let mut body = Vec::with_capacity(n);
+        for _ in 0..n {
+            body.push(CompiledLiteral::decode(buf)?);
+        }
+        Ok(CompiledClause {
+            head,
+            body: body.into_boxed_slice(),
+            var_span: u32::decode(buf)?,
+        })
+    }
+}
+
+/// Bulk-decodes a length-prefixed `u32` run with one upfront bounds check.
+/// Byte-identical to `Vec::<u32>::decode`, but columns / posting lists /
+/// unindexed lists are the bulk of a snapshot's bytes, and the per-element
+/// `need!` probe is measurable at that volume.
+fn decode_u32_run(buf: &mut Bytes) -> Result<Vec<u32>, DecodeError> {
+    let n = u32::decode(buf)? as usize;
+    if n.saturating_mul(4) > buf.remaining() {
+        return Err(DecodeError::new("u32 run length"));
+    }
+    Ok((0..n).map(|_| buf.get_u32_le()).collect())
+}
+
+/// [`decode_u32_run`] for `TermId` cells.
+fn decode_termid_run(buf: &mut Bytes) -> Result<Vec<TermId>, DecodeError> {
+    let n = u32::decode(buf)? as usize;
+    if n.saturating_mul(4) > buf.remaining() {
+        return Err(DecodeError::new("u32 run length"));
+    }
+    Ok((0..n).map(|_| TermId(buf.get_u32_le())).collect())
+}
+
+impl Wire for PredSnapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.key.encode(buf);
+        self.num_facts.encode(buf);
+        self.irregular.encode(buf);
+        self.cols.encode(buf);
+        self.postings.encode(buf);
+        self.unindexed.encode(buf);
+        self.rules.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let key = PredKey::decode(buf)?;
+        let num_facts = u32::decode(buf)?;
+        let irregular = Vec::decode(buf)?;
+        // Hand-rolled container walks so the u32 runs decode in bulk.
+        let ncols = u32::decode(buf)? as usize;
+        if ncols > buf.remaining() {
+            return Err(DecodeError::new("vec length"));
+        }
+        let mut cols = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            cols.push(decode_termid_run(buf)?);
+        }
+        let nposts = u32::decode(buf)? as usize;
+        if nposts > buf.remaining() {
+            return Err(DecodeError::new("vec length"));
+        }
+        let mut postings = Vec::with_capacity(nposts);
+        for _ in 0..nposts {
+            need!(buf, 1, "option tag");
+            postings.push(match buf.get_u8() {
+                0 => None,
+                1 => {
+                    let npairs = u32::decode(buf)? as usize;
+                    if npairs > buf.remaining() {
+                        return Err(DecodeError::new("vec length"));
+                    }
+                    let mut pairs = Vec::with_capacity(npairs);
+                    for _ in 0..npairs {
+                        let tid = TermId::decode(buf)?;
+                        pairs.push((tid, decode_u32_run(buf)?));
+                    }
+                    Some(pairs)
+                }
+                _ => return Err(DecodeError::new("option tag")),
+            });
+        }
+        let nun = u32::decode(buf)? as usize;
+        if nun > buf.remaining() {
+            return Err(DecodeError::new("vec length"));
+        }
+        let mut unindexed = Vec::with_capacity(nun);
+        for _ in 0..nun {
+            unindexed.push(decode_u32_run(buf)?);
+        }
+        Ok(PredSnapshot {
+            key,
+            num_facts,
+            irregular,
+            cols,
+            postings,
+            unindexed,
+            rules: Vec::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for KbSnapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.symbols.encode(buf);
+        self.terms.encode(buf);
+        self.preds.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(KbSnapshot {
+            symbols: Vec::decode(buf)?,
+            terms: Vec::decode(buf)?,
+            preds: Vec::decode(buf)?,
+        })
     }
 }
 

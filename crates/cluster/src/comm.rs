@@ -41,6 +41,62 @@ pub struct Poisoned {
     pub origin: usize,
 }
 
+/// A blocking receive found the mesh channel closed: every peer endpoint
+/// was dropped (a rank exited early without `Stop`/poison). Rank-tagged so
+/// the failure is diagnosable instead of a bare panic backtrace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecvError {
+    /// The rank whose receive failed.
+    pub rank: usize,
+    /// The source rank it was waiting on.
+    pub from: usize,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {}: channel closed while receiving from rank {} (peer exited early?)",
+            self.rank, self.from
+        )
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Why a [`Endpoint::recv_msg`] call failed: the channel closed under the
+/// receive, or the frame arrived but would not decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The mesh channel disconnected mid-receive.
+    Closed(RecvError),
+    /// The payload was truncated or malformed.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Closed(e) => e.fmt(f),
+            CommError::Decode(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<RecvError> for CommError {
+    fn from(e: RecvError) -> Self {
+        CommError::Closed(e)
+    }
+}
+
+impl From<DecodeError> for CommError {
+    fn from(e: DecodeError) -> Self {
+        CommError::Decode(e)
+    }
+}
+
 /// One rank's communication endpoint.
 pub struct Endpoint {
     rank: usize,
@@ -170,32 +226,39 @@ impl Endpoint {
     /// buffering messages from other sources. Merges the arrival time into
     /// this rank's clock and charges the receive overhead.
     ///
+    /// A peer that exits early (dropping its endpoint without `Stop` or
+    /// poison) eventually closes the mesh channel; that surfaces as a
+    /// rank-tagged [`RecvError`] instead of tearing the rank down with a
+    /// panic mid-receive.
+    ///
     /// # Panics
-    /// Panics with [`Poisoned`] when a peer rank panicked, and on channel
-    /// disconnection (protocol error).
-    pub fn recv_from(&mut self, from: usize) -> Bytes {
+    /// Panics with [`Poisoned`] when a peer rank panicked (the deliberate
+    /// whole-run unwind).
+    pub fn recv_from(&mut self, from: usize) -> Result<Bytes, RecvError> {
         assert!(from < self.size, "source rank {from} out of range");
         loop {
             if let Some(env) = self.pending[from].pop_front() {
-                return self.deliver(env);
+                return Ok(self.deliver(env));
             }
-            let env = self
-                .rx
-                .recv()
-                .unwrap_or_else(|_| panic!("rank {}: channel closed while receiving", self.rank));
+            let env = self.rx.recv().map_err(|_| RecvError {
+                rank: self.rank,
+                from,
+            })?;
             if env.poison {
                 self.enter_poisoned(env.from);
             }
             if env.from == from {
-                return self.deliver(env);
+                return Ok(self.deliver(env));
             }
             self.pending[env.from].push_back(env);
         }
     }
 
-    /// Blocking receive from a specific rank, decoded.
-    pub fn recv_msg<T: Wire>(&mut self, from: usize) -> Result<T, DecodeError> {
-        from_bytes(self.recv_from(from))
+    /// Blocking receive from a specific rank, decoded. Closed-channel and
+    /// malformed-frame failures both arrive as a [`CommError`] value, so
+    /// protocol layers can diagnose (or recover) instead of unwinding.
+    pub fn recv_msg<T: Wire>(&mut self, from: usize) -> Result<T, CommError> {
+        Ok(from_bytes(self.recv_from(from)?)?)
     }
 
     fn deliver(&mut self, env: Envelope) -> Bytes {
@@ -243,5 +306,49 @@ impl std::fmt::Debug for Endpoint {
             self.size,
             self.now()
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::to_bytes;
+    use crossbeam::channel::unbounded;
+
+    /// A peer that exits early closes the mesh channel; the receive must
+    /// surface a rank-tagged error (and keep delivering already-buffered
+    /// envelopes first), not panic.
+    #[test]
+    fn closed_channel_surfaces_as_recv_error() {
+        let stats = TrafficStats::new(2);
+        let (tx0, _rx0) = unbounded::<Envelope>();
+        let (tx1, rx1) = unbounded::<Envelope>();
+        let mut ep = Endpoint::new(
+            1,
+            2,
+            vec![tx0.clone(), tx0.clone()],
+            rx1,
+            CostModel::free(),
+            stats,
+        );
+        tx1.send(Envelope {
+            from: 0,
+            arrival: 0.0,
+            poison: false,
+            payload: to_bytes(&7u32),
+        })
+        .unwrap();
+        drop(tx1); // the peer "exits"
+
+        let first: u32 = ep.recv_msg(0).unwrap();
+        assert_eq!(first, 7, "in-flight messages still deliver");
+        assert_eq!(ep.recv_from(0).unwrap_err(), RecvError { rank: 1, from: 0 });
+        match ep.recv_msg::<u32>(0) {
+            Err(CommError::Closed(e)) => {
+                assert_eq!((e.rank, e.from), (1, 0));
+                assert!(format!("{e}").contains("rank 1"), "error names the rank");
+            }
+            other => panic!("expected a closed-channel error, got {other:?}"),
+        }
     }
 }

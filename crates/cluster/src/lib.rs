@@ -39,7 +39,7 @@ pub mod stats;
 pub mod vtime;
 
 pub use codec::{from_bytes, to_bytes, DecodeError, Wire};
-pub use comm::{Endpoint, Envelope};
+pub use comm::{CommError, Endpoint, Envelope, RecvError};
 pub use runtime::{run_cluster, ClusterError, ClusterOutcome};
 pub use stats::TrafficStats;
 pub use vtime::{CostModel, VirtualClock};

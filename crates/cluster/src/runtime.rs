@@ -296,7 +296,7 @@ mod tests {
                 ok
             },
             |ep| {
-                let raw = ep.recv_from(0);
+                let raw = ep.recv_from(0).unwrap();
                 let failed = from_bytes::<u64>(raw).is_err();
                 ep.send(0, &failed);
             },

@@ -72,13 +72,33 @@ pub fn run_coverage_parallel(
     model: CostModel,
     seed: u64,
 ) -> Result<BaselineReport, ClusterError> {
+    run_coverage_parallel_opts(engine, examples, workers, granularity, model, seed, false)
+}
+
+/// [`run_coverage_parallel`] with snapshot-based KB shipping: when
+/// `ship_kb` is set, workers start with an empty KB and the master ships
+/// its compiled background theory once as a `Msg::KbSnapshot` (the same
+/// wiring as `ParallelConfig::with_kb_shipping`).
+pub fn run_coverage_parallel_opts(
+    engine: &IlpEngine,
+    examples: &Examples,
+    workers: usize,
+    granularity: EvalGranularity,
+    model: CostModel,
+    seed: u64,
+    ship_kb: bool,
+) -> Result<BaselineReport, ClusterError> {
     let started = Instant::now();
     let (subsets, partition) = partition_examples(examples, workers, seed);
     let threads_per_rank = crate::driver::threads_per_worker(engine.settings.eval_threads, workers);
     let contexts: Vec<Mutex<Option<(IlpEngine, Examples)>>> = subsets
         .into_iter()
         .map(|local| {
-            let mut worker_engine = engine.clone();
+            let mut worker_engine = if ship_kb {
+                engine.with_empty_kb()
+            } else {
+                engine.clone()
+            };
             worker_engine.settings.eval_threads = threads_per_rank;
             Mutex::new(Some((worker_engine, local)))
         })
@@ -87,7 +107,12 @@ pub fn run_coverage_parallel(
     let outcome = run_cluster(
         workers,
         model,
-        |ep| baseline_master(ep, engine, examples, &partition, granularity),
+        |ep| {
+            if ship_kb {
+                crate::master::ship_kb(ep, &engine.kb);
+            }
+            baseline_master(ep, engine, examples, &partition, granularity)
+        },
         |ep| {
             let (eng, local) = contexts[ep.rank() - 1]
                 .lock()
@@ -121,6 +146,9 @@ fn baseline_worker(ep: &mut Endpoint, mut engine: IlpEngine, local: Examples) {
     loop {
         let msg = Msg::recv(ep, 0, "a baseline master command");
         match msg {
+            Msg::KbSnapshot(snap) => {
+                crate::worker::adopt_kb_snapshot(&mut engine, *snap, ep.rank())
+            }
             Msg::LoadExamples => ep.advance_steps(local.len() as u64),
             Msg::Evaluate { rules } => {
                 let mut counts = Vec::with_capacity(rules.len());
@@ -342,6 +370,38 @@ mod tests {
             "latency-bound per-clause evaluation must be slower ({} vs {})",
             clause.vtime,
             level.vtime
+        );
+    }
+
+    /// The snapshot-shipped baseline must induce the identical theory while
+    /// accounting the KB transfer in the traffic statistics.
+    #[test]
+    fn baseline_kb_shipping_matches_shared_data() {
+        let ds = p2mdie_datasets::trains(20, 5);
+        let shared = run_coverage_parallel(
+            &ds.engine,
+            &ds.examples,
+            2,
+            EvalGranularity::PerLevel,
+            CostModel::free(),
+            5,
+        )
+        .unwrap();
+        let shipped = run_coverage_parallel_opts(
+            &ds.engine,
+            &ds.examples,
+            2,
+            EvalGranularity::PerLevel,
+            CostModel::free(),
+            5,
+            true,
+        )
+        .unwrap();
+        assert_eq!(shared.theory, shipped.theory);
+        assert_eq!(shared.epochs, shipped.epochs);
+        assert!(
+            shipped.total_bytes > shared.total_bytes,
+            "the snapshot transfer must be byte-accounted"
         );
     }
 

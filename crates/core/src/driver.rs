@@ -28,6 +28,13 @@ pub struct ParallelConfig {
     /// (paper §4.1's rejected alternative — expensive in communication;
     /// implemented so that cost can be measured).
     pub repartition: bool,
+    /// Ship the compiled background KB to every worker as a serialized
+    /// snapshot (`Msg::KbSnapshot`) instead of assuming shared data:
+    /// workers start with an *empty* KB and adopt the master's in one
+    /// transfer — the multi-process deployment shape. Off by default, so
+    /// the paper's Table 4 communication volumes (which assume a
+    /// distributed file system) stay reproducible.
+    pub ship_kb: bool,
 }
 
 impl ParallelConfig {
@@ -39,12 +46,20 @@ impl ParallelConfig {
             model: CostModel::beowulf_2005(),
             seed,
             repartition: false,
+            ship_kb: false,
         }
     }
 
     /// Enables per-epoch repartitioning (§4.1 variant).
     pub fn with_repartition(mut self) -> Self {
         self.repartition = true;
+        self
+    }
+
+    /// Enables snapshot-based KB shipping (workers start empty and receive
+    /// the compiled KB as one `Msg::KbSnapshot` transfer).
+    pub fn with_kb_shipping(mut self) -> Self {
+        self.ship_kb = true;
         self
     }
 }
@@ -76,7 +91,14 @@ pub fn run_parallel(
     let contexts: Vec<Mutex<Option<WorkerContext>>> = subsets
         .into_iter()
         .map(|local| {
-            let mut worker_engine = engine.clone();
+            // With KB shipping the worker starts *empty* (the multi-process
+            // deployment shape) and adopts the master's snapshot on its
+            // first message; otherwise it clones the shared engine.
+            let mut worker_engine = if cfg.ship_kb {
+                engine.with_empty_kb()
+            } else {
+                engine.clone()
+            };
             worker_engine.settings.eval_threads = threads_per_rank;
             let mut ctx = WorkerContext::new(worker_engine, local, cfg.width);
             ctx.repartition = cfg.repartition;
@@ -90,6 +112,9 @@ pub fn run_parallel(
         cfg.workers,
         cfg.model,
         |ep| {
+            if cfg.ship_kb {
+                crate::master::ship_kb(ep, &engine.kb);
+            }
             if cfg.repartition {
                 crate::master::run_master_repartition(ep, &settings, examples, cfg.seed)
             } else {
@@ -275,6 +300,40 @@ mod tests {
         let b = run_parallel(&engine, &ex, &ParallelConfig::new(2, Width::Unlimited, 2)).unwrap();
         check_complete_and_consistent(&engine, &ex, &a.clauses());
         check_complete_and_consistent(&engine, &ex, &b.clauses());
+    }
+
+    /// Snapshot-shipped workers (empty KB + one `Msg::KbSnapshot`) must
+    /// learn exactly the theory the shared-data workers learn, with the
+    /// snapshot's bytes showing up in the traffic statistics.
+    #[test]
+    fn kb_shipping_learns_identically_and_counts_the_transfer() {
+        let (engine, ex) = problem();
+        for p in [1, 3] {
+            let shared =
+                run_parallel(&engine, &ex, &ParallelConfig::new(p, Width::Unlimited, 42)).unwrap();
+            let cfg = ParallelConfig::new(p, Width::Unlimited, 42).with_kb_shipping();
+            let shipped = run_parallel(&engine, &ex, &cfg).unwrap();
+            assert_eq!(shared.clauses(), shipped.clauses(), "p={p} theory drifted");
+            assert_eq!(shared.epochs, shipped.epochs);
+            assert!(
+                shipped.total_bytes > shared.total_bytes,
+                "p={p}: the KB transfer must be byte-accounted ({} vs {})",
+                shipped.total_bytes,
+                shared.total_bytes
+            );
+            check_complete_and_consistent(&engine, &ex, &shipped.clauses());
+        }
+    }
+
+    #[test]
+    fn kb_shipping_is_deterministic() {
+        let (engine, ex) = problem();
+        let cfg = ParallelConfig::new(2, Width::Limit(5), 7).with_kb_shipping();
+        let a = run_parallel(&engine, &ex, &cfg).unwrap();
+        let b = run_parallel(&engine, &ex, &cfg).unwrap();
+        assert_eq!(a.clauses(), b.clauses());
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert!((a.vtime - b.vtime).abs() < 1e-12);
     }
 
     #[test]

@@ -29,9 +29,11 @@ pub mod report;
 pub mod worker;
 
 pub use bag::{BagRule, RuleBag};
-pub use baselines::{run_coverage_parallel, BaselineReport, EvalGranularity};
+pub use baselines::{
+    run_coverage_parallel, run_coverage_parallel_opts, BaselineReport, EvalGranularity,
+};
 pub use driver::{run_parallel, run_sequential_timed, ParallelConfig};
-pub use master::{run_master, AcceptedRule, EpochTrace, MasterOutcome};
+pub use master::{run_master, ship_kb, AcceptedRule, EpochTrace, MasterOutcome};
 pub use partition::{partition_examples, Partition};
 pub use protocol::{Msg, PipelineToken, StageTrace};
 pub use report::{render_pipeline_trace, ParallelReport, SequentialReport};

@@ -18,6 +18,7 @@ use crate::protocol::{Msg, StageTrace};
 use p2mdie_cluster::comm::Endpoint;
 use p2mdie_ilp::settings::Settings;
 use p2mdie_logic::clause::Clause;
+use p2mdie_logic::kb::KnowledgeBase;
 
 /// A rule accepted into the global theory.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -61,6 +62,21 @@ pub struct MasterOutcome {
     /// True when the run had to bail out of an inconsistent state (no
     /// progress possible but `remaining > 0`); should never happen.
     pub stalled: bool,
+}
+
+/// Builds the compiled-KB snapshot *once* at the master and ships it to
+/// every worker as a [`Msg::KbSnapshot`], before any other message.
+///
+/// This replaces the paper's distributed-file-system assumption (every node
+/// reads and rebuilds the background theory itself) with an explicit,
+/// byte-accounted transfer: the master is charged one pass over the stored
+/// facts for the build, the per-link bytes land in the traffic statistics,
+/// and each worker's startup cost in virtual time is the transfer alone —
+/// adoption on the worker side needs no re-interning and no re-indexing
+/// (see [`p2mdie_logic::snapshot`]).
+pub fn ship_kb(ep: &mut Endpoint, kb: &KnowledgeBase) {
+    ep.advance_steps(kb.num_facts() as u64);
+    ep.broadcast(&Msg::KbSnapshot(Box::new(kb.to_snapshot())));
 }
 
 /// Runs the master protocol of Figure 5. `total_pos` is `|E+|` over all

@@ -7,7 +7,8 @@
 //! [`Wire`] codec, so the traffic statistics reproduce Table 4 exactly as
 //! "bytes that would have crossed the network".
 //!
-//! Terms reference [`SymbolId`]s shared by all ranks — the analogue of the
+//! Terms reference [`p2mdie_logic::symbol::SymbolId`]s shared by all ranks
+//! — the analogue of the
 //! paper's assumption that "data can be shared by all processors through a
 //! distributed file system", under which every node agrees on every name.
 //!
@@ -16,6 +17,14 @@
 //! [`p2mdie_logic::kb::KnowledgeBase`], so a shipped rule is recompiled on
 //! arrival by the receiver's `assert_rule` (dispatch resolution is one map
 //! probe per body literal — negligible next to the wire transfer itself).
+//! The one exception is [`Msg::KbSnapshot`]: the whole *compiled*
+//! background KB — arena, columnar facts, posting lists, compiled rules —
+//! travels once, master → worker, so worker startup is a single transfer
+//! instead of a per-rank rebuild (see [`p2mdie_logic::snapshot`]).
+//!
+//! Terms, literals, clauses, and snapshots encode through the `Wire` impls
+//! in [`p2mdie_cluster::codec`] (byte layouts unchanged); only the
+//! ILP-specific payloads (bottom clauses, scored rules) are encoded here.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use p2mdie_cluster::codec::{DecodeError, Wire};
@@ -24,125 +33,30 @@ use p2mdie_ilp::bottom::{BottomClause, BottomLiteral};
 use p2mdie_ilp::refine::RuleShape;
 use p2mdie_ilp::search::ScoredRule;
 use p2mdie_logic::clause::{Clause, Literal};
-use p2mdie_logic::symbol::SymbolId;
-use p2mdie_logic::term::{Term, F64};
+use p2mdie_logic::snapshot::KbSnapshot;
 
 // ---------------------------------------------------------------------------
-// Wire helpers for foreign types (the `Wire` trait is foreign too, so these
-// are free functions rather than impls).
+// Wire helpers for the ILP-crate payloads (foreign trait + foreign types,
+// so these stay free functions).
 // ---------------------------------------------------------------------------
-
-fn encode_term(t: &Term, buf: &mut BytesMut) {
-    match t {
-        Term::Var(v) => {
-            buf.put_u8(0);
-            v.encode(buf);
-        }
-        Term::Sym(s) => {
-            buf.put_u8(1);
-            s.0.encode(buf);
-        }
-        Term::Int(i) => {
-            buf.put_u8(2);
-            i.encode(buf);
-        }
-        Term::Float(f) => {
-            buf.put_u8(3);
-            f.0.encode(buf);
-        }
-        Term::App(f, args) => {
-            buf.put_u8(4);
-            f.0.encode(buf);
-            (args.len() as u32).encode(buf);
-            for a in args.iter() {
-                encode_term(a, buf);
-            }
-        }
-    }
-}
-
-fn decode_term(buf: &mut Bytes) -> Result<Term, DecodeError> {
-    let tag = u8::decode(buf)?;
-    Ok(match tag {
-        0 => Term::Var(u32::decode(buf)?),
-        1 => Term::Sym(SymbolId(u32::decode(buf)?)),
-        2 => Term::Int(i64::decode(buf)?),
-        3 => Term::Float(F64(f64::decode(buf)?)),
-        4 => {
-            let f = SymbolId(u32::decode(buf)?);
-            let n = u32::decode(buf)? as usize;
-            if n > buf.len() {
-                return Err(DecodeError::new("term arity"));
-            }
-            let mut args = Vec::with_capacity(n);
-            for _ in 0..n {
-                args.push(decode_term(buf)?);
-            }
-            Term::app(f, args)
-        }
-        _ => return Err(DecodeError::new("term tag")),
-    })
-}
-
-fn encode_literal(l: &Literal, buf: &mut BytesMut) {
-    l.pred.0.encode(buf);
-    (l.args.len() as u32).encode(buf);
-    for a in l.args.iter() {
-        encode_term(a, buf);
-    }
-}
-
-fn decode_literal(buf: &mut Bytes) -> Result<Literal, DecodeError> {
-    let pred = SymbolId(u32::decode(buf)?);
-    let n = u32::decode(buf)? as usize;
-    if n > buf.len() {
-        return Err(DecodeError::new("literal arity"));
-    }
-    let mut args = Vec::with_capacity(n);
-    for _ in 0..n {
-        args.push(decode_term(buf)?);
-    }
-    Ok(Literal::new(pred, args))
-}
-
-fn encode_clause(c: &Clause, buf: &mut BytesMut) {
-    encode_literal(&c.head, buf);
-    (c.body.len() as u32).encode(buf);
-    for l in &c.body {
-        encode_literal(l, buf);
-    }
-}
-
-fn decode_clause(buf: &mut Bytes) -> Result<Clause, DecodeError> {
-    let head = decode_literal(buf)?;
-    let n = u32::decode(buf)? as usize;
-    if n > buf.len() {
-        return Err(DecodeError::new("clause body length"));
-    }
-    let mut body = Vec::with_capacity(n);
-    for _ in 0..n {
-        body.push(decode_literal(buf)?);
-    }
-    Ok(Clause::new(head, body))
-}
 
 fn encode_bottom(b: &BottomClause, buf: &mut BytesMut) {
-    encode_literal(&b.head, buf);
+    b.head.encode(buf);
     b.head_vars.encode(buf);
     (b.lits.len() as u32).encode(buf);
     for bl in &b.lits {
-        encode_literal(&bl.lit, buf);
+        bl.lit.encode(buf);
         bl.inputs.encode(buf);
         bl.outputs.encode(buf);
         bl.depth.encode(buf);
     }
     b.num_vars.encode(buf);
-    encode_literal(&b.example, buf);
+    b.example.encode(buf);
     // `steps` is deliberately not shipped: it is rank-local accounting.
 }
 
 fn decode_bottom(buf: &mut Bytes) -> Result<BottomClause, DecodeError> {
-    let head = decode_literal(buf)?;
+    let head = Literal::decode(buf)?;
     let head_vars = Vec::<u32>::decode(buf)?;
     let n = u32::decode(buf)? as usize;
     if n > buf.len() {
@@ -150,7 +64,7 @@ fn decode_bottom(buf: &mut Bytes) -> Result<BottomClause, DecodeError> {
     }
     let mut lits = Vec::with_capacity(n);
     for _ in 0..n {
-        let lit = decode_literal(buf)?;
+        let lit = Literal::decode(buf)?;
         let inputs = Vec::<u32>::decode(buf)?;
         let outputs = Vec::<u32>::decode(buf)?;
         let depth = u32::decode(buf)?;
@@ -162,7 +76,7 @@ fn decode_bottom(buf: &mut Bytes) -> Result<BottomClause, DecodeError> {
         });
     }
     let num_vars = u32::decode(buf)?;
-    let example = decode_literal(buf)?;
+    let example = Literal::decode(buf)?;
     Ok(BottomClause {
         head,
         head_vars,
@@ -304,15 +218,17 @@ impl Wire for PipelineToken {
 impl Msg {
     /// Receives and decodes the next message from rank `from`, panicking
     /// with a diagnosis naming the receiving rank, the source rank, and
-    /// what was expected when the frame is malformed. Cluster-sim failures
-    /// then report *which* rank and message died instead of a bare
-    /// `unwrap` backtrace (the panic still poisons the run, so every rank
-    /// unwinds as before).
+    /// what was expected when the frame is malformed *or the channel closed
+    /// under the receive* (a peer exiting early — both arrive as
+    /// [`p2mdie_cluster::comm::CommError`] values from `recv_msg`).
+    /// Cluster-sim failures then report *which* rank and message died
+    /// instead of a bare `unwrap` backtrace (the panic still poisons the
+    /// run, so every rank unwinds as before).
     pub fn recv(ep: &mut Endpoint, from: usize, expected: &str) -> Msg {
         match ep.recv_msg(from) {
             Ok(msg) => msg,
             Err(e) => panic!(
-                "rank {}: malformed message (expected {expected}) from rank {from}: {e}",
+                "rank {}: failed receiving {expected} from rank {from}: {e}",
                 ep.rank()
             ),
         }
@@ -386,6 +302,13 @@ pub enum Msg {
         /// New local negative examples.
         neg: Vec<Literal>,
     },
+    /// Master → workers: the full compiled background KB, built once at the
+    /// master and adopted by the worker without re-interning or
+    /// re-indexing ([`p2mdie_logic::snapshot::KbSnapshot`]). Sent (when KB
+    /// shipping is enabled) before `LoadExamples`, so startup is accounted
+    /// in virtual time as one transfer per worker instead of a per-rank
+    /// rebuild.
+    KbSnapshot(Box<KbSnapshot>),
     /// Master → workers: run over, shut down.
     Stop,
 }
@@ -410,21 +333,13 @@ impl Wire for Msg {
             } => {
                 buf.put_u8(3);
                 origin.encode(buf);
-                (rules.len() as u32).encode(buf);
-                for (c, p, n) in rules {
-                    encode_clause(c, buf);
-                    p.encode(buf);
-                    n.encode(buf);
-                }
+                rules.encode(buf);
                 had_seed.encode(buf);
                 trace.encode(buf);
             }
             Msg::Evaluate { rules } => {
                 buf.put_u8(4);
-                (rules.len() as u32).encode(buf);
-                for c in rules {
-                    encode_clause(c, buf);
-                }
+                rules.encode(buf);
             }
             Msg::EvalResult { counts } => {
                 buf.put_u8(5);
@@ -432,7 +347,7 @@ impl Wire for Msg {
             }
             Msg::MarkCovered { rule } => {
                 buf.put_u8(6);
-                encode_clause(rule, buf);
+                rule.encode(buf);
             }
             Msg::RetireSeed => buf.put_u8(7),
             Msg::SeedRetired { removed } => {
@@ -446,14 +361,12 @@ impl Wire for Msg {
             }
             Msg::NewPartition { pos, neg } => {
                 buf.put_u8(11);
-                (pos.len() as u32).encode(buf);
-                for l in pos {
-                    encode_literal(l, buf);
-                }
-                (neg.len() as u32).encode(buf);
-                for l in neg {
-                    encode_literal(l, buf);
-                }
+                pos.encode(buf);
+                neg.encode(buf);
+            }
+            Msg::KbSnapshot(snap) => {
+                buf.put_u8(12);
+                snap.encode(buf);
             }
         }
     }
@@ -466,44 +379,20 @@ impl Wire for Msg {
                 epoch: u32::decode(buf)?,
             },
             2 => Msg::PipelineStage(PipelineToken::decode(buf)?),
-            3 => {
-                let origin = u8::decode(buf)?;
-                let n = u32::decode(buf)? as usize;
-                if n > buf.len() {
-                    return Err(DecodeError::new("rules-found count"));
-                }
-                let mut rules = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let c = decode_clause(buf)?;
-                    let p = u32::decode(buf)?;
-                    let ng = u32::decode(buf)?;
-                    rules.push((c, p, ng));
-                }
-                let had_seed = bool::decode(buf)?;
-                let trace = Vec::<StageTrace>::decode(buf)?;
-                Msg::RulesFound {
-                    origin,
-                    rules,
-                    had_seed,
-                    trace,
-                }
-            }
-            4 => {
-                let n = u32::decode(buf)? as usize;
-                if n > buf.len() {
-                    return Err(DecodeError::new("evaluate count"));
-                }
-                let mut rules = Vec::with_capacity(n);
-                for _ in 0..n {
-                    rules.push(decode_clause(buf)?);
-                }
-                Msg::Evaluate { rules }
-            }
+            3 => Msg::RulesFound {
+                origin: u8::decode(buf)?,
+                rules: Vec::<(Clause, u32, u32)>::decode(buf)?,
+                had_seed: bool::decode(buf)?,
+                trace: Vec::<StageTrace>::decode(buf)?,
+            },
+            4 => Msg::Evaluate {
+                rules: Vec::<Clause>::decode(buf)?,
+            },
             5 => Msg::EvalResult {
                 counts: Vec::<(u32, u32)>::decode(buf)?,
             },
             6 => Msg::MarkCovered {
-                rule: decode_clause(buf)?,
+                rule: Clause::decode(buf)?,
             },
             7 => Msg::RetireSeed,
             8 => Msg::SeedRetired {
@@ -513,25 +402,11 @@ impl Wire for Msg {
             10 => Msg::CoveredIdx {
                 pos: Vec::<u32>::decode(buf)?,
             },
-            11 => {
-                let np = u32::decode(buf)? as usize;
-                if np > buf.len() {
-                    return Err(DecodeError::new("partition pos count"));
-                }
-                let mut pos = Vec::with_capacity(np);
-                for _ in 0..np {
-                    pos.push(decode_literal(buf)?);
-                }
-                let nn = u32::decode(buf)? as usize;
-                if nn > buf.len() {
-                    return Err(DecodeError::new("partition neg count"));
-                }
-                let mut neg = Vec::with_capacity(nn);
-                for _ in 0..nn {
-                    neg.push(decode_literal(buf)?);
-                }
-                Msg::NewPartition { pos, neg }
-            }
+            11 => Msg::NewPartition {
+                pos: Vec::<Literal>::decode(buf)?,
+                neg: Vec::<Literal>::decode(buf)?,
+            },
+            12 => Msg::KbSnapshot(Box::new(KbSnapshot::decode(buf)?)),
             _ => return Err(DecodeError::new("message tag")),
         })
     }
@@ -542,6 +417,7 @@ mod tests {
     use super::*;
     use p2mdie_cluster::codec::{from_bytes, to_bytes};
     use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::{Term, F64};
 
     fn sample_clause(t: &SymbolTable) -> Clause {
         Clause::new(
@@ -643,6 +519,53 @@ mod tests {
             )],
         });
         roundtrip(Msg::Stop);
+    }
+
+    /// The compiled KB travels as one message and the receiver adopts it
+    /// without re-interning or re-indexing: identical snapshot on both
+    /// sides, identical retrieval plans.
+    #[test]
+    fn kb_snapshot_message_roundtrips_and_restores() {
+        use p2mdie_logic::kb::KnowledgeBase;
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 0..50i64 {
+            kb.assert_fact(Literal::new(
+                t.intern("atm"),
+                vec![Term::Int(i % 5), Term::Int(i), Term::Float(F64(0.25))],
+            ));
+        }
+        kb.assert_rule(sample_clause(&t));
+        kb.optimize();
+        let snap = kb.to_snapshot();
+        let bytes = to_bytes(&Msg::KbSnapshot(Box::new(snap.clone())));
+        let Msg::KbSnapshot(arrived) = from_bytes(bytes).unwrap() else {
+            panic!("expected KbSnapshot");
+        };
+        assert_eq!(*arrived, snap);
+        let restored = KnowledgeBase::from_snapshot(*arrived, t.clone()).unwrap();
+        assert_eq!(restored.to_snapshot(), snap);
+        let key = Literal::new(t.intern("atm"), vec![Term::Int(0); 3]).key();
+        assert_eq!(
+            restored.plan_candidates(key, &[Some(Term::Int(3)), None, None]),
+            kb.plan_candidates(key, &[Some(Term::Int(3)), None, None]),
+        );
+    }
+
+    /// A truncated snapshot frame must decode-fail, not panic or misload.
+    #[test]
+    fn truncated_kb_snapshot_is_rejected() {
+        use p2mdie_logic::kb::KnowledgeBase;
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        kb.assert_fact(Literal::new(t.intern("p"), vec![Term::Int(1)]));
+        let bytes = to_bytes(&Msg::KbSnapshot(Box::new(kb.to_snapshot())));
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                from_bytes::<Msg>(bytes.slice(..cut)).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 
     #[test]

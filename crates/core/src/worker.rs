@@ -53,6 +53,18 @@ impl WorkerContext {
     }
 }
 
+/// Installs a received compiled-KB snapshot into a worker's engine: no
+/// fact-argument re-interning, no posting-list rebuild, no rule recompile —
+/// the transfer time was already merged into the rank's clock by the
+/// receive, and adoption is the near-instant structural validation inside
+/// `from_snapshot`. Shared by the p²-mdie worker and the coverage-parallel
+/// baseline worker.
+pub fn adopt_kb_snapshot(engine: &mut IlpEngine, snap: p2mdie_logic::KbSnapshot, rank: usize) {
+    let syms = engine.kb.symbols().clone();
+    engine.kb = p2mdie_logic::kb::KnowledgeBase::from_snapshot(snap, syms)
+        .unwrap_or_else(|e| panic!("rank {rank}: rejected KB snapshot: {e}"));
+}
+
 /// Runs the worker protocol until `Stop`. Rank 0 is the master; this must
 /// be called on ranks `1..=p`.
 pub fn run_worker(ep: &mut Endpoint, mut ctx: WorkerContext) {
@@ -68,6 +80,7 @@ pub fn run_worker(ep: &mut Endpoint, mut ctx: WorkerContext) {
     loop {
         let msg = Msg::recv(ep, 0, "a master command");
         match msg {
+            Msg::KbSnapshot(snap) => adopt_kb_snapshot(&mut ctx.engine, *snap, me),
             Msg::LoadExamples => {
                 // Data is shared (distributed-FS assumption); loading costs
                 // compute proportional to the local subset.

@@ -2,6 +2,7 @@
 
 use p2mdie_ilp::engine::IlpEngine;
 use p2mdie_ilp::examples::Examples;
+use p2mdie_logic::snapshot::KbSnapshot;
 use p2mdie_logic::symbol::SymbolTable;
 
 /// A ready-to-learn ILP problem: background knowledge + modes + recommended
@@ -23,6 +24,14 @@ impl Dataset {
     pub fn characterization(&self) -> (usize, usize) {
         (self.examples.num_pos(), self.examples.num_neg())
     }
+
+    /// A serializable snapshot of this dataset's fully-built (interned,
+    /// indexed, mode-pruned) background KB — what a master ships to workers
+    /// so they skip the per-rank rebuild, and what a future multi-process
+    /// deployment would persist next to the generated data.
+    pub fn kb_snapshot(&self) -> KbSnapshot {
+        self.engine.kb.to_snapshot()
+    }
 }
 
 /// Scales an example-count target, keeping at least `min`.
@@ -39,5 +48,35 @@ mod tests {
         assert_eq!(scaled(162, 1.0, 4), 162);
         assert_eq!(scaled(162, 0.25, 4), 41);
         assert_eq!(scaled(10, 0.01, 4), 4);
+    }
+
+    /// Every generated dataset's KB must snapshot and restore to an
+    /// identical store (the worker-startup contract).
+    #[test]
+    fn dataset_kb_snapshots_roundtrip() {
+        use p2mdie_logic::kb::KnowledgeBase;
+        for ds in [
+            crate::trains(10, 3),
+            crate::carcinogenesis(0.05, 1),
+            crate::mesh(0.05, 1),
+            crate::pyrimidines(0.05, 1),
+            crate::family(2, 1),
+        ] {
+            let snap = ds.kb_snapshot();
+            let restored = KnowledgeBase::from_snapshot(snap.clone(), SymbolTable::new()).unwrap();
+            assert_eq!(
+                restored.num_facts(),
+                ds.engine.kb.num_facts(),
+                "{}",
+                ds.name
+            );
+            assert_eq!(
+                restored.num_rules(),
+                ds.engine.kb.num_rules(),
+                "{}",
+                ds.name
+            );
+            assert_eq!(restored.to_snapshot(), snap, "{}", ds.name);
+        }
     }
 }

@@ -157,6 +157,7 @@ fn sweep_dataset(ds: &Dataset, cfg: &SweepConfig) -> DatasetSweep {
                 model: cfg.model,
                 seed: cfg.seed.wrapping_add(fi as u64),
                 repartition: false,
+                ship_kb: false,
             };
             let rep = run_parallel(&ds.engine, &fold.train, &pcfg)
                 .unwrap_or_else(|e| panic!("parallel run failed: {e}"));

@@ -211,9 +211,12 @@ pub fn saturate(
                         }
                     }
                 }
-                let query = Literal::new(mode.pred, qargs);
+                // The query literal moves into a stack-local compiled form:
+                // the whole recall round runs without allocating beyond the
+                // query itself (ROADMAP "Borrowed compiled goals").
+                let query = kb.compile_query(Literal::new(mode.pred, qargs));
                 let (solutions, pstats) =
-                    prover.solutions_reusing(&query, mode.recall as usize, &mut scratch);
+                    prover.solutions_compiled_reusing(&query, mode.recall as usize, &mut scratch);
                 sat.steps += pstats.steps;
 
                 for sol in solutions {

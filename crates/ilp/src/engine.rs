@@ -42,6 +42,17 @@ impl IlpEngine {
         }
     }
 
+    /// A clone of this engine with an *empty* KB sharing the symbol table —
+    /// the worker-startup shape when the master ships its compiled KB as a
+    /// snapshot instead of relying on shared data.
+    pub fn with_empty_kb(&self) -> IlpEngine {
+        IlpEngine {
+            kb: KnowledgeBase::new(self.kb.symbols().clone()),
+            modes: self.modes.clone(),
+            settings: self.settings.clone(),
+        }
+    }
+
     /// Builds ⊥e for a seed example (`build_msh`, Fig. 1 step 5).
     pub fn saturate(&self, example: &Literal) -> Option<BottomClause> {
         saturate(&self.kb, &self.modes, &self.settings, example)

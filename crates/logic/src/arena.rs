@@ -105,6 +105,31 @@ impl TermArena {
     pub fn shrink_to_fit(&mut self) {
         self.terms.shrink_to_fit();
     }
+
+    /// The interned terms in id order (term `i` has id `TermId(i)`); the
+    /// serialized form a [`crate::snapshot::KbSnapshot`] captures.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Rebuilds an arena from terms in id order (the snapshot-load path).
+    /// Only the reverse `Term -> TermId` map is recomputed — one hash insert
+    /// per *distinct* term, not one per fact-argument occurrence as a full
+    /// reload would pay. Fails on a non-ground or duplicate term (a snapshot
+    /// this arena produced contains neither).
+    pub fn from_terms(terms: Vec<Term>) -> Result<Self, &'static str> {
+        let mut map = FxHashMap::default();
+        map.reserve(terms.len());
+        for (i, t) in terms.iter().enumerate() {
+            if !t.is_ground() {
+                return Err("non-ground arena term");
+            }
+            if map.insert(t.clone(), TermId(i as u32)).is_some() {
+                return Err("duplicate arena term");
+            }
+        }
+        Ok(TermArena { terms, map })
+    }
 }
 
 impl std::fmt::Debug for TermArena {

@@ -181,6 +181,39 @@ pub struct CompiledGoals {
     pub var_span: VarId,
 }
 
+/// A *borrowed* compiled goal conjunction: the same shape as
+/// [`CompiledGoals`], but the literals live wherever the caller keeps them
+/// (the stack, a reused buffer, a KB clause). This is what makes the
+/// saturation loop allocation-free (ROADMAP "Borrowed compiled goals"): a
+/// query built per recall round becomes one stack-local
+/// [`CompiledLiteral`] — no literal clone, no goals box.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledGoalsRef<'a> {
+    /// Compiled goals, proved left to right.
+    pub lits: &'a [CompiledLiteral],
+    /// One past the largest variable id of the goals.
+    pub var_span: VarId,
+}
+
+impl<'a> From<&'a CompiledGoals> for CompiledGoalsRef<'a> {
+    fn from(goals: &'a CompiledGoals) -> Self {
+        CompiledGoalsRef {
+            lits: &goals.lits,
+            var_span: goals.var_span,
+        }
+    }
+}
+
+impl<'a> CompiledGoalsRef<'a> {
+    /// Borrows a single compiled literal as a one-goal conjunction.
+    pub fn single(goal: &'a CompiledLiteral) -> Self {
+        CompiledGoalsRef {
+            lits: std::slice::from_ref(goal),
+            var_span: goal.lit.max_var().map_or(0, |v| v + 1),
+        }
+    }
+}
+
 /// Display adapter produced by [`Literal::display`].
 pub struct LiteralDisplay<'a> {
     lit: &'a Literal,

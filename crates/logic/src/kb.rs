@@ -30,6 +30,21 @@
 //! ([`crate::clause::LitKind`]) and whose rename-apart variable span is
 //! precomputed — per-goal dispatch in the optimized prover is array reads.
 //!
+//! Posting lists key *any ground* argument — atomic constants and ground
+//! compound terms alike (the arena interns both), so a goal bound to e.g.
+//! `at(7)` probes instead of scanning (ROADMAP "Compound probes").
+//!
+//! # Snapshots
+//!
+//! The whole compiled store — arena terms, columnar tuples, posting lists,
+//! compiled rules, and the symbol dictionary — serializes as a
+//! [`crate::snapshot::KbSnapshot`] via [`KnowledgeBase::to_snapshot`] /
+//! [`KnowledgeBase::from_snapshot`]. A restore re-interns nothing and
+//! rebuilds no index (only the reverse hash maps are repopulated), which
+//! makes worker startup in the cluster substrate one wire transfer
+//! (`Msg::KbSnapshot`) instead of a per-rank rebuild; see the
+//! [`crate::snapshot`] module docs for the format and validation rules.
+//!
 //! # Step-accounting contract
 //!
 //! The inference-step count is the cluster substrate's virtual-time fuel,
@@ -59,25 +74,26 @@ pub const MAX_INDEXED_ARGS: usize = 4;
 const NARROW_MIN: u64 = 64;
 
 /// Per-predicate storage: columnar facts with posting-list indexes, plus
-/// rules in plain and compiled form.
+/// rules in plain and compiled form. (`pub(crate)` so the snapshot module
+/// can capture and restore it field-for-field.)
 #[derive(Debug, Clone)]
-struct PredEntry {
+pub(crate) struct PredEntry {
     /// Row view of every fact (oracle + unification target).
-    facts: Vec<Literal>,
+    pub(crate) facts: Vec<Literal>,
     /// Columnar view of the *indexable* argument positions: `cols[p][f]` is
     /// fact `f`'s argument `p` as an interned id ([`TermId::NONE`] for a
     /// non-ground argument). Plans use these for one-compare membership
     /// tests; positions past [`MAX_INDEXED_ARGS`] are never probed, so no
     /// column is kept for them.
-    cols: Vec<Vec<TermId>>,
-    /// Posting lists per indexed position: atomic-constant id -> ascending
+    pub(crate) cols: Vec<Vec<TermId>>,
+    /// Posting lists per indexed position: ground-term id -> ascending
     /// fact indices. `None` = index pruned for this position.
-    postings: Vec<Option<FxHashMap<TermId, Vec<u32>>>>,
-    /// Per indexed position: facts whose argument there is *not* an atomic
-    /// constant (they match any probe, so every plan includes them).
-    unindexed: Vec<Vec<u32>>,
-    rules: Vec<Clause>,
-    crules: Vec<CompiledClause>,
+    pub(crate) postings: Vec<Option<FxHashMap<TermId, Vec<u32>>>>,
+    /// Per indexed position: facts whose argument there is *not* ground
+    /// (they match any probe, so every plan includes them).
+    pub(crate) unindexed: Vec<Vec<u32>>,
+    pub(crate) rules: Vec<Clause>,
+    pub(crate) crules: Vec<CompiledClause>,
 }
 
 impl PredEntry {
@@ -102,14 +118,14 @@ impl PredEntry {
 /// and compiled rules.
 #[derive(Clone)]
 pub struct KnowledgeBase {
-    syms: SymbolTable,
-    builtins: BuiltinTable,
-    arena: TermArena,
-    pred_index: FxHashMap<PredKey, PredId>,
-    keys: Vec<PredKey>,
-    entries: Vec<PredEntry>,
-    num_facts: usize,
-    num_rules: usize,
+    pub(crate) syms: SymbolTable,
+    pub(crate) builtins: BuiltinTable,
+    pub(crate) arena: TermArena,
+    pub(crate) pred_index: FxHashMap<PredKey, PredId>,
+    pub(crate) keys: Vec<PredKey>,
+    pub(crate) entries: Vec<PredEntry>,
+    pub(crate) num_facts: usize,
+    pub(crate) num_rules: usize,
 }
 
 impl KnowledgeBase {
@@ -180,10 +196,14 @@ impl KnowledgeBase {
         let pid = self.pred_id_or_insert(fact.key());
         let entry = &mut self.entries[pid.index()];
         let idx = entry.facts.len() as u32;
-        for (p, (&tid, arg)) in tids.iter().zip(fact.args.iter()).enumerate() {
+        for (p, &tid) in tids.iter().enumerate() {
             entry.cols[p].push(tid);
             match &mut entry.postings[p] {
-                Some(map) if arg.is_constant() => map.entry(tid).or_default().push(idx),
+                // Every ground argument — atomic *or compound* — is interned
+                // and posted under its arena id, so goals bound to a ground
+                // compound probe instead of scanning (ROADMAP "Compound
+                // probes").
+                Some(map) if !tid.is_none() => map.entry(tid).or_default().push(idx),
                 Some(_) => entry.unindexed[p].push(idx),
                 None => {}
             }
@@ -257,6 +277,18 @@ impl KnowledgeBase {
         }
     }
 
+    /// Compiles a query literal by *moving* it into its compiled form — no
+    /// clone, no allocation. Pair with
+    /// [`crate::prover::Prover::solutions_compiled_reusing`] (or
+    /// [`crate::clause::CompiledGoalsRef::single`]) for the allocation-free
+    /// saturation query path.
+    pub fn compile_query(&self, l: Literal) -> CompiledLiteral {
+        CompiledLiteral {
+            kind: self.litkind(&l),
+            lit: l,
+        }
+    }
+
     /// Compiles a goal conjunction for repeated proving. Predicate and
     /// builtin dispatch is resolved once here; per-goal work in the prover
     /// becomes array reads. Compile once per rule evaluation, not per
@@ -289,8 +321,9 @@ impl KnowledgeBase {
 
     /// Builds the retrieval plan for a goal on predicate `id`.
     ///
-    /// `resolve(p)` must return the goal's argument `p` dereferenced to an
-    /// atomic constant (`None` when unbound or non-atomic); it is invoked
+    /// `resolve(p)` must return the goal's argument `p` dereferenced to a
+    /// ground term — atomic constant or ground compound (`None` when unbound
+    /// or containing variables); it is invoked
     /// lazily, only for indexed positions that could pay off. The returned
     /// plan enumerates a *superset* of the facts unifiable with the goal,
     /// and a *subset* of the reference (first-argument) candidate set, in
@@ -306,8 +339,9 @@ impl KnowledgeBase {
             return FactPlan::Empty;
         }
         // The reference candidate sequence R: first-arg posting hits then
-        // first-arg-unindexable facts when the first argument is bound to an
-        // atomic constant, every fact otherwise.
+        // first-arg-unindexable facts when the first argument is bound to a
+        // ground term, every fact otherwise. (Mirrors `candidate_facts`
+        // exactly — R *is* the step-accounting contract.)
         let first_segments = if entry.postings.is_empty() {
             None
         } else {
@@ -328,8 +362,8 @@ impl KnowledgeBase {
 
         // Hash-join choice: the most selective bound position, by candidate
         // count (posting hits + position-unindexable facts). `tid` is the
-        // probe constant's arena id ([`TermId::NONE`] when the constant was
-        // never interned, which no column cell of an all-atomic position can
+        // probe term's arena id ([`TermId::NONE`] when the term was never
+        // interned, which no column cell of an all-ground position can
         // equal).
         struct Alt<'a> {
             pos: usize,
@@ -376,9 +410,9 @@ impl KnowledgeBase {
                         n as u64
                     }
                     // R is the first-arg candidate walk. When every fact's
-                    // argument at `alt.pos` is an atomic constant (the
-                    // common, all-ground case), membership is one columnar
-                    // u32 compare per reference candidate.
+                    // argument at `alt.pos` is ground (the common case),
+                    // membership is one columnar u32 compare per reference
+                    // candidate.
                     Some((s1, s2)) if alt.un.is_empty() => {
                         let col = &entry.cols[alt.pos];
                         for (rank, &f) in s1.iter().enumerate() {
@@ -393,7 +427,7 @@ impl KnowledgeBase {
                         }
                         r_len
                     }
-                    // Mixed atomic/non-atomic arguments: intersect the
+                    // Mixed ground/non-ground arguments: intersect the
                     // sorted posting candidates with the R segments.
                     Some((s1, s2)) => {
                         let merged = merge_sorted(alt.hits, alt.un);
@@ -411,12 +445,19 @@ impl KnowledgeBase {
 
     /// Test/debug view of [`KnowledgeBase::fact_plan`]: the fact indices the
     /// plan would try (in reference order) and the reference candidate
-    /// count, for a goal with the given per-position atomic constants.
+    /// count, for a goal with the given per-position ground terms.
     pub fn plan_candidates(&self, key: PredKey, bound: &[Option<Term>]) -> (Vec<u32>, u64) {
         let Some(id) = self.pred_id(key) else {
             return (Vec::new(), 0);
         };
-        let plan = self.fact_plan(id, |p| bound.get(p).cloned().flatten());
+        // Mirror the prover's resolve contract: only ground terms probe.
+        let plan = self.fact_plan(id, |p| {
+            bound
+                .get(p)
+                .cloned()
+                .flatten()
+                .filter(|t: &Term| t.is_ground())
+        });
         match plan {
             FactPlan::Empty => (Vec::new(), 0),
             FactPlan::All { n } => ((0..n).collect(), n as u64),
@@ -466,18 +507,22 @@ impl KnowledgeBase {
     }
 
     /// Facts possibly matching `goal` under first-argument indexing only —
-    /// the seed semantics, preserved verbatim as the view of the
-    /// differential oracle ([`crate::prover::reference`]). The optimized
-    /// prover uses [`KnowledgeBase::fact_plan`] instead.
+    /// the seed enumeration order, shared by the differential oracle
+    /// ([`crate::prover::reference`]) and the step-accounting contract. The
+    /// optimized prover uses [`KnowledgeBase::fact_plan`] instead.
     ///
     /// `first_arg` must already be dereferenced by the caller's bindings.
+    /// Any *ground* first argument probes the posting list — ground
+    /// compound terms included, since the arena interns them (ROADMAP
+    /// "Compound probes"); only a variable or a compound still containing
+    /// variables falls back to the scan.
     pub fn candidate_facts(&self, key: PredKey, first_arg: Option<&Term>) -> FactIter<'_> {
         let Some(&pid) = self.pred_index.get(&key) else {
             return FactIter::Empty;
         };
         let entry = &self.entries[pid.index()];
         match first_arg {
-            Some(t) if t.is_constant() && !entry.postings.is_empty() => {
+            Some(t) if t.is_ground() && !entry.postings.is_empty() => {
                 let indexed = self
                     .arena
                     .lookup(t)
@@ -613,8 +658,8 @@ fn intersect_ranks(seg: &[u32], cands: &[u32], rank_base: u64, out: &mut Vec<(u3
 pub enum FactPlan<'a> {
     /// No facts for this predicate.
     Empty,
-    /// Scan every fact (first argument unbound or non-atomic, and no better
-    /// position available).
+    /// Scan every fact (first argument not ground, and no better position
+    /// available).
     All {
         /// Number of facts.
         n: u32,
@@ -622,9 +667,9 @@ pub enum FactPlan<'a> {
     /// The reference first-argument enumeration: posting hits then
     /// unindexable facts, each to be tried (and charged) individually.
     Seq {
-        /// Posting hits for the first argument's constant.
+        /// Posting hits for the first argument's ground term.
         indexed: &'a [u32],
-        /// Facts whose first argument is not an atomic constant.
+        /// Facts whose first argument is not ground.
         unindexed: &'a [u32],
     },
     /// A narrower position was chosen: try only `tried` (fact index plus
@@ -643,7 +688,7 @@ pub enum FactPlan<'a> {
 pub enum FactIter<'a> {
     /// No facts for this predicate.
     Empty,
-    /// All facts (first argument unbound or non-constant).
+    /// All facts (first argument unbound or not ground).
     All {
         #[allow(missing_docs)]
         facts: &'a [Literal],
@@ -896,6 +941,57 @@ mod tests {
             kb.pred_id(lit(&t, "later", vec![Term::Int(0)]).key()),
             Some(later_id)
         );
+    }
+
+    /// Regression for ROADMAP "Compound probes": a goal whose bound
+    /// argument is a ground *compound* term must probe the posting list by
+    /// the compound's arena id instead of silently scanning the relation.
+    #[test]
+    fn ground_compound_arguments_probe_instead_of_scanning() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let q = t.intern("q");
+        for i in 0..100i64 {
+            kb.assert_fact(lit(
+                &t,
+                "charge",
+                vec![Term::app(q, vec![Term::Int(i % 10)]), Term::Int(i)],
+            ));
+        }
+        let key = lit(&t, "charge", vec![Term::Int(0); 2]).key();
+        let probe = Term::app(q, vec![Term::Int(3)]);
+
+        // First argument bound to a ground compound: the candidate count
+        // drops from the 100-fact scan to the 10 posting hits.
+        let (tried, total) = kb.plan_candidates(key, &[Some(probe.clone()), None]);
+        assert_eq!(total, 10, "compound probe must narrow the reference set");
+        assert_eq!(tried.len(), 10);
+        assert_eq!(kb.candidate_facts(key, Some(&probe)).count(), 10);
+        // An uninterned compound yields nothing (no fact can equal it).
+        let absent = Term::app(q, vec![Term::Int(77)]);
+        assert_eq!(kb.candidate_facts(key, Some(&absent)).count(), 0);
+        // A compound still containing a variable cannot probe: full scan.
+        let open = Term::app(q, vec![Term::Var(0)]);
+        let (tried, total) = kb.plan_candidates(key, &[Some(open), None]);
+        assert_eq!((tried.len() as u64, total), (100, 100));
+
+        // Second position: a compound-keyed posting narrows a first-arg
+        // walk too (hash-join choice over a non-first position).
+        let mut kb2 = KnowledgeBase::new(t.clone());
+        for m in 0..5i64 {
+            for i in 0..40i64 {
+                kb2.assert_fact(lit(
+                    &t,
+                    "site",
+                    vec![Term::Int(m), Term::app(q, vec![Term::Int(i)])],
+                ));
+            }
+        }
+        let key2 = lit(&t, "site", vec![Term::Int(0); 2]).key();
+        let probe2 = Term::app(q, vec![Term::Int(7)]);
+        let (tried, total) = kb2.plan_candidates(key2, &[None, Some(probe2)]);
+        assert_eq!(total, 200, "reference scans when the first arg is free");
+        assert_eq!(tried.len(), 5, "one hit per molecule, found by probe");
     }
 
     #[test]

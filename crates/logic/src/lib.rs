@@ -37,6 +37,7 @@ pub mod kb;
 pub mod parser;
 pub mod program;
 pub mod prover;
+pub mod snapshot;
 pub mod subst;
 pub mod symbol;
 pub mod term;
@@ -44,12 +45,14 @@ pub mod theta;
 
 pub use arena::{TermArena, TermId};
 pub use clause::{
-    Clause, CompiledClause, CompiledGoals, CompiledLiteral, LitKind, Literal, PredId,
+    Clause, CompiledClause, CompiledGoals, CompiledGoalsRef, CompiledLiteral, LitKind, Literal,
+    PredId,
 };
 pub use kb::KnowledgeBase;
 pub use parser::{ParseError, Parser};
 pub use program::Program;
 pub use prover::{ProofLimits, ProofStats, Prover};
+pub use snapshot::{KbSnapshot, PredSnapshot, SnapshotError};
 pub use subst::Bindings;
 pub use symbol::{SymbolId, SymbolTable};
 pub use term::{Term, VarId, F64};

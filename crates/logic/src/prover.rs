@@ -39,7 +39,7 @@
 pub mod reference;
 
 use crate::builtins::solve_builtin_off;
-use crate::clause::{CompiledGoals, CompiledLiteral, LitKind, Literal};
+use crate::clause::{CompiledGoals, CompiledGoalsRef, CompiledLiteral, LitKind, Literal};
 use crate::kb::{FactPlan, KnowledgeBase};
 use crate::subst::Bindings;
 use crate::term::VarId;
@@ -187,14 +187,32 @@ impl<'a> Prover<'a> {
         max: usize,
         scratch: &mut Bindings,
     ) -> (Vec<Literal>, ProofStats) {
+        let compiled = CompiledLiteral {
+            kind: self.kb.litkind(goal),
+            lit: goal.clone(),
+        };
+        self.solutions_compiled_reusing(&compiled, max, scratch)
+    }
+
+    /// [`Prover::solutions_reusing`] over a *borrowed* pre-compiled goal
+    /// (see [`KnowledgeBase::compile_query`]): the query literal is never
+    /// cloned and no goals vector is allocated, which keeps saturation's
+    /// per-recall-round query loop allocation-free — the same discipline as
+    /// coverage's `PreparedRule` path.
+    pub fn solutions_compiled_reusing(
+        &self,
+        goal: &CompiledLiteral,
+        max: usize,
+        scratch: &mut Bindings,
+    ) -> (Vec<Literal>, ProofStats) {
         let mut out: Vec<Literal> = Vec::new();
         if max == 0 {
             return (out, ProofStats::default());
         }
         scratch.reset(0);
         let mut seen: crate::fxhash::FxHashSet<Literal> = crate::fxhash::FxHashSet::default();
-        let stats = self.run_reusing(std::slice::from_ref(goal), scratch, &mut |b| {
-            let inst = b.resolve_literal(goal);
+        let stats = self.run_borrowed_reusing(CompiledGoalsRef::single(goal), scratch, &mut |b| {
+            let inst = b.resolve_literal(&goal.lit);
             if seen.insert(inst.clone()) {
                 out.push(inst);
             }
@@ -233,6 +251,18 @@ impl<'a> Prover<'a> {
         bindings: &mut Bindings,
         on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
     ) -> ProofStats {
+        self.run_borrowed_reusing(CompiledGoalsRef::from(goals), bindings, on_solution)
+    }
+
+    /// [`Prover::run`] over *borrowed* compiled goals — the fully
+    /// allocation-free entry point: the literals stay wherever the caller
+    /// compiled them.
+    pub fn run_borrowed_reusing(
+        &self,
+        goals: CompiledGoalsRef<'_>,
+        bindings: &mut Bindings,
+        on_solution: &mut dyn FnMut(&mut Bindings) -> bool,
+    ) -> ProofStats {
         let mut next_var: VarId = goals.var_span.max(bindings.len() as VarId);
         bindings.ensure(next_var as usize);
         let mut ctx = Ctx {
@@ -243,7 +273,7 @@ impl<'a> Prover<'a> {
             next_var: &mut next_var,
         };
         let root = Frame {
-            lits: &goals.lits,
+            lits: goals.lits,
             offset: 0,
             depth: 0,
             next: None,
@@ -349,7 +379,7 @@ impl<'a> Ctx<'a, '_> {
         // accounting stays pinned to the first-argument reference plan.
         {
             let bindings = &*self.bindings;
-            let plan = kb.fact_plan(pid, |p| bindings.resolved_constant(&glit.args[p], goff));
+            let plan = kb.fact_plan(pid, |p| bindings.resolved_ground(&glit.args[p], goff));
             let facts = kb.fact_rows(pid);
             match plan {
                 FactPlan::Empty => {}
@@ -599,6 +629,28 @@ mod tests {
         let p = Prover::new(&kb, ProofLimits::default());
         let (sols, _) = p.solutions(&lit(&t, "big", vec![Term::Var(0)]), 10);
         assert_eq!(sols.len(), 2);
+    }
+
+    /// The allocation-free borrowed-goal path must agree with the owned
+    /// compile path on solutions and stats (the saturation contract).
+    #[test]
+    fn borrowed_compiled_solutions_match_owned() {
+        let (t, kb) = family_kb();
+        let p = Prover::new(&kb, ProofLimits::default());
+        let goals = [
+            lit(&t, "ancestor", vec![Term::Var(0), Term::Var(1)]),
+            lit(&t, "parent", vec![Term::Sym(t.intern("ann")), Term::Var(0)]),
+            lit(&t, "missing", vec![Term::Var(0)]),
+        ];
+        let mut scratch = Bindings::new();
+        for goal in goals {
+            for max in [0, 1, 5] {
+                let owned = p.solutions_reusing(&goal, max, &mut scratch);
+                let compiled = kb.compile_query(goal.clone());
+                let borrowed = p.solutions_compiled_reusing(&compiled, max, &mut scratch);
+                assert_eq!(owned, borrowed, "diverged on {goal:?} max {max}");
+            }
+        }
     }
 
     #[test]

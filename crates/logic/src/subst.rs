@@ -175,13 +175,20 @@ impl Bindings {
         }
     }
 
-    /// The goal's first argument as an owned constant, if it resolves to
-    /// one — the key the first-argument index is probed with.
-    pub fn resolved_constant(&self, t: &Term, off: VarId) -> Option<Term> {
+    /// A goal argument as an owned *ground* term, if its top-level walk
+    /// lands on one — the key a posting list is probed with (atomic
+    /// constants and ground compounds alike; an atomic-only variant would
+    /// silently degrade compound-bound goals back to scans). Matches the
+    /// reference prover's shallow `walk`: a compound whose own variables are
+    /// bound but not substituted in place is not considered ground, so both
+    /// provers agree on when the index applies (the step contract).
+    pub fn resolved_ground(&self, t: &Term, off: VarId) -> Option<Term> {
         match self.resolve_view(t, off) {
             View::Sym(s) => Some(Term::Sym(s)),
             View::Int(i) => Some(Term::Int(i)),
             View::Float(f) => Some(Term::Float(f)),
+            View::App(app, _) if app.is_ground() => Some(app.clone()),
+            View::OwnedApp(app) if app.is_ground() => Some(app),
             View::Var(_) | View::App(..) | View::OwnedApp(_) => None,
         }
     }

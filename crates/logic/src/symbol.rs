@@ -61,6 +61,24 @@ impl SymbolTable {
             return id;
         }
         let mut inner = self.inner.write();
+        Self::intern_locked(&mut inner, name)
+    }
+
+    /// Interns a whole batch of names in order under **one** lock
+    /// acquisition, returning their ids. This is the snapshot-load path:
+    /// a dictionary of thousands of names interns in one critical section
+    /// instead of paying a read-probe + write-lock round trip per name.
+    pub fn intern_all<S: AsRef<str>>(&self, names: &[S]) -> Vec<SymbolId> {
+        let mut inner = self.inner.write();
+        inner.names.reserve(names.len());
+        inner.map.reserve(names.len());
+        names
+            .iter()
+            .map(|n| Self::intern_locked(&mut inner, n.as_ref()))
+            .collect()
+    }
+
+    fn intern_locked(inner: &mut Inner, name: &str) -> SymbolId {
         if let Some(&id) = inner.map.get(name) {
             return id;
         }
@@ -95,6 +113,14 @@ impl SymbolTable {
     /// True if both handles refer to the same underlying table.
     pub fn same_table(&self, other: &SymbolTable) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Every interned name in id order (a point-in-time copy; the table may
+    /// grow concurrently). This is the symbol dictionary a
+    /// [`crate::snapshot::KbSnapshot`] carries so a restore into a *fresh*
+    /// table reproduces the exact same ids.
+    pub fn names(&self) -> Vec<Arc<str>> {
+        self.inner.read().names.clone()
     }
 }
 
@@ -134,6 +160,21 @@ mod tests {
         let a = t.intern("shared");
         assert_eq!(t2.lookup("shared"), Some(a));
         assert!(t.same_table(&t2));
+    }
+
+    #[test]
+    fn intern_all_matches_one_by_one() {
+        let a = SymbolTable::new();
+        let b = SymbolTable::new();
+        b.intern("pre_existing");
+        let names = ["x", "y", "x", "pre_existing", "z"];
+        let batch = a.intern_all(&names);
+        let single: Vec<SymbolId> = names.iter().map(|n| a.intern(n)).collect();
+        assert_eq!(batch, single);
+        // Batched interning into a non-empty table reuses existing ids.
+        let batch_b = b.intern_all(&names);
+        assert_eq!(batch_b[3], b.lookup("pre_existing").unwrap());
+        assert_eq!(batch_b[0], batch_b[2]);
     }
 
     #[test]

@@ -32,7 +32,15 @@ fn build_kb(
     let t = SymbolTable::new();
     let mut kb = KnowledgeBase::new(t.clone());
     let mol = |m: u8| Term::Sym(t.intern(&format!("m{}", m % 6)));
-    let atom = |a: u8| Term::Sym(t.intern(&format!("a{}", a % 25)));
+    // Every fifth atom is a ground *compound* (`at(N)`), exercising the
+    // compound-keyed posting lists on both provers.
+    let atom = |a: u8| {
+        if a % 5 == 4 {
+            Term::app(t.intern("at"), vec![Term::Int((a % 25) as i64)])
+        } else {
+            Term::Sym(t.intern(&format!("a{}", a % 25)))
+        }
+    };
     for &(m, a, b, ty) in bonds {
         kb.assert_fact(Literal::new(
             t.intern("bond"),
@@ -83,6 +91,16 @@ fn build_kb(
     (t, kb)
 }
 
+/// An atom-position probe term matching `build_kb`'s pool shape: atomic
+/// constants with every fifth a ground compound `at(N)`.
+fn atom_term(t: &SymbolTable, s: u8) -> Term {
+    if s % 5 == 4 {
+        Term::app(t.intern("at"), vec![Term::Int((s % 25) as i64)])
+    } else {
+        Term::Sym(t.intern(&format!("a{}", s % 25)))
+    }
+}
+
 /// Builds a query literal for one of the KB's predicates from raw seeds:
 /// each argument becomes a (possibly shared) variable, an in-pool constant,
 /// or an absent constant.
@@ -107,11 +125,11 @@ fn build_query(t: &SymbolTable, pred_pick: u8, seeds: &[u8]) -> Literal {
                 ("bond", 3) => Term::Int((s % 4) as i64),
                 ("val", _) | ("big", _) => Term::Int((s % 20) as i64),
                 ("atm", 2) => Term::Sym(t.intern(ELEMS[(s % 3) as usize])),
-                _ => Term::Sym(t.intern(&format!("a{}", s % 25))),
+                _ => atom_term(t, s),
             },
             2 => match (name, p) {
                 ("val", _) | ("big", _) | ("bond", 3) => Term::Int((s % 25) as i64),
-                _ => Term::Sym(t.intern(&format!("a{}", s % 25))),
+                _ => atom_term(t, s),
             },
             // A constant no fact mentions.
             _ => Term::Sym(t.intern("zz_absent")),
@@ -192,6 +210,10 @@ proptest! {
                 _ => Some(match p {
                     0 => Term::Sym(t.intern(&format!("m{}", s % 7))), // incl. absent m6
                     3 => Term::Int((s % 5) as i64),                   // incl. absent type 4
+                    _ if s % 7 == 6 => {
+                        // Ground compound probes (incl. absent instances).
+                        Term::app(t.intern("at"), vec![Term::Int((s % 26) as i64)])
+                    }
                     _ => Term::Sym(t.intern(&format!("a{}", s % 26))),
                 }),
             })

@@ -1,0 +1,221 @@
+//! Property tests pinning snapshot-loaded knowledge bases to freshly built
+//! ones:
+//!
+//! 1. **Differential proving** — on randomized programs (multi-argument
+//!    facts with compound arguments, recursive rules, builtins) and
+//!    randomized queries/limits, a KB restored from
+//!    `to_snapshot()`/`from_snapshot()` reports exactly the original's
+//!    `(proved, steps, depth_cuts, aborted)` and the same solution list in
+//!    the same order — whether restored into a fresh symbol table or into
+//!    the shared one.
+//! 2. **Index plans survive the round trip** — the restored KB's retrieval
+//!    plans (tried set and reference candidate count) match the original's
+//!    for every bound pattern, i.e. posting lists and columns really were
+//!    adopted, not rebuilt differently.
+
+use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::prover::{ProofLimits, Prover};
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::Term;
+use proptest::prelude::*;
+
+const ELEMS: [&str; 3] = ["c", "n", "o"];
+
+/// Molecule-flavored KB from raw byte seeds (same shape as the compiled-KB
+/// differential suite, compound atoms included).
+fn build_kb(
+    bonds: &[(u8, u8, u8, u8)],
+    atms: &[(u8, u8, u8)],
+    vals: &[i64],
+) -> (SymbolTable, KnowledgeBase) {
+    let t = SymbolTable::new();
+    let mut kb = KnowledgeBase::new(t.clone());
+    let mol = |m: u8| Term::Sym(t.intern(&format!("m{}", m % 6)));
+    let atom = |a: u8| {
+        if a % 5 == 4 {
+            Term::app(t.intern("at"), vec![Term::Int((a % 25) as i64)])
+        } else {
+            Term::Sym(t.intern(&format!("a{}", a % 25)))
+        }
+    };
+    for &(m, a, b, ty) in bonds {
+        kb.assert_fact(Literal::new(
+            t.intern("bond"),
+            vec![mol(m), atom(a), atom(b), Term::Int((ty % 4) as i64)],
+        ));
+    }
+    for &(m, a, e) in atms {
+        kb.assert_fact(Literal::new(
+            t.intern("atm"),
+            vec![
+                mol(m),
+                atom(a),
+                Term::Sym(t.intern(ELEMS[(e % 3) as usize])),
+            ],
+        ));
+    }
+    for &v in vals {
+        kb.assert_fact(Literal::new(t.intern("val"), vec![Term::Int(v % 20)]));
+    }
+    let lit = |name: &str, args: Vec<Term>| Literal::new(t.intern(name), args);
+    kb.assert_rule(Clause::new(
+        lit("path", vec![Term::Var(0), Term::Var(1), Term::Var(2)]),
+        vec![lit(
+            "bond",
+            vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)],
+        )],
+    ));
+    kb.assert_rule(Clause::new(
+        lit("path", vec![Term::Var(0), Term::Var(1), Term::Var(4)]),
+        vec![
+            lit(
+                "bond",
+                vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)],
+            ),
+            lit("path", vec![Term::Var(0), Term::Var(2), Term::Var(4)]),
+        ],
+    ));
+    kb.assert_rule(Clause::new(
+        lit("big", vec![Term::Var(0)]),
+        vec![
+            lit("val", vec![Term::Var(0)]),
+            lit(">=", vec![Term::Var(0), Term::Int(10)]),
+        ],
+    ));
+    kb.optimize();
+    (t, kb)
+}
+
+/// A query literal over the KB's predicates (constants drawn from — and
+/// beyond — the fact pools; variables possibly shared).
+fn build_query(t: &SymbolTable, pred_pick: u8, seeds: &[u8]) -> Literal {
+    let (name, arity) = match pred_pick % 5 {
+        0 => ("bond", 4),
+        1 => ("atm", 3),
+        2 => ("val", 1),
+        3 => ("path", 3),
+        _ => ("big", 1),
+    };
+    let mut args = Vec::with_capacity(arity);
+    for p in 0..arity {
+        let s = seeds[p % seeds.len()].wrapping_add(p as u8);
+        let term = match s % 4 {
+            0 => Term::Var((s / 4 % 3) as u32),
+            1 => match (name, p) {
+                ("bond", 0) | ("atm", 0) | ("path", 0) => {
+                    Term::Sym(t.intern(&format!("m{}", s % 6)))
+                }
+                ("bond", 3) => Term::Int((s % 4) as i64),
+                ("val", _) | ("big", _) => Term::Int((s % 20) as i64),
+                ("atm", 2) => Term::Sym(t.intern(ELEMS[(s % 3) as usize])),
+                _ if s % 5 == 4 => Term::app(t.intern("at"), vec![Term::Int((s % 25) as i64)]),
+                _ => Term::Sym(t.intern(&format!("a{}", s % 25))),
+            },
+            2 => match (name, p) {
+                ("val", _) | ("big", _) | ("bond", 3) => Term::Int((s % 25) as i64),
+                _ if s % 5 == 4 => Term::app(t.intern("at"), vec![Term::Int((s % 25) as i64)]),
+                _ => Term::Sym(t.intern(&format!("a{}", s % 25))),
+            },
+            _ => Term::Sym(t.intern("zz_absent")),
+        };
+        args.push(term);
+    }
+    Literal::new(t.intern(name), args)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Snapshot-loaded KBs prove bit-identically to the freshly built KB.
+    #[test]
+    fn snapshot_loaded_kb_matches_fresh_kb(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..100),
+        atms in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..50),
+        vals in proptest::collection::vec(0i64..40, 0..16),
+        queries in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 1..5)), 1..6),
+        max_steps in 1u64..2500,
+        max_depth in 0u32..6,
+        recall in 0usize..8,
+    ) {
+        let (t, kb) = build_kb(&bonds, &atms, &vals);
+        // Build the queries *before* snapshotting, so every query symbol is
+        // part of the captured dictionary and ids agree across tables.
+        let goals: Vec<Literal> = queries
+            .iter()
+            .map(|(pick, seeds)| build_query(&t, *pick, seeds))
+            .collect();
+
+        let snap = kb.to_snapshot();
+        let loaded_fresh =
+            KnowledgeBase::from_snapshot(snap.clone(), SymbolTable::new()).unwrap();
+        let loaded_shared = KnowledgeBase::from_snapshot(snap, t.clone()).unwrap();
+
+        let limits = ProofLimits { max_depth, max_steps };
+        let fresh = Prover::new(&kb, limits);
+        let restored = [
+            Prover::new(&loaded_fresh, limits),
+            Prover::new(&loaded_shared, limits),
+        ];
+        for goal in &goals {
+            let want_prove = fresh.prove_ground(goal);
+            let want_sols = fresh.solutions(goal, recall);
+            for (i, p) in restored.iter().enumerate() {
+                prop_assert_eq!(
+                    p.prove_ground(goal), want_prove,
+                    "prove diverged (restore {}) on {:?}", i, goal
+                );
+                let got = p.solutions(goal, recall);
+                prop_assert_eq!(
+                    &got.0, &want_sols.0,
+                    "solutions diverged (restore {}) on {:?}", i, goal
+                );
+                prop_assert_eq!(
+                    got.1, want_sols.1,
+                    "solution stats diverged (restore {}) on {:?}", i, goal
+                );
+            }
+        }
+    }
+
+    /// Retrieval plans — tried sets and reference candidate counts — are
+    /// identical after a snapshot round trip.
+    #[test]
+    fn snapshot_preserves_index_plans(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..150),
+        patterns in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 4), 1..5),
+    ) {
+        let (t, kb) = build_kb(&bonds, &[], &[]);
+        let key = Literal::new(t.intern("bond"), vec![Term::Int(0); 4]).key();
+        // Materialize probe terms before the capture (shared dictionary).
+        let bounds: Vec<Vec<Option<Term>>> = patterns
+            .iter()
+            .map(|pattern| {
+                pattern
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &s)| match s % 3 {
+                        0 => None,
+                        _ => Some(match p {
+                            0 => Term::Sym(t.intern(&format!("m{}", s % 7))),
+                            3 => Term::Int((s % 5) as i64),
+                            _ if s % 5 == 4 => {
+                                Term::app(t.intern("at"), vec![Term::Int((s % 26) as i64)])
+                            }
+                            _ => Term::Sym(t.intern(&format!("a{}", s % 26))),
+                        }),
+                    })
+                    .collect()
+            })
+            .collect();
+        let loaded =
+            KnowledgeBase::from_snapshot(kb.to_snapshot(), SymbolTable::new()).unwrap();
+        for bound in &bounds {
+            prop_assert_eq!(
+                loaded.plan_candidates(key, bound),
+                kb.plan_candidates(key, bound),
+                "plan diverged under {:?}", bound
+            );
+        }
+    }
+}

@@ -46,4 +46,21 @@ fn main() {
         );
     }
     println!("\nspeedup T(1)/T(4) = {:.2}", seq.vtime / par.vtime);
+
+    // The same run with snapshot-based KB shipping: workers start with an
+    // *empty* KB and adopt the master's compiled store from one
+    // `Msg::KbSnapshot` transfer (the multi-process deployment shape) —
+    // identical theory, the snapshot bytes now on the wire.
+    let shipped = run_parallel(&ds.engine, &ds.examples, &cfg.clone().with_kb_shipping())
+        .expect("cluster run (shipped KB)");
+    assert_eq!(
+        shipped.clauses(),
+        par.clauses(),
+        "snapshot-shipped workers must learn the identical theory"
+    );
+    println!(
+        "with KB shipping: identical theory, {:.3} MB exchanged ({:.3} MB of compiled-KB snapshots)",
+        shipped.megabytes(),
+        (shipped.total_bytes - par.total_bytes) as f64 / 1.0e6
+    );
 }

@@ -191,6 +191,7 @@ fn parallel_virtual_time_beats_sequential() {
             model,
             seed: 7,
             repartition: false,
+            ship_kb: false,
         },
     )
     .unwrap();
