@@ -11,13 +11,23 @@
 //! Every send is timestamped with its virtual arrival time at the
 //! destination (`sender_clock + latency + bytes/bandwidth`); every receive
 //! Lamport-merges the arrival into the receiver's clock. Every payload's
-//! exact encoded size is recorded in the shared [`TrafficStats`].
+//! exact encoded size is recorded in the shared [`TrafficStats`], and a
+//! send the transport could not deliver is counted there as a *dropped*
+//! send (never silently discarded).
+//!
+//! The endpoint is generic over the [`Transport`] that actually moves the
+//! bytes: the in-process [`MeshTransport`] (the default — crossbeam
+//! channels between threads) or the socket-backed
+//! [`crate::net::TcpTransport`] (real processes, length-prefixed frames).
+//! Everything in this module — clocks, statistics, source buffering,
+//! poison propagation — is identical on both, which is what makes a
+//! multi-process run bit-for-bit reproducible against the simulation.
 
 use crate::codec::{from_bytes, to_bytes, DecodeError, Wire};
 use crate::stats::TrafficStats;
+use crate::transport::{MeshTransport, Transport, TransportEvent};
 use crate::vtime::{CostModel, VirtualClock};
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
 use std::collections::VecDeque;
 
 /// A timestamped message in flight.
@@ -41,34 +51,54 @@ pub struct Poisoned {
     pub origin: usize,
 }
 
-/// A blocking receive found the mesh channel closed: every peer endpoint
-/// was dropped (a rank exited early without `Stop`/poison). Rank-tagged so
-/// the failure is diagnosable instead of a bare panic backtrace.
+/// How a link to a peer died.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The peer's link closed: it exited (cleanly or not) without `Stop`
+    /// or poison, or its stream broke.
+    Closed,
+    /// The peer delivered bytes that did not parse as a frame; the link is
+    /// treated as dead from that point on.
+    Malformed(&'static str),
+}
+
+/// A blocking receive failed: the awaited peer's link is dead (closed, or
+/// poisoned by a malformed frame). Rank-tagged so the failure is
+/// diagnosable instead of a bare panic backtrace.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecvError {
     /// The rank whose receive failed.
     pub rank: usize,
     /// The source rank it was waiting on.
     pub from: usize,
+    /// What killed the link.
+    pub fault: LinkFault,
 }
 
 impl std::fmt::Display for RecvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "rank {}: channel closed while receiving from rank {} (peer exited early?)",
-            self.rank, self.from
-        )
+        match self.fault {
+            LinkFault::Closed => write!(
+                f,
+                "rank {}: channel closed while receiving from rank {} (peer exited early?)",
+                self.rank, self.from
+            ),
+            LinkFault::Malformed(ctx) => write!(
+                f,
+                "rank {}: malformed frame from rank {} ({ctx})",
+                self.rank, self.from
+            ),
+        }
     }
 }
 
 impl std::error::Error for RecvError {}
 
-/// Why a [`Endpoint::recv_msg`] call failed: the channel closed under the
+/// Why a [`Endpoint::recv_msg`] call failed: the link died under the
 /// receive, or the frame arrived but would not decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CommError {
-    /// The mesh channel disconnected mid-receive.
+    /// The link to the peer died mid-receive.
     Closed(RecvError),
     /// The payload was truncated or malformed.
     Decode(DecodeError),
@@ -97,13 +127,46 @@ impl From<DecodeError> for CommError {
     }
 }
 
-/// One rank's communication endpoint.
-pub struct Endpoint {
+/// The structured panic payload protocol layers throw when a receive they
+/// cannot recover from fails (see `Msg::recv` in the core crate). Carrying
+/// the failure as a value instead of a formatted string lets the runtime
+/// map it to a rank-tagged `ClusterError` after catching the unwind.
+#[derive(Clone, Debug)]
+pub struct CommFailure {
+    /// The rank whose receive failed.
+    pub rank: usize,
+    /// The peer it was receiving from.
+    pub from: usize,
+    /// What the protocol expected to receive.
+    pub expected: String,
+    /// The underlying communication error.
+    pub error: CommError,
+}
+
+impl std::fmt::Display for CommFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {}: failed receiving {} from rank {}: {}",
+            self.rank, self.expected, self.from, self.error
+        )
+    }
+}
+
+impl std::error::Error for CommFailure {}
+
+/// One rank's communication endpoint, generic over the [`Transport`] that
+/// moves the bytes (defaults to the in-process mesh).
+pub struct Endpoint<T: Transport = MeshTransport> {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Envelope>>,
-    rx: Receiver<Envelope>,
+    transport: T,
     pending: Vec<VecDeque<Envelope>>,
+    /// Per-peer link obituaries (only transports with per-peer links — TCP
+    /// — ever populate these).
+    faults: Vec<Option<LinkFault>>,
+    /// The whole fabric is gone; nothing will ever arrive again.
+    fabric_closed: bool,
     clock: VirtualClock,
     model: CostModel,
     stats: TrafficStats,
@@ -111,22 +174,29 @@ pub struct Endpoint {
     poisoned: bool,
 }
 
-impl Endpoint {
-    /// Assembles an endpoint (used by the runtime; not public API).
-    pub(crate) fn new(
+impl<T: Transport> Endpoint<T> {
+    /// Assembles an endpoint from its parts. `rank` must be a valid index
+    /// for `size` ranks, and `stats` must be sized for the same cluster.
+    ///
+    /// This is how the runtime builds in-process endpoints and how a
+    /// worker *process* builds its endpoint around a freshly-connected
+    /// [`crate::net::TcpTransport`].
+    pub fn from_parts(
         rank: usize,
         size: usize,
-        senders: Vec<Sender<Envelope>>,
-        rx: Receiver<Envelope>,
+        transport: T,
         model: CostModel,
         stats: TrafficStats,
     ) -> Self {
+        assert!(rank < size, "rank {rank} out of range for size {size}");
+        assert_eq!(stats.size(), size, "stats sized for a different cluster");
         Endpoint {
             rank,
             size,
-            senders,
-            rx,
+            transport,
             pending: (0..size).map(|_| VecDeque::new()).collect(),
+            faults: vec![None; size],
+            fabric_closed: false,
             clock: VirtualClock::new(),
             model,
             stats,
@@ -171,6 +241,13 @@ impl Endpoint {
         &self.stats
     }
 
+    /// Direct access to the transport (used by the process runtime to
+    /// exchange shutdown reports outside the metered protocol).
+    #[inline]
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
     /// Total metered compute steps charged so far.
     #[inline]
     pub fn compute_steps(&self) -> u64 {
@@ -189,11 +266,14 @@ impl Endpoint {
     }
 
     /// Non-blocking send of an encodable message to rank `to`.
-    pub fn send<T: Wire>(&mut self, to: usize, msg: &T) {
+    pub fn send<T2: Wire>(&mut self, to: usize, msg: &T2) {
         self.send_bytes(to, to_bytes(msg));
     }
 
-    /// Non-blocking send of pre-encoded bytes to rank `to`.
+    /// Non-blocking send of pre-encoded bytes to rank `to`. A send the
+    /// transport cannot deliver (receiver gone, stream broken) is counted
+    /// as a dropped send in the traffic statistics — the run outcome
+    /// exposes the total, so lost messages are diagnosable.
     pub fn send_bytes(&mut self, to: usize, payload: Bytes) {
         assert!(to < self.size, "destination rank {to} out of range");
         assert_ne!(to, self.rank, "no loopback sends in this protocol");
@@ -206,14 +286,15 @@ impl Endpoint {
             poison: false,
             payload,
         };
-        // Receiver gone ⇒ the run is already unwinding; drop silently.
-        let _ = self.senders[to].send(env);
+        if !self.transport.send(to, env) {
+            self.stats.record_dropped(self.rank, to);
+        }
     }
 
     /// Non-blocking broadcast to every other rank (implemented, like LAM on
     /// switched Ethernet, as point-to-point sends — each counted in the
     /// traffic statistics).
-    pub fn broadcast<T: Wire>(&mut self, msg: &T) {
+    pub fn broadcast<T2: Wire>(&mut self, msg: &T2) {
         let payload = to_bytes(msg);
         for to in 0..self.size {
             if to != self.rank {
@@ -226,9 +307,10 @@ impl Endpoint {
     /// buffering messages from other sources. Merges the arrival time into
     /// this rank's clock and charges the receive overhead.
     ///
-    /// A peer that exits early (dropping its endpoint without `Stop` or
-    /// poison) eventually closes the mesh channel; that surfaces as a
-    /// rank-tagged [`RecvError`] instead of tearing the rank down with a
+    /// A peer whose link dies (process exit, stream error, or a malformed
+    /// frame on a socket transport) surfaces as a rank-tagged
+    /// [`RecvError`] — after any already-buffered messages from it have
+    /// been delivered — instead of hanging or tearing the rank down with a
     /// panic mid-receive.
     ///
     /// # Panics
@@ -240,24 +322,47 @@ impl Endpoint {
             if let Some(env) = self.pending[from].pop_front() {
                 return Ok(self.deliver(env));
             }
-            let env = self.rx.recv().map_err(|_| RecvError {
-                rank: self.rank,
-                from,
-            })?;
-            if env.poison {
-                self.enter_poisoned(env.from);
+            if let Some(fault) = self.faults[from] {
+                return Err(RecvError {
+                    rank: self.rank,
+                    from,
+                    fault,
+                });
             }
-            if env.from == from {
-                return Ok(self.deliver(env));
+            if self.fabric_closed {
+                return Err(RecvError {
+                    rank: self.rank,
+                    from,
+                    fault: LinkFault::Closed,
+                });
             }
-            self.pending[env.from].push_back(env);
+            match self.transport.recv() {
+                TransportEvent::Envelope(env) => {
+                    if env.poison {
+                        self.enter_poisoned(env.from);
+                    }
+                    if env.from == from {
+                        return Ok(self.deliver(env));
+                    }
+                    self.pending[env.from].push_back(env);
+                }
+                TransportEvent::Closed { peer: Some(p) } => {
+                    self.faults[p].get_or_insert(LinkFault::Closed);
+                }
+                TransportEvent::Closed { peer: None } => {
+                    self.fabric_closed = true;
+                }
+                TransportEvent::Malformed { peer, context } => {
+                    self.faults[peer].get_or_insert(LinkFault::Malformed(context));
+                }
+            }
         }
     }
 
-    /// Blocking receive from a specific rank, decoded. Closed-channel and
+    /// Blocking receive from a specific rank, decoded. Dead-link and
     /// malformed-frame failures both arrive as a [`CommError`] value, so
     /// protocol layers can diagnose (or recover) instead of unwinding.
-    pub fn recv_msg<T: Wire>(&mut self, from: usize) -> Result<T, CommError> {
+    pub fn recv_msg<T2: Wire>(&mut self, from: usize) -> Result<T2, CommError> {
         Ok(from_bytes(self.recv_from(from)?)?)
     }
 
@@ -274,19 +379,22 @@ impl Endpoint {
 
     /// Sends the poison marker to every other rank (used by the runtime's
     /// panic handler) unless already poisoned by someone else.
-    pub(crate) fn broadcast_poison(&mut self) {
+    pub fn broadcast_poison(&mut self) {
         if self.poisoned {
             return;
         }
         self.poisoned = true;
         for to in 0..self.size {
             if to != self.rank {
-                let _ = self.senders[to].send(Envelope {
-                    from: self.rank,
-                    arrival: self.clock.now(),
-                    poison: true,
-                    payload: Bytes::new(),
-                });
+                let _ = self.transport.send(
+                    to,
+                    Envelope {
+                        from: self.rank,
+                        arrival: self.clock.now(),
+                        poison: true,
+                        payload: Bytes::new(),
+                    },
+                );
             }
         }
     }
@@ -297,7 +405,7 @@ impl Endpoint {
     }
 }
 
-impl std::fmt::Debug for Endpoint {
+impl<T: Transport> std::fmt::Debug for Endpoint<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -313,24 +421,24 @@ impl std::fmt::Debug for Endpoint {
 mod tests {
     use super::*;
     use crate::codec::to_bytes;
+    use crate::transport::MeshTransport;
     use crossbeam::channel::unbounded;
+
+    fn two_rank_endpoint() -> (Endpoint, crossbeam::channel::Sender<Envelope>) {
+        let stats = TrafficStats::new(2);
+        let (tx0, _rx0) = unbounded::<Envelope>();
+        let (tx1, rx1) = unbounded::<Envelope>();
+        let transport = MeshTransport::from_channels(vec![tx0.clone(), tx0], rx1);
+        let ep = Endpoint::from_parts(1, 2, transport, CostModel::free(), stats);
+        (ep, tx1)
+    }
 
     /// A peer that exits early closes the mesh channel; the receive must
     /// surface a rank-tagged error (and keep delivering already-buffered
     /// envelopes first), not panic.
     #[test]
     fn closed_channel_surfaces_as_recv_error() {
-        let stats = TrafficStats::new(2);
-        let (tx0, _rx0) = unbounded::<Envelope>();
-        let (tx1, rx1) = unbounded::<Envelope>();
-        let mut ep = Endpoint::new(
-            1,
-            2,
-            vec![tx0.clone(), tx0.clone()],
-            rx1,
-            CostModel::free(),
-            stats,
-        );
+        let (mut ep, tx1) = two_rank_endpoint();
         tx1.send(Envelope {
             from: 0,
             arrival: 0.0,
@@ -342,7 +450,14 @@ mod tests {
 
         let first: u32 = ep.recv_msg(0).unwrap();
         assert_eq!(first, 7, "in-flight messages still deliver");
-        assert_eq!(ep.recv_from(0).unwrap_err(), RecvError { rank: 1, from: 0 });
+        assert_eq!(
+            ep.recv_from(0).unwrap_err(),
+            RecvError {
+                rank: 1,
+                from: 0,
+                fault: LinkFault::Closed
+            }
+        );
         match ep.recv_msg::<u32>(0) {
             Err(CommError::Closed(e)) => {
                 assert_eq!((e.rank, e.from), (1, 0));
@@ -350,5 +465,44 @@ mod tests {
             }
             other => panic!("expected a closed-channel error, got {other:?}"),
         }
+    }
+
+    /// A send the transport cannot deliver must land in the dropped-send
+    /// counters, not vanish.
+    #[test]
+    fn undeliverable_send_is_counted_as_dropped() {
+        let stats = TrafficStats::new(2);
+        let (tx0, rx0) = unbounded::<Envelope>();
+        let (tx1, rx1) = unbounded::<Envelope>();
+        drop(rx0); // rank 0's receiver is gone
+        let transport = MeshTransport::from_channels(vec![tx0, tx1], rx1);
+        let mut ep = Endpoint::from_parts(1, 2, transport, CostModel::free(), stats.clone());
+        ep.send(0, &42u64);
+        assert_eq!(stats.total_dropped(), 1);
+        assert_eq!(stats.dropped_between(1, 0), 1);
+        // The attempted bytes are still accounted (they "would have
+        // crossed the network"), which is what makes the drop visible as a
+        // discrepancy rather than a silent hole.
+        assert_eq!(stats.total_bytes(), 8);
+        drop(ep);
+    }
+
+    #[test]
+    fn comm_failure_displays_rank_tagged() {
+        let f = CommFailure {
+            rank: 0,
+            from: 2,
+            expected: "RulesFound".to_owned(),
+            error: CommError::Closed(RecvError {
+                rank: 0,
+                from: 2,
+                fault: LinkFault::Malformed("frame length"),
+            }),
+        };
+        let s = format!("{f}");
+        assert!(s.contains("rank 0"), "{s}");
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("RulesFound"), "{s}");
+        assert!(s.contains("malformed"), "{s}");
     }
 }

@@ -1,17 +1,24 @@
 //! Message-passing cluster substrate with a LogP-style virtual-time model.
 //!
 //! Plays the role LAM/MPI + the 8-CPU Beowulf cluster played in Fonseca et
-//! al. (CLUSTER 2005): ranks are OS threads, links are crossbeam channels,
-//! and every rank carries a deterministic virtual clock so that execution
-//! time, speedup, and communication volume can be *measured* even though
-//! everything runs on one machine (DESIGN.md §3, substitution 1).
+//! al. (CLUSTER 2005). Ranks carry deterministic virtual clocks so that
+//! execution time, speedup, and communication volume can be *measured*
+//! (DESIGN.md §3, substitution 1) — and the transport underneath is
+//! pluggable: ranks can be OS threads joined by channels (the default
+//! simulator) or real OS processes joined by a TCP mesh.
 //!
 //! * [`codec`] — byte-accurate wire encoding (Table 4's MBytes);
 //! * [`vtime`] — the cost model (`t_step`, latency, bandwidth) and clocks;
-//! * [`stats`] — per-link traffic counters;
+//! * [`stats`] — per-link traffic counters (dropped sends included);
 //! * [`comm`] — the paper's §2.2 primitives: non-blocking `send` and
-//!   `broadcast`, blocking `recv_from`;
-//! * [`runtime`] — `run_cluster(p, model, master, worker)`.
+//!   `broadcast`, blocking `recv_from`, on a generic [`Endpoint`];
+//! * [`transport`] — the [`Transport`] seam and the in-process
+//!   [`MeshTransport`];
+//! * [`net`] — the socket-backed [`TcpTransport`]: length-prefixed frames,
+//!   the rendezvous handshake, and the multi-process runtime
+//!   [`run_cluster_tcp`];
+//! * [`runtime`] — the in-process runtime
+//!   `run_cluster(p, model, master, worker)`.
 //!
 //! ```
 //! use p2mdie_cluster::{run_cluster, CostModel};
@@ -34,12 +41,19 @@
 
 pub mod codec;
 pub mod comm;
+pub mod net;
 pub mod runtime;
 pub mod stats;
+pub mod transport;
 pub mod vtime;
 
 pub use codec::{from_bytes, to_bytes, DecodeError, Wire};
-pub use comm::{CommError, Endpoint, Envelope, RecvError};
+pub use comm::{CommError, CommFailure, Endpoint, Envelope, LinkFault, RecvError};
+pub use net::{
+    run_cluster_tcp, worker_connect, Frame, FrameError, FrameReader, MasterRendezvous, NetError,
+    TcpTransport, WorkerReport,
+};
 pub use runtime::{run_cluster, ClusterError, ClusterOutcome};
 pub use stats::TrafficStats;
+pub use transport::{MeshTransport, Transport, TransportEvent};
 pub use vtime::{CostModel, VirtualClock};

@@ -1,0 +1,1294 @@
+//! Socket-backed transport: real OS processes over a localhost-or-LAN TCP
+//! mesh.
+//!
+//! This is the layer that turns the simulator into a system that can run
+//! on an actual cluster, the way the paper ran on LAM/MPI over switched
+//! Ethernet. It is deliberately **std-only** (no async runtime, no socket
+//! crates): `std::net::TcpStream` + one reader thread per link is exactly
+//! enough for the paper's static, deterministic message pattern, and keeps
+//! the offline shim setup untouched.
+//!
+//! # Frame format
+//!
+//! Every link carries length-prefixed frames:
+//!
+//! ```text
+//! [len: u32 le] [kind: u8] [body…]          (len counts kind + body)
+//! ```
+//!
+//! * kind 0, **Envelope** — `from: u32`, `flags: u8` (bit 0 = poison),
+//!   `arrival: f64 le bits`, then the payload bytes. The *virtual arrival
+//!   time* travels in the frame, so a receiving process Lamport-merges the
+//!   exact same clock value the in-process simulation would — multi-process
+//!   runs stay bit-for-bit deterministic.
+//! * kind 1, **Hello** — `magic: u32`, `version: u16`, `rank: u32`,
+//!   `addr: string` (the dialer's own listening address; empty on
+//!   worker-to-worker dials). The rendezvous handshake.
+//! * kind 2, **Roster** — the [`CostModel`] (five `f64`s) plus every
+//!   worker's `(rank, address)`. Master → worker, once, after all workers
+//!   said hello.
+//! * kind 3, **Report** — `vtime: f64`, `steps: u64`, and the sender's
+//!   traffic row. Worker → master, once, at shutdown, *outside* the
+//!   metered protocol (reports are bookkeeping, not algorithm traffic).
+//!
+//! Frames are decoded by the incremental [`FrameReader`], which accepts
+//! arbitrary stream fragmentation — byte-at-a-time, coalesced, split
+//! mid-length or mid-payload — and either yields exactly the frames that
+//! were written or fails cleanly ([`FrameError`], no panic, no partial
+//! frame ever surfaced).
+//!
+//! # Rendezvous handshake
+//!
+//! Connection establishment is master-anchored:
+//!
+//! 1. the master binds a listener and spawns/awaits `p` workers;
+//! 2. each worker binds its *own* listener, dials the master, and sends
+//!    `Hello { rank, addr }`;
+//! 3. once all `p` ranks said hello, the master sends every worker the
+//!    `Roster` (cost model + every worker's address);
+//! 4. worker `k` dials every worker `j < k` (sending a `Hello` so the
+//!    acceptor knows who called) and accepts dials from every `j > k`.
+//!
+//! The result is a full TCP mesh with the same topology as the in-process
+//! channel mesh. Poison/shutdown propagation works across the process
+//! boundary because poison is just an envelope flag: a panicking worker
+//! broadcasts poison frames before exiting, and a worker that dies without
+//! them surfaces as a per-link closure ([`crate::comm::LinkFault`]) at
+//! every peer instead of a hang.
+//!
+//! # When to use which transport
+//!
+//! Use the default in-process mesh ([`crate::run_cluster`]) for
+//! simulations, tests, and all paper-shaped measurements — it is faster
+//! and needs no setup. Use this module (via `run_cluster_tcp` or the core
+//! crate's `ParallelConfig::with_transport`) when worker ranks must be
+//! real OS processes: fault isolation, real clusters, or validating that
+//! nothing silently depends on shared memory.
+
+use crate::comm::{CommFailure, Endpoint, Envelope, Poisoned};
+use crate::runtime::{ClusterError, ClusterOutcome};
+use crate::stats::TrafficStats;
+use crate::transport::{Transport, TransportEvent};
+use crate::vtime::CostModel;
+use bytes::Bytes;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::Child;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Handshake magic ("p2md").
+pub const MAGIC: u32 = 0x7032_6d64;
+/// Wire-protocol version; bumped on any frame-format change.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Upper bound on one frame's body (guards against garbage length
+/// prefixes; a compiled-KB snapshot for the paper-scale datasets is a few
+/// MB, so 1 GiB is generous).
+pub const MAX_FRAME: u32 = 1 << 30;
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+/// A byte stream failed to parse as a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameError {
+    /// What was malformed.
+    pub context: &'static str,
+}
+
+impl FrameError {
+    fn new(context: &'static str) -> Self {
+        FrameError { context }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame: {}", self.context)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Cluster setup over sockets failed (bind, dial, or handshake).
+#[derive(Debug)]
+pub struct NetError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl NetError {
+    fn new(message: impl Into<String>) -> Self {
+        NetError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::new(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames.
+// ---------------------------------------------------------------------------
+
+/// A worker's shutdown report: final clock, metered steps, and its send
+/// row of the traffic matrix (each process only records its own sends, so
+/// the master aggregates these to recover whole-cluster statistics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerReport {
+    /// Final virtual clock.
+    pub vtime: f64,
+    /// Metered compute steps.
+    pub steps: u64,
+    /// `(bytes, messages, dropped)` per destination rank.
+    pub sends: Vec<(u64, u64, u64)>,
+}
+
+/// One decoded frame (see the [module docs](self) for the byte layout).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A protocol message between ranks.
+    Envelope {
+        /// Sender rank.
+        from: u32,
+        /// Poison marker.
+        poison: bool,
+        /// Virtual arrival time at the destination.
+        arrival: f64,
+        /// Encoded payload.
+        payload: Vec<u8>,
+    },
+    /// Rendezvous: "I am rank `rank`, my listener is at `addr`".
+    Hello {
+        /// Handshake magic; must equal [`MAGIC`].
+        magic: u32,
+        /// Protocol version; must equal [`PROTOCOL_VERSION`].
+        version: u16,
+        /// The dialer's rank.
+        rank: u32,
+        /// The dialer's own listening address ("" on worker-worker dials).
+        addr: String,
+    },
+    /// Rendezvous: the master's answer — cost model plus every worker's
+    /// address.
+    Roster {
+        /// The cost model every rank must meter with.
+        model: CostModel,
+        /// `(rank, address)` of every worker, rank-ascending.
+        addrs: Vec<(u32, String)>,
+    },
+    /// A worker's shutdown report.
+    Report(WorkerReport),
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes one frame, length prefix included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = vec![0u8; 4]; // length patched below
+    match frame {
+        Frame::Envelope {
+            from,
+            poison,
+            arrival,
+            payload,
+        } => {
+            out.push(0);
+            put_u32(&mut out, *from);
+            out.push(u8::from(*poison));
+            put_u64(&mut out, arrival.to_bits());
+            out.extend_from_slice(payload);
+        }
+        Frame::Hello {
+            magic,
+            version,
+            rank,
+            addr,
+        } => {
+            out.push(1);
+            put_u32(&mut out, *magic);
+            out.extend_from_slice(&version.to_le_bytes());
+            put_u32(&mut out, *rank);
+            put_str(&mut out, addr);
+        }
+        Frame::Roster { model, addrs } => {
+            out.push(2);
+            for v in [
+                model.sec_per_step,
+                model.latency,
+                model.bytes_per_sec,
+                model.send_overhead,
+                model.recv_overhead,
+            ] {
+                put_u64(&mut out, v.to_bits());
+            }
+            put_u32(&mut out, addrs.len() as u32);
+            for (rank, addr) in addrs {
+                put_u32(&mut out, *rank);
+                put_str(&mut out, addr);
+            }
+        }
+        Frame::Report(rep) => {
+            out.push(3);
+            put_u64(&mut out, rep.vtime.to_bits());
+            put_u64(&mut out, rep.steps);
+            put_u32(&mut out, rep.sends.len() as u32);
+            for (b, m, d) in &rep.sends {
+                put_u64(&mut out, *b);
+                put_u64(&mut out, *m);
+                put_u64(&mut out, *d);
+            }
+        }
+    }
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_le_bytes());
+    out
+}
+
+/// Bounds-checked cursor over one frame body.
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn remaining(&self) -> usize {
+        self.b.len() - self.i
+    }
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        if self.remaining() < 1 {
+            return Err(FrameError::new("truncated body"));
+        }
+        self.i += 1;
+        Ok(self.b[self.i - 1])
+    }
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::new("truncated body"));
+        }
+        let s = &self.b[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+    fn string(&mut self) -> Result<String, FrameError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| FrameError::new("string utf8"))
+    }
+}
+
+/// Decodes one frame body (`kind` byte + payload, no length prefix). The
+/// body must be consumed exactly.
+fn decode_frame_body(body: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cur { b: body, i: 0 };
+    let frame = match c.u8()? {
+        0 => {
+            let from = c.u32()?;
+            let flags = c.u8()?;
+            if flags > 1 {
+                return Err(FrameError::new("envelope flags"));
+            }
+            let arrival = c.f64()?;
+            let payload = c.take(c.remaining())?.to_vec();
+            Frame::Envelope {
+                from,
+                poison: flags == 1,
+                arrival,
+                payload,
+            }
+        }
+        1 => Frame::Hello {
+            magic: c.u32()?,
+            version: c.u16()?,
+            rank: c.u32()?,
+            addr: c.string()?,
+        },
+        2 => {
+            let model = CostModel {
+                sec_per_step: c.f64()?,
+                latency: c.f64()?,
+                bytes_per_sec: c.f64()?,
+                send_overhead: c.f64()?,
+                recv_overhead: c.f64()?,
+            };
+            let n = c.u32()? as usize;
+            if n > c.remaining() {
+                return Err(FrameError::new("roster length"));
+            }
+            let mut addrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rank = c.u32()?;
+                addrs.push((rank, c.string()?));
+            }
+            Frame::Roster { model, addrs }
+        }
+        3 => {
+            let vtime = c.f64()?;
+            let steps = c.u64()?;
+            let n = c.u32()? as usize;
+            if n.saturating_mul(24) > c.remaining() {
+                return Err(FrameError::new("report length"));
+            }
+            let mut sends = Vec::with_capacity(n);
+            for _ in 0..n {
+                sends.push((c.u64()?, c.u64()?, c.u64()?));
+            }
+            Frame::Report(WorkerReport {
+                vtime,
+                steps,
+                sends,
+            })
+        }
+        _ => return Err(FrameError::new("frame kind")),
+    };
+    if c.remaining() != 0 {
+        return Err(FrameError::new("trailing body bytes"));
+    }
+    Ok(frame)
+}
+
+/// Incremental frame decoder over an arbitrarily-fragmented byte stream.
+///
+/// Push chunks in arrival order; [`FrameReader::next_frame`] yields
+/// `Ok(Some(frame))` for every complete frame, `Ok(None)` while a frame is
+/// still incomplete (a truncated stream simply never completes — no
+/// partial frame is surfaced), and `Err` the moment the stream is
+/// unparseable (a bad length prefix or body). After an error the reader is
+/// poisoned: the same error returns forever, because resynchronizing
+/// inside a corrupt stream is not meaningful.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameReader {
+    /// A fresh reader with an empty buffer.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends freshly-read stream bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        if self.start == self.buf.len() && self.start > 0 {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Tries to decode the next complete frame.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_le_bytes(len_bytes);
+        if len == 0 || len > MAX_FRAME {
+            return Err(FrameError::new("frame length"));
+        }
+        let len = len as usize;
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let frame = decode_frame_body(&self.buf[self.start + 4..self.start + 4 + len])?;
+        self.start += 4 + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > (1 << 16) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The TCP transport.
+// ---------------------------------------------------------------------------
+
+enum NetEvent {
+    Transport(TransportEvent),
+    Report { peer: usize, report: WorkerReport },
+}
+
+/// A full-mesh TCP transport for one rank: one duplex stream per peer,
+/// one reader thread per stream feeding a single event queue. Built by
+/// [`MasterRendezvous::accept_workers`] (rank 0) or [`worker_connect`]
+/// (ranks 1..=p).
+pub struct TcpTransport {
+    rank: usize,
+    streams: Vec<Option<TcpStream>>,
+    events: mpsc::Receiver<NetEvent>,
+    reports: Vec<Option<WorkerReport>>,
+}
+
+impl TcpTransport {
+    /// Assembles the transport from established, handshaken streams
+    /// (index = peer rank; `None` for self). Any bytes a handshake read
+    /// over-consumed are carried in the per-stream [`FrameReader`]s.
+    fn assemble(rank: usize, peers: Vec<Option<(TcpStream, FrameReader)>>) -> io::Result<Self> {
+        let size = peers.len();
+        let (tx, rx) = mpsc::channel();
+        let mut streams = Vec::with_capacity(size);
+        for (peer, slot) in peers.into_iter().enumerate() {
+            match slot {
+                None => streams.push(None),
+                Some((stream, reader)) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(None)?;
+                    let read_half = stream.try_clone()?;
+                    let tx = tx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("p2mdie-net-r{rank}-p{peer}"))
+                        .spawn(move || reader_loop(peer, read_half, reader, tx))?;
+                    streams.push(Some(stream));
+                }
+            }
+        }
+        drop(tx); // only reader threads hold senders now
+        Ok(TcpTransport {
+            rank,
+            streams,
+            events: rx,
+            reports: vec![None; size],
+        })
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the mesh (self included).
+    pub fn size(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn write_frame(&mut self, to: usize, bytes: &[u8]) -> bool {
+        let Some(stream) = self.streams[to].as_mut() else {
+            return false;
+        };
+        if stream.write_all(bytes).is_err() {
+            self.streams[to] = None;
+            return false;
+        }
+        true
+    }
+
+    /// Sends the shutdown report to the master (rank 0). Bookkeeping, not
+    /// protocol traffic: not metered, not counted in the statistics.
+    pub fn send_report(&mut self, report: &WorkerReport) -> bool {
+        let bytes = encode_frame(&Frame::Report(report.clone()));
+        self.write_frame(0, &bytes)
+    }
+
+    /// Writes raw bytes to a peer, bypassing the frame codec. A failure-
+    /// injection aid for tests (malformed-frame propagation); never used
+    /// by the protocol itself.
+    pub fn send_raw_bytes(&mut self, to: usize, bytes: &[u8]) -> bool {
+        self.write_frame(to, bytes)
+    }
+
+    /// Master-side: blocks until every worker's shutdown [`WorkerReport`]
+    /// arrived, the links died, or `timeout` elapsed. Returns the reports
+    /// collected so far, indexed by rank.
+    pub fn collect_reports(&mut self, timeout: Duration) -> &[Option<WorkerReport>] {
+        let deadline = Instant::now() + timeout;
+        while (1..self.reports.len()).any(|k| self.reports[k].is_none()) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.events.recv_timeout(deadline - now) {
+                Ok(NetEvent::Report { peer, report }) => self.reports[peer] = Some(report),
+                Ok(NetEvent::Transport(_)) => {} // late envelopes/closures
+                Err(_) => break,                 // timeout or every link gone
+            }
+        }
+        &self.reports
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, to: usize, env: Envelope) -> bool {
+        // Envelope sends are the hot path (a KB snapshot is multi-MB), so
+        // the frame is assembled with exactly one payload copy instead of
+        // going through the owned `Frame` (whose construction would copy
+        // the payload a second time). Layout must match `encode_frame`.
+        let payload = env.payload.as_slice();
+        let body_len = 1 + 4 + 1 + 8 + payload.len();
+        let mut out = Vec::with_capacity(4 + body_len);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.push(0); // kind: Envelope
+        put_u32(&mut out, env.from as u32);
+        out.push(u8::from(env.poison));
+        put_u64(&mut out, env.arrival.to_bits());
+        out.extend_from_slice(payload);
+        self.write_frame(to, &out)
+    }
+
+    fn recv(&mut self) -> TransportEvent {
+        loop {
+            match self.events.recv() {
+                Ok(NetEvent::Transport(e)) => return e,
+                Ok(NetEvent::Report { peer, report }) => self.reports[peer] = Some(report),
+                Err(_) => return TransportEvent::Closed { peer: None },
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Unblock the reader threads; they exit on the resulting EOF/error.
+        for s in self.streams.iter().flatten() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// One link's reader: drain frames, forward envelopes (and stash reports),
+/// surface closure / malformed bytes as events, exit.
+fn reader_loop(
+    peer: usize,
+    mut stream: TcpStream,
+    mut reader: FrameReader,
+    tx: mpsc::Sender<NetEvent>,
+) {
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        // Drain every complete frame before reading more bytes.
+        loop {
+            match reader.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Frame::Envelope {
+                    from,
+                    poison,
+                    arrival,
+                    payload,
+                })) => {
+                    if from as usize != peer {
+                        let _ = tx.send(NetEvent::Transport(TransportEvent::Malformed {
+                            peer,
+                            context: "envelope source rank",
+                        }));
+                        return;
+                    }
+                    let env = Envelope {
+                        from: from as usize,
+                        arrival,
+                        poison,
+                        payload: Bytes::from(payload),
+                    };
+                    if tx
+                        .send(NetEvent::Transport(TransportEvent::Envelope(env)))
+                        .is_err()
+                    {
+                        return; // receiver gone; nothing left to do
+                    }
+                }
+                Ok(Some(Frame::Report(report))) => {
+                    if tx.send(NetEvent::Report { peer, report }).is_err() {
+                        return;
+                    }
+                }
+                Ok(Some(Frame::Hello { .. } | Frame::Roster { .. })) => {
+                    let _ = tx.send(NetEvent::Transport(TransportEvent::Malformed {
+                        peer,
+                        context: "handshake frame after handshake",
+                    }));
+                    return;
+                }
+                Err(e) => {
+                    let _ = tx.send(NetEvent::Transport(TransportEvent::Malformed {
+                        peer,
+                        context: e.context,
+                    }));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                let _ = tx.send(NetEvent::Transport(TransportEvent::Closed {
+                    peer: Some(peer),
+                }));
+                return;
+            }
+            Ok(n) => reader.push(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                let _ = tx.send(NetEvent::Transport(TransportEvent::Closed {
+                    peer: Some(peer),
+                }));
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous.
+// ---------------------------------------------------------------------------
+
+/// Reads exactly one frame from `stream`, blocking up to `deadline`.
+/// Over-read bytes stay buffered in `reader` (they may already contain the
+/// peer's next frames — the caller must carry the reader forward).
+fn read_one_frame(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    deadline: Instant,
+    what: &str,
+) -> Result<Frame, NetError> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match reader.next_frame() {
+            Ok(Some(f)) => return Ok(f),
+            Ok(None) => {}
+            Err(e) => return Err(NetError::new(format!("{what}: {e}"))),
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(NetError::new(format!("{what}: handshake timed out")));
+        }
+        stream.set_read_timeout(Some(deadline - now))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(NetError::new(format!("{what}: peer closed the connection"))),
+            Ok(n) => reader.push(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(NetError::new(format!("{what}: handshake timed out")))
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Accepts one connection, blocking up to `deadline` (the listener is
+/// polled non-blocking so a dead dialer cannot hang the handshake).
+fn accept_one(
+    listener: &TcpListener,
+    deadline: Instant,
+    what: &str,
+) -> Result<TcpStream, NetError> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(NetError::new(format!("{what}: accept timed out")));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+fn check_hello(frame: Frame, workers: usize, what: &str) -> Result<(usize, String), NetError> {
+    let Frame::Hello {
+        magic,
+        version,
+        rank,
+        addr,
+    } = frame
+    else {
+        return Err(NetError::new(format!("{what}: expected a Hello frame")));
+    };
+    if magic != MAGIC {
+        return Err(NetError::new(format!("{what}: bad handshake magic")));
+    }
+    if version != PROTOCOL_VERSION {
+        return Err(NetError::new(format!(
+            "{what}: protocol version {version} != {PROTOCOL_VERSION}"
+        )));
+    }
+    let rank = rank as usize;
+    if rank == 0 || rank > workers {
+        return Err(NetError::new(format!("{what}: rank {rank} out of range")));
+    }
+    Ok((rank, addr))
+}
+
+/// The master side of the rendezvous: bind, then
+/// [`accept_workers`](MasterRendezvous::accept_workers).
+pub struct MasterRendezvous {
+    listener: TcpListener,
+}
+
+impl MasterRendezvous {
+    /// Binds the master listener (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> Result<Self, NetError> {
+        Ok(MasterRendezvous {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address workers must dial.
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs the master's half of the handshake: accept `workers` hellos,
+    /// send every worker the roster, assemble the transport (rank 0).
+    pub fn accept_workers(
+        self,
+        workers: usize,
+        model: CostModel,
+        timeout: Duration,
+    ) -> Result<TcpTransport, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut slots: Vec<Option<(TcpStream, FrameReader, String)>> = Vec::new();
+        slots.resize_with(workers + 1, || None);
+        for _ in 0..workers {
+            let mut stream = accept_one(&self.listener, deadline, "master rendezvous")?;
+            let mut reader = FrameReader::new();
+            let hello = read_one_frame(&mut stream, &mut reader, deadline, "master rendezvous")?;
+            let (rank, addr) = check_hello(hello, workers, "master rendezvous")?;
+            if slots[rank].is_some() {
+                return Err(NetError::new(format!(
+                    "master rendezvous: rank {rank} connected twice"
+                )));
+            }
+            if addr.is_empty() {
+                return Err(NetError::new(format!(
+                    "master rendezvous: rank {rank} sent no listener address"
+                )));
+            }
+            slots[rank] = Some((stream, reader, addr));
+        }
+        let addrs: Vec<(u32, String)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(r, s)| s.as_ref().map(|(_, _, a)| (r as u32, a.clone())))
+            .collect();
+        let roster = encode_frame(&Frame::Roster {
+            model,
+            addrs: addrs.clone(),
+        });
+        let mut peers: Vec<Option<(TcpStream, FrameReader)>> = Vec::with_capacity(workers + 1);
+        peers.push(None); // self (rank 0)
+        for slot in slots.into_iter().skip(1) {
+            let (mut stream, reader, _) = slot.expect("all ranks accounted for");
+            stream.write_all(&roster)?;
+            peers.push(Some((stream, reader)));
+        }
+        Ok(TcpTransport::assemble(0, peers)?)
+    }
+}
+
+/// The worker side of the rendezvous: dial the master, announce the rank,
+/// receive the roster, complete the worker-to-worker mesh. Returns the
+/// transport plus the [`CostModel`] the master dictated (the worker's
+/// endpoint must meter with exactly the master's model, or virtual time
+/// diverges).
+pub fn worker_connect(
+    master_addr: &str,
+    rank: usize,
+    timeout: Duration,
+) -> Result<(TcpTransport, CostModel), NetError> {
+    assert!(rank >= 1, "worker ranks start at 1");
+    let deadline = Instant::now() + timeout;
+
+    // Dial the master first: the local address of that stream names the
+    // interface that reaches the cluster, so binding our own listener
+    // there (instead of hard-coding loopback) advertises an address other
+    // hosts' workers can actually dial.
+    let master_sock = resolve(master_addr)?;
+    let mut master = dial(master_sock, deadline, "worker rendezvous")?;
+    let listener = TcpListener::bind((master.local_addr()?.ip(), 0))?;
+    let my_addr = listener.local_addr()?.to_string();
+    master.write_all(&encode_frame(&Frame::Hello {
+        magic: MAGIC,
+        version: PROTOCOL_VERSION,
+        rank: rank as u32,
+        addr: my_addr,
+    }))?;
+    let mut master_reader = FrameReader::new();
+    let roster = read_one_frame(
+        &mut master,
+        &mut master_reader,
+        deadline,
+        "worker rendezvous",
+    )?;
+    let Frame::Roster { model, addrs } = roster else {
+        return Err(NetError::new("worker rendezvous: expected a Roster frame"));
+    };
+    let workers = addrs.len();
+    if rank > workers {
+        return Err(NetError::new(format!(
+            "worker rendezvous: rank {rank} not in a {workers}-worker roster"
+        )));
+    }
+
+    let mut peers: Vec<Option<(TcpStream, FrameReader)>> = Vec::new();
+    peers.resize_with(workers + 1, || None);
+    peers[0] = Some((master, master_reader));
+
+    // Dial every lower-ranked worker; they accept and read our hello.
+    for (peer, addr) in &addrs {
+        let peer = *peer as usize;
+        if peer >= rank {
+            continue;
+        }
+        let sock = resolve(addr)?;
+        let mut stream = dial(sock, deadline, "worker mesh")?;
+        stream.write_all(&encode_frame(&Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            rank: rank as u32,
+            addr: String::new(),
+        }))?;
+        peers[peer] = Some((stream, FrameReader::new()));
+    }
+
+    // Accept every higher-ranked worker's dial.
+    for _ in rank + 1..=workers {
+        let mut stream = accept_one(&listener, deadline, "worker mesh")?;
+        let mut reader = FrameReader::new();
+        let hello = read_one_frame(&mut stream, &mut reader, deadline, "worker mesh")?;
+        let (peer, _) = check_hello(hello, workers, "worker mesh")?;
+        if peer <= rank {
+            return Err(NetError::new(format!(
+                "worker mesh: unexpected dial from rank {peer}"
+            )));
+        }
+        if peers[peer].is_some() {
+            return Err(NetError::new(format!(
+                "worker mesh: rank {peer} dialed twice"
+            )));
+        }
+        peers[peer] = Some((stream, reader));
+    }
+
+    Ok((TcpTransport::assemble(rank, peers)?, model))
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, NetError> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| NetError::new(format!("address `{addr}` did not resolve")))
+}
+
+/// Dials with retries until `deadline` (the peer's listener may not be up
+/// yet when processes race through startup).
+fn dial(addr: SocketAddr, deadline: Instant, what: &str) -> Result<TcpStream, NetError> {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(NetError::new(format!("{what}: dialing {addr} timed out")));
+        }
+        match TcpStream::connect_timeout(&addr, deadline - now) {
+            Ok(s) => return Ok(s),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionRefused | io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(NetError::new(format!("{what}: dialing {addr}: {e}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The multi-process runtime.
+// ---------------------------------------------------------------------------
+
+/// Tracks the spawned worker processes; kills whatever is still alive on
+/// drop so a failed run never leaks children.
+struct ChildSet {
+    children: Vec<(usize, Child, Option<std::process::ExitStatus>)>,
+}
+
+impl ChildSet {
+    fn new() -> Self {
+        ChildSet {
+            children: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, rank: usize, child: Child) {
+        self.children.push((rank, child, None));
+    }
+
+    /// Polls until every child exited or `timeout` elapsed; stragglers are
+    /// killed and reaped.
+    fn wait_all(&mut self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut all_done = true;
+            for (_, child, status) in self.children.iter_mut() {
+                if status.is_none() {
+                    match child.try_wait() {
+                        Ok(Some(s)) => *status = Some(s),
+                        _ => all_done = false,
+                    }
+                }
+            }
+            if all_done || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for (_, child, status) in self.children.iter_mut() {
+            if status.is_none() {
+                let _ = child.kill();
+                if let Ok(s) = child.wait() {
+                    *status = Some(s);
+                }
+            }
+        }
+    }
+
+    /// Exit status + captured stderr for one rank (call after `wait_all`).
+    fn diagnose(&mut self, rank: usize, fallback: &str) -> String {
+        for (r, child, status) in self.children.iter_mut() {
+            if *r != rank {
+                continue;
+            }
+            let mut msg = match status {
+                Some(s) => format!("process exited with {s}"),
+                None => fallback.to_owned(),
+            };
+            if let Some(mut err) = child.stderr.take() {
+                let mut text = String::new();
+                if err.read_to_string(&mut text).is_ok() && !text.trim().is_empty() {
+                    msg.push_str("; stderr: ");
+                    msg.push_str(text.trim());
+                }
+            }
+            return msg;
+        }
+        fallback.to_owned()
+    }
+
+    /// The lowest-ranked child that exited abnormally, if any (call after
+    /// `wait_all`).
+    fn first_failure(&mut self) -> Option<usize> {
+        let mut failed: Vec<usize> = self
+            .children
+            .iter()
+            .filter(|(_, _, s)| s.map(|s| !s.success()).unwrap_or(true))
+            .map(|(r, _, _)| *r)
+            .collect();
+        failed.sort_unstable();
+        failed.first().copied()
+    }
+}
+
+impl Drop for ChildSet {
+    fn drop(&mut self) {
+        for (_, child, status) in self.children.iter_mut() {
+            if status.is_none() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Runs a master–worker cluster where every worker is a real OS process
+/// connected over localhost TCP.
+///
+/// The caller provides `spawn`, which must launch the worker process for
+/// a given rank, pointing it at the master's rendezvous address (the core
+/// crate's `p2mdie-worker` binary is the standard worker; pipe its stderr
+/// if you want it quoted in failure diagnoses). Everything else mirrors
+/// [`crate::run_cluster`]: the master closure runs on the calling thread,
+/// worker failures surface as rank-tagged [`ClusterError`]s instead of
+/// hangs, and the returned [`ClusterOutcome`] carries whole-cluster
+/// statistics (worker processes report their clocks, steps, and traffic
+/// rows in a shutdown frame).
+pub fn run_cluster_tcp<R>(
+    workers: usize,
+    model: CostModel,
+    timeout: Duration,
+    mut spawn: impl FnMut(usize, SocketAddr) -> io::Result<Child>,
+    master: impl FnOnce(&mut Endpoint<TcpTransport>) -> R,
+) -> Result<ClusterOutcome<R>, ClusterError> {
+    assert!(workers >= 1, "need at least one worker");
+    let net_err = |e: NetError| ClusterError::Net { message: e.message };
+
+    let rendezvous = MasterRendezvous::bind("127.0.0.1:0").map_err(net_err)?;
+    let addr = rendezvous.local_addr().map_err(net_err)?;
+
+    let mut children = ChildSet::new();
+    for rank in 1..=workers {
+        match spawn(rank, addr) {
+            Ok(child) => children.push(rank, child),
+            Err(e) => {
+                return Err(ClusterError::Net {
+                    message: format!("spawning worker rank {rank}: {e}"),
+                })
+            }
+        }
+    }
+
+    let transport = rendezvous
+        .accept_workers(workers, model, timeout)
+        .map_err(net_err)?;
+    let size = workers + 1;
+    let stats = TrafficStats::new(size);
+    let mut ep = Endpoint::from_parts(0, size, transport, model, stats.clone());
+
+    let master_result = catch_unwind(AssertUnwindSafe(|| master(&mut ep)));
+    let result = match master_result {
+        Ok(r) => r,
+        Err(payload) => {
+            // Wake every worker that is still blocked, then diagnose.
+            ep.broadcast_poison();
+            drop(ep);
+            children.wait_all(timeout);
+            if let Some(p) = payload.downcast_ref::<Poisoned>() {
+                return Err(ClusterError::WorkerPanicked {
+                    rank: p.origin,
+                    message: children.diagnose(p.origin, "poisoned the run"),
+                });
+            }
+            if let Some(cf) = payload.downcast_ref::<CommFailure>() {
+                let mut message = cf.to_string();
+                let detail = children.diagnose(cf.from, "");
+                if !detail.is_empty() {
+                    message.push_str(" [");
+                    message.push_str(&detail);
+                    message.push(']');
+                }
+                return Err(ClusterError::Comm {
+                    rank: cf.from,
+                    message,
+                });
+            }
+            // The master's own bug: match the in-process runtime and keep
+            // unwinding (children are killed by the ChildSet drop).
+            std::panic::resume_unwind(payload);
+        }
+    };
+
+    // Gather the workers' shutdown reports and reap the processes.
+    let reports = ep.transport_mut().collect_reports(timeout).to_vec();
+    children.wait_all(timeout);
+    let mut worker_vtimes = Vec::with_capacity(workers);
+    let mut worker_steps = Vec::with_capacity(workers);
+    for (rank, report) in reports.iter().enumerate().take(workers + 1).skip(1) {
+        match report {
+            Some(rep) => {
+                stats.absorb_row(rank, &rep.sends);
+                worker_vtimes.push(rep.vtime);
+                worker_steps.push(rep.steps);
+            }
+            None => {
+                let message = children.diagnose(rank, "exited without a shutdown report");
+                return Err(ClusterError::WorkerProcess { rank, message });
+            }
+        }
+    }
+    if let Some(rank) = children.first_failure() {
+        let message = children.diagnose(rank, "did not exit");
+        return Err(ClusterError::WorkerProcess { rank, message });
+    }
+
+    Ok(ClusterOutcome {
+        result,
+        master_vtime: ep.now(),
+        worker_vtimes,
+        master_steps: ep.compute_steps(),
+        worker_steps,
+        dropped_sends: stats.total_dropped(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_frame(from: u32, payload: &[u8]) -> Frame {
+        Frame::Envelope {
+            from,
+            poison: false,
+            arrival: 1.25,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = vec![
+            env_frame(3, b"hello"),
+            Frame::Envelope {
+                from: 0,
+                poison: true,
+                arrival: 0.0,
+                payload: vec![],
+            },
+            Frame::Hello {
+                magic: MAGIC,
+                version: PROTOCOL_VERSION,
+                rank: 2,
+                addr: "127.0.0.1:9999".to_owned(),
+            },
+            Frame::Roster {
+                model: CostModel::beowulf_2005(),
+                addrs: vec![(1, "a:1".to_owned()), (2, "b:2".to_owned())],
+            },
+            Frame::Report(WorkerReport {
+                vtime: 12.5,
+                steps: 99,
+                sends: vec![(1, 2, 0), (0, 0, 3)],
+            }),
+        ];
+        let mut reader = FrameReader::new();
+        for f in &frames {
+            reader.push(&encode_frame(f));
+        }
+        for f in &frames {
+            assert_eq!(reader.next_frame().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(reader.next_frame().unwrap(), None);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_decodes_identically() {
+        let frames = vec![env_frame(1, b"abc"), env_frame(2, &[0u8; 100])];
+        let stream: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for b in stream {
+            reader.push(&[b]);
+            while let Some(f) = reader.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn truncated_stream_never_surfaces_a_partial_frame() {
+        let bytes = encode_frame(&env_frame(1, b"payload"));
+        for cut in 0..bytes.len() {
+            let mut reader = FrameReader::new();
+            reader.push(&bytes[..cut]);
+            assert_eq!(
+                reader.next_frame().unwrap(),
+                None,
+                "cut at {cut} must stay pending"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_length_prefix_fails_cleanly() {
+        let mut reader = FrameReader::new();
+        reader.push(&0xFFFF_FFFFu32.to_le_bytes());
+        let err = reader.next_frame().unwrap_err();
+        assert_eq!(err.context, "frame length");
+        // Poisoned: the error sticks.
+        reader.push(b"more");
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn bad_kind_and_trailing_bytes_are_rejected() {
+        let mut raw = encode_frame(&env_frame(1, b"x"));
+        raw[4] = 200; // kind byte
+        let mut reader = FrameReader::new();
+        reader.push(&raw);
+        assert_eq!(reader.next_frame().unwrap_err().context, "frame kind");
+
+        // A Hello whose body claims a longer string than the frame holds.
+        let mut raw = encode_frame(&Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            rank: 1,
+            addr: "abcdef".to_owned(),
+        });
+        let last = raw.len() - 1;
+        raw.truncate(last); // shorten body…
+        let new_len = (raw.len() - 4) as u32;
+        raw[..4].copy_from_slice(&new_len.to_le_bytes()); // …but fix the prefix
+        let mut reader = FrameReader::new();
+        reader.push(&raw);
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn arrival_time_is_bit_exact() {
+        let arrival = 1_234.567_890_123_456_7;
+        let bytes = encode_frame(&Frame::Envelope {
+            from: 1,
+            poison: false,
+            arrival,
+            payload: vec![],
+        });
+        let mut reader = FrameReader::new();
+        reader.push(&bytes);
+        let Some(Frame::Envelope { arrival: got, .. }) = reader.next_frame().unwrap() else {
+            panic!("expected envelope");
+        };
+        assert_eq!(got.to_bits(), arrival.to_bits());
+    }
+}

@@ -1,10 +1,16 @@
 //! The cluster harness: spawn `p` worker threads plus the master, wire up
 //! the channel mesh, run both closures, and collect timing + traffic.
+//!
+//! This is the *in-process* runtime — ranks are threads, links are
+//! channels, and it is the default because it is the fastest way to run a
+//! whole simulated cluster. The multi-process runtime over real sockets
+//! lives in [`crate::net`] (`run_cluster_tcp`); both produce the same
+//! [`ClusterOutcome`].
 
-use crate::comm::{Endpoint, Envelope, Poisoned};
+use crate::comm::{CommFailure, Endpoint, Poisoned};
 use crate::stats::TrafficStats;
+use crate::transport::MeshTransport;
 use crate::vtime::CostModel;
-use crossbeam::channel::unbounded;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Everything a finished cluster run reports.
@@ -22,6 +28,10 @@ pub struct ClusterOutcome<R> {
     pub worker_steps: Vec<u64>,
     /// Per-link traffic counters.
     pub stats: TrafficStats,
+    /// Sends the transport could not deliver (receiver already gone). A
+    /// clean run has zero; a non-zero count on a run that "succeeded" is a
+    /// lost-message bug surfaced instead of swallowed.
+    pub dropped_sends: u64,
 }
 
 /// A cluster run failed.
@@ -35,6 +45,27 @@ pub enum ClusterError {
         /// Stringified panic payload.
         message: String,
     },
+    /// The master's protocol failed receiving from a peer (link died or a
+    /// frame would not parse) — the multi-process analogue of a worker
+    /// vanishing.
+    Comm {
+        /// The peer rank at fault.
+        rank: usize,
+        /// Rank-tagged diagnosis.
+        message: String,
+    },
+    /// Cluster setup failed (bind, spawn, or rendezvous handshake).
+    Net {
+        /// What went wrong.
+        message: String,
+    },
+    /// A worker OS process died or exited abnormally.
+    WorkerProcess {
+        /// The worker rank.
+        rank: usize,
+        /// Exit status / stderr diagnosis.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -43,15 +74,25 @@ impl std::fmt::Display for ClusterError {
             ClusterError::WorkerPanicked { rank, message } => {
                 write!(f, "worker rank {rank} panicked: {message}")
             }
+            ClusterError::Comm { rank, message } => {
+                write!(f, "communication with rank {rank} failed: {message}")
+            }
+            ClusterError::Net { message } => write!(f, "cluster setup failed: {message}"),
+            ClusterError::WorkerProcess { rank, message } => {
+                write!(f, "worker process rank {rank} failed: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
 
-fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     if let Some(p) = e.downcast_ref::<Poisoned>() {
         return format!("poisoned by rank {}", p.origin);
+    }
+    if let Some(cf) = e.downcast_ref::<CommFailure>() {
+        return cf.to_string();
     }
     if let Some(s) = e.downcast_ref::<&str>() {
         return (*s).to_owned();
@@ -78,17 +119,10 @@ pub fn run_cluster<R: Send>(
     let size = workers + 1;
     let stats = TrafficStats::new(size);
 
-    let mut txs = Vec::with_capacity(size);
-    let mut rxs = Vec::with_capacity(size);
-    for _ in 0..size {
-        let (tx, rx) = unbounded::<Envelope>();
-        txs.push(tx);
-        rxs.push(rx);
-    }
-    let mut endpoints: Vec<Endpoint> = rxs
+    let mut endpoints: Vec<Endpoint> = MeshTransport::mesh(size)
         .into_iter()
         .enumerate()
-        .map(|(rank, rx)| Endpoint::new(rank, size, txs.clone(), rx, model, stats.clone()))
+        .map(|(rank, t)| Endpoint::from_parts(rank, size, t, model, stats.clone()))
         .collect();
 
     // Worker thread body: run, catch panics, poison on failure, report
@@ -147,6 +181,7 @@ pub fn run_cluster<R: Send>(
         worker_vtimes: reports.iter().map(|r| r.0).collect(),
         master_steps: master_ep.compute_steps(),
         worker_steps: reports.iter().map(|r| r.1).collect(),
+        dropped_sends: stats.total_dropped(),
         stats,
     })
 }
@@ -183,6 +218,7 @@ mod tests {
         assert!(out.master_vtime >= 1.0);
         assert_eq!(out.stats.total_messages(), 4);
         assert_eq!(out.stats.total_bytes(), 4 * 8);
+        assert_eq!(out.dropped_sends, 0, "clean runs drop nothing");
     }
 
     #[test]
@@ -282,6 +318,7 @@ mod tests {
                 assert_eq!(rank, 2);
                 assert!(message.contains("injected failure"));
             }
+            other => panic!("expected WorkerPanicked, got {other}"),
         }
     }
 

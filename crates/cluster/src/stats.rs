@@ -13,6 +13,7 @@ pub struct TrafficStats {
     size: usize,
     bytes: Arc<Vec<AtomicU64>>,
     messages: Arc<Vec<AtomicU64>>,
+    dropped: Arc<Vec<AtomicU64>>,
 }
 
 impl TrafficStats {
@@ -22,6 +23,7 @@ impl TrafficStats {
             size,
             bytes: Arc::new((0..size * size).map(|_| AtomicU64::new(0)).collect()),
             messages: Arc::new((0..size * size).map(|_| AtomicU64::new(0)).collect()),
+            dropped: Arc::new((0..size * size).map(|_| AtomicU64::new(0)).collect()),
         }
     }
 
@@ -43,9 +45,24 @@ impl TrafficStats {
         self.messages[i].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one *dropped* send on the `(from, to)` link: the envelope
+    /// was built and accounted, but the transport could not hand it off
+    /// (the receiver was gone or the stream broke). A non-zero dropped
+    /// count on a run that did not fail is a lost-message bug — it is
+    /// surfaced in the run outcome precisely so it cannot stay invisible.
+    pub fn record_dropped(&self, from: usize, to: usize) {
+        let i = self.idx(from, to);
+        self.dropped[i].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Bytes sent on a specific link.
     pub fn bytes_between(&self, from: usize, to: usize) -> u64 {
         self.bytes[self.idx(from, to)].load(Ordering::Relaxed)
+    }
+
+    /// Dropped sends on a specific link.
+    pub fn dropped_between(&self, from: usize, to: usize) -> u64 {
+        self.dropped[self.idx(from, to)].load(Ordering::Relaxed)
     }
 
     /// Messages sent on a specific link.
@@ -71,11 +88,47 @@ impl TrafficStats {
         self.total_bytes() as f64 / 1.0e6
     }
 
+    /// Total dropped sends over all links.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
     /// A plain snapshot of the byte matrix (`[from][to]`).
     pub fn byte_matrix(&self) -> Vec<Vec<u64>> {
         (0..self.size)
             .map(|f| (0..self.size).map(|t| self.bytes_between(f, t)).collect())
             .collect()
+    }
+
+    /// One rank's send row as plain `(bytes, messages, dropped)` triples —
+    /// what a worker *process* reports back to the master at shutdown so
+    /// the master's statistics cover the whole cluster, not just its own
+    /// links (each process only ever records its own sends).
+    pub fn send_row(&self, from: usize) -> Vec<(u64, u64, u64)> {
+        (0..self.size)
+            .map(|to| {
+                let i = self.idx(from, to);
+                (
+                    self.bytes[i].load(Ordering::Relaxed),
+                    self.messages[i].load(Ordering::Relaxed),
+                    self.dropped[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Merges a send row reported by another process (see [`send_row`];
+    /// counters add, so merging the same row twice double-counts).
+    ///
+    /// [`send_row`]: TrafficStats::send_row
+    pub fn absorb_row(&self, from: usize, row: &[(u64, u64, u64)]) {
+        assert!(row.len() <= self.size, "row wider than the cluster");
+        for (to, (b, m, d)) in row.iter().enumerate() {
+            let i = self.idx(from, to);
+            self.bytes[i].fetch_add(*b, Ordering::Relaxed);
+            self.messages[i].fetch_add(*m, Ordering::Relaxed);
+            self.dropped[i].fetch_add(*d, Ordering::Relaxed);
+        }
     }
 }
 
@@ -122,5 +175,34 @@ mod tests {
     #[should_panic(expected = "rank out of range")]
     fn out_of_range_rank_panics() {
         TrafficStats::new(2).record(0, 2, 1);
+    }
+
+    #[test]
+    fn dropped_sends_are_counted_separately() {
+        let s = TrafficStats::new(2);
+        s.record(0, 1, 10);
+        s.record_dropped(0, 1);
+        assert_eq!(s.dropped_between(0, 1), 1);
+        assert_eq!(s.dropped_between(1, 0), 0);
+        assert_eq!(s.total_dropped(), 1);
+        // Dropped sends do not perturb the byte/message counters.
+        assert_eq!(s.total_bytes(), 10);
+        assert_eq!(s.total_messages(), 1);
+    }
+
+    #[test]
+    fn rows_roundtrip_across_processes() {
+        let worker = TrafficStats::new(3);
+        worker.record(1, 0, 100);
+        worker.record(1, 2, 7);
+        worker.record_dropped(1, 2);
+        let master = TrafficStats::new(3);
+        master.record(0, 1, 40);
+        master.absorb_row(1, &worker.send_row(1));
+        assert_eq!(master.bytes_between(1, 0), 100);
+        assert_eq!(master.bytes_between(1, 2), 7);
+        assert_eq!(master.dropped_between(1, 2), 1);
+        assert_eq!(master.total_bytes(), 147);
+        assert_eq!(master.total_messages(), 3);
     }
 }

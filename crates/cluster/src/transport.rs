@@ -1,0 +1,157 @@
+//! The pluggable transport layer underneath [`crate::comm::Endpoint`].
+//!
+//! The paper's algorithm ran on LAM/MPI over a Beowulf cluster; this
+//! reproduction started with ranks as threads and links as channels. The
+//! [`Transport`] trait is the seam between those two worlds: everything
+//! *above* it — virtual-clock metering, per-link traffic statistics, the
+//! `recv_from` source buffering that makes runs deterministic — lives in
+//! `Endpoint` and is transport-agnostic; everything *below* it is "move
+//! these [`Envelope`]s between ranks".
+//!
+//! Two implementations ship:
+//!
+//! * [`MeshTransport`] — the in-process mesh: every rank is an OS thread
+//!   and every link an unbounded channel. This is the default (and what
+//!   [`crate::run_cluster`] uses), because it is fastest, needs no setup,
+//!   and keeps whole cluster simulations in one address space. All the
+//!   paper-shaped measurements (Table 4 traffic, `master_vtime`) are taken
+//!   on this transport.
+//! * [`crate::net::TcpTransport`] — real sockets: every rank is an OS
+//!   *process* and every link a `TcpStream` carrying length-prefixed
+//!   frames (see [`crate::net`] for the frame format and the rendezvous
+//!   handshake). Use it when workers must actually live in separate
+//!   processes — on one machine for fault isolation, or on a real cluster.
+//!
+//! Both transports carry the same [`Envelope`]: the payload bytes plus the
+//! sender rank, the poison flag, and the *virtual arrival time* — so a
+//! multi-process run Lamport-merges exactly the same clock values as the
+//! in-process simulation and stays bit-for-bit deterministic.
+
+use crate::comm::Envelope;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// What a blocking [`Transport::recv`] can yield besides a message.
+#[derive(Debug)]
+pub enum TransportEvent {
+    /// A message arrived.
+    Envelope(Envelope),
+    /// A link closed. `Some(rank)` names the peer whose link died (a
+    /// process exit or stream error); `None` means the whole fabric is
+    /// gone and no message will ever arrive again (the in-process mesh can
+    /// only detect this aggregate form).
+    Closed {
+        /// The dead peer, when the transport can tell.
+        peer: Option<usize>,
+    },
+    /// A peer delivered bytes that do not parse as a frame. The link is
+    /// dead from this point on (resynchronizing inside a corrupt byte
+    /// stream is not attempted).
+    Malformed {
+        /// The offending peer.
+        peer: usize,
+        /// What failed to parse.
+        context: &'static str,
+    },
+}
+
+/// Moves [`Envelope`]s between ranks. See the [module docs](self) for the
+/// contract split between `Endpoint` and the transport.
+pub trait Transport {
+    /// Best-effort, non-blocking send to rank `to`. Returns `false` when
+    /// the envelope could not be handed off (peer gone, stream broken);
+    /// the caller accounts such losses as dropped sends.
+    fn send(&mut self, to: usize, env: Envelope) -> bool;
+
+    /// Blocks until the next event: a message from any peer, or a link
+    /// failure. Ordering per peer is FIFO; ordering across peers is
+    /// arrival order.
+    fn recv(&mut self) -> TransportEvent;
+}
+
+/// The in-process transport: one unbounded channel per rank, every rank
+/// holding a sender to every other. This is exactly the substrate the
+/// simulator has always run on, now behind the [`Transport`] seam.
+pub struct MeshTransport {
+    senders: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+}
+
+impl MeshTransport {
+    /// Assembles one rank's transport from raw channel halves (tests and
+    /// custom topologies; [`MeshTransport::mesh`] is the usual entry).
+    pub fn from_channels(senders: Vec<Sender<Envelope>>, rx: Receiver<Envelope>) -> MeshTransport {
+        MeshTransport { senders, rx }
+    }
+
+    /// Builds the full `size`-rank mesh, returning one transport per rank
+    /// (index = rank).
+    pub fn mesh(size: usize) -> Vec<MeshTransport> {
+        let mut txs = Vec::with_capacity(size);
+        let mut rxs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .map(|rx| MeshTransport {
+                senders: txs.clone(),
+                rx,
+            })
+            .collect()
+    }
+}
+
+impl Transport for MeshTransport {
+    fn send(&mut self, to: usize, env: Envelope) -> bool {
+        self.senders[to].send(env).is_ok()
+    }
+
+    fn recv(&mut self) -> TransportEvent {
+        match self.rx.recv() {
+            Ok(env) => TransportEvent::Envelope(env),
+            // The mesh shares one channel per receiver, so closure is only
+            // observable in aggregate: every peer's sender is gone.
+            Err(_) => TransportEvent::Closed { peer: None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn env(from: usize) -> Envelope {
+        Envelope {
+            from,
+            arrival: 0.0,
+            poison: false,
+            payload: Bytes::from(b"x".as_slice()),
+        }
+    }
+
+    #[test]
+    fn mesh_routes_between_ranks() {
+        let mut mesh = MeshTransport::mesh(3);
+        let mut t2 = mesh.pop().unwrap();
+        let mut t1 = mesh.pop().unwrap();
+        let mut t0 = mesh.pop().unwrap();
+        assert!(t0.send(1, env(0)));
+        assert!(t2.send(1, env(2)));
+        for _ in 0..2 {
+            match t1.recv() {
+                TransportEvent::Envelope(e) => assert!(e.from == 0 || e.from == 2),
+                other => panic!("expected an envelope, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn send_to_dead_peer_fails() {
+        let mut mesh = MeshTransport::mesh(2);
+        let mut t1 = mesh.pop().unwrap();
+        drop(mesh); // rank 0 exited; its receiver is gone
+        assert!(!t1.send(0, env(1)));
+    }
+}

@@ -1,0 +1,224 @@
+//! Socket-level tests of the TCP transport: the rendezvous handshake, the
+//! worker-to-worker mesh, virtual-time carriage in frames, poison
+//! propagation across the "process" boundary (threads with real sockets
+//! here; real processes are exercised in `crates/core/tests/`), and
+//! dead-link surfacing.
+
+use p2mdie_cluster::comm::{Endpoint, LinkFault, Poisoned};
+use p2mdie_cluster::net::{worker_connect, MasterRendezvous, TcpTransport, WorkerReport};
+use p2mdie_cluster::{CostModel, TrafficStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Spins up a real TCP mesh of `workers` worker threads plus the master on
+/// the calling thread.
+fn tcp_mesh<R: Send>(
+    workers: usize,
+    model: CostModel,
+    master: impl FnOnce(&mut Endpoint<TcpTransport>) -> R + Send,
+    worker: impl Fn(&mut Endpoint<TcpTransport>) + Send + Sync,
+) -> R {
+    let rendezvous = MasterRendezvous::bind("127.0.0.1:0").unwrap();
+    let addr = rendezvous.local_addr().unwrap().to_string();
+    std::thread::scope(|scope| {
+        for rank in 1..=workers {
+            let addr = addr.clone();
+            let worker = &worker;
+            scope.spawn(move || {
+                let (transport, model) = worker_connect(&addr, rank, TIMEOUT).unwrap();
+                let size = transport.size();
+                let mut ep =
+                    Endpoint::from_parts(rank, size, transport, model, TrafficStats::new(size));
+                let r = catch_unwind(AssertUnwindSafe(|| worker(&mut ep)));
+                if let Err(e) = r {
+                    if e.downcast_ref::<Poisoned>().is_none() {
+                        ep.broadcast_poison();
+                    }
+                }
+            });
+        }
+        let transport = rendezvous.accept_workers(workers, model, TIMEOUT).unwrap();
+        let size = workers + 1;
+        let mut ep = Endpoint::from_parts(0, size, transport, model, TrafficStats::new(size));
+        master(&mut ep)
+    })
+}
+
+/// Master ↔ workers and worker ↔ worker links all carry traffic, sources
+/// are buffered per rank, and the Lamport clocks merge the same values the
+/// in-process mesh would (latency model applied at the sender).
+#[test]
+fn rendezvous_builds_a_full_mesh_with_virtual_time() {
+    let model = CostModel {
+        latency: 0.25,
+        ..CostModel::free()
+    };
+    let t_master = tcp_mesh(
+        3,
+        model,
+        |ep| {
+            for k in 1..=3 {
+                ep.send(k, &(k as u64 * 100));
+            }
+            // Receive in reverse order to exercise the pending buffers.
+            for k in (1..=3).rev() {
+                let v: u64 = ep.recv_msg(k).unwrap();
+                assert_eq!(v, k as u64 * 100 + k as u64);
+            }
+            ep.now()
+        },
+        |ep| {
+            let me = ep.rank();
+            let v: u64 = ep.recv_msg(0).unwrap();
+            // Ring hop: pass it through the worker mesh before answering.
+            let next = me % 3 + 1;
+            let prev = if me == 1 { 3 } else { me - 1 };
+            ep.send(next, &v);
+            let w: u64 = ep.recv_msg(prev).unwrap();
+            assert_eq!(w, prev as u64 * 100);
+            ep.send(0, &(me as u64 * 100 + me as u64));
+        },
+    );
+    // Master sent at t=0; answers needed ≥ 3 hops of 0.25s latency.
+    assert!(t_master >= 0.75, "master clock {t_master} missed the hops");
+}
+
+/// A worker panic must poison every rank across the sockets: the master's
+/// blocking receive unwinds with `Poisoned { origin }` instead of hanging.
+#[test]
+fn poison_propagates_across_sockets() {
+    let caught = tcp_mesh(
+        2,
+        CostModel::free(),
+        |ep| {
+            let r = catch_unwind(AssertUnwindSafe(|| ep.recv_from(1)));
+            match r {
+                Err(e) => match e.downcast_ref::<Poisoned>() {
+                    Some(p) => p.origin,
+                    None => panic!("master unwound without poison"),
+                },
+                Ok(x) => panic!("expected poison, got {x:?}"),
+            }
+        },
+        |ep| {
+            if ep.rank() == 2 {
+                panic!("injected worker failure");
+            }
+            // Rank 1 blocks on the master; poison from rank 2 must wake it
+            // (the catch in tcp_mesh swallows the secondary Poisoned).
+            let _ = ep.recv_from(0);
+        },
+    );
+    assert_eq!(caught, 2, "poison must name the failing rank");
+}
+
+/// A worker that exits without `Stop` or poison surfaces as a rank-tagged
+/// `RecvError` with `LinkFault::Closed` at the master — not a hang.
+#[test]
+fn early_exit_surfaces_as_closed_link() {
+    tcp_mesh(
+        2,
+        CostModel::free(),
+        |ep| {
+            // Rank 1 stays healthy and answers; rank 2 just leaves.
+            let v: u32 = ep.recv_msg(1).unwrap();
+            assert_eq!(v, 11);
+            let err = ep.recv_from(2).unwrap_err();
+            assert_eq!((err.rank, err.from, err.fault), (0, 2, LinkFault::Closed));
+            // Rank 1's link is unaffected.
+            ep.send(1, &1u32);
+        },
+        |ep| {
+            if ep.rank() == 1 {
+                ep.send(0, &11u32);
+                let _: u32 = ep.recv_msg(0).unwrap();
+            }
+            // Rank 2 exits immediately: its streams close.
+        },
+    );
+}
+
+/// Garbage bytes on a link surface as `LinkFault::Malformed` naming the
+/// offending peer, and the shutdown report still travels on healthy links.
+#[test]
+fn malformed_bytes_surface_as_malformed_link() {
+    tcp_mesh(
+        2,
+        CostModel::free(),
+        |ep| {
+            let err = ep.recv_from(2).unwrap_err();
+            assert_eq!((err.rank, err.from), (0, 2));
+            assert!(
+                matches!(err.fault, LinkFault::Malformed(_)),
+                "got {:?}",
+                err.fault
+            );
+            // Collect rank 1's report to prove healthy links survive.
+            let _: u32 = ep.recv_msg(1).unwrap();
+            ep.send(1, &0u8);
+            let reports = ep.transport_mut().collect_reports(TIMEOUT).to_vec();
+            assert!(reports[1].is_some(), "healthy rank 1 reported");
+        },
+        |ep| {
+            if ep.rank() == 2 {
+                // A length prefix far beyond MAX_FRAME.
+                ep.transport_mut()
+                    .send_raw_bytes(0, &0xFFFF_FFFFu32.to_le_bytes());
+                return;
+            }
+            ep.send(0, &7u32);
+            let _: u8 = ep.recv_msg(0).unwrap();
+            let report = WorkerReport {
+                vtime: ep.now(),
+                steps: ep.compute_steps(),
+                sends: ep.stats().send_row(ep.rank()),
+            };
+            assert!(ep.transport_mut().send_report(&report));
+        },
+    );
+}
+
+/// Worker reports carry the clocks, steps, and traffic rows the master
+/// needs to reconstruct whole-cluster statistics.
+#[test]
+fn shutdown_reports_reach_the_master() {
+    let model = CostModel {
+        sec_per_step: 1.0,
+        ..CostModel::free()
+    };
+    tcp_mesh(
+        2,
+        model,
+        |ep| {
+            for k in 1..=2 {
+                let _: u64 = ep.recv_msg(k).unwrap();
+            }
+            ep.broadcast(&0u8);
+            let reports = ep.transport_mut().collect_reports(TIMEOUT).to_vec();
+            let stats = ep.stats().clone();
+            for (k, slot) in reports.iter().enumerate().skip(1) {
+                let rep = slot.as_ref().expect("report arrived");
+                assert_eq!(rep.steps, k as u64 * 3);
+                assert!(rep.vtime >= rep.steps as f64);
+                stats.absorb_row(k, &rep.sends);
+            }
+            // Master broadcast (2 msgs) + one answer per worker = 4 total.
+            assert_eq!(stats.total_messages(), 4);
+            assert_eq!(stats.dropped_between(1, 0), 0);
+        },
+        |ep| {
+            let me = ep.rank();
+            ep.advance_steps(me as u64 * 3);
+            ep.send(0, &(me as u64));
+            let _: u8 = ep.recv_msg(0).unwrap();
+            let report = WorkerReport {
+                vtime: ep.now(),
+                steps: ep.compute_steps(),
+                sends: ep.stats().send_row(me),
+            };
+            assert!(ep.transport_mut().send_report(&report));
+        },
+    );
+}

@@ -14,6 +14,7 @@
 use crate::partition::partition_examples;
 use crate::protocol::Msg;
 use p2mdie_cluster::comm::Endpoint;
+use p2mdie_cluster::transport::Transport;
 use p2mdie_cluster::{run_cluster, ClusterError, CostModel};
 use p2mdie_ilp::bitset::Bitset;
 use p2mdie_ilp::engine::IlpEngine;
@@ -48,6 +49,8 @@ pub struct BaselineReport {
     pub total_bytes: u64,
     /// Total messages.
     pub total_messages: u64,
+    /// Sends the transport could not deliver (0 on a clean run).
+    pub dropped_sends: u64,
     /// Wall-clock time of the simulation.
     pub wall: std::time::Duration,
 }
@@ -124,7 +127,7 @@ pub fn run_coverage_parallel_opts(
                 })
                 .take()
                 .expect("taken once");
-            baseline_worker(ep, eng, local);
+            run_baseline_worker(ep, eng, local);
         },
     )?;
 
@@ -136,12 +139,18 @@ pub fn run_coverage_parallel_opts(
         vtime: outcome.master_vtime,
         total_bytes: outcome.stats.total_bytes(),
         total_messages: outcome.stats.total_messages(),
+        dropped_sends: outcome.dropped_sends,
         wall: started.elapsed(),
     })
 }
 
-/// The worker side: evaluate and mark-covered, nothing else.
-fn baseline_worker(ep: &mut Endpoint, mut engine: IlpEngine, local: Examples) {
+/// The worker side: evaluate and mark-covered, nothing else. Public so
+/// the remote-worker bootstrap can run the same loop in a worker process.
+pub fn run_baseline_worker<T: Transport>(
+    ep: &mut Endpoint<T>,
+    mut engine: IlpEngine,
+    local: Examples,
+) {
     let mut live = local.full_pos_live();
     loop {
         let msg = Msg::recv(ep, 0, "a baseline master command");
@@ -174,7 +183,7 @@ fn baseline_worker(ep: &mut Endpoint, mut engine: IlpEngine, local: Examples) {
 }
 
 /// One distributed evaluation round: broadcast, gather, sum.
-fn eval_round(ep: &mut Endpoint, clauses: &[Clause]) -> Vec<(u32, u32)> {
+fn eval_round<T: Transport>(ep: &mut Endpoint<T>, clauses: &[Clause]) -> Vec<(u32, u32)> {
     let p = ep.workers();
     ep.broadcast(&Msg::Evaluate {
         rules: clauses.to_vec(),
@@ -199,9 +208,10 @@ fn eval_round(ep: &mut Endpoint, clauses: &[Clause]) -> Vec<(u32, u32)> {
 }
 
 /// The master side: the ordinary sequential covering loop of Figure 1,
-/// with every `evalOnExamples` replaced by a distributed round.
-fn baseline_master(
-    ep: &mut Endpoint,
+/// with every `evalOnExamples` replaced by a distributed round. Crate-
+/// visible so the TCP driver can run the same master over processes.
+pub(crate) fn baseline_master<T: Transport>(
+    ep: &mut Endpoint<T>,
     engine: &IlpEngine,
     examples: &Examples,
     partition: &crate::partition::Partition,

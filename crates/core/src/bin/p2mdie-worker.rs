@@ -1,0 +1,158 @@
+//! `p2mdie-worker` — a standalone worker rank for multi-process cluster
+//! runs.
+//!
+//! Spawned once per rank by the TCP drivers (`run_parallel_tcp`,
+//! `run_coverage_parallel_tcp`, or `ParallelConfig::with_transport`):
+//!
+//! ```sh
+//! p2mdie-worker --connect 127.0.0.1:40042 --rank 2 [--timeout-secs 60]
+//! ```
+//!
+//! The process dials the master, completes the rendezvous handshake (which
+//! also yields the cost model and the worker-to-worker mesh), bootstraps
+//! its ILP engine from the wire (`Msg::KbSnapshot` + `Msg::Configure` +
+//! `Msg::LoadPartition`), runs the worker protocol until `Stop`, sends a
+//! shutdown report (final clock, steps, traffic row), and exits 0.
+//!
+//! Exit codes: 0 success · 1 bad usage · 2 connect/handshake failure ·
+//! 3 injected test failure · 101 worker panic (poison broadcast first) ·
+//! 102 poisoned by another rank's failure.
+//!
+//! The `P2MDIE_TEST_FAIL` environment variable (`exit:<rank>` or
+//! `badframe:<rank>`) injects post-handshake failures so the failure-
+//! propagation tests can exercise a worker process dying or emitting
+//! garbage without a special binary.
+
+use p2mdie_cluster::comm::{CommFailure, Endpoint, Poisoned};
+use p2mdie_cluster::net::{worker_connect, TcpTransport, WorkerReport};
+use p2mdie_cluster::TrafficStats;
+use p2mdie_core::remote::run_remote_worker;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn usage() -> i32 {
+    eprintln!("usage: p2mdie-worker --connect HOST:PORT --rank N [--timeout-secs N]");
+    1
+}
+
+fn run() -> i32 {
+    let mut connect: Option<String> = None;
+    let mut rank: Option<usize> = None;
+    let mut timeout = Duration::from_secs(60);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| eprintln!("missing value for {what}"))
+        };
+        match arg.as_str() {
+            "--connect" => match take("--connect") {
+                Ok(v) => connect = Some(v),
+                Err(()) => return usage(),
+            },
+            "--rank" => match take("--rank").map(|v| v.parse::<usize>()) {
+                Ok(Ok(v)) => rank = Some(v),
+                _ => return usage(),
+            },
+            "--timeout-secs" => match take("--timeout-secs").map(|v| v.parse::<u64>()) {
+                Ok(Ok(v)) => timeout = Duration::from_secs(v),
+                _ => return usage(),
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let (Some(connect), Some(rank)) = (connect, rank) else {
+        return usage();
+    };
+    if rank == 0 {
+        eprintln!("rank 0 is the master; worker ranks start at 1");
+        return usage();
+    }
+
+    let (transport, model) = match worker_connect(&connect, rank, timeout) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("worker rank {rank}: connecting to {connect}: {e}");
+            return 2;
+        }
+    };
+    let size = transport.size();
+    let mut ep = Endpoint::from_parts(rank, size, transport, model, TrafficStats::new(size));
+
+    if let Some(code) = apply_test_injection(rank, &mut ep) {
+        return code;
+    }
+
+    match catch_unwind(AssertUnwindSafe(|| run_remote_worker(&mut ep))) {
+        Ok(()) => {
+            let report = WorkerReport {
+                vtime: ep.now(),
+                steps: ep.compute_steps(),
+                sends: ep.stats().send_row(rank),
+            };
+            if !ep.transport_mut().send_report(&report) {
+                eprintln!("worker rank {rank}: master gone before the shutdown report");
+            }
+            0
+        }
+        Err(payload) => {
+            if let Some(p) = payload.downcast_ref::<Poisoned>() {
+                eprintln!("worker rank {rank}: poisoned by rank {}", p.origin);
+                return 102;
+            }
+            let message = panic_text(&*payload);
+            ep.broadcast_poison();
+            eprintln!("worker rank {rank} panicked: {message}");
+            101
+        }
+    }
+}
+
+fn panic_text(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(cf) = e.downcast_ref::<CommFailure>() {
+        return cf.to_string();
+    }
+    if let Some(s) = e.downcast_ref::<&str>() {
+        return (*s).to_owned();
+    }
+    if let Some(s) = e.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "<non-string panic payload>".to_owned()
+}
+
+/// Post-handshake failure injection for the failure-propagation tests
+/// (`P2MDIE_TEST_FAIL=exit:<rank>` / `badframe:<rank>`). Returns the exit
+/// code when this rank must fail, `None` otherwise.
+fn apply_test_injection(rank: usize, ep: &mut Endpoint<TcpTransport>) -> Option<i32> {
+    let spec = std::env::var("P2MDIE_TEST_FAIL").ok()?;
+    let (mode, target) = spec.split_once(':')?;
+    if target.parse::<usize>().ok()? != rank {
+        return None;
+    }
+    match mode {
+        "exit" => {
+            eprintln!("worker rank {rank}: injected early exit");
+            Some(3)
+        }
+        "badframe" => {
+            // A length prefix beyond MAX_FRAME: unambiguously malformed on
+            // the first four bytes.
+            let garbage = 0xFFFF_FFFFu32.to_le_bytes();
+            ep.transport_mut().send_raw_bytes(0, &garbage);
+            eprintln!("worker rank {rank}: injected malformed frame");
+            Some(3)
+        }
+        other => {
+            eprintln!("worker rank {rank}: unknown injection `{other}`");
+            Some(3)
+        }
+    }
+}

@@ -13,6 +13,20 @@ use p2mdie_ilp::settings::Width;
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Which substrate carries the cluster's messages.
+#[derive(Clone, Debug, Default)]
+pub enum TransportKind {
+    /// Simulated ranks: threads in this process joined by channels. The
+    /// default — fastest, zero setup, and the configuration all the
+    /// paper-shaped numbers are taken on.
+    #[default]
+    InProcess,
+    /// Real OS worker processes joined by a localhost TCP mesh (the
+    /// `p2mdie-worker` binary, spawned once per rank). Same deterministic
+    /// virtual time, same induced theory; see [`crate::remote`].
+    Tcp(crate::remote::TcpConfig),
+}
+
 /// Configuration of one parallel run.
 #[derive(Clone, Debug)]
 pub struct ParallelConfig {
@@ -35,6 +49,10 @@ pub struct ParallelConfig {
     /// the paper's Table 4 communication volumes (which assume a
     /// distributed file system) stay reproducible.
     pub ship_kb: bool,
+    /// The message substrate: in-process threads (default) or real worker
+    /// processes over TCP. A TCP run always ships the KB (worker processes
+    /// have no shared memory to inherit it from).
+    pub transport: TransportKind,
 }
 
 impl ParallelConfig {
@@ -47,6 +65,7 @@ impl ParallelConfig {
             seed,
             repartition: false,
             ship_kb: false,
+            transport: TransportKind::InProcess,
         }
     }
 
@@ -62,6 +81,13 @@ impl ParallelConfig {
         self.ship_kb = true;
         self
     }
+
+    /// Selects the message substrate ([`TransportKind::Tcp`] spawns real
+    /// worker processes over a localhost TCP mesh).
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
 }
 
 /// Runs p²-mdie on `engine` × `examples` with `cfg`.
@@ -74,6 +100,9 @@ pub fn run_parallel(
     examples: &Examples,
     cfg: &ParallelConfig,
 ) -> Result<ParallelReport, ClusterError> {
+    if let TransportKind::Tcp(tcp) = &cfg.transport {
+        return crate::remote::run_parallel_tcp(engine, examples, cfg, tcp);
+    }
     let started = Instant::now();
     // Static mode partitions up front; repartition mode starts workers
     // empty (the master deals examples at every epoch).
@@ -147,6 +176,7 @@ pub fn run_parallel(
         total_bytes: outcome.stats.total_bytes(),
         total_messages: outcome.stats.total_messages(),
         worker_steps: outcome.worker_steps,
+        dropped_sends: outcome.dropped_sends,
         wall: started.elapsed(),
         traces: master.traces,
         stalled: master.stalled,

@@ -16,7 +16,10 @@
 //! * [`master`] — the epoch loop and bag consumption (Figure 5);
 //! * [`bag`] — the rule bag with global scoring;
 //! * [`report`] — run reports and the Figure 3/4 trace renderer;
-//! * [`driver`] — `run_parallel` / `run_sequential_timed`.
+//! * [`driver`] — `run_parallel` / `run_sequential_timed`;
+//! * [`remote`] — multi-process deployment: the remote-worker bootstrap
+//!   and the TCP launchers behind `ParallelConfig::with_transport` (the
+//!   `p2mdie-worker` binary is this crate's `src/bin/`).
 
 pub mod bag;
 pub mod baselines;
@@ -25,6 +28,7 @@ pub mod master;
 pub mod partition;
 pub mod pipeline;
 pub mod protocol;
+pub mod remote;
 pub mod report;
 pub mod worker;
 
@@ -32,9 +36,12 @@ pub use bag::{BagRule, RuleBag};
 pub use baselines::{
     run_coverage_parallel, run_coverage_parallel_opts, BaselineReport, EvalGranularity,
 };
-pub use driver::{run_parallel, run_sequential_timed, ParallelConfig};
+pub use driver::{run_parallel, run_sequential_timed, ParallelConfig, TransportKind};
 pub use master::{run_master, ship_kb, AcceptedRule, EpochTrace, MasterOutcome};
 pub use partition::{partition_examples, Partition};
-pub use protocol::{Msg, PipelineToken, StageTrace};
+pub use protocol::{JobSpec, Msg, PipelineToken, StageTrace, WorkerRole};
+pub use remote::{
+    default_worker_bin, run_coverage_parallel_tcp, run_parallel_tcp, run_remote_worker, TcpConfig,
+};
 pub use report::{render_pipeline_trace, ParallelReport, SequentialReport};
 pub use worker::{run_worker, WorkerContext};

@@ -16,6 +16,7 @@
 use crate::bag::RuleBag;
 use crate::protocol::{Msg, StageTrace};
 use p2mdie_cluster::comm::Endpoint;
+use p2mdie_cluster::transport::Transport;
 use p2mdie_ilp::settings::Settings;
 use p2mdie_logic::clause::Clause;
 use p2mdie_logic::kb::KnowledgeBase;
@@ -74,7 +75,7 @@ pub struct MasterOutcome {
 /// and each worker's startup cost in virtual time is the transfer alone —
 /// adoption on the worker side needs no re-interning and no re-indexing
 /// (see [`p2mdie_logic::snapshot`]).
-pub fn ship_kb(ep: &mut Endpoint, kb: &KnowledgeBase) {
+pub fn ship_kb<T: Transport>(ep: &mut Endpoint<T>, kb: &KnowledgeBase) {
     ep.advance_steps(kb.num_facts() as u64);
     ep.broadcast(&Msg::KbSnapshot(Box::new(kb.to_snapshot())));
 }
@@ -82,7 +83,11 @@ pub fn ship_kb(ep: &mut Endpoint, kb: &KnowledgeBase) {
 /// Runs the master protocol of Figure 5. `total_pos` is `|E+|` over all
 /// subsets; `settings` must be the same the workers use (shared data
 /// assumption).
-pub fn run_master(ep: &mut Endpoint, settings: &Settings, total_pos: usize) -> MasterOutcome {
+pub fn run_master<T: Transport>(
+    ep: &mut Endpoint<T>,
+    settings: &Settings,
+    total_pos: usize,
+) -> MasterOutcome {
     let p = ep.workers();
     let mut out = MasterOutcome::default();
     let mut remaining = total_pos;
@@ -202,8 +207,8 @@ pub fn run_master(ep: &mut Endpoint, settings: &Settings, total_pos: usize) -> M
 /// the paper cites as the reason not to do this), and every `MarkCovered`
 /// is answered with covered indices so the master can track the global
 /// live set the next deal draws from.
-pub fn run_master_repartition(
-    ep: &mut Endpoint,
+pub fn run_master_repartition<T: Transport>(
+    ep: &mut Endpoint<T>,
     settings: &Settings,
     examples: &p2mdie_ilp::examples::Examples,
     seed: u64,
@@ -340,7 +345,7 @@ pub fn run_master_repartition(
 
 /// One global evaluation round: broadcast the bag, collect per-subset
 /// counts from every worker (Fig. 5 steps 10–11 / 18–19).
-fn evaluate_bag(ep: &mut Endpoint, p: usize, bag: &mut RuleBag) {
+fn evaluate_bag<T: Transport>(ep: &mut Endpoint<T>, p: usize, bag: &mut RuleBag) {
     ep.broadcast(&Msg::Evaluate {
         rules: bag.clauses(),
     });

@@ -28,12 +28,17 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use p2mdie_cluster::codec::{DecodeError, Wire};
-use p2mdie_cluster::comm::Endpoint;
+use p2mdie_cluster::comm::{CommFailure, Endpoint};
+use p2mdie_cluster::transport::Transport;
 use p2mdie_ilp::bottom::{BottomClause, BottomLiteral};
+use p2mdie_ilp::modes::{ModeArg, ModeDecl, ModeSet};
 use p2mdie_ilp::refine::RuleShape;
 use p2mdie_ilp::search::ScoredRule;
+use p2mdie_ilp::settings::{ScoreFn, Settings, Width};
 use p2mdie_logic::clause::{Clause, Literal};
+use p2mdie_logic::prover::ProofLimits;
 use p2mdie_logic::snapshot::KbSnapshot;
+use p2mdie_logic::symbol::SymbolId;
 
 // ---------------------------------------------------------------------------
 // Wire helpers for the ILP-crate payloads (foreign trait + foreign types,
@@ -84,6 +89,130 @@ fn decode_bottom(buf: &mut Bytes) -> Result<BottomClause, DecodeError> {
         num_vars,
         example,
         steps: 0,
+    })
+}
+
+fn encode_mode_arg(a: &ModeArg, buf: &mut BytesMut) {
+    let (tag, ty) = match a {
+        ModeArg::Input(t) => (0u8, t),
+        ModeArg::Output(t) => (1u8, t),
+        ModeArg::Const(t) => (2u8, t),
+    };
+    buf.put_u8(tag);
+    ty.0.encode(buf);
+}
+
+fn decode_mode_arg(buf: &mut Bytes) -> Result<ModeArg, DecodeError> {
+    let tag = u8::decode(buf)?;
+    let ty = SymbolId(u32::decode(buf)?);
+    Ok(match tag {
+        0 => ModeArg::Input(ty),
+        1 => ModeArg::Output(ty),
+        2 => ModeArg::Const(ty),
+        _ => return Err(DecodeError::new("mode arg tag")),
+    })
+}
+
+fn encode_mode_decl(m: &ModeDecl, buf: &mut BytesMut) {
+    m.recall.encode(buf);
+    m.pred.0.encode(buf);
+    (m.args.len() as u32).encode(buf);
+    for a in &m.args {
+        encode_mode_arg(a, buf);
+    }
+}
+
+fn decode_mode_decl(buf: &mut Bytes) -> Result<ModeDecl, DecodeError> {
+    let recall = u32::decode(buf)?;
+    let pred = SymbolId(u32::decode(buf)?);
+    let n = u32::decode(buf)? as usize;
+    if n > buf.len() {
+        return Err(DecodeError::new("mode arg count"));
+    }
+    let mut args = Vec::with_capacity(n);
+    for _ in 0..n {
+        args.push(decode_mode_arg(buf)?);
+    }
+    Ok(ModeDecl { recall, pred, args })
+}
+
+fn encode_modes(m: &ModeSet, buf: &mut BytesMut) {
+    encode_mode_decl(&m.head, buf);
+    (m.body.len() as u32).encode(buf);
+    for d in &m.body {
+        encode_mode_decl(d, buf);
+    }
+}
+
+fn decode_modes(buf: &mut Bytes) -> Result<ModeSet, DecodeError> {
+    let head = decode_mode_decl(buf)?;
+    let n = u32::decode(buf)? as usize;
+    if n > buf.len() {
+        return Err(DecodeError::new("mode body count"));
+    }
+    let mut body = Vec::with_capacity(n);
+    for _ in 0..n {
+        body.push(decode_mode_decl(buf)?);
+    }
+    Ok(ModeSet { head, body })
+}
+
+fn encode_settings(s: &Settings, buf: &mut BytesMut) {
+    s.noise.encode(buf);
+    s.min_pos.encode(buf);
+    s.max_body.encode(buf);
+    s.max_nodes.encode(buf);
+    s.default_recall.encode(buf);
+    s.max_var_depth.encode(buf);
+    s.max_bottom_literals.encode(buf);
+    s.proof.max_depth.encode(buf);
+    s.proof.max_steps.encode(buf);
+    buf.put_u8(match s.score {
+        ScoreFn::Coverage => 0,
+        ScoreFn::Compression => 1,
+    });
+    s.good_cap.encode(buf);
+    s.eval_threads.encode(buf);
+}
+
+fn decode_settings(buf: &mut Bytes) -> Result<Settings, DecodeError> {
+    Ok(Settings {
+        noise: u32::decode(buf)?,
+        min_pos: u32::decode(buf)?,
+        max_body: usize::decode(buf)?,
+        max_nodes: usize::decode(buf)?,
+        default_recall: u32::decode(buf)?,
+        max_var_depth: u32::decode(buf)?,
+        max_bottom_literals: usize::decode(buf)?,
+        proof: ProofLimits {
+            max_depth: u32::decode(buf)?,
+            max_steps: u64::decode(buf)?,
+        },
+        score: match u8::decode(buf)? {
+            0 => ScoreFn::Coverage,
+            1 => ScoreFn::Compression,
+            _ => return Err(DecodeError::new("score fn tag")),
+        },
+        good_cap: usize::decode(buf)?,
+        eval_threads: usize::decode(buf)?,
+    })
+}
+
+fn encode_width(w: &Width, buf: &mut BytesMut) {
+    match w {
+        Width::Unlimited => buf.put_u8(0),
+        Width::Limit(n) => {
+            buf.put_u8(1);
+            n.encode(buf);
+        }
+    }
+}
+
+fn decode_width(buf: &mut Bytes) -> Result<Width, DecodeError> {
+    Ok(match u8::decode(buf)? {
+        0 => Width::Unlimited,
+        1 => Width::Limit(u32::decode(buf)?),
+        _ => return Err(DecodeError::new("width tag")),
     })
 }
 
@@ -212,25 +341,96 @@ impl Wire for PipelineToken {
 }
 
 // ---------------------------------------------------------------------------
+// Remote-worker bootstrap payloads.
+// ---------------------------------------------------------------------------
+
+/// Which protocol loop a bootstrapped worker process must run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerRole {
+    /// The p²-mdie pipelined worker (paper Figure 6).
+    Pipeline {
+        /// Pipeline width `W`.
+        width: Width,
+        /// §4.1 repartitioning mode.
+        repartition: bool,
+    },
+    /// The coverage-parallel baseline worker (paper §6).
+    Coverage,
+}
+
+/// Everything a *remote* worker process needs, beyond the compiled KB
+/// (which travels separately as [`Msg::KbSnapshot`]), to reconstruct the
+/// exact `WorkerContext` an in-process worker thread is handed directly:
+/// the language bias, the search constraints, and its role.
+///
+/// Symbol ids inside the modes are the master's; they stay valid on the
+/// worker because the KB snapshot ships the master's *complete* symbol
+/// dictionary and the worker restores it into a fresh table (id-preserving
+/// path) before anything else is interned.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// The worker loop to run.
+    pub role: WorkerRole,
+    /// Language bias (master's symbol ids).
+    pub modes: ModeSet,
+    /// Search constraints, with `eval_threads` already set to this rank's
+    /// fair share of the machine.
+    pub settings: Settings,
+}
+
+impl Wire for JobSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        match &self.role {
+            WorkerRole::Pipeline { width, repartition } => {
+                buf.put_u8(0);
+                encode_width(width, buf);
+                repartition.encode(buf);
+            }
+            WorkerRole::Coverage => buf.put_u8(1),
+        }
+        encode_modes(&self.modes, buf);
+        encode_settings(&self.settings, buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let role = match u8::decode(buf)? {
+            0 => WorkerRole::Pipeline {
+                width: decode_width(buf)?,
+                repartition: bool::decode(buf)?,
+            },
+            1 => WorkerRole::Coverage,
+            _ => return Err(DecodeError::new("worker role tag")),
+        };
+        Ok(JobSpec {
+            role,
+            modes: decode_modes(buf)?,
+            settings: decode_settings(buf)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The message enum.
 // ---------------------------------------------------------------------------
 
 impl Msg {
     /// Receives and decodes the next message from rank `from`, panicking
-    /// with a diagnosis naming the receiving rank, the source rank, and
-    /// what was expected when the frame is malformed *or the channel closed
+    /// with a [`CommFailure`] naming the receiving rank, the source rank,
+    /// and what was expected when the frame is malformed *or the link died
     /// under the receive* (a peer exiting early — both arrive as
     /// [`p2mdie_cluster::comm::CommError`] values from `recv_msg`).
-    /// Cluster-sim failures then report *which* rank and message died
-    /// instead of a bare `unwrap` backtrace (the panic still poisons the
-    /// run, so every rank unwinds as before).
-    pub fn recv(ep: &mut Endpoint, from: usize, expected: &str) -> Msg {
+    /// Cluster failures then report *which* rank and message died instead
+    /// of a bare `unwrap` backtrace; the panic still poisons the run so
+    /// every rank unwinds, and the runtimes downcast the payload to build
+    /// a rank-tagged `ClusterError`.
+    pub fn recv<T: Transport>(ep: &mut Endpoint<T>, from: usize, expected: &str) -> Msg {
         match ep.recv_msg(from) {
             Ok(msg) => msg,
-            Err(e) => panic!(
-                "rank {}: failed receiving {expected} from rank {from}: {e}",
-                ep.rank()
-            ),
+            Err(error) => std::panic::panic_any(CommFailure {
+                rank: ep.rank(),
+                from,
+                expected: expected.to_owned(),
+                error,
+            }),
         }
     }
 }
@@ -311,6 +511,22 @@ pub enum Msg {
     KbSnapshot(Box<KbSnapshot>),
     /// Master → workers: run over, shut down.
     Stop,
+    /// Master → worker (remote bootstrap): the job description — role,
+    /// language bias, and settings. In-process workers are handed their
+    /// `WorkerContext` directly and never see this message; a worker
+    /// *process* reconstructs the identical context from
+    /// [`Msg::KbSnapshot`] + `Configure` + [`Msg::LoadPartition`].
+    Configure(Box<JobSpec>),
+    /// Master → worker (remote bootstrap): your example subset, shipped in
+    /// full. Distinct from [`Msg::NewPartition`], which is the §4.1
+    /// repartitioning protocol *inside* a run; this one happens once at
+    /// startup, before `LoadExamples`.
+    LoadPartition {
+        /// Local positive examples.
+        pos: Vec<Literal>,
+        /// Local negative examples.
+        neg: Vec<Literal>,
+    },
 }
 
 impl Wire for Msg {
@@ -368,6 +584,15 @@ impl Wire for Msg {
                 buf.put_u8(12);
                 snap.encode(buf);
             }
+            Msg::Configure(spec) => {
+                buf.put_u8(13);
+                spec.encode(buf);
+            }
+            Msg::LoadPartition { pos, neg } => {
+                buf.put_u8(14);
+                pos.encode(buf);
+                neg.encode(buf);
+            }
         }
     }
 
@@ -407,6 +632,11 @@ impl Wire for Msg {
                 neg: Vec::<Literal>::decode(buf)?,
             },
             12 => Msg::KbSnapshot(Box::new(KbSnapshot::decode(buf)?)),
+            13 => Msg::Configure(Box::new(JobSpec::decode(buf)?)),
+            14 => Msg::LoadPartition {
+                pos: Vec::<Literal>::decode(buf)?,
+                neg: Vec::<Literal>::decode(buf)?,
+            },
             _ => return Err(DecodeError::new("message tag")),
         })
     }
@@ -518,6 +748,41 @@ mod tests {
                 vec![Term::Sym(t.intern("m2"))],
             )],
         });
+        roundtrip(Msg::LoadPartition {
+            pos: vec![Literal::new(
+                t.intern("active"),
+                vec![Term::Sym(t.intern("m1"))],
+            )],
+            neg: vec![],
+        });
+        let modes = p2mdie_ilp::modes::ModeSet::parse(
+            &t,
+            "active(+mol)",
+            &[(8, "atm(+mol, -atom, #elem, -charge)"), (1, "solid")],
+        )
+        .unwrap();
+        for role in [
+            WorkerRole::Pipeline {
+                width: Width::Limit(7),
+                repartition: true,
+            },
+            WorkerRole::Pipeline {
+                width: Width::Unlimited,
+                repartition: false,
+            },
+            WorkerRole::Coverage,
+        ] {
+            roundtrip(Msg::Configure(Box::new(JobSpec {
+                role,
+                modes: modes.clone(),
+                settings: Settings {
+                    noise: 3,
+                    score: ScoreFn::Compression,
+                    eval_threads: 2,
+                    ..Settings::default()
+                },
+            })));
+        }
         roundtrip(Msg::Stop);
     }
 

@@ -1,0 +1,329 @@
+//! Multi-process deployment: run p²-mdie with workers as real OS
+//! processes over a localhost TCP mesh.
+//!
+//! The in-process drivers hand each simulated rank its `WorkerContext`
+//! through shared memory. A worker *process* has no shared memory, so
+//! everything must travel over the wire — and since PR 3 it can: the
+//! compiled background KB ships as [`Msg::KbSnapshot`] (symbol dictionary
+//! included), and this module adds the two missing bootstrap messages,
+//! [`Msg::Configure`] (role + modes + settings) and [`Msg::LoadPartition`]
+//! (the example subset). A bootstrapped process reconstructs a
+//! bit-identical engine:
+//!
+//! 1. restore the snapshot into a **fresh** symbol table — the
+//!    id-preserving path, so every symbol id in later messages (clauses,
+//!    examples, modes) means the same thing on both sides;
+//! 2. adopt the KB *as shipped* (no re-pruning, no re-indexing — exactly
+//!    what the in-process `ship_kb` adoption does);
+//! 3. run the same worker loop ([`run_worker`] or the coverage baseline).
+//!
+//! Because virtual arrival times travel inside the TCP frames, a
+//! multi-process run Lamport-merges the same clock values and makes the
+//! same decisions as the in-process run: the induced theory, coverage
+//! counts, and per-rank step counts are bit-identical to
+//! `run_parallel` with KB shipping enabled and the same seed (pinned by
+//! `crates/core/tests/tcp_cluster.rs`).
+//!
+//! Entry points: [`run_parallel_tcp`] / [`run_coverage_parallel_tcp`]
+//! spawn the `p2mdie-worker` binary once per rank and drive the master on
+//! the calling thread; `ParallelConfig::with_transport` routes
+//! `run_parallel` here.
+
+use crate::baselines::{baseline_master, run_baseline_worker, BaselineReport, EvalGranularity};
+use crate::driver::{threads_per_worker, ParallelConfig};
+use crate::master::{run_master, run_master_repartition, ship_kb};
+use crate::partition::partition_examples;
+use crate::protocol::{JobSpec, Msg, WorkerRole};
+use crate::report::ParallelReport;
+use crate::worker::{run_worker, WorkerContext};
+use p2mdie_cluster::comm::Endpoint;
+use p2mdie_cluster::net::run_cluster_tcp;
+use p2mdie_cluster::transport::Transport;
+use p2mdie_cluster::{ClusterError, CostModel};
+use p2mdie_ilp::engine::IlpEngine;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_ilp::settings::Settings;
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::symbol::SymbolTable;
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How to launch the worker processes of a TCP run.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Path to the `p2mdie-worker` binary. `None` = resolve via
+    /// [`default_worker_bin`] (the `P2MDIE_WORKER_BIN` env var, then next
+    /// to the current executable).
+    pub worker_bin: Option<PathBuf>,
+    /// Bound on the rendezvous handshake, the shutdown-report collection,
+    /// and process reaping (not on the run itself, which is driven by the
+    /// protocol and fails fast on dead links).
+    pub timeout: Duration,
+    /// Extra environment variables for the worker processes (failure
+    /// injection in tests; empty in normal use).
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            worker_bin: None,
+            timeout: Duration::from_secs(60),
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// A config launching a specific worker binary.
+    pub fn with_worker_bin(bin: impl Into<PathBuf>) -> Self {
+        TcpConfig {
+            worker_bin: Some(bin.into()),
+            ..TcpConfig::default()
+        }
+    }
+
+    fn resolve_worker_bin(&self) -> Result<PathBuf, ClusterError> {
+        if let Some(bin) = &self.worker_bin {
+            return Ok(bin.clone());
+        }
+        default_worker_bin().ok_or_else(|| ClusterError::Net {
+            message: "cannot locate the p2mdie-worker binary: set TcpConfig::worker_bin, \
+                      the P2MDIE_WORKER_BIN env var, or build it next to this executable \
+                      (cargo build -p p2mdie-core --bin p2mdie-worker)"
+                .to_owned(),
+        })
+    }
+}
+
+/// Best-effort resolution of the `p2mdie-worker` binary: the
+/// `P2MDIE_WORKER_BIN` env var, then the current executable's directory
+/// and its parent (which covers `target/<profile>/examples/…` and
+/// `target/<profile>/deps/…` layouts).
+pub fn default_worker_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("P2MDIE_WORKER_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("p2mdie-worker{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        let d = dir?;
+        let candidate = d.join(&name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn spawn_worker(bin: &Path, rank: usize, addr: SocketAddr, tcp: &TcpConfig) -> io::Result<Child> {
+    let mut cmd = Command::new(bin);
+    cmd.arg("--connect")
+        .arg(addr.to_string())
+        .arg("--rank")
+        .arg(rank.to_string())
+        .arg("--timeout-secs")
+        .arg(tcp.timeout.as_secs().max(1).to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    for (k, v) in &tcp.worker_env {
+        cmd.env(k, v);
+    }
+    cmd.spawn()
+}
+
+/// Master-side bootstrap: ship the compiled KB, then each worker's job
+/// spec and example subset. Must run before the protocol proper (the
+/// worker processes block in [`run_remote_worker`]'s bootstrap loop until
+/// all three messages arrived).
+fn bootstrap_workers<T: Transport>(
+    ep: &mut Endpoint<T>,
+    engine: &IlpEngine,
+    role: WorkerRole,
+    worker_settings: Settings,
+    subsets: &[Examples],
+) {
+    ship_kb(ep, &engine.kb);
+    let spec = JobSpec {
+        role,
+        modes: engine.modes.clone(),
+        settings: worker_settings,
+    };
+    for (i, subset) in subsets.iter().enumerate() {
+        ep.send(i + 1, &Msg::Configure(Box::new(spec.clone())));
+        ep.send(
+            i + 1,
+            &Msg::LoadPartition {
+                pos: subset.pos.clone(),
+                neg: subset.neg.clone(),
+            },
+        );
+    }
+}
+
+/// The worker-process entry: gather the three bootstrap messages, rebuild
+/// the engine, run the role's protocol loop until `Stop`.
+///
+/// The KB snapshot restores into a **fresh** symbol table before anything
+/// else is interned, which reproduces the master's symbol ids exactly (the
+/// snapshot carries the complete dictionary in id order) — every id-typed
+/// payload of the protocol stays valid. The restored KB is adopted as
+/// shipped, mirroring the in-process `ship_kb` adoption path bit for bit
+/// (the snapshot already carries the master's mode-pruned posting lists,
+/// so `IlpEngine::new`'s re-pruning is deliberately *not* run).
+pub fn run_remote_worker<T: Transport>(ep: &mut Endpoint<T>) {
+    let me = ep.rank();
+    assert!(me >= 1, "run_remote_worker must not run on the master rank");
+    let mut snap = None;
+    let mut spec: Option<JobSpec> = None;
+    let mut local = None;
+    while snap.is_none() || spec.is_none() || local.is_none() {
+        match Msg::recv(ep, 0, "a bootstrap message") {
+            Msg::KbSnapshot(s) => snap = Some(*s),
+            Msg::Configure(j) => spec = Some(*j),
+            Msg::LoadPartition { pos, neg } => local = Some(Examples::new(pos, neg)),
+            other => panic!("worker {me}: unexpected bootstrap message {other:?}"),
+        }
+    }
+    let (snap, spec, local) = (
+        snap.expect("gathered"),
+        spec.expect("gathered"),
+        local.expect("gathered"),
+    );
+
+    let kb = KnowledgeBase::from_snapshot(snap, SymbolTable::new())
+        .unwrap_or_else(|e| panic!("rank {me}: rejected KB snapshot: {e}"));
+    let engine = IlpEngine {
+        kb,
+        modes: spec.modes,
+        settings: spec.settings,
+    };
+    match spec.role {
+        WorkerRole::Pipeline { width, repartition } => {
+            let mut ctx = WorkerContext::new(engine, local, width);
+            ctx.repartition = repartition;
+            run_worker(ep, ctx);
+        }
+        WorkerRole::Coverage => run_baseline_worker(ep, engine, local),
+    }
+}
+
+/// [`crate::driver::run_parallel`] with every worker a real OS process
+/// over localhost TCP.
+///
+/// The background KB is always shipped (worker processes have no shared
+/// memory to inherit it from), so the run to compare against is the
+/// in-process one with `ParallelConfig::with_kb_shipping`: same theory,
+/// same coverage counts, same per-rank step counts. `cfg.model` still
+/// governs all virtual-time metering — wall-clock plays no role in the
+/// reported numbers.
+pub fn run_parallel_tcp(
+    engine: &IlpEngine,
+    examples: &Examples,
+    cfg: &ParallelConfig,
+    tcp: &TcpConfig,
+) -> Result<ParallelReport, ClusterError> {
+    let started = Instant::now();
+    let bin = tcp.resolve_worker_bin()?;
+    let subsets = if cfg.repartition {
+        vec![Examples::default(); cfg.workers]
+    } else {
+        partition_examples(examples, cfg.workers, cfg.seed).0
+    };
+    let mut worker_settings = engine.settings.clone();
+    worker_settings.eval_threads = threads_per_worker(engine.settings.eval_threads, cfg.workers);
+    let role = WorkerRole::Pipeline {
+        width: cfg.width,
+        repartition: cfg.repartition,
+    };
+    let settings = engine.settings.clone();
+    let total_pos = examples.num_pos();
+
+    let outcome = run_cluster_tcp(
+        cfg.workers,
+        cfg.model,
+        tcp.timeout,
+        |rank, addr| spawn_worker(&bin, rank, addr, tcp),
+        |ep| {
+            bootstrap_workers(ep, engine, role.clone(), worker_settings.clone(), &subsets);
+            if cfg.repartition {
+                run_master_repartition(ep, &settings, examples, cfg.seed)
+            } else {
+                run_master(ep, &settings, total_pos)
+            }
+        },
+    )?;
+
+    let master = outcome.result;
+    Ok(ParallelReport {
+        workers: cfg.workers,
+        theory: master.theory,
+        epochs: master.epochs,
+        set_aside: master.set_aside,
+        vtime: outcome.master_vtime,
+        worker_vtimes: outcome.worker_vtimes,
+        total_bytes: outcome.stats.total_bytes(),
+        total_messages: outcome.stats.total_messages(),
+        worker_steps: outcome.worker_steps,
+        dropped_sends: outcome.dropped_sends,
+        wall: started.elapsed(),
+        traces: master.traces,
+        stalled: master.stalled,
+    })
+}
+
+/// [`crate::baselines::run_coverage_parallel`] with worker processes over
+/// localhost TCP (KB always shipped, as in [`run_parallel_tcp`]).
+pub fn run_coverage_parallel_tcp(
+    engine: &IlpEngine,
+    examples: &Examples,
+    workers: usize,
+    granularity: EvalGranularity,
+    model: CostModel,
+    seed: u64,
+    tcp: &TcpConfig,
+) -> Result<BaselineReport, ClusterError> {
+    let started = Instant::now();
+    let bin = tcp.resolve_worker_bin()?;
+    let (subsets, partition) = partition_examples(examples, workers, seed);
+    let mut worker_settings = engine.settings.clone();
+    worker_settings.eval_threads = threads_per_worker(engine.settings.eval_threads, workers);
+
+    let outcome = run_cluster_tcp(
+        workers,
+        model,
+        tcp.timeout,
+        |rank, addr| spawn_worker(&bin, rank, addr, tcp),
+        |ep| {
+            bootstrap_workers(
+                ep,
+                engine,
+                WorkerRole::Coverage,
+                worker_settings.clone(),
+                &subsets,
+            );
+            baseline_master(ep, engine, examples, &partition, granularity)
+        },
+    )?;
+
+    let (theory, epochs, set_aside) = outcome.result;
+    Ok(BaselineReport {
+        theory,
+        epochs,
+        set_aside,
+        vtime: outcome.master_vtime,
+        total_bytes: outcome.stats.total_bytes(),
+        total_messages: outcome.stats.total_messages(),
+        dropped_sends: outcome.dropped_sends,
+        wall: started.elapsed(),
+    })
+}

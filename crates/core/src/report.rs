@@ -30,6 +30,10 @@ pub struct ParallelReport {
     pub total_messages: u64,
     /// Metered inference steps per worker.
     pub worker_steps: Vec<u64>,
+    /// Sends the transport could not deliver (receiver already gone).
+    /// Always 0 on a clean run; non-zero makes a lost-message bug visible
+    /// in the report instead of silently skewing the traffic numbers.
+    pub dropped_sends: u64,
     /// Wall-clock time of the simulation itself (not a paper quantity).
     pub wall: Duration,
     /// Per-epoch pipeline traces.
@@ -215,6 +219,7 @@ mod tests {
             total_bytes: 3_000_000,
             total_messages: 10,
             worker_steps: vec![],
+            dropped_sends: 0,
             wall: Duration::ZERO,
             traces: vec![],
             stalled: false,

@@ -15,6 +15,7 @@
 use crate::pipeline::run_stage_search;
 use crate::protocol::{Msg, PipelineToken, StageTrace};
 use p2mdie_cluster::comm::Endpoint;
+use p2mdie_cluster::transport::Transport;
 use p2mdie_ilp::bitset::Bitset;
 use p2mdie_ilp::engine::IlpEngine;
 use p2mdie_ilp::examples::Examples;
@@ -67,7 +68,7 @@ pub fn adopt_kb_snapshot(engine: &mut IlpEngine, snap: p2mdie_logic::KbSnapshot,
 
 /// Runs the worker protocol until `Stop`. Rank 0 is the master; this must
 /// be called on ranks `1..=p`.
-pub fn run_worker(ep: &mut Endpoint, mut ctx: WorkerContext) {
+pub fn run_worker<T: Transport>(ep: &mut Endpoint<T>, mut ctx: WorkerContext) {
     let me = ep.rank();
     assert!(me >= 1, "run_worker must not run on the master rank");
     let p = ep.workers();
@@ -144,8 +145,8 @@ pub fn run_worker(ep: &mut Endpoint, mut ctx: WorkerContext) {
 
 /// Stage 1 of the own pipeline plus the `p − 1` incoming stages.
 #[allow(clippy::too_many_arguments)]
-fn run_epoch_pipelines(
-    ep: &mut Endpoint,
+fn run_epoch_pipelines<T: Transport>(
+    ep: &mut Endpoint<T>,
     ctx: &mut WorkerContext,
     live: &Bitset,
     current_seed: &mut Option<usize>,
@@ -260,7 +261,7 @@ fn next_live_seed(live: &Bitset, prev: Option<usize>) -> Option<usize> {
 /// Forwards a token whose `step` is the stage the *receiver* would run: to
 /// the next worker while `step <= p`, to the master as `RulesFound` after
 /// the final stage.
-fn dispatch(ep: &mut Endpoint, p: usize, next: usize, token: PipelineToken) {
+fn dispatch<T: Transport>(ep: &mut Endpoint<T>, p: usize, next: usize, token: PipelineToken) {
     if (token.step as usize) <= p {
         ep.send(next, &Msg::PipelineStage(token));
         return;

@@ -1,0 +1,173 @@
+//! End-to-end multi-process cluster tests: a real master process (this
+//! test) plus real `p2mdie-worker` OS processes over localhost TCP.
+//!
+//! The load-bearing assertion: a multi-process run is **bit-identical** to
+//! the in-process simulation with the same `ParallelConfig` seed — same
+//! induced theory, same coverage counts on every accepted rule, same
+//! epochs, same per-rank metered steps, same pipeline rule flow. The
+//! failure tests pin that a worker process dying early or emitting a
+//! malformed frame surfaces as a rank-tagged error at the master instead
+//! of a hang (every run is bounded by a watchdog timeout).
+
+use p2mdie_cluster::{ClusterError, CostModel};
+use p2mdie_core::baselines::{run_coverage_parallel_opts, EvalGranularity};
+use p2mdie_core::driver::{run_parallel, ParallelConfig, TransportKind};
+use p2mdie_core::remote::{run_coverage_parallel_tcp, TcpConfig};
+use p2mdie_ilp::settings::Width;
+use std::sync::mpsc;
+use std::time::Duration;
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_p2mdie-worker");
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn tcp_config() -> TcpConfig {
+    TcpConfig::with_worker_bin(WORKER_BIN)
+}
+
+/// Runs `f` on a watchdog thread; a hang fails the test instead of
+/// stalling the suite.
+fn bounded<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(r) => {
+            let _ = handle.join();
+            r
+        }
+        Err(_) => panic!("multi-process run exceeded the {WATCHDOG:?} watchdog (hang?)"),
+    }
+}
+
+/// The acceptance run: master + ≥2 real worker processes inducing on the
+/// trains dataset must reproduce the in-process run exactly. The
+/// in-process reference uses KB shipping (a TCP run always ships the KB —
+/// worker processes have no shared memory), which is already pinned to
+/// induce identically to the shared-memory run.
+#[test]
+fn tcp_processes_match_in_process_run_bit_for_bit() {
+    let ds = p2mdie_datasets::trains(20, 5);
+    for p in [2usize, 3] {
+        let cfg = ParallelConfig::new(p, Width::Limit(10), 5).with_kb_shipping();
+        let reference = run_parallel(&ds.engine, &ds.examples, &cfg).unwrap();
+
+        let tcp_cfg = cfg.clone().with_transport(TransportKind::Tcp(tcp_config()));
+        let engine = ds.engine.clone();
+        let examples = ds.examples.clone();
+        let tcp = bounded(move || run_parallel(&engine, &examples, &tcp_cfg)).unwrap();
+
+        // Induced theory with coverage counts, epoch and origin of every
+        // accepted rule — the algorithm's entire observable decision
+        // sequence.
+        assert_eq!(reference.theory, tcp.theory, "p={p}: theory drifted");
+        assert_eq!(reference.epochs, tcp.epochs, "p={p}");
+        assert_eq!(reference.set_aside, tcp.set_aside, "p={p}");
+        assert!(!tcp.stalled, "p={p}");
+        // Metered inference steps per rank (saturation, search, coverage
+        // proofs) are bit-identical.
+        assert_eq!(reference.worker_steps, tcp.worker_steps, "p={p}");
+        // Pipeline rule flow: same rules in/out of every stage.
+        let flow = |rep: &p2mdie_core::report::ParallelReport| -> Vec<(u8, u8, u32, u32)> {
+            rep.traces
+                .iter()
+                .flat_map(|t| t.pipelines.iter().flatten())
+                .map(|s| (s.worker, s.step, s.rules_in, s.rules_out))
+                .collect()
+        };
+        assert_eq!(flow(&reference), flow(&tcp), "p={p}: stage flow drifted");
+        // Nothing was lost on the wire.
+        assert_eq!(tcp.dropped_sends, 0, "p={p}");
+        // The TCP run ships the same protocol traffic plus the bootstrap
+        // (Configure + LoadPartition), so its byte total strictly
+        // dominates the in-process one.
+        assert!(
+            tcp.total_bytes > reference.total_bytes,
+            "p={p}: bootstrap must be byte-accounted ({} vs {})",
+            tcp.total_bytes,
+            reference.total_bytes
+        );
+    }
+}
+
+/// The coverage-parallel baseline over real processes induces the same
+/// theory as its in-process twin.
+#[test]
+fn tcp_coverage_baseline_matches_in_process() {
+    let ds = p2mdie_datasets::trains(20, 5);
+    let model = CostModel::beowulf_2005();
+    let reference = run_coverage_parallel_opts(
+        &ds.engine,
+        &ds.examples,
+        2,
+        EvalGranularity::PerLevel,
+        model,
+        5,
+        true, // ship the KB, as the TCP run must
+    )
+    .unwrap();
+    let engine = ds.engine.clone();
+    let examples = ds.examples.clone();
+    let tcp = bounded(move || {
+        run_coverage_parallel_tcp(
+            &engine,
+            &examples,
+            2,
+            EvalGranularity::PerLevel,
+            model,
+            5,
+            &tcp_config(),
+        )
+    })
+    .unwrap();
+    assert_eq!(reference.theory, tcp.theory);
+    assert_eq!(reference.epochs, tcp.epochs);
+    assert_eq!(reference.set_aside, tcp.set_aside);
+    assert_eq!(tcp.dropped_sends, 0);
+}
+
+fn failing_run(injection: &str) -> Result<(), ClusterError> {
+    let ds = p2mdie_datasets::trains(8, 5);
+    let mut tcp = tcp_config();
+    tcp.timeout = Duration::from_secs(30);
+    tcp.worker_env
+        .push(("P2MDIE_TEST_FAIL".to_owned(), injection.to_owned()));
+    let cfg = ParallelConfig::new(2, Width::Limit(10), 5).with_transport(TransportKind::Tcp(tcp));
+    let injection = injection.to_owned();
+    bounded(move || {
+        run_parallel(&ds.engine, &ds.examples, &cfg)
+            .map(|_| ())
+            .map_err(|e| {
+                eprintln!("({injection}) surfaced: {e}");
+                e
+            })
+    })
+}
+
+/// A worker process that exits right after the handshake must surface as a
+/// rank-tagged error at the master — not a hang.
+#[test]
+fn early_worker_exit_surfaces_rank_tagged_error() {
+    let err = failing_run("exit:1").unwrap_err();
+    match &err {
+        ClusterError::Comm { rank, message } => {
+            assert_eq!(*rank, 1, "{err}");
+            assert!(message.contains("rank 1"), "{err}");
+        }
+        other => panic!("expected a Comm error naming rank 1, got {other}"),
+    }
+}
+
+/// A worker process that sends a malformed frame must surface as a
+/// rank-tagged error naming the framing failure — not a hang, not a panic.
+#[test]
+fn malformed_frame_surfaces_rank_tagged_error() {
+    let err = failing_run("badframe:1").unwrap_err();
+    match &err {
+        ClusterError::Comm { rank, message } => {
+            assert_eq!(*rank, 1, "{err}");
+            assert!(message.contains("malformed"), "{err}");
+        }
+        other => panic!("expected a Comm error naming rank 1, got {other}"),
+    }
+}

@@ -158,6 +158,7 @@ fn sweep_dataset(ds: &Dataset, cfg: &SweepConfig) -> DatasetSweep {
                 seed: cfg.seed.wrapping_add(fi as u64),
                 repartition: false,
                 ship_kb: false,
+                transport: p2mdie_core::driver::TransportKind::InProcess,
             };
             let rep = run_parallel(&ds.engine, &fold.train, &pcfg)
                 .unwrap_or_else(|e| panic!("parallel run failed: {e}"));

@@ -192,6 +192,7 @@ fn parallel_virtual_time_beats_sequential() {
             seed: 7,
             repartition: false,
             ship_kb: false,
+            transport: p2mdie::core::TransportKind::InProcess,
         },
     )
     .unwrap();
