@@ -15,12 +15,23 @@
 //! 5. `worker_startup` — building the background KB fresh (consult the
 //!    textual theory: parse, intern, index) vs adopting a serialized
 //!    compiled-KB snapshot (decode bytes, validate, done — see
-//!    `p2mdie_logic::snapshot`).
+//!    `p2mdie_logic::snapshot`);
+//! 6. `fact_memory` — resident fact-store bytes of the column-native
+//!    layout vs the retired duplicate row+column layout, on the
+//!    carcinogenesis and trains background KBs, with a trains coverage
+//!    run asserted bit-identical to the seed replica alongside.
+//!
+//! One caveat on the "before" timings: this binary builds without the
+//! `row-oracle` feature, so the seed-replica provers iterate rows rebuilt
+//! lazily from the columnar store — a small extra cost the true seed (with
+//! rows resident) did not pay. The speedup bars are lower bounds either
+//! way, and the differential *tests* run with rows resident.
 //!
 //! Writes the numbers to `BENCH_prover.json` (repo root) and exits non-zero
 //! when the coverage-evaluation speedup falls below 2x, the
-//! second-arg-bound speedup falls below 3x, or the worker-startup speedup
-//! falls below 5x, so CI can gate on the acceptance criteria.
+//! second-arg-bound speedup falls below 3x, the worker-startup speedup
+//! falls below 5x, or the fact-memory reduction falls below 1.8x, so CI
+//! can gate on the acceptance criteria.
 
 use p2mdie_bench::{legacy, workloads};
 use p2mdie_cluster::codec::{from_bytes, to_bytes};
@@ -59,7 +70,85 @@ impl Entry {
     }
 }
 
+/// Workload 6 (`fact_memory`): exact byte accounting of the column-native
+/// fact store vs the retired row+column layout, plus a trains coverage run
+/// asserted bit-identical to the seed replica. Deterministic (no timing),
+/// so CI enforces this gate unconditionally via `--fact-memory-only`.
+fn fact_memory_entries(kb: &KnowledgeBase) -> Vec<(&'static str, usize, usize)> {
+    let tr = p2mdie_datasets::trains(20, 7);
+    assert_eq!(
+        kb.resident_rows(),
+        0,
+        "release builds must not carry the row-oracle store"
+    );
+    assert_eq!(tr.engine.kb.resident_rows(), 0);
+
+    // Identity on trains: legacy (seed replica) vs column-native coverage
+    // of the seed's bottom clause, full example set.
+    let bottom_tr = tr.engine.saturate(&tr.examples.pos[0]).expect("saturates");
+    let rule_tr = bottom_tr.to_clause();
+    let legacy_cov = legacy::evaluate_rule(
+        &tr.engine.kb,
+        tr.engine.settings.proof,
+        &rule_tr,
+        &tr.examples,
+        None,
+        None,
+    );
+    let new_cov = evaluate_rule_threads(
+        &tr.engine.kb,
+        tr.engine.settings.proof,
+        &rule_tr,
+        &tr.examples,
+        None,
+        None,
+        1,
+    );
+    assert_eq!(
+        legacy_cov, new_cov,
+        "trains coverage must stay bit-identical to the seed replica"
+    );
+
+    vec![
+        (
+            "carcinogenesis",
+            kb.row_baseline_bytes(),
+            kb.fact_store_bytes(),
+        ),
+        (
+            "trains",
+            tr.engine.kb.row_baseline_bytes(),
+            tr.engine.kb.fact_store_bytes(),
+        ),
+    ]
+}
+
+/// Prints the fact-memory rows and returns whether any misses the 1.8x bar.
+fn report_fact_memory(fact_memory: &[(&str, usize, usize)]) -> bool {
+    let mut failed = false;
+    for (name, baseline, store) in fact_memory {
+        let reduction = *baseline as f64 / *store as f64;
+        println!(
+            "fact_memory/{name:<12} rows+cols {baseline:>10} B   columns {store:>10} B   reduction {reduction:>5.2}x"
+        );
+        if reduction < 1.8 {
+            eprintln!(
+                "FAIL: fact_memory/{name} reduction {reduction:.2}x is below the 1.8x acceptance bar"
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--fact-memory-only") {
+        let d = carcinogenesis(0.5, 7);
+        if report_fact_memory(&fact_memory_entries(&d.engine.kb)) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut entries: Vec<Entry> = Vec::new();
     let samples = 7;
 
@@ -339,9 +428,20 @@ fn main() {
         });
     }
 
+    // ---- 6. Fact-store memory: the column-native store vs the retired
+    // row+column layout (every fact kept a second time as a row `Literal`
+    // next to its indexable-prefix columns). Bytes are computed from the
+    // same KB by the store's own accounting (`fact_store_bytes` /
+    // `row_baseline_bytes`), so the comparison is exact, not sampled; the
+    // shared arena and posting lists are excluded, while arena terms that
+    // exist only for past-prefix columns are charged to the new layout.
+    // Alongside the bytes, bit-identity is re-asserted on the trains
+    // workload. Acceptance bar: >= 1.8x smaller.
+    let fact_memory = fact_memory_entries(kb);
+
     // ---- Report.
-    let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes); worker_startup: fresh textual consult vs compiled-KB snapshot load. Best-of-N wall times\",\n  \"benches\": {\n");
-    for (i, e) in entries.iter().enumerate() {
+    let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes); worker_startup: fresh textual consult vs compiled-KB snapshot load; fact_memory: column-native fact store vs the retired row+column layout (exact byte accounting; shared arena/postings excluded, column-only arena growth past the indexable prefix charged to the new layout). Best-of-N wall times\",\n  \"benches\": {\n");
+    for e in entries.iter() {
         println!(
             "{:<24} before {:>12.0} ns   after {:>12.0} ns   speedup {:>5.2}x",
             e.name,
@@ -350,19 +450,31 @@ fn main() {
             e.speedup()
         );
         json.push_str(&format!(
-            "    \"{}\": {{ \"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.3} }}{}\n",
+            "    \"{}\": {{ \"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.3} }},\n",
             e.name,
             e.before_ns,
             e.after_ns,
             e.speedup(),
-            if i + 1 < entries.len() { "," } else { "" }
         ));
     }
-    json.push_str("  }\n}\n");
+    json.push_str("    \"fact_memory\": {\n");
+    for (i, (name, baseline, store)) in fact_memory.iter().enumerate() {
+        let reduction = *baseline as f64 / *store as f64;
+        json.push_str(&format!(
+            "      \"{}\": {{ \"row_baseline_bytes\": {}, \"column_store_bytes\": {}, \"reduction\": {:.3} }}{}\n",
+            name,
+            baseline,
+            store,
+            reduction,
+            if i + 1 < fact_memory.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    }\n  }\n}\n");
+    let memory_failed = report_fact_memory(&fact_memory);
     std::fs::write("BENCH_prover.json", &json).expect("write BENCH_prover.json");
     println!("\nwrote BENCH_prover.json");
 
-    let mut failed = false;
+    let mut failed = memory_failed;
     for (name, bar) in [
         ("coverage_eval", 2.0),
         ("second_arg_bound", 3.0),

@@ -56,6 +56,13 @@
 //! them surfaces as a per-link closure ([`crate::comm::LinkFault`]) at
 //! every peer instead of a hang.
 //!
+//! Every handshake step is bounded twice: the run-level `timeout` caps the
+//! whole rendezvous, and each *connection* additionally gets
+//! [`HANDSHAKE_TIMEOUT`] (tunable via the `_opts` entry points) to
+//! complete its `Hello` — so one peer that connects and goes silent fails
+//! the rendezvous fast with a `NetError` naming the peer, instead of
+//! stalling the mesh until the global watchdog.
+//!
 //! # When to use which transport
 //!
 //! Use the default in-process mesh ([`crate::run_cluster`]) for
@@ -80,8 +87,21 @@ use std::time::{Duration, Instant};
 
 /// Handshake magic ("p2md").
 pub const MAGIC: u32 = 0x7032_6d64;
-/// Wire-protocol version; bumped on any frame-format change.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Wire-protocol version; bumped on any frame-format *or payload-shape*
+/// change (v2: `KbSnapshot` columns became full-arity when the fact store
+/// went column-native — a v1 peer would reject the new snapshot with a
+/// misleading structural error, so the handshake refuses the pairing
+/// cleanly instead).
+pub const PROTOCOL_VERSION: u16 = 2;
+/// Default per-connection handshake bound: once a peer has *connected*, it
+/// gets this long to complete its `Hello` (and a roster-fed worker dial
+/// this long to succeed) before the rendezvous gives up on it. Without a
+/// per-connection bound, a peer that connects and then goes silent — a
+/// half-dead process, a port scanner, a partitioned host — stalls the
+/// whole mesh until the run's *global* watchdog (typically 60 s) instead
+/// of failing fast with a diagnosis. The global deadline still caps
+/// everything; this bound only tightens the per-peer wait.
+pub const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 /// Upper bound on one frame's body (guards against garbage length
 /// prefixes; a compiled-KB snapshot for the paper-scale datasets is a few
 /// MB, so 1 GiB is generous).
@@ -791,20 +811,45 @@ impl MasterRendezvous {
 
     /// Runs the master's half of the handshake: accept `workers` hellos,
     /// send every worker the roster, assemble the transport (rank 0).
+    /// Each accepted connection gets [`HANDSHAKE_TIMEOUT`] to complete its
+    /// `Hello`; use [`MasterRendezvous::accept_workers_opts`] to tighten.
     pub fn accept_workers(
         self,
         workers: usize,
         model: CostModel,
         timeout: Duration,
     ) -> Result<TcpTransport, NetError> {
+        self.accept_workers_opts(workers, model, timeout, HANDSHAKE_TIMEOUT)
+    }
+
+    /// [`MasterRendezvous::accept_workers`] with an explicit per-connection
+    /// handshake bound: a peer that connects but never sends `Hello` fails
+    /// the rendezvous after `handshake` (naming the peer's address) instead
+    /// of consuming the whole global `timeout`.
+    pub fn accept_workers_opts(
+        self,
+        workers: usize,
+        model: CostModel,
+        timeout: Duration,
+        handshake: Duration,
+    ) -> Result<TcpTransport, NetError> {
         let deadline = Instant::now() + timeout;
         let mut slots: Vec<Option<(TcpStream, FrameReader, String)>> = Vec::new();
         slots.resize_with(workers + 1, || None);
         for _ in 0..workers {
+            // Waiting for a *connection* is bounded only globally (workers
+            // may legitimately take a while to spawn); once connected, the
+            // peer must say hello within the per-connection bound.
             let mut stream = accept_one(&self.listener, deadline, "master rendezvous")?;
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown peer>".to_owned());
+            let conn_deadline = deadline.min(Instant::now() + handshake);
+            let what = format!("master rendezvous: peer {peer}");
             let mut reader = FrameReader::new();
-            let hello = read_one_frame(&mut stream, &mut reader, deadline, "master rendezvous")?;
-            let (rank, addr) = check_hello(hello, workers, "master rendezvous")?;
+            let hello = read_one_frame(&mut stream, &mut reader, conn_deadline, &what)?;
+            let (rank, addr) = check_hello(hello, workers, &what)?;
             if slots[rank].is_some() {
                 return Err(NetError::new(format!(
                     "master rendezvous: rank {rank} connected twice"
@@ -847,6 +892,20 @@ pub fn worker_connect(
     rank: usize,
     timeout: Duration,
 ) -> Result<(TcpTransport, CostModel), NetError> {
+    worker_connect_opts(master_addr, rank, timeout, HANDSHAKE_TIMEOUT)
+}
+
+/// [`worker_connect`] with an explicit per-connection handshake bound (see
+/// [`MasterRendezvous::accept_workers_opts`]): mesh dials and accepted
+/// peers' `Hello`s are each bounded by `handshake`, so one silent peer
+/// fails this worker's rendezvous fast instead of stalling it until the
+/// global `timeout`.
+pub fn worker_connect_opts(
+    master_addr: &str,
+    rank: usize,
+    timeout: Duration,
+    handshake: Duration,
+) -> Result<(TcpTransport, CostModel), NetError> {
     assert!(rank >= 1, "worker ranks start at 1");
     let deadline = Instant::now() + timeout;
 
@@ -865,6 +924,9 @@ pub fn worker_connect(
         addr: my_addr,
     }))?;
     let mut master_reader = FrameReader::new();
+    // The roster only goes out once *every* rank said hello, so this wait
+    // legitimately depends on the slowest sibling: bound it by the global
+    // deadline, not the per-connection one.
     let roster = read_one_frame(
         &mut master,
         &mut master_reader,
@@ -885,14 +947,17 @@ pub fn worker_connect(
     peers.resize_with(workers + 1, || None);
     peers[0] = Some((master, master_reader));
 
-    // Dial every lower-ranked worker; they accept and read our hello.
+    // Dial every lower-ranked worker; they accept and read our hello. A
+    // rostered peer's listener is already bound (workers bind before their
+    // hello), so each dial gets the per-connection bound, not the global.
     for (peer, addr) in &addrs {
         let peer = *peer as usize;
         if peer >= rank {
             continue;
         }
         let sock = resolve(addr)?;
-        let mut stream = dial(sock, deadline, "worker mesh")?;
+        let conn_deadline = deadline.min(Instant::now() + handshake);
+        let mut stream = dial(sock, conn_deadline, &format!("worker mesh: rank {peer}"))?;
         stream.write_all(&encode_frame(&Frame::Hello {
             magic: MAGIC,
             version: PROTOCOL_VERSION,
@@ -902,12 +967,19 @@ pub fn worker_connect(
         peers[peer] = Some((stream, FrameReader::new()));
     }
 
-    // Accept every higher-ranked worker's dial.
+    // Accept every higher-ranked worker's dial; once connected, a peer
+    // must complete its hello within the per-connection bound.
     for _ in rank + 1..=workers {
         let mut stream = accept_one(&listener, deadline, "worker mesh")?;
+        let peer_addr = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown peer>".to_owned());
+        let conn_deadline = deadline.min(Instant::now() + handshake);
+        let what = format!("worker mesh: peer {peer_addr}");
         let mut reader = FrameReader::new();
-        let hello = read_one_frame(&mut stream, &mut reader, deadline, "worker mesh")?;
-        let (peer, _) = check_hello(hello, workers, "worker mesh")?;
+        let hello = read_one_frame(&mut stream, &mut reader, conn_deadline, &what)?;
+        let (peer, _) = check_hello(hello, workers, &what)?;
         if peer <= rank {
             return Err(NetError::new(format!(
                 "worker mesh: unexpected dial from rank {peer}"

@@ -93,7 +93,15 @@ fn poison_propagates_across_sockets() {
         2,
         CostModel::free(),
         |ep| {
-            let r = catch_unwind(AssertUnwindSafe(|| ep.recv_from(1)));
+            // Block on the *failing* rank: its link carries the poison
+            // frame before the stream close (per-link FIFO), so the master
+            // deterministically unwinds poisoned. (Blocking on rank 1
+            // instead would race poison-from-2 against closed-1 — rank 1
+            // exits as soon as the poison reaches *it* — and sometimes
+            // surface the benign-but-different `LinkFault::Closed`; rank 1
+            // below still covers being woken while blocked on another
+            // peer.)
+            let r = catch_unwind(AssertUnwindSafe(|| ep.recv_from(2)));
             match r {
                 Err(e) => match e.downcast_ref::<Poisoned>() {
                     Some(p) => p.origin,
@@ -221,4 +229,128 @@ fn shutdown_reports_reach_the_master() {
             assert!(ep.transport_mut().send_report(&report));
         },
     );
+}
+
+/// A peer that *connects* to the master but never sends its `Hello` must
+/// fail the rendezvous after the per-connection handshake bound — naming
+/// the silent peer — instead of stalling the mesh until the global
+/// watchdog (the regression this guards: rendezvous reads used to be
+/// bounded only by the run-level timeout, so one half-dead dialer consumed
+/// the entire budget).
+#[test]
+fn stalled_peer_fails_master_rendezvous_fast() {
+    use p2mdie_cluster::net::MasterRendezvous;
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    let rendezvous = MasterRendezvous::bind("127.0.0.1:0").unwrap();
+    let addr = rendezvous.local_addr().unwrap().to_string();
+    // The fake peer: completes TCP, then goes silent (kept alive so the
+    // stream never closes — closure would be the *other* failure path).
+    let stalled = TcpStream::connect(&addr).expect("fake peer connects");
+    let started = Instant::now();
+    let err = match rendezvous.accept_workers_opts(
+        1,
+        CostModel::free(),
+        TIMEOUT, // global watchdog: 20 s — must NOT be what bounds us
+        Duration::from_millis(200),
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("a silent peer must fail the handshake"),
+    };
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "stalled peer held the rendezvous for {elapsed:?} (global-watchdog stall)"
+    );
+    assert!(
+        err.message.contains("timed out"),
+        "diagnosis must say the handshake timed out: {}",
+        err.message
+    );
+    assert!(
+        err.message.contains("peer 127.0.0.1"),
+        "diagnosis must name the silent peer: {}",
+        err.message
+    );
+    drop(stalled);
+}
+
+/// Same stall on the worker-to-worker mesh: a higher-ranked "worker" that
+/// dials but never says hello must fail the accepting worker's rendezvous
+/// within the per-connection bound, not the global timeout.
+#[test]
+fn stalled_peer_fails_worker_mesh_fast() {
+    use p2mdie_cluster::net::{worker_connect_opts, MasterRendezvous};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    let rendezvous = MasterRendezvous::bind("127.0.0.1:0").unwrap();
+    let addr = rendezvous.local_addr().unwrap().to_string();
+    // Rank 1 of a 2-worker mesh: after the roster it accepts rank 2's
+    // dial. The fake rank 2 below completes the master handshake honestly
+    // (so the roster goes out) but then dials rank 1 and goes silent.
+    let worker = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let started = Instant::now();
+            let err = worker_connect_opts(&addr, 1, TIMEOUT, Duration::from_millis(200))
+                .map(|_| ())
+                .expect_err("a silent mesh peer must fail the handshake");
+            (err, started.elapsed())
+        }
+    });
+    let master = std::thread::spawn(move || {
+        // Manual master half: accept both hellos, send the roster, then
+        // keep the streams alive while rank 1 times out on rank 2.
+        let t = rendezvous
+            .accept_workers_opts(2, CostModel::free(), TIMEOUT, TIMEOUT)
+            .map(|_| ());
+        // Rank 1 fails its mesh accept and drops its master link; the
+        // transport surfaces that as a closure, which is fine here.
+        drop(t);
+    });
+    // Fake rank 2: real hello to the master, silence toward rank 1.
+    let mut master_stream = TcpStream::connect(&addr).expect("fake rank 2 dials master");
+    {
+        use p2mdie_cluster::net::{encode_frame, Frame, FrameReader, MAGIC, PROTOCOL_VERSION};
+        use std::io::{Read, Write};
+        let my_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        master_stream
+            .write_all(&encode_frame(&Frame::Hello {
+                magic: MAGIC,
+                version: PROTOCOL_VERSION,
+                rank: 2,
+                addr: my_listener.local_addr().unwrap().to_string(),
+            }))
+            .unwrap();
+        // Read the roster, find rank 1's address, dial it — then nothing.
+        let mut reader = FrameReader::new();
+        let mut chunk = [0u8; 4096];
+        let rank1_addr = loop {
+            if let Some(Frame::Roster { addrs, .. }) = reader.next_frame().unwrap() {
+                break addrs
+                    .iter()
+                    .find(|(r, _)| *r == 1)
+                    .map(|(_, a)| a.clone())
+                    .expect("rank 1 in roster");
+            }
+            let n = master_stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "master closed before sending the roster");
+            reader.push(&chunk[..n]);
+        };
+        let _silent = TcpStream::connect(&rank1_addr).expect("fake dial to rank 1");
+        let (err, elapsed) = worker.join().expect("rank 1 thread");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "stalled mesh peer held rank 1 for {elapsed:?}"
+        );
+        assert!(
+            err.message.contains("timed out") && err.message.contains("peer 127.0.0.1"),
+            "diagnosis must name the silent mesh peer: {}",
+            err.message
+        );
+    }
+    drop(master_stream);
+    master.join().expect("master thread");
 }

@@ -13,8 +13,11 @@
 //! 1. restore the snapshot into a **fresh** symbol table — the
 //!    id-preserving path, so every symbol id in later messages (clauses,
 //!    examples, modes) means the same thing on both sides;
-//! 2. adopt the KB *as shipped* (no re-pruning, no re-indexing — exactly
-//!    what the in-process `ship_kb` adoption does);
+//! 2. adopt the KB *as shipped* (no re-pruning, no re-indexing, and — the
+//!    store being column-native — no row materialization: the restored KB
+//!    holds the snapshot's `TermId` columns and unifies straight against
+//!    them, so a worker process's fact memory is the columnar footprint
+//!    and nothing more);
 //! 3. run the same worker loop ([`run_worker`] or the coverage baseline).
 //!
 //! Because virtual arrival times travel inside the TCP frames, a

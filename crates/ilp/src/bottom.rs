@@ -307,7 +307,7 @@ mod tests {
                 (4, "bond(+mol, +atom, -atom, #bondtype)"),
             ],
         )
-        .unwrap();
+        .expect("toy mode declarations parse");
         (t, kb, modes)
     }
 
@@ -316,7 +316,7 @@ mod tests {
         let (t, kb, modes) = toy();
         let s = Settings::default();
         let e = Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))]);
-        let b = saturate(&kb, &modes, &s, &e).unwrap();
+        let b = saturate(&kb, &modes, &s, &e).expect("seed matches the head mode");
         // Head is variablized.
         assert_eq!(b.head.args.len(), 1);
         assert!(matches!(b.head.args[0], Term::Var(0)));
@@ -351,7 +351,7 @@ mod tests {
         let (t, kb, modes) = toy();
         let s = Settings::default();
         let e = Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))]);
-        let b = saturate(&kb, &modes, &s, &e).unwrap();
+        let b = saturate(&kb, &modes, &s, &e).expect("seed matches the head mode");
         for l in &b.lits {
             if l.lit.pred == t.intern("atm") {
                 assert!(l.lit.args[2].is_constant(), "elem slot must stay ground");
@@ -375,7 +375,7 @@ mod tests {
             ..Settings::default()
         };
         let e = Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))]);
-        let b = saturate(&kb, &modes, &s, &e).unwrap();
+        let b = saturate(&kb, &modes, &s, &e).expect("seed matches the head mode");
         assert!(b.lits.iter().all(|l| l.lit.pred != t.intern("bond")));
     }
 
@@ -387,7 +387,7 @@ mod tests {
             ..Settings::default()
         };
         let e = Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))]);
-        let b = saturate(&kb, &modes, &s, &e).unwrap();
+        let b = saturate(&kb, &modes, &s, &e).expect("seed matches the head mode");
         assert_eq!(b.lits.len(), 1);
     }
 
@@ -396,20 +396,20 @@ mod tests {
         let (t, kb, modes) = toy();
         let s = Settings::default();
         let e = Literal::new(t.intern("active"), vec![Term::Sym(t.intern("m1"))]);
-        let b = saturate(&kb, &modes, &s, &e).unwrap();
+        let b = saturate(&kb, &modes, &s, &e).expect("seed matches the head mode");
         // The atom a1 appears both as atm output and bond input: same var.
         let atm_a1_var = b
             .lits
             .iter()
             .find(|l| l.lit.pred == t.intern("atm") && l.lit.args[2] == Term::Sym(t.intern("n")))
             .and_then(|l| l.outputs.first().copied())
-            .unwrap();
+            .expect("the nitrogen atm literal has an output var");
         let bond_in = b
             .lits
             .iter()
             .find(|l| l.lit.pred == t.intern("bond"))
             .map(|l| l.inputs[1])
-            .unwrap();
+            .expect("the bond literal was saturated");
         assert_eq!(atm_a1_var, bond_in);
     }
 }

@@ -64,7 +64,11 @@ fn resolve_threads(threads: usize) -> usize {
 
 /// A rule compiled for repeated evaluation: body dispatch resolved once
 /// (see [`p2mdie_logic::clause::CompiledGoals`]), rename-apart span
-/// precomputed. Prepare once per candidate rule; prove per example.
+/// precomputed. Prepare once per candidate rule; prove per example. Each
+/// proof runs column-native end to end: body goals retrieve `(PredId,
+/// row-index)` candidates and unify against the KB's arena-id tuples, so
+/// coverage testing touches no row literals (the examples themselves are
+/// the only literals in play).
 #[derive(Clone, Debug)]
 pub struct PreparedRule {
     /// The rule head (examples unify against it).

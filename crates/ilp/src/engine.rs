@@ -30,7 +30,11 @@ impl IlpEngine {
     /// signal: posting lists on argument positions the language bias can
     /// never bind — output slots whose type occurs nowhere else, so no
     /// shared variable can ever reach them bound — are pruned from the KB
-    /// (see [`ModeSet::bound_positions`]).
+    /// (see [`ModeSet::bound_positions`]). Facts asserted *after* this
+    /// pruning (late arrivals, incremental loads) respect it: pruned
+    /// positions stay pruned and plans remain bit-identical to the
+    /// prune-first construction order (pinned by the `late_asserts_*`
+    /// regression tests in `crates/logic`).
     pub fn new(mut kb: KnowledgeBase, modes: ModeSet, settings: Settings) -> Self {
         for (key, keep) in modes.bound_positions() {
             kb.retain_indexes(key, &keep);

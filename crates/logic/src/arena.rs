@@ -10,6 +10,14 @@
 //!
 //! The arena is append-only: ids are stable for the lifetime of the KB, so
 //! posting lists and columns can hold raw `u32`s without invalidation.
+//!
+//! Since unification went column-native, the arena is also the
+//! *unification source*: [`crate::subst::Bindings::unify_term_id`] matches
+//! a goal argument against `arena.term(cell)` directly — the arena term is
+//! ground by construction, which licenses the occurs-free fast path — so
+//! the columnar tuples are the only per-fact storage a release build
+//! carries (the row `Literal` store of earlier revisions is gone; see
+//! `kb.rs`).
 
 use crate::fxhash::FxHashMap;
 use crate::term::Term;

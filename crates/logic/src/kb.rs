@@ -3,15 +3,21 @@
 //!
 //! Background knowledge in ILP applications is mostly *extensional* (ground
 //! facts: atoms, bonds, edge properties...), plus a few intensional rules.
-//! The store keeps three coordinated representations per `(predicate,
-//! arity)` relation, addressed by a dense [`PredId`]:
+//! Per-worker memory is the scaling currency of the paper's design — every
+//! rank holds the whole background KB, so fact-store bytes directly cap how
+//! many ranks fit on a node. The store therefore keeps **one** resident
+//! representation per `(predicate, arity)` relation, addressed by a dense
+//! [`PredId`]:
 //!
-//! 1. **Columnar tuples** — every ground argument in the indexable prefix
-//!    (the first [`MAX_INDEXED_ARGS`] positions) is interned into the
-//!    per-KB [`TermArena`] and stored as `Vec<TermId>` columns: one `u32`
-//!    per cell, deduplicated term storage, and one-compare membership
-//!    tests when a plan narrows a first-argument walk by a sparser
-//!    position.
+//! 1. **Columnar tuples** — every ground argument of every fact is interned
+//!    into the per-KB [`TermArena`] and stored as `Vec<TermId>` columns,
+//!    one column per argument position: `cols[p][f]` is fact `f`'s argument
+//!    `p` as a 4-byte id ([`TermId::NONE`] for the rare non-ground
+//!    argument). Columns are simultaneously the *plan-building* substrate
+//!    (one-compare membership tests) and the *unification target*: the
+//!    prover matches a goal literal directly against a fact's id tuple via
+//!    [`crate::subst::Bindings::unify_term_id`], so no row `Literal` is
+//!    ever needed on the hot path.
 //! 2. **Per-position posting lists** — for each of the first
 //!    [`MAX_INDEXED_ARGS`] argument positions (unless pruned via
 //!    [`KnowledgeBase::retain_indexes`], e.g. from mode declarations), a
@@ -20,10 +26,20 @@
 //!    position (hash-join style), so a `bond/4` goal bound on its second
 //!    argument touches only that atom's bonds instead of scanning the
 //!    molecule — or the whole relation (ROADMAP "index beyond first-arg").
-//! 3. **Row literals** — the original `Literal` per fact, kept as the view
-//!    of the differential oracle ([`crate::prover::reference`]) through the
-//!    legacy [`KnowledgeBase::candidate_facts`] iterator, and as the
-//!    fallback unification target for the rare non-ground fact argument.
+//! 3. **Irregular rows** — the occasional fact with a non-ground argument
+//!    cannot live in the arena; its original `Literal` is kept in a small
+//!    index-sorted side list and unified row-at-a-time as before.
+//!
+//! The duplicate row store of earlier revisions (every fact kept a second
+//! time as a `Literal`) is gone from release builds, roughly halving fact
+//! memory. Under the **`row-oracle`** feature (enabled for every `cargo
+//! test` run via the crate's self-dev-dependency) the rows stay resident so
+//! the differential oracle ([`crate::prover::reference`]) unifies against
+//! the *original* literals exactly as the seed implementation did; without
+//! the feature, debug/oracle views ([`KnowledgeBase::candidate_facts`],
+//! [`KnowledgeBase::facts_for`]) rebuild rows lazily from the columns.
+//! Either way the resident rows are a *view*: a KB restored from a
+//! snapshot never materializes them (see [`KnowledgeBase::resident_rows`]).
 //!
 //! Rules are stored both as plain [`Clause`]s (oracle view) and as
 //! [`CompiledClause`]s whose body literals carry pre-resolved dispatch
@@ -39,10 +55,10 @@
 //! The whole compiled store — arena terms, columnar tuples, posting lists,
 //! compiled rules, and the symbol dictionary — serializes as a
 //! [`crate::snapshot::KbSnapshot`] via [`KnowledgeBase::to_snapshot`] /
-//! [`KnowledgeBase::from_snapshot`]. A restore re-interns nothing and
-//! rebuilds no index (only the reverse hash maps are repopulated), which
-//! makes worker startup in the cluster substrate one wire transfer
-//! (`Msg::KbSnapshot`) instead of a per-rank rebuild; see the
+//! [`KnowledgeBase::from_snapshot`]. A restore re-interns nothing, rebuilds
+//! no index, and materializes no rows (only the reverse hash maps are
+//! repopulated), which makes worker startup in the cluster substrate one
+//! wire transfer (`Msg::KbSnapshot`) instead of a per-rank rebuild; see the
 //! [`crate::snapshot`] module docs for the format and validation rules.
 //!
 //! # Step-accounting contract
@@ -61,8 +77,9 @@ use crate::builtins::BuiltinTable;
 use crate::clause::{Clause, CompiledClause, CompiledGoals, CompiledLiteral, LitKind, Literal};
 use crate::clause::{PredId, PredKey};
 use crate::fxhash::FxHashMap;
-use crate::symbol::SymbolTable;
+use crate::symbol::{SymbolId, SymbolTable};
 use crate::term::Term;
+use std::borrow::Cow;
 
 /// How many leading argument positions get a posting-list index by default.
 pub const MAX_INDEXED_ARGS: usize = 4;
@@ -78,16 +95,25 @@ const NARROW_MIN: u64 = 64;
 /// can capture and restore it field-for-field.)
 #[derive(Debug, Clone)]
 pub(crate) struct PredEntry {
-    /// Row view of every fact (oracle + unification target).
-    pub(crate) facts: Vec<Literal>,
-    /// Columnar view of the *indexable* argument positions: `cols[p][f]` is
-    /// fact `f`'s argument `p` as an interned id ([`TermId::NONE`] for a
-    /// non-ground argument). Plans use these for one-compare membership
-    /// tests; positions past [`MAX_INDEXED_ARGS`] are never probed, so no
-    /// column is kept for them.
+    /// Row-oracle view: the original `Literal` of every fact, in assertion
+    /// order. Maintained only while *complete* — a snapshot restore leaves
+    /// it empty (and late asserts then stop appending, so indices never
+    /// skew); everyone resolving rows goes through [`PredEntry::row`],
+    /// which falls back to a columnar rebuild.
+    #[cfg(feature = "row-oracle")]
+    pub(crate) rows: Vec<Literal>,
+    /// Number of facts (columns are per-position, so an arity-0 relation
+    /// has no column to count).
+    pub(crate) len: u32,
+    /// Columnar view of **every** argument position: `cols[p][f]` is fact
+    /// `f`'s argument `p` as an interned id ([`TermId::NONE`] for a
+    /// non-ground argument, which then has its row in `irregular`).
     pub(crate) cols: Vec<Vec<TermId>>,
-    /// Posting lists per indexed position: ground-term id -> ascending
-    /// fact indices. `None` = index pruned for this position.
+    /// `(fact index, original literal)` for facts with at least one
+    /// non-ground argument, index-ascending. These unify row-at-a-time.
+    pub(crate) irregular: Vec<(u32, Literal)>,
+    /// Posting lists per indexed position (`min(arity, MAX_INDEXED_ARGS)`):
+    /// ground-term id -> ascending fact indices. `None` = index pruned.
     pub(crate) postings: Vec<Option<FxHashMap<TermId, Vec<u32>>>>,
     /// Per indexed position: facts whose argument there is *not* ground
     /// (they match any probe, so every plan includes them).
@@ -97,11 +123,14 @@ pub(crate) struct PredEntry {
 }
 
 impl PredEntry {
-    fn new(arity: usize) -> Self {
+    pub(crate) fn new(arity: usize) -> Self {
         let indexed = arity.min(MAX_INDEXED_ARGS);
         PredEntry {
-            facts: Vec::new(),
-            cols: vec![Vec::new(); indexed],
+            #[cfg(feature = "row-oracle")]
+            rows: Vec::new(),
+            len: 0,
+            cols: vec![Vec::new(); arity],
+            irregular: Vec::new(),
             postings: (0..indexed).map(|_| Some(FxHashMap::default())).collect(),
             unindexed: vec![Vec::new(); indexed],
             rules: Vec::new(),
@@ -110,7 +139,77 @@ impl PredEntry {
     }
 
     fn is_empty(&self) -> bool {
-        self.facts.is_empty() && self.rules.is_empty()
+        self.len == 0 && self.rules.is_empty()
+    }
+
+    /// The irregular (non-ground) row at `idx`, if that fact has one.
+    #[inline]
+    fn irregular_row(&self, idx: u32) -> Option<&Literal> {
+        if self.irregular.is_empty() {
+            return None;
+        }
+        self.irregular
+            .binary_search_by_key(&idx, |(f, _)| *f)
+            .ok()
+            .map(|k| &self.irregular[k].1)
+    }
+
+    /// Rebuilds fact `idx`'s row literal from the columns (irregular rows
+    /// are served from their stored originals).
+    fn rebuild_row(&self, pred: SymbolId, arena: &TermArena, idx: u32) -> Literal {
+        if let Some(l) = self.irregular_row(idx) {
+            return l.clone();
+        }
+        let args: Vec<Term> = self
+            .cols
+            .iter()
+            .map(|col| {
+                let tid = col[idx as usize];
+                debug_assert!(!tid.is_none(), "regular row has only interned cells");
+                arena.term(tid).clone()
+            })
+            .collect();
+        Literal::new(pred, args)
+    }
+
+    /// The row literal of fact `idx`: borrowed from the resident row store
+    /// when it is complete (`row-oracle` builds, assert-built KBs), from
+    /// the irregular list when the fact is non-ground, rebuilt from the
+    /// columns otherwise.
+    fn row<'a>(&'a self, pred: SymbolId, arena: &'a TermArena, idx: u32) -> Cow<'a, Literal> {
+        #[cfg(feature = "row-oracle")]
+        if self.rows.len() == self.len as usize {
+            return Cow::Borrowed(&self.rows[idx as usize]);
+        }
+        if let Some(l) = self.irregular_row(idx) {
+            return Cow::Borrowed(l);
+        }
+        Cow::Owned(self.rebuild_row(pred, arena, idx))
+    }
+
+    /// Appends `fact` to the resident row store, but only while that store
+    /// is complete (a snapshot restore starts it empty; appending at wrong
+    /// offsets would corrupt the oracle view).
+    #[cfg(feature = "row-oracle")]
+    fn store_row(&mut self, fact: Literal) {
+        if self.rows.len() == self.len as usize {
+            self.rows.push(fact);
+        }
+    }
+
+    #[cfg(not(feature = "row-oracle"))]
+    fn store_row(&mut self, _fact: Literal) {}
+
+    /// Resident row-store literals (0 unless `row-oracle` kept them).
+    fn resident_rows(&self) -> usize {
+        #[cfg(feature = "row-oracle")]
+        {
+            self.rows.len()
+        }
+        #[cfg(not(feature = "row-oracle"))]
+        {
+            0
+        }
     }
 }
 
@@ -177,13 +276,17 @@ impl KnowledgeBase {
         id
     }
 
-    /// Adds a ground (or at least first-arg-indexable) fact.
+    /// Adds a fact. Every ground argument is interned into the arena and
+    /// stored columnar; a fact with a non-ground argument additionally
+    /// keeps its original literal in the entry's irregular side list.
+    ///
+    /// Late arrivals compose with every earlier store mutation: positions
+    /// pruned via [`KnowledgeBase::retain_indexes`] stay pruned (no posting
+    /// is re-created, no `unindexed` entry drifts in), and a KB restored
+    /// from a snapshot indexes the new fact exactly as a fresh build would.
     pub fn assert_fact(&mut self, fact: Literal) {
-        // Only the indexable prefix of the argument tuple is interned —
-        // positions past [`MAX_INDEXED_ARGS`] are never probed, so paying
-        // arena and column space for them would buy nothing.
-        let indexed = fact.args.len().min(MAX_INDEXED_ARGS);
-        let tids: Vec<TermId> = fact.args[..indexed]
+        let tids: Vec<TermId> = fact
+            .args
             .iter()
             .map(|a| {
                 if a.is_ground() {
@@ -195,9 +298,14 @@ impl KnowledgeBase {
             .collect();
         let pid = self.pred_id_or_insert(fact.key());
         let entry = &mut self.entries[pid.index()];
-        let idx = entry.facts.len() as u32;
+        let idx = entry.len;
+        let mut regular = true;
         for (p, &tid) in tids.iter().enumerate() {
             entry.cols[p].push(tid);
+            regular &= !tid.is_none();
+            if p >= entry.postings.len() {
+                continue;
+            }
             match &mut entry.postings[p] {
                 // Every ground argument — atomic *or compound* — is interned
                 // and posted under its arena id, so goals bound to a ground
@@ -205,10 +313,14 @@ impl KnowledgeBase {
                 // probes").
                 Some(map) if !tid.is_none() => map.entry(tid).or_default().push(idx),
                 Some(_) => entry.unindexed[p].push(idx),
-                None => {}
+                None => {} // position pruned; late facts must not revive it
             }
         }
-        entry.facts.push(fact);
+        if !regular {
+            entry.irregular.push((idx, fact.clone()));
+        }
+        entry.store_row(fact);
+        entry.len += 1;
         self.num_facts += 1;
     }
 
@@ -310,13 +422,18 @@ impl KnowledgeBase {
         &self.entries[id.index()].crules
     }
 
-    /// The row view of predicate `id`'s facts — the unification targets
-    /// once a plan has selected candidates (row-at-a-time unification has
-    /// better locality than per-argument column reads; the columns' job is
-    /// building the plan).
+    /// The column-native view of predicate `id`'s facts — the unification
+    /// target once a plan has selected candidates. A candidate row unifies
+    /// cell-by-cell against the goal via
+    /// [`crate::subst::Bindings::unify_term_id`]; the rare irregular (non-
+    /// ground) row falls back to row-at-a-time literal unification.
     #[inline]
-    pub fn fact_rows(&self, id: PredId) -> &[Literal] {
-        &self.entries[id.index()].facts
+    pub fn fact_cols(&self, id: PredId) -> FactCols<'_> {
+        FactCols {
+            pred: self.keys[id.index()].pred,
+            entry: &self.entries[id.index()],
+            arena: &self.arena,
+        }
     }
 
     /// Builds the retrieval plan for a goal on predicate `id`.
@@ -334,7 +451,7 @@ impl KnowledgeBase {
         mut resolve: impl FnMut(usize) -> Option<Term>,
     ) -> FactPlan<'_> {
         let entry = &self.entries[id.index()];
-        let n = entry.facts.len();
+        let n = entry.len as usize;
         if n == 0 {
             return FactPlan::Empty;
         }
@@ -346,9 +463,13 @@ impl KnowledgeBase {
             None
         } else {
             resolve(0).map(|c| {
+                // Invariant: position 0 is never pruned — `retain_indexes`
+                // unconditionally keeps it and snapshot validation rejects
+                // a store without it (it defines the reference candidate
+                // set, i.e. the step-accounting contract).
                 let posting = entry.postings[0]
                     .as_ref()
-                    .expect("position 0 is never pruned");
+                    .expect("invariant: position-0 posting list is never pruned");
                 let hits = self
                     .arena
                     .lookup(&c)
@@ -477,7 +598,8 @@ impl KnowledgeBase {
     /// (position 0 is always retained: it defines the reference candidate
     /// set). Callers with a language bias — mode declarations say which
     /// positions ever arrive bound — use this to drop indexes that can
-    /// never be probed.
+    /// never be probed. Facts asserted *after* pruning respect it: pruned
+    /// positions get neither postings nor `unindexed` entries.
     pub fn retain_indexes(&mut self, key: PredKey, keep: &[usize]) {
         let pid = self.pred_id_or_insert(key);
         let entry = &mut self.entries[pid.index()];
@@ -494,7 +616,9 @@ impl KnowledgeBase {
     pub fn optimize(&mut self) {
         self.arena.shrink_to_fit();
         for entry in &mut self.entries {
-            entry.facts.shrink_to_fit();
+            #[cfg(feature = "row-oracle")]
+            entry.rows.shrink_to_fit();
+            entry.irregular.shrink_to_fit();
             for col in &mut entry.cols {
                 col.shrink_to_fit();
             }
@@ -511,6 +635,11 @@ impl KnowledgeBase {
     /// ([`crate::prover::reference`]) and the step-accounting contract. The
     /// optimized prover uses [`KnowledgeBase::fact_plan`] instead.
     ///
+    /// Yields row literals: borrowed from the resident row store when the
+    /// `row-oracle` feature keeps it (so the oracle unifies against the
+    /// original literals, exactly as the seed did), rebuilt lazily from the
+    /// columns otherwise.
+    ///
     /// `first_arg` must already be dereferenced by the caller's bindings.
     /// Any *ground* first argument probes the posting list — ground
     /// compound terms included, since the arena interns them (ROADMAP
@@ -518,26 +647,38 @@ impl KnowledgeBase {
     /// variables falls back to the scan.
     pub fn candidate_facts(&self, key: PredKey, first_arg: Option<&Term>) -> FactIter<'_> {
         let Some(&pid) = self.pred_index.get(&key) else {
-            return FactIter::Empty;
+            return FactIter::empty();
         };
         let entry = &self.entries[pid.index()];
+        let rows = FactCols {
+            pred: key.pred,
+            entry,
+            arena: &self.arena,
+        };
         match first_arg {
             Some(t) if t.is_ground() && !entry.postings.is_empty() => {
+                // Invariant: position 0 is never pruned (see `fact_plan`).
+                let posting = entry.postings[0]
+                    .as_ref()
+                    .expect("invariant: position-0 posting list is never pruned");
                 let indexed = self
                     .arena
                     .lookup(t)
-                    .and_then(|tid| entry.postings[0].as_ref().expect("pos 0 kept").get(&tid))
+                    .and_then(|tid| posting.get(&tid))
                     .map(|v| v.as_slice())
                     .unwrap_or(&[]);
-                FactIter::Indexed {
-                    facts: &entry.facts,
-                    indexed,
-                    unindexed: &entry.unindexed[0],
+                FactIter {
+                    rows: Some(rows),
+                    order: Order::Indexed {
+                        indexed,
+                        unindexed: &entry.unindexed[0],
+                    },
                     pos: 0,
                 }
             }
-            _ => FactIter::All {
-                facts: &entry.facts,
+            _ => FactIter {
+                rows: Some(rows),
+                order: Order::All { n: entry.len },
                 pos: 0,
             },
         }
@@ -550,11 +691,26 @@ impl KnowledgeBase {
             .unwrap_or(&[])
     }
 
-    /// All facts of a predicate (unfiltered row view).
-    pub fn facts_for(&self, key: PredKey) -> &[Literal] {
-        self.pred_id(key)
-            .map(|id| self.entries[id.index()].facts.as_slice())
-            .unwrap_or(&[])
+    /// All facts of a predicate, as row literals in assertion order — the
+    /// unfiltered debug/oracle view. Rows are rebuilt from the columns
+    /// (irregular facts from their stored originals); this allocates and is
+    /// not for hot paths.
+    pub fn facts_for(&self, key: PredKey) -> Vec<Literal> {
+        let Some(id) = self.pred_id(key) else {
+            return Vec::new();
+        };
+        let entry = &self.entries[id.index()];
+        (0..entry.len)
+            .map(|f| entry.row(key.pred, &self.arena, f).into_owned())
+            .collect()
+    }
+
+    /// The row literal of one fact (`Display`/debug path).
+    pub fn fact_literal(&self, id: PredId, idx: u32) -> Literal {
+        let entry = &self.entries[id.index()];
+        entry
+            .row(self.keys[id.index()].pred, &self.arena, idx)
+            .into_owned()
     }
 
     /// Total number of stored facts.
@@ -565,6 +721,103 @@ impl KnowledgeBase {
     /// Total number of stored rules.
     pub fn num_rules(&self) -> usize {
         self.num_rules
+    }
+
+    /// How many row `Literal`s are resident in memory: non-zero only under
+    /// the `row-oracle` feature, and only for assert-built KBs — a KB
+    /// restored from a snapshot materializes no rows in any build.
+    pub fn resident_rows(&self) -> usize {
+        self.entries.iter().map(PredEntry::resident_rows).sum()
+    }
+
+    /// Approximate heap bytes of the *resident* fact store: columns,
+    /// irregular rows, (under `row-oracle`) the row store, and the arena
+    /// terms that exist *only* to back column cells past the indexable
+    /// prefix — storage the retired row+column layout never paid, since its
+    /// arena interned just the first [`MAX_INDEXED_ARGS`] positions.
+    /// Excludes the rest of the arena and the posting lists (shared and
+    /// identical between the two layouts, so they cancel out of the
+    /// `fact_memory` comparison).
+    pub fn fact_store_bytes(&self) -> usize {
+        let mut bytes = self.past_prefix_arena_bytes();
+        for entry in &self.entries {
+            for col in &entry.cols {
+                bytes +=
+                    std::mem::size_of::<Vec<TermId>>() + col.len() * std::mem::size_of::<TermId>();
+            }
+            for (_, lit) in &entry.irregular {
+                bytes += std::mem::size_of::<(u32, Literal)>() + literal_heap_bytes(lit);
+            }
+            #[cfg(feature = "row-oracle")]
+            for lit in &entry.rows {
+                bytes += std::mem::size_of::<Literal>() + literal_heap_bytes(lit);
+            }
+        }
+        bytes
+    }
+
+    /// Bytes of arena terms referenced *exclusively* by column cells past
+    /// the indexable prefix (positions ≥ [`MAX_INDEXED_ARGS`]). The retired
+    /// layout never interned those positions, so this is column-native-only
+    /// arena growth and is charged to [`KnowledgeBase::fact_store_bytes`]
+    /// to keep the memory comparison honest on wide relations.
+    fn past_prefix_arena_bytes(&self) -> usize {
+        let n = self.arena.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut in_prefix = vec![false; n];
+        let mut past_prefix = vec![false; n];
+        for entry in &self.entries {
+            for (p, col) in entry.cols.iter().enumerate() {
+                let seen = if p < MAX_INDEXED_ARGS {
+                    &mut in_prefix
+                } else {
+                    &mut past_prefix
+                };
+                for tid in col {
+                    if !tid.is_none() {
+                        seen[tid.index()] = true;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .filter(|&i| past_prefix[i] && !in_prefix[i])
+            .map(|i| {
+                std::mem::size_of::<Term>() + term_heap_bytes(self.arena.term(TermId(i as u32)))
+            })
+            .sum()
+    }
+
+    /// Approximate heap bytes the retired duplicate layout would hold for
+    /// this KB's facts: one row `Literal` per fact *plus* the columns of
+    /// the indexable prefix (`min(arity, MAX_INDEXED_ARGS)` positions), as
+    /// the store kept before column-native unification. The `fact_memory`
+    /// benchmark gates `row_baseline_bytes / fact_store_bytes`.
+    pub fn row_baseline_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for (key, entry) in self.keys.iter().zip(self.entries.iter()) {
+            let indexed = (key.arity as usize).min(MAX_INDEXED_ARGS);
+            bytes += indexed
+                * (std::mem::size_of::<Vec<TermId>>()
+                    + entry.len as usize * std::mem::size_of::<TermId>());
+            for f in 0..entry.len {
+                // Row cost without materializing the row: header + one
+                // `Term` per argument + each argument's own heap.
+                bytes += std::mem::size_of::<Literal>();
+                match entry.irregular_row(f) {
+                    Some(lit) => bytes += literal_heap_bytes(lit),
+                    None => {
+                        for col in &entry.cols {
+                            bytes += std::mem::size_of::<Term>()
+                                + term_heap_bytes(self.arena.term(col[f as usize]));
+                        }
+                    }
+                }
+            }
+        }
+        bytes
     }
 
     /// Every `(predicate, arity)` with at least one fact or rule. (Entries
@@ -603,6 +856,24 @@ impl std::fmt::Debug for KnowledgeBase {
             self.arena.len(),
         )
     }
+}
+
+/// Heap bytes hanging off one term (the boxed argument slices of compound
+/// terms; atomic terms are inline).
+fn term_heap_bytes(t: &Term) -> usize {
+    match t {
+        Term::App(_, args) => {
+            args.len() * std::mem::size_of::<Term>()
+                + args.iter().map(term_heap_bytes).sum::<usize>()
+        }
+        _ => 0,
+    }
+}
+
+/// Heap bytes hanging off one literal (its boxed argument slice plus each
+/// argument's own heap).
+fn literal_heap_bytes(l: &Literal) -> usize {
+    l.args.len() * std::mem::size_of::<Term>() + l.args.iter().map(term_heap_bytes).sum::<usize>()
 }
 
 /// Merges two sorted, disjoint index slices into one ascending vector.
@@ -684,60 +955,107 @@ pub enum FactPlan<'a> {
     },
 }
 
-/// Iterator over candidate facts returned by [`KnowledgeBase::candidate_facts`].
-pub enum FactIter<'a> {
-    /// No facts for this predicate.
-    Empty,
-    /// All facts (first argument unbound or not ground).
-    All {
-        #[allow(missing_docs)]
-        facts: &'a [Literal],
-        #[allow(missing_docs)]
-        pos: usize,
-    },
+/// Column-native view of one predicate's facts — the unification target
+/// handed to the prover once a [`FactPlan`] selected candidate rows.
+pub struct FactCols<'a> {
+    pred: SymbolId,
+    entry: &'a PredEntry,
+    arena: &'a TermArena,
+}
+
+impl<'a> FactCols<'a> {
+    /// The arena the column cells point into.
+    #[inline]
+    pub fn arena(&self) -> &'a TermArena {
+        self.arena
+    }
+
+    /// Number of argument positions (one column each).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.entry.cols.len()
+    }
+
+    /// Fact `row`'s argument `pos` as an interned id.
+    #[inline]
+    pub fn cell(&self, pos: usize, row: u32) -> TermId {
+        self.entry.cols[pos][row as usize]
+    }
+
+    /// The original literal of fact `row` when it has a non-ground
+    /// argument (such rows unify literal-at-a-time); `None` for the common
+    /// all-ground row. O(1) for the all-regular relation.
+    #[inline]
+    pub fn irregular_row(&self, row: u32) -> Option<&'a Literal> {
+        self.entry.irregular_row(row)
+    }
+
+    /// Rebuilds fact `row`'s literal (debug/Display, not the hot path).
+    pub fn row_literal(&self, row: u32) -> Literal {
+        self.row(row).into_owned()
+    }
+
+    /// Fact `row`'s literal as [`PredEntry::row`] serves it: borrowed from
+    /// the resident `row-oracle` store or the irregular list when
+    /// possible, rebuilt otherwise.
+    fn row(&self, row: u32) -> Cow<'a, Literal> {
+        self.entry.row(self.pred, self.arena, row)
+    }
+}
+
+/// Enumeration order of a [`FactIter`].
+enum Order<'a> {
+    /// All facts, `0..n`.
+    All { n: u32 },
     /// Index hits followed by facts the index could not cover.
     Indexed {
-        #[allow(missing_docs)]
-        facts: &'a [Literal],
-        #[allow(missing_docs)]
         indexed: &'a [u32],
-        #[allow(missing_docs)]
         unindexed: &'a [u32],
-        #[allow(missing_docs)]
-        pos: usize,
     },
 }
 
-impl<'a> Iterator for FactIter<'a> {
-    type Item = &'a Literal;
+/// Iterator over candidate facts returned by
+/// [`KnowledgeBase::candidate_facts`]. Yields row literals — borrowed from
+/// the resident `row-oracle` store when present, rebuilt from the columns
+/// otherwise (see the module docs).
+pub struct FactIter<'a> {
+    rows: Option<FactCols<'a>>,
+    order: Order<'a>,
+    pos: usize,
+}
 
-    fn next(&mut self) -> Option<&'a Literal> {
-        match self {
-            FactIter::Empty => None,
-            FactIter::All { facts, pos } => {
-                let f = facts.get(*pos)?;
-                *pos += 1;
-                Some(f)
-            }
-            FactIter::Indexed {
-                facts,
-                indexed,
-                unindexed,
-                pos,
-            } => {
-                let total = indexed.len() + unindexed.len();
-                if *pos >= total {
+impl FactIter<'_> {
+    fn empty() -> Self {
+        FactIter {
+            rows: None,
+            order: Order::All { n: 0 },
+            pos: 0,
+        }
+    }
+}
+
+impl<'a> Iterator for FactIter<'a> {
+    type Item = Cow<'a, Literal>;
+
+    fn next(&mut self) -> Option<Cow<'a, Literal>> {
+        let rows = self.rows.as_ref()?;
+        let idx = match &self.order {
+            Order::All { n } => {
+                if self.pos >= *n as usize {
                     return None;
                 }
-                let idx = if *pos < indexed.len() {
-                    indexed[*pos]
-                } else {
-                    unindexed[*pos - indexed.len()]
-                };
-                *pos += 1;
-                Some(&facts[idx as usize])
+                self.pos as u32
             }
-        }
+            Order::Indexed { indexed, unindexed } => {
+                if self.pos < indexed.len() {
+                    indexed[self.pos]
+                } else {
+                    *unindexed.get(self.pos - indexed.len())?
+                }
+            }
+        };
+        self.pos += 1;
+        Some(rows.row(idx))
     }
 }
 
@@ -808,7 +1126,9 @@ mod tests {
         assert_eq!(kb.retract_rules(key), 1);
         assert_eq!(kb.num_rules(), 0);
         assert_eq!(kb.num_facts(), 1);
-        assert!(kb.rules_compiled(kb.pred_id(key).unwrap()).is_empty());
+        assert!(kb
+            .rules_compiled(kb.pred_id(key).expect("entry exists"))
+            .is_empty());
     }
 
     /// bond/3-shaped relation: the second-argument posting must narrow a
@@ -830,7 +1150,7 @@ mod tests {
                     kb.assert_fact(f);
                 }
             }
-            k.unwrap()
+            k.expect("facts were asserted")
         };
         // Second argument bound, first unbound: 1 candidate out of 1000.
         let (tried, total) = kb.plan_candidates(key, &[None, Some(Term::Int(3007))]);
@@ -867,7 +1187,7 @@ mod tests {
             }
         }
         let key = lit(&t, "e", vec![Term::Int(0); 3]).key();
-        let facts = kb.facts_for(key).to_vec();
+        let facts = kb.facts_for(key);
         for bound in [
             vec![None, Some(Term::Int(5)), None],
             vec![None, None, Some(Term::Int(2))],
@@ -913,6 +1233,58 @@ mod tests {
         assert_eq!(tried.len(), 21);
     }
 
+    /// Late facts after pruning must not re-create postings for pruned
+    /// positions or leak rows into `unindexed` there — and the plan/step
+    /// accounting must stay exactly the "prune first, then load" shape.
+    #[test]
+    fn late_asserts_respect_pruned_positions() {
+        let t = SymbolTable::new();
+        let key = lit(&t, "r", vec![Term::Int(0); 3]).key();
+        let facts: Vec<Literal> = (0..140i64)
+            .map(|i| {
+                lit(
+                    &t,
+                    "r",
+                    vec![Term::Int(i % 2), Term::Int(i), Term::Int(i % 7)],
+                )
+            })
+            .collect();
+
+        // KB A: prune before any fact arrives; KB B: load, prune, optimize,
+        // then append the second half late.
+        let mut a = KnowledgeBase::new(t.clone());
+        a.retain_indexes(key, &[2]);
+        for f in &facts {
+            a.assert_fact(f.clone());
+        }
+        let mut b = KnowledgeBase::new(t.clone());
+        for f in &facts[..70] {
+            b.assert_fact(f.clone());
+        }
+        b.retain_indexes(key, &[2]);
+        b.optimize();
+        for f in &facts[70..] {
+            b.assert_fact(f.clone());
+        }
+
+        for bound in [
+            vec![None, Some(Term::Int(135)), None],
+            vec![None, None, Some(Term::Int(3))],
+            vec![Some(Term::Int(1)), Some(Term::Int(99)), None],
+            vec![Some(Term::Int(0)), None, Some(Term::Int(6))],
+        ] {
+            assert_eq!(
+                a.plan_candidates(key, &bound),
+                b.plan_candidates(key, &bound),
+                "late asserts diverged from prune-first shape under {bound:?}"
+            );
+        }
+        // The pruned position must not have been revived: a probe on
+        // position 1 cannot narrow on either KB.
+        let (tried, total) = b.plan_candidates(key, &[None, Some(Term::Int(3)), None]);
+        assert_eq!(tried.len() as u64, total, "pruned posting was re-created");
+    }
+
     #[test]
     fn compiled_rules_resolve_dispatch() {
         let t = SymbolTable::new();
@@ -926,7 +1298,9 @@ mod tests {
                 lit(&t, "later", vec![Term::Var(0)]),
             ],
         ));
-        let pid = kb.pred_id(lit(&t, "p", vec![Term::Int(0)]).key()).unwrap();
+        let pid = kb
+            .pred_id(lit(&t, "p", vec![Term::Int(0)]).key())
+            .expect("rule head entry exists");
         let crule = &kb.rules_compiled(pid)[0];
         assert_eq!(crule.var_span, 1);
         assert!(matches!(crule.body[0].kind, LitKind::Pred(_)));
@@ -1004,5 +1378,90 @@ mod tests {
         }
         // 1 molecule constant + 5 distinct ints.
         assert_eq!(kb.arena().len(), 6);
+    }
+
+    /// Rows rebuilt from the columns must reproduce the asserted literals
+    /// exactly — including positions past [`MAX_INDEXED_ARGS`] (which have
+    /// columns but no posting lists) and irregular (non-ground) facts.
+    #[test]
+    fn rebuilt_rows_match_asserted_literals() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let wide: Vec<Literal> = (0..10i64)
+            .map(|i| {
+                lit(
+                    &t,
+                    "wide",
+                    vec![
+                        Term::Int(i),
+                        Term::Sym(t.intern(&format!("s{}", i % 3))),
+                        Term::app(t.intern("f"), vec![Term::Int(i % 4)]),
+                        Term::Int(i * 2),
+                        Term::Int(i * 3), // past MAX_INDEXED_ARGS
+                        Term::Sym(t.intern("tail")),
+                    ],
+                )
+            })
+            .collect();
+        for f in &wide {
+            kb.assert_fact(f.clone());
+        }
+        // One irregular fact (non-ground second argument).
+        let odd = lit(&t, "odd", vec![Term::Int(1), Term::Var(3)]);
+        kb.assert_fact(odd.clone());
+
+        let key = wide[0].key();
+        assert_eq!(kb.facts_for(key), wide);
+        let pid = kb.pred_id(key).expect("entry exists");
+        for (i, f) in wide.iter().enumerate() {
+            assert_eq!(&kb.fact_literal(pid, i as u32), f);
+        }
+        assert_eq!(kb.facts_for(odd.key()), vec![odd]);
+        // The oracle iterator serves the same rows.
+        let seen: Vec<Literal> = kb
+            .candidate_facts(key, None)
+            .map(|c| c.into_owned())
+            .collect();
+        assert_eq!(seen, wide);
+    }
+
+    /// The column-native store must beat the retired row+column layout on
+    /// bytes (the `fact_memory` benchmark gates the real datasets; this
+    /// pins the accounting itself). Resident `row-oracle` rows are test-
+    /// only weight, so compare against the baseline without them.
+    #[test]
+    fn column_store_is_smaller_than_row_baseline() {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for m in 0..50i64 {
+            for a in 0..20i64 {
+                kb.assert_fact(lit(
+                    &t,
+                    "bond",
+                    vec![
+                        Term::Int(m),
+                        Term::Int(m * 100 + a),
+                        Term::Int(m * 100 + a + 1),
+                        Term::Int(a % 3),
+                    ],
+                ));
+            }
+        }
+        let resident_row_bytes: usize = kb
+            .predicates()
+            .flat_map(|k| kb.facts_for(k))
+            .map(|l| std::mem::size_of::<Literal>() + l.args.len() * std::mem::size_of::<Term>())
+            .sum();
+        let column_only = kb.fact_store_bytes()
+            - if cfg!(feature = "row-oracle") {
+                resident_row_bytes
+            } else {
+                0
+            };
+        let baseline = kb.row_baseline_bytes();
+        assert!(
+            baseline as f64 >= 1.8 * column_only as f64,
+            "column store {column_only}B not ≥1.8x under baseline {baseline}B"
+        );
     }
 }

@@ -40,7 +40,7 @@ pub mod reference;
 
 use crate::builtins::solve_builtin_off;
 use crate::clause::{CompiledGoals, CompiledGoalsRef, CompiledLiteral, LitKind, Literal};
-use crate::kb::{FactPlan, KnowledgeBase};
+use crate::kb::{FactCols, FactPlan, KnowledgeBase};
 use crate::subst::Bindings;
 use crate::term::VarId;
 
@@ -377,23 +377,25 @@ impl<'a> Ctx<'a, '_> {
 
         // Facts, through the most selective available argument index; step
         // accounting stays pinned to the first-argument reference plan.
+        // Candidates unify column-natively — goal arguments match straight
+        // against the fact's arena-id tuple, no row literal involved.
         {
             let bindings = &*self.bindings;
             let plan = kb.fact_plan(pid, |p| bindings.resolved_ground(&glit.args[p], goff));
-            let facts = kb.fact_rows(pid);
+            let facts = kb.fact_cols(pid);
             match plan {
                 FactPlan::Empty => {}
-                FactPlan::All { .. } => {
-                    for fact in facts {
-                        match self.try_fact(fact, glit, goff, &rest, on_solution) {
+                FactPlan::All { n } => {
+                    for row in 0..n {
+                        match self.try_fact(&facts, row, glit, goff, &rest, on_solution) {
                             Control::More => {}
                             c => return c,
                         }
                     }
                 }
                 FactPlan::Seq { indexed, unindexed } => {
-                    for &fidx in indexed.iter().chain(unindexed.iter()) {
-                        match self.try_fact(&facts[fidx as usize], glit, goff, &rest, on_solution) {
+                    for &row in indexed.iter().chain(unindexed.iter()) {
+                        match self.try_fact(&facts, row, glit, goff, &rest, on_solution) {
                             Control::More => {}
                             c => return c,
                         }
@@ -401,12 +403,12 @@ impl<'a> Ctx<'a, '_> {
                 }
                 FactPlan::Narrowed { tried, total } => {
                     let mut charged: u64 = 0;
-                    for (fidx, rank) in tried {
+                    for (row, rank) in tried {
                         if !self.charge(rank - charged) {
                             return Control::Abort;
                         }
                         charged = rank;
-                        match self.try_fact(&facts[fidx as usize], glit, goff, &rest, on_solution) {
+                        match self.try_fact(&facts, row, glit, goff, &rest, on_solution) {
                             Control::More => {}
                             c => return c,
                         }
@@ -456,11 +458,16 @@ impl<'a> Ctx<'a, '_> {
         Control::More
     }
 
-    /// One fact candidate: tick, unify against the row, recurse on success.
+    /// One fact candidate: tick, unify the goal's arguments directly
+    /// against the fact's column cells (arena ids), recurse on success. The
+    /// rare irregular row — a fact with a non-ground argument, which the
+    /// arena cannot hold — falls back to row-at-a-time literal unification
+    /// against its stored original.
     #[inline]
     fn try_fact(
         &mut self,
-        fact: &'a Literal,
+        facts: &FactCols<'a>,
+        row: u32,
         goal: &Literal,
         goff: VarId,
         rest: &Frame<'_>,
@@ -470,7 +477,17 @@ impl<'a> Ctx<'a, '_> {
             return Control::Abort;
         }
         let mark = self.bindings.mark();
-        if self.bindings.unify_literals_off(goal, goff, fact, 0, false) {
+        let ok = match facts.irregular_row(row) {
+            Some(fact) => self.bindings.unify_literals_off(goal, goff, fact, 0, false),
+            None => {
+                let arena = facts.arena();
+                goal.args.iter().enumerate().all(|(p, a)| {
+                    self.bindings
+                        .unify_term_id(a, goff, facts.cell(p, row), arena)
+                })
+            }
+        };
+        if ok {
             match self.solve(Some(rest), on_solution) {
                 Control::More => {}
                 c => {

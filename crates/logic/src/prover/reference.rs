@@ -136,14 +136,18 @@ impl Ctx<'_, '_> {
         let kb = self.kb;
         let key = goal.key();
 
-        // Facts, through the first-argument index where possible.
+        // Facts, through the first-argument index where possible. The
+        // iterator yields row literals — the resident originals under the
+        // `row-oracle` feature (every test build), lazily rebuilt from the
+        // columnar store otherwise; either way this path unifies rows
+        // exactly as the seed implementation did.
         let first = goal.args.first().map(|t| self.bindings.walk(t).clone());
         for fact in kb.candidate_facts(key, first.as_ref()) {
             if !self.tick() {
                 return Control::Abort;
             }
             let mark = self.bindings.mark();
-            if self.bindings.unify_literals(goal, fact, false) {
+            if self.bindings.unify_literals(goal, &fact, false) {
                 match self.solve(rest, on_solution) {
                     Control::More => {}
                     c => {

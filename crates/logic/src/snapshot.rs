@@ -23,14 +23,21 @@
 //!   *distinct* term, not one per fact-argument occurrence).
 //! * `preds` — one [`PredSnapshot`] per dense [`PredId`], in id order
 //!   (compiled rule bodies embed `PredId`s, so the order is load-bearing):
-//!   the fact count plus the *irregular* rows only (every fully-ground
-//!   row within the indexable prefix is rebuilt from its columns),
-//!   `TermId` columns, posting lists as sorted `(TermId, fact-indices)`
-//!   pairs (`None` = index pruned via
+//!   the fact count plus the *irregular* rows only (facts with a
+//!   non-ground argument; every other row **is** its `TermId` column
+//!   cells), the full-arity `TermId` columns, posting lists as sorted
+//!   `(TermId, fact-indices)` pairs (`None` = index pruned via
 //!   [`KnowledgeBase::retain_indexes`]), per-position unindexable fact
 //!   lists, and the [`CompiledClause`] rules with their resolved
 //!   [`LitKind`] dispatch (builtins travel as stable byte codes, see
 //!   [`crate::builtins::Builtin::code`]).
+//!
+//! Since the in-memory store became column-native, a restore materializes
+//! **no** row literals at all — the loaded KB holds exactly the snapshot's
+//! columns plus the irregular side rows
+//! ([`KnowledgeBase::resident_rows`] reports 0 even under the
+//! `row-oracle` feature), and the prover unifies straight against the
+//! column cells.
 //!
 //! [`KnowledgeBase::from_snapshot`] validates the snapshot *structurally* —
 //! every id in range, every per-position vector shaped consistently with
@@ -72,25 +79,25 @@ pub struct KbSnapshot {
 /// One predicate's serialized store (facts, indexes, compiled rules).
 ///
 /// Fact *rows* are not stored when they are derivable: a fact whose every
-/// argument is ground and within the indexable prefix is exactly its
-/// `TermId` column cells, so the restore rebuilds the row from the arena
-/// (one `Vec` per row, no per-argument decode). Only "irregular" rows —
-/// arity beyond [`MAX_INDEXED_ARGS`] or a non-ground argument — travel as
-/// full literals. This roughly halves snapshot bytes on ground-heavy ILP
-/// background knowledge and is most of the snapshot-load speedup.
+/// argument is ground is exactly its `TermId` column cells (all positions
+/// have columns), so neither the snapshot nor the restored KB holds a row
+/// for it. Only "irregular" rows — a non-ground argument the arena cannot
+/// intern — travel as full literals. This roughly halves snapshot bytes on
+/// ground-heavy ILP background knowledge and is most of the snapshot-load
+/// speedup.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PredSnapshot {
     /// The `(predicate, arity)` key this entry indexes.
     pub key: PredKey,
-    /// Total number of facts (row `f` is reconstructed from `cols[·][f]`
-    /// unless listed in `irregular`).
+    /// Total number of facts (row `f` **is** `cols[·][f]` unless listed in
+    /// `irregular`).
     pub num_facts: u32,
-    /// `(fact index, row)` for rows not derivable from the columns, index-
+    /// `(fact index, row)` for rows with a non-ground argument, index-
     /// ascending.
     pub irregular: Vec<(u32, Literal)>,
     /// Columnar view: `cols[p][f]` is fact `f`'s argument `p` as an
     /// interned id ([`TermId::NONE`] for a non-ground argument). One column
-    /// per indexable position (`min(arity, MAX_INDEXED_ARGS)`).
+    /// per argument position (full arity).
     pub cols: Vec<Vec<TermId>>,
     /// Posting lists per indexed position ([`PostingPairs`]); `None` =
     /// index pruned.
@@ -191,16 +198,8 @@ impl KnowledgeBase {
             .zip(self.entries.iter())
             .map(|(key, e)| PredSnapshot {
                 key: *key,
-                num_facts: e.facts.len() as u32,
-                irregular: e
-                    .facts
-                    .iter()
-                    .enumerate()
-                    .filter(|(f, lit)| {
-                        lit.args.len() > e.cols.len() || e.cols.iter().any(|col| col[*f].is_none())
-                    })
-                    .map(|(f, lit)| (f as u32, lit.clone()))
-                    .collect(),
+                num_facts: e.len,
+                irregular: e.irregular.clone(),
                 cols: e.cols.clone(),
                 postings: e
                     .postings
@@ -274,9 +273,7 @@ impl KnowledgeBase {
 
             let arity = key.arity as usize;
             let indexed = arity.min(MAX_INDEXED_ARGS);
-            if p.cols.len() != indexed
-                || p.postings.len() != indexed
-                || p.unindexed.len() != indexed
+            if p.cols.len() != arity || p.postings.len() != indexed || p.unindexed.len() != indexed
             {
                 return Err(SnapshotError::new("per-position vector shape"));
             }
@@ -291,9 +288,9 @@ impl KnowledgeBase {
                 }
             }
 
-            // Rows: irregular ones travel as literals; every other row is
-            // rebuilt from its (already remapped) arena terms — this is the
-            // path that skips per-fact decoding entirely.
+            // Rows: irregular ones travel as literals; every other row *is*
+            // its column cells — nothing is materialized here, the restored
+            // KB unifies straight against the columns.
             for (f, lit) in &p.irregular {
                 if (*f as usize) >= nfacts {
                     return Err(SnapshotError::new("irregular fact index"));
@@ -306,33 +303,28 @@ impl KnowledgeBase {
             if !p.irregular.windows(2).all(|w| w[0].0 < w[1].0) {
                 return Err(SnapshotError::new("irregular fact index"));
             }
-            let mut facts = Vec::with_capacity(nfacts);
-            {
-                let mut irr = p.irregular.iter().peekable();
-                for f in 0..nfacts {
-                    if irr.peek().is_some_and(|(i, _)| *i as usize == f) {
-                        let (_, lit) = irr.next().expect("peeked");
-                        facts.push(if identity {
-                            lit.clone()
-                        } else {
-                            remap_literal(lit, &remap)
-                        });
-                        continue;
-                    }
-                    if arity > indexed {
+            // A non-interned cell is only legal for a row whose original
+            // literal travels in `irregular` (otherwise the row could be
+            // neither unified nor rebuilt).
+            for col in &p.cols {
+                for (f, tid) in col.iter().enumerate() {
+                    if tid.is_none()
+                        && p.irregular
+                            .binary_search_by_key(&(f as u32), |(i, _)| *i)
+                            .is_err()
+                    {
                         return Err(SnapshotError::new("missing irregular row"));
                     }
-                    let mut args = Vec::with_capacity(arity);
-                    for col in &p.cols {
-                        let tid = col[f];
-                        if tid.is_none() {
-                            return Err(SnapshotError::new("missing irregular row"));
-                        }
-                        args.push(arena.term(tid).clone());
-                    }
-                    facts.push(Literal::new(key.pred, args));
                 }
             }
+            let irregular: Vec<(u32, Literal)> = if identity {
+                p.irregular
+            } else {
+                p.irregular
+                    .iter()
+                    .map(|(f, lit)| (*f, remap_literal(lit, &remap)))
+                    .collect()
+            };
             let mut postings = Vec::with_capacity(indexed);
             for (pos, posting) in p.postings.into_iter().enumerate() {
                 match posting {
@@ -405,8 +397,13 @@ impl KnowledgeBase {
             num_facts += nfacts;
             num_rules += rules.len();
             entries.push(PredEntry {
-                facts,
+                // Deliberately empty even under `row-oracle`: a restore
+                // materializes no rows (the oracle view rebuilds lazily).
+                #[cfg(feature = "row-oracle")]
+                rows: Vec::new(),
+                len: p.num_facts,
                 cols: p.cols,
+                irregular,
                 postings,
                 unindexed: p.unindexed,
                 rules,

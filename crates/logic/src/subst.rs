@@ -11,6 +11,7 @@
 //! clone per candidate). A term is only materialized (cloned, with its
 //! offset baked in) at the moment a variable is bound to it.
 
+use crate::arena::{TermArena, TermId};
 use crate::clause::Literal;
 use crate::symbol::SymbolId;
 use crate::term::{Term, VarId, F64};
@@ -190,6 +191,37 @@ impl Bindings {
             View::App(app, _) if app.is_ground() => Some(app.clone()),
             View::OwnedApp(app) if app.is_ground() => Some(app),
             View::Var(_) | View::App(..) | View::OwnedApp(_) => None,
+        }
+    }
+
+    /// Unifies a goal argument (under offset `aoff`) directly against an
+    /// interned *ground* term — the column-native unification step: a fact's
+    /// argument is its arena id, and no row `Literal` is materialized.
+    ///
+    /// The fact side is ground by construction (only ground terms intern),
+    /// which licenses an occurs-free fast path: binding a goal variable to a
+    /// ground term can never create a cycle, and the constant-vs-constant
+    /// cases are single compares against the arena-resident term. Partial
+    /// bindings of a failed compound match are NOT undone here — callers
+    /// bracket the whole fact attempt with [`Bindings::mark`] /
+    /// [`Bindings::undo_to`], exactly as they do for
+    /// [`Bindings::unify_literals_off`].
+    #[inline]
+    pub fn unify_term_id(&mut self, a: &Term, aoff: VarId, tid: TermId, arena: &TermArena) -> bool {
+        debug_assert!(!tid.is_none(), "column cell must be interned");
+        let ground = arena.term(tid);
+        match self.resolve_view(a, aoff) {
+            // Ground fast path: no occurs check, no materialize round-trip —
+            // the arena term is cloned straight into the slot.
+            View::Var(x) => {
+                self.bind(x, ground.clone());
+                true
+            }
+            View::Sym(s) => matches!(ground, Term::Sym(g) if *g == s),
+            View::Int(i) => matches!(ground, Term::Int(g) if *g == i),
+            View::Float(f) => matches!(ground, Term::Float(g) if *g == f),
+            View::App(t, off) => self.unify_off(t, off, ground, 0, false),
+            View::OwnedApp(t) => self.unify_off(&t, 0, ground, 0, false),
         }
     }
 

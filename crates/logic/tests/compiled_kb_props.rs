@@ -23,7 +23,9 @@ const ELEMS: [&str; 3] = ["c", "n", "o"];
 
 /// Builds a molecule-flavored KB from raw byte seeds: `bond/4` and `atm/3`
 /// fact tables (dense enough for posting collisions), a `val/1` numeric
-/// table, a recursive `path/3` relation, and a builtin-using rule `big/1`.
+/// table, a `wide/6` relation whose arity overflows [`MAX_INDEXED_ARGS`]
+/// (columns exist for every position, posting lists only for the prefix),
+/// a recursive `path/3` relation, and a builtin-using rule `big/1`.
 fn build_kb(
     bonds: &[(u8, u8, u8, u8)],
     atms: &[(u8, u8, u8)],
@@ -59,6 +61,21 @@ fn build_kb(
     }
     for &v in vals {
         kb.assert_fact(Literal::new(t.intern("val"), vec![Term::Int(v % 20)]));
+    }
+    // wide/6 reuses the bond seeds: positions past MAX_INDEXED_ARGS get
+    // columns (they unify column-natively) but no posting lists.
+    for &(m, a, b, ty) in bonds {
+        kb.assert_fact(Literal::new(
+            t.intern("wide"),
+            vec![
+                mol(m),
+                atom(a),
+                atom(b),
+                Term::Int((ty % 4) as i64),
+                Term::Int((a % 7) as i64),
+                Term::Sym(t.intern(ELEMS[(b % 3) as usize])),
+            ],
+        ));
     }
     // path(M,A,B) :- bond(M,A,B,T).
     // path(M,A,C) :- bond(M,A,B,T), path(M,B,C).
@@ -105,11 +122,12 @@ fn atom_term(t: &SymbolTable, s: u8) -> Term {
 /// each argument becomes a (possibly shared) variable, an in-pool constant,
 /// or an absent constant.
 fn build_query(t: &SymbolTable, pred_pick: u8, seeds: &[u8]) -> Literal {
-    let (name, arity) = match pred_pick % 5 {
+    let (name, arity) = match pred_pick % 6 {
         0 => ("bond", 4),
         1 => ("atm", 3),
         2 => ("val", 1),
         3 => ("path", 3),
+        4 => ("wide", 6),
         _ => ("big", 1),
     };
     let mut args = Vec::with_capacity(arity);
@@ -119,16 +137,18 @@ fn build_query(t: &SymbolTable, pred_pick: u8, seeds: &[u8]) -> Literal {
             // Shared variables exercise bound-by-earlier-goal paths.
             0 => Term::Var((s / 4 % 3) as u32),
             1 => match (name, p) {
-                ("bond", 0) | ("atm", 0) | ("path", 0) => {
+                ("bond", 0) | ("atm", 0) | ("path", 0) | ("wide", 0) => {
                     Term::Sym(t.intern(&format!("m{}", s % 6)))
                 }
-                ("bond", 3) => Term::Int((s % 4) as i64),
+                ("bond", 3) | ("wide", 3) | ("wide", 4) => Term::Int((s % 4) as i64),
                 ("val", _) | ("big", _) => Term::Int((s % 20) as i64),
-                ("atm", 2) => Term::Sym(t.intern(ELEMS[(s % 3) as usize])),
+                ("atm", 2) | ("wide", 5) => Term::Sym(t.intern(ELEMS[(s % 3) as usize])),
                 _ => atom_term(t, s),
             },
             2 => match (name, p) {
-                ("val", _) | ("big", _) | ("bond", 3) => Term::Int((s % 25) as i64),
+                ("val", _) | ("big", _) | ("bond", 3) | ("wide", 3) | ("wide", 4) => {
+                    Term::Int((s % 25) as i64)
+                }
                 _ => atom_term(t, s),
             },
             // A constant no fact mentions.
@@ -237,5 +257,104 @@ proptest! {
         // The reference budget itself: first-arg candidates or the scan.
         let ref_count = kb.candidate_facts(key, bound[0].as_ref()).count() as u64;
         prop_assert_eq!(total, ref_count, "reference step budget drifted");
+    }
+
+    /// Late fact arrival after mode-driven pruning (`retain_indexes`) and
+    /// `optimize` must leave plans, candidate sets, and the prover's step
+    /// accounting bit-identical to the seed model — and identical to the
+    /// "prune before loading anything" construction order (the regression:
+    /// a late assert re-creating a pruned posting or drifting `unindexed`
+    /// would silently change plans, steps, or worse, results).
+    #[test]
+    fn late_asserts_after_pruning_stay_bit_identical(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..150),
+        split in any::<u8>(),
+        keep2 in any::<bool>(),
+        queries in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 1..5)), 1..5),
+        max_steps in 1u64..3000,
+    ) {
+        let keep: &[usize] = if keep2 { &[2] } else { &[] };
+        // One shared symbol table keeps literals comparable across the two
+        // construction orders.
+        let t = SymbolTable::new();
+        let bond = t.intern("bond");
+        let key = Literal::new(bond, vec![Term::Int(0); 4]).key();
+        let fact = |&(m, a, b, ty): &(u8, u8, u8, u8)| -> Literal {
+            Literal::new(
+                bond,
+                vec![
+                    Term::Sym(t.intern(&format!("m{}", m % 6))),
+                    atom_term(&t, a),
+                    atom_term(&t, b),
+                    Term::Int((ty % 4) as i64),
+                ],
+            )
+        };
+        let add_rules = |kb: &mut KnowledgeBase| {
+            let lit = |name: &str, args: Vec<Term>| Literal::new(t.intern(name), args);
+            kb.assert_rule(Clause::new(
+                lit("path", vec![Term::Var(0), Term::Var(1), Term::Var(2)]),
+                vec![lit("bond", vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)])],
+            ));
+            kb.assert_rule(Clause::new(
+                lit("path", vec![Term::Var(0), Term::Var(1), Term::Var(4)]),
+                vec![
+                    lit("bond", vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)]),
+                    lit("path", vec![Term::Var(0), Term::Var(2), Term::Var(4)]),
+                ],
+            ));
+        };
+
+        // KB A: prune first, then load everything. KB B: load a prefix,
+        // prune + optimize mid-stream, then append the rest late.
+        let mut a = KnowledgeBase::new(t.clone());
+        add_rules(&mut a);
+        a.retain_indexes(key, keep);
+        for f in &bonds {
+            a.assert_fact(fact(f));
+        }
+        let cut = split as usize % (bonds.len() + 1);
+        let mut b = KnowledgeBase::new(t.clone());
+        add_rules(&mut b);
+        for f in &bonds[..cut] {
+            b.assert_fact(fact(f));
+        }
+        b.retain_indexes(key, keep);
+        b.optimize();
+        for f in &bonds[cut..] {
+            b.assert_fact(fact(f));
+        }
+        prop_assert_eq!(a.num_facts(), b.num_facts());
+
+        let limits = ProofLimits { max_depth: 4, max_steps };
+        for (pick, seeds) in &queries {
+            // bond- or path-shaped goals over the shared table.
+            let goal = build_query(&t, (pick % 2) * 3, seeds);
+            // Seed model: the optimized prover on the late-assert KB agrees
+            // with the reference prover on that same KB...
+            let new_b = Prover::new(&b, limits).prove_ground(&goal);
+            let ref_b = reference::Prover::new(&b, limits).prove_ground(&goal);
+            prop_assert_eq!(new_b, ref_b, "late-assert KB diverged from seed on {:?}", goal);
+            // ...and the two construction orders agree with each other.
+            let new_a = Prover::new(&a, limits).prove_ground(&goal);
+            prop_assert_eq!(new_a, new_b, "construction order changed results on {:?}", goal);
+        }
+        // Plans and candidate sets, position by position.
+        for pos in 0..4usize {
+            for &(m, a_, b_, ty) in bonds.iter().take(8) {
+                let mut bound: Vec<Option<Term>> = vec![None; 4];
+                bound[pos] = Some(match pos {
+                    0 => Term::Sym(t.intern(&format!("m{}", m % 6))),
+                    3 => Term::Int((ty % 4) as i64),
+                    1 => atom_term(&t, a_),
+                    _ => atom_term(&t, b_),
+                });
+                prop_assert_eq!(
+                    a.plan_candidates(key, &bound),
+                    b.plan_candidates(key, &bound),
+                    "plans diverged at pos {} for {:?}", pos, bound
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,17 @@
+//! Probe: row-oracle must be on for test builds (self-dev-dependency).
+use p2mdie_logic::clause::Literal;
+use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_logic::symbol::SymbolTable;
+use p2mdie_logic::term::Term;
+
+#[test]
+fn row_oracle_is_on_in_tests() {
+    let t = SymbolTable::new();
+    let mut kb = KnowledgeBase::new(t.clone());
+    kb.assert_fact(Literal::new(t.intern("p"), vec![Term::Int(1)]));
+    assert_eq!(
+        kb.resident_rows(),
+        1,
+        "row-oracle feature must be enabled for cargo test"
+    );
+}

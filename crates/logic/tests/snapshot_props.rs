@@ -15,7 +15,7 @@
 
 use p2mdie_logic::clause::{Clause, Literal};
 use p2mdie_logic::kb::KnowledgeBase;
-use p2mdie_logic::prover::{ProofLimits, Prover};
+use p2mdie_logic::prover::{reference, ProofLimits, Prover};
 use p2mdie_logic::symbol::SymbolTable;
 use p2mdie_logic::term::Term;
 use proptest::prelude::*;
@@ -218,4 +218,73 @@ proptest! {
             );
         }
     }
+}
+
+/// The column-native contract: restoring a snapshot materializes **no** row
+/// literals — the loaded KB holds only columns plus irregular side rows —
+/// while still proving, planning, and (lazily) rebuilding rows identically.
+/// Late facts asserted *after* a restore keep the store consistent too.
+#[test]
+fn restore_materializes_no_rows() {
+    let (t, kb) = build_kb(
+        &[(1, 2, 3, 1), (1, 9, 4, 2), (2, 2, 9, 0), (5, 14, 19, 3)],
+        &[(1, 2, 0), (2, 9, 1)],
+        &[3, 12, 17],
+    );
+    // The assert-built KB keeps rows only as the test-only oracle view
+    // (`row-oracle` is on for every cargo test run).
+    assert_eq!(kb.resident_rows(), kb.num_facts());
+
+    let restored =
+        KnowledgeBase::from_snapshot(kb.to_snapshot(), SymbolTable::new()).expect("snapshot loads");
+    assert_eq!(restored.num_facts(), kb.num_facts());
+    assert_eq!(
+        restored.resident_rows(),
+        0,
+        "snapshot restore must not materialize row literals"
+    );
+    // The lazily rebuilt rows equal the originals, relation by relation.
+    for key in kb.predicates() {
+        assert_eq!(kb.facts_for(key), restored.facts_for(key));
+    }
+    // And a late assert after restore stays consistent (indexes, plans,
+    // proofs) without resurrecting a row store.
+    let mut grown = restored.clone();
+    let bond = t.intern("bond");
+    grown.assert_fact(Literal::new(
+        bond,
+        vec![
+            Term::Sym(t.intern("m1")),
+            Term::Sym(t.intern("a2")),
+            Term::Sym(t.intern("a7")),
+            Term::Int(1),
+        ],
+    ));
+    assert_eq!(
+        grown.resident_rows(),
+        0,
+        "late asserts must not skew the (absent) row store"
+    );
+    let key = Literal::new(bond, vec![Term::Int(0); 4]).key();
+    assert_eq!(grown.facts_for(key).len(), kb.facts_for(key).len() + 1);
+    let goal = Literal::new(
+        bond,
+        vec![
+            Term::Var(0),
+            Term::Sym(t.intern("a2")),
+            Term::Var(1),
+            Term::Var(2),
+        ],
+    );
+    let limits = ProofLimits::default();
+    let a = Prover::new(&grown, limits).solutions(&goal, 16);
+    let b = reference::Prover::new(&grown, limits).prove_ground(&goal);
+    assert!(b.0, "reference proves the grown goal");
+    // Seeds give bond(m1,a2,a3,_) and bond(m2,a2,a9,_); the late assert
+    // adds bond(m1,a2,a7,_): three bonds out of a2 in total.
+    assert_eq!(
+        a.0.len(),
+        3,
+        "all bonds from a2 are found, late fact included"
+    );
 }
