@@ -167,6 +167,13 @@ pub struct Endpoint<T: Transport = MeshTransport> {
     faults: Vec<Option<LinkFault>>,
     /// The whole fabric is gone; nothing will ever arrive again.
     fabric_closed: bool,
+    /// Ranks this endpoint has *acknowledged* as dead (recovery mode):
+    /// their link faults are expected and no longer abort receives.
+    down: Vec<bool>,
+    /// While set, sends are additionally tallied in the recovery totals of
+    /// [`TrafficStats`] (so reports can separate recovery traffic from the
+    /// algorithm's own).
+    recovery_phase: bool,
     clock: VirtualClock,
     model: CostModel,
     stats: TrafficStats,
@@ -197,6 +204,8 @@ impl<T: Transport> Endpoint<T> {
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             faults: vec![None; size],
             fabric_closed: false,
+            down: vec![false; size],
+            recovery_phase: false,
             clock: VirtualClock::new(),
             model,
             stats,
@@ -278,6 +287,9 @@ impl<T: Transport> Endpoint<T> {
         assert!(to < self.size, "destination rank {to} out of range");
         assert_ne!(to, self.rank, "no loopback sends in this protocol");
         self.stats.record(self.rank, to, payload.len());
+        if self.recovery_phase {
+            self.stats.record_recovery(payload.len());
+        }
         self.clock.advance(self.model.send_overhead);
         let arrival = self.clock.now() + self.model.transfer_time(payload.len());
         let env = Envelope {
@@ -336,25 +348,11 @@ impl<T: Transport> Endpoint<T> {
                     fault: LinkFault::Closed,
                 });
             }
-            match self.transport.recv() {
-                TransportEvent::Envelope(env) => {
-                    if env.poison {
-                        self.enter_poisoned(env.from);
-                    }
-                    if env.from == from {
-                        return Ok(self.deliver(env));
-                    }
-                    self.pending[env.from].push_back(env);
+            if let Some(env) = self.pump() {
+                if env.from == from {
+                    return Ok(self.deliver(env));
                 }
-                TransportEvent::Closed { peer: Some(p) } => {
-                    self.faults[p].get_or_insert(LinkFault::Closed);
-                }
-                TransportEvent::Closed { peer: None } => {
-                    self.fabric_closed = true;
-                }
-                TransportEvent::Malformed { peer, context } => {
-                    self.faults[peer].get_or_insert(LinkFault::Malformed(context));
-                }
+                self.pending[env.from].push_back(env);
             }
         }
     }
@@ -364,6 +362,132 @@ impl<T: Transport> Endpoint<T> {
     /// protocol layers can diagnose (or recover) instead of unwinding.
     pub fn recv_msg<T2: Wire>(&mut self, from: usize) -> Result<T2, CommError> {
         Ok(from_bytes(self.recv_from(from)?)?)
+    }
+
+    /// Blocks for one transport event. Returns the envelope when a message
+    /// arrived; records the fault and returns `None` otherwise.
+    ///
+    /// # Panics
+    /// Panics with [`Poisoned`] on a poison marker.
+    fn pump(&mut self) -> Option<Envelope> {
+        match self.transport.recv() {
+            TransportEvent::Envelope(env) => {
+                if env.poison {
+                    self.enter_poisoned(env.from);
+                }
+                Some(env)
+            }
+            TransportEvent::Closed { peer: Some(p) } => {
+                self.faults[p].get_or_insert(LinkFault::Closed);
+                None
+            }
+            TransportEvent::Closed { peer: None } => {
+                self.fabric_closed = true;
+                None
+            }
+            TransportEvent::Malformed { peer, context } => {
+                self.faults[peer].get_or_insert(LinkFault::Malformed(context));
+                None
+            }
+        }
+    }
+
+    /// Blocking receive from `from` that *watches every other link*: the
+    /// moment any rank not already [marked down](Endpoint::mark_down) has
+    /// a dead link, the wait aborts with `Err(that_rank)` — the recovering
+    /// master's membership-event primitive. A fault on an acknowledged-dead
+    /// rank is expected and ignored.
+    ///
+    /// # Panics
+    /// Panics with [`Poisoned`] when a peer rank panicked.
+    pub fn recv_from_watching(&mut self, from: usize) -> Result<Bytes, usize> {
+        assert!(from < self.size, "source rank {from} out of range");
+        loop {
+            if let Some(env) = self.pending[from].pop_front() {
+                return Ok(self.deliver(env));
+            }
+            if let Some(dead) = self.first_unacknowledged_fault() {
+                return Err(dead);
+            }
+            if self.fabric_closed {
+                return Err(from);
+            }
+            if let Some(env) = self.pump() {
+                if env.from == from {
+                    return Ok(self.deliver(env));
+                }
+                self.pending[env.from].push_back(env);
+            }
+        }
+    }
+
+    /// Blocking receive from whichever of two ranks delivers first
+    /// (already-buffered messages from `a` win ties). Used by recovering
+    /// workers that must hear either the ring predecessor *or* a master
+    /// abort. A dead link on either source surfaces as a [`RecvError`]
+    /// naming it.
+    ///
+    /// # Panics
+    /// Panics with [`Poisoned`] when a peer rank panicked.
+    pub fn recv_from_either(&mut self, a: usize, b: usize) -> Result<(usize, Bytes), RecvError> {
+        assert!(a < self.size && b < self.size, "source rank out of range");
+        loop {
+            for s in [a, b] {
+                if let Some(env) = self.pending[s].pop_front() {
+                    return Ok((s, self.deliver(env)));
+                }
+            }
+            for s in [a, b] {
+                if let Some(fault) = self.faults[s] {
+                    return Err(RecvError {
+                        rank: self.rank,
+                        from: s,
+                        fault,
+                    });
+                }
+            }
+            if self.fabric_closed {
+                return Err(RecvError {
+                    rank: self.rank,
+                    from: a,
+                    fault: LinkFault::Closed,
+                });
+            }
+            if let Some(env) = self.pump() {
+                if env.from == a || env.from == b {
+                    let from = env.from;
+                    return Ok((from, self.deliver(env)));
+                }
+                self.pending[env.from].push_back(env);
+            }
+        }
+    }
+
+    /// Acknowledges `rank` as dead: its link fault (present or future) no
+    /// longer aborts [`Endpoint::recv_from_watching`].
+    pub fn mark_down(&mut self, rank: usize) {
+        self.down[rank] = true;
+    }
+
+    /// The ranks acknowledged dead so far, ascending.
+    pub fn downed(&self) -> Vec<usize> {
+        (0..self.size).filter(|&r| self.down[r]).collect()
+    }
+
+    /// Discards everything buffered from `rank` (stale in-flight messages
+    /// from a dead peer must not leak into the resumed protocol).
+    pub fn clear_pending(&mut self, rank: usize) {
+        self.pending[rank].clear();
+    }
+
+    /// Toggles the recovery-traffic phase: while on, sends are additionally
+    /// tallied in the recovery totals of [`TrafficStats`].
+    pub fn set_recovery_phase(&mut self, on: bool) {
+        self.recovery_phase = on;
+    }
+
+    fn first_unacknowledged_fault(&self) -> Option<usize> {
+        (0..self.size).find(|&r| self.faults[r].is_some() && !self.down[r])
     }
 
     fn deliver(&mut self, env: Envelope) -> Bytes {
@@ -421,13 +545,13 @@ impl<T: Transport> std::fmt::Debug for Endpoint<T> {
 mod tests {
     use super::*;
     use crate::codec::to_bytes;
-    use crate::transport::MeshTransport;
+    use crate::transport::{MeshItem, MeshTransport};
     use crossbeam::channel::unbounded;
 
-    fn two_rank_endpoint() -> (Endpoint, crossbeam::channel::Sender<Envelope>) {
+    fn two_rank_endpoint() -> (Endpoint, crossbeam::channel::Sender<MeshItem>) {
         let stats = TrafficStats::new(2);
-        let (tx0, _rx0) = unbounded::<Envelope>();
-        let (tx1, rx1) = unbounded::<Envelope>();
+        let (tx0, _rx0) = unbounded::<MeshItem>();
+        let (tx1, rx1) = unbounded::<MeshItem>();
         let transport = MeshTransport::from_channels(vec![tx0.clone(), tx0], rx1);
         let ep = Endpoint::from_parts(1, 2, transport, CostModel::free(), stats);
         (ep, tx1)
@@ -439,12 +563,12 @@ mod tests {
     #[test]
     fn closed_channel_surfaces_as_recv_error() {
         let (mut ep, tx1) = two_rank_endpoint();
-        tx1.send(Envelope {
+        tx1.send(MeshItem::Env(Envelope {
             from: 0,
             arrival: 0.0,
             poison: false,
             payload: to_bytes(&7u32),
-        })
+        }))
         .unwrap();
         drop(tx1); // the peer "exits"
 
@@ -472,8 +596,8 @@ mod tests {
     #[test]
     fn undeliverable_send_is_counted_as_dropped() {
         let stats = TrafficStats::new(2);
-        let (tx0, rx0) = unbounded::<Envelope>();
-        let (tx1, rx1) = unbounded::<Envelope>();
+        let (tx0, rx0) = unbounded::<MeshItem>();
+        let (tx1, rx1) = unbounded::<MeshItem>();
         drop(rx0); // rank 0's receiver is gone
         let transport = MeshTransport::from_channels(vec![tx0, tx1], rx1);
         let mut ep = Endpoint::from_parts(1, 2, transport, CostModel::free(), stats.clone());
@@ -485,6 +609,55 @@ mod tests {
         // discrepancy rather than a silent hole.
         assert_eq!(stats.total_bytes(), 8);
         drop(ep);
+    }
+
+    /// The recovering master's primitive: a watching receive must abort
+    /// the moment any unacknowledged rank dies, resume ignoring that rank
+    /// once it is marked down, and still deliver live traffic.
+    #[test]
+    fn watching_receive_turns_death_into_an_event() {
+        let mut mesh = MeshTransport::mesh(3);
+        let t0 = mesh.remove(0);
+        let handle = t0.down_handle(0);
+        let mut ep0 = Endpoint::from_parts(0, 3, t0, CostModel::free(), TrafficStats::new(3));
+
+        handle.notify(2); // rank 2 "dies"
+        assert_eq!(ep0.recv_from_watching(1).unwrap_err(), 2);
+
+        ep0.mark_down(2);
+        assert_eq!(ep0.downed(), vec![2]);
+        let mut t1 = mesh.remove(0); // rank 1's transport
+        assert!(t1.send(
+            0,
+            Envelope {
+                from: 1,
+                arrival: 0.0,
+                poison: false,
+                payload: to_bytes(&9u32),
+            }
+        ));
+        let bytes = ep0.recv_from_watching(1).unwrap();
+        assert_eq!(from_bytes::<u32>(bytes).unwrap(), 9);
+    }
+
+    #[test]
+    fn recv_from_either_takes_whichever_source_delivers() {
+        let mut mesh = MeshTransport::mesh(3);
+        let t0 = mesh.remove(0);
+        let mut ep0 = Endpoint::from_parts(0, 3, t0, CostModel::free(), TrafficStats::new(3));
+        let mut t2 = mesh.remove(1); // rank 2's transport
+        assert!(t2.send(
+            0,
+            Envelope {
+                from: 2,
+                arrival: 0.0,
+                poison: false,
+                payload: to_bytes(&5u32),
+            }
+        ));
+        let (from, bytes) = ep0.recv_from_either(1, 2).unwrap();
+        assert_eq!(from, 2);
+        assert_eq!(from_bytes::<u32>(bytes).unwrap(), 5);
     }
 
     #[test]

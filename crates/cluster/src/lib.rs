@@ -12,8 +12,8 @@
 //! * [`stats`] — per-link traffic counters (dropped sends included);
 //! * [`comm`] — the paper's §2.2 primitives: non-blocking `send` and
 //!   `broadcast`, blocking `recv_from`, on a generic [`Endpoint`];
-//! * [`transport`] — the [`Transport`] seam and the in-process
-//!   [`MeshTransport`];
+//! * [`transport`] — the [`Transport`] seam, the in-process
+//!   [`MeshTransport`], and the fault-injecting [`ChaosTransport`];
 //! * [`net`] — the socket-backed [`TcpTransport`]: length-prefixed frames,
 //!   the rendezvous handshake, and the multi-process runtime
 //!   [`run_cluster_tcp`];
@@ -53,7 +53,10 @@ pub use net::{
     run_cluster_tcp, worker_connect, Frame, FrameError, FrameReader, MasterRendezvous, NetError,
     TcpTransport, WorkerReport,
 };
-pub use runtime::{run_cluster, ClusterError, ClusterOutcome};
+pub use runtime::{run_cluster, run_cluster_with, ClusterError, ClusterOutcome};
 pub use stats::TrafficStats;
-pub use transport::{MeshTransport, Transport, TransportEvent};
+pub use transport::{
+    maybe_chaos, ChaosConfig, ChaosTransport, DownHandle, MeshItem, MeshTransport, Transport,
+    TransportEvent,
+};
 pub use vtime::{CostModel, VirtualClock};

@@ -27,9 +27,10 @@
 //! * kind 2, **Roster** — the [`CostModel`] (five `f64`s) plus every
 //!   worker's `(rank, address)`. Master → worker, once, after all workers
 //!   said hello.
-//! * kind 3, **Report** — `vtime: f64`, `steps: u64`, and the sender's
-//!   traffic row. Worker → master, once, at shutdown, *outside* the
-//!   metered protocol (reports are bookkeeping, not algorithm traffic).
+//! * kind 3, **Report** — `vtime: f64`, `steps: u64`, the sender's
+//!   traffic row, and its recovery-traffic counters. Worker → master,
+//!   once, at shutdown, *outside* the metered protocol (reports are
+//!   bookkeeping, not algorithm traffic).
 //!
 //! Frames are decoded by the incremental [`FrameReader`], which accepts
 //! arbitrary stream fragmentation — byte-at-a-time, coalesced, split
@@ -89,10 +90,10 @@ use std::time::{Duration, Instant};
 pub const MAGIC: u32 = 0x7032_6d64;
 /// Wire-protocol version; bumped on any frame-format *or payload-shape*
 /// change (v2: `KbSnapshot` columns became full-arity when the fact store
-/// went column-native — a v1 peer would reject the new snapshot with a
-/// misleading structural error, so the handshake refuses the pairing
-/// cleanly instead).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// went column-native; v3: the shutdown `Report` frame grew the worker's
+/// recovery-traffic counters, and the protocol itself gained the
+/// worker-death recovery messages — a v2 peer would mis-parse both).
+pub const PROTOCOL_VERSION: u16 = 3;
 /// Default per-connection handshake bound: once a peer has *connected*, it
 /// gets this long to complete its `Hello` (and a roster-fed worker dial
 /// this long to succeed) before the rendezvous gives up on it. Without a
@@ -176,6 +177,12 @@ pub struct WorkerReport {
     pub steps: u64,
     /// `(bytes, messages, dropped)` per destination rank.
     pub sends: Vec<(u64, u64, u64)>,
+    /// Bytes this worker sent during recovery phases (a labelled subset of
+    /// `sends`, so the master can keep recovery traffic out of the
+    /// paper-shaped numbers).
+    pub recovery_bytes: u64,
+    /// Messages this worker sent during recovery phases.
+    pub recovery_messages: u64,
 }
 
 /// One decoded frame (see the [module docs](self) for the byte layout).
@@ -283,6 +290,8 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 put_u64(&mut out, *m);
                 put_u64(&mut out, *d);
             }
+            put_u64(&mut out, rep.recovery_bytes);
+            put_u64(&mut out, rep.recovery_messages);
         }
     }
     let len = (out.len() - 4) as u32;
@@ -400,6 +409,8 @@ fn decode_frame_body(body: &[u8]) -> Result<Frame, FrameError> {
                 vtime,
                 steps,
                 sends,
+                recovery_bytes: c.u64()?,
+                recovery_messages: c.u64()?,
             })
         }
         _ => return Err(FrameError::new("frame kind")),
@@ -566,8 +577,20 @@ impl TcpTransport {
     /// arrived, the links died, or `timeout` elapsed. Returns the reports
     /// collected so far, indexed by rank.
     pub fn collect_reports(&mut self, timeout: Duration) -> &[Option<WorkerReport>] {
+        self.collect_reports_except(timeout, &[])
+    }
+
+    /// [`TcpTransport::collect_reports`] excusing `dead` ranks: a worker
+    /// that died mid-run (and was recovered around) will never report, so
+    /// waiting the full timeout for it would turn every self-healed run
+    /// into a timeout-length teardown.
+    pub fn collect_reports_except(
+        &mut self,
+        timeout: Duration,
+        dead: &[usize],
+    ) -> &[Option<WorkerReport>] {
         let deadline = Instant::now() + timeout;
-        while (1..self.reports.len()).any(|k| self.reports[k].is_none()) {
+        while (1..self.reports.len()).any(|k| self.reports[k].is_none() && !dead.contains(&k)) {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -1002,9 +1025,38 @@ fn resolve(addr: &str) -> Result<SocketAddr, NetError> {
         .ok_or_else(|| NetError::new(format!("address `{addr}` did not resolve")))
 }
 
-/// Dials with retries until `deadline` (the peer's listener may not be up
-/// yet when processes race through startup).
+/// First retry pause after a refused dial; doubles per attempt.
+const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(4);
+/// Ceiling on the (pre-jitter) retry pause.
+const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(256);
+
+/// The pause before retry number `attempt` (0-based): exponential from
+/// [`DIAL_BACKOFF_BASE`] capped at [`DIAL_BACKOFF_CAP`], with uniform
+/// jitter in `[½·pause, pause]` so a whole cohort of workers restarting at
+/// once (exactly the recovery scenario) spreads its dials instead of
+/// hammering the listener in lockstep.
+fn dial_backoff(attempt: u32, rng: &mut rand::rngs::StdRng) -> Duration {
+    use rand::Rng as _;
+    let exp = DIAL_BACKOFF_BASE
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(DIAL_BACKOFF_CAP);
+    let micros = exp.as_micros() as u64;
+    Duration::from_micros(rng.random_range(micros / 2..=micros))
+}
+
+/// Dials with jittered-exponential-backoff retries until `deadline` (the
+/// peer's listener may not be up yet when processes race through startup,
+/// and a recovering mesh redials en masse).
 fn dial(addr: SocketAddr, deadline: Instant, what: &str) -> Result<TcpStream, NetError> {
+    use rand::SeedableRng as _;
+    // Deterministic but caller-distinct jitter: different ranks dial with
+    // different `what` strings, so their schedules decorrelate.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in what.bytes().chain(addr.port().to_le_bytes()) {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut attempt = 0u32;
     loop {
         let now = Instant::now();
         if now >= deadline {
@@ -1018,7 +1070,8 @@ fn dial(addr: SocketAddr, deadline: Instant, what: &str) -> Result<TcpStream, Ne
                     io::ErrorKind::ConnectionRefused | io::ErrorKind::ConnectionReset
                 ) =>
             {
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(dial_backoff(attempt, &mut rng).min(deadline - now));
+                attempt += 1;
             }
             Err(e) => return Err(NetError::new(format!("{what}: dialing {addr}: {e}"))),
         }
@@ -1028,6 +1081,10 @@ fn dial(addr: SocketAddr, deadline: Instant, what: &str) -> Result<TcpStream, Ne
 // ---------------------------------------------------------------------------
 // The multi-process runtime.
 // ---------------------------------------------------------------------------
+
+/// Bound on collecting one child's stderr during a failure diagnosis (see
+/// [`ChildSet::diagnose`]).
+const STDERR_COLLECT_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Tracks the spawned worker processes; kills whatever is still alive on
 /// drop so a failed run never leaks children.
@@ -1076,6 +1133,13 @@ impl ChildSet {
     }
 
     /// Exit status + captured stderr for one rank (call after `wait_all`).
+    ///
+    /// Stderr is read on a helper thread bounded by
+    /// [`STDERR_COLLECT_TIMEOUT`]: a wedged worker (or a grandchild it
+    /// leaked) can hold the pipe's write end open indefinitely, and an
+    /// unbounded `read_to_string` here would turn one stuck process into a
+    /// stuck *teardown*. On timeout the reader thread is abandoned (it
+    /// exits whenever the pipe finally closes) and the diagnosis says so.
     fn diagnose(&mut self, rank: usize, fallback: &str) -> String {
         for (r, child, status) in self.children.iter_mut() {
             if *r != rank {
@@ -1086,10 +1150,26 @@ impl ChildSet {
                 None => fallback.to_owned(),
             };
             if let Some(mut err) = child.stderr.take() {
-                let mut text = String::new();
-                if err.read_to_string(&mut text).is_ok() && !text.trim().is_empty() {
-                    msg.push_str("; stderr: ");
-                    msg.push_str(text.trim());
+                let (tx, rx) = mpsc::channel();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("p2mdie-stderr-r{rank}"))
+                    .spawn(move || {
+                        let mut text = String::new();
+                        let _ = err.read_to_string(&mut text);
+                        let _ = tx.send(text);
+                    })
+                    .is_ok();
+                match if spawned {
+                    rx.recv_timeout(STDERR_COLLECT_TIMEOUT).ok()
+                } else {
+                    None
+                } {
+                    Some(text) if !text.trim().is_empty() => {
+                        msg.push_str("; stderr: ");
+                        msg.push_str(text.trim());
+                    }
+                    Some(_) => {}
+                    None => msg.push_str("; stderr: <collection timed out>"),
                 }
             }
             return msg;
@@ -1098,12 +1178,13 @@ impl ChildSet {
     }
 
     /// The lowest-ranked child that exited abnormally, if any (call after
-    /// `wait_all`).
-    fn first_failure(&mut self) -> Option<usize> {
+    /// `wait_all`). Ranks in `excused` — workers whose death the run
+    /// already recovered from — do not count as failures.
+    fn first_failure(&mut self, excused: &[usize]) -> Option<usize> {
         let mut failed: Vec<usize> = self
             .children
             .iter()
-            .filter(|(_, _, s)| s.map(|s| !s.success()).unwrap_or(true))
+            .filter(|(r, _, s)| !excused.contains(r) && s.map(|s| !s.success()).unwrap_or(true))
             .map(|(r, _, _)| *r)
             .collect();
         failed.sort_unstable();
@@ -1199,8 +1280,16 @@ pub fn run_cluster_tcp<R>(
         }
     };
 
-    // Gather the workers' shutdown reports and reap the processes.
-    let reports = ep.transport_mut().collect_reports(timeout).to_vec();
+    // Gather the workers' shutdown reports and reap the processes. A rank
+    // the master acknowledged as dead mid-run (worker-death recovery) is
+    // excused: it will never report, its abnormal exit is the fault the
+    // run already healed, and its traffic row is simply lost (its sends
+    // were received and metered by the survivors' clocks regardless).
+    let recovered_dead = ep.downed();
+    let reports = ep
+        .transport_mut()
+        .collect_reports_except(timeout, &recovered_dead)
+        .to_vec();
     children.wait_all(timeout);
     let mut worker_vtimes = Vec::with_capacity(workers);
     let mut worker_steps = Vec::with_capacity(workers);
@@ -1208,8 +1297,13 @@ pub fn run_cluster_tcp<R>(
         match report {
             Some(rep) => {
                 stats.absorb_row(rank, &rep.sends);
+                stats.absorb_recovery(rep.recovery_bytes, rep.recovery_messages);
                 worker_vtimes.push(rep.vtime);
                 worker_steps.push(rep.steps);
+            }
+            None if recovered_dead.contains(&rank) => {
+                worker_vtimes.push(0.0);
+                worker_steps.push(0);
             }
             None => {
                 let message = children.diagnose(rank, "exited without a shutdown report");
@@ -1217,7 +1311,7 @@ pub fn run_cluster_tcp<R>(
             }
         }
     }
-    if let Some(rank) = children.first_failure() {
+    if let Some(rank) = children.first_failure(&recovered_dead) {
         let message = children.diagnose(rank, "did not exit");
         return Err(ClusterError::WorkerProcess { rank, message });
     }
@@ -1270,6 +1364,8 @@ mod tests {
                 vtime: 12.5,
                 steps: 99,
                 sends: vec![(1, 2, 0), (0, 0, 3)],
+                recovery_bytes: 77,
+                recovery_messages: 4,
             }),
         ];
         let mut reader = FrameReader::new();
@@ -1345,6 +1441,33 @@ mod tests {
         let mut reader = FrameReader::new();
         reader.push(&raw);
         assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn dial_backoff_is_exponential_capped_and_jittered() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng as _;
+
+        let mut rng = StdRng::seed_from_u64(9);
+        for attempt in 0..20 {
+            let exp = DIAL_BACKOFF_BASE
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(DIAL_BACKOFF_CAP);
+            let d = dial_backoff(attempt, &mut rng);
+            assert!(d <= exp, "attempt {attempt}: {d:?} above the envelope");
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} below half jitter");
+            assert!(d <= DIAL_BACKOFF_CAP);
+        }
+        // Deterministic: same seed, same schedule.
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let sa: Vec<Duration> = (0..8).map(|i| dial_backoff(i, &mut a)).collect();
+        let sb: Vec<Duration> = (0..8).map(|i| dial_backoff(i, &mut b)).collect();
+        assert_eq!(sa, sb);
+        // Jittered: a different seed gives a different schedule.
+        let mut c = StdRng::seed_from_u64(4);
+        let sc: Vec<Duration> = (0..8).map(|i| dial_backoff(i, &mut c)).collect();
+        assert_ne!(sa, sc);
     }
 
     #[test]

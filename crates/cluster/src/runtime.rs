@@ -9,7 +9,7 @@
 
 use crate::comm::{CommFailure, Endpoint, Poisoned};
 use crate::stats::TrafficStats;
-use crate::transport::MeshTransport;
+use crate::transport::{DownHandle, MeshTransport, Transport};
 use crate::vtime::CostModel;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -115,20 +115,51 @@ pub fn run_cluster<R: Send>(
     master: impl FnOnce(&mut Endpoint) -> R + Send,
     worker: impl Fn(&mut Endpoint) + Send + Sync,
 ) -> Result<ClusterOutcome<R>, ClusterError> {
+    run_cluster_with(workers, model, false, |_, t| t, master, worker)
+}
+
+/// [`run_cluster`] with two extra knobs for the self-healing runtime:
+///
+/// * `wrap` turns each rank's raw [`MeshTransport`] into the transport the
+///   endpoints actually run on (identity for normal runs; a
+///   [`crate::transport::ChaosTransport`] for fault-injection tests).
+/// * `recovery` switches the failure discipline from *abort* to *event*:
+///   a worker panic no longer poisons the cluster — instead the runtime
+///   injects a death notification into the master's channel (surfacing as
+///   `Closed { peer }` there, exactly like a broken TCP link), and the
+///   master's supervision loop decides what to do. When the master closure
+///   completes despite losses, worker panics are *not* surfaced as run
+///   errors; when it gives up with a [`CommFailure`] panic (loss budget
+///   exhausted), that failure maps to [`ClusterError::Comm`].
+pub fn run_cluster_with<T: Transport + Send, R: Send>(
+    workers: usize,
+    model: CostModel,
+    recovery: bool,
+    wrap: impl Fn(usize, MeshTransport) -> T,
+    master: impl FnOnce(&mut Endpoint<T>) -> R + Send,
+    worker: impl Fn(&mut Endpoint<T>) + Send + Sync,
+) -> Result<ClusterOutcome<R>, ClusterError> {
     assert!(workers >= 1, "need at least one worker");
     let size = workers + 1;
     let stats = TrafficStats::new(size);
 
-    let mut endpoints: Vec<Endpoint> = MeshTransport::mesh(size)
+    let meshes = MeshTransport::mesh(size);
+    let to_master: Vec<DownHandle> = meshes.iter().map(|t| t.down_handle(0)).collect();
+    let mut endpoints: Vec<(Endpoint<T>, DownHandle)> = meshes
         .into_iter()
         .enumerate()
-        .map(|(rank, t)| Endpoint::from_parts(rank, size, t, model, stats.clone()))
+        .map(|(rank, t)| {
+            let ep = Endpoint::from_parts(rank, size, wrap(rank, t), model, stats.clone());
+            (ep, to_master[rank].clone())
+        })
         .collect();
 
-    // Worker thread body: run, catch panics, poison on failure, report
-    // (vtime, steps, panic message) back through the join handle.
-    type WorkerReport = (f64, u64, Option<String>);
-    let run_worker = |mut ep: Endpoint| -> WorkerReport {
+    // Worker thread body: run, catch panics, report (vtime, steps, panic
+    // message) back through the join handle. On failure, either poison the
+    // whole cluster (abort mode) or notify the master of this rank's death
+    // (recovery mode).
+    type WorkerRecord = (f64, u64, Option<String>);
+    let run_worker = |mut ep: Endpoint<T>, down: DownHandle| -> WorkerRecord {
         let r = catch_unwind(AssertUnwindSafe(|| worker(&mut ep)));
         let failure = r.err().and_then(|e| {
             // A `Poisoned` panic is a secondary victim of another rank's
@@ -137,50 +168,69 @@ pub fn run_cluster<R: Send>(
                 return None;
             }
             let msg = panic_message(&*e);
-            ep.broadcast_poison();
+            if recovery {
+                down.notify(ep.rank());
+            } else {
+                ep.broadcast_poison();
+            }
             Some(msg)
         });
         (ep.now(), ep.compute_steps(), failure)
     };
 
-    let mut master_ep = endpoints.remove(0);
-    let (master_result, reports) = std::thread::scope(|scope| {
+    let (mut master_ep, _) = endpoints.remove(0);
+    let (master_result, records) = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
-            .map(|ep| scope.spawn(|| run_worker(ep)))
+            .map(|(ep, down)| scope.spawn(|| run_worker(ep, down)))
             .collect();
         let master_result = catch_unwind(AssertUnwindSafe(|| master(&mut master_ep)));
         if master_result.is_err() {
             master_ep.broadcast_poison();
         }
-        let reports: Vec<WorkerReport> = handles
+        let records: Vec<WorkerRecord> = handles
             .into_iter()
             .map(|h| h.join().expect("worker report"))
             .collect();
-        (master_result, reports)
+        (master_result, records)
     });
 
-    // Surface the first worker failure (rank order) as the run error.
-    for (i, (_, _, failure)) in reports.iter().enumerate() {
-        if let Some(msg) = failure {
-            return Err(ClusterError::WorkerPanicked {
-                rank: i + 1,
-                message: msg.clone(),
-            });
+    // Abort mode: surface the first worker failure (rank order) as the run
+    // error. Recovery mode: worker deaths the master survived are part of
+    // the outcome, not errors.
+    if !recovery {
+        for (i, (_, _, failure)) in records.iter().enumerate() {
+            if let Some(msg) = failure {
+                return Err(ClusterError::WorkerPanicked {
+                    rank: i + 1,
+                    message: msg.clone(),
+                });
+            }
         }
     }
     let result = match master_result {
         Ok(r) => r,
-        // No worker failed, so this is the master's own bug: keep unwinding.
-        Err(e) => std::panic::resume_unwind(e),
+        Err(e) => {
+            if recovery {
+                if let Some(cf) = e.downcast_ref::<CommFailure>() {
+                    return Err(ClusterError::Comm {
+                        rank: cf.from,
+                        message: cf.to_string(),
+                    });
+                }
+            }
+            // No worker failed, so this is the master's own bug: keep
+            // unwinding.
+            std::panic::resume_unwind(e)
+        }
     };
 
     Ok(ClusterOutcome {
         result,
         master_vtime: master_ep.now(),
-        worker_vtimes: reports.iter().map(|r| r.0).collect(),
+        worker_vtimes: records.iter().map(|r| r.0).collect(),
         master_steps: master_ep.compute_steps(),
-        worker_steps: reports.iter().map(|r| r.1).collect(),
+        worker_steps: records.iter().map(|r| r.1).collect(),
         dropped_sends: stats.total_dropped(),
         stats,
     })

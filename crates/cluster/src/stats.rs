@@ -14,6 +14,12 @@ pub struct TrafficStats {
     bytes: Arc<Vec<AtomicU64>>,
     messages: Arc<Vec<AtomicU64>>,
     dropped: Arc<Vec<AtomicU64>>,
+    /// Bytes/messages sent while the owning endpoint was in its recovery
+    /// phase — a *subset* of the matrix above (recovery traffic is real
+    /// traffic; these totals let reports state how much of it the
+    /// repartition-and-resume protocol added).
+    recovery_bytes: Arc<AtomicU64>,
+    recovery_messages: Arc<AtomicU64>,
 }
 
 impl TrafficStats {
@@ -24,6 +30,8 @@ impl TrafficStats {
             bytes: Arc::new((0..size * size).map(|_| AtomicU64::new(0)).collect()),
             messages: Arc::new((0..size * size).map(|_| AtomicU64::new(0)).collect()),
             dropped: Arc::new((0..size * size).map(|_| AtomicU64::new(0)).collect()),
+            recovery_bytes: Arc::new(AtomicU64::new(0)),
+            recovery_messages: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -53,6 +61,32 @@ impl TrafficStats {
     pub fn record_dropped(&self, from: usize, to: usize) {
         let i = self.idx(from, to);
         self.dropped[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one recovery-phase message of `bytes` bytes (in *addition*
+    /// to the normal [`record`](TrafficStats::record) for the link — the
+    /// recovery totals are a labelled subset, not a separate matrix).
+    pub fn record_recovery(&self, bytes: usize) {
+        self.recovery_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.recovery_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes sent during recovery phases.
+    pub fn recovery_bytes(&self) -> u64 {
+        self.recovery_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent during recovery phases.
+    pub fn recovery_messages(&self) -> u64 {
+        self.recovery_messages.load(Ordering::Relaxed)
+    }
+
+    /// Merges recovery totals reported by another process.
+    pub fn absorb_recovery(&self, bytes: u64, messages: u64) {
+        self.recovery_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.recovery_messages
+            .fetch_add(messages, Ordering::Relaxed);
     }
 
     /// Bytes sent on a specific link.
@@ -188,6 +222,21 @@ mod tests {
         // Dropped sends do not perturb the byte/message counters.
         assert_eq!(s.total_bytes(), 10);
         assert_eq!(s.total_messages(), 1);
+    }
+
+    #[test]
+    fn recovery_totals_are_a_labelled_subset() {
+        let s = TrafficStats::new(2);
+        s.record(0, 1, 10);
+        s.record_recovery(10);
+        s.record(0, 1, 5);
+        assert_eq!(s.recovery_bytes(), 10);
+        assert_eq!(s.recovery_messages(), 1);
+        // Recovery traffic is still counted in the matrix totals.
+        assert_eq!(s.total_bytes(), 15);
+        s.absorb_recovery(3, 2);
+        assert_eq!(s.recovery_bytes(), 13);
+        assert_eq!(s.recovery_messages(), 3);
     }
 
     #[test]

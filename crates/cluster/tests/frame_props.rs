@@ -34,12 +34,16 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         0u64..1_000_000,
         0u64..1_000_000,
         proptest::collection::vec((0u64..9999, 0u64..99, 0u64..9), 0..8),
+        0u64..100_000,
+        0u64..1_000,
     )
-        .prop_map(|(t, steps, sends)| {
+        .prop_map(|(t, steps, sends, recovery_bytes, recovery_messages)| {
             Frame::Report(WorkerReport {
                 vtime: t as f64 / 1.0e3,
                 steps,
                 sends,
+                recovery_bytes,
+                recovery_messages,
             })
         });
     let roster =

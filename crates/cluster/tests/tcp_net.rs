@@ -182,6 +182,8 @@ fn malformed_bytes_surface_as_malformed_link() {
                 vtime: ep.now(),
                 steps: ep.compute_steps(),
                 sends: ep.stats().send_row(ep.rank()),
+                recovery_bytes: 0,
+                recovery_messages: 0,
             };
             assert!(ep.transport_mut().send_report(&report));
         },
@@ -225,6 +227,8 @@ fn shutdown_reports_reach_the_master() {
                 vtime: ep.now(),
                 steps: ep.compute_steps(),
                 sends: ep.stats().send_row(me),
+                recovery_bytes: 0,
+                recovery_messages: 0,
             };
             assert!(ep.transport_mut().send_report(&report));
         },

@@ -12,20 +12,32 @@
 //! also yields the cost model and the worker-to-worker mesh), bootstraps
 //! its ILP engine from the wire (`Msg::KbSnapshot` + `Msg::Configure` +
 //! `Msg::LoadPartition`), runs the worker protocol until `Stop`, sends a
-//! shutdown report (final clock, steps, traffic row), and exits 0.
+//! shutdown report (final clock, steps, traffic row, recovery counters),
+//! and exits 0.
 //!
 //! Exit codes: 0 success · 1 bad usage · 2 connect/handshake failure ·
 //! 3 injected test failure · 101 worker panic (poison broadcast first) ·
 //! 102 poisoned by another rank's failure.
 //!
-//! The `P2MDIE_TEST_FAIL` environment variable (`exit:<rank>` or
-//! `badframe:<rank>`) injects post-handshake failures so the failure-
-//! propagation tests can exercise a worker process dying or emitting
-//! garbage without a special binary.
+//! The `P2MDIE_TEST_FAIL` environment variable injects post-handshake
+//! failures so the failure-propagation and recovery tests can exercise a
+//! worker process misbehaving without a special binary. It holds a
+//! comma-separated list of specs; the first one naming this process's rank
+//! applies:
+//!
+//! * `exit:<rank>` — exit 3 immediately after the handshake;
+//! * `badframe:<rank>` — send the master garbage bytes, then exit 3;
+//! * `stall:<rank>` — complete the handshake, then go silent *without
+//!   exiting* (the wedged-process case: links stay open, nothing flows;
+//!   the spawner's teardown deadline must reap it);
+//! * `exit-after:<rank>:<n>` — run the real protocol but die (exit 3,
+//!   no poison, no report) the moment an `(n+1)`-th message would be
+//!   received — a mid-run crash at a deterministic protocol point.
 
 use p2mdie_cluster::comm::{CommFailure, Endpoint, Poisoned};
 use p2mdie_cluster::net::{worker_connect, TcpTransport, WorkerReport};
 use p2mdie_cluster::TrafficStats;
+use p2mdie_cluster::{Envelope, Transport, TransportEvent};
 use p2mdie_core::remote::run_remote_worker;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -84,20 +96,64 @@ fn run() -> i32 {
         }
     };
     let size = transport.size();
-    let mut ep = Endpoint::from_parts(rank, size, transport, model, TrafficStats::new(size));
 
-    if let Some(code) = apply_test_injection(rank, &mut ep) {
-        return code;
+    match parse_test_injection(rank) {
+        Some(Injection::Exit) => {
+            eprintln!("worker rank {rank}: injected early exit");
+            3
+        }
+        Some(Injection::BadFrame) => {
+            let mut ep =
+                Endpoint::from_parts(rank, size, transport, model, TrafficStats::new(size));
+            // A length prefix beyond MAX_FRAME: unambiguously malformed on
+            // the first four bytes.
+            let garbage = 0xFFFF_FFFFu32.to_le_bytes();
+            ep.transport_mut().send_raw_bytes(0, &garbage);
+            eprintln!("worker rank {rank}: injected malformed frame");
+            3
+        }
+        Some(Injection::Stall) => {
+            eprintln!("worker rank {rank}: injected stall");
+            // Go silent without dying: every link stays open, nothing is
+            // sent or received, and only the spawner's deadline reaps us.
+            loop {
+                std::thread::sleep(Duration::from_secs(60));
+            }
+        }
+        Some(Injection::ExitAfter(n)) => {
+            let wrapped = ExitAfter {
+                inner: transport,
+                rank,
+                remaining: n,
+            };
+            let ep = Endpoint::from_parts(rank, size, wrapped, model, TrafficStats::new(size));
+            serve(rank, ep, |t| &mut t.inner)
+        }
+        None => {
+            let ep = Endpoint::from_parts(rank, size, transport, model, TrafficStats::new(size));
+            serve(rank, ep, |t| t)
+        }
     }
+}
 
+/// Runs the worker protocol to completion on `ep`, then sends the shutdown
+/// report over the underlying TCP transport (`report_via` peels any
+/// injection wrapper off).
+fn serve<T: Transport>(
+    rank: usize,
+    mut ep: Endpoint<T>,
+    report_via: impl FnOnce(&mut T) -> &mut TcpTransport,
+) -> i32 {
     match catch_unwind(AssertUnwindSafe(|| run_remote_worker(&mut ep))) {
         Ok(()) => {
             let report = WorkerReport {
                 vtime: ep.now(),
                 steps: ep.compute_steps(),
                 sends: ep.stats().send_row(rank),
+                recovery_bytes: ep.stats().recovery_bytes(),
+                recovery_messages: ep.stats().recovery_messages(),
             };
-            if !ep.transport_mut().send_report(&report) {
+            if !report_via(ep.transport_mut()).send_report(&report) {
                 eprintln!("worker rank {rank}: master gone before the shutdown report");
             }
             0
@@ -128,31 +184,72 @@ fn panic_text(e: &(dyn std::any::Any + Send)) -> String {
     "<non-string panic payload>".to_owned()
 }
 
-/// Post-handshake failure injection for the failure-propagation tests
-/// (`P2MDIE_TEST_FAIL=exit:<rank>` / `badframe:<rank>`). Returns the exit
-/// code when this rank must fail, `None` otherwise.
-fn apply_test_injection(rank: usize, ep: &mut Endpoint<TcpTransport>) -> Option<i32> {
+enum Injection {
+    Exit,
+    BadFrame,
+    Stall,
+    ExitAfter(u64),
+}
+
+/// Parses `P2MDIE_TEST_FAIL` (see the module docs) and returns the first
+/// injection naming this rank, if any.
+fn parse_test_injection(rank: usize) -> Option<Injection> {
     let spec = std::env::var("P2MDIE_TEST_FAIL").ok()?;
-    let (mode, target) = spec.split_once(':')?;
-    if target.parse::<usize>().ok()? != rank {
-        return None;
+    for part in spec.split(',') {
+        let Some((mode, rest)) = part.trim().split_once(':') else {
+            continue;
+        };
+        let (target, arg) = match rest.split_once(':') {
+            Some((t, a)) => (t, Some(a)),
+            None => (rest, None),
+        };
+        if target.parse::<usize>() != Ok(rank) {
+            continue;
+        }
+        return Some(match (mode, arg) {
+            ("exit", None) => Injection::Exit,
+            ("badframe", None) => Injection::BadFrame,
+            ("stall", None) => Injection::Stall,
+            ("exit-after", Some(n)) => match n.parse::<u64>() {
+                Ok(n) => Injection::ExitAfter(n),
+                Err(_) => {
+                    eprintln!("worker rank {rank}: bad exit-after count `{n}`");
+                    Injection::Exit
+                }
+            },
+            (other, _) => {
+                eprintln!("worker rank {rank}: unknown injection `{other}`");
+                Injection::Exit
+            }
+        });
     }
-    match mode {
-        "exit" => {
-            eprintln!("worker rank {rank}: injected early exit");
-            Some(3)
+    None
+}
+
+/// Transport wrapper for `exit-after:<rank>:<n>`: passes traffic through
+/// untouched until `n` messages have been received, then kills the whole
+/// process at the next receive — an abrupt mid-run death (no poison, no
+/// report, links reset by the OS) at a deterministic protocol point.
+struct ExitAfter {
+    inner: TcpTransport,
+    rank: usize,
+    remaining: u64,
+}
+
+impl Transport for ExitAfter {
+    fn send(&mut self, to: usize, env: Envelope) -> bool {
+        self.inner.send(to, env)
+    }
+
+    fn recv(&mut self) -> TransportEvent {
+        if self.remaining == 0 {
+            eprintln!("worker rank {}: injected mid-run death", self.rank);
+            std::process::exit(3);
         }
-        "badframe" => {
-            // A length prefix beyond MAX_FRAME: unambiguously malformed on
-            // the first four bytes.
-            let garbage = 0xFFFF_FFFFu32.to_le_bytes();
-            ep.transport_mut().send_raw_bytes(0, &garbage);
-            eprintln!("worker rank {rank}: injected malformed frame");
-            Some(3)
+        let ev = self.inner.recv();
+        if matches!(ev, TransportEvent::Envelope(_)) {
+            self.remaining -= 1;
         }
-        other => {
-            eprintln!("worker rank {rank}: unknown injection `{other}`");
-            Some(3)
-        }
+        ev
     }
 }

@@ -6,7 +6,9 @@ use crate::master::run_master;
 use crate::partition::partition_examples;
 use crate::report::{ParallelReport, SequentialReport};
 use crate::worker::{run_worker, WorkerContext};
-use p2mdie_cluster::{run_cluster, ClusterError, CostModel};
+use p2mdie_cluster::{
+    maybe_chaos, run_cluster, run_cluster_with, ChaosConfig, ClusterError, CostModel,
+};
 use p2mdie_ilp::engine::IlpEngine;
 use p2mdie_ilp::examples::Examples;
 use p2mdie_ilp::settings::Width;
@@ -25,6 +27,24 @@ pub enum TransportKind {
     /// `p2mdie-worker` binary, spawned once per rank). Same deterministic
     /// virtual time, same induced theory; see [`crate::remote`].
     Tcp(crate::remote::TcpConfig),
+}
+
+/// What the run does when a worker rank dies mid-run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Fail the run with a rank-tagged error (the legacy behaviour, and
+    /// the default — every paper-shaped number is taken under it, and the
+    /// protocol stays byte-for-byte unchanged).
+    #[default]
+    Abort,
+    /// Self-heal: abort the epoch, repartition the dead rank's examples
+    /// over the survivors, resync the live set by replaying the accepted
+    /// theory, and resume over the shrunk ring (see
+    /// [`crate::master::run_master_recovering`]).
+    Repartition {
+        /// How many rank deaths to absorb before failing the run anyway.
+        max_rank_losses: u32,
+    },
 }
 
 /// Configuration of one parallel run.
@@ -53,6 +73,13 @@ pub struct ParallelConfig {
     /// processes over TCP. A TCP run always ships the KB (worker processes
     /// have no shared memory to inherit it from).
     pub transport: TransportKind,
+    /// What to do when a worker rank dies mid-run.
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault injection for in-process runs: wrap the given
+    /// worker rank's transport in a
+    /// [`ChaosTransport`](p2mdie_cluster::ChaosTransport) with this
+    /// configuration (test-only seam; `None` in production use).
+    pub chaos: Option<(usize, ChaosConfig)>,
 }
 
 impl ParallelConfig {
@@ -66,6 +93,8 @@ impl ParallelConfig {
             repartition: false,
             ship_kb: false,
             transport: TransportKind::InProcess,
+            recovery: RecoveryPolicy::default(),
+            chaos: None,
         }
     }
 
@@ -88,6 +117,20 @@ impl ParallelConfig {
         self.transport = transport;
         self
     }
+
+    /// Selects the worker-death recovery policy (default
+    /// [`RecoveryPolicy::Abort`]).
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Injects deterministic transport faults into one worker rank of an
+    /// in-process run (test seam for exercising the recovery protocol).
+    pub fn with_chaos(mut self, rank: usize, chaos: ChaosConfig) -> Self {
+        self.chaos = Some((rank, chaos));
+        self
+    }
 }
 
 /// Runs p²-mdie on `engine` × `examples` with `cfg`.
@@ -105,11 +148,13 @@ pub fn run_parallel(
     }
     let started = Instant::now();
     // Static mode partitions up front; repartition mode starts workers
-    // empty (the master deals examples at every epoch).
-    let subsets = if cfg.repartition {
-        vec![Examples::default(); cfg.workers]
+    // empty (the master deals examples at every epoch). The recovering
+    // master additionally needs the global-index map of the static deal.
+    let (subsets, partition) = if cfg.repartition {
+        (vec![Examples::default(); cfg.workers], None)
     } else {
-        partition_examples(examples, cfg.workers, cfg.seed).0
+        let (subsets, part) = partition_examples(examples, cfg.workers, cfg.seed);
+        (subsets, Some(part))
     };
     // Simulated ranks run on real threads; split the physical cores among
     // them so each rank's coverage evaluation (see
@@ -137,33 +182,68 @@ pub fn run_parallel(
 
     let settings = engine.settings.clone();
     let total_pos = examples.num_pos();
-    let outcome = run_cluster(
-        cfg.workers,
-        cfg.model,
-        |ep| {
-            if cfg.ship_kb {
-                crate::master::ship_kb(ep, &engine.kb);
+
+    fn take_ctx(contexts: &[Mutex<Option<WorkerContext>>], rank: usize) -> WorkerContext {
+        contexts[rank - 1]
+            .lock()
+            .unwrap_or_else(|_| {
+                panic!("rank {rank}: worker-context lock poisoned by an earlier panic")
+            })
+            .take()
+            .expect("each worker context is taken exactly once")
+    }
+
+    let outcome = match &cfg.recovery {
+        RecoveryPolicy::Abort => run_cluster(
+            cfg.workers,
+            cfg.model,
+            |ep| {
+                if cfg.ship_kb {
+                    crate::master::ship_kb(ep, &engine.kb);
+                }
+                if cfg.repartition {
+                    crate::master::run_master_repartition(ep, &settings, examples, cfg.seed)
+                } else {
+                    run_master(ep, &settings, total_pos)
+                }
+            },
+            |ep| run_worker(ep, take_ctx(&contexts, ep.rank())),
+        )?,
+        RecoveryPolicy::Repartition { max_rank_losses } => {
+            if let Some((rank, _)) = &cfg.chaos {
+                assert!(
+                    (1..=cfg.workers).contains(rank),
+                    "chaos injection targets a worker rank (got {rank})"
+                );
             }
-            if cfg.repartition {
-                crate::master::run_master_repartition(ep, &settings, examples, cfg.seed)
-            } else {
-                run_master(ep, &settings, total_pos)
-            }
-        },
-        |ep| {
-            let ctx = contexts[ep.rank() - 1]
-                .lock()
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: worker-context lock poisoned by an earlier panic",
-                        ep.rank()
+            run_cluster_with(
+                cfg.workers,
+                cfg.model,
+                true,
+                |rank, t| {
+                    let chaos = match &cfg.chaos {
+                        Some((target, c)) if *target == rank => Some(c.clone()),
+                        _ => None,
+                    };
+                    maybe_chaos(t, chaos)
+                },
+                |ep| {
+                    if cfg.ship_kb {
+                        crate::master::ship_kb(ep, &engine.kb);
+                    }
+                    crate::master::run_master_recovering(
+                        ep,
+                        &settings,
+                        examples,
+                        partition.as_ref(),
+                        cfg.seed,
+                        *max_rank_losses,
                     )
-                })
-                .take()
-                .expect("each worker context is taken exactly once");
-            run_worker(ep, ctx);
-        },
-    )?;
+                },
+                |ep| run_worker(ep, take_ctx(&contexts, ep.rank())),
+            )?
+        }
+    };
 
     let master = outcome.result;
     Ok(ParallelReport {
@@ -180,6 +260,9 @@ pub fn run_parallel(
         wall: started.elapsed(),
         traces: master.traces,
         stalled: master.stalled,
+        rank_losses: master.rank_losses,
+        recovery_bytes: outcome.stats.recovery_bytes(),
+        recovery_messages: outcome.stats.recovery_messages(),
     })
 }
 

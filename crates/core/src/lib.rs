@@ -36,8 +36,12 @@ pub use bag::{BagRule, RuleBag};
 pub use baselines::{
     run_coverage_parallel, run_coverage_parallel_opts, BaselineReport, EvalGranularity,
 };
-pub use driver::{run_parallel, run_sequential_timed, ParallelConfig, TransportKind};
-pub use master::{run_master, ship_kb, AcceptedRule, EpochTrace, MasterOutcome};
+pub use driver::{
+    run_parallel, run_sequential_timed, ParallelConfig, RecoveryPolicy, TransportKind,
+};
+pub use master::{
+    run_master, run_master_recovering, ship_kb, AcceptedRule, EpochTrace, MasterOutcome,
+};
 pub use partition::{partition_examples, Partition};
 pub use protocol::{JobSpec, Msg, PipelineToken, StageTrace, WorkerRole};
 pub use remote::{

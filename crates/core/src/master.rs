@@ -12,10 +12,40 @@
 //! (including the first), so a globally-bad rule is never accepted; Figure 5
 //! only filters after the first acceptance. This matches the figure's
 //! stated intent of "emulating MDIE as closely as possible".
+//!
+//! # Worker-death recovery ([`run_master_recovering`])
+//!
+//! The recovering master treats a dead rank as a *membership event*, not an
+//! error. Every receive watches all links
+//! ([`Endpoint::recv_from_watching`]); the moment one dies the master runs
+//! the recovery protocol instead of unwinding:
+//!
+//! 1. **Abort** — send [`Msg::AbortEpoch`] to every survivor, then drain
+//!    each survivor's stream up to its [`Msg::AbortAck`], *processing* any
+//!    in-flight `CoveredIdx` replies (coverage already applied on the
+//!    worker side must not be lost) and discarding stale pipeline results.
+//! 2. **Redistribute** — deal the dead rank's still-live positives and its
+//!    negatives over the survivors ([`Msg::AdoptExamples`]), extending the
+//!    master's global-index bookkeeping in sent order (static partition
+//!    mode; the repartitioning variant simply re-deals next epoch).
+//! 3. **Resync** — broadcast the accepted theory ([`Msg::ReplayTheory`]);
+//!    each survivor reports everything it covers among its live examples,
+//!    which restores the exact global live set even if the death raced a
+//!    `MarkCovered` round.
+//!
+//! The aborted epoch restarts over the shrunk ring. Rules accepted before
+//! the abort stay accepted (per-channel FIFO order guarantees every
+//! survivor processed the `MarkCovered` before the `AbortEpoch`). Recovery
+//! traffic is tallied separately in the traffic statistics
+//! (`TrafficStats::recovery_bytes`), so reports stay honest about what the
+//! fault added. A *second* death while a recovery is quiescing exceeds the
+//! protocol and surfaces as a rank-tagged error (see ROADMAP follow-ups).
 
 use crate::bag::RuleBag;
+use crate::partition::Partition;
 use crate::protocol::{Msg, StageTrace};
-use p2mdie_cluster::comm::Endpoint;
+use p2mdie_cluster::codec::from_bytes;
+use p2mdie_cluster::comm::{CommError, CommFailure, Endpoint, LinkFault, RecvError};
 use p2mdie_cluster::transport::Transport;
 use p2mdie_ilp::settings::Settings;
 use p2mdie_logic::clause::Clause;
@@ -63,6 +93,9 @@ pub struct MasterOutcome {
     /// True when the run had to bail out of an inconsistent state (no
     /// progress possible but `remaining > 0`); should never happen.
     pub stalled: bool,
+    /// Ranks that died mid-run and were recovered from, in death order
+    /// (always empty outside [`run_master_recovering`]).
+    pub rank_losses: Vec<u32>,
 }
 
 /// Builds the compiled-KB snapshot *once* at the master and ships it to
@@ -341,6 +374,425 @@ pub fn run_master_repartition<T: Transport>(
 
     ep.broadcast(&Msg::Stop);
     out
+}
+
+/// Receives one decoded message from `from` while watching every other
+/// link: `Err(dead)` the moment an unacknowledged rank dies. A frame that
+/// will not decode is a protocol error and panics with [`CommFailure`].
+fn recv_msg_watching<T: Transport>(
+    ep: &mut Endpoint<T>,
+    from: usize,
+    expected: &str,
+) -> Result<Msg, usize> {
+    match ep.recv_from_watching(from) {
+        Ok(bytes) => match from_bytes(bytes) {
+            Ok(msg) => Ok(msg),
+            Err(error) => std::panic::panic_any(CommFailure {
+                rank: ep.rank(),
+                from,
+                expected: expected.to_owned(),
+                error: CommError::Decode(error),
+            }),
+        },
+        Err(dead) => Err(dead),
+    }
+}
+
+/// The self-healing master: [`run_master`] / [`run_master_repartition`]
+/// semantics, but a worker death mid-run triggers the
+/// repartition-and-resume protocol (see the module docs) instead of
+/// unwinding the run.
+///
+/// `partition` selects the variant: `Some` is the static-partition
+/// algorithm (the per-rank global-index map must describe the exact
+/// subsets the workers hold), `None` the §4.1 repartitioning one (live
+/// examples are re-dealt every epoch with `seed`, as in
+/// [`run_master_repartition`]). Up to `max_rank_losses` deaths are
+/// absorbed; one more fails the run with a rank-tagged error.
+pub fn run_master_recovering<T: Transport>(
+    ep: &mut Endpoint<T>,
+    settings: &Settings,
+    examples: &p2mdie_ilp::examples::Examples,
+    partition: Option<&Partition>,
+    seed: u64,
+    max_rank_losses: u32,
+) -> MasterOutcome {
+    use p2mdie_ilp::bitset::Bitset;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let p = ep.workers();
+    let mut out = MasterOutcome::default();
+    let mut live = Bitset::full(examples.num_pos());
+    let mut alive: Vec<usize> = (1..=p).collect();
+    // Global positive/negative example indices per rank (index `k-1`), in
+    // the rank's local order — the key that maps `CoveredIdx` replies back
+    // to the global live set. Empty rows in repartition mode until the
+    // first deal; a dead rank's rows are cleared.
+    let (mut assign, mut neg_assign) = match partition {
+        Some(part) => (part.pos.clone(), part.neg.clone()),
+        None => (vec![Vec::new(); p], vec![Vec::new(); p]),
+    };
+    let statically_partitioned = partition.is_some();
+    // Set after a death in repartition mode: the next epoch's deal must be
+    // followed by a theory replay before its pipelines start.
+    let mut resync_after_deal = false;
+
+    ep.broadcast(&Msg::EnableRecovery);
+    ep.broadcast(&Msg::LoadExamples);
+
+    // Applies one rank's `CoveredIdx` reply to the global live set.
+    fn apply_covered(live: &mut Bitset, row: &[usize], covered: &[u32]) {
+        for &local in covered {
+            live.clear(row[local as usize]);
+        }
+    }
+
+    'run: while live.any() {
+        out.epochs += 1;
+        let epoch = out.epochs;
+        let mut trace = EpochTrace {
+            epoch,
+            pipelines: vec![Vec::new(); p],
+            bag_size: 0,
+            accepted: 0,
+        };
+
+        // Recovery entry point for this epoch: aborts it, quiesces the
+        // ring, redistributes, resyncs, then restarts via `continue 'run`.
+        macro_rules! on_death {
+            ($dead:expr) => {{
+                let dead = $dead;
+                out.rank_losses.push(dead as u32);
+                if out.rank_losses.len() as u32 > max_rank_losses {
+                    std::panic::panic_any(CommFailure {
+                        rank: ep.rank(),
+                        from: dead,
+                        expected: format!(
+                            "a live worker (recovery budget exhausted: \
+                             {} rank losses, policy allows {max_rank_losses})",
+                            out.rank_losses.len()
+                        ),
+                        error: CommError::Closed(RecvError {
+                            rank: ep.rank(),
+                            from: dead,
+                            fault: LinkFault::Closed,
+                        }),
+                    });
+                }
+                ep.set_recovery_phase(true);
+                ep.mark_down(dead);
+                alive.retain(|&r| r != dead);
+
+                // 1. Abort: tell every survivor, then drain each stream up
+                // to its ack — coverage replies still apply, stale
+                // pipeline/evaluation results are dropped.
+                for &k in &alive {
+                    ep.send(k, &Msg::AbortEpoch { dead: dead as u8 });
+                }
+                for &k in &alive {
+                    loop {
+                        match Msg::recv(ep, k, "an AbortAck") {
+                            Msg::AbortAck => break,
+                            Msg::CoveredIdx { pos } => {
+                                apply_covered(&mut live, &assign[k - 1], &pos)
+                            }
+                            _ => {} // stale RulesFound / EvalResult / SeedRetired
+                        }
+                    }
+                }
+                ep.clear_pending(dead);
+
+                if statically_partitioned {
+                    // 2. Redistribute the orphaned examples over survivors.
+                    let mut orphan_pos: Vec<usize> = assign[dead - 1]
+                        .iter()
+                        .copied()
+                        .filter(|&g| live.get(g))
+                        .collect();
+                    let mut orphan_neg: Vec<usize> = std::mem::take(&mut neg_assign[dead - 1]);
+                    assign[dead - 1].clear();
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (out.rank_losses.len() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                    );
+                    orphan_pos.shuffle(&mut rng);
+                    orphan_neg.shuffle(&mut rng);
+                    let s = alive.len();
+                    for (j, &k) in alive.iter().enumerate() {
+                        let pos_idx: Vec<usize> =
+                            orphan_pos.iter().skip(j).step_by(s).copied().collect();
+                        let neg_idx: Vec<usize> =
+                            orphan_neg.iter().skip(j).step_by(s).copied().collect();
+                        ep.send(
+                            k,
+                            &Msg::AdoptExamples {
+                                pos: pos_idx.iter().map(|&g| examples.pos[g].clone()).collect(),
+                                neg: neg_idx.iter().map(|&g| examples.neg[g].clone()).collect(),
+                            },
+                        );
+                        // Adoption appends, so local indices extend in sent
+                        // order.
+                        assign[k - 1].extend(pos_idx);
+                        neg_assign[k - 1].extend(neg_idx);
+                    }
+
+                    // 3. Resync: replay the theory so both sides agree on
+                    // the live set exactly.
+                    if let Err(d) = replay_theory(ep, &alive, &out.theory, &assign, &mut live) {
+                        std::panic::panic_any(CommFailure {
+                            rank: ep.rank(),
+                            from: d,
+                            expected: "a ReplayTheory reply (second rank death mid-recovery)"
+                                .to_owned(),
+                            error: CommError::Closed(RecvError {
+                                rank: ep.rank(),
+                                from: d,
+                                fault: LinkFault::Closed,
+                            }),
+                        });
+                    }
+                } else {
+                    // Repartitioning mode re-deals every epoch anyway; the
+                    // replay rides on the next deal.
+                    resync_after_deal = true;
+                }
+                ep.set_recovery_phase(false);
+                out.traces.push(trace);
+                continue 'run;
+            }};
+        }
+
+        if !statically_partitioned {
+            // Re-deal the live positives (and all negatives) evenly over
+            // the *live* ranks (same formula as `run_master_repartition`).
+            let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
+            let mut live_idx: Vec<usize> = live.iter_ones().collect();
+            live_idx.shuffle(&mut rng);
+            let mut neg_idx: Vec<usize> = (0..examples.num_neg()).collect();
+            neg_idx.shuffle(&mut rng);
+            let s = alive.len();
+            for row in assign.iter_mut() {
+                row.clear();
+            }
+            for (i, g) in live_idx.iter().enumerate() {
+                assign[alive[i % s] - 1].push(*g);
+            }
+            for (j, &k) in alive.iter().enumerate() {
+                let pos: Vec<_> = assign[k - 1]
+                    .iter()
+                    .map(|&g| examples.pos[g].clone())
+                    .collect();
+                let neg: Vec<_> = neg_idx
+                    .iter()
+                    .skip(j)
+                    .step_by(s)
+                    .map(|&g| examples.neg[g].clone())
+                    .collect();
+                ep.send(k, &Msg::NewPartition { pos, neg });
+            }
+            if resync_after_deal {
+                ep.set_recovery_phase(true);
+                if let Err(d) = replay_theory(ep, &alive, &out.theory, &assign, &mut live) {
+                    on_death!(d);
+                }
+                ep.set_recovery_phase(false);
+                resync_after_deal = false;
+                if !live.any() {
+                    out.traces.push(trace);
+                    break 'run;
+                }
+            }
+        }
+
+        // Pipelines over the live ring.
+        for &k in &alive {
+            ep.send(k, &Msg::StartPipeline { epoch });
+        }
+        let mut bag = RuleBag::new();
+        let mut any_seed = false;
+        for k in alive.clone() {
+            let msg = match recv_msg_watching(ep, k, "RulesFound") {
+                Ok(msg) => msg,
+                Err(dead) => on_death!(dead),
+            };
+            let Msg::RulesFound {
+                origin,
+                rules,
+                had_seed,
+                trace: ptrace,
+            } = msg
+            else {
+                panic!("master: expected RulesFound from rank {k}, got {msg:?}");
+            };
+            any_seed |= had_seed;
+            for (clause, _, _) in rules {
+                bag.insert(clause, origin);
+            }
+            trace.pipelines[origin as usize - 1] = ptrace;
+        }
+        trace.bag_size = bag.len() as u32;
+
+        if statically_partitioned && !any_seed {
+            out.stalled = true;
+            out.traces.push(trace);
+            break;
+        }
+
+        // Bag consumption with master-side live tracking.
+        let mut accepted_this_epoch = 0u32;
+        if !bag.is_empty() {
+            if let Err(dead) = evaluate_bag_recovering(ep, &alive, &mut bag) {
+                on_death!(dead);
+            }
+            loop {
+                bag.drop_not_good(settings);
+                if bag.is_empty() {
+                    break;
+                }
+                ep.advance_steps(bag.len() as u64);
+                let best = bag.pick_best(settings.score).expect("bag non-empty");
+                let (pos, neg) = (best.global_pos(), best.global_neg());
+                for &k in &alive {
+                    ep.send(
+                        k,
+                        &Msg::MarkCovered {
+                            rule: best.clause.clone(),
+                        },
+                    );
+                }
+                // The acceptance is final the moment the broadcast is out:
+                // per-channel FIFO order means every survivor asserts the
+                // rule before it can see any abort.
+                out.theory.push(AcceptedRule {
+                    clause: best.clause,
+                    pos,
+                    neg,
+                    epoch,
+                    origin: best.origin,
+                });
+                accepted_this_epoch += 1;
+                for k in alive.clone() {
+                    match recv_msg_watching(ep, k, "CoveredIdx") {
+                        Ok(Msg::CoveredIdx { pos: covered }) => {
+                            apply_covered(&mut live, &assign[k - 1], &covered)
+                        }
+                        Ok(other) => {
+                            panic!("master: expected CoveredIdx from rank {k}, got {other:?}")
+                        }
+                        Err(dead) => on_death!(dead),
+                    }
+                }
+                if bag.is_empty() {
+                    break;
+                }
+                if let Err(dead) = evaluate_bag_recovering(ep, &alive, &mut bag) {
+                    on_death!(dead);
+                }
+            }
+        }
+        trace.accepted = accepted_this_epoch;
+
+        // Progress guarantee.
+        if accepted_this_epoch == 0 && live.any() {
+            let before = live.count();
+            if statically_partitioned {
+                // Workers report their retired seed by local index.
+                for &k in &alive {
+                    ep.send(k, &Msg::RetireSeed);
+                }
+                for k in alive.clone() {
+                    match recv_msg_watching(ep, k, "a retired-seed CoveredIdx") {
+                        Ok(Msg::CoveredIdx { pos: covered }) => {
+                            apply_covered(&mut live, &assign[k - 1], &covered)
+                        }
+                        Ok(other) => {
+                            panic!("master: expected CoveredIdx from rank {k}, got {other:?}")
+                        }
+                        Err(dead) => on_death!(dead),
+                    }
+                }
+            } else {
+                // A fresh partition means each worker's seed was its first
+                // assigned example; retire those master-side.
+                for &k in &alive {
+                    if let Some(&g) = assign[k - 1].first() {
+                        live.clear(g);
+                    }
+                }
+            }
+            let retired = before - live.count();
+            if retired == 0 {
+                out.stalled = true;
+                out.traces.push(trace);
+                break;
+            }
+            out.set_aside += retired as u32;
+        }
+        out.traces.push(trace);
+    }
+
+    for &k in &alive {
+        ep.send(k, &Msg::Stop);
+    }
+    out
+}
+
+/// Ships the accepted theory to every survivor and folds their coverage
+/// replies into the global live set; `Err(dead)` if a rank dies mid-round.
+fn replay_theory<T: Transport>(
+    ep: &mut Endpoint<T>,
+    alive: &[usize],
+    theory: &[AcceptedRule],
+    assign: &[Vec<usize>],
+    live: &mut p2mdie_ilp::bitset::Bitset,
+) -> Result<(), usize> {
+    let rules: Vec<Clause> = theory.iter().map(|r| r.clause.clone()).collect();
+    for &k in alive {
+        ep.send(
+            k,
+            &Msg::ReplayTheory {
+                rules: rules.clone(),
+            },
+        );
+    }
+    for &k in alive {
+        match recv_msg_watching(ep, k, "a ReplayTheory CoveredIdx")? {
+            Msg::CoveredIdx { pos } => {
+                for local in pos {
+                    live.clear(assign[k - 1][local as usize]);
+                }
+            }
+            other => panic!("master: expected CoveredIdx from rank {k}, got {other:?}"),
+        }
+    }
+    Ok(())
+}
+
+/// [`evaluate_bag`] over the live ranks only, with death-watching receives.
+fn evaluate_bag_recovering<T: Transport>(
+    ep: &mut Endpoint<T>,
+    alive: &[usize],
+    bag: &mut RuleBag,
+) -> Result<(), usize> {
+    let rules = bag.clauses();
+    for &k in alive {
+        ep.send(
+            k,
+            &Msg::Evaluate {
+                rules: rules.clone(),
+            },
+        );
+    }
+    let mut results = Vec::with_capacity(alive.len());
+    for &k in alive {
+        match recv_msg_watching(ep, k, "EvalResult")? {
+            Msg::EvalResult { counts } => results.push(counts),
+            other => panic!("master: expected EvalResult from rank {k}, got {other:?}"),
+        }
+    }
+    bag.set_results(&results);
+    Ok(())
 }
 
 /// One global evaluation round: broadcast the bag, collect per-subset

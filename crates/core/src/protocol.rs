@@ -527,6 +527,42 @@ pub enum Msg {
         /// Local negative examples.
         neg: Vec<Literal>,
     },
+    /// Master → workers, before `LoadExamples`: this run may lose ranks —
+    /// arm the worker-side recovery protocol (`AbortEpoch` handling, ring
+    /// membership tracking, `CoveredIdx` replies). Without it, every
+    /// worker runs the exact legacy protocol byte for byte.
+    EnableRecovery,
+    /// Master → survivors: rank `dead` is gone; abandon the current epoch,
+    /// flush in-flight ring traffic, shrink the ring, and ack.
+    AbortEpoch {
+        /// The dead rank.
+        dead: u8,
+    },
+    /// Worker → (old) ring successor during an epoch abort: everything in
+    /// flight from me is before this marker — stop draining.
+    EpochFlush,
+    /// Worker → master: epoch abort finished, ring shrunk, ready for the
+    /// recovery payload.
+    AbortAck,
+    /// Master → survivor: adopt these orphaned examples (a dead rank's
+    /// share) *in addition to* your current subset. The reply protocol
+    /// continues with the adopter's local indices extended in sent order.
+    AdoptExamples {
+        /// Orphaned positive examples.
+        pos: Vec<Literal>,
+        /// Orphaned negative examples.
+        neg: Vec<Literal>,
+    },
+    /// Master → survivors after a repartition-on-death: re-evaluate the
+    /// accepted theory against your (new) live set and reply with one
+    /// `CoveredIdx` of everything it covers, so the master's global live
+    /// set resynchronizes exactly even if the death raced a `MarkCovered`
+    /// round. The rules are *not* re-asserted (survivors already hold
+    /// them in their background KB).
+    ReplayTheory {
+        /// The accepted theory so far, in acceptance order.
+        rules: Vec<Clause>,
+    },
 }
 
 impl Wire for Msg {
@@ -593,6 +629,22 @@ impl Wire for Msg {
                 pos.encode(buf);
                 neg.encode(buf);
             }
+            Msg::EnableRecovery => buf.put_u8(15),
+            Msg::AbortEpoch { dead } => {
+                buf.put_u8(16);
+                buf.put_u8(*dead);
+            }
+            Msg::EpochFlush => buf.put_u8(17),
+            Msg::AbortAck => buf.put_u8(18),
+            Msg::AdoptExamples { pos, neg } => {
+                buf.put_u8(19);
+                pos.encode(buf);
+                neg.encode(buf);
+            }
+            Msg::ReplayTheory { rules } => {
+                buf.put_u8(20);
+                rules.encode(buf);
+            }
         }
     }
 
@@ -636,6 +688,19 @@ impl Wire for Msg {
             14 => Msg::LoadPartition {
                 pos: Vec::<Literal>::decode(buf)?,
                 neg: Vec::<Literal>::decode(buf)?,
+            },
+            15 => Msg::EnableRecovery,
+            16 => Msg::AbortEpoch {
+                dead: u8::decode(buf)?,
+            },
+            17 => Msg::EpochFlush,
+            18 => Msg::AbortAck,
+            19 => Msg::AdoptExamples {
+                pos: Vec::<Literal>::decode(buf)?,
+                neg: Vec::<Literal>::decode(buf)?,
+            },
+            20 => Msg::ReplayTheory {
+                rules: Vec::<Clause>::decode(buf)?,
             },
             _ => return Err(DecodeError::new("message tag")),
         })
@@ -754,6 +819,23 @@ mod tests {
                 vec![Term::Sym(t.intern("m1"))],
             )],
             neg: vec![],
+        });
+        roundtrip(Msg::EnableRecovery);
+        roundtrip(Msg::AbortEpoch { dead: 2 });
+        roundtrip(Msg::EpochFlush);
+        roundtrip(Msg::AbortAck);
+        roundtrip(Msg::AdoptExamples {
+            pos: vec![Literal::new(
+                t.intern("active"),
+                vec![Term::Sym(t.intern("m3"))],
+            )],
+            neg: vec![Literal::new(
+                t.intern("active"),
+                vec![Term::Sym(t.intern("m4"))],
+            )],
+        });
+        roundtrip(Msg::ReplayTheory {
+            rules: vec![sample_clause(&t)],
         });
         let modes = p2mdie_ilp::modes::ModeSet::parse(
             &t,

@@ -33,8 +33,8 @@
 //! `run_parallel` here.
 
 use crate::baselines::{baseline_master, run_baseline_worker, BaselineReport, EvalGranularity};
-use crate::driver::{threads_per_worker, ParallelConfig};
-use crate::master::{run_master, run_master_repartition, ship_kb};
+use crate::driver::{threads_per_worker, ParallelConfig, RecoveryPolicy};
+use crate::master::{run_master, run_master_recovering, run_master_repartition, ship_kb};
 use crate::partition::partition_examples;
 use crate::protocol::{JobSpec, Msg, WorkerRole};
 use crate::report::ParallelReport;
@@ -237,10 +237,11 @@ pub fn run_parallel_tcp(
 ) -> Result<ParallelReport, ClusterError> {
     let started = Instant::now();
     let bin = tcp.resolve_worker_bin()?;
-    let subsets = if cfg.repartition {
-        vec![Examples::default(); cfg.workers]
+    let (subsets, partition) = if cfg.repartition {
+        (vec![Examples::default(); cfg.workers], None)
     } else {
-        partition_examples(examples, cfg.workers, cfg.seed).0
+        let (subsets, part) = partition_examples(examples, cfg.workers, cfg.seed);
+        (subsets, Some(part))
     };
     let mut worker_settings = engine.settings.clone();
     worker_settings.eval_threads = threads_per_worker(engine.settings.eval_threads, cfg.workers);
@@ -258,10 +259,22 @@ pub fn run_parallel_tcp(
         |rank, addr| spawn_worker(&bin, rank, addr, tcp),
         |ep| {
             bootstrap_workers(ep, engine, role.clone(), worker_settings.clone(), &subsets);
-            if cfg.repartition {
-                run_master_repartition(ep, &settings, examples, cfg.seed)
-            } else {
-                run_master(ep, &settings, total_pos)
+            match &cfg.recovery {
+                RecoveryPolicy::Abort => {
+                    if cfg.repartition {
+                        run_master_repartition(ep, &settings, examples, cfg.seed)
+                    } else {
+                        run_master(ep, &settings, total_pos)
+                    }
+                }
+                RecoveryPolicy::Repartition { max_rank_losses } => run_master_recovering(
+                    ep,
+                    &settings,
+                    examples,
+                    partition.as_ref(),
+                    cfg.seed,
+                    *max_rank_losses,
+                ),
             }
         },
     )?;
@@ -281,6 +294,9 @@ pub fn run_parallel_tcp(
         wall: started.elapsed(),
         traces: master.traces,
         stalled: master.stalled,
+        rank_losses: master.rank_losses,
+        recovery_bytes: outcome.stats.recovery_bytes(),
+        recovery_messages: outcome.stats.recovery_messages(),
     })
 }
 

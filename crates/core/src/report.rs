@@ -40,6 +40,15 @@ pub struct ParallelReport {
     pub traces: Vec<EpochTrace>,
     /// True when the master bailed out of an inconsistent state.
     pub stalled: bool,
+    /// Ranks that died mid-run and were recovered from, in death order
+    /// (empty unless the run used `RecoveryPolicy::Repartition`).
+    pub rank_losses: Vec<u32>,
+    /// Bytes spent on the recovery protocol itself — a labelled subset of
+    /// `total_bytes`, so reports can state what the fault added.
+    pub recovery_bytes: u64,
+    /// Messages spent on the recovery protocol (subset of
+    /// `total_messages`).
+    pub recovery_messages: u64,
 }
 
 impl ParallelReport {
@@ -223,6 +232,9 @@ mod tests {
             wall: Duration::ZERO,
             traces: vec![],
             stalled: false,
+            rank_losses: vec![],
+            recovery_bytes: 0,
+            recovery_messages: 0,
         };
         assert!((r.megabytes() - 3.0).abs() < 1e-12);
     }

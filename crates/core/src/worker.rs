@@ -11,10 +11,26 @@
 //!    `RulesFound` after stage `p`);
 //! 3. then serve master commands — `Evaluate`, `MarkCovered`, `RetireSeed` —
 //!    until the next `StartPipeline` or `Stop`.
+//!
+//! # Recovery mode
+//!
+//! When the master broadcasts [`Msg::EnableRecovery`] before `LoadExamples`,
+//! the worker arms the rank-death protocol. The ring is then *membership
+//! dependent*: each `StartPipeline` recomputes the successor/predecessor
+//! from the local live-rank set, and every mid-epoch receive watches the
+//! master channel too, so an [`Msg::AbortEpoch`] can interrupt a stage wait.
+//! An abort quiesces the old ring deterministically — send an
+//! [`Msg::EpochFlush`] marker to the old successor, drain the old
+//! predecessor down to its marker, ack the master — after which the worker
+//! can adopt a dead rank's examples ([`Msg::AdoptExamples`]) and answer a
+//! theory replay ([`Msg::ReplayTheory`]) so the master's global live set
+//! resynchronizes exactly. Without `EnableRecovery` none of this code runs
+//! and the protocol is byte-for-byte the legacy one.
 
 use crate::pipeline::run_stage_search;
 use crate::protocol::{Msg, PipelineToken, StageTrace};
-use p2mdie_cluster::comm::Endpoint;
+use p2mdie_cluster::codec::from_bytes;
+use p2mdie_cluster::comm::{CommError, CommFailure, Endpoint};
 use p2mdie_cluster::transport::Transport;
 use p2mdie_ilp::bitset::Bitset;
 use p2mdie_ilp::engine::IlpEngine;
@@ -66,6 +82,60 @@ pub fn adopt_kb_snapshot(engine: &mut IlpEngine, snap: p2mdie_logic::KbSnapshot,
         .unwrap_or_else(|e| panic!("rank {rank}: rejected KB snapshot: {e}"));
 }
 
+/// How an epoch's pipelines ended.
+enum EpochEnd {
+    /// All `p` stages ran; the final token went to the master.
+    Done,
+    /// The master aborted the epoch because rank `dead` is gone.
+    /// `prev_flushed` records whether the old predecessor's
+    /// [`Msg::EpochFlush`] marker was already consumed by the stage loop.
+    Aborted { dead: usize, prev_flushed: bool },
+}
+
+/// The ring neighbours of `me` within the live-rank set `alive` (which
+/// must contain `me`). With a single live rank both neighbours are `me`.
+fn ring_neighbors(me: usize, alive: &[usize]) -> (usize, usize) {
+    let pos = alive
+        .iter()
+        .position(|&r| r == me)
+        .expect("own rank must be in the live set");
+    let len = alive.len();
+    (alive[(pos + 1) % len], alive[(pos + len - 1) % len])
+}
+
+/// Quiesces the old ring after the master announced rank `dead` is gone:
+/// shrink the live set, send the flush marker to the old successor, drain
+/// the old predecessor down to *its* marker (unless the stage loop already
+/// consumed it), ack the master, and forget everything buffered from the
+/// dead rank.
+fn handle_abort<T: Transport>(
+    ep: &mut Endpoint<T>,
+    alive: &mut Vec<usize>,
+    me: usize,
+    dead: usize,
+    prev_flushed: bool,
+) {
+    let (old_next, old_prev) = ring_neighbors(me, alive);
+    alive.retain(|&r| r != dead);
+    ep.set_recovery_phase(true);
+    if old_next != dead && old_next != me {
+        ep.send(old_next, &Msg::EpochFlush);
+    }
+    if !prev_flushed && old_prev != dead && old_prev != me {
+        // Discard stale pipeline traffic up to the predecessor's marker; a
+        // dead link counts as fully drained (nothing more can arrive).
+        while let Ok(bytes) = ep.recv_from(old_prev) {
+            if matches!(from_bytes::<Msg>(bytes), Ok(Msg::EpochFlush)) {
+                break;
+            }
+        }
+    }
+    ep.send(0, &Msg::AbortAck);
+    ep.set_recovery_phase(false);
+    ep.clear_pending(dead);
+    ep.mark_down(dead);
+}
+
 /// Runs the worker protocol until `Stop`. Rank 0 is the master; this must
 /// be called on ranks `1..=p`.
 pub fn run_worker<T: Transport>(ep: &mut Endpoint<T>, mut ctx: WorkerContext) {
@@ -77,27 +147,81 @@ pub fn run_worker<T: Transport>(ep: &mut Endpoint<T>, mut ctx: WorkerContext) {
 
     let mut live = ctx.local.full_pos_live();
     let mut current_seed: Option<usize> = None;
+    let mut recovery = false;
+    let mut alive: Vec<usize> = (1..=p).collect();
 
     loop {
         let msg = Msg::recv(ep, 0, "a master command");
         match msg {
             Msg::KbSnapshot(snap) => adopt_kb_snapshot(&mut ctx.engine, *snap, me),
+            Msg::EnableRecovery => recovery = true,
             Msg::LoadExamples => {
                 // Data is shared (distributed-FS assumption); loading costs
                 // compute proportional to the local subset.
                 ep.advance_steps(ctx.local.len() as u64);
             }
             Msg::StartPipeline { epoch: _ } => {
-                run_epoch_pipelines(
+                let (p_now, next_now, prev_now) = if recovery {
+                    let (n, pv) = ring_neighbors(me, &alive);
+                    (alive.len(), n, pv)
+                } else {
+                    (p, next, prev)
+                };
+                let end = run_epoch_pipelines(
                     ep,
                     &mut ctx,
                     &live,
                     &mut current_seed,
                     me as u8,
-                    p,
-                    next,
-                    prev,
+                    p_now,
+                    next_now,
+                    prev_now,
+                    recovery,
                 );
+                if let EpochEnd::Aborted { dead, prev_flushed } = end {
+                    handle_abort(ep, &mut alive, me, dead, prev_flushed);
+                }
+            }
+            Msg::AbortEpoch { dead } => {
+                // A rank died while this worker was between epochs; the
+                // quiesce still runs so ring markers pair up everywhere.
+                assert!(recovery, "AbortEpoch outside recovery mode");
+                handle_abort(ep, &mut alive, me, dead as usize, false);
+            }
+            Msg::AdoptExamples { pos, neg } => {
+                // Inherit a dead rank's (still-live) examples on top of the
+                // current subset; adopted positives start live.
+                assert!(recovery, "AdoptExamples outside recovery mode");
+                ep.advance_steps((pos.len() + neg.len()) as u64);
+                let old_len = ctx.local.num_pos();
+                ctx.local.pos.extend(pos);
+                ctx.local.neg.extend(neg);
+                let mut grown = Bitset::new(ctx.local.num_pos());
+                for i in live.iter_ones() {
+                    grown.set(i);
+                }
+                for i in old_len..ctx.local.num_pos() {
+                    grown.set(i);
+                }
+                live = grown;
+            }
+            Msg::ReplayTheory { rules } => {
+                // Re-score the accepted theory against the (possibly just
+                // adopted) live set and report everything it covers, so the
+                // master can rebuild its global live set exactly. The rules
+                // are NOT re-asserted — the KB already holds them.
+                assert!(recovery, "ReplayTheory outside recovery mode");
+                let mut covered = Bitset::new(ctx.local.num_pos());
+                for rule in &rules {
+                    let cov = ctx.engine.evaluate(rule, &ctx.local, Some(&live), None);
+                    ep.advance_steps(cov.steps);
+                    covered.union_with(&cov.pos);
+                }
+                let idx: Vec<u32> = covered.iter_ones().map(|i| i as u32).collect();
+                ep.set_recovery_phase(true);
+                ep.send(0, &Msg::CoveredIdx { pos: idx });
+                ep.set_recovery_phase(false);
+                live.difference_with(&covered);
             }
             Msg::Evaluate { rules } => {
                 let mut counts = Vec::with_capacity(rules.len());
@@ -111,7 +235,7 @@ pub fn run_worker<T: Transport>(ep: &mut Endpoint<T>, mut ctx: WorkerContext) {
             Msg::MarkCovered { rule } => {
                 let cov = ctx.engine.evaluate(&rule, &ctx.local, Some(&live), None);
                 ep.advance_steps(cov.steps);
-                if ctx.repartition {
+                if ctx.repartition || recovery {
                     let idx: Vec<u32> = cov.pos.iter_ones().map(|i| i as u32).collect();
                     ep.send(0, &Msg::CoveredIdx { pos: idx });
                 }
@@ -128,14 +252,27 @@ pub fn run_worker<T: Transport>(ep: &mut Endpoint<T>, mut ctx: WorkerContext) {
                 current_seed = None;
             }
             Msg::RetireSeed => {
-                let mut removed = 0u32;
-                if let Some(idx) = current_seed {
-                    if live.get(idx) {
-                        live.clear(idx);
-                        removed = 1;
+                if recovery {
+                    // The recovering master tracks coverage by global index,
+                    // so the reply names the retired index instead of a count.
+                    let mut idx = Vec::new();
+                    if let Some(i) = current_seed {
+                        if live.get(i) {
+                            live.clear(i);
+                            idx.push(i as u32);
+                        }
                     }
+                    ep.send(0, &Msg::CoveredIdx { pos: idx });
+                } else {
+                    let mut removed = 0u32;
+                    if let Some(idx) = current_seed {
+                        if live.get(idx) {
+                            live.clear(idx);
+                            removed = 1;
+                        }
+                    }
+                    ep.send(0, &Msg::SeedRetired { removed });
                 }
-                ep.send(0, &Msg::SeedRetired { removed });
             }
             Msg::Stop => return,
             other => panic!("worker {me}: unexpected master message {other:?}"),
@@ -144,6 +281,11 @@ pub fn run_worker<T: Transport>(ep: &mut Endpoint<T>, mut ctx: WorkerContext) {
 }
 
 /// Stage 1 of the own pipeline plus the `p − 1` incoming stages.
+///
+/// In recovery mode every stage wait watches the master channel too: an
+/// [`Msg::AbortEpoch`] (or the death of the ring predecessor itself)
+/// interrupts the epoch and returns [`EpochEnd::Aborted`] so the caller can
+/// quiesce the ring.
 #[allow(clippy::too_many_arguments)]
 fn run_epoch_pipelines<T: Transport>(
     ep: &mut Endpoint<T>,
@@ -154,7 +296,8 @@ fn run_epoch_pipelines<T: Transport>(
     p: usize,
     next: usize,
     prev: usize,
-) {
+    recovery: bool,
+) -> EpochEnd {
     // --- Stage 1: seed, saturate, search. -----------------------------
     // Seeds advance round-robin through the live set (April's "select an
     // example"): picking the next live example after the previous seed
@@ -199,10 +342,18 @@ fn run_epoch_pipelines<T: Transport>(
     );
 
     // --- Stages 2..=p of the pipelines passing through this worker. ----
-    for _ in 0..p - 1 {
-        let msg = Msg::recv(ep, prev, "a PipelineStage token");
-        let Msg::PipelineStage(token) = msg else {
-            panic!("worker {me}: expected a pipeline token from rank {prev}, got {msg:?}");
+    for _ in 0..p.saturating_sub(1) {
+        let token = if recovery {
+            match recv_token_watching(ep, me, prev) {
+                Ok(token) => token,
+                Err(end) => return end,
+            }
+        } else {
+            let msg = Msg::recv(ep, prev, "a PipelineStage token");
+            let Msg::PipelineStage(token) = msg else {
+                panic!("worker {me}: expected a pipeline token from rank {prev}, got {msg:?}");
+            };
+            token
         };
         let start = ep.now();
         let step = token.step;
@@ -244,6 +395,71 @@ fn run_epoch_pipelines<T: Transport>(
                 trace: full_trace,
             },
         );
+    }
+    EpochEnd::Done
+}
+
+/// One mid-epoch receive in recovery mode: a pipeline token from `prev`
+/// wins, a master `AbortEpoch` (or an `EpochFlush` from a predecessor
+/// already aborting, followed by the master's `AbortEpoch`) ends the epoch,
+/// and a dead predecessor link blocks on the master's announcement.
+fn recv_token_watching<T: Transport>(
+    ep: &mut Endpoint<T>,
+    me: u8,
+    prev: usize,
+) -> Result<PipelineToken, EpochEnd> {
+    match ep.recv_from_either(prev, 0) {
+        Ok((src, bytes)) => {
+            let msg: Msg = match from_bytes(bytes) {
+                Ok(msg) => msg,
+                Err(error) => std::panic::panic_any(CommFailure {
+                    rank: ep.rank(),
+                    from: src,
+                    expected: "a pipeline token or an epoch abort".to_owned(),
+                    error: CommError::Decode(error),
+                }),
+            };
+            match (src, msg) {
+                (s, Msg::PipelineStage(token)) if s == prev => Ok(token),
+                (s, Msg::EpochFlush) if s == prev => {
+                    // The predecessor is already quiescing; the master's
+                    // abort for us is on its way.
+                    let msg = Msg::recv(ep, 0, "an AbortEpoch after a ring flush");
+                    let Msg::AbortEpoch { dead } = msg else {
+                        panic!("worker {me}: expected AbortEpoch after a flush, got {msg:?}");
+                    };
+                    Err(EpochEnd::Aborted {
+                        dead: dead as usize,
+                        prev_flushed: true,
+                    })
+                }
+                (0, Msg::AbortEpoch { dead }) => Err(EpochEnd::Aborted {
+                    dead: dead as usize,
+                    prev_flushed: false,
+                }),
+                (s, other) => {
+                    panic!("worker {me}: unexpected mid-epoch message from rank {s}: {other:?}")
+                }
+            }
+        }
+        Err(e) if e.from == prev => {
+            // The predecessor's link itself died (socket transports); the
+            // master will confirm which rank is gone.
+            let msg = Msg::recv(ep, 0, "an AbortEpoch after a ring death");
+            let Msg::AbortEpoch { dead } = msg else {
+                panic!("worker {me}: expected AbortEpoch after a ring death, got {msg:?}");
+            };
+            Err(EpochEnd::Aborted {
+                dead: dead as usize,
+                prev_flushed: false,
+            })
+        }
+        Err(e) => std::panic::panic_any(CommFailure {
+            rank: ep.rank(),
+            from: e.from,
+            expected: "a pipeline token or an epoch abort".to_owned(),
+            error: CommError::Closed(e),
+        }),
     }
 }
 

@@ -11,7 +11,7 @@
 
 use p2mdie_cluster::{ClusterError, CostModel};
 use p2mdie_core::baselines::{run_coverage_parallel_opts, EvalGranularity};
-use p2mdie_core::driver::{run_parallel, ParallelConfig, TransportKind};
+use p2mdie_core::driver::{run_parallel, ParallelConfig, RecoveryPolicy, TransportKind};
 use p2mdie_core::remote::{run_coverage_parallel_tcp, TcpConfig};
 use p2mdie_ilp::settings::Width;
 use std::sync::mpsc;
@@ -168,6 +168,81 @@ fn malformed_frame_surfaces_rank_tagged_error() {
             assert_eq!(*rank, 1, "{err}");
             assert!(message.contains("malformed"), "{err}");
         }
+        other => panic!("expected a Comm error naming rank 1, got {other}"),
+    }
+}
+
+/// The recovery tentpole over real OS processes: a worker process that
+/// dies mid-run (`exit-after` kills it after a deterministic number of
+/// received messages — well into the first pipelines) is recovered around
+/// under `RecoveryPolicy::Repartition`, and the run completes with the
+/// fault-free TCP run's exact theory and coverage counts.
+#[test]
+fn killed_worker_process_mid_run_is_recovered_around() {
+    let ds = p2mdie_datasets::trains(16, 5);
+    let base = ParallelConfig::new(3, Width::Limit(10), 5)
+        .with_kb_shipping()
+        .with_recovery(RecoveryPolicy::Repartition { max_rank_losses: 1 });
+
+    let fault_free_cfg = base
+        .clone()
+        .with_transport(TransportKind::Tcp(tcp_config()));
+    let engine = ds.engine.clone();
+    let examples = ds.examples.clone();
+    let fault_free = bounded(move || run_parallel(&engine, &examples, &fault_free_cfg)).unwrap();
+    assert!(fault_free.rank_losses.is_empty());
+
+    let mut tcp = tcp_config();
+    tcp.timeout = Duration::from_secs(30);
+    // 7 = past the bootstrap (snapshot, configure, partition, enable-
+    // recovery, load) and the first StartPipeline: the process dies inside
+    // epoch 1's pipelines, with stage work in flight.
+    tcp.worker_env
+        .push(("P2MDIE_TEST_FAIL".to_owned(), "exit-after:1:7".to_owned()));
+    let killed_cfg = base.with_transport(TransportKind::Tcp(tcp));
+    let engine = ds.engine.clone();
+    let examples = ds.examples.clone();
+    let healed = bounded(move || run_parallel(&engine, &examples, &killed_cfg)).unwrap();
+
+    assert_eq!(healed.rank_losses, vec![1], "the death must be recorded");
+    assert!(!healed.stalled);
+    // The aborted epoch re-runs over the survivors, so a rule can be
+    // re-found by a different pipeline with different variable numbering;
+    // compare the decision sequence up to renaming, with exact coverage.
+    let decisions = |rep: &p2mdie_core::report::ParallelReport| -> Vec<_> {
+        rep.theory
+            .iter()
+            .map(|r| (r.clause.normalize(), r.pos, r.neg))
+            .collect()
+    };
+    assert_eq!(
+        decisions(&fault_free),
+        decisions(&healed),
+        "recovery changed the induced theory"
+    );
+    assert_eq!(fault_free.set_aside, healed.set_aside);
+    assert!(
+        healed.recovery_bytes > 0,
+        "recovery traffic must be accounted"
+    );
+}
+
+/// A worker process that wedges — completes the handshake, then goes
+/// silent without exiting — must not hang teardown: when the run fails
+/// (here because its sibling exits early), the master's diagnosis and
+/// child reaping stay bounded even though the wedged process never closes
+/// its pipes on its own.
+#[test]
+fn wedged_worker_process_cannot_hang_teardown() {
+    let ds = p2mdie_datasets::trains(8, 5);
+    let mut tcp = tcp_config();
+    tcp.timeout = Duration::from_secs(10);
+    tcp.worker_env
+        .push(("P2MDIE_TEST_FAIL".to_owned(), "exit:1,stall:2".to_owned()));
+    let cfg = ParallelConfig::new(2, Width::Limit(10), 5).with_transport(TransportKind::Tcp(tcp));
+    let err = bounded(move || run_parallel(&ds.engine, &ds.examples, &cfg).unwrap_err());
+    match &err {
+        ClusterError::Comm { rank, .. } => assert_eq!(*rank, 1, "{err}"),
         other => panic!("expected a Comm error naming rank 1, got {other}"),
     }
 }

@@ -187,7 +187,7 @@ macro_rules! impl_tuple_strategy {
         }
     )+};
 }
-impl_tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+impl_tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F) }
 
 /// Uniform choice among equally-typed strategies (backs `prop_oneof!`).
 pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {

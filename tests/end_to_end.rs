@@ -193,6 +193,8 @@ fn parallel_virtual_time_beats_sequential() {
             repartition: false,
             ship_kb: false,
             transport: p2mdie::core::TransportKind::InProcess,
+            recovery: p2mdie::core::RecoveryPolicy::Abort,
+            chaos: None,
         },
     )
     .unwrap();
