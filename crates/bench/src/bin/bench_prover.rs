@@ -19,7 +19,16 @@
 //! 6. `fact_memory` — resident fact-store bytes of the column-native
 //!    layout vs the retired duplicate row+column layout, on the
 //!    carcinogenesis and trains background KBs, with a trains coverage
-//!    run asserted bit-identical to the seed replica alongside.
+//!    run asserted bit-identical to the seed replica alongside;
+//! 7. `all_ground_scan` — ground membership probes (the coverage inner
+//!    loop) with only the reference position-0 index retained, so each
+//!    probe walks its full posting run: the all-ground stripe-compare
+//!    kernel vs the per-row unification path it replaced;
+//! 8. `posting_memory` — resident posting-index bytes of the CSR layout
+//!    (sorted keys + run offsets + one contiguous index buffer) vs the
+//!    retired per-key `FxHashMap<TermId, Vec<u32>>` layout, on the same
+//!    background KBs. Exact byte accounting, so CI enforces it
+//!    deterministically alongside `fact_memory`.
 //!
 //! One caveat on the "before" timings: this binary builds without the
 //! `row-oracle` feature, so the seed-replica provers iterate rows rebuilt
@@ -30,8 +39,9 @@
 //! Writes the numbers to `BENCH_prover.json` (repo root) and exits non-zero
 //! when the coverage-evaluation speedup falls below 2x, the
 //! second-arg-bound speedup falls below 3x, the worker-startup speedup
-//! falls below 5x, or the fact-memory reduction falls below 1.8x, so CI
-//! can gate on the acceptance criteria.
+//! falls below 5x, the all-ground-scan speedup falls below 2x, the
+//! fact-memory reduction falls below 1.8x, or the posting-memory reduction
+//! falls below 1.5x, so CI can gate on the acceptance criteria.
 
 use p2mdie_bench::{legacy, workloads};
 use p2mdie_cluster::codec::{from_bytes, to_bytes};
@@ -123,6 +133,25 @@ fn fact_memory_entries(kb: &KnowledgeBase) -> Vec<(&'static str, usize, usize)> 
     ]
 }
 
+/// Workload 8 (`posting_memory`): exact byte accounting of the CSR posting
+/// store vs the retired per-key hashmap layout it replaced. Deterministic
+/// (no timing), enforced by CI alongside `fact_memory`.
+fn posting_memory_entries(kb: &KnowledgeBase) -> Vec<(&'static str, usize, usize)> {
+    let tr = p2mdie_datasets::trains(20, 7);
+    vec![
+        (
+            "carcinogenesis",
+            kb.posting_hashmap_baseline_bytes(),
+            kb.posting_store_bytes(),
+        ),
+        (
+            "trains",
+            tr.engine.kb.posting_hashmap_baseline_bytes(),
+            tr.engine.kb.posting_store_bytes(),
+        ),
+    ]
+}
+
 /// Prints the fact-memory rows and returns whether any misses the 1.8x bar.
 fn report_fact_memory(fact_memory: &[(&str, usize, usize)]) -> bool {
     let mut failed = false;
@@ -141,10 +170,31 @@ fn report_fact_memory(fact_memory: &[(&str, usize, usize)]) -> bool {
     failed
 }
 
+/// Prints the posting-memory rows and returns whether any misses the 1.5x
+/// bar.
+fn report_posting_memory(posting_memory: &[(&str, usize, usize)]) -> bool {
+    let mut failed = false;
+    for (name, baseline, store) in posting_memory {
+        let reduction = *baseline as f64 / *store as f64;
+        println!(
+            "posting_memory/{name:<9} hashmap   {baseline:>10} B   CSR     {store:>10} B   reduction {reduction:>5.2}x"
+        );
+        if reduction < 1.5 {
+            eprintln!(
+                "FAIL: posting_memory/{name} reduction {reduction:.2}x is below the 1.5x acceptance bar"
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--fact-memory-only") {
         let d = carcinogenesis(0.5, 7);
-        if report_fact_memory(&fact_memory_entries(&d.engine.kb)) {
+        let fact_failed = report_fact_memory(&fact_memory_entries(&d.engine.kb));
+        let posting_failed = report_posting_memory(&posting_memory_entries(&d.engine.kb));
+        if fact_failed || posting_failed {
             std::process::exit(1);
         }
         return;
@@ -439,8 +489,40 @@ fn main() {
     // workload. Acceptance bar: >= 1.8x smaller.
     let fact_memory = fact_memory_entries(kb);
 
+    // ---- 7. All-ground scan: ground membership probes with only the
+    // reference position-0 index retained, so every probe walks its
+    // molecule's full posting run and the per-candidate test is the whole
+    // retrieval cost. Before: the per-row unification path (kernel off).
+    // After: the all-ground stripe-compare kernel. Same prover, same
+    // plans, same steps — only the data movement differs. Bar: >= 2x.
+    {
+        let (_t, akb, queries) = workloads::all_ground_world();
+        let expect = workloads::run_all_ground(&akb, &queries, false);
+        assert_eq!(
+            workloads::run_all_ground(&akb, &queries, true),
+            expect,
+            "kernel must prove identical probes"
+        );
+        let before = best_ns(samples, || {
+            black_box(workloads::run_all_ground(&akb, &queries, false));
+        });
+        let after = best_ns(samples, || {
+            black_box(workloads::run_all_ground(&akb, &queries, true));
+        });
+        entries.push(Entry {
+            name: "all_ground_scan",
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // ---- 8. Posting-index memory: CSR (sorted keys + run offsets + one
+    // contiguous index buffer) vs the retired per-key hashmap. Exact byte
+    // accounting from the store itself. Acceptance bar: >= 1.5x smaller.
+    let posting_memory = posting_memory_entries(kb);
+
     // ---- Report.
-    let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes); worker_startup: fresh textual consult vs compiled-KB snapshot load; fact_memory: column-native fact store vs the retired row+column layout (exact byte accounting; shared arena/postings excluded, column-only arena growth past the indexable prefix charged to the new layout). Best-of-N wall times\",\n  \"benches\": {\n");
+    let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes); worker_startup: fresh textual consult vs compiled-KB snapshot load; all_ground_scan: all-ground stripe-compare kernel vs per-row unification on position-0-only retrieval; fact_memory: column-native fact store vs the retired row+column layout (exact byte accounting; shared arena/postings excluded, column-only arena growth past the indexable prefix charged to the new layout); posting_memory: CSR posting store vs the retired per-key hashmap layout (exact byte accounting). Best-of-N wall times\",\n  \"benches\": {\n");
     for e in entries.iter() {
         println!(
             "{:<24} before {:>12.0} ns   after {:>12.0} ns   speedup {:>5.2}x",
@@ -469,8 +551,20 @@ fn main() {
             if i + 1 < fact_memory.len() { "," } else { "" }
         ));
     }
+    json.push_str("    },\n    \"posting_memory\": {\n");
+    for (i, (name, baseline, store)) in posting_memory.iter().enumerate() {
+        let reduction = *baseline as f64 / *store as f64;
+        json.push_str(&format!(
+            "      \"{}\": {{ \"hashmap_baseline_bytes\": {}, \"csr_store_bytes\": {}, \"reduction\": {:.3} }}{}\n",
+            name,
+            baseline,
+            store,
+            reduction,
+            if i + 1 < posting_memory.len() { "," } else { "" }
+        ));
+    }
     json.push_str("    }\n  }\n}\n");
-    let memory_failed = report_fact_memory(&fact_memory);
+    let memory_failed = report_fact_memory(&fact_memory) | report_posting_memory(&posting_memory);
     std::fs::write("BENCH_prover.json", &json).expect("write BENCH_prover.json");
     println!("\nwrote BENCH_prover.json");
 
@@ -479,6 +573,7 @@ fn main() {
         ("coverage_eval", 2.0),
         ("second_arg_bound", 3.0),
         ("worker_startup", 5.0),
+        ("all_ground_scan", 2.0),
     ] {
         let e = entries
             .iter()

@@ -19,7 +19,7 @@ use p2mdie_logic::builtins::Builtin;
 use p2mdie_logic::clause::{
     Clause, CompiledClause, CompiledLiteral, LitKind, Literal, PredId, PredKey,
 };
-use p2mdie_logic::snapshot::{KbSnapshot, PredSnapshot};
+use p2mdie_logic::snapshot::{KbSnapshot, PostingSnapshot, PredSnapshot};
 use p2mdie_logic::symbol::SymbolId;
 use p2mdie_logic::term::{Term, F64};
 use std::fmt;
@@ -441,11 +441,31 @@ fn decode_termid_run(buf: &mut Bytes) -> Result<Vec<TermId>, DecodeError> {
     Ok((0..n).map(|_| TermId(buf.get_u32_le())).collect())
 }
 
+/// CSR posting list: three flat runs, decoded in bulk. (Validation —
+/// ascending keys, consistent offsets, in-bounds runs — happens in
+/// `KnowledgeBase::from_snapshot`, not here.)
+impl Wire for PostingSnapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.keys.encode(buf);
+        self.offs.encode(buf);
+        self.idx.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(PostingSnapshot {
+            keys: decode_termid_run(buf)?,
+            offs: decode_u32_run(buf)?,
+            idx: decode_u32_run(buf)?,
+        })
+    }
+}
+
 impl Wire for PredSnapshot {
     fn encode(&self, buf: &mut BytesMut) {
         self.key.encode(buf);
         self.num_facts.encode(buf);
         self.irregular.encode(buf);
+        // One flat position-major stripe run (protocol v4; v3 shipped one
+        // run per column).
         self.cols.encode(buf);
         self.postings.encode(buf);
         self.unindexed.encode(buf);
@@ -456,14 +476,7 @@ impl Wire for PredSnapshot {
         let num_facts = u32::decode(buf)?;
         let irregular = Vec::decode(buf)?;
         // Hand-rolled container walks so the u32 runs decode in bulk.
-        let ncols = u32::decode(buf)? as usize;
-        if ncols > buf.remaining() {
-            return Err(DecodeError::new("vec length"));
-        }
-        let mut cols = Vec::with_capacity(ncols);
-        for _ in 0..ncols {
-            cols.push(decode_termid_run(buf)?);
-        }
+        let cols = decode_termid_run(buf)?;
         let nposts = u32::decode(buf)? as usize;
         if nposts > buf.remaining() {
             return Err(DecodeError::new("vec length"));
@@ -473,18 +486,7 @@ impl Wire for PredSnapshot {
             need!(buf, 1, "option tag");
             postings.push(match buf.get_u8() {
                 0 => None,
-                1 => {
-                    let npairs = u32::decode(buf)? as usize;
-                    if npairs > buf.remaining() {
-                        return Err(DecodeError::new("vec length"));
-                    }
-                    let mut pairs = Vec::with_capacity(npairs);
-                    for _ in 0..npairs {
-                        let tid = TermId::decode(buf)?;
-                        pairs.push((tid, decode_u32_run(buf)?));
-                    }
-                    Some(pairs)
-                }
+                1 => Some(PostingSnapshot::decode(buf)?),
                 _ => return Err(DecodeError::new("option tag")),
             });
         }

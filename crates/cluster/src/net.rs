@@ -92,8 +92,10 @@ pub const MAGIC: u32 = 0x7032_6d64;
 /// change (v2: `KbSnapshot` columns became full-arity when the fact store
 /// went column-native; v3: the shutdown `Report` frame grew the worker's
 /// recovery-traffic counters, and the protocol itself gained the
-/// worker-death recovery messages — a v2 peer would mis-parse both).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// worker-death recovery messages — a v2 peer would mis-parse both;
+/// v4: `PredSnapshot` columns flattened to one position-major stripe run
+/// and posting lists moved from sorted pairs to CSR keys/offs/idx runs).
+pub const PROTOCOL_VERSION: u16 = 4;
 /// Default per-connection handshake bound: once a peer has *connected*, it
 /// gets this long to complete its `Hello` (and a roster-fed worker dial
 /// this long to succeed) before the rendezvous gives up on it. Without a

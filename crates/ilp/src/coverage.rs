@@ -89,6 +89,11 @@ pub fn prepare_rule(kb: &KnowledgeBase, rule: &Clause) -> PreparedRule {
     }
 }
 
+/// Examples per batched-planning block in [`eval_range`]: one
+/// [`Prover::prove_compiled_batch`] call plans fact retrieval for up to
+/// this many head-matched examples in a single posting-run pass.
+const COVERAGE_BATCH: usize = 64;
+
 /// Evaluates one side (positive or negative examples) over `[lo, hi)`,
 /// reusing one binding store across the whole range.
 fn eval_range(
@@ -99,32 +104,62 @@ fn eval_range(
     lo: usize,
     hi: usize,
 ) -> (Bitset, u64) {
+    match live {
+        None => eval_indices(prover, rule, lits, lo..hi),
+        // Walk set bits directly: a sparse mask (deep refinements cover
+        // little) costs O(|coverage|), not O(|E|).
+        Some(l) => eval_indices(
+            prover,
+            rule,
+            lits,
+            l.iter_ones()
+                .skip_while(|&i| i < lo)
+                .take_while(|&i| i < hi),
+        ),
+    }
+}
+
+/// Proves `rule` against each indexed example, handing the prover blocks
+/// of [`COVERAGE_BATCH`] examples so single-literal bodies get their fact
+/// retrieval planned in one batched posting pass. Plan construction is
+/// never step-charged, so the step totals are bit-identical to proving
+/// one example at a time.
+fn eval_indices(
+    prover: &Prover<'_>,
+    rule: &PreparedRule,
+    lits: &[Literal],
+    indices: impl Iterator<Item = usize>,
+) -> (Bitset, u64) {
     let mut bits = Bitset::new(lits.len());
     let mut steps = 0u64;
     let span = rule.span;
     let mut scratch = Bindings::with_capacity(span);
-    let mut eval_one = |i: usize| {
-        let ex = &lits[i];
-        steps += 1; // head-match attempt
-        scratch.reset(span);
-        if !scratch.unify_literals(&rule.head, ex, false) {
-            return;
+    let mut indices = indices.fuse();
+    let mut block: Vec<usize> = Vec::with_capacity(COVERAGE_BATCH);
+    loop {
+        block.clear();
+        block.extend(indices.by_ref().take(COVERAGE_BATCH));
+        if block.is_empty() {
+            break;
         }
-        let (ok, st) = prover.prove_compiled_reusing(&rule.body, &mut scratch);
-        steps += st.steps;
-        if ok {
-            bits.set(i);
+        let results = prover.prove_compiled_batch(
+            &rule.body,
+            block.len(),
+            &mut |k: usize, b: &mut Bindings| {
+                b.reset(span);
+                b.unify_literals(&rule.head, &lits[block[k]], false)
+            },
+            &mut scratch,
+        );
+        for (k, r) in results.into_iter().enumerate() {
+            steps += 1; // head-match attempt
+            if let Some((ok, st)) = r {
+                steps += st.steps;
+                if ok {
+                    bits.set(block[k]);
+                }
+            }
         }
-    };
-    match live {
-        None => (lo..hi).for_each(&mut eval_one),
-        // Walk set bits directly: a sparse mask (deep refinements cover
-        // little) costs O(|coverage|), not O(|E|).
-        Some(l) => l
-            .iter_ones()
-            .skip_while(|&i| i < lo)
-            .take_while(|&i| i < hi)
-            .for_each(&mut eval_one),
     }
     (bits, steps)
 }

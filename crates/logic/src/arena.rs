@@ -23,7 +23,14 @@ use crate::fxhash::FxHashMap;
 use crate::term::Term;
 
 /// Dense identifier of an interned ground term.
+///
+/// `repr(transparent)` is load-bearing: fact storage is contiguous
+/// `TermId` stripes (see `kb.rs`) that the all-ground compare kernel
+/// streams as plain `u32` lanes, so the id must be exactly a `u32` with no
+/// padding or discriminant (the layout-audit test pins size and alignment
+/// at 4).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct TermId(pub u32);
 
 impl TermId {
@@ -40,6 +47,48 @@ impl TermId {
     #[inline]
     pub fn is_none(self) -> bool {
         self == TermId::NONE
+    }
+}
+
+/// A goal argument resolved for index probing, the cached form of one
+/// `arena.lookup(..)` — computed once per goal and shared by plan
+/// construction ([`crate::kb::KnowledgeBase::fact_plan`]) and the
+/// all-ground compare kernel, instead of re-resolving and re-hashing the
+/// argument per indexed position.
+///
+/// The three-way split mirrors the step-accounting contract exactly:
+/// whether a position *probes* depends only on groundness
+/// ([`Probe::is_ground`]), while what it can *match* depends on internment
+/// — a ground-but-never-interned argument ([`Probe::Miss`]) probes like
+/// any ground term but can equal no column cell, since the arena dedupes
+/// (cell-id equality is term equality).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Probe {
+    /// Not ground under the current bindings: cannot probe an index.
+    Free,
+    /// Ground but absent from the arena: probes, and matches nothing.
+    Miss,
+    /// Ground and interned as this id.
+    Id(TermId),
+}
+
+impl Probe {
+    /// True for the probing cases ([`Probe::Id`] and [`Probe::Miss`]).
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        !matches!(self, Probe::Free)
+    }
+
+    /// The probe key: the interned id, or [`TermId::NONE`] for a miss
+    /// (which no posting key and no regular column cell can equal).
+    /// Panics semantics-free on [`Probe::Free`] by returning the same
+    /// match-nothing sentinel; callers check [`Probe::is_ground`] first.
+    #[inline]
+    pub fn tid(self) -> TermId {
+        match self {
+            Probe::Id(t) => t,
+            Probe::Miss | Probe::Free => TermId::NONE,
+        }
     }
 }
 

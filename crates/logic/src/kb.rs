@@ -9,23 +9,33 @@
 //! representation per `(predicate, arity)` relation, addressed by a dense
 //! [`PredId`]:
 //!
-//! 1. **Columnar tuples** — every ground argument of every fact is interned
-//!    into the per-KB [`TermArena`] and stored as `Vec<TermId>` columns,
-//!    one column per argument position: `cols[p][f]` is fact `f`'s argument
-//!    `p` as a 4-byte id ([`TermId::NONE`] for the rare non-ground
-//!    argument). Columns are simultaneously the *plan-building* substrate
-//!    (one-compare membership tests) and the *unification target*: the
-//!    prover matches a goal literal directly against a fact's id tuple via
+//! 1. **Contiguous column stripes** — every ground argument of every fact
+//!    is interned into the per-KB [`TermArena`] and stored in one
+//!    position-major stripe buffer per relation (`ColumnStripes`): the
+//!    arguments at position `p` of facts `0..len` are one contiguous
+//!    `&[TermId]` run ([`TermId::NONE`] for the rare non-ground argument).
+//!    Stripes are simultaneously the *plan-building* substrate (one-compare
+//!    membership tests), the *unification target* (the prover matches a
+//!    goal directly against a fact's id tuple via
 //!    [`crate::subst::Bindings::unify_term_id`], so no row `Literal` is
-//!    ever needed on the hot path.
-//! 2. **Per-position posting lists** — for each of the first
-//!    [`MAX_INDEXED_ARGS`] argument positions (unless pruned via
+//!    ever needed on the hot path), and the *kernel operand*: when every
+//!    goal argument is ground, candidate filtering is a branch-light
+//!    chunked `u32` compare over the stripes
+//!    ([`FactCols::match_mask`]/[`FactCols::row_matches`]), written so
+//!    stable Rust autovectorizes the 64-row blocks with a scalar tail.
+//! 2. **CSR posting lists** — for each of the first [`MAX_INDEXED_ARGS`]
+//!    argument positions (unless pruned via
 //!    [`KnowledgeBase::retain_indexes`], e.g. from mode declarations), a
-//!    hash index `TermId -> sorted fact indices`. At query time the prover
-//!    asks for a [`FactPlan`]: the store picks the *most selective* bound
-//!    position (hash-join style), so a `bond/4` goal bound on its second
-//!    argument touches only that atom's bonds instead of scanning the
-//!    molecule — or the whole relation (ROADMAP "index beyond first-arg").
+//!    `PostingCsr`: sorted key array + offset array + one contiguous
+//!    fact-index array, probed by binary search — no per-key heap
+//!    allocation, no hashing, and the resident form round-trips through
+//!    snapshots verbatim. At query time the prover asks for a [`FactPlan`]
+//!    (single goal) or a batch of plans ([`KnowledgeBase::fact_plan_batch`]
+//!    — several pending goals share one pass over a posting run): the
+//!    store picks the *most selective* bound position (hash-join style),
+//!    so a `bond/4` goal bound on its second argument touches only that
+//!    atom's bonds instead of scanning the molecule — or the whole
+//!    relation (ROADMAP "index beyond first-arg").
 //! 3. **Irregular rows** — the occasional fact with a non-ground argument
 //!    cannot live in the arena; its original `Literal` is kept in a small
 //!    index-sorted side list and unified row-at-a-time as before.
@@ -71,8 +81,19 @@
 //! enumeration — the prover bulk-charges the skipped candidates, which are
 //! exactly the ones that provably fail unification on the chosen bound
 //! position (see [`FactPlan::Narrowed`]).
+//!
+//! **R is the reference walk.** Throughout this module, R names the seed
+//! enumeration that defines the contract: position-0 posting hits followed
+//! by position-0-unindexable facts when the goal's first argument is ground,
+//! every fact in assertion order otherwise. [`KnowledgeBase::candidate_facts`]
+//! *is* R (the differential oracle iterates it); every [`FactPlan`] variant
+//! enumerates a subset of R in R's order and charges the rest by rank; the
+//! all-ground kernel in the prover only changes *how* a candidate's failure
+//! is detected (stripe compare vs. unification), never which candidates R
+//! contains or the order they are charged in. The position-0 posting list is
+//! never pruned, precisely because R is defined in terms of it.
 
-use crate::arena::{TermArena, TermId};
+use crate::arena::{Probe, TermArena, TermId};
 use crate::builtins::BuiltinTable;
 use crate::clause::{Clause, CompiledClause, CompiledGoals, CompiledLiteral, LitKind, Literal};
 use crate::clause::{PredId, PredKey};
@@ -90,6 +111,390 @@ pub const MAX_INDEXED_ARGS: usize = 4;
 /// goals sit in the tens; the scans worth narrowing sit in the thousands).
 const NARROW_MIN: u64 = 64;
 
+/// Contiguous position-major fact storage: one `TermId` stripe per argument
+/// position, all stripes in a single allocation. `cell(p, f)` is
+/// `data[p * cap + f]`, so the stripe for position `p` is one contiguous
+/// `&[TermId]` run — which is what lets the all-ground compare kernel and
+/// the narrowing column compare stream a position with plain slice loads
+/// instead of chasing one `Vec` pointer per position.
+///
+/// Growth is capacity-strided: stripes are laid out at stride `cap >= len`
+/// and appending past `cap` re-lays the buffer at double the stride (O(1)
+/// amortized per cell, like `Vec`). [`ColumnStripes::shrink_to_fit`]
+/// compacts to `cap == len`, after which consecutive stripes are exactly
+/// adjacent — `stripe(p + 1)` begins where `stripe(p)` ends — the form the
+/// snapshot codec captures verbatim ([`ColumnStripes::compact_data`] /
+/// [`ColumnStripes::from_compact`]) and the layout-audit test asserts.
+///
+/// An arity-0 relation stores no cells; only `len` counts its facts.
+#[derive(Debug, Clone)]
+pub(crate) struct ColumnStripes {
+    data: Vec<TermId>,
+    arity: u32,
+    len: u32,
+    cap: u32,
+}
+
+impl ColumnStripes {
+    pub(crate) fn new(arity: usize) -> Self {
+        ColumnStripes {
+            data: Vec::new(),
+            arity: arity as u32,
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    /// Number of argument positions (stripes).
+    #[inline]
+    pub(crate) fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Number of fact rows.
+    #[inline]
+    pub(crate) fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Fact `row`'s argument at `pos`.
+    #[inline]
+    pub(crate) fn cell(&self, pos: usize, row: u32) -> TermId {
+        debug_assert!(pos < self.arity() && row < self.len);
+        self.data[pos * self.cap as usize + row as usize]
+    }
+
+    /// The contiguous stripe of position `pos`: arguments of rows `0..len`.
+    #[inline]
+    pub(crate) fn stripe(&self, pos: usize) -> &[TermId] {
+        debug_assert!(pos < self.arity());
+        let start = pos * self.cap as usize;
+        &self.data[start..start + self.len as usize]
+    }
+
+    /// Appends one fact row (`cells.len()` must equal the arity).
+    pub(crate) fn push_row(&mut self, cells: &[TermId]) {
+        debug_assert_eq!(cells.len(), self.arity());
+        if self.arity == 0 {
+            // No cells to store; keep `cap == len` so the compact invariant
+            // holds trivially.
+            self.len += 1;
+            self.cap = self.len;
+            return;
+        }
+        if self.len == self.cap {
+            self.relayout((self.cap * 2).max(8));
+        }
+        let (cap, row) = (self.cap as usize, self.len as usize);
+        for (p, &tid) in cells.iter().enumerate() {
+            self.data[p * cap + row] = tid;
+        }
+        self.len += 1;
+    }
+
+    /// Re-lays the buffer at stride `new_cap` (>= len), copying each stripe.
+    fn relayout(&mut self, new_cap: u32) {
+        debug_assert!(new_cap >= self.len);
+        let (arity, len) = (self.arity(), self.len as usize);
+        let stride = new_cap as usize;
+        let mut data = vec![TermId::NONE; arity * stride];
+        for p in 0..arity {
+            let old = p * self.cap as usize;
+            data[p * stride..p * stride + len].copy_from_slice(&self.data[old..old + len]);
+        }
+        self.data = data;
+        self.cap = new_cap;
+    }
+
+    /// Compacts to `cap == len` (adjacent stripes, zero slack) and releases
+    /// over-allocation. Called from [`KnowledgeBase::optimize`].
+    pub(crate) fn shrink_to_fit(&mut self) {
+        if self.cap != self.len {
+            self.relayout(self.len);
+        }
+        self.data.shrink_to_fit();
+    }
+
+    /// The concatenated compact stripes (`arity * len` cells) — the
+    /// snapshot form, identical to the resident buffer once compacted.
+    pub(crate) fn compact_data(&self) -> Vec<TermId> {
+        if self.cap == self.len {
+            return self.data[..self.arity() * self.len as usize].to_vec();
+        }
+        let (arity, cap, len) = (self.arity(), self.cap as usize, self.len as usize);
+        let mut out = Vec::with_capacity(arity * len);
+        for p in 0..arity {
+            out.extend_from_slice(&self.data[p * cap..p * cap + len]);
+        }
+        out
+    }
+
+    /// Adopts snapshot data without copying (`data.len()` must be
+    /// `arity * len`; the snapshot loader validates this before calling).
+    pub(crate) fn from_compact(arity: usize, len: u32, data: Vec<TermId>) -> Self {
+        debug_assert_eq!(data.len(), arity * len as usize);
+        ColumnStripes {
+            data,
+            arity: arity as u32,
+            len,
+            cap: len,
+        }
+    }
+}
+
+/// One position's posting index in CSR (compressed sparse row) form:
+/// `keys` holds the distinct ground-term ids in strictly ascending order,
+/// `offs[k]..offs[k + 1]` delimits key `k`'s run inside `idx`, and each run
+/// is an ascending list of fact indices. Probing is one binary search over
+/// `keys` — no per-key heap allocation, no hashing — and a sealed posting
+/// is exactly three contiguous arrays, which is both the resident layout
+/// and the snapshot/wire layout (adopted on restore without rebuilding).
+/// The sorted key array also makes the snapshot encoding inherently
+/// canonical.
+///
+/// Incremental asserts append to a small `pending` side buffer (the global
+/// fact counter only grows, so a key's pending hits always sort after its
+/// sealed run); the buffer is merged into the CSR arrays amortized by
+/// [`PostingCsr::insert`] and unconditionally by [`PostingCsr::seal`]
+/// (called from [`KnowledgeBase::optimize`]). Probes between merges stay
+/// exact: [`PostingCsr::hits`] splices pending matches after the sealed
+/// run, preserving ascending fact order.
+#[derive(Debug, Clone)]
+pub(crate) struct PostingCsr {
+    keys: Vec<TermId>,
+    offs: Vec<u32>,
+    idx: Vec<u32>,
+    pending: Vec<(TermId, u32)>,
+}
+
+impl PostingCsr {
+    pub(crate) fn new() -> Self {
+        PostingCsr {
+            keys: Vec::new(),
+            offs: vec![0],
+            idx: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Adopts validated snapshot arrays verbatim (zero per-key work).
+    pub(crate) fn from_parts(keys: Vec<TermId>, offs: Vec<u32>, idx: Vec<u32>) -> Self {
+        debug_assert_eq!(offs.len(), keys.len() + 1);
+        PostingCsr {
+            keys,
+            offs,
+            idx,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Records `fact` under `tid`, merging the pending buffer into the CSR
+    /// arrays once it grows past an amortization threshold (capped so a
+    /// probe's pending scan stays short even mid-bulk-load of a huge
+    /// relation).
+    pub(crate) fn insert(&mut self, tid: TermId, fact: u32) {
+        debug_assert!(!tid.is_none());
+        self.pending.push((tid, fact));
+        if self.pending.len() >= (self.idx.len() / 4).clamp(64, 4096) {
+            self.merge_pending();
+        }
+    }
+
+    /// Merges pending inserts into the sealed arrays. Stable sort by key:
+    /// same-key pushes keep insertion (= ascending fact) order.
+    fn merge_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending.sort_by_key(|&(tid, _)| tid);
+        let mut keys = Vec::with_capacity(self.keys.len() + self.pending.len());
+        let mut offs = Vec::with_capacity(self.keys.len() + self.pending.len() + 1);
+        let mut idx = Vec::with_capacity(self.idx.len() + self.pending.len());
+        offs.push(0);
+        let (mut k, mut p) = (0usize, 0usize);
+        while k < self.keys.len() || p < self.pending.len() {
+            let key = match (self.keys.get(k), self.pending.get(p)) {
+                (Some(&a), Some(&(b, _))) => a.min(b),
+                (Some(&a), None) => a,
+                (None, Some(&(b, _))) => b,
+                (None, None) => unreachable!("loop guard"),
+            };
+            if self.keys.get(k) == Some(&key) {
+                idx.extend_from_slice(&self.idx[self.offs[k] as usize..self.offs[k + 1] as usize]);
+                k += 1;
+            }
+            while p < self.pending.len() && self.pending[p].0 == key {
+                idx.push(self.pending[p].1);
+                p += 1;
+            }
+            keys.push(key);
+            offs.push(idx.len() as u32);
+        }
+        self.keys = keys;
+        self.offs = offs;
+        self.idx = idx;
+        self.pending.clear();
+    }
+
+    /// Merges any pending inserts and releases slack capacity — the
+    /// bulk-load seal point.
+    pub(crate) fn seal(&mut self) {
+        self.merge_pending();
+        self.keys.shrink_to_fit();
+        self.offs.shrink_to_fit();
+        self.idx.shrink_to_fit();
+        self.pending = Vec::new();
+    }
+
+    /// True when every insert has been merged into the CSR arrays.
+    #[inline]
+    pub(crate) fn is_sealed(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The sealed run for `tid` (pending hits excluded; empty when absent —
+    /// including the [`TermId::NONE`] probe of an uninterned term, which
+    /// sorts above every real key).
+    #[inline]
+    pub(crate) fn sealed_run(&self, tid: TermId) -> &[u32] {
+        match self.keys.binary_search(&tid) {
+            Ok(k) => &self.idx[self.offs[k] as usize..self.offs[k + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// All hits for `tid` in ascending fact order: the CSR run borrowed
+    /// directly in the sealed case, an owned splice of run + pending
+    /// matches otherwise (pending facts are strictly newer, so they append
+    /// in order).
+    pub(crate) fn hits(&self, tid: TermId) -> Hits<'_> {
+        self.hits_into(tid, Vec::new)
+    }
+
+    /// [`PostingCsr::hits`] drawing any needed owned buffer from `scratch`.
+    pub(crate) fn hits_with(&self, tid: TermId, scratch: &mut PlanScratch) -> Hits<'_> {
+        self.hits_into(tid, || scratch.take_hits())
+    }
+
+    fn hits_into(&self, tid: TermId, buf: impl FnOnce() -> Vec<u32>) -> Hits<'_> {
+        let run = self.sealed_run(tid);
+        if self.pending.is_empty() || !self.pending.iter().any(|&(t, _)| t == tid) {
+            return Hits::Run(run);
+        }
+        let mut out = buf();
+        out.extend_from_slice(run);
+        out.extend(
+            self.pending
+                .iter()
+                .filter(|&&(t, _)| t == tid)
+                .map(|&(_, f)| f),
+        );
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        Hits::Owned(out)
+    }
+
+    /// The merged CSR arrays as owned vectors — the `&self` snapshot/
+    /// accounting path (clones and merges when pending inserts exist; cold).
+    pub(crate) fn merged_parts(&self) -> (Vec<TermId>, Vec<u32>, Vec<u32>) {
+        if self.pending.is_empty() {
+            (self.keys.clone(), self.offs.clone(), self.idx.clone())
+        } else {
+            let mut c = self.clone();
+            c.merge_pending();
+            (c.keys, c.offs, c.idx)
+        }
+    }
+
+    /// Exact heap bytes at logical (length, not capacity) sizes.
+    fn heap_bytes(&self) -> usize {
+        (self.keys.len() + self.offs.len() + self.idx.len()) * std::mem::size_of::<u32>()
+            + self.pending.len() * std::mem::size_of::<(TermId, u32)>()
+    }
+}
+
+/// Posting hits for one probe: a borrow of the sealed CSR run in the
+/// common case, an owned splice when un-merged pending inserts exist.
+/// Derefs to an ascending `&[u32]` of fact indices.
+#[derive(Debug)]
+pub enum Hits<'a> {
+    /// Borrowed sealed run.
+    Run(&'a [u32]),
+    /// Owned merge of sealed run + pending hits (bulk-load window only).
+    Owned(Vec<u32>),
+}
+
+impl std::ops::Deref for Hits<'_> {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        match self {
+            Hits::Run(s) => s,
+            Hits::Owned(v) => v,
+        }
+    }
+}
+
+/// Reusable buffers for plan construction: the `tried` vectors of
+/// [`FactPlan::Narrowed`], merge scratch, and per-goal [`Probe`] vectors
+/// all draw from and return to these pools, so steady-state planning
+/// allocates nothing (the per-plan heap churn this PR's satellite retires).
+/// The prover owns one per engine; [`PlanScratch::recycle`] returns a
+/// consumed plan's buffers.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    tried: Vec<Vec<(u32, u64)>>,
+    hits: Vec<Vec<u32>>,
+    probes: Vec<Vec<Probe>>,
+}
+
+impl PlanScratch {
+    /// An empty pool (buffers materialize on first recycle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take_tried(&mut self) -> Vec<(u32, u64)> {
+        self.tried.pop().unwrap_or_default()
+    }
+
+    fn take_hits(&mut self) -> Vec<u32> {
+        self.hits.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn take_probes(&mut self) -> Vec<Probe> {
+        self.probes.pop().unwrap_or_default()
+    }
+
+    fn recycle_hits_vec(&mut self, mut v: Vec<u32>) {
+        v.clear();
+        self.hits.push(v);
+    }
+
+    fn recycle_hits(&mut self, h: Hits<'_>) {
+        if let Hits::Owned(v) = h {
+            self.recycle_hits_vec(v);
+        }
+    }
+
+    pub(crate) fn recycle_probes(&mut self, mut v: Vec<Probe>) {
+        v.clear();
+        self.probes.push(v);
+    }
+
+    /// Returns a consumed plan's owned buffers to the pool.
+    pub fn recycle(&mut self, plan: FactPlan<'_>) {
+        match plan {
+            FactPlan::Narrowed { mut tried, .. } => {
+                tried.clear();
+                self.tried.push(tried);
+            }
+            FactPlan::Seq { indexed, .. } => self.recycle_hits(indexed),
+            FactPlan::Empty | FactPlan::All { .. } => {}
+        }
+    }
+}
+
 /// Per-predicate storage: columnar facts with posting-list indexes, plus
 /// rules in plain and compiled form. (`pub(crate)` so the snapshot module
 /// can capture and restore it field-for-field.)
@@ -102,19 +507,21 @@ pub(crate) struct PredEntry {
     /// which falls back to a columnar rebuild.
     #[cfg(feature = "row-oracle")]
     pub(crate) rows: Vec<Literal>,
-    /// Number of facts (columns are per-position, so an arity-0 relation
-    /// has no column to count).
+    /// Number of facts (stripes are per-position, so an arity-0 relation
+    /// has no cell to count).
     pub(crate) len: u32,
-    /// Columnar view of **every** argument position: `cols[p][f]` is fact
-    /// `f`'s argument `p` as an interned id ([`TermId::NONE`] for a
-    /// non-ground argument, which then has its row in `irregular`).
-    pub(crate) cols: Vec<Vec<TermId>>,
+    /// Contiguous stripe buffer covering **every** argument position:
+    /// `cols.cell(p, f)` is fact `f`'s argument `p` as an interned id
+    /// ([`TermId::NONE`] for a non-ground argument, which then has its row
+    /// in `irregular`).
+    pub(crate) cols: ColumnStripes,
     /// `(fact index, original literal)` for facts with at least one
     /// non-ground argument, index-ascending. These unify row-at-a-time.
     pub(crate) irregular: Vec<(u32, Literal)>,
-    /// Posting lists per indexed position (`min(arity, MAX_INDEXED_ARGS)`):
-    /// ground-term id -> ascending fact indices. `None` = index pruned.
-    pub(crate) postings: Vec<Option<FxHashMap<TermId, Vec<u32>>>>,
+    /// CSR posting lists per indexed position
+    /// (`min(arity, MAX_INDEXED_ARGS)`): ground-term id -> ascending fact
+    /// indices. `None` = index pruned.
+    pub(crate) postings: Vec<Option<PostingCsr>>,
     /// Per indexed position: facts whose argument there is *not* ground
     /// (they match any probe, so every plan includes them).
     pub(crate) unindexed: Vec<Vec<u32>>,
@@ -129,9 +536,9 @@ impl PredEntry {
             #[cfg(feature = "row-oracle")]
             rows: Vec::new(),
             len: 0,
-            cols: vec![Vec::new(); arity],
+            cols: ColumnStripes::new(arity),
             irregular: Vec::new(),
-            postings: (0..indexed).map(|_| Some(FxHashMap::default())).collect(),
+            postings: (0..indexed).map(|_| Some(PostingCsr::new())).collect(),
             unindexed: vec![Vec::new(); indexed],
             rules: Vec::new(),
             crules: Vec::new(),
@@ -160,11 +567,9 @@ impl PredEntry {
         if let Some(l) = self.irregular_row(idx) {
             return l.clone();
         }
-        let args: Vec<Term> = self
-            .cols
-            .iter()
-            .map(|col| {
-                let tid = col[idx as usize];
+        let args: Vec<Term> = (0..self.cols.arity())
+            .map(|p| {
+                let tid = self.cols.cell(p, idx);
                 debug_assert!(!tid.is_none(), "regular row has only interned cells");
                 arena.term(tid).clone()
             })
@@ -301,7 +706,6 @@ impl KnowledgeBase {
         let idx = entry.len;
         let mut regular = true;
         for (p, &tid) in tids.iter().enumerate() {
-            entry.cols[p].push(tid);
             regular &= !tid.is_none();
             if p >= entry.postings.len() {
                 continue;
@@ -311,11 +715,12 @@ impl KnowledgeBase {
                 // and posted under its arena id, so goals bound to a ground
                 // compound probe instead of scanning (ROADMAP "Compound
                 // probes").
-                Some(map) if !tid.is_none() => map.entry(tid).or_default().push(idx),
+                Some(csr) if !tid.is_none() => csr.insert(tid, idx),
                 Some(_) => entry.unindexed[p].push(idx),
                 None => {} // position pruned; late facts must not revive it
             }
         }
+        entry.cols.push_row(&tids);
         if !regular {
             entry.irregular.push((idx, fact.clone()));
         }
@@ -438,19 +843,28 @@ impl KnowledgeBase {
 
     /// Builds the retrieval plan for a goal on predicate `id`.
     ///
-    /// `resolve(p)` must return the goal's argument `p` dereferenced to a
-    /// ground term — atomic constant or ground compound (`None` when unbound
-    /// or containing variables); it is invoked
-    /// lazily, only for indexed positions that could pay off. The returned
-    /// plan enumerates a *superset* of the facts unifiable with the goal,
-    /// and a *subset* of the reference (first-argument) candidate set, in
-    /// reference order — see the module docs for the step contract.
-    pub fn fact_plan(
-        &self,
+    /// `probes` carries the goal's arguments pre-resolved to [`Probe`]s,
+    /// one per argument position (see
+    /// [`crate::subst::Bindings::probe`]) — resolved once by the caller
+    /// and shared across every indexed position, where the old closure
+    /// interface re-walked and re-hashed the argument per position.
+    /// `scratch` supplies the plan's owned buffers; hand the consumed plan
+    /// back via [`PlanScratch::recycle`] and steady-state planning
+    /// allocates nothing.
+    ///
+    /// The returned plan enumerates a *superset* of the facts unifiable
+    /// with the goal, and a *subset* of the reference (first-argument)
+    /// candidate set R, in R's order — see the module docs for the step
+    /// contract. [`KnowledgeBase::fact_plan_batch`] is the multi-goal
+    /// variant and must stay plan-for-plan identical to this.
+    pub fn fact_plan<'a>(
+        &'a self,
         id: PredId,
-        mut resolve: impl FnMut(usize) -> Option<Term>,
-    ) -> FactPlan<'_> {
+        probes: &[Probe],
+        scratch: &mut PlanScratch,
+    ) -> FactPlan<'a> {
         let entry = &self.entries[id.index()];
+        debug_assert_eq!(probes.len(), entry.cols.arity());
         let n = entry.len as usize;
         if n == 0 {
             return FactPlan::Empty;
@@ -458,60 +872,62 @@ impl KnowledgeBase {
         // The reference candidate sequence R: first-arg posting hits then
         // first-arg-unindexable facts when the first argument is bound to a
         // ground term, every fact otherwise. (Mirrors `candidate_facts`
-        // exactly — R *is* the step-accounting contract.)
-        let first_segments = if entry.postings.is_empty() {
-            None
+        // exactly — R *is* the step-accounting contract.) A ground-but-
+        // uninterned probe keys [`TermId::NONE`], which matches no posting
+        // key: empty hits, exactly as the retired hashmap lookup missed.
+        let first_segments = if !entry.postings.is_empty() && probes[0].is_ground() {
+            // Invariant: position 0 is never pruned — `retain_indexes`
+            // unconditionally keeps it and snapshot validation rejects a
+            // store without it (it defines the reference candidate set,
+            // i.e. the step-accounting contract).
+            let posting = entry.postings[0]
+                .as_ref()
+                .expect("invariant: position-0 posting list is never pruned");
+            Some((
+                posting.hits_with(probes[0].tid(), scratch),
+                entry.unindexed[0].as_slice(),
+            ))
         } else {
-            resolve(0).map(|c| {
-                // Invariant: position 0 is never pruned — `retain_indexes`
-                // unconditionally keeps it and snapshot validation rejects
-                // a store without it (it defines the reference candidate
-                // set, i.e. the step-accounting contract).
-                let posting = entry.postings[0]
-                    .as_ref()
-                    .expect("invariant: position-0 posting list is never pruned");
-                let hits = self
-                    .arena
-                    .lookup(&c)
-                    .and_then(|tid| posting.get(&tid))
-                    .map(|v| v.as_slice())
-                    .unwrap_or(&[]);
-                (hits, entry.unindexed[0].as_slice())
-            })
+            None
         };
-        let r_len = first_segments.map_or(n as u64, |(a, b)| (a.len() + b.len()) as u64);
+        let r_len = first_segments
+            .as_ref()
+            .map_or(n as u64, |(a, b)| (a.len() + b.len()) as u64);
 
         // Hash-join choice: the most selective bound position, by candidate
-        // count (posting hits + position-unindexable facts). `tid` is the
-        // probe term's arena id ([`TermId::NONE`] when the term was never
-        // interned, which no column cell of an all-ground position can
-        // equal).
-        struct Alt<'a> {
+        // count (posting hits + position-unindexable facts).
+        struct Alt<'h> {
             pos: usize,
             tid: TermId,
-            hits: &'a [u32],
-            un: &'a [u32],
+            hits: Hits<'h>,
+            un: &'h [u32],
             size: u64,
         }
-        let mut best: Option<Alt<'_>> = None;
+        let mut best: Option<Alt<'a>> = None;
         if r_len > NARROW_MIN {
-            for p in 1..entry.postings.len() {
-                let Some(posting) = entry.postings[p].as_ref() else {
+            for (p, posting) in entry.postings.iter().enumerate().skip(1) {
+                let Some(posting) = posting.as_ref() else {
                     continue;
                 };
-                let Some(c) = resolve(p) else { continue };
-                let tid = self.arena.lookup(&c).unwrap_or(TermId::NONE);
-                let hits = posting.get(&tid).map(|v| v.as_slice()).unwrap_or(&[]);
+                if !probes[p].is_ground() {
+                    continue;
+                }
+                let tid = probes[p].tid();
+                let hits = posting.hits_with(tid, scratch);
                 let un = entry.unindexed[p].as_slice();
                 let size = (hits.len() + un.len()) as u64;
                 if best.as_ref().is_none_or(|b| size < b.size) {
-                    best = Some(Alt {
+                    if let Some(old) = best.replace(Alt {
                         pos: p,
                         tid,
                         hits,
                         un,
                         size,
-                    });
+                    }) {
+                        scratch.recycle_hits(old.hits);
+                    }
+                } else {
+                    scratch.recycle_hits(hits);
                 }
             }
         }
@@ -520,22 +936,34 @@ impl KnowledgeBase {
             // A strictly narrower position wins: enumerate its candidates
             // restricted to R, tagged with their rank in R.
             (Some(alt), segs) if alt.size.saturating_mul(2) < r_len => {
-                let mut tried = Vec::with_capacity((alt.size as usize).min(r_len as usize));
-                let total = match segs {
+                let mut tried = scratch.take_tried();
+                let total = match &segs {
                     // R is the whole relation: the posting list *is* the
-                    // tried set, and a fact's rank is its own index.
+                    // tried set, and a fact's rank is its own index. With no
+                    // position-unindexable facts (the common all-ground
+                    // relation) the hits run is consumed in place — no merge
+                    // copy.
                     None => {
-                        for &f in merge_sorted(alt.hits, alt.un).iter() {
-                            tried.push((f, f as u64));
+                        if alt.un.is_empty() {
+                            for &f in alt.hits.iter() {
+                                tried.push((f, f as u64));
+                            }
+                        } else {
+                            let mut merged = scratch.take_hits();
+                            merge_sorted_into(&alt.hits, alt.un, &mut merged);
+                            for &f in &merged {
+                                tried.push((f, f as u64));
+                            }
+                            scratch.recycle_hits_vec(merged);
                         }
                         n as u64
                     }
                     // R is the first-arg candidate walk. When every fact's
                     // argument at `alt.pos` is ground (the common case),
-                    // membership is one columnar u32 compare per reference
-                    // candidate.
+                    // membership is one contiguous-stripe u32 compare per
+                    // reference candidate.
                     Some((s1, s2)) if alt.un.is_empty() => {
-                        let col = &entry.cols[alt.pos];
+                        let col = entry.cols.stripe(alt.pos);
                         for (rank, &f) in s1.iter().enumerate() {
                             if col[f as usize] == alt.tid {
                                 tried.push((f, rank as u64));
@@ -551,17 +979,223 @@ impl KnowledgeBase {
                     // Mixed ground/non-ground arguments: intersect the
                     // sorted posting candidates with the R segments.
                     Some((s1, s2)) => {
-                        let merged = merge_sorted(alt.hits, alt.un);
+                        let mut merged = scratch.take_hits();
+                        merge_sorted_into(&alt.hits, alt.un, &mut merged);
                         intersect_ranks(s1, &merged, 0, &mut tried);
                         intersect_ranks(s2, &merged, s1.len() as u64, &mut tried);
+                        scratch.recycle_hits_vec(merged);
                         r_len
                     }
                 };
+                scratch.recycle_hits(alt.hits);
+                if let Some((h, _)) = segs {
+                    scratch.recycle_hits(h);
+                }
                 FactPlan::Narrowed { tried, total }
             }
-            (_, Some((indexed, unindexed))) => FactPlan::Seq { indexed, unindexed },
-            (_, None) => FactPlan::All { n: n as u32 },
+            (best, Some((indexed, unindexed))) => {
+                if let Some(alt) = best {
+                    scratch.recycle_hits(alt.hits);
+                }
+                FactPlan::Seq { indexed, unindexed }
+            }
+            (best, None) => {
+                if let Some(alt) = best {
+                    scratch.recycle_hits(alt.hits);
+                }
+                FactPlan::All { n: n as u32 }
+            }
         }
+    }
+
+    /// Multi-goal [`KnowledgeBase::fact_plan`]: plans a whole batch of
+    /// goals against predicate `id`, sharing work between goals instead of
+    /// replanning from scratch per goal.
+    ///
+    /// The output is positional and **plan-for-plan identical** to mapping
+    /// [`KnowledgeBase::fact_plan`] over `goal_probes` (pinned by the batch
+    /// differential proptest) — batching changes *when* work happens, never
+    /// what any goal's plan contains. Goals whose first argument probes the
+    /// same key form a group: the group fetches its position-0 posting run
+    /// once, and every member that narrows through the stripe-compare case
+    /// rides ONE shared pass over that run (each reference candidate is
+    /// loaded once and tested against all pending goals) — the batched
+    /// all-ground probing of the data-movement work; the saturation loop in
+    /// `bottom.rs` and single-literal coverage in `coverage.rs` are the
+    /// callers with natural batches.
+    ///
+    /// Postings with un-merged pending inserts fall back to the per-goal
+    /// path (mid-bulk-load hit runs are owned splices, not shareable
+    /// slices; the plans are identical either way).
+    pub fn fact_plan_batch<'a>(
+        &'a self,
+        id: PredId,
+        goal_probes: &[Vec<Probe>],
+        scratch: &mut PlanScratch,
+    ) -> Vec<FactPlan<'a>> {
+        let entry = &self.entries[id.index()];
+        let n = entry.len as usize;
+        let sealed = entry.postings.iter().flatten().all(PostingCsr::is_sealed);
+        if !sealed || n == 0 {
+            return goal_probes
+                .iter()
+                .map(|p| self.fact_plan(id, p, scratch))
+                .collect();
+        }
+
+        // Group goal indices by their position-0 probe key (`None`: first
+        // argument free, or no indexed position at all — R is the whole
+        // relation). Goal batches are small, so the linear group lookup
+        // beats hashing.
+        let mut groups: Vec<(Option<TermId>, Vec<usize>)> = Vec::new();
+        for (g, probes) in goal_probes.iter().enumerate() {
+            debug_assert_eq!(probes.len(), entry.cols.arity());
+            let key = if entry.postings.is_empty() || !probes[0].is_ground() {
+                None
+            } else {
+                Some(probes[0].tid())
+            };
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(g),
+                None => groups.push((key, vec![g])),
+            }
+        }
+
+        /// A goal waiting on the group's shared reference-walk scan.
+        struct Deferred {
+            goal: usize,
+            pos: usize,
+            tid: TermId,
+            tried: Vec<(u32, u64)>,
+        }
+        let mut plans: Vec<Option<FactPlan<'a>>> = (0..goal_probes.len()).map(|_| None).collect();
+        for (key, goals) in groups {
+            // One position-0 posting fetch per distinct key.
+            let segs: Option<(&[u32], &[u32])> = key.map(|tid| {
+                let posting = entry.postings[0]
+                    .as_ref()
+                    .expect("invariant: position-0 posting list is never pruned");
+                (posting.sealed_run(tid), entry.unindexed[0].as_slice())
+            });
+            let r_len = segs.map_or(n as u64, |(a, b)| (a.len() + b.len()) as u64);
+            let mut deferred: Vec<Deferred> = Vec::new();
+            for g in goals {
+                let probes = &goal_probes[g];
+                // Hash-join choice, exactly as the single-goal path.
+                struct Alt<'h> {
+                    pos: usize,
+                    tid: TermId,
+                    hits: &'h [u32],
+                    un: &'h [u32],
+                    size: u64,
+                }
+                let mut best: Option<Alt<'a>> = None;
+                if r_len > NARROW_MIN {
+                    for (p, posting) in entry.postings.iter().enumerate().skip(1) {
+                        let Some(posting) = posting.as_ref() else {
+                            continue;
+                        };
+                        if !probes[p].is_ground() {
+                            continue;
+                        }
+                        let tid = probes[p].tid();
+                        let hits = posting.sealed_run(tid);
+                        let un = entry.unindexed[p].as_slice();
+                        let size = (hits.len() + un.len()) as u64;
+                        if best.as_ref().is_none_or(|b| size < b.size) {
+                            best = Some(Alt {
+                                pos: p,
+                                tid,
+                                hits,
+                                un,
+                                size,
+                            });
+                        }
+                    }
+                }
+                plans[g] = match (best, segs) {
+                    (Some(alt), segs) if alt.size.saturating_mul(2) < r_len => match segs {
+                        None => {
+                            let mut tried = scratch.take_tried();
+                            if alt.un.is_empty() {
+                                for &f in alt.hits {
+                                    tried.push((f, f as u64));
+                                }
+                            } else {
+                                let mut merged = scratch.take_hits();
+                                merge_sorted_into(alt.hits, alt.un, &mut merged);
+                                for &f in &merged {
+                                    tried.push((f, f as u64));
+                                }
+                                scratch.recycle_hits_vec(merged);
+                            }
+                            Some(FactPlan::Narrowed {
+                                tried,
+                                total: n as u64,
+                            })
+                        }
+                        // The shareable stripe-compare case: park the goal;
+                        // the single pass below fills its tried set.
+                        Some(_) if alt.un.is_empty() => {
+                            deferred.push(Deferred {
+                                goal: g,
+                                pos: alt.pos,
+                                tid: alt.tid,
+                                tried: scratch.take_tried(),
+                            });
+                            None
+                        }
+                        Some((s1, s2)) => {
+                            let mut tried = scratch.take_tried();
+                            let mut merged = scratch.take_hits();
+                            merge_sorted_into(alt.hits, alt.un, &mut merged);
+                            intersect_ranks(s1, &merged, 0, &mut tried);
+                            intersect_ranks(s2, &merged, s1.len() as u64, &mut tried);
+                            scratch.recycle_hits_vec(merged);
+                            Some(FactPlan::Narrowed {
+                                tried,
+                                total: r_len,
+                            })
+                        }
+                    },
+                    (_, Some((indexed, unindexed))) => Some(FactPlan::Seq {
+                        indexed: Hits::Run(indexed),
+                        unindexed,
+                    }),
+                    (_, None) => Some(FactPlan::All { n: n as u32 }),
+                };
+            }
+            // The shared scan: one pass over the group's reference walk,
+            // each candidate row tested against every parked goal (ranks
+            // ascend per goal exactly as the single-goal loop produces).
+            if !deferred.is_empty() {
+                let (s1, s2) = segs.expect("deferred goals narrow a first-arg walk");
+                for (rank, &f) in s1.iter().enumerate() {
+                    for d in deferred.iter_mut() {
+                        if entry.cols.stripe(d.pos)[f as usize] == d.tid {
+                            d.tried.push((f, rank as u64));
+                        }
+                    }
+                }
+                for (rank, &f) in s2.iter().enumerate() {
+                    for d in deferred.iter_mut() {
+                        if entry.cols.stripe(d.pos)[f as usize] == d.tid {
+                            d.tried.push((f, (s1.len() + rank) as u64));
+                        }
+                    }
+                }
+                for d in deferred {
+                    plans[d.goal] = Some(FactPlan::Narrowed {
+                        tried: d.tried,
+                        total: r_len,
+                    });
+                }
+            }
+        }
+        plans
+            .into_iter()
+            .map(|p| p.expect("every goal planned"))
+            .collect()
     }
 
     /// Test/debug view of [`KnowledgeBase::fact_plan`]: the fact indices the
@@ -571,14 +1205,16 @@ impl KnowledgeBase {
         let Some(id) = self.pred_id(key) else {
             return (Vec::new(), 0);
         };
-        // Mirror the prover's resolve contract: only ground terms probe.
-        let plan = self.fact_plan(id, |p| {
-            bound
-                .get(p)
-                .cloned()
-                .flatten()
-                .filter(|t: &Term| t.is_ground())
-        });
+        // Mirror the prover's probe contract: only ground terms probe, and
+        // an uninterned ground term probes as a miss.
+        let probes: Vec<Probe> = (0..key.arity as usize)
+            .map(|p| match bound.get(p).and_then(|o| o.as_ref()) {
+                Some(t) if t.is_ground() => self.arena.lookup(t).map_or(Probe::Miss, Probe::Id),
+                _ => Probe::Free,
+            })
+            .collect();
+        let mut scratch = PlanScratch::new();
+        let plan = self.fact_plan(id, &probes, &mut scratch);
         match plan {
             FactPlan::Empty => (Vec::new(), 0),
             FactPlan::All { n } => ((0..n).collect(), n as u64),
@@ -611,21 +1247,25 @@ impl KnowledgeBase {
         }
     }
 
-    /// Releases load-time over-allocation (arena, columns, posting lists).
-    /// Call once after bulk construction.
+    /// Releases load-time over-allocation and seals the indexes: the arena
+    /// shrinks, stripe buffers compact to exact adjacency (`cap == len`),
+    /// and every CSR posting merges its pending inserts into the three
+    /// contiguous arrays. Call once after bulk construction. (Everything
+    /// stays correct without it — probes splice pending hits on the fly —
+    /// but sealed postings are what the zero-copy snapshot and the batch
+    /// planner's shared scans operate on.)
     pub fn optimize(&mut self) {
         self.arena.shrink_to_fit();
         for entry in &mut self.entries {
             #[cfg(feature = "row-oracle")]
             entry.rows.shrink_to_fit();
             entry.irregular.shrink_to_fit();
-            for col in &mut entry.cols {
-                col.shrink_to_fit();
-            }
+            entry.cols.shrink_to_fit();
             for posting in entry.postings.iter_mut().flatten() {
-                for v in posting.values_mut() {
-                    v.shrink_to_fit();
-                }
+                posting.seal();
+            }
+            for un in &mut entry.unindexed {
+                un.shrink_to_fit();
             }
         }
     }
@@ -661,12 +1301,7 @@ impl KnowledgeBase {
                 let posting = entry.postings[0]
                     .as_ref()
                     .expect("invariant: position-0 posting list is never pruned");
-                let indexed = self
-                    .arena
-                    .lookup(t)
-                    .and_then(|tid| posting.get(&tid))
-                    .map(|v| v.as_slice())
-                    .unwrap_or(&[]);
+                let indexed = posting.hits(self.arena.lookup(t).unwrap_or(TermId::NONE));
                 FactIter {
                     rows: Some(rows),
                     order: Order::Indexed {
@@ -741,10 +1376,10 @@ impl KnowledgeBase {
     pub fn fact_store_bytes(&self) -> usize {
         let mut bytes = self.past_prefix_arena_bytes();
         for entry in &self.entries {
-            for col in &entry.cols {
-                bytes +=
-                    std::mem::size_of::<Vec<TermId>>() + col.len() * std::mem::size_of::<TermId>();
-            }
+            // One stripe buffer per relation, counted at its compact size
+            // (arity * len cells; optimize() releases load-time slack).
+            bytes += std::mem::size_of::<Vec<TermId>>()
+                + entry.cols.arity() * entry.cols.len() as usize * std::mem::size_of::<TermId>();
             for (_, lit) in &entry.irregular {
                 bytes += std::mem::size_of::<(u32, Literal)>() + literal_heap_bytes(lit);
             }
@@ -769,13 +1404,13 @@ impl KnowledgeBase {
         let mut in_prefix = vec![false; n];
         let mut past_prefix = vec![false; n];
         for entry in &self.entries {
-            for (p, col) in entry.cols.iter().enumerate() {
+            for p in 0..entry.cols.arity() {
                 let seen = if p < MAX_INDEXED_ARGS {
                     &mut in_prefix
                 } else {
                     &mut past_prefix
                 };
-                for tid in col {
+                for tid in entry.cols.stripe(p) {
                     if !tid.is_none() {
                         seen[tid.index()] = true;
                     }
@@ -809,15 +1444,82 @@ impl KnowledgeBase {
                 match entry.irregular_row(f) {
                     Some(lit) => bytes += literal_heap_bytes(lit),
                     None => {
-                        for col in &entry.cols {
+                        for p in 0..entry.cols.arity() {
                             bytes += std::mem::size_of::<Term>()
-                                + term_heap_bytes(self.arena.term(col[f as usize]));
+                                + term_heap_bytes(self.arena.term(entry.cols.cell(p, f)));
                         }
                     }
                 }
             }
         }
         bytes
+    }
+
+    /// Exact heap bytes of the resident CSR posting indexes: per live
+    /// posting, its three contiguous arrays (keys/offsets/fact indices) at
+    /// logical size plus any pending side-buffer entries, plus the
+    /// `PostingCsr` struct itself (its counterpart map struct is charged
+    /// to the baseline). Deterministic — no capacities, no wall clock — so
+    /// the `posting_memory` bench bar is CI-enforceable like the
+    /// fact-memory gate.
+    pub fn posting_store_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for entry in &self.entries {
+            for csr in entry.postings.iter().flatten() {
+                bytes += std::mem::size_of::<PostingCsr>() + csr.heap_bytes();
+            }
+        }
+        bytes
+    }
+
+    /// Modeled heap bytes of the retired `FxHashMap<TermId, Vec<u32>>`
+    /// posting layout for the same index contents — the `posting_memory`
+    /// baseline. Per posting with K keys: the hashbrown-style table
+    /// (`slots(K)` slots of one `(TermId, Vec<u32>)` entry — 32 bytes with
+    /// the inline `Vec` header — plus one control byte each, slot count
+    /// rounded up to a power of two at the 7/8 load factor), one heap
+    /// allocation per key holding that key's run (4 bytes per fact index
+    /// plus 16 bytes of modeled allocator bookkeeping — malloc header and
+    /// size-class rounding), and the map struct. The CSR side's three
+    /// allocations carry the same bookkeeping, but as a per-*posting*
+    /// constant rather than per-*key*, so it is omitted on both sides of
+    /// the per-key comparison.
+    pub fn posting_hashmap_baseline_bytes(&self) -> usize {
+        const ALLOC_OVERHEAD: usize = 16;
+        fn table_slots(keys: usize) -> usize {
+            match keys {
+                0 => 0,
+                1..=3 => 4,
+                4..=7 => 8,
+                k => (k * 8 / 7 + 1).next_power_of_two(),
+            }
+        }
+        let slot_size = std::mem::size_of::<(TermId, Vec<u32>)>() + 1;
+        let mut bytes = 0usize;
+        for entry in &self.entries {
+            for csr in entry.postings.iter().flatten() {
+                let (keys, _offs, idx) = csr.merged_parts();
+                bytes += std::mem::size_of::<FxHashMap<TermId, Vec<u32>>>()
+                    + table_slots(keys.len()) * slot_size
+                    + idx.len() * std::mem::size_of::<u32>()
+                    + keys.len() * ALLOC_OVERHEAD;
+            }
+        }
+        bytes
+    }
+
+    /// Raw view of one sealed posting: `(keys, offsets, fact indices,
+    /// pending count)`. The layout-audit test asserts run adjacency through
+    /// this; not a stable API.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn posting_parts(
+        &self,
+        id: PredId,
+        pos: usize,
+    ) -> Option<(&[TermId], &[u32], &[u32], usize)> {
+        let csr = self.entries[id.index()].postings.get(pos)?.as_ref()?;
+        Some((&csr.keys, &csr.offs, &csr.idx, csr.pending.len()))
     }
 
     /// Every `(predicate, arity)` with at least one fact or rule. (Entries
@@ -876,15 +1578,11 @@ fn literal_heap_bytes(l: &Literal) -> usize {
     l.args.len() * std::mem::size_of::<Term>() + l.args.iter().map(term_heap_bytes).sum::<usize>()
 }
 
-/// Merges two sorted, disjoint index slices into one ascending vector.
-fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
-    if a.is_empty() {
-        return b.to_vec();
-    }
-    if b.is_empty() {
-        return a.to_vec();
-    }
-    let mut out = Vec::with_capacity(a.len() + b.len());
+/// Merges two sorted, disjoint index slices into `out` (cleared first; the
+/// buffer comes from and returns to a [`PlanScratch`] pool).
+fn merge_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         if a[i] < b[j] {
@@ -897,7 +1595,6 @@ fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
-    out
 }
 
 /// Pushes `(fact, rank_base + rank-in-seg)` for every member of `cands`
@@ -938,8 +1635,9 @@ pub enum FactPlan<'a> {
     /// The reference first-argument enumeration: posting hits then
     /// unindexable facts, each to be tried (and charged) individually.
     Seq {
-        /// Posting hits for the first argument's ground term.
-        indexed: &'a [u32],
+        /// Posting hits for the first argument's ground term (a borrowed
+        /// CSR run once sealed; an owned splice mid-bulk-load).
+        indexed: Hits<'a>,
         /// Facts whose first argument is not ground.
         unindexed: &'a [u32],
     },
@@ -970,16 +1668,99 @@ impl<'a> FactCols<'a> {
         self.arena
     }
 
-    /// Number of argument positions (one column each).
+    /// Number of argument positions (one stripe each).
     #[inline]
     pub fn arity(&self) -> usize {
-        self.entry.cols.len()
+        self.entry.cols.arity()
+    }
+
+    /// Number of fact rows.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.entry.len
+    }
+
+    /// True when the relation holds no facts.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entry.len == 0
     }
 
     /// Fact `row`'s argument `pos` as an interned id.
     #[inline]
     pub fn cell(&self, pos: usize, row: u32) -> TermId {
-        self.entry.cols[pos][row as usize]
+        self.entry.cols.cell(pos, row)
+    }
+
+    /// The contiguous stripe of position `pos`: the arguments of rows
+    /// `0..len` as one `&[TermId]` run (after
+    /// [`KnowledgeBase::optimize`], stripe `p + 1` is exactly adjacent to
+    /// stripe `p` — the layout-audit test pins this).
+    #[inline]
+    pub fn stripe(&self, pos: usize) -> &'a [TermId] {
+        // Reborrow through the entry so the slice carries the KB lifetime.
+        let start = pos * self.entry.cols.cap as usize;
+        &self.entry.cols.data[start..start + self.entry.len as usize]
+    }
+
+    /// True when every row is regular (all arguments ground) — the
+    /// licensing condition for the all-ground compare kernel: with no
+    /// irregular row and an all-ground goal, unification binds nothing and
+    /// a candidate matches iff each stripe cell equals the goal's probe id.
+    #[inline]
+    pub fn all_regular(&self) -> bool {
+        self.entry.irregular.is_empty()
+    }
+
+    /// All-ground block compare: a bitmask of rows `base..base + blk`
+    /// (`1 <= blk <= 64`) whose every cell equals the corresponding
+    /// [`Probe::Id`]. One stripe is streamed per goal argument — a
+    /// branch-light equality-accumulate loop stable Rust autovectorizes —
+    /// with an early exit once the block mask empties. A [`Probe::Miss`]
+    /// matches nothing (no cell can equal an uninterned term); callers
+    /// guarantee no [`Probe::Free`] (kernel precondition).
+    pub fn match_mask(&self, probes: &[Probe], base: u32, blk: u32) -> u64 {
+        debug_assert!((1..=64).contains(&blk) && base + blk <= self.entry.len);
+        let mut mask: u64 = if blk == 64 {
+            u64::MAX
+        } else {
+            (1u64 << blk) - 1
+        };
+        for (p, probe) in probes.iter().enumerate() {
+            let id = match *probe {
+                Probe::Id(id) => id,
+                Probe::Miss => return 0,
+                Probe::Free => {
+                    debug_assert!(false, "kernel requires ground probes");
+                    continue;
+                }
+            };
+            let stripe = &self.stripe(p)[base as usize..(base + blk) as usize];
+            let mut m = 0u64;
+            for (i, &cell) in stripe.iter().enumerate() {
+                m |= u64::from(cell == id) << i;
+            }
+            mask &= m;
+            if mask == 0 {
+                return 0;
+            }
+        }
+        mask
+    }
+
+    /// Scalar all-ground row filter for gathered (index-selected)
+    /// candidates: true iff every cell of `row` equals its probe id. Same
+    /// preconditions as [`FactCols::match_mask`].
+    #[inline]
+    pub fn row_matches(&self, probes: &[Probe], row: u32) -> bool {
+        probes.iter().enumerate().all(|(p, probe)| match *probe {
+            Probe::Id(id) => self.cell(p, row) == id,
+            Probe::Miss => false,
+            Probe::Free => {
+                debug_assert!(false, "kernel requires ground probes");
+                true
+            }
+        })
     }
 
     /// The original literal of fact `row` when it has a non-ground
@@ -1009,7 +1790,7 @@ enum Order<'a> {
     All { n: u32 },
     /// Index hits followed by facts the index could not cover.
     Indexed {
-        indexed: &'a [u32],
+        indexed: Hits<'a>,
         unindexed: &'a [u32],
     },
 }

@@ -25,12 +25,20 @@
 //!   (compiled rule bodies embed `PredId`s, so the order is load-bearing):
 //!   the fact count plus the *irregular* rows only (facts with a
 //!   non-ground argument; every other row **is** its `TermId` column
-//!   cells), the full-arity `TermId` columns, posting lists as sorted
-//!   `(TermId, fact-indices)` pairs (`None` = index pruned via
+//!   cells), the full-arity `TermId` stripes as **one flat position-major
+//!   run** (`arity × num_facts` cells, adopted zero-copy as the in-memory
+//!   stripe buffer), posting lists in **CSR form** ([`PostingSnapshot`]:
+//!   ascending key run + offset run + one contiguous fact-index array,
+//!   adopted directly as the in-memory CSR — `None` = index pruned via
 //!   [`KnowledgeBase::retain_indexes`]), per-position unindexable fact
 //!   lists, and the [`CompiledClause`] rules with their resolved
 //!   [`LitKind`] dispatch (builtins travel as stable byte codes, see
 //!   [`crate::builtins::Builtin::code`]).
+//!
+//! The flat-stripe and CSR shapes replaced the per-position column vectors
+//! and sorted `(TermId, Vec<u32>)` posting pairs of protocol version 3;
+//! the cluster codec's `PROTOCOL_VERSION` was bumped to 4 with the change
+//! (the wire encoding is not cross-version compatible).
 //!
 //! Since the in-memory store became column-native, a restore materializes
 //! **no** row literals at all — the loaded KB holds exactly the snapshot's
@@ -56,14 +64,25 @@ use crate::arena::{TermArena, TermId};
 use crate::builtins::BuiltinTable;
 use crate::clause::{Clause, CompiledClause, CompiledLiteral, LitKind, Literal, PredId, PredKey};
 use crate::fxhash::FxHashMap;
-use crate::kb::{KnowledgeBase, PredEntry, MAX_INDEXED_ARGS};
+use crate::kb::{ColumnStripes, KnowledgeBase, PostingCsr, PredEntry, MAX_INDEXED_ARGS};
 use crate::symbol::{SymbolId, SymbolTable};
 use crate::term::Term;
 use std::fmt;
 
-/// One position's serialized posting list: `(term id, ascending fact
-/// indices)` pairs sorted by term id.
-pub type PostingPairs = Vec<(TermId, Vec<u32>)>;
+/// One position's serialized posting list, in the same CSR shape the
+/// in-memory store probes: key `keys[k]` owns fact indices
+/// `idx[offs[k] .. offs[k + 1]]`. Keys are strictly ascending, `offs` has
+/// `keys.len() + 1` entries starting at 0, and each run is ascending — a
+/// restore adopts all three arrays without rebuilding anything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PostingSnapshot {
+    /// Distinct term ids with at least one posting, strictly ascending.
+    pub keys: Vec<TermId>,
+    /// Run boundaries into `idx`, `keys.len() + 1` entries.
+    pub offs: Vec<u32>,
+    /// All fact indices, concatenated in key order.
+    pub idx: Vec<u32>,
+}
 
 /// A serializable snapshot of one compiled knowledge base.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,13 +114,14 @@ pub struct PredSnapshot {
     /// `(fact index, row)` for rows with a non-ground argument, index-
     /// ascending.
     pub irregular: Vec<(u32, Literal)>,
-    /// Columnar view: `cols[p][f]` is fact `f`'s argument `p` as an
-    /// interned id ([`TermId::NONE`] for a non-ground argument). One column
-    /// per argument position (full arity).
-    pub cols: Vec<Vec<TermId>>,
-    /// Posting lists per indexed position ([`PostingPairs`]); `None` =
-    /// index pruned.
-    pub postings: Vec<Option<PostingPairs>>,
+    /// Columnar view as one flat position-major run of `arity × num_facts`
+    /// cells: `cols[p * num_facts + f]` is fact `f`'s argument `p` as an
+    /// interned id ([`TermId::NONE`] for a non-ground argument). Exactly
+    /// the compacted in-memory stripe buffer, adopted zero-copy on load.
+    pub cols: Vec<TermId>,
+    /// Posting lists per indexed position, in CSR form; `None` = index
+    /// pruned.
+    pub postings: Vec<Option<PostingSnapshot>>,
     /// Per indexed position: ascending indices of facts whose argument
     /// there is not ground (they match any probe).
     pub unindexed: Vec<Vec<u32>>,
@@ -200,16 +220,14 @@ impl KnowledgeBase {
                 key: *key,
                 num_facts: e.len,
                 irregular: e.irregular.clone(),
-                cols: e.cols.clone(),
+                cols: e.cols.compact_data(),
                 postings: e
                     .postings
                     .iter()
                     .map(|p| {
-                        p.as_ref().map(|m| {
-                            let mut v: Vec<(TermId, Vec<u32>)> =
-                                m.iter().map(|(tid, ix)| (*tid, ix.clone())).collect();
-                            v.sort_unstable_by_key(|(tid, _)| *tid);
-                            v
+                        p.as_ref().map(|csr| {
+                            let (keys, offs, idx) = csr.merged_parts();
+                            PostingSnapshot { keys, offs, idx }
                         })
                     })
                     .collect(),
@@ -273,19 +291,16 @@ impl KnowledgeBase {
 
             let arity = key.arity as usize;
             let indexed = arity.min(MAX_INDEXED_ARGS);
-            if p.cols.len() != arity || p.postings.len() != indexed || p.unindexed.len() != indexed
-            {
+            if p.postings.len() != indexed || p.unindexed.len() != indexed {
                 return Err(SnapshotError::new("per-position vector shape"));
             }
             let nfacts = p.num_facts as usize;
 
-            for col in &p.cols {
-                if col.len() != nfacts {
-                    return Err(SnapshotError::new("column length"));
-                }
-                if !col.iter().all(|t| t.is_none() || t.index() < nterms) {
-                    return Err(SnapshotError::new("term id out of range"));
-                }
+            if p.cols.len() != arity * nfacts {
+                return Err(SnapshotError::new("column length"));
+            }
+            if !p.cols.iter().all(|t| t.is_none() || t.index() < nterms) {
+                return Err(SnapshotError::new("term id out of range"));
             }
 
             // Rows: irregular ones travel as literals; every other row *is*
@@ -305,14 +320,12 @@ impl KnowledgeBase {
             }
             // A non-interned cell is only legal for a row whose original
             // literal travels in `irregular` (otherwise the row could be
-            // neither unified nor rebuilt).
-            for col in &p.cols {
-                for (f, tid) in col.iter().enumerate() {
-                    if tid.is_none()
-                        && p.irregular
-                            .binary_search_by_key(&(f as u32), |(i, _)| *i)
-                            .is_err()
-                    {
+            // neither unified nor rebuilt). Stripes are position-major, so
+            // fact `f`'s cells sit at `f`, `f + nfacts`, `f + 2·nfacts`, …
+            for (i, tid) in p.cols.iter().enumerate() {
+                if tid.is_none() {
+                    let f = (i % nfacts.max(1)) as u32;
+                    if p.irregular.binary_search_by_key(&f, |(i, _)| *i).is_err() {
                         return Err(SnapshotError::new("missing irregular row"));
                     }
                 }
@@ -332,21 +345,30 @@ impl KnowledgeBase {
                         return Err(SnapshotError::new("position 0 index pruned"));
                     }
                     None => postings.push(None),
-                    Some(pairs) => {
-                        let mut map = FxHashMap::default();
-                        map.reserve(pairs.len());
-                        for (tid, idx) in pairs {
-                            if tid.is_none() || tid.index() >= nterms {
-                                return Err(SnapshotError::new("posting term id"));
-                            }
-                            if !ascending_in_bounds(&idx, nfacts) {
-                                return Err(SnapshotError::new("posting fact indices"));
-                            }
-                            if map.insert(tid, idx).is_some() {
-                                return Err(SnapshotError::new("duplicate posting key"));
-                            }
+                    Some(ps) => {
+                        if !ps.keys.iter().all(|t| !t.is_none() && t.index() < nterms) {
+                            return Err(SnapshotError::new("posting term id"));
                         }
-                        postings.push(Some(map));
+                        if ps.keys.windows(2).any(|w| w[0] == w[1]) {
+                            return Err(SnapshotError::new("duplicate posting key"));
+                        }
+                        if !ps.keys.windows(2).all(|w| w[0] < w[1]) {
+                            return Err(SnapshotError::new("posting key order"));
+                        }
+                        let offs_ok = ps.offs.len() == ps.keys.len() + 1
+                            && ps.offs.first() == Some(&0)
+                            && ps.offs.windows(2).all(|w| w[0] <= w[1])
+                            && ps.offs.last() == Some(&(ps.idx.len() as u32));
+                        if !offs_ok {
+                            return Err(SnapshotError::new("posting run offsets"));
+                        }
+                        let runs_ok = ps.offs.windows(2).all(|w| {
+                            ascending_in_bounds(&ps.idx[w[0] as usize..w[1] as usize], nfacts)
+                        });
+                        if !runs_ok {
+                            return Err(SnapshotError::new("posting fact indices"));
+                        }
+                        postings.push(Some(PostingCsr::from_parts(ps.keys, ps.offs, ps.idx)));
                     }
                 }
             }
@@ -402,7 +424,7 @@ impl KnowledgeBase {
                 #[cfg(feature = "row-oracle")]
                 rows: Vec::new(),
                 len: p.num_facts,
-                cols: p.cols,
+                cols: ColumnStripes::from_compact(arity, p.num_facts, p.cols),
                 irregular,
                 postings,
                 unindexed: p.unindexed,
@@ -524,7 +546,7 @@ mod tests {
         let base = kb.to_snapshot();
 
         let mut s = base.clone();
-        s.preds[0].cols[0].push(TermId(0));
+        s.preds[0].cols.push(TermId(0));
         assert_eq!(
             KnowledgeBase::from_snapshot(s, SymbolTable::new())
                 .unwrap_err()
@@ -533,7 +555,9 @@ mod tests {
         );
 
         let mut s = base.clone();
-        s.preds[0].cols[1][0] = TermId(u32::MAX - 1);
+        // Position 1, fact 0 in the flat position-major stripe run.
+        let nfacts = s.preds[0].num_facts as usize;
+        s.preds[0].cols[nfacts] = TermId(u32::MAX - 1);
         assert_eq!(
             KnowledgeBase::from_snapshot(s, SymbolTable::new())
                 .unwrap_err()
@@ -551,14 +575,47 @@ mod tests {
         );
 
         let mut s = base.clone();
-        if let Some(pairs) = &mut s.preds[0].postings[0] {
-            pairs[0].1.push(9999);
+        if let Some(ps) = &mut s.preds[0].postings[0] {
+            ps.idx[0] = 9999;
         }
         assert_eq!(
             KnowledgeBase::from_snapshot(s, SymbolTable::new())
                 .unwrap_err()
                 .context,
             "posting fact indices"
+        );
+
+        let mut s = base.clone();
+        if let Some(ps) = &mut s.preds[0].postings[0] {
+            ps.keys[1] = ps.keys[0];
+        }
+        assert_eq!(
+            KnowledgeBase::from_snapshot(s, SymbolTable::new())
+                .unwrap_err()
+                .context,
+            "duplicate posting key"
+        );
+
+        let mut s = base.clone();
+        if let Some(ps) = &mut s.preds[0].postings[0] {
+            ps.keys.swap(0, 1);
+        }
+        assert_eq!(
+            KnowledgeBase::from_snapshot(s, SymbolTable::new())
+                .unwrap_err()
+                .context,
+            "posting key order"
+        );
+
+        let mut s = base.clone();
+        if let Some(ps) = &mut s.preds[0].postings[0] {
+            ps.offs[0] = 1;
+        }
+        assert_eq!(
+            KnowledgeBase::from_snapshot(s, SymbolTable::new())
+                .unwrap_err()
+                .context,
+            "posting run offsets"
         );
 
         let mut s = base.clone();

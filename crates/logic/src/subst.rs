@@ -11,7 +11,7 @@
 //! clone per candidate). A term is only materialized (cloned, with its
 //! offset baked in) at the moment a variable is bound to it.
 
-use crate::arena::{TermArena, TermId};
+use crate::arena::{Probe, TermArena, TermId};
 use crate::clause::Literal;
 use crate::symbol::SymbolId;
 use crate::term::{Term, VarId, F64};
@@ -191,6 +191,29 @@ impl Bindings {
             View::App(app, _) if app.is_ground() => Some(app.clone()),
             View::OwnedApp(app) if app.is_ground() => Some(app),
             View::Var(_) | View::App(..) | View::OwnedApp(_) => None,
+        }
+    }
+
+    /// [`Bindings::resolved_ground`] compressed to its index-probing
+    /// essence: the same shallow-walk groundness decision, but returning the
+    /// arena's verdict as a [`Probe`] instead of an owned `Term`, so the
+    /// atomic-constant cases (the overwhelming majority of bound goal
+    /// arguments in ILP workloads) allocate nothing. The equivalence is
+    /// load-bearing for the step contract: `probe(t, off, arena)` is
+    /// `Probe::Free` exactly when `resolved_ground(t, off)` is `None`, and
+    /// `Probe::Id(i)` exactly when it is `Some(g)` with `arena.lookup(&g) ==
+    /// Some(i)` (otherwise `Probe::Miss`) — in particular a compound whose
+    /// own variables are bound but not substituted in place stays `Free`,
+    /// matching the reference prover's shallow `walk`.
+    pub fn probe(&self, t: &Term, off: VarId, arena: &TermArena) -> Probe {
+        let ground = |t: &Term| arena.lookup(t).map_or(Probe::Miss, Probe::Id);
+        match self.resolve_view(t, off) {
+            View::Sym(s) => ground(&Term::Sym(s)),
+            View::Int(i) => ground(&Term::Int(i)),
+            View::Float(f) => ground(&Term::Float(f)),
+            View::App(app, _) if app.is_ground() => ground(app),
+            View::OwnedApp(ref app) if app.is_ground() => ground(app),
+            View::Var(_) | View::App(..) | View::OwnedApp(_) => Probe::Free,
         }
     }
 

@@ -357,4 +357,216 @@ proptest! {
             }
         }
     }
+
+    /// The CSR posting store is bit-identical to the retired
+    /// `FxHashMap<TermId, Vec<u32>>` layout it replaced: after `optimize`
+    /// seals the pending tail, every per-key run equals the hashmap a
+    /// naive rebuild produces, keys are strictly sorted, and the unsealed
+    /// (pending-splice) store answers every query — plans, solutions, and
+    /// step accounting — exactly like the sealed one and like
+    /// `prover::reference`.
+    #[test]
+    fn csr_postings_match_naive_hashmap(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..300),
+        queries in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 1..5)), 1..5),
+        max_steps in 1u64..2000,
+    ) {
+        let (t, unsealed) = build_kb(&bonds, &[], &[]);
+        let (_, mut sealed) = build_kb(&bonds, &[], &[]);
+        sealed.optimize();
+        let key = Literal::new(t.intern("bond"), vec![Term::Int(0); 4]).key();
+        let pid = sealed.pred_id(key).unwrap();
+        let facts = sealed.facts_for(key);
+
+        for pos in 0..4usize {
+            // The hashmap reference the CSR layout replaced: key -> sorted
+            // ascending fact indices.
+            let mut naive: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+            for (i, f) in facts.iter().enumerate() {
+                let tid = sealed.arena().lookup(&f.args[pos]).expect("ground fact arg interned");
+                naive.entry(tid.index() as u32).or_default().push(i as u32);
+            }
+            let (keys, offs, idx, pending) = sealed.posting_parts(pid, pos).expect("indexed pos");
+            prop_assert_eq!(pending, 0, "optimize left a pending tail at pos {}", pos);
+            prop_assert_eq!(keys.len(), naive.len(), "key count drifted at pos {}", pos);
+            prop_assert!(
+                keys.windows(2).all(|w| w[0].index() < w[1].index()),
+                "CSR keys not strictly sorted at pos {}", pos
+            );
+            for (k, (tid, run)) in naive.iter().enumerate() {
+                prop_assert_eq!(keys[k].index() as u32, *tid, "key order drifted at pos {}", pos);
+                let got = &idx[offs[k] as usize..offs[k + 1] as usize];
+                prop_assert_eq!(got, run.as_slice(), "run for key {} drifted at pos {}", tid, pos);
+            }
+            // Unsealed: merged runs plus the pending tail cover every fact
+            // exactly once.
+            let (_, _, uidx, upending) = unsealed.posting_parts(pid, pos).expect("indexed pos");
+            prop_assert_eq!(uidx.len() + upending, facts.len(), "unsealed postings lost facts");
+        }
+
+        // Query-level: pending-splice retrieval answers exactly like the
+        // sealed CSR and like the seed reference on both stores.
+        let limits = ProofLimits { max_depth: 4, max_steps };
+        let pu = Prover::new(&unsealed, limits);
+        let ps = Prover::new(&sealed, limits);
+        for (pick, seeds) in &queries {
+            let goal = build_query(&t, (pick % 2) * 3, seeds); // bond or path
+            let u = pu.solutions(&goal, 6);
+            let s = ps.solutions(&goal, 6);
+            prop_assert_eq!(&u, &s, "sealed vs unsealed diverged on {:?}", goal);
+            let r = ref_solutions(&unsealed, limits, &goal, 6);
+            prop_assert_eq!(&u, &r, "unsealed CSR diverged from reference on {:?}", goal);
+        }
+    }
+
+    /// `solutions_compiled_batch` is query-for-query bit-identical to the
+    /// one-goal-at-a-time `solutions_compiled_reusing` loop — same
+    /// solutions, order, and per-query stats — for same-predicate batches
+    /// (the shared-plan pass), mixed batches (the fallback), and with the
+    /// all-ground kernel disabled.
+    #[test]
+    fn batched_solutions_match_one_at_a_time(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..120),
+        atms in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..60),
+        vals in proptest::collection::vec(0i64..40, 0..20),
+        same_pred in any::<bool>(),
+        optimize in any::<bool>(),
+        queries in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 1..5)), 1..8),
+        max_steps in 1u64..3000,
+        recall in 0usize..8,
+    ) {
+        let (t, mut kb) = build_kb(&bonds, &atms, &vals);
+        if optimize {
+            kb.optimize();
+        }
+        let limits = ProofLimits { max_depth: 4, max_steps };
+        let compiled: Vec<_> = queries
+            .iter()
+            .map(|(pick, seeds)| {
+                let pick = if same_pred { queries[0].0 } else { *pick };
+                kb.compile_query(build_query(&t, pick, seeds))
+            })
+            .collect();
+        for kernel in [true, false] {
+            let mut prover = Prover::new(&kb, limits);
+            prover.set_all_ground_kernel(kernel);
+            let mut scratch = Bindings::new();
+            let batched = prover.solutions_compiled_batch(&compiled, recall, &mut scratch);
+            prop_assert_eq!(batched.len(), compiled.len());
+            for (q, got) in compiled.iter().zip(&batched) {
+                let want = prover.solutions_compiled_reusing(q, recall, &mut scratch);
+                prop_assert_eq!(
+                    got, &want,
+                    "batch diverged (kernel={}) on {:?}", kernel, q.lit
+                );
+            }
+        }
+    }
+
+    /// `prove_compiled_batch` is seed-for-seed bit-identical to the
+    /// head-unify + `prove_compiled_reusing` loop it batches — for
+    /// single-literal bodies (the batched-planning fast path), for
+    /// multi-literal bodies (the fallback), and for seeds whose head
+    /// unification fails (skipped with `None`).
+    #[test]
+    fn batched_proving_matches_per_example(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..120),
+        examples in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..80),
+        two_lits in any::<bool>(),
+        optimize in any::<bool>(),
+        max_steps in 1u64..2000,
+    ) {
+        let (t, mut kb) = build_kb(&bonds, &[], &[]);
+        if optimize {
+            kb.optimize();
+        }
+        let lit = |name: &str, args: Vec<Term>| Literal::new(t.intern(name), args);
+        // Coverage-shaped rule: h(M, A) :- bond(M, A, B, T)[, path(M, B, A)].
+        let head = lit("h", vec![Term::Var(0), Term::Var(1)]);
+        let mut body = vec![lit(
+            "bond",
+            vec![Term::Var(0), Term::Var(1), Term::Var(2), Term::Var(3)],
+        )];
+        if two_lits {
+            body.push(lit("path", vec![Term::Var(0), Term::Var(2), Term::Var(1)]));
+        }
+        let span = Clause::new(head.clone(), body.clone()).var_span() as usize;
+        let goals = kb.compile_goals(&body);
+        // Ground "examples": h(mol, atom) instances, some unmatchable.
+        let exs: Vec<Literal> = examples
+            .iter()
+            .map(|&(m, a)| {
+                let marg = if m % 9 == 8 {
+                    Term::Sym(t.intern("zz_absent"))
+                } else {
+                    Term::Sym(t.intern(&format!("m{}", m % 6)))
+                };
+                lit("h", vec![marg, atom_term(&t, a)])
+            })
+            .collect();
+        let limits = ProofLimits { max_depth: 4, max_steps };
+        let prover = Prover::new(&kb, limits);
+        let mut scratch = Bindings::with_capacity(span);
+        let batched = prover.prove_compiled_batch(
+            &goals,
+            exs.len(),
+            &mut |k: usize, b: &mut Bindings| {
+                b.reset(span);
+                b.unify_literals(&head, &exs[k], false)
+            },
+            &mut scratch,
+        );
+        prop_assert_eq!(batched.len(), exs.len());
+        for (ex, got) in exs.iter().zip(&batched) {
+            scratch.reset(span);
+            let want = scratch
+                .unify_literals(&head, ex, false)
+                .then(|| prover.prove_compiled_reusing(&goals, &mut scratch));
+            prop_assert_eq!(got, &want, "batched proof diverged on {:?}", ex);
+        }
+    }
+
+    /// The columnar stripe store *is* the fact store: `facts_for`
+    /// round-trips every asserted literal (including irregular non-ground
+    /// rows) verbatim and in assertion order, before and after `optimize`
+    /// compacts the stripes, and every ground fact stays provable.
+    #[test]
+    fn stripes_match_row_oracle(
+        bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..200),
+    ) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        let bond = t.intern("bond");
+        let key = Literal::new(bond, vec![Term::Int(0); 4]).key();
+        let rows: Vec<Literal> = bonds
+            .iter()
+            .map(|&(m, a, b, ty)| {
+                // Every eleventh row is irregular (keeps a variable arg).
+                let second = if m % 11 == 10 {
+                    Term::Var(0)
+                } else {
+                    atom_term(&t, a)
+                };
+                Literal::new(
+                    bond,
+                    vec![
+                        Term::Sym(t.intern(&format!("m{}", m % 6))),
+                        second,
+                        atom_term(&t, b),
+                        Term::Int((ty % 4) as i64),
+                    ],
+                )
+            })
+            .collect();
+        for r in &rows {
+            kb.assert_fact(r.clone());
+        }
+        prop_assert_eq!(&kb.facts_for(key), &rows, "stripe store dropped or reordered rows");
+        kb.optimize();
+        prop_assert_eq!(&kb.facts_for(key), &rows, "stripe compaction changed rows");
+        let prover = Prover::new(&kb, ProofLimits { max_depth: 2, max_steps: 100_000 });
+        for r in rows.iter().filter(|r| r.is_ground()).take(16) {
+            prop_assert!(prover.prove_ground(r).0, "ground fact {:?} unprovable", r);
+        }
+    }
 }

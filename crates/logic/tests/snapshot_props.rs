@@ -23,11 +23,14 @@ use proptest::prelude::*;
 const ELEMS: [&str; 3] = ["c", "n", "o"];
 
 /// Molecule-flavored KB from raw byte seeds (same shape as the compiled-KB
-/// differential suite, compound atoms included).
+/// differential suite, compound atoms included). With `seal: false` the KB
+/// is snapshotted mid-bulk-load — CSR posting lists still carrying a
+/// pending tail — which `to_snapshot` must merge into sealed runs.
 fn build_kb(
     bonds: &[(u8, u8, u8, u8)],
     atms: &[(u8, u8, u8)],
     vals: &[i64],
+    seal: bool,
 ) -> (SymbolTable, KnowledgeBase) {
     let t = SymbolTable::new();
     let mut kb = KnowledgeBase::new(t.clone());
@@ -83,7 +86,9 @@ fn build_kb(
             lit(">=", vec![Term::Var(0), Term::Int(10)]),
         ],
     ));
-    kb.optimize();
+    if seal {
+        kb.optimize();
+    }
     (t, kb)
 }
 
@@ -137,8 +142,9 @@ proptest! {
         max_steps in 1u64..2500,
         max_depth in 0u32..6,
         recall in 0usize..8,
+        seal in any::<bool>(),
     ) {
-        let (t, kb) = build_kb(&bonds, &atms, &vals);
+        let (t, kb) = build_kb(&bonds, &atms, &vals, seal);
         // Build the queries *before* snapshotting, so every query symbol is
         // part of the captured dictionary and ids agree across tables.
         let goals: Vec<Literal> = queries
@@ -184,8 +190,9 @@ proptest! {
     fn snapshot_preserves_index_plans(
         bonds in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..150),
         patterns in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 4), 1..5),
+        seal in any::<bool>(),
     ) {
-        let (t, kb) = build_kb(&bonds, &[], &[]);
+        let (t, kb) = build_kb(&bonds, &[], &[], seal);
         let key = Literal::new(t.intern("bond"), vec![Term::Int(0); 4]).key();
         // Materialize probe terms before the capture (shared dictionary).
         let bounds: Vec<Vec<Option<Term>>> = patterns
@@ -210,6 +217,13 @@ proptest! {
             .collect();
         let loaded =
             KnowledgeBase::from_snapshot(kb.to_snapshot(), SymbolTable::new()).unwrap();
+        // Snapshots always ship sealed CSR runs: even when the source KB
+        // still carried a pending tail, the restored store must not.
+        let pid = loaded.pred_id(key).expect("bond restored");
+        for pos in 0..4 {
+            let (_, _, _, pending) = loaded.posting_parts(pid, pos).expect("indexed position");
+            prop_assert_eq!(pending, 0, "restored posting at pos {} not sealed", pos);
+        }
         for bound in &bounds {
             prop_assert_eq!(
                 loaded.plan_candidates(key, bound),
@@ -230,6 +244,7 @@ fn restore_materializes_no_rows() {
         &[(1, 2, 3, 1), (1, 9, 4, 2), (2, 2, 9, 0), (5, 14, 19, 3)],
         &[(1, 2, 0), (2, 9, 1)],
         &[3, 12, 17],
+        true,
     );
     // The assert-built KB keeps rows only as the test-only oracle view
     // (`row-oracle` is on for every cargo test run).
