@@ -28,7 +28,11 @@
 //!    (sorted keys + run offsets + one contiguous index buffer) vs the
 //!    retired per-key `FxHashMap<TermId, Vec<u32>>` layout, on the same
 //!    background KBs. Exact byte accounting, so CI enforces it
-//!    deterministically alongside `fact_memory`.
+//!    deterministically alongside `fact_memory`;
+//! 9. `warm_job_submit` — one coverage job on a *resident* service mesh
+//!    (submit, wait; the compiled KB already shipped and adopted) vs the
+//!    one-shot shape that builds a fresh mesh, ships the KB, runs the
+//!    same job, and tears the mesh down — the PR-8 ILP-as-a-service win.
 //!
 //! One caveat on the "before" timings: this binary builds without the
 //! `row-oracle` feature, so the seed-replica provers iterate rows rebuilt
@@ -40,8 +44,9 @@
 //! when the coverage-evaluation speedup falls below 2x, the
 //! second-arg-bound speedup falls below 3x, the worker-startup speedup
 //! falls below 5x, the all-ground-scan speedup falls below 2x, the
-//! fact-memory reduction falls below 1.8x, or the posting-memory reduction
-//! falls below 1.5x, so CI can gate on the acceptance criteria.
+//! warm-job-submit speedup falls below 5x, the fact-memory reduction falls
+//! below 1.8x, or the posting-memory reduction falls below 1.5x, so CI can
+//! gate on the acceptance criteria.
 
 use p2mdie_bench::{legacy, workloads};
 use p2mdie_cluster::codec::{from_bytes, to_bytes};
@@ -521,8 +526,44 @@ fn main() {
     // accounting from the store itself. Acceptance bar: >= 1.5x smaller.
     let posting_memory = posting_memory_entries(kb);
 
+    // ---- 9. Warm job submission: the same coverage job (one head-only
+    // clause, always-true body, so the measured cost is the job machinery,
+    // not deduction) submitted to a *standing* resident mesh vs run in the
+    // one-shot shape — build a fresh service, ship the compiled KB, run
+    // the job, tear the mesh down — that every pre-PR-8 entry point paid
+    // per call. Bar: >= 5x.
+    {
+        use p2mdie_core::job::{JobSpec, JobState};
+        use p2mdie_core::scheduler::{Service, ServiceConfig};
+
+        let head_only = vec![level_clauses[0][0].clone()];
+        let submit_once = |service: &Service| {
+            let outcome = service
+                .submit(JobSpec::coverage(d.examples.clone(), head_only.clone()))
+                .expect("queue has room for one job")
+                .wait();
+            assert_eq!(outcome.state, JobState::Done, "{:?}", outcome.error);
+            black_box(outcome.coverage().len());
+        };
+
+        let before = best_ns(samples, || {
+            let service = Service::new(&d.engine, ServiceConfig::new(2));
+            submit_once(&service);
+            service.shutdown().expect("clean teardown");
+        });
+        let warm = Service::new(&d.engine, ServiceConfig::new(2));
+        submit_once(&warm); // adopt the KB before the clock starts
+        let after = best_ns(samples, || submit_once(&warm));
+        warm.shutdown().expect("clean teardown");
+        entries.push(Entry {
+            name: "warm_job_submit",
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
     // ---- Report.
-    let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes); worker_startup: fresh textual consult vs compiled-KB snapshot load; all_ground_scan: all-ground stripe-compare kernel vs per-row unification on position-0-only retrieval; fact_memory: column-native fact store vs the retired row+column layout (exact byte accounting; shared arena/postings excluded, column-only arena growth past the indexable prefix charged to the new layout); posting_memory: CSR posting store vs the retired per-key hashmap layout (exact byte accounting). Best-of-N wall times\",\n  \"benches\": {\n");
+    let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes); worker_startup: fresh textual consult vs compiled-KB snapshot load; all_ground_scan: all-ground stripe-compare kernel vs per-row unification on position-0-only retrieval; fact_memory: column-native fact store vs the retired row+column layout (exact byte accounting; shared arena/postings excluded, column-only arena growth past the indexable prefix charged to the new layout); posting_memory: CSR posting store vs the retired per-key hashmap layout (exact byte accounting); warm_job_submit: one coverage job on a standing resident service mesh vs the one-shot build-ship-run-teardown shape. Best-of-N wall times\",\n  \"benches\": {\n");
     for e in entries.iter() {
         println!(
             "{:<24} before {:>12.0} ns   after {:>12.0} ns   speedup {:>5.2}x",
@@ -574,6 +615,7 @@ fn main() {
         ("second_arg_bound", 3.0),
         ("worker_startup", 5.0),
         ("all_ground_scan", 2.0),
+        ("warm_job_submit", 5.0),
     ] {
         let e = entries
             .iter()

@@ -88,6 +88,16 @@ impl Wire for u8 {
     }
 }
 
+impl Wire for u16 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        need!(buf, 2, "u16");
+        Ok(buf.get_u16_le())
+    }
+}
+
 impl Wire for u32 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u32_le(*self);
@@ -538,6 +548,7 @@ mod tests {
     #[test]
     fn primitive_roundtrips() {
         roundtrip(0u8);
+        roundtrip(0xBEEFu16);
         roundtrip(42u32);
         roundtrip(u64::MAX);
         roundtrip(-7i64);
@@ -596,6 +607,7 @@ mod tests {
 
     #[test]
     fn byte_counts_are_exact() {
+        assert_eq!(to_bytes(&7u16).len(), 2);
         assert_eq!(to_bytes(&7u32).len(), 4);
         assert_eq!(to_bytes(&vec![1u32, 2]).len(), 4 + 8);
         assert_eq!(to_bytes(&"ab".to_owned()).len(), 4 + 2);

@@ -94,8 +94,12 @@ pub const MAGIC: u32 = 0x7032_6d64;
 /// recovery-traffic counters, and the protocol itself gained the
 /// worker-death recovery messages — a v2 peer would mis-parse both;
 /// v4: `PredSnapshot` columns flattened to one position-major stripe run
-/// and posting lists moved from sorted pairs to CSR keys/offs/idx runs).
-pub const PROTOCOL_VERSION: u16 = 4;
+/// and posting lists moved from sorted pairs to CSR keys/offs/idx runs;
+/// v5: the protocol gained the resident-service job-control messages —
+/// `SubmitJob`/`JobAccepted`/`JobResult`/`CancelJob` — and workers became
+/// resident between jobs, so a v4 peer would mis-parse a job submission
+/// and would exit where a v5 worker idles).
+pub const PROTOCOL_VERSION: u16 = 5;
 /// Default per-connection handshake bound: once a peer has *connected*, it
 /// gets this long to complete its `Hello` (and a roster-fed worker dial
 /// this long to succeed) before the rendezvous gives up on it. Without a
@@ -109,6 +113,13 @@ pub const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 /// prefixes; a compiled-KB snapshot for the paper-scale datasets is a few
 /// MB, so 1 GiB is generous).
 pub const MAX_FRAME: u32 = 1 << 30;
+/// Exit code a *resident* worker process uses when its master link closed
+/// while it sat idle between jobs: an orderly disconnect (or a kill landing
+/// in the idle window), not a mid-job failure. Distinct from 0 (clean
+/// shutdown after a report), 101 (panic), and 102 (poisoned), so a
+/// post-shutdown signal is never misreported as a mid-run crash — the
+/// child-failure diagnosis maps it to a friendly message.
+pub const IDLE_DISCONNECT_EXIT: i32 = 4;
 
 // ---------------------------------------------------------------------------
 // Errors.
@@ -1148,6 +1159,10 @@ impl ChildSet {
                 continue;
             }
             let mut msg = match status {
+                Some(s) if s.code() == Some(IDLE_DISCONNECT_EXIT) => format!(
+                    "process was disconnected while idle between jobs \
+                     (exit code {IDLE_DISCONNECT_EXIT}; not a mid-job failure)"
+                ),
                 Some(s) => format!("process exited with {s}"),
                 None => fallback.to_owned(),
             };
@@ -1470,6 +1485,38 @@ mod tests {
         let mut c = StdRng::seed_from_u64(4);
         let sc: Vec<Duration> = (0..8).map(|i| dial_backoff(i, &mut c)).collect();
         assert_ne!(sa, sc);
+    }
+
+    /// A worker killed (or disconnected) while idle between jobs exits
+    /// with [`IDLE_DISCONNECT_EXIT`], and the child-failure diagnosis says
+    /// so instead of reporting a mid-run crash.
+    #[test]
+    fn idle_disconnect_exit_code_gets_a_friendly_diagnosis() {
+        let spawn = |code: i32| {
+            std::process::Command::new("sh")
+                .args(["-c", &format!("exit {code}")])
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn sh")
+        };
+        let mut children = ChildSet::new();
+        children.push(1, spawn(IDLE_DISCONNECT_EXIT));
+        children.push(2, spawn(101));
+        children.wait_all(Duration::from_secs(10));
+        let idle = children.diagnose(1, "fallback");
+        assert!(
+            idle.contains("idle between jobs") && idle.contains("not a mid-job failure"),
+            "unexpected diagnosis: {idle}"
+        );
+        let crash = children.diagnose(2, "fallback");
+        assert!(
+            crash.contains("exited with") && !crash.contains("idle between jobs"),
+            "unexpected diagnosis: {crash}"
+        );
+        // Both are still *failures* from the mesh's point of view: the
+        // distinct code only changes the story, not the verdict.
+        assert_eq!(children.first_failure(&[]), Some(1));
+        assert_eq!(children.first_failure(&[1]), Some(2));
     }
 
     #[test]

@@ -11,19 +11,16 @@
 //! implementing both lets this reproduction *measure* that explanation
 //! against p²-mdie on the same virtual cluster.
 
-use crate::partition::partition_examples;
 use crate::protocol::Msg;
 use p2mdie_cluster::comm::Endpoint;
 use p2mdie_cluster::transport::Transport;
-use p2mdie_cluster::{run_cluster, ClusterError, CostModel};
+use p2mdie_cluster::{ClusterError, CostModel};
 use p2mdie_ilp::bitset::Bitset;
 use p2mdie_ilp::engine::IlpEngine;
 use p2mdie_ilp::examples::Examples;
 use p2mdie_ilp::refine::RuleShape;
 use p2mdie_logic::clause::Clause;
 use std::collections::HashSet;
-use std::sync::Mutex;
-use std::time::Instant;
 
 /// How many candidate clauses one evaluation round ships.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +79,10 @@ pub fn run_coverage_parallel(
 /// `ship_kb` is set, workers start with an empty KB and the master ships
 /// its compiled background theory once as a `Msg::KbSnapshot` (the same
 /// wiring as `ParallelConfig::with_kb_shipping`).
+///
+/// Thin wrapper: the mesh build and single-job lifecycle live in
+/// [`crate::scheduler`]; the wire framing is the legacy one, so reports
+/// stay bit-identical to the pre-service implementation.
 pub fn run_coverage_parallel_opts(
     engine: &IlpEngine,
     examples: &Examples,
@@ -91,57 +92,15 @@ pub fn run_coverage_parallel_opts(
     seed: u64,
     ship_kb: bool,
 ) -> Result<BaselineReport, ClusterError> {
-    let started = Instant::now();
-    let (subsets, partition) = partition_examples(examples, workers, seed);
-    let threads_per_rank = crate::driver::threads_per_worker(engine.settings.eval_threads, workers);
-    let contexts: Vec<Mutex<Option<(IlpEngine, Examples)>>> = subsets
-        .into_iter()
-        .map(|local| {
-            let mut worker_engine = if ship_kb {
-                engine.with_empty_kb()
-            } else {
-                engine.clone()
-            };
-            worker_engine.settings.eval_threads = threads_per_rank;
-            Mutex::new(Some((worker_engine, local)))
-        })
-        .collect();
-
-    let outcome = run_cluster(
+    crate::scheduler::one_shot_coverage(
+        engine,
+        examples,
         workers,
+        granularity,
         model,
-        |ep| {
-            if ship_kb {
-                crate::master::ship_kb(ep, &engine.kb);
-            }
-            baseline_master(ep, engine, examples, &partition, granularity)
-        },
-        |ep| {
-            let (eng, local) = contexts[ep.rank() - 1]
-                .lock()
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: worker-context lock poisoned by an earlier panic",
-                        ep.rank()
-                    )
-                })
-                .take()
-                .expect("taken once");
-            run_baseline_worker(ep, eng, local);
-        },
-    )?;
-
-    let (theory, epochs, set_aside) = outcome.result;
-    Ok(BaselineReport {
-        theory,
-        epochs,
-        set_aside,
-        vtime: outcome.master_vtime,
-        total_bytes: outcome.stats.total_bytes(),
-        total_messages: outcome.stats.total_messages(),
-        dropped_sends: outcome.dropped_sends,
-        wall: started.elapsed(),
-    })
+        seed,
+        ship_kb,
+    )
 }
 
 /// The worker side: evaluate and mark-covered, nothing else. Public so
@@ -182,8 +141,12 @@ pub fn run_baseline_worker<T: Transport>(
     }
 }
 
-/// One distributed evaluation round: broadcast, gather, sum.
-fn eval_round<T: Transport>(ep: &mut Endpoint<T>, clauses: &[Clause]) -> Vec<(u32, u32)> {
+/// One distributed evaluation round: broadcast, gather, sum. Crate-visible
+/// so the scheduler's coverage-query jobs run the identical round.
+pub(crate) fn eval_round<T: Transport>(
+    ep: &mut Endpoint<T>,
+    clauses: &[Clause],
+) -> Vec<(u32, u32)> {
     let p = ep.workers();
     ep.broadcast(&Msg::Evaluate {
         rules: clauses.to_vec(),

@@ -16,8 +16,10 @@
 //! and exits 0.
 //!
 //! Exit codes: 0 success · 1 bad usage · 2 connect/handshake failure ·
-//! 3 injected test failure · 101 worker panic (poison broadcast first) ·
-//! 102 poisoned by another rank's failure.
+//! 3 injected test failure · 4 master disconnected while this worker sat
+//! idle between jobs of a resident service mesh (not a mid-job failure;
+//! `p2mdie_cluster::net::IDLE_DISCONNECT_EXIT`) · 101 worker panic (poison
+//! broadcast first) · 102 poisoned by another rank's failure.
 //!
 //! The `P2MDIE_TEST_FAIL` environment variable injects post-handshake
 //! failures so the failure-propagation and recovery tests can exercise a
@@ -35,10 +37,10 @@
 //!   received — a mid-run crash at a deterministic protocol point.
 
 use p2mdie_cluster::comm::{CommFailure, Endpoint, Poisoned};
-use p2mdie_cluster::net::{worker_connect, TcpTransport, WorkerReport};
+use p2mdie_cluster::net::{worker_connect, TcpTransport, WorkerReport, IDLE_DISCONNECT_EXIT};
 use p2mdie_cluster::TrafficStats;
 use p2mdie_cluster::{Envelope, Transport, TransportEvent};
-use p2mdie_core::remote::run_remote_worker;
+use p2mdie_core::remote::{run_remote_worker, WorkerExit};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
@@ -145,7 +147,7 @@ fn serve<T: Transport>(
     report_via: impl FnOnce(&mut T) -> &mut TcpTransport,
 ) -> i32 {
     match catch_unwind(AssertUnwindSafe(|| run_remote_worker(&mut ep))) {
-        Ok(()) => {
+        Ok(WorkerExit::Finished) => {
             let report = WorkerReport {
                 vtime: ep.now(),
                 steps: ep.compute_steps(),
@@ -157,6 +159,12 @@ fn serve<T: Transport>(
                 eprintln!("worker rank {rank}: master gone before the shutdown report");
             }
             0
+        }
+        Ok(WorkerExit::IdleDisconnect) => {
+            // The master vanished while we sat idle between jobs: no report
+            // to send (the link is gone) and nothing mid-flight was lost.
+            eprintln!("worker rank {rank}: master disconnected while idle between jobs");
+            IDLE_DISCONNECT_EXIT
         }
         Err(payload) => {
             if let Some(p) = payload.downcast_ref::<Poisoned>() {

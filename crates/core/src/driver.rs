@@ -2,17 +2,11 @@
 //! and get back a full report. Used by the evaluation sweeps, the
 //! benchmarks, and the examples.
 
-use crate::master::run_master;
-use crate::partition::partition_examples;
 use crate::report::{ParallelReport, SequentialReport};
-use crate::worker::{run_worker, WorkerContext};
-use p2mdie_cluster::{
-    maybe_chaos, run_cluster, run_cluster_with, ChaosConfig, ClusterError, CostModel,
-};
+use p2mdie_cluster::{ChaosConfig, ClusterError, CostModel};
 use p2mdie_ilp::engine::IlpEngine;
 use p2mdie_ilp::examples::Examples;
 use p2mdie_ilp::settings::Width;
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Which substrate carries the cluster's messages.
@@ -75,11 +69,13 @@ pub struct ParallelConfig {
     pub transport: TransportKind,
     /// What to do when a worker rank dies mid-run.
     pub recovery: RecoveryPolicy,
-    /// Deterministic fault injection for in-process runs: wrap the given
+    /// Deterministic fault injection for in-process runs: wrap each listed
     /// worker rank's transport in a
-    /// [`ChaosTransport`](p2mdie_cluster::ChaosTransport) with this
-    /// configuration (test-only seam; `None` in production use).
-    pub chaos: Option<(usize, ChaosConfig)>,
+    /// [`ChaosTransport`](p2mdie_cluster::ChaosTransport) with its own
+    /// configuration (test-only seam; empty in production use). Multiple
+    /// entries inject faults into multiple ranks of the same run — the
+    /// seam the second-death recovery tests use.
+    pub chaos: Vec<(usize, ChaosConfig)>,
 }
 
 impl ParallelConfig {
@@ -94,7 +90,7 @@ impl ParallelConfig {
             ship_kb: false,
             transport: TransportKind::InProcess,
             recovery: RecoveryPolicy::default(),
-            chaos: None,
+            chaos: Vec::new(),
         }
     }
 
@@ -125,10 +121,11 @@ impl ParallelConfig {
         self
     }
 
-    /// Injects deterministic transport faults into one worker rank of an
+    /// Injects deterministic transport faults into a worker rank of an
     /// in-process run (test seam for exercising the recovery protocol).
+    /// May be called repeatedly to fault several ranks in one run.
     pub fn with_chaos(mut self, rank: usize, chaos: ChaosConfig) -> Self {
-        self.chaos = Some((rank, chaos));
+        self.chaos.push((rank, chaos));
         self
     }
 }
@@ -138,132 +135,23 @@ impl ParallelConfig {
 /// The engine (background knowledge, modes, settings) is shared by all
 /// ranks, mirroring the paper's distributed-file-system assumption; each
 /// worker clones it so `mark_covered` can grow its local copy of `B`.
+///
+/// Thin wrapper: this submits exactly one learning job to an ephemeral
+/// single-job dispatch in [`crate::scheduler`], which builds a fresh mesh,
+/// walks the job through the service lifecycle, and tears the mesh down.
+/// The wire framing is the legacy one, so reports stay bit-identical to
+/// the pre-service implementation.
 pub fn run_parallel(
     engine: &IlpEngine,
     examples: &Examples,
     cfg: &ParallelConfig,
 ) -> Result<ParallelReport, ClusterError> {
-    if let TransportKind::Tcp(tcp) = &cfg.transport {
-        return crate::remote::run_parallel_tcp(engine, examples, cfg, tcp);
-    }
-    let started = Instant::now();
-    // Static mode partitions up front; repartition mode starts workers
-    // empty (the master deals examples at every epoch). The recovering
-    // master additionally needs the global-index map of the static deal.
-    let (subsets, partition) = if cfg.repartition {
-        (vec![Examples::default(); cfg.workers], None)
-    } else {
-        let (subsets, part) = partition_examples(examples, cfg.workers, cfg.seed);
-        (subsets, Some(part))
-    };
-    // Simulated ranks run on real threads; split the physical cores among
-    // them so each rank's coverage evaluation (see
-    // `p2mdie_ilp::coverage::evaluate_rule_threads`) exploits its share
-    // without oversubscribing the machine. An explicit `eval_threads` in
-    // the caller's settings wins.
-    let threads_per_rank = threads_per_worker(engine.settings.eval_threads, cfg.workers);
-    let contexts: Vec<Mutex<Option<WorkerContext>>> = subsets
-        .into_iter()
-        .map(|local| {
-            // With KB shipping the worker starts *empty* (the multi-process
-            // deployment shape) and adopts the master's snapshot on its
-            // first message; otherwise it clones the shared engine.
-            let mut worker_engine = if cfg.ship_kb {
-                engine.with_empty_kb()
-            } else {
-                engine.clone()
-            };
-            worker_engine.settings.eval_threads = threads_per_rank;
-            let mut ctx = WorkerContext::new(worker_engine, local, cfg.width);
-            ctx.repartition = cfg.repartition;
-            Mutex::new(Some(ctx))
-        })
-        .collect();
-
-    let settings = engine.settings.clone();
-    let total_pos = examples.num_pos();
-
-    fn take_ctx(contexts: &[Mutex<Option<WorkerContext>>], rank: usize) -> WorkerContext {
-        contexts[rank - 1]
-            .lock()
-            .unwrap_or_else(|_| {
-                panic!("rank {rank}: worker-context lock poisoned by an earlier panic")
-            })
-            .take()
-            .expect("each worker context is taken exactly once")
-    }
-
-    let outcome = match &cfg.recovery {
-        RecoveryPolicy::Abort => run_cluster(
-            cfg.workers,
-            cfg.model,
-            |ep| {
-                if cfg.ship_kb {
-                    crate::master::ship_kb(ep, &engine.kb);
-                }
-                if cfg.repartition {
-                    crate::master::run_master_repartition(ep, &settings, examples, cfg.seed)
-                } else {
-                    run_master(ep, &settings, total_pos)
-                }
-            },
-            |ep| run_worker(ep, take_ctx(&contexts, ep.rank())),
-        )?,
-        RecoveryPolicy::Repartition { max_rank_losses } => {
-            if let Some((rank, _)) = &cfg.chaos {
-                assert!(
-                    (1..=cfg.workers).contains(rank),
-                    "chaos injection targets a worker rank (got {rank})"
-                );
-            }
-            run_cluster_with(
-                cfg.workers,
-                cfg.model,
-                true,
-                |rank, t| {
-                    let chaos = match &cfg.chaos {
-                        Some((target, c)) if *target == rank => Some(c.clone()),
-                        _ => None,
-                    };
-                    maybe_chaos(t, chaos)
-                },
-                |ep| {
-                    if cfg.ship_kb {
-                        crate::master::ship_kb(ep, &engine.kb);
-                    }
-                    crate::master::run_master_recovering(
-                        ep,
-                        &settings,
-                        examples,
-                        partition.as_ref(),
-                        cfg.seed,
-                        *max_rank_losses,
-                    )
-                },
-                |ep| run_worker(ep, take_ctx(&contexts, ep.rank())),
-            )?
+    match &cfg.transport {
+        TransportKind::Tcp(tcp) => {
+            crate::scheduler::one_shot_parallel_tcp(engine, examples, cfg, tcp)
         }
-    };
-
-    let master = outcome.result;
-    Ok(ParallelReport {
-        workers: cfg.workers,
-        theory: master.theory,
-        epochs: master.epochs,
-        set_aside: master.set_aside,
-        vtime: outcome.master_vtime,
-        worker_vtimes: outcome.worker_vtimes,
-        total_bytes: outcome.stats.total_bytes(),
-        total_messages: outcome.stats.total_messages(),
-        worker_steps: outcome.worker_steps,
-        dropped_sends: outcome.dropped_sends,
-        wall: started.elapsed(),
-        traces: master.traces,
-        stalled: master.stalled,
-        rank_losses: master.rank_losses,
-        recovery_bytes: outcome.stats.recovery_bytes(),
-        recovery_messages: outcome.stats.recovery_messages(),
-    })
+        TransportKind::InProcess => crate::scheduler::one_shot_parallel(engine, examples, cfg),
+    }
 }
 
 /// Each simulated rank's fair share of the machine's cores: an explicit

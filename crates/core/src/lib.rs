@@ -19,17 +19,24 @@
 //! * [`driver`] — `run_parallel` / `run_sequential_timed`;
 //! * [`remote`] — multi-process deployment: the remote-worker bootstrap
 //!   and the TCP launchers behind `ParallelConfig::with_transport` (the
-//!   `p2mdie-worker` binary is this crate's `src/bin/`).
+//!   `p2mdie-worker` binary is this crate's `src/bin/`);
+//! * [`job`] — the first-class job layer: what runs on the cluster
+//!   (coverage query, rule search, learning run) and its lifecycle;
+//! * [`scheduler`] — ILP-as-a-service: a resident mesh (`Service`) that
+//!   multiplexes many jobs over one standing cluster, plus the ephemeral
+//!   single-job dispatch the one-shot entry points are thin wrappers over.
 
 pub mod bag;
 pub mod baselines;
 pub mod driver;
+pub mod job;
 pub mod master;
 pub mod partition;
 pub mod pipeline;
 pub mod protocol;
 pub mod remote;
 pub mod report;
+pub mod scheduler;
 pub mod worker;
 
 pub use bag::{BagRule, RuleBag};
@@ -39,13 +46,16 @@ pub use baselines::{
 pub use driver::{
     run_parallel, run_sequential_timed, ParallelConfig, RecoveryPolicy, TransportKind,
 };
+pub use job::{JobId, JobKind, JobOutcome, JobOutput, JobSpec, JobState};
 pub use master::{
     run_master, run_master_recovering, ship_kb, AcceptedRule, EpochTrace, MasterOutcome,
 };
 pub use partition::{partition_examples, Partition};
-pub use protocol::{JobSpec, Msg, PipelineToken, StageTrace, WorkerRole};
+pub use protocol::{Msg, PipelineToken, StageTrace, WorkerConfig, WorkerRole};
 pub use remote::{
     default_worker_bin, run_coverage_parallel_tcp, run_parallel_tcp, run_remote_worker, TcpConfig,
+    WorkerExit,
 };
 pub use report::{render_pipeline_trace, ParallelReport, SequentialReport};
+pub use scheduler::{JobHandle, Service, ServiceConfig, ServiceReport, SubmitError};
 pub use worker::{run_worker, WorkerContext};

@@ -39,7 +39,8 @@
 //! traffic is tallied separately in the traffic statistics
 //! (`TrafficStats::recovery_bytes`), so reports stay honest about what the
 //! fault added. A *second* death while a recovery is quiescing exceeds the
-//! protocol and surfaces as a rank-tagged error (see ROADMAP follow-ups).
+//! protocol and surfaces as a clean rank-tagged error — never a hang or a
+//! partial theory (pinned by `crates/core/tests/recovery.rs`).
 
 use crate::bag::RuleBag;
 use crate::partition::Partition;
@@ -797,7 +798,7 @@ fn evaluate_bag_recovering<T: Transport>(
 
 /// One global evaluation round: broadcast the bag, collect per-subset
 /// counts from every worker (Fig. 5 steps 10–11 / 18–19).
-fn evaluate_bag<T: Transport>(ep: &mut Endpoint<T>, p: usize, bag: &mut RuleBag) {
+pub(crate) fn evaluate_bag<T: Transport>(ep: &mut Endpoint<T>, p: usize, bag: &mut RuleBag) {
     ep.broadcast(&Msg::Evaluate {
         rules: bag.clauses(),
     });

@@ -3,7 +3,10 @@
 //! One message enum covers the whole algorithm (paper Figures 5–7):
 //! `LoadExamples` / `StartPipeline` / `PipelineStage` / `RulesFound` /
 //! `Evaluate` / `EvalResult` / `MarkCovered` / `RetireSeed` / `SeedRetired` /
-//! `Stop`. Every payload is encoded through the byte-accurate
+//! `Stop`, plus the protocol-v5 job-control frames ([`Msg::SubmitJob`] /
+//! [`Msg::JobAccepted`] / [`Msg::JobResult`] / [`Msg::CancelJob`]) that let
+//! a *resident* mesh run many jobs back to back (see [`crate::scheduler`]).
+//! Every payload is encoded through the byte-accurate
 //! [`Wire`] codec, so the traffic statistics reproduce Table 4 exactly as
 //! "bytes that would have crossed the network".
 //!
@@ -367,8 +370,13 @@ pub enum WorkerRole {
 /// worker because the KB snapshot ships the master's *complete* symbol
 /// dictionary and the worker restores it into a fresh table (id-preserving
 /// path) before anything else is interned.
+///
+/// The same payload travels inside [`Msg::SubmitJob`] for *resident*
+/// workers, where it reconfigures the rank per job over the already-adopted
+/// KB (this type was called `JobSpec` before the job layer in
+/// [`crate::job`] claimed that name; the tag-13 byte layout is unchanged).
 #[derive(Clone, Debug, PartialEq)]
-pub struct JobSpec {
+pub struct WorkerConfig {
     /// The worker loop to run.
     pub role: WorkerRole,
     /// Language bias (master's symbol ids).
@@ -378,7 +386,7 @@ pub struct JobSpec {
     pub settings: Settings,
 }
 
-impl Wire for JobSpec {
+impl Wire for WorkerConfig {
     fn encode(&self, buf: &mut BytesMut) {
         match &self.role {
             WorkerRole::Pipeline { width, repartition } => {
@@ -400,7 +408,7 @@ impl Wire for JobSpec {
             1 => WorkerRole::Coverage,
             _ => return Err(DecodeError::new("worker role tag")),
         };
-        Ok(JobSpec {
+        Ok(WorkerConfig {
             role,
             modes: decode_modes(buf)?,
             settings: decode_settings(buf)?,
@@ -511,12 +519,12 @@ pub enum Msg {
     KbSnapshot(Box<KbSnapshot>),
     /// Master → workers: run over, shut down.
     Stop,
-    /// Master → worker (remote bootstrap): the job description — role,
+    /// Master → worker (remote bootstrap): the worker configuration — role,
     /// language bias, and settings. In-process workers are handed their
     /// `WorkerContext` directly and never see this message; a worker
     /// *process* reconstructs the identical context from
     /// [`Msg::KbSnapshot`] + `Configure` + [`Msg::LoadPartition`].
-    Configure(Box<JobSpec>),
+    Configure(Box<WorkerConfig>),
     /// Master → worker (remote bootstrap): your example subset, shipped in
     /// full. Distinct from [`Msg::NewPartition`], which is the §4.1
     /// repartitioning protocol *inside* a run; this one happens once at
@@ -562,6 +570,50 @@ pub enum Msg {
     ReplayTheory {
         /// The accepted theory so far, in acceptance order.
         rules: Vec<Clause>,
+    },
+    /// Master → *resident* worker (protocol v5): bootstrap one job over the
+    /// already-adopted KB. Carries everything that differs between jobs —
+    /// role, language bias, settings, and this rank's example subset — and
+    /// nothing that doesn't (the compiled KB shipped once at service
+    /// start). The worker clones its pristine base KB, runs the role loop
+    /// until the job's `Stop`, replies [`Msg::JobResult`], and returns to
+    /// idle.
+    SubmitJob {
+        /// Scheduler-assigned job id, echoed on every job-control reply.
+        id: u64,
+        /// Per-job worker configuration (same payload as `Configure`).
+        config: Box<WorkerConfig>,
+        /// This rank's positive examples for the job.
+        pos: Vec<Literal>,
+        /// This rank's negative examples for the job.
+        neg: Vec<Literal>,
+    },
+    /// Resident worker → master: job accepted and about to run.
+    /// `queue_free` is the rank's remaining job-queue capacity — the
+    /// scheduler's backpressure signal (a rank reporting 0 must not be sent
+    /// another `SubmitJob` until a `JobResult` frees a slot).
+    JobAccepted {
+        /// The accepted job's id.
+        id: u64,
+        /// Remaining worker-side job-queue slots after this acceptance.
+        queue_free: u16,
+    },
+    /// Resident worker → master: the job's role loop finished; `steps` is
+    /// the rank's compute-step delta attributable to this job alone (the
+    /// per-job slice of what the one-shot path reports globally).
+    JobResult {
+        /// The finished job's id.
+        id: u64,
+        /// Compute steps this rank spent on this job.
+        steps: u64,
+    },
+    /// Master → resident workers: abandon job `id` if it is still queued
+    /// worker-side. A rank that already finished (or never queued) the job
+    /// treats this as a no-op — cancellation is advisory, never destructive
+    /// (a running job's partial theory is never published either way).
+    CancelJob {
+        /// The cancelled job's id.
+        id: u64,
     },
 }
 
@@ -645,6 +697,32 @@ impl Wire for Msg {
                 buf.put_u8(20);
                 rules.encode(buf);
             }
+            Msg::SubmitJob {
+                id,
+                config,
+                pos,
+                neg,
+            } => {
+                buf.put_u8(21);
+                id.encode(buf);
+                config.encode(buf);
+                pos.encode(buf);
+                neg.encode(buf);
+            }
+            Msg::JobAccepted { id, queue_free } => {
+                buf.put_u8(22);
+                id.encode(buf);
+                queue_free.encode(buf);
+            }
+            Msg::JobResult { id, steps } => {
+                buf.put_u8(23);
+                id.encode(buf);
+                steps.encode(buf);
+            }
+            Msg::CancelJob { id } => {
+                buf.put_u8(24);
+                id.encode(buf);
+            }
         }
     }
 
@@ -684,7 +762,7 @@ impl Wire for Msg {
                 neg: Vec::<Literal>::decode(buf)?,
             },
             12 => Msg::KbSnapshot(Box::new(KbSnapshot::decode(buf)?)),
-            13 => Msg::Configure(Box::new(JobSpec::decode(buf)?)),
+            13 => Msg::Configure(Box::new(WorkerConfig::decode(buf)?)),
             14 => Msg::LoadPartition {
                 pos: Vec::<Literal>::decode(buf)?,
                 neg: Vec::<Literal>::decode(buf)?,
@@ -701,6 +779,23 @@ impl Wire for Msg {
             },
             20 => Msg::ReplayTheory {
                 rules: Vec::<Clause>::decode(buf)?,
+            },
+            21 => Msg::SubmitJob {
+                id: u64::decode(buf)?,
+                config: Box::new(WorkerConfig::decode(buf)?),
+                pos: Vec::<Literal>::decode(buf)?,
+                neg: Vec::<Literal>::decode(buf)?,
+            },
+            22 => Msg::JobAccepted {
+                id: u64::decode(buf)?,
+                queue_free: u16::decode(buf)?,
+            },
+            23 => Msg::JobResult {
+                id: u64::decode(buf)?,
+                steps: u64::decode(buf)?,
+            },
+            24 => Msg::CancelJob {
+                id: u64::decode(buf)?,
             },
             _ => return Err(DecodeError::new("message tag")),
         })
@@ -854,7 +949,7 @@ mod tests {
             },
             WorkerRole::Coverage,
         ] {
-            roundtrip(Msg::Configure(Box::new(JobSpec {
+            roundtrip(Msg::Configure(Box::new(WorkerConfig {
                 role,
                 modes: modes.clone(),
                 settings: Settings {
@@ -865,6 +960,31 @@ mod tests {
                 },
             })));
         }
+        roundtrip(Msg::SubmitJob {
+            id: 0x0102_0304_0506_0708,
+            config: Box::new(WorkerConfig {
+                role: WorkerRole::Coverage,
+                modes: modes.clone(),
+                settings: Settings::default(),
+            }),
+            pos: vec![Literal::new(
+                t.intern("active"),
+                vec![Term::Sym(t.intern("m1"))],
+            )],
+            neg: vec![Literal::new(
+                t.intern("active"),
+                vec![Term::Sym(t.intern("m2"))],
+            )],
+        });
+        roundtrip(Msg::JobAccepted {
+            id: 9,
+            queue_free: 1,
+        });
+        roundtrip(Msg::JobResult {
+            id: 9,
+            steps: u64::MAX / 3,
+        });
+        roundtrip(Msg::CancelJob { id: u64::MAX });
         roundtrip(Msg::Stop);
     }
 

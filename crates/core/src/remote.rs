@@ -27,20 +27,30 @@
 //! `run_parallel` with KB shipping enabled and the same seed (pinned by
 //! `crates/core/tests/tcp_cluster.rs`).
 //!
+//! # Resident mode
+//!
+//! A worker process that receives [`Msg::SubmitJob`] instead of the legacy
+//! `Configure`/`LoadPartition` pair joins a resident service mesh
+//! ([`crate::scheduler::Service::new_tcp`]): it runs the submitted job on
+//! a clone of the adopted KB, then parks in the idle loop awaiting further
+//! jobs. [`run_remote_worker`] reports how the session ended via
+//! [`WorkerExit`] so the `p2mdie-worker` binary can exit with a distinct
+//! code when its master vanished while it sat idle *between* jobs (not a
+//! mid-job failure).
+//!
 //! Entry points: [`run_parallel_tcp`] / [`run_coverage_parallel_tcp`]
 //! spawn the `p2mdie-worker` binary once per rank and drive the master on
 //! the calling thread; `ParallelConfig::with_transport` routes
-//! `run_parallel` here.
+//! `run_parallel` here. Both are thin wrappers over the single-job
+//! dispatch in [`crate::scheduler`].
 
-use crate::baselines::{baseline_master, run_baseline_worker, BaselineReport, EvalGranularity};
-use crate::driver::{threads_per_worker, ParallelConfig, RecoveryPolicy};
-use crate::master::{run_master, run_master_recovering, run_master_repartition, ship_kb};
-use crate::partition::partition_examples;
-use crate::protocol::{JobSpec, Msg, WorkerRole};
+use crate::baselines::{run_baseline_worker, BaselineReport, EvalGranularity};
+use crate::driver::ParallelConfig;
+use crate::protocol::{Msg, WorkerConfig, WorkerRole};
 use crate::report::ParallelReport;
+use crate::scheduler::{one_shot_coverage_tcp, one_shot_parallel_tcp, run_resident_worker};
 use crate::worker::{run_worker, WorkerContext};
 use p2mdie_cluster::comm::Endpoint;
-use p2mdie_cluster::net::run_cluster_tcp;
 use p2mdie_cluster::transport::Transport;
 use p2mdie_cluster::{ClusterError, CostModel};
 use p2mdie_ilp::engine::IlpEngine;
@@ -52,7 +62,7 @@ use std::io;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How to launch the worker processes of a TCP run.
 #[derive(Clone, Debug)]
@@ -89,7 +99,7 @@ impl TcpConfig {
         }
     }
 
-    fn resolve_worker_bin(&self) -> Result<PathBuf, ClusterError> {
+    pub(crate) fn resolve_worker_bin(&self) -> Result<PathBuf, ClusterError> {
         if let Some(bin) = &self.worker_bin {
             return Ok(bin.clone());
         }
@@ -127,7 +137,12 @@ pub fn default_worker_bin() -> Option<PathBuf> {
     None
 }
 
-fn spawn_worker(bin: &Path, rank: usize, addr: SocketAddr, tcp: &TcpConfig) -> io::Result<Child> {
+pub(crate) fn spawn_worker(
+    bin: &Path,
+    rank: usize,
+    addr: SocketAddr,
+    tcp: &TcpConfig,
+) -> io::Result<Child> {
     let mut cmd = Command::new(bin);
     cmd.arg("--connect")
         .arg(addr.to_string())
@@ -144,25 +159,25 @@ fn spawn_worker(bin: &Path, rank: usize, addr: SocketAddr, tcp: &TcpConfig) -> i
     cmd.spawn()
 }
 
-/// Master-side bootstrap: ship the compiled KB, then each worker's job
-/// spec and example subset. Must run before the protocol proper (the
-/// worker processes block in [`run_remote_worker`]'s bootstrap loop until
-/// all three messages arrived).
-fn bootstrap_workers<T: Transport>(
+/// Master-side bootstrap: ship the compiled KB, then each worker's
+/// configuration and example subset. Must run before the protocol proper
+/// (the worker processes block in [`run_remote_worker`]'s bootstrap loop
+/// until all three messages arrived).
+pub(crate) fn bootstrap_workers<T: Transport>(
     ep: &mut Endpoint<T>,
     engine: &IlpEngine,
     role: WorkerRole,
     worker_settings: Settings,
     subsets: &[Examples],
 ) {
-    ship_kb(ep, &engine.kb);
-    let spec = JobSpec {
+    crate::master::ship_kb(ep, &engine.kb);
+    let config = WorkerConfig {
         role,
         modes: engine.modes.clone(),
         settings: worker_settings,
     };
     for (i, subset) in subsets.iter().enumerate() {
-        ep.send(i + 1, &Msg::Configure(Box::new(spec.clone())));
+        ep.send(i + 1, &Msg::Configure(Box::new(config.clone())));
         ep.send(
             i + 1,
             &Msg::LoadPartition {
@@ -173,8 +188,32 @@ fn bootstrap_workers<T: Transport>(
     }
 }
 
-/// The worker-process entry: gather the three bootstrap messages, rebuild
-/// the engine, run the role's protocol loop until `Stop`.
+/// How a worker-process session ended — the return value of
+/// [`run_remote_worker`], mapped to an exit code by the `p2mdie-worker`
+/// binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The master said `Stop`: a clean end of the run (one-shot) or of the
+    /// mesh (resident). The worker sends its shutdown report and exits 0.
+    Finished,
+    /// The master's link closed while the worker sat **idle between jobs**
+    /// of a resident mesh. Not a mid-job failure — the binary exits with
+    /// the distinct `IDLE_DISCONNECT_EXIT` code so supervisors (and
+    /// `ChildSet::diagnose`) can tell a torn-down service from a crash.
+    IdleDisconnect,
+}
+
+/// The worker-process entry: gather the bootstrap messages, rebuild the
+/// engine, run the protocol until the mesh stops.
+///
+/// Two bootstrap shapes arrive on the wire:
+///
+/// - **Legacy one-shot**: `KbSnapshot` + [`Msg::Configure`] +
+///   [`Msg::LoadPartition`] in any order, then the role's protocol loop
+///   runs once to `Stop`.
+/// - **Resident**: `KbSnapshot` + [`Msg::SubmitJob`] — the job runs on a
+///   clone of the adopted KB, then the worker parks in the resident idle
+///   loop for further jobs until `Stop` (or an idle disconnect).
 ///
 /// The KB snapshot restores into a **fresh** symbol table before anything
 /// else is interned, which reproduces the master's symbol ids exactly (the
@@ -183,23 +222,41 @@ fn bootstrap_workers<T: Transport>(
 /// shipped, mirroring the in-process `ship_kb` adoption path bit for bit
 /// (the snapshot already carries the master's mode-pruned posting lists,
 /// so `IlpEngine::new`'s re-pruning is deliberately *not* run).
-pub fn run_remote_worker<T: Transport>(ep: &mut Endpoint<T>) {
+pub fn run_remote_worker<T: Transport>(ep: &mut Endpoint<T>) -> WorkerExit {
     let me = ep.rank();
     assert!(me >= 1, "run_remote_worker must not run on the master rank");
     let mut snap = None;
-    let mut spec: Option<JobSpec> = None;
+    let mut config: Option<WorkerConfig> = None;
     let mut local = None;
-    while snap.is_none() || spec.is_none() || local.is_none() {
+    while snap.is_none() || config.is_none() || local.is_none() {
         match Msg::recv(ep, 0, "a bootstrap message") {
             Msg::KbSnapshot(s) => snap = Some(*s),
-            Msg::Configure(j) => spec = Some(*j),
+            Msg::Configure(j) => config = Some(*j),
             Msg::LoadPartition { pos, neg } => local = Some(Examples::new(pos, neg)),
+            Msg::SubmitJob {
+                id,
+                config,
+                pos,
+                neg,
+            } => {
+                // Resident bootstrap: the snapshot must already be adopted
+                // (the service ships it before the first job).
+                let snap = snap.unwrap_or_else(|| {
+                    panic!("worker {me}: SubmitJob before the KB snapshot arrived")
+                });
+                let mut base = KnowledgeBase::from_snapshot(snap, SymbolTable::new())
+                    .unwrap_or_else(|e| panic!("rank {me}: rejected KB snapshot: {e}"));
+                crate::scheduler::run_submitted_job(ep, &base, id, *config, pos, neg);
+                return run_resident_worker(ep, &mut base);
+            }
+            Msg::CancelJob { .. } => {} // advisory; nothing queued here yet
+            Msg::Stop => return WorkerExit::Finished,
             other => panic!("worker {me}: unexpected bootstrap message {other:?}"),
         }
     }
-    let (snap, spec, local) = (
+    let (snap, config, local) = (
         snap.expect("gathered"),
-        spec.expect("gathered"),
+        config.expect("gathered"),
         local.expect("gathered"),
     );
 
@@ -207,10 +264,10 @@ pub fn run_remote_worker<T: Transport>(ep: &mut Endpoint<T>) {
         .unwrap_or_else(|e| panic!("rank {me}: rejected KB snapshot: {e}"));
     let engine = IlpEngine {
         kb,
-        modes: spec.modes,
-        settings: spec.settings,
+        modes: config.modes,
+        settings: config.settings,
     };
-    match spec.role {
+    match config.role {
         WorkerRole::Pipeline { width, repartition } => {
             let mut ctx = WorkerContext::new(engine, local, width);
             ctx.repartition = repartition;
@@ -218,6 +275,7 @@ pub fn run_remote_worker<T: Transport>(ep: &mut Endpoint<T>) {
         }
         WorkerRole::Coverage => run_baseline_worker(ep, engine, local),
     }
+    WorkerExit::Finished
 }
 
 /// [`crate::driver::run_parallel`] with every worker a real OS process
@@ -229,79 +287,22 @@ pub fn run_remote_worker<T: Transport>(ep: &mut Endpoint<T>) {
 /// same coverage counts, same per-rank step counts. `cfg.model` still
 /// governs all virtual-time metering — wall-clock plays no role in the
 /// reported numbers.
+///
+/// Thin wrapper: the mesh build and single-job lifecycle live in
+/// [`crate::scheduler`].
 pub fn run_parallel_tcp(
     engine: &IlpEngine,
     examples: &Examples,
     cfg: &ParallelConfig,
     tcp: &TcpConfig,
 ) -> Result<ParallelReport, ClusterError> {
-    let started = Instant::now();
-    let bin = tcp.resolve_worker_bin()?;
-    let (subsets, partition) = if cfg.repartition {
-        (vec![Examples::default(); cfg.workers], None)
-    } else {
-        let (subsets, part) = partition_examples(examples, cfg.workers, cfg.seed);
-        (subsets, Some(part))
-    };
-    let mut worker_settings = engine.settings.clone();
-    worker_settings.eval_threads = threads_per_worker(engine.settings.eval_threads, cfg.workers);
-    let role = WorkerRole::Pipeline {
-        width: cfg.width,
-        repartition: cfg.repartition,
-    };
-    let settings = engine.settings.clone();
-    let total_pos = examples.num_pos();
-
-    let outcome = run_cluster_tcp(
-        cfg.workers,
-        cfg.model,
-        tcp.timeout,
-        |rank, addr| spawn_worker(&bin, rank, addr, tcp),
-        |ep| {
-            bootstrap_workers(ep, engine, role.clone(), worker_settings.clone(), &subsets);
-            match &cfg.recovery {
-                RecoveryPolicy::Abort => {
-                    if cfg.repartition {
-                        run_master_repartition(ep, &settings, examples, cfg.seed)
-                    } else {
-                        run_master(ep, &settings, total_pos)
-                    }
-                }
-                RecoveryPolicy::Repartition { max_rank_losses } => run_master_recovering(
-                    ep,
-                    &settings,
-                    examples,
-                    partition.as_ref(),
-                    cfg.seed,
-                    *max_rank_losses,
-                ),
-            }
-        },
-    )?;
-
-    let master = outcome.result;
-    Ok(ParallelReport {
-        workers: cfg.workers,
-        theory: master.theory,
-        epochs: master.epochs,
-        set_aside: master.set_aside,
-        vtime: outcome.master_vtime,
-        worker_vtimes: outcome.worker_vtimes,
-        total_bytes: outcome.stats.total_bytes(),
-        total_messages: outcome.stats.total_messages(),
-        worker_steps: outcome.worker_steps,
-        dropped_sends: outcome.dropped_sends,
-        wall: started.elapsed(),
-        traces: master.traces,
-        stalled: master.stalled,
-        rank_losses: master.rank_losses,
-        recovery_bytes: outcome.stats.recovery_bytes(),
-        recovery_messages: outcome.stats.recovery_messages(),
-    })
+    one_shot_parallel_tcp(engine, examples, cfg, tcp)
 }
 
 /// [`crate::baselines::run_coverage_parallel`] with worker processes over
 /// localhost TCP (KB always shipped, as in [`run_parallel_tcp`]).
+///
+/// Thin wrapper over the single-job dispatch in [`crate::scheduler`].
 pub fn run_coverage_parallel_tcp(
     engine: &IlpEngine,
     examples: &Examples,
@@ -311,38 +312,5 @@ pub fn run_coverage_parallel_tcp(
     seed: u64,
     tcp: &TcpConfig,
 ) -> Result<BaselineReport, ClusterError> {
-    let started = Instant::now();
-    let bin = tcp.resolve_worker_bin()?;
-    let (subsets, partition) = partition_examples(examples, workers, seed);
-    let mut worker_settings = engine.settings.clone();
-    worker_settings.eval_threads = threads_per_worker(engine.settings.eval_threads, workers);
-
-    let outcome = run_cluster_tcp(
-        workers,
-        model,
-        tcp.timeout,
-        |rank, addr| spawn_worker(&bin, rank, addr, tcp),
-        |ep| {
-            bootstrap_workers(
-                ep,
-                engine,
-                WorkerRole::Coverage,
-                worker_settings.clone(),
-                &subsets,
-            );
-            baseline_master(ep, engine, examples, &partition, granularity)
-        },
-    )?;
-
-    let (theory, epochs, set_aside) = outcome.result;
-    Ok(BaselineReport {
-        theory,
-        epochs,
-        set_aside,
-        vtime: outcome.master_vtime,
-        total_bytes: outcome.stats.total_bytes(),
-        total_messages: outcome.stats.total_messages(),
-        dropped_sends: outcome.dropped_sends,
-        wall: started.elapsed(),
-    })
+    one_shot_coverage_tcp(engine, examples, workers, granularity, model, seed, tcp)
 }

@@ -63,6 +63,37 @@ impl ParallelReport {
     }
 }
 
+/// Per-job resource accounting, split out of the global run report.
+///
+/// A resident [`Service`](crate::scheduler::Service) multiplexes many jobs
+/// over one standing mesh, so the mesh-lifetime totals (the numbers
+/// [`ParallelReport`] carries) stop being attributable to any single
+/// request. The scheduler instead snapshots the master's clock, traffic
+/// counters, and step counter around each job and reports the deltas here;
+/// worker steps arrive per job in the
+/// [`Msg::JobResult`](crate::protocol::Msg::JobResult) drain.
+///
+/// On a TCP mesh the byte/message deltas are measured at the master's
+/// endpoint, so they cover everything the master sent plus everything it
+/// received; worker-to-worker pipeline traffic of a `RuleSearch` or
+/// learning job is merged into the global totals only at mesh shutdown and
+/// is *not* split per job.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobAccounting {
+    /// Virtual time the job occupied the master, in seconds (clock delta
+    /// from dispatch to the end of the drain).
+    pub vtime: f64,
+    /// Master-side inference steps metered to this job.
+    pub master_steps: u64,
+    /// Per-worker inference steps, indexed by rank − 1 (from the
+    /// `JobResult` replies).
+    pub worker_steps: Vec<u64>,
+    /// Bytes through the master's endpoint while the job ran.
+    pub bytes: u64,
+    /// Messages through the master's endpoint while the job ran.
+    pub messages: u64,
+}
+
 /// Report of one sequential (Figure 1) run.
 #[derive(Clone, Debug)]
 pub struct SequentialReport {

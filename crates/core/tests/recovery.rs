@@ -136,6 +136,64 @@ fn abort_policy_is_untouched_by_the_recovery_seam() {
     assert_eq!(b.rank_losses, Vec::<u32>::new());
 }
 
+/// PR 6 follow-up, pinned: a **second** rank death while the first
+/// recovery is still quiescing (or draining) exceeds the protocol and must
+/// surface as a clean rank-tagged [`ClusterError`] — never a hang and
+/// never a partial theory. Sweeping rank 2's kill point across the window
+/// around rank 1's death lands the second fault before, inside, and after
+/// the quiesce, so every phase of the recovery is exercised: each run
+/// either fully heals (decisions identical to the fault-free run) or fails
+/// with an error that names a rank. The loss budget is 2, so the failures
+/// observed here are protocol-window failures, not budget exhaustion.
+#[test]
+fn second_death_during_quiesce_fails_cleanly_or_heals_completely() {
+    let ds = p2mdie_datasets::trains(12, 5);
+    let cfg2 = |losses: u32| {
+        ParallelConfig::new(3, Width::Limit(10), 5).with_recovery(RecoveryPolicy::Repartition {
+            max_rank_losses: losses,
+        })
+    };
+    let fault_free = run_parallel(&ds.engine, &ds.examples, &cfg2(2)).unwrap();
+    assert!(!fault_free.stalled);
+    let baseline = decisions(&fault_free);
+
+    let (mut healed, mut failed) = (0u32, 0u32);
+    for second_kill in 1..=14u64 {
+        let cfg = cfg2(2)
+            .with_chaos(1, ChaosConfig::new(7).kill_after_sends(4))
+            .with_chaos(2, ChaosConfig::new(13).kill_after_sends(second_kill));
+        match run_parallel(&ds.engine, &ds.examples, &cfg) {
+            Ok(rep) => {
+                healed += 1;
+                assert!(!rep.stalled, "kill@{second_kill}: healed run stalled");
+                assert_eq!(
+                    decisions(&rep),
+                    baseline,
+                    "kill@{second_kill}: a double recovery changed the theory"
+                );
+                // A kill point beyond rank 2's total sends leaves it alive
+                // (single-loss run); otherwise both deaths are recorded.
+                assert!(
+                    !rep.rank_losses.is_empty(),
+                    "kill@{second_kill}: a healed run records its losses"
+                );
+            }
+            Err(err) => {
+                failed += 1;
+                let msg = format!("{err}");
+                assert!(
+                    msg.contains("rank"),
+                    "kill@{second_kill}: error must name a rank, got: {msg}"
+                );
+            }
+        }
+    }
+    // The sweep must actually cross the quiesce window: some kill points
+    // recover twice, some land inside the protocol's blind spot and fail.
+    assert!(healed > 0, "no kill point double-recovered");
+    assert!(failed > 0, "no kill point hit the quiesce/drain window");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -1,0 +1,202 @@
+//! Differential tests for the resident ILP service: whatever mix of jobs
+//! is multiplexed over one standing mesh, and in whatever order they are
+//! submitted, every job's result must be bit-identical to running that job
+//! alone on a fresh one-shot mesh. This is the service's core promise —
+//! per-job pristine KB clones mean no job can observe another's accepted
+//! rules, queue order cannot leak into results, and the resident fast path
+//! (KB shipped once, examples delta-shipped per job) changes *where* work
+//! runs but never *what* it computes.
+
+use p2mdie_core::driver::{run_parallel, ParallelConfig};
+use p2mdie_core::job::{JobOutcome, JobSpec, JobState};
+use p2mdie_core::scheduler::{Service, ServiceConfig};
+use p2mdie_ilp::settings::Width;
+use proptest::collection;
+use proptest::prelude::*;
+
+const WORKERS: usize = 2;
+const WIDTH: Width = Width::Limit(10);
+
+/// What one job in the randomized mix is.
+#[derive(Clone, Debug)]
+enum Plan {
+    /// A full learning run with this partition seed.
+    Learn { seed: u64 },
+    /// A coverage query over the theory a reference run learned.
+    Coverage,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    prop_oneof![
+        (0u64..6).prop_map(|seed| Plan::Learn { seed }),
+        Just(Plan::Coverage),
+    ]
+}
+
+/// The solo (fresh one-shot mesh) result a service-run learn job must
+/// reproduce bit for bit.
+fn solo_learn(ds: &p2mdie_datasets::Dataset, seed: u64) -> p2mdie_core::report::ParallelReport {
+    run_parallel(
+        &ds.engine,
+        &ds.examples,
+        &ParallelConfig::new(WORKERS, WIDTH, seed),
+    )
+    .unwrap()
+}
+
+fn check_against_solo(ds: &p2mdie_datasets::Dataset, plan: &Plan, outcome: &JobOutcome) {
+    assert_eq!(
+        outcome.state,
+        JobState::Done,
+        "{}: job failed: {:?}",
+        outcome.id,
+        outcome.error
+    );
+    match plan {
+        Plan::Learn { seed } => {
+            let solo = solo_learn(ds, *seed);
+            let learned = outcome.learned();
+            assert_eq!(
+                learned.theory, solo.theory,
+                "seed {seed}: multiplexed learn drifted from the solo run"
+            );
+            assert_eq!(learned.epochs, solo.epochs, "seed {seed}: epochs drifted");
+            assert_eq!(
+                learned.set_aside, solo.set_aside,
+                "seed {seed}: set-aside drifted"
+            );
+            assert_eq!(
+                outcome.accounting.worker_steps, solo.worker_steps,
+                "seed {seed}: per-job worker steps drifted from the fresh mesh"
+            );
+        }
+        Plan::Coverage => {
+            let solo = solo_learn(ds, 5);
+            for (rule, counts) in solo.clauses().iter().zip(outcome.coverage()) {
+                let cov = ds.engine.evaluate(rule, &ds.examples, None, None);
+                assert_eq!(
+                    (cov.pos_count(), cov.neg_count()),
+                    *counts,
+                    "coverage query drifted from direct global evaluation"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// N jobs of mixed kinds, submitted in a random interleaving to one
+    /// resident service, are each bit-identical to the same job alone on a
+    /// fresh one-shot mesh.
+    #[test]
+    fn interleaved_jobs_match_solo_one_shot_runs(
+        plans in collection::vec(plan_strategy(), 2..6),
+        submit_order in collection::vec(0usize..64, 6),
+    ) {
+        let ds = p2mdie_datasets::trains(12, 5);
+        let query_rules = solo_learn(&ds, 5).clauses();
+        prop_assume!(!query_rules.is_empty());
+
+        // Randomize the submission interleaving: sort the plans by the
+        // generated keys (stable sort keeps equal keys deterministic).
+        let mut order: Vec<usize> = (0..plans.len()).collect();
+        order.sort_by_key(|&i| submit_order.get(i).copied().unwrap_or(0));
+
+        let service = Service::new(&ds.engine, ServiceConfig::new(WORKERS));
+        let mut handles = Vec::new();
+        for &i in &order {
+            let spec = match &plans[i] {
+                Plan::Learn { seed } => {
+                    JobSpec::learn(ds.examples.clone()).with_seed(*seed).with_width(WIDTH)
+                }
+                Plan::Coverage => {
+                    JobSpec::coverage(ds.examples.clone(), query_rules.clone())
+                }
+            };
+            handles.push((i, service.submit(spec).expect("queue_cap default fits the mix")));
+        }
+        for (i, handle) in handles {
+            let outcome = handle.wait();
+            check_against_solo(&ds, &plans[i], &outcome);
+        }
+        let report = service.shutdown().unwrap();
+        prop_assert_eq!(report.jobs_run as usize, plans.len());
+        prop_assert_eq!(report.dropped_sends, 0);
+    }
+}
+
+/// The same mix twice over one service: later jobs run on the pristine
+/// resident KB, not on a KB contaminated by earlier jobs' accepted rules.
+#[test]
+fn repeated_jobs_on_one_service_stay_identical() {
+    let ds = p2mdie_datasets::trains(12, 5);
+    let service = Service::new(&ds.engine, ServiceConfig::new(WORKERS));
+    let first = service
+        .submit(
+            JobSpec::learn(ds.examples.clone())
+                .with_seed(3)
+                .with_width(WIDTH),
+        )
+        .unwrap()
+        .wait();
+    let second = service
+        .submit(
+            JobSpec::learn(ds.examples.clone())
+                .with_seed(3)
+                .with_width(WIDTH),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(first.state, JobState::Done);
+    assert_eq!(second.state, JobState::Done);
+    assert_eq!(
+        first.learned().theory,
+        second.learned().theory,
+        "an earlier job's MarkCovered asserts leaked into the resident KB"
+    );
+    assert_eq!(
+        first.accounting.worker_steps,
+        second.accounting.worker_steps
+    );
+    service.shutdown().unwrap();
+}
+
+/// A baseline-learn job over the service matches the standalone
+/// coverage-parallel baseline (same partition seed, same granularity).
+#[test]
+fn baseline_job_matches_the_standalone_baseline() {
+    use p2mdie_cluster::CostModel;
+    use p2mdie_core::baselines::{run_coverage_parallel, EvalGranularity};
+
+    let ds = p2mdie_datasets::trains(12, 5);
+    let solo = run_coverage_parallel(
+        &ds.engine,
+        &ds.examples,
+        WORKERS,
+        EvalGranularity::PerLevel,
+        CostModel::beowulf_2005(),
+        5,
+    )
+    .unwrap();
+
+    let service = Service::new(&ds.engine, ServiceConfig::new(WORKERS));
+    let outcome = service
+        .submit(JobSpec::baseline(ds.examples.clone(), EvalGranularity::PerLevel).with_seed(5))
+        .unwrap()
+        .wait();
+    assert_eq!(outcome.state, JobState::Done);
+    let Some(p2mdie_core::job::JobOutput::BaselineLearned {
+        theory,
+        epochs,
+        set_aside,
+    }) = &outcome.output
+    else {
+        panic!("expected a baseline output, got {:?}", outcome.output);
+    };
+    assert_eq!(theory, &solo.theory);
+    assert_eq!(*epochs, solo.epochs);
+    assert_eq!(*set_aside, solo.set_aside);
+    service.shutdown().unwrap();
+}

@@ -160,7 +160,7 @@ fn sweep_dataset(ds: &Dataset, cfg: &SweepConfig) -> DatasetSweep {
                 ship_kb: false,
                 transport: p2mdie_core::driver::TransportKind::InProcess,
                 recovery: p2mdie_core::driver::RecoveryPolicy::Abort,
-                chaos: None,
+                chaos: Vec::new(),
             };
             let rep = run_parallel(&ds.engine, &fold.train, &pcfg)
                 .unwrap_or_else(|e| panic!("parallel run failed: {e}"));

@@ -156,6 +156,14 @@ pub trait Buf {
         b
     }
 
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(raw)
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut raw = [0u8; 4];
@@ -217,6 +225,10 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {

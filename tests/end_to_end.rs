@@ -194,7 +194,7 @@ fn parallel_virtual_time_beats_sequential() {
             ship_kb: false,
             transport: p2mdie::core::TransportKind::InProcess,
             recovery: p2mdie::core::RecoveryPolicy::Abort,
-            chaos: None,
+            chaos: Vec::new(),
         },
     )
     .unwrap();
