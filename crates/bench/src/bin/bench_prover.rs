@@ -562,6 +562,38 @@ fn main() {
         });
     }
 
+    // ---- Flight-recorder sample: one instrumented refinement-coverage
+    // pass with the prover hot counters on, snapshotted into the report's
+    // machine-readable `metrics` block. Sampling is re-disabled before any
+    // timing could be affected (all timed loops above ran with it off, so
+    // the gated speedups measure the zero-overhead path).
+    let metrics_snapshot = {
+        use p2mdie_obs::metrics::hot;
+        hot::reset();
+        hot::enable();
+        let mut masks: Option<Coverage> = None;
+        for level in &level_clauses {
+            let mut first_cov: Option<Coverage> = None;
+            for clause in level {
+                let cov = evaluate_rule_threads(
+                    kb,
+                    proof,
+                    clause,
+                    &d.examples,
+                    masks.as_ref().map(|m| &m.pos),
+                    masks.as_ref().map(|m| &m.neg),
+                    1,
+                );
+                if first_cov.is_none() {
+                    first_cov = Some(cov);
+                }
+            }
+            masks = first_cov;
+        }
+        hot::disable();
+        p2mdie_obs::MetricsSnapshot::from_entries(hot::entries())
+    };
+
     // ---- Report.
     let mut json = String::from("{\n  \"description\": \"Deduction hot path: pre-refactor (seed replica) vs compiled KB (goal-stack prover, monotone coverage pruning, multi-arg join indexes); worker_startup: fresh textual consult vs compiled-KB snapshot load; all_ground_scan: all-ground stripe-compare kernel vs per-row unification on position-0-only retrieval; fact_memory: column-native fact store vs the retired row+column layout (exact byte accounting; shared arena/postings excluded, column-only arena growth past the indexable prefix charged to the new layout); posting_memory: CSR posting store vs the retired per-key hashmap layout (exact byte accounting); warm_job_submit: one coverage job on a standing resident service mesh vs the one-shot build-ship-run-teardown shape. Best-of-N wall times\",\n  \"benches\": {\n");
     for e in entries.iter() {
@@ -604,7 +636,9 @@ fn main() {
             if i + 1 < posting_memory.len() { "," } else { "" }
         ));
     }
-    json.push_str("    }\n  }\n}\n");
+    json.push_str("    }\n  },\n  \"metrics\": ");
+    json.push_str(&metrics_snapshot.to_json(2));
+    json.push_str("\n}\n");
     let memory_failed = report_fact_memory(&fact_memory) | report_posting_memory(&posting_memory);
     std::fs::write("BENCH_prover.json", &json).expect("write BENCH_prover.json");
     println!("\nwrote BENCH_prover.json");

@@ -28,6 +28,7 @@ use crate::stats::TrafficStats;
 use crate::transport::{MeshTransport, Transport, TransportEvent};
 use crate::vtime::{CostModel, VirtualClock};
 use bytes::Bytes;
+use p2mdie_obs::{event, span, Span, Tracer};
 use std::collections::VecDeque;
 
 /// A timestamped message in flight.
@@ -179,6 +180,12 @@ pub struct Endpoint<T: Transport = MeshTransport> {
     stats: TrafficStats,
     compute_steps: u64,
     poisoned: bool,
+    /// Flight-recorder handle for this rank. When no trace session is
+    /// active (the default), every use is one relaxed atomic load.
+    tracer: Tracer,
+    /// The open `recovery` span while [`Endpoint::set_recovery_phase`] is
+    /// on, so recovery traffic shows as a phase in the trace timeline.
+    recovery_span: Option<Span>,
 }
 
 impl<T: Transport> Endpoint<T> {
@@ -211,7 +218,16 @@ impl<T: Transport> Endpoint<T> {
             stats,
             compute_steps: 0,
             poisoned: false,
+            tracer: Tracer::for_rank(rank),
+            recovery_span: None,
         }
+    }
+
+    /// This rank's flight-recorder handle (copyable; free when tracing is
+    /// off).
+    #[inline]
+    pub fn tracer(&self) -> Tracer {
+        self.tracer
     }
 
     /// This rank's id (0 = master).
@@ -292,15 +308,26 @@ impl<T: Transport> Endpoint<T> {
         }
         self.clock.advance(self.model.send_overhead);
         let arrival = self.clock.now() + self.model.transfer_time(payload.len());
+        let bytes = payload.len();
         let env = Envelope {
             from: self.rank,
             arrival,
             poison: false,
             payload,
         };
-        if !self.transport.send(to, env) {
+        let delivered = self.transport.send(to, env);
+        if !delivered {
             self.stats.record_dropped(self.rank, to);
         }
+        event!(
+            self.tracer,
+            "send",
+            self.clock.now(),
+            to = to,
+            bytes = bytes,
+            arrival = arrival,
+            dropped = !delivered,
+        );
     }
 
     /// Non-blocking broadcast to every other rank (implemented, like LAM on
@@ -481,8 +508,16 @@ impl<T: Transport> Endpoint<T> {
     }
 
     /// Toggles the recovery-traffic phase: while on, sends are additionally
-    /// tallied in the recovery totals of [`TrafficStats`].
+    /// tallied in the recovery totals of [`TrafficStats`], and the phase
+    /// shows as one `recovery` span on this rank's trace timeline.
     pub fn set_recovery_phase(&mut self, on: bool) {
+        if on && !self.recovery_phase {
+            self.recovery_span = Some(span!(self.tracer, "recovery", self.clock.now()));
+        } else if !on {
+            if let Some(s) = self.recovery_span.take() {
+                s.end(self.clock.now());
+            }
+        }
         self.recovery_phase = on;
     }
 
@@ -493,6 +528,13 @@ impl<T: Transport> Endpoint<T> {
     fn deliver(&mut self, env: Envelope) -> Bytes {
         self.clock.merge(env.arrival);
         self.clock.advance(self.model.recv_overhead);
+        event!(
+            self.tracer,
+            "recv",
+            self.clock.now(),
+            from = env.from,
+            bytes = env.payload.len(),
+        );
         env.payload
     }
 

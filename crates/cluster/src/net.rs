@@ -98,8 +98,12 @@ pub const MAGIC: u32 = 0x7032_6d64;
 /// v5: the protocol gained the resident-service job-control messages —
 /// `SubmitJob`/`JobAccepted`/`JobResult`/`CancelJob` — and workers became
 /// resident between jobs, so a v4 peer would mis-parse a job submission
-/// and would exit where a v5 worker idles).
-pub const PROTOCOL_VERSION: u16 = 5;
+/// and would exit where a v5 worker idles;
+/// v6: the protocol gained the introspection pair `MetricsQuery` /
+/// `MetricsReport` — the master pulls live per-worker metric snapshots
+/// between jobs, which a v5 idle loop would reject as an unexpected
+/// message).
+pub const PROTOCOL_VERSION: u16 = 6;
 /// Default per-connection handshake bound: once a peer has *connected*, it
 /// gets this long to complete its `Hello` (and a roster-fed worker dial
 /// this long to succeed) before the rendezvous gives up on it. Without a
@@ -1241,6 +1245,15 @@ pub fn run_cluster_tcp<R>(
 ) -> Result<ClusterOutcome<R>, ClusterError> {
     assert!(workers >= 1, "need at least one worker");
     let net_err = |e: NetError| ClusterError::Net { message: e.message };
+    // Env-driven flight recording: with `P2MDIE_TRACE=<base>` set, the
+    // master rank records into an in-process session here, each worker
+    // process streams JSONL to `<base>.rank<k>.jsonl` (the worker binary
+    // honours the same variable), and after the run the pieces Lamport-merge
+    // into `<base>` + `<base>.chrome.json`.
+    let trace_base = std::env::var("P2MDIE_TRACE").ok();
+    if trace_base.is_some() {
+        p2mdie_obs::trace::start(p2mdie_obs::trace::TraceConfig::default());
+    }
 
     let rendezvous = MasterRendezvous::bind("127.0.0.1:0").map_err(net_err)?;
     let addr = rendezvous.local_addr().map_err(net_err)?;
@@ -1333,6 +1346,10 @@ pub fn run_cluster_tcp<R>(
         return Err(ClusterError::WorkerProcess { rank, message });
     }
 
+    crate::runtime::warn_dropped_sends(stats.total_dropped(), ep.now());
+    if let Some(base) = &trace_base {
+        merge_trace_files(base, workers);
+    }
     Ok(ClusterOutcome {
         result,
         master_vtime: ep.now(),
@@ -1342,6 +1359,43 @@ pub fn run_cluster_tcp<R>(
         dropped_sends: stats.total_dropped(),
         stats,
     })
+}
+
+/// The per-rank JSONL file a worker process streams its trace to when
+/// `P2MDIE_TRACE=<base>` is set (`<base>.rank<k>.jsonl`).
+pub fn trace_rank_path(base: &str, rank: usize) -> String {
+    format!("{base}.rank{rank}.jsonl")
+}
+
+/// The Chrome `trace_event` file written next to a merged trace base.
+pub fn trace_chrome_path(base: &str) -> String {
+    format!("{base}.chrome.json")
+}
+
+/// Finishes the master's trace session, loads every worker's per-rank
+/// JSONL file that exists, Lamport-merges the lot on the virtual-time
+/// axis, and writes `<base>` (merged JSONL) plus `<base>.chrome.json`
+/// (Perfetto-loadable). Missing rank files — a worker that died before
+/// flushing — are simply skipped; the merge is best-effort diagnostics,
+/// never a run failure.
+fn merge_trace_files(base: &str, workers: usize) {
+    let mut traces = Vec::new();
+    if let Some((trace, _summary)) = p2mdie_obs::trace::finish() {
+        traces.push(trace);
+    }
+    for rank in 1..=workers {
+        if let Ok(text) = std::fs::read_to_string(trace_rank_path(base, rank)) {
+            if let Ok(t) = p2mdie_obs::Trace::from_jsonl(&text) {
+                traces.push(t);
+            }
+        }
+    }
+    if traces.is_empty() {
+        return;
+    }
+    let merged = p2mdie_obs::Trace::merge(traces);
+    let _ = std::fs::write(base, merged.to_jsonl());
+    let _ = std::fs::write(trace_chrome_path(base), merged.chrome_json());
 }
 
 #[cfg(test)]

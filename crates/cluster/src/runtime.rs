@@ -87,6 +87,30 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Surfaces a non-zero dropped-send count at run end: as a structured
+/// `dropped_sends_warning` event on the master's trace when a session is
+/// active, and on stderr otherwise — either way the loss is never silent.
+/// Shared by the in-process and TCP runtimes.
+pub(crate) fn warn_dropped_sends(dropped: u64, master_vtime: f64) {
+    if dropped == 0 {
+        return;
+    }
+    let tracer = p2mdie_obs::Tracer::for_rank(0);
+    if tracer.on() {
+        p2mdie_obs::event!(
+            tracer,
+            "dropped_sends_warning",
+            master_vtime,
+            dropped = dropped
+        );
+    } else {
+        eprintln!(
+            "warning: cluster run finished with {dropped} dropped send(s) — \
+             messages the transport could not deliver (receiver gone?)"
+        );
+    }
+}
+
 pub(crate) fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     if let Some(p) = e.downcast_ref::<Poisoned>() {
         return format!("poisoned by rank {}", p.origin);
@@ -225,6 +249,7 @@ pub fn run_cluster_with<T: Transport + Send, R: Send>(
         }
     };
 
+    warn_dropped_sends(stats.total_dropped(), master_ep.now());
     Ok(ClusterOutcome {
         result,
         master_vtime: master_ep.now(),

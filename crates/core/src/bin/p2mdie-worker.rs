@@ -21,6 +21,13 @@
 //! `p2mdie_cluster::net::IDLE_DISCONNECT_EXIT`) · 101 worker panic (poison
 //! broadcast first) · 102 poisoned by another rank's failure.
 //!
+//! `P2MDIE_TRACE=<base>` turns the flight recorder on: the process
+//! streams its span/event records to `<base>.rank<N>.jsonl` (the path
+//! convention of `p2mdie_cluster::net::trace_rank_path`) and the
+//! spawning master merges every rank file into one timeline at the end
+//! of the run. Worker processes inherit the variable from the spawner,
+//! so setting it on the driver traces the whole mesh.
+//!
 //! The `P2MDIE_TEST_FAIL` environment variable injects post-handshake
 //! failures so the failure-propagation and recovery tests can exercise a
 //! worker process misbehaving without a special binary. It holds a
@@ -45,7 +52,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 fn main() {
-    std::process::exit(run());
+    let code = run();
+    // Flush the flight recorder (if `run` started one) before the process
+    // dies; a no-op when no trace session is active.
+    p2mdie_obs::trace::finish();
+    std::process::exit(code);
 }
 
 fn usage() -> i32 {
@@ -88,6 +99,14 @@ fn run() -> i32 {
     if rank == 0 {
         eprintln!("rank 0 is the master; worker ranks start at 1");
         return usage();
+    }
+
+    // Flight recorder: stream this rank's span/event records to the
+    // per-rank JSONL file the master's end-of-run merge looks for.
+    if let Ok(base) = std::env::var("P2MDIE_TRACE") {
+        p2mdie_obs::trace::start(p2mdie_obs::trace::TraceConfig {
+            jsonl_path: Some(p2mdie_cluster::net::trace_rank_path(&base, rank).into()),
+        });
     }
 
     let (transport, model) = match worker_connect(&connect, rank, timeout) {

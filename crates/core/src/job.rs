@@ -101,6 +101,10 @@ impl JobKind {
 /// Number of distinct scheduling classes (see [`JobKind::class`]).
 pub(crate) const JOB_CLASSES: usize = 3;
 
+/// Metric-label names of the scheduling classes, indexed by
+/// [`JobKind::class`].
+pub(crate) const CLASS_NAMES: [&str; JOB_CLASSES] = ["coverage", "rule-search", "learn"];
+
 /// A complete description of one unit of cluster work.
 ///
 /// Every job carries its *own* examples, settings, partition seed, and
@@ -218,6 +222,18 @@ impl JobState {
     /// True for `Done` and `Failed`.
     pub fn is_terminal(self) -> bool {
         matches!(self, JobState::Done | JobState::Failed)
+    }
+
+    /// Short lowercase tag for trace events and logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Dispatching => "dispatching",
+            JobState::Running => "running",
+            JobState::Draining => "draining",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
     }
 }
 

@@ -51,6 +51,7 @@ use p2mdie_cluster::transport::Transport;
 use p2mdie_ilp::settings::Settings;
 use p2mdie_logic::clause::Clause;
 use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_obs::span;
 
 /// A rule accepted into the global theory.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -131,6 +132,7 @@ pub fn run_master<T: Transport>(
     while remaining > 0 {
         out.epochs += 1;
         let epoch = out.epochs;
+        let mut epoch_span = Some(span!(ep.tracer(), "epoch", ep.now(), epoch = epoch));
         let mut trace = EpochTrace {
             epoch,
             pipelines: vec![Vec::new(); p],
@@ -171,6 +173,9 @@ pub fn run_master<T: Transport>(
             // drifted (should be impossible). Bail out rather than spin.
             out.stalled = true;
             out.traces.push(trace);
+            if let Some(s) = epoch_span.take() {
+                s.end(ep.now());
+            }
             break;
         }
 
@@ -224,10 +229,22 @@ pub fn run_master<T: Transport>(
             }
             if retired == 0 {
                 out.stalled = true;
+                if let Some(s) = epoch_span.take() {
+                    s.end(ep.now());
+                }
                 break;
             }
             remaining = remaining.saturating_sub(retired as usize);
             out.set_aside += retired;
+        }
+        if let Some(s) = epoch_span.take() {
+            s.end_with(
+                ep.now(),
+                &[
+                    ("accepted", accepted_this_epoch.into()),
+                    ("remaining", (remaining as u64).into()),
+                ],
+            );
         }
     }
 
@@ -261,6 +278,7 @@ pub fn run_master_repartition<T: Transport>(
     while live.any() {
         out.epochs += 1;
         let epoch = out.epochs;
+        let mut epoch_span = Some(span!(ep.tracer(), "epoch", ep.now(), epoch = epoch));
         let mut trace = EpochTrace {
             epoch,
             pipelines: vec![Vec::new(); p],
@@ -367,9 +385,15 @@ pub fn run_master_repartition<T: Transport>(
             }
             if retired == 0 {
                 out.stalled = true;
+                if let Some(s) = epoch_span.take() {
+                    s.end(ep.now());
+                }
                 break;
             }
             out.set_aside += retired;
+        }
+        if let Some(s) = epoch_span.take() {
+            s.end_with(ep.now(), &[("accepted", accepted_this_epoch.into())]);
         }
     }
 
@@ -453,6 +477,7 @@ pub fn run_master_recovering<T: Transport>(
     'run: while live.any() {
         out.epochs += 1;
         let epoch = out.epochs;
+        let mut epoch_span = Some(span!(ep.tracer(), "epoch", ep.now(), epoch = epoch));
         let mut trace = EpochTrace {
             epoch,
             pipelines: vec![Vec::new(); p],
@@ -560,6 +585,9 @@ pub fn run_master_recovering<T: Transport>(
                 }
                 ep.set_recovery_phase(false);
                 out.traces.push(trace);
+                if let Some(s) = epoch_span.take() {
+                    s.end_with(ep.now(), &[("aborted_by_death_of", (dead as u64).into())]);
+                }
                 continue 'run;
             }};
         }
@@ -601,6 +629,9 @@ pub fn run_master_recovering<T: Transport>(
                 resync_after_deal = false;
                 if !live.any() {
                     out.traces.push(trace);
+                    if let Some(s) = epoch_span.take() {
+                        s.end(ep.now());
+                    }
                     break 'run;
                 }
             }
@@ -637,6 +668,9 @@ pub fn run_master_recovering<T: Transport>(
         if statically_partitioned && !any_seed {
             out.stalled = true;
             out.traces.push(trace);
+            if let Some(s) = epoch_span.take() {
+                s.end(ep.now());
+            }
             break;
         }
 
@@ -726,11 +760,17 @@ pub fn run_master_recovering<T: Transport>(
             if retired == 0 {
                 out.stalled = true;
                 out.traces.push(trace);
+                if let Some(s) = epoch_span.take() {
+                    s.end(ep.now());
+                }
                 break;
             }
             out.set_aside += retired as u32;
         }
         out.traces.push(trace);
+        if let Some(s) = epoch_span.take() {
+            s.end_with(ep.now(), &[("accepted", accepted_this_epoch.into())]);
+        }
     }
 
     for &k in &alive {

@@ -5,7 +5,10 @@
 //! `Evaluate` / `EvalResult` / `MarkCovered` / `RetireSeed` / `SeedRetired` /
 //! `Stop`, plus the protocol-v5 job-control frames ([`Msg::SubmitJob`] /
 //! [`Msg::JobAccepted`] / [`Msg::JobResult`] / [`Msg::CancelJob`]) that let
-//! a *resident* mesh run many jobs back to back (see [`crate::scheduler`]).
+//! a *resident* mesh run many jobs back to back (see [`crate::scheduler`]),
+//! and the protocol-v6 introspection pair ([`Msg::MetricsQuery`] /
+//! [`Msg::MetricsReport`]) that lets the master pull live per-worker metric
+//! snapshots between jobs.
 //! Every payload is encoded through the byte-accurate
 //! [`Wire`] codec, so the traffic statistics reproduce Table 4 exactly as
 //! "bytes that would have crossed the network".
@@ -42,6 +45,7 @@ use p2mdie_logic::clause::{Clause, Literal};
 use p2mdie_logic::prover::ProofLimits;
 use p2mdie_logic::snapshot::KbSnapshot;
 use p2mdie_logic::symbol::SymbolId;
+use p2mdie_obs::{MetricEntry, MetricValue, MetricsSnapshot};
 
 // ---------------------------------------------------------------------------
 // Wire helpers for the ILP-crate payloads (foreign trait + foreign types,
@@ -237,6 +241,61 @@ fn decode_scored(buf: &mut Bytes) -> Result<ScoredRule, DecodeError> {
         neg,
         score,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Metric snapshots (protocol v6 introspection). Free functions because both
+// `Wire` and `MetricsSnapshot` are foreign here.
+// ---------------------------------------------------------------------------
+
+fn encode_metrics(snap: &MetricsSnapshot, buf: &mut BytesMut) {
+    (snap.entries.len() as u32).encode(buf);
+    for e in &snap.entries {
+        e.name.encode(buf);
+        match &e.value {
+            MetricValue::Counter(n) => {
+                buf.put_u8(0);
+                n.encode(buf);
+            }
+            MetricValue::Gauge(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                buf.put_u8(2);
+                count.encode(buf);
+                sum.encode(buf);
+                buckets.encode(buf);
+            }
+        }
+    }
+}
+
+fn decode_metrics(buf: &mut Bytes) -> Result<MetricsSnapshot, DecodeError> {
+    let n = u32::decode(buf)? as usize;
+    if n > buf.len() {
+        return Err(DecodeError::new("metrics entry count"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = String::decode(buf)?;
+        let value = match u8::decode(buf)? {
+            0 => MetricValue::Counter(u64::decode(buf)?),
+            1 => MetricValue::Gauge(f64::decode(buf)?),
+            2 => MetricValue::Histogram {
+                count: u64::decode(buf)?,
+                sum: u64::decode(buf)?,
+                buckets: Vec::<(u8, u64)>::decode(buf)?,
+            },
+            _ => return Err(DecodeError::new("metric value tag")),
+        };
+        entries.push(MetricEntry { name, value });
+    }
+    Ok(MetricsSnapshot { entries })
 }
 
 // ---------------------------------------------------------------------------
@@ -615,6 +674,21 @@ pub enum Msg {
         /// The cancelled job's id.
         id: u64,
     },
+    /// Master → *idle* resident worker (protocol v6): report your live
+    /// metric snapshot. Only sent between jobs (the resident idle loop is
+    /// the only place a worker is guaranteed to be reading its master
+    /// link), so introspection never perturbs a running job's traffic
+    /// accounting.
+    MetricsQuery,
+    /// Resident worker → master: the rank's current
+    /// [`p2mdie_obs::MetricsSnapshot`] — endpoint-level vtime/steps/byte
+    /// counters plus everything in the rank's registry. Always answered,
+    /// even with metrics sampling off (the endpoint-derived entries are
+    /// maintained by the protocol itself).
+    MetricsReport {
+        /// The reporting rank's snapshot.
+        snapshot: MetricsSnapshot,
+    },
 }
 
 impl Wire for Msg {
@@ -723,6 +797,11 @@ impl Wire for Msg {
                 buf.put_u8(24);
                 id.encode(buf);
             }
+            Msg::MetricsQuery => buf.put_u8(25),
+            Msg::MetricsReport { snapshot } => {
+                buf.put_u8(26);
+                encode_metrics(snapshot, buf);
+            }
         }
     }
 
@@ -796,6 +875,10 @@ impl Wire for Msg {
             },
             24 => Msg::CancelJob {
                 id: u64::decode(buf)?,
+            },
+            25 => Msg::MetricsQuery,
+            26 => Msg::MetricsReport {
+                snapshot: decode_metrics(buf)?,
             },
             _ => return Err(DecodeError::new("message tag")),
         })
@@ -985,6 +1068,32 @@ mod tests {
             steps: u64::MAX / 3,
         });
         roundtrip(Msg::CancelJob { id: u64::MAX });
+        roundtrip(Msg::MetricsQuery);
+        roundtrip(Msg::MetricsReport {
+            snapshot: MetricsSnapshot {
+                entries: vec![
+                    MetricEntry {
+                        name: "worker_steps_total".to_owned(),
+                        value: MetricValue::Counter(12345),
+                    },
+                    MetricEntry {
+                        name: "worker_vtime_seconds".to_owned(),
+                        value: MetricValue::Gauge(7.25),
+                    },
+                    MetricEntry {
+                        name: "prover_batch_occupancy".to_owned(),
+                        value: MetricValue::Histogram {
+                            count: 4,
+                            sum: 11,
+                            buckets: vec![(0, 1), (3, 3)],
+                        },
+                    },
+                ],
+            },
+        });
+        roundtrip(Msg::MetricsReport {
+            snapshot: MetricsSnapshot::default(),
+        });
         roundtrip(Msg::Stop);
     }
 

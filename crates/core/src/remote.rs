@@ -153,6 +153,10 @@ pub(crate) fn spawn_worker(
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::piped());
+    // The child inherits this process's environment, so a `P2MDIE_TRACE`
+    // set on the driver reaches every worker process and each rank
+    // streams its own `<base>.rank<N>.jsonl` (merged by the master at the
+    // end of the run). `worker_env` entries layer on top.
     for (k, v) in &tcp.worker_env {
         cmd.env(k, v);
     }

@@ -52,6 +52,19 @@
 //! dispatch), and broadcasts [`Msg::CancelJob`] so the resident workers
 //! observe the frame; a job already on the mesh runs to completion.
 //!
+//! # Introspection
+//!
+//! [`Service::metrics`] is the flight-recorder readout: the scheduler
+//! broadcasts the protocol-v6 [`Msg::MetricsQuery`] between jobs (when
+//! every worker is idle) and each rank answers [`Msg::MetricsReport`]
+//! with a [`MetricsSnapshot`] built from its endpoint state, its
+//! per-rank metrics registry, and the prover hot counters. The same dump
+//! is taken once more right before shutdown and returned in
+//! [`ServiceReport::worker_metrics`]. Job lifecycle transitions emit
+//! `job_state` trace events, and the scheduler maintains queue-depth /
+//! class-fairness gauges plus a backpressure counter in rank 0's
+//! registry.
+//!
 //! # Ephemeral dispatch
 //!
 //! The pre-service entry points — [`crate::driver::run_parallel`],
@@ -69,7 +82,7 @@ use crate::baselines::{
 };
 use crate::driver::{threads_per_worker, ParallelConfig, RecoveryPolicy};
 use crate::job::{
-    JobId, JobKind, JobOutcome, JobOutput, JobSpec, JobState, Lifecycle, JOB_CLASSES,
+    JobId, JobKind, JobOutcome, JobOutput, JobSpec, JobState, Lifecycle, CLASS_NAMES, JOB_CLASSES,
 };
 use crate::master::{
     evaluate_bag, run_master, run_master_recovering, run_master_repartition, ship_kb,
@@ -91,6 +104,7 @@ use p2mdie_ilp::examples::Examples;
 use p2mdie_ilp::settings::Settings;
 use p2mdie_logic::clause::{Clause, Literal};
 use p2mdie_logic::kb::KnowledgeBase;
+use p2mdie_obs::{event, metrics, MetricEntry, MetricValue, MetricsSnapshot};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -177,10 +191,19 @@ pub struct ServiceReport {
     pub total_messages: u64,
     /// Sends the transport could not deliver (0 on a clean lifetime).
     pub dropped_sends: u64,
+    /// Final per-worker metrics snapshots (index 0 is rank 1), collected
+    /// over the wire with [`Msg::MetricsQuery`] just before the mesh
+    /// stopped — the same dump [`Service::metrics`] returns mid-lifetime.
+    pub worker_metrics: Vec<MetricsSnapshot>,
 }
 
 enum Request {
     Submit(QueuedJob),
+    /// Introspection: broadcast [`Msg::MetricsQuery`] to the (idle)
+    /// workers, reply with their snapshots. Served between jobs, never
+    /// mid-dispatch, so the query frames cannot interleave with a job's
+    /// own protocol.
+    Metrics(mpsc::Sender<Vec<MetricsSnapshot>>),
     Shutdown,
 }
 
@@ -264,14 +287,16 @@ impl Service {
                 None => serve_in_process(&engine, &cfg, rx, &thread_cancelled)?,
                 Some(tcp) => serve_tcp(&engine, &cfg, &tcp, rx, &thread_cancelled)?,
             };
+            let (jobs_run, worker_metrics) = outcome.result;
             Ok(ServiceReport {
-                jobs_run: outcome.result,
+                jobs_run,
                 master_vtime: outcome.master_vtime,
                 worker_vtimes: outcome.worker_vtimes,
                 worker_steps: outcome.worker_steps,
                 total_bytes: outcome.stats.total_bytes(),
                 total_messages: outcome.stats.total_messages(),
                 dropped_sends: outcome.dropped_sends,
+                worker_metrics,
             })
         });
         Service {
@@ -296,9 +321,29 @@ impl Service {
                 rx,
                 cancelled: Arc::clone(&self.cancelled),
             }),
-            Err(mpsc::TrySendError::Full(_)) => Err(SubmitError::Backpressure),
+            Err(mpsc::TrySendError::Full(_)) => {
+                metrics::rank_registry(0)
+                    .counter("scheduler_backpressure_total")
+                    .inc();
+                Err(SubmitError::Backpressure)
+            }
             Err(mpsc::TrySendError::Disconnected(_)) => Err(SubmitError::ServiceDown),
         }
+    }
+
+    /// Introspection: per-worker metrics snapshots (index 0 is rank 1),
+    /// collected over the wire with the protocol-v6
+    /// [`Msg::MetricsQuery`] / [`Msg::MetricsReport`] pair. The request
+    /// queues behind already-submitted jobs (the scheduler answers it
+    /// between dispatches, when every worker is idle), so the snapshots
+    /// are consistent: no job is mid-flight while they are taken. Workers
+    /// always answer — the pair works with sampling and tracing off.
+    pub fn metrics(&self) -> Result<Vec<MetricsSnapshot>, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Request::Metrics(reply))
+            .map_err(|_| SubmitError::ServiceDown)?;
+        rx.recv().map_err(|_| SubmitError::ServiceDown)
     }
 
     /// Drains the queue, stops the mesh (`Msg::Stop` at idle), and returns
@@ -329,7 +374,7 @@ fn serve_in_process(
     cfg: &ServiceConfig,
     rx: mpsc::Receiver<Request>,
     cancelled: &Mutex<HashSet<u64>>,
-) -> Result<ClusterOutcome<u32>, ClusterError> {
+) -> Result<ClusterOutcome<(u32, Vec<MetricsSnapshot>)>, ClusterError> {
     let bases: Vec<Mutex<Option<KnowledgeBase>>> = (0..cfg.workers)
         .map(|_| {
             Mutex::new(Some(if cfg.ship_kb {
@@ -366,7 +411,7 @@ fn serve_tcp(
     tcp: &TcpConfig,
     rx: mpsc::Receiver<Request>,
     cancelled: &Mutex<HashSet<u64>>,
-) -> Result<ClusterOutcome<u32>, ClusterError> {
+) -> Result<ClusterOutcome<(u32, Vec<MetricsSnapshot>)>, ClusterError> {
     let bin = tcp.resolve_worker_bin()?;
     run_cluster_tcp(
         cfg.workers,
@@ -381,16 +426,18 @@ fn serve_tcp(
 /// The master side of the resident service: refill the class queues from
 /// the submission channel, round-robin across classes, dispatch one job at
 /// a time, stop the mesh when told to shut down and the queues are dry.
+/// Returns the dispatch count and the shutdown metrics dump.
 fn scheduler_master<T: Transport>(
     ep: &mut Endpoint<T>,
     engine: &IlpEngine,
     rx: &mpsc::Receiver<Request>,
     cancelled: &Mutex<HashSet<u64>>,
     ship: bool,
-) -> u32 {
+) -> (u32, Vec<MetricsSnapshot>) {
     if ship {
         ship_kb(ep, &engine.kb);
     }
+    let registry = metrics::rank_registry(ep.rank());
     let mut queues: Vec<VecDeque<QueuedJob>> = (0..JOB_CLASSES).map(|_| VecDeque::new()).collect();
     let mut next_class = 0usize;
     let mut jobs_run = 0u32;
@@ -422,10 +469,45 @@ fn scheduler_master<T: Transport>(
                 }
             };
             match req {
-                Request::Submit(job) => queues[job.spec.kind.class()].push_back(job),
+                Request::Submit(job) => {
+                    event!(
+                        ep.tracer(),
+                        "job_state",
+                        ep.now(),
+                        job = job.id.0,
+                        state = "queued",
+                    );
+                    registry
+                        .counter(&format!(
+                            "scheduler_jobs_submitted_total{{class=\"{}\"}}",
+                            CLASS_NAMES[job.spec.kind.class()]
+                        ))
+                        .inc();
+                    queues[job.spec.kind.class()].push_back(job);
+                }
+                Request::Metrics(reply) => {
+                    // Served here, between jobs, so every worker is parked
+                    // in its idle loop and the query cannot interleave
+                    // with a job's own frames.
+                    let _ = reply.send(collect_worker_metrics(ep));
+                }
                 Request::Shutdown => open = false,
             }
         }
+
+        // Class-fairness introspection: depth per class plus the total,
+        // sampled every time the scheduler picks its next job.
+        for (c, q) in queues.iter().enumerate() {
+            registry
+                .gauge(&format!(
+                    "scheduler_queue_depth{{class=\"{}\"}}",
+                    CLASS_NAMES[c]
+                ))
+                .set(q.len() as f64);
+        }
+        registry
+            .gauge("scheduler_queue_depth")
+            .set(queues.iter().map(VecDeque::len).sum::<usize>() as f64);
 
         // FIFO within a class, round-robin across non-empty classes.
         let class = (0..JOB_CLASSES)
@@ -443,8 +525,16 @@ fn scheduler_master<T: Transport>(
             // Nothing was dispatched; tell the (idle) workers anyway so the
             // advisory frame is exercised end to end.
             ep.broadcast(&Msg::CancelJob { id: job.id.0 });
+            registry.counter("scheduler_jobs_cancelled_total").inc();
             let mut lifecycle = Lifecycle::new(job.id);
             lifecycle.advance(JobState::Failed);
+            event!(
+                ep.tracer(),
+                "job_state",
+                ep.now(),
+                job = job.id.0,
+                state = "failed",
+            );
             JobOutcome {
                 id: job.id,
                 state: lifecycle.state,
@@ -454,13 +544,76 @@ fn scheduler_master<T: Transport>(
             }
         } else {
             jobs_run += 1;
+            registry
+                .counter(&format!(
+                    "scheduler_jobs_dispatched_total{{class=\"{}\"}}",
+                    CLASS_NAMES[class]
+                ))
+                .inc();
             dispatch_job(ep, engine, job.id, &job.spec)
         };
         // A dropped handle is fine; the job still ran to completion.
         let _ = job.reply.send(outcome);
     }
+    // The shutdown metrics dump: one last introspection round while the
+    // mesh is still up, returned through [`ServiceReport`].
+    let dump = collect_worker_metrics(ep);
     ep.broadcast(&Msg::Stop);
-    jobs_run
+    (jobs_run, dump)
+}
+
+/// One introspection round: broadcast [`Msg::MetricsQuery`] to every
+/// (idle) worker and gather the [`Msg::MetricsReport`]s in rank order.
+fn collect_worker_metrics<T: Transport>(ep: &mut Endpoint<T>) -> Vec<MetricsSnapshot> {
+    let p = ep.workers();
+    ep.broadcast(&Msg::MetricsQuery);
+    (1..=p)
+        .map(|k| {
+            let msg = Msg::recv(ep, k, "a MetricsReport");
+            let Msg::MetricsReport { snapshot } = msg else {
+                panic!("scheduler: expected MetricsReport from rank {k}, got {msg:?}");
+            };
+            snapshot
+        })
+        .collect()
+}
+
+/// A worker's answer to [`Msg::MetricsQuery`]: endpoint-level facts that
+/// are always valid (virtual clock, inference steps, this rank's send
+/// totals), this rank's [`metrics::rank_registry`], and the process-wide
+/// prover hot counters. The endpoint facts make the snapshot consistent
+/// with [`crate::report::JobAccounting`] deltas whether or not sampling
+/// is on. In-process meshes share one address space, so the prover hot
+/// counters repeat across ranks there; over TCP they are genuinely
+/// per-worker.
+fn worker_metrics_snapshot<T: Transport>(ep: &Endpoint<T>) -> MetricsSnapshot {
+    let me = ep.rank();
+    let (bytes, msgs) = ep
+        .stats()
+        .send_row(me)
+        .iter()
+        .fold((0u64, 0u64), |(b, m), (rb, rm, _)| (b + rb, m + rm));
+    let mut entries = vec![
+        MetricEntry {
+            name: "worker_vtime_seconds".to_owned(),
+            value: MetricValue::Gauge(ep.now()),
+        },
+        MetricEntry {
+            name: "worker_inference_steps_total".to_owned(),
+            value: MetricValue::Counter(ep.compute_steps()),
+        },
+        MetricEntry {
+            name: "worker_sent_bytes_total".to_owned(),
+            value: MetricValue::Counter(bytes),
+        },
+        MetricEntry {
+            name: "worker_sent_messages_total".to_owned(),
+            value: MetricValue::Counter(msgs),
+        },
+    ];
+    entries.extend(metrics::rank_registry(me).snapshot().entries);
+    entries.extend(metrics::hot::entries());
+    MetricsSnapshot::from_entries(entries)
 }
 
 /// Runs one job over the resident mesh: per-rank [`Msg::SubmitJob`],
@@ -481,6 +634,13 @@ fn dispatch_job<T: Transport>(
     let steps0 = ep.compute_steps();
 
     job.advance(JobState::Dispatching);
+    event!(
+        ep.tracer(),
+        "job_state",
+        t0,
+        job = id.0,
+        state = "dispatching",
+    );
     let settings = spec
         .settings
         .clone()
@@ -531,6 +691,13 @@ fn dispatch_job<T: Transport>(
     }
 
     job.advance(JobState::Running);
+    event!(
+        ep.tracer(),
+        "job_state",
+        ep.now(),
+        job = id.0,
+        state = "running",
+    );
     let output = match &spec.kind {
         JobKind::Coverage { rules } => {
             ep.broadcast(&Msg::LoadExamples);
@@ -572,6 +739,13 @@ fn dispatch_job<T: Transport>(
     };
 
     job.advance(JobState::Draining);
+    event!(
+        ep.tracer(),
+        "job_state",
+        ep.now(),
+        job = id.0,
+        state = "draining",
+    );
     let mut worker_steps = vec![0u64; p];
     for k in 1..=p {
         let msg = Msg::recv(ep, k, "a JobResult");
@@ -587,6 +761,13 @@ fn dispatch_job<T: Transport>(
     }
 
     job.advance(JobState::Done);
+    event!(
+        ep.tracer(),
+        "job_state",
+        ep.now(),
+        job = id.0,
+        state = "done",
+    );
     JobOutcome {
         id,
         state: job.state,
@@ -683,6 +864,13 @@ pub(crate) fn run_resident_worker<T: Transport>(
             } => run_submitted_job(ep, base, id, *config, pos, neg),
             // Advisory: the cancelled job never reached this rank.
             Msg::CancelJob { .. } => {}
+            // Introspection: always answered, even with sampling and
+            // tracing off — the endpoint facts in the snapshot are
+            // maintained unconditionally.
+            Msg::MetricsQuery => {
+                let snapshot = worker_metrics_snapshot(ep);
+                ep.send(0, &Msg::MetricsReport { snapshot });
+            }
             Msg::Stop => return WorkerExit::Finished,
             other => panic!("worker {me}: unexpected idle-loop message {other:?}"),
         }
@@ -734,6 +922,32 @@ pub(crate) fn run_submitted_job<T: Transport>(
 
 /// The id every ephemeral (single-job) dispatch uses.
 const EPHEMERAL_JOB: JobId = JobId(1);
+
+/// End-of-run warning for a learning run that survived rank deaths: a
+/// structured trace event when tracing is on, a stderr line otherwise, so
+/// a recovered-but-degraded run is never silent (the counterpart of
+/// the cluster layer's dropped-sends warning).
+fn warn_rank_losses(losses: &[u32], master_vtime: f64) {
+    if losses.is_empty() {
+        return;
+    }
+    let tracer = p2mdie_obs::Tracer::for_rank(0);
+    if tracer.on() {
+        event!(
+            tracer,
+            "rank_losses_warning",
+            master_vtime,
+            losses = losses.len() as u64,
+        );
+    } else {
+        eprintln!(
+            "warning: run finished after {} rank loss(es) ({:?}) — \
+             the theory was recovered by repartition-and-resume",
+            losses.len(),
+            losses
+        );
+    }
+}
 
 /// [`crate::driver::run_parallel`]'s in-process engine room: build a fresh
 /// mesh, walk one learning job through the lifecycle using the legacy wire
@@ -874,6 +1088,7 @@ pub(crate) fn one_shot_parallel(
         recovery_bytes: outcome.stats.recovery_bytes(),
         recovery_messages: outcome.stats.recovery_messages(),
     };
+    warn_rank_losses(&report.rank_losses, report.vtime);
     job.advance(JobState::Done);
     Ok(report)
 }
@@ -1037,6 +1252,7 @@ pub(crate) fn one_shot_parallel_tcp(
         recovery_bytes: outcome.stats.recovery_bytes(),
         recovery_messages: outcome.stats.recovery_messages(),
     };
+    warn_rank_losses(&report.rank_losses, report.vtime);
     job.advance(JobState::Done);
     Ok(report)
 }

@@ -36,6 +36,7 @@ use p2mdie_ilp::bitset::Bitset;
 use p2mdie_ilp::engine::IlpEngine;
 use p2mdie_ilp::examples::Examples;
 use p2mdie_ilp::settings::Width;
+use p2mdie_obs::span;
 
 /// Everything a worker owns locally: its engine (background knowledge,
 /// modes, settings), its example subset, and the pipeline width.
@@ -115,6 +116,7 @@ fn handle_abort<T: Transport>(
     dead: usize,
     prev_flushed: bool,
 ) {
+    let quiesce = span!(ep.tracer(), "quiesce", ep.now(), dead = dead);
     let (old_next, old_prev) = ring_neighbors(me, alive);
     alive.retain(|&r| r != dead);
     ep.set_recovery_phase(true);
@@ -134,6 +136,7 @@ fn handle_abort<T: Transport>(
     ep.set_recovery_phase(false);
     ep.clear_pending(dead);
     ep.mark_down(dead);
+    quiesce.end(ep.now());
 }
 
 /// Runs the worker protocol until `Stop`. Rank 0 is the master; this must
@@ -303,6 +306,7 @@ fn run_epoch_pipelines<T: Transport>(
     // example"): picking the next live example after the previous seed
     // keeps one uncoverable example from monopolizing this pipeline.
     let start = ep.now();
+    let stage_span = span!(ep.tracer(), "stage", start, origin = me, step = 1u32);
     *current_seed = next_live_seed(live, *current_seed);
     let (bottom, rules) = match *current_seed {
         None => (None, Vec::new()),
@@ -320,6 +324,7 @@ fn run_epoch_pipelines<T: Transport>(
             }
         }
     };
+    stage_span.end_with(ep.now(), &[("rules_out", (rules.len() as u64).into())]);
     let trace = StageTrace {
         worker: me,
         step: 1,
@@ -357,6 +362,13 @@ fn run_epoch_pipelines<T: Transport>(
         };
         let start = ep.now();
         let step = token.step;
+        let stage_span = span!(
+            ep.tracer(),
+            "stage",
+            start,
+            origin = token.origin,
+            step = step,
+        );
         let rules_in = token.rules.len() as u32;
         let (bottom, rules) = match token.bottom {
             None => (None, Vec::new()),
@@ -373,6 +385,7 @@ fn run_epoch_pipelines<T: Transport>(
                 (Some(bottom), stage.rules)
             }
         };
+        stage_span.end_with(ep.now(), &[("rules_out", (rules.len() as u64).into())]);
         let trace = StageTrace {
             worker: me,
             step,

@@ -200,3 +200,58 @@ fn baseline_job_matches_the_standalone_baseline() {
     assert_eq!(*set_aside, solo.set_aside);
     service.shutdown().unwrap();
 }
+
+/// Live introspection over the wire (protocol v6): `Service::metrics()`
+/// pulls one snapshot per resident worker while the mesh is idle, and the
+/// per-worker inference-step counters must move by exactly the deltas the
+/// job's own accounting reports — the two views are one measurement.
+#[test]
+fn service_metrics_snapshots_agree_with_job_accounting() {
+    use p2mdie_obs::{MetricValue, MetricsSnapshot};
+
+    fn steps(snaps: &[MetricsSnapshot]) -> Vec<u64> {
+        snaps
+            .iter()
+            .map(|s| {
+                s.entries
+                    .iter()
+                    .find_map(|e| match (e.name.as_str(), &e.value) {
+                        ("worker_inference_steps_total", MetricValue::Counter(n)) => Some(*n),
+                        _ => None,
+                    })
+                    .expect("every worker snapshot carries worker_inference_steps_total")
+            })
+            .collect()
+    }
+
+    let ds = p2mdie_datasets::trains(12, 5);
+    let service = Service::new(&ds.engine, ServiceConfig::new(WORKERS));
+
+    let idle = service.metrics().unwrap();
+    assert_eq!(idle.len(), WORKERS, "one snapshot per resident worker");
+    let before = steps(&idle);
+
+    let outcome = service
+        .submit(
+            JobSpec::learn(ds.examples.clone())
+                .with_seed(3)
+                .with_width(WIDTH),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(outcome.state, JobState::Done);
+
+    let after = steps(&service.metrics().unwrap());
+    let deltas: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+    assert_eq!(
+        deltas, outcome.accounting.worker_steps,
+        "wire snapshots drifted from the job's accounting deltas"
+    );
+
+    let report = service.shutdown().unwrap();
+    assert_eq!(
+        report.worker_metrics.len(),
+        WORKERS,
+        "shutdown must dump a final snapshot per worker"
+    );
+}

@@ -100,6 +100,7 @@ use crate::clause::{PredId, PredKey};
 use crate::fxhash::FxHashMap;
 use crate::symbol::{SymbolId, SymbolTable};
 use crate::term::Term;
+use p2mdie_obs::metrics::hot;
 use std::borrow::Cow;
 
 /// How many leading argument positions get a posting-list index by default.
@@ -883,10 +884,15 @@ impl KnowledgeBase {
             let posting = entry.postings[0]
                 .as_ref()
                 .expect("invariant: position-0 posting list is never pruned");
-            Some((
-                posting.hits_with(probes[0].tid(), scratch),
-                entry.unindexed[0].as_slice(),
-            ))
+            let hits = posting.hits_with(probes[0].tid(), scratch);
+            // Reference-probe selectivity (position 0 only: that probe
+            // defines R). One relaxed load when sampling is off.
+            if hits.is_empty() {
+                hot::posting_probe_miss();
+            } else {
+                hot::posting_probe_hit();
+            }
+            Some((hits, entry.unindexed[0].as_slice()))
         } else {
             None
         };
@@ -1042,6 +1048,10 @@ impl KnowledgeBase {
                 .map(|p| self.fact_plan(id, p, scratch))
                 .collect();
         }
+        // How full the shared-scan batches actually run — the occupancy
+        // histogram that says whether callers batch enough goals to pay
+        // for the grouping.
+        hot::batch_occupancy(goal_probes.len());
 
         // Group goal indices by their position-0 probe key (`None`: first
         // argument free, or no indexed position at all — R is the whole
@@ -1075,7 +1085,15 @@ impl KnowledgeBase {
                 let posting = entry.postings[0]
                     .as_ref()
                     .expect("invariant: position-0 posting list is never pruned");
-                (posting.sealed_run(tid), entry.unindexed[0].as_slice())
+                let run = posting.sealed_run(tid);
+                // Mirrors the single-goal path's reference-probe counter:
+                // one probe per distinct position-0 key.
+                if run.is_empty() {
+                    hot::posting_probe_miss();
+                } else {
+                    hot::posting_probe_hit();
+                }
+                (run, entry.unindexed[0].as_slice())
             });
             let r_len = segs.map_or(n as u64, |(a, b)| (a.len() + b.len()) as u64);
             let mut deferred: Vec<Deferred> = Vec::new();
@@ -1721,6 +1739,7 @@ impl<'a> FactCols<'a> {
     /// guarantee no [`Probe::Free`] (kernel precondition).
     pub fn match_mask(&self, probes: &[Probe], base: u32, blk: u32) -> u64 {
         debug_assert!((1..=64).contains(&blk) && base + blk <= self.entry.len);
+        hot::all_ground_kernel();
         let mut mask: u64 = if blk == 64 {
             u64::MAX
         } else {

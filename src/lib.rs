@@ -12,6 +12,7 @@
 //! | p²-mdie (paper §4) | [`core`] — master/worker protocol, pipelined `learn_rule'`, rule bag |
 //! | carcinogenesis / mesh / pyrimidines | [`datasets`] — synthetic generators with Table 1's sizes |
 //! | 5-fold CV + paired t-test | [`eval`] — folds, accuracy, t-test, table rendering, sweeps |
+//! | (instrumentation) | [`obs`] — flight recorder: virtual-time tracing, metrics registry, exports |
 //!
 //! ## Quickstart
 //!
@@ -42,3 +43,4 @@ pub use p2mdie_datasets as datasets;
 pub use p2mdie_eval as eval;
 pub use p2mdie_ilp as ilp;
 pub use p2mdie_logic as logic;
+pub use p2mdie_obs as obs;
