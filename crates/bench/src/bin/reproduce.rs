@@ -2,8 +2,8 @@
 //! "A pipelined data-parallel algorithm for ILP" (CLUSTER 2005).
 //!
 //! ```text
-//! reproduce all                  # everything (Tables 1-6 + Figure 3/4)
-//! reproduce table1 ... table6    # one table
+//! reproduce all                  # everything (Tables 1-7 + Figure 3/4)
+//! reproduce table1 ... table7    # one table (table7 = cross-strategy)
 //! reproduce figure3              # pipeline trace (Figures 3-4)
 //! reproduce ablation             # strategy ablation (p2-mdie vs baselines)
 //! Options:
@@ -23,6 +23,7 @@ use p2mdie_cluster::CostModel;
 use p2mdie_core::baselines::{run_coverage_parallel, EvalGranularity};
 use p2mdie_core::driver::{run_parallel, run_sequential_timed, ParallelConfig};
 use p2mdie_core::report::render_pipeline_trace;
+use p2mdie_core::Strategy;
 use p2mdie_eval::sweep::{run_sweep, SweepConfig};
 use p2mdie_eval::tables;
 use p2mdie_ilp::settings::Width;
@@ -85,13 +86,13 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: reproduce [all|table1..table6|figure3|ablation] [--scale X] [--seed N] [--folds K] [--procs 2,4,8] [--datasets a,b] [--quiet]");
+            eprintln!("usage: reproduce [all|table1..table7|figure3|ablation] [--scale X] [--seed N] [--folds K] [--procs 2,4,8] [--datasets a,b] [--quiet]");
             std::process::exit(2);
         }
     };
 
     let wants = |k: &str| args.what.iter().any(|w| w == k || w == "all");
-    let needs_sweep = ["table2", "table3", "table4", "table5", "table6"]
+    let needs_sweep = ["table2", "table3", "table4", "table5", "table6", "table7"]
         .iter()
         .any(|t| wants(t));
 
@@ -121,6 +122,11 @@ fn main() {
             procs: args.procs.clone(),
             widths: vec![Width::Unlimited, Width::Limit(10)],
             model: CostModel::beowulf_2005(),
+            strategies: if wants("table7") {
+                Strategy::ALL.to_vec()
+            } else {
+                Vec::new()
+            },
             verbose: args.verbose,
         };
         eprintln!(
@@ -128,7 +134,9 @@ fn main() {
             cfg.scale,
             cfg.folds,
             cfg.procs,
-            cfg.datasets.len() * cfg.folds * (1 + cfg.procs.len() * cfg.widths.len()),
+            cfg.datasets.len()
+                * cfg.folds
+                * (1 + cfg.procs.len() * cfg.widths.len() + cfg.strategies.len()),
         );
         let res = run_sweep(&cfg);
         println!(
@@ -149,6 +157,9 @@ fn main() {
         }
         if wants("table6") {
             println!("{}", tables::table6(&res));
+        }
+        if wants("table7") {
+            println!("{}", tables::table7(&res));
         }
     }
 

@@ -102,8 +102,13 @@ pub const MAGIC: u32 = 0x7032_6d64;
 /// v6: the protocol gained the introspection pair `MetricsQuery` /
 /// `MetricsReport` — the master pulls live per-worker metric snapshots
 /// between jobs, which a v5 idle loop would reject as an unexpected
-/// message).
-pub const PROTOCOL_VERSION: u16 = 6;
+/// message;
+/// v7: the strategy seam — `WorkerConfig` grew the search strategy and its
+/// seed, the protocol gained the worker↔worker `Constraint` broadcast of
+/// the constraint-driven strategy, and the shutdown `Report` frame grew the
+/// worker's constraint-traffic counters — a v6 peer would mis-parse all
+/// three).
+pub const PROTOCOL_VERSION: u16 = 7;
 /// Default per-connection handshake bound: once a peer has *connected*, it
 /// gets this long to complete its `Hello` (and a roster-fed worker dial
 /// this long to succeed) before the rendezvous gives up on it. Without a
@@ -200,6 +205,12 @@ pub struct WorkerReport {
     pub recovery_bytes: u64,
     /// Messages this worker sent during recovery phases.
     pub recovery_messages: u64,
+    /// Bytes this worker sent during constraint phases (the
+    /// constraint-driven strategy's pruning exchange — a labelled subset of
+    /// `sends`, kept out of the paper-shaped numbers).
+    pub constraint_bytes: u64,
+    /// Messages this worker sent during constraint phases.
+    pub constraint_messages: u64,
 }
 
 /// One decoded frame (see the [module docs](self) for the byte layout).
@@ -309,6 +320,8 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             }
             put_u64(&mut out, rep.recovery_bytes);
             put_u64(&mut out, rep.recovery_messages);
+            put_u64(&mut out, rep.constraint_bytes);
+            put_u64(&mut out, rep.constraint_messages);
         }
     }
     let len = (out.len() - 4) as u32;
@@ -428,6 +441,8 @@ fn decode_frame_body(body: &[u8]) -> Result<Frame, FrameError> {
                 sends,
                 recovery_bytes: c.u64()?,
                 recovery_messages: c.u64()?,
+                constraint_bytes: c.u64()?,
+                constraint_messages: c.u64()?,
             })
         }
         _ => return Err(FrameError::new("frame kind")),
@@ -1328,6 +1343,7 @@ pub fn run_cluster_tcp<R>(
             Some(rep) => {
                 stats.absorb_row(rank, &rep.sends);
                 stats.absorb_recovery(rep.recovery_bytes, rep.recovery_messages);
+                stats.absorb_constraint(rep.constraint_bytes, rep.constraint_messages);
                 worker_vtimes.push(rep.vtime);
                 worker_steps.push(rep.steps);
             }
@@ -1437,6 +1453,8 @@ mod tests {
                 sends: vec![(1, 2, 0), (0, 0, 3)],
                 recovery_bytes: 77,
                 recovery_messages: 4,
+                constraint_bytes: 31,
+                constraint_messages: 2,
             }),
         ];
         let mut reader = FrameReader::new();

@@ -106,6 +106,7 @@ fn run() -> i32 {
     if let Ok(base) = std::env::var("P2MDIE_TRACE") {
         p2mdie_obs::trace::start(p2mdie_obs::trace::TraceConfig {
             jsonl_path: Some(p2mdie_cluster::net::trace_rank_path(&base, rank).into()),
+            ..Default::default()
         });
     }
 
@@ -173,6 +174,8 @@ fn serve<T: Transport>(
                 sends: ep.stats().send_row(rank),
                 recovery_bytes: ep.stats().recovery_bytes(),
                 recovery_messages: ep.stats().recovery_messages(),
+                constraint_bytes: ep.stats().constraint_bytes(),
+                constraint_messages: ep.stats().constraint_messages(),
             };
             if !report_via(ep.transport_mut()).send_report(&report) {
                 eprintln!("worker rank {rank}: master gone before the shutdown report");

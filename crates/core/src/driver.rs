@@ -3,6 +3,7 @@
 //! benchmarks, and the examples.
 
 use crate::report::{ParallelReport, SequentialReport};
+use crate::strategy::Strategy;
 use p2mdie_cluster::{ChaosConfig, ClusterError, CostModel};
 use p2mdie_ilp::engine::IlpEngine;
 use p2mdie_ilp::examples::Examples;
@@ -76,6 +77,12 @@ pub struct ParallelConfig {
     /// entries inject faults into multiple ranks of the same run — the
     /// seam the second-death recovery tests use.
     pub chaos: Vec<(usize, ChaosConfig)>,
+    /// How the ranks divide the run: the paper's data-parallel pipeline
+    /// (default), hypothesis-parallel lattice slicing, or constraint-driven
+    /// independent search (see [`crate::strategy`]). The default routes
+    /// through the exact pre-seam code path; `repartition`, `recovery`, and
+    /// `chaos` only apply to it.
+    pub strategy: Strategy,
 }
 
 impl ParallelConfig {
@@ -91,7 +98,15 @@ impl ParallelConfig {
             transport: TransportKind::InProcess,
             recovery: RecoveryPolicy::default(),
             chaos: Vec::new(),
+            strategy: Strategy::default(),
         }
+    }
+
+    /// Selects the parallelization strategy (default
+    /// [`Strategy::DataPipeline`], the paper's algorithm).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Enables per-epoch repartitioning (§4.1 variant).

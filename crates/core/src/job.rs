@@ -34,6 +34,7 @@
 use crate::baselines::EvalGranularity;
 use crate::master::MasterOutcome;
 use crate::report::JobAccounting;
+use crate::strategy::Strategy;
 use p2mdie_ilp::examples::Examples;
 use p2mdie_ilp::settings::{Settings, Width};
 use p2mdie_logic::clause::Clause;
@@ -125,6 +126,13 @@ pub struct JobSpec {
     pub repartition: bool,
     /// Per-job settings override; `None` uses the service engine's.
     pub settings: Option<Settings>,
+    /// Parallelization strategy for [`JobKind::Learn`] jobs (see
+    /// [`crate::strategy`]). Ignored by every other kind: a `RuleSearch`
+    /// job's global scoring sums per-rank counts, which the non-default
+    /// strategies' full example replication would multiply by `p`, and
+    /// coverage/baseline jobs have no rule search to re-parallelize. One
+    /// resident mesh freely multiplexes jobs of different strategies.
+    pub strategy: Strategy,
 }
 
 impl JobSpec {
@@ -136,6 +144,7 @@ impl JobSpec {
             seed: 42,
             repartition: false,
             settings: None,
+            strategy: Strategy::default(),
         }
     }
 
@@ -180,6 +189,13 @@ impl JobSpec {
     /// Enables per-epoch repartitioning (learning jobs only).
     pub fn with_repartition(mut self) -> Self {
         self.repartition = true;
+        self
+    }
+
+    /// Selects the parallelization strategy (learning jobs only; see the
+    /// `strategy` field for why other kinds ignore it).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
         self
     }
 }

@@ -24,7 +24,10 @@
 //!   (coverage query, rule search, learning run) and its lifecycle;
 //! * [`scheduler`] — ILP-as-a-service: a resident mesh (`Service`) that
 //!   multiplexes many jobs over one standing cluster, plus the ephemeral
-//!   single-job dispatch the one-shot entry points are thin wrappers over.
+//!   single-job dispatch the one-shot entry points are thin wrappers over;
+//! * [`strategy`] — the strategy seam: data-parallel (the paper),
+//!   hypothesis-parallel (lattice slicing), and constraint-driven
+//!   (pruning-constraint exchange) parallel ILP over one runtime.
 
 pub mod bag;
 pub mod baselines;
@@ -37,6 +40,7 @@ pub mod protocol;
 pub mod remote;
 pub mod report;
 pub mod scheduler;
+pub mod strategy;
 pub mod worker;
 
 pub use bag::{BagRule, RuleBag};
@@ -58,4 +62,5 @@ pub use remote::{
 };
 pub use report::{render_pipeline_trace, ParallelReport, SequentialReport};
 pub use scheduler::{JobHandle, Service, ServiceConfig, ServiceReport, SubmitError};
+pub use strategy::{run_strategy_master, run_strategy_worker, Strategy, StrategyWorkerContext};
 pub use worker::{run_worker, WorkerContext};

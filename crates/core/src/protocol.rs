@@ -8,7 +8,11 @@
 //! a *resident* mesh run many jobs back to back (see [`crate::scheduler`]),
 //! and the protocol-v6 introspection pair ([`Msg::MetricsQuery`] /
 //! [`Msg::MetricsReport`]) that lets the master pull live per-worker metric
-//! snapshots between jobs.
+//! snapshots between jobs. Protocol v7 adds the strategy seam: the
+//! worker-to-worker [`Msg::Constraint`] broadcast (proven-dead lattice
+//! regions exchanged by the constraint-driven strategy) and the
+//! [`Strategy`] + strategy-seed fields on [`WorkerConfig`], so one
+//! resident mesh can multiplex jobs of different strategies.
 //! Every payload is encoded through the byte-accurate
 //! [`Wire`] codec, so the traffic statistics reproduce Table 4 exactly as
 //! "bytes that would have crossed the network".
@@ -32,6 +36,7 @@
 //! in [`p2mdie_cluster::codec`] (byte layouts unchanged); only the
 //! ILP-specific payloads (bottom clauses, scored rules) are encoded here.
 
+use crate::strategy::Strategy;
 use bytes::{BufMut, Bytes, BytesMut};
 use p2mdie_cluster::codec::{DecodeError, Wire};
 use p2mdie_cluster::comm::{CommFailure, Endpoint};
@@ -243,6 +248,27 @@ fn decode_scored(buf: &mut Bytes) -> Result<ScoredRule, DecodeError> {
     })
 }
 
+fn encode_shapes(shapes: &[RuleShape], buf: &mut BytesMut) {
+    (shapes.len() as u32).encode(buf);
+    for s in shapes {
+        s.lits.encode(buf);
+    }
+}
+
+fn decode_shapes(buf: &mut Bytes) -> Result<Vec<RuleShape>, DecodeError> {
+    let n = u32::decode(buf)? as usize;
+    if n > buf.len() {
+        return Err(DecodeError::new("constraint shape count"));
+    }
+    let mut shapes = Vec::with_capacity(n);
+    for _ in 0..n {
+        shapes.push(RuleShape {
+            lits: Vec::<u32>::decode(buf)?,
+        });
+    }
+    Ok(shapes)
+}
+
 // ---------------------------------------------------------------------------
 // Metric snapshots (protocol v6 introspection). Free functions because both
 // `Wire` and `MetricsSnapshot` are foreign here.
@@ -443,6 +469,13 @@ pub struct WorkerConfig {
     /// Search constraints, with `eval_threads` already set to this rank's
     /// fair share of the machine.
     pub settings: Settings,
+    /// Which parallelization strategy this rank runs (protocol v7). Only
+    /// meaningful for `Pipeline`-role learning work; everything else runs
+    /// [`Strategy::DataPipeline`] semantics regardless.
+    pub strategy: Strategy,
+    /// Seed salting the strategy's lattice slices and exploration orders
+    /// (distinct from the example-partition seed, which stays master-side).
+    pub strategy_seed: u64,
 }
 
 impl Wire for WorkerConfig {
@@ -457,6 +490,8 @@ impl Wire for WorkerConfig {
         }
         encode_modes(&self.modes, buf);
         encode_settings(&self.settings, buf);
+        buf.put_u8(self.strategy.tag());
+        self.strategy_seed.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
         let role = match u8::decode(buf)? {
@@ -467,10 +502,16 @@ impl Wire for WorkerConfig {
             1 => WorkerRole::Coverage,
             _ => return Err(DecodeError::new("worker role tag")),
         };
+        let modes = decode_modes(buf)?;
+        let settings = decode_settings(buf)?;
+        let strategy =
+            Strategy::from_tag(u8::decode(buf)?).ok_or(DecodeError::new("strategy tag"))?;
         Ok(WorkerConfig {
             role,
-            modes: decode_modes(buf)?,
-            settings: decode_settings(buf)?,
+            modes,
+            settings,
+            strategy,
+            strategy_seed: u64::decode(buf)?,
         })
     }
 }
@@ -689,6 +730,24 @@ pub enum Msg {
         /// The reporting rank's snapshot.
         snapshot: MetricsSnapshot,
     },
+    /// Worker → worker (protocol v7): pruning constraints for the
+    /// constraint-driven strategy. The shapes are subtree roots the sender
+    /// proved *dead* against the epoch's shared bottom clause (positive
+    /// cover below `min_pos`, which specialization cannot recover), so the
+    /// receiver may cut every refinement under them. Shape indices are
+    /// bottom-clause relative and only meaningful while every rank
+    /// saturates the same seed — which the shared-live-set invariant
+    /// guarantees; a rank drops its store the moment the seed changes.
+    /// Metered in the dedicated constraint row of
+    /// [`p2mdie_cluster::TrafficStats`].
+    Constraint {
+        /// Sending rank.
+        origin: u8,
+        /// Epoch the shapes' bottom clause belongs to (for tracing).
+        epoch: u32,
+        /// Proven-dead subtree roots, a generalization antichain.
+        shapes: Vec<RuleShape>,
+    },
 }
 
 impl Wire for Msg {
@@ -802,6 +861,16 @@ impl Wire for Msg {
                 buf.put_u8(26);
                 encode_metrics(snapshot, buf);
             }
+            Msg::Constraint {
+                origin,
+                epoch,
+                shapes,
+            } => {
+                buf.put_u8(27);
+                origin.encode(buf);
+                epoch.encode(buf);
+                encode_shapes(shapes, buf);
+            }
         }
     }
 
@@ -879,6 +948,11 @@ impl Wire for Msg {
             25 => Msg::MetricsQuery,
             26 => Msg::MetricsReport {
                 snapshot: decode_metrics(buf)?,
+            },
+            27 => Msg::Constraint {
+                origin: u8::decode(buf)?,
+                epoch: u32::decode(buf)?,
+                shapes: decode_shapes(buf)?,
             },
             _ => return Err(DecodeError::new("message tag")),
         })
@@ -1032,16 +1106,20 @@ mod tests {
             },
             WorkerRole::Coverage,
         ] {
-            roundtrip(Msg::Configure(Box::new(WorkerConfig {
-                role,
-                modes: modes.clone(),
-                settings: Settings {
-                    noise: 3,
-                    score: ScoreFn::Compression,
-                    eval_threads: 2,
-                    ..Settings::default()
-                },
-            })));
+            for strategy in Strategy::ALL {
+                roundtrip(Msg::Configure(Box::new(WorkerConfig {
+                    role: role.clone(),
+                    modes: modes.clone(),
+                    settings: Settings {
+                        noise: 3,
+                        score: ScoreFn::Compression,
+                        eval_threads: 2,
+                        ..Settings::default()
+                    },
+                    strategy,
+                    strategy_seed: 0xDEAD_BEEF_CAFE_F00D,
+                })));
+            }
         }
         roundtrip(Msg::SubmitJob {
             id: 0x0102_0304_0506_0708,
@@ -1049,6 +1127,8 @@ mod tests {
                 role: WorkerRole::Coverage,
                 modes: modes.clone(),
                 settings: Settings::default(),
+                strategy: Strategy::SearchPartition,
+                strategy_seed: 7,
             }),
             pos: vec![Literal::new(
                 t.intern("active"),
@@ -1094,7 +1174,74 @@ mod tests {
         roundtrip(Msg::MetricsReport {
             snapshot: MetricsSnapshot::default(),
         });
+        roundtrip(Msg::Constraint {
+            origin: 3,
+            epoch: 12,
+            shapes: vec![
+                RuleShape::from_indices(vec![0]),
+                RuleShape::from_indices(vec![1, 4, 9]),
+            ],
+        });
+        roundtrip(Msg::Constraint {
+            origin: 1,
+            epoch: 0,
+            shapes: vec![],
+        });
         roundtrip(Msg::Stop);
+    }
+
+    /// Every prefix truncation of a `Constraint` frame decode-fails instead
+    /// of panicking or misreading (the shape-count guard catches the
+    /// length-prefix lie; the per-shape `Vec<u32>` decodes catch the rest).
+    #[test]
+    fn truncated_constraint_is_rejected() {
+        let bytes = to_bytes(&Msg::Constraint {
+            origin: 2,
+            epoch: 5,
+            shapes: vec![
+                RuleShape::from_indices(vec![0, 2, 7]),
+                RuleShape::from_indices(vec![3]),
+                RuleShape::from_indices(vec![1, 8]),
+            ],
+        });
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                from_bytes::<Msg>(bytes.slice(..cut)).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    /// A corrupted shape count (claiming more shapes than bytes remain)
+    /// and a corrupted strategy tag are both rejected, not mis-decoded.
+    #[test]
+    fn corrupt_constraint_payloads_are_rejected() {
+        let bytes = to_bytes(&Msg::Constraint {
+            origin: 1,
+            epoch: 1,
+            shapes: vec![RuleShape::from_indices(vec![4])],
+        });
+        let mut raw = bytes.to_vec();
+        // Bytes 1..=4 hold `origin`+`epoch` prefix; the shape count starts
+        // after origin (1) + epoch (4) = offset 5. Blow it up.
+        raw[5] = 0xFF;
+        raw[6] = 0xFF;
+        assert!(from_bytes::<Msg>(Bytes::from(raw)).is_err());
+
+        let t = SymbolTable::new();
+        let modes = p2mdie_ilp::modes::ModeSet::parse(&t, "active(+mol)", &[(1, "solid")]).unwrap();
+        let cfg_bytes = to_bytes(&Msg::Configure(Box::new(WorkerConfig {
+            role: WorkerRole::Coverage,
+            modes,
+            settings: Settings::default(),
+            strategy: Strategy::ConstraintDriven,
+            strategy_seed: 3,
+        })));
+        // The strategy tag is the 9th byte from the end (tag + u64 seed).
+        let mut raw = cfg_bytes.to_vec();
+        let at = raw.len() - 9;
+        raw[at] = 200;
+        assert!(from_bytes::<Msg>(Bytes::from(raw)).is_err());
     }
 
     /// The compiled KB travels as one message and the receiver adopts it

@@ -49,13 +49,13 @@ use crate::driver::ParallelConfig;
 use crate::protocol::{Msg, WorkerConfig, WorkerRole};
 use crate::report::ParallelReport;
 use crate::scheduler::{one_shot_coverage_tcp, one_shot_parallel_tcp, run_resident_worker};
+use crate::strategy::{run_strategy_worker, Strategy, StrategyWorkerContext};
 use crate::worker::{run_worker, WorkerContext};
 use p2mdie_cluster::comm::Endpoint;
 use p2mdie_cluster::transport::Transport;
 use p2mdie_cluster::{ClusterError, CostModel};
 use p2mdie_ilp::engine::IlpEngine;
 use p2mdie_ilp::examples::Examples;
-use p2mdie_ilp::settings::Settings;
 use p2mdie_logic::kb::KnowledgeBase;
 use p2mdie_logic::symbol::SymbolTable;
 use std::io;
@@ -166,20 +166,16 @@ pub(crate) fn spawn_worker(
 /// Master-side bootstrap: ship the compiled KB, then each worker's
 /// configuration and example subset. Must run before the protocol proper
 /// (the worker processes block in [`run_remote_worker`]'s bootstrap loop
-/// until all three messages arrived).
+/// until all three messages arrived). The caller builds the full
+/// [`WorkerConfig`] (role, bias, settings, strategy) so every launcher —
+/// data-pipeline, baseline, or strategy — shares this one shipping path.
 pub(crate) fn bootstrap_workers<T: Transport>(
     ep: &mut Endpoint<T>,
     engine: &IlpEngine,
-    role: WorkerRole,
-    worker_settings: Settings,
+    config: &WorkerConfig,
     subsets: &[Examples],
 ) {
     crate::master::ship_kb(ep, &engine.kb);
-    let config = WorkerConfig {
-        role,
-        modes: engine.modes.clone(),
-        settings: worker_settings,
-    };
     for (i, subset) in subsets.iter().enumerate() {
         ep.send(i + 1, &Msg::Configure(Box::new(config.clone())));
         ep.send(
@@ -273,9 +269,25 @@ pub fn run_remote_worker<T: Transport>(ep: &mut Endpoint<T>) -> WorkerExit {
     };
     match config.role {
         WorkerRole::Pipeline { width, repartition } => {
-            let mut ctx = WorkerContext::new(engine, local, width);
-            ctx.repartition = repartition;
-            run_worker(ep, ctx);
+            if config.strategy != Strategy::DataPipeline {
+                // Non-default strategies replicate the full example set;
+                // `local` *is* the full set (the launcher ships identical
+                // subsets to every rank).
+                run_strategy_worker(
+                    ep,
+                    StrategyWorkerContext::new(
+                        engine,
+                        local,
+                        width,
+                        config.strategy,
+                        config.strategy_seed,
+                    ),
+                );
+            } else {
+                let mut ctx = WorkerContext::new(engine, local, width);
+                ctx.repartition = repartition;
+                run_worker(ep, ctx);
+            }
         }
         WorkerRole::Coverage => run_baseline_worker(ep, engine, local),
     }

@@ -49,6 +49,14 @@ pub struct ParallelReport {
     /// Messages spent on the recovery protocol (subset of
     /// `total_messages`).
     pub recovery_messages: u64,
+    /// Bytes spent broadcasting pruning constraints between workers — a
+    /// labelled subset of `total_bytes`, non-zero only under
+    /// [`Strategy::ConstraintDriven`](crate::strategy::Strategy) with two
+    /// or more ranks.
+    pub constraint_bytes: u64,
+    /// Messages spent on constraint broadcasts (subset of
+    /// `total_messages`).
+    pub constraint_messages: u64,
 }
 
 impl ParallelReport {
@@ -266,6 +274,8 @@ mod tests {
             rank_losses: vec![],
             recovery_bytes: 0,
             recovery_messages: 0,
+            constraint_bytes: 0,
+            constraint_messages: 0,
         };
         assert!((r.megabytes() - 3.0).abs() < 1e-12);
     }

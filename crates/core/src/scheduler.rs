@@ -91,6 +91,7 @@ use crate::partition::partition_examples;
 use crate::protocol::{Msg, WorkerConfig, WorkerRole};
 use crate::remote::{bootstrap_workers, spawn_worker, TcpConfig, WorkerExit};
 use crate::report::{JobAccounting, ParallelReport};
+use crate::strategy::{run_strategy_master, run_strategy_worker, Strategy, StrategyWorkerContext};
 use crate::worker::{run_worker, WorkerContext};
 use p2mdie_cluster::codec::from_bytes;
 use p2mdie_cluster::comm::{CommError, CommFailure, Endpoint, LinkFault};
@@ -550,7 +551,20 @@ fn scheduler_master<T: Transport>(
                     CLASS_NAMES[class]
                 ))
                 .inc();
-            dispatch_job(ep, engine, job.id, &job.spec)
+            let outcome = dispatch_job(ep, engine, job.id, &job.spec);
+            // A cancel that raced the running job arrived too late to stop
+            // it — the job completed legally. Consume the mark (so it can
+            // never leak onto a later dequeue pass) and still broadcast the
+            // advisory frame; every worker treats a finished job's
+            // CancelJob as a no-op.
+            let late_cancel = cancelled
+                .lock()
+                .map(|mut set| set.remove(&job.id.0))
+                .unwrap_or(false);
+            if late_cancel {
+                ep.broadcast(&Msg::CancelJob { id: job.id.0 });
+            }
+            outcome
         };
         // A dropped handle is fine; the job still ran to completion.
         let _ = job.reply.send(outcome);
@@ -645,7 +659,18 @@ fn dispatch_job<T: Transport>(
         .settings
         .clone()
         .unwrap_or_else(|| engine.settings.clone());
-    let (subsets, partition) = if spec.repartition {
+    // Strategies apply to full learning runs only: a `RuleSearch` job's
+    // global scoring sums per-rank counts (which full replication would
+    // multiply by `p`), and coverage/baseline jobs have no search to
+    // parallelize differently.
+    let strategy = match &spec.kind {
+        JobKind::Learn => spec.strategy,
+        _ => Strategy::DataPipeline,
+    };
+    let (subsets, partition) = if strategy != Strategy::DataPipeline {
+        // Non-default strategies replicate the full example set per rank.
+        (vec![spec.examples.clone(); p], None)
+    } else if spec.repartition {
         (vec![Examples::default(); p], None)
     } else {
         let (subsets, part) = partition_examples(&spec.examples, p, spec.seed);
@@ -669,6 +694,8 @@ fn dispatch_job<T: Transport>(
                     role: role.clone(),
                     modes: engine.modes.clone(),
                     settings: worker_settings.clone(),
+                    strategy,
+                    strategy_seed: spec.seed,
                 }),
                 pos: subset.pos.clone(),
                 neg: subset.neg.clone(),
@@ -706,7 +733,9 @@ fn dispatch_job<T: Transport>(
             JobOutput::Coverage(totals)
         }
         JobKind::RuleSearch => JobOutput::Rules(rule_search_master(ep, &settings)),
-        JobKind::Learn => JobOutput::Learned(if spec.repartition {
+        JobKind::Learn => JobOutput::Learned(if strategy != Strategy::DataPipeline {
+            run_strategy_master(ep, &settings, spec.examples.num_pos())
+        } else if spec.repartition {
             run_master_repartition(ep, &settings, &spec.examples, spec.seed)
         } else {
             run_master(ep, &settings, spec.examples.num_pos())
@@ -901,9 +930,23 @@ pub(crate) fn run_submitted_job<T: Transport>(
     let local = Examples::new(pos, neg);
     match config.role {
         WorkerRole::Pipeline { width, repartition } => {
-            let mut ctx = WorkerContext::new(engine, local, width);
-            ctx.repartition = repartition;
-            run_worker(ep, ctx);
+            if config.strategy != Strategy::DataPipeline {
+                // Strategy jobs replicate: `local` is the full example set.
+                run_strategy_worker(
+                    ep,
+                    StrategyWorkerContext::new(
+                        engine,
+                        local,
+                        width,
+                        config.strategy,
+                        config.strategy_seed,
+                    ),
+                );
+            } else {
+                let mut ctx = WorkerContext::new(engine, local, width);
+                ctx.repartition = repartition;
+                run_worker(ep, ctx);
+            }
         }
         WorkerRole::Coverage => run_baseline_worker(ep, engine, local),
     }
@@ -921,7 +964,7 @@ pub(crate) fn run_submitted_job<T: Transport>(
 // ---------------------------------------------------------------------------
 
 /// The id every ephemeral (single-job) dispatch uses.
-const EPHEMERAL_JOB: JobId = JobId(1);
+pub(crate) const EPHEMERAL_JOB: JobId = JobId(1);
 
 /// End-of-run warning for a learning run that survived rank deaths: a
 /// structured trace event when tracing is on, a stderr line otherwise, so
@@ -958,6 +1001,9 @@ pub(crate) fn one_shot_parallel(
     examples: &Examples,
     cfg: &ParallelConfig,
 ) -> Result<ParallelReport, ClusterError> {
+    if cfg.strategy != Strategy::DataPipeline {
+        return crate::strategy::one_shot_strategy(engine, examples, cfg);
+    }
     let started = Instant::now();
     let mut job = Lifecycle::new(EPHEMERAL_JOB);
     job.advance(JobState::Dispatching);
@@ -1087,6 +1133,8 @@ pub(crate) fn one_shot_parallel(
         rank_losses: master.rank_losses,
         recovery_bytes: outcome.stats.recovery_bytes(),
         recovery_messages: outcome.stats.recovery_messages(),
+        constraint_bytes: outcome.stats.constraint_bytes(),
+        constraint_messages: outcome.stats.constraint_messages(),
     };
     warn_rank_losses(&report.rank_losses, report.vtime);
     job.advance(JobState::Done);
@@ -1178,6 +1226,9 @@ pub(crate) fn one_shot_parallel_tcp(
     cfg: &ParallelConfig,
     tcp: &TcpConfig,
 ) -> Result<ParallelReport, ClusterError> {
+    if cfg.strategy != Strategy::DataPipeline {
+        return crate::strategy::one_shot_strategy_tcp(engine, examples, cfg, tcp);
+    }
     let started = Instant::now();
     let mut job = Lifecycle::new(EPHEMERAL_JOB);
     job.advance(JobState::Dispatching);
@@ -1190,9 +1241,15 @@ pub(crate) fn one_shot_parallel_tcp(
     };
     let mut worker_settings = engine.settings.clone();
     worker_settings.eval_threads = threads_per_worker(engine.settings.eval_threads, cfg.workers);
-    let role = WorkerRole::Pipeline {
-        width: cfg.width,
-        repartition: cfg.repartition,
+    let config = WorkerConfig {
+        role: WorkerRole::Pipeline {
+            width: cfg.width,
+            repartition: cfg.repartition,
+        },
+        modes: engine.modes.clone(),
+        settings: worker_settings,
+        strategy: Strategy::DataPipeline,
+        strategy_seed: cfg.seed,
     };
     let settings = engine.settings.clone();
     let total_pos = examples.num_pos();
@@ -1204,7 +1261,7 @@ pub(crate) fn one_shot_parallel_tcp(
         tcp.timeout,
         |rank, addr| spawn_worker(&bin, rank, addr, tcp),
         |ep| {
-            bootstrap_workers(ep, engine, role.clone(), worker_settings.clone(), &subsets);
+            bootstrap_workers(ep, engine, &config, &subsets);
             match &cfg.recovery {
                 RecoveryPolicy::Abort => {
                     if cfg.repartition {
@@ -1251,6 +1308,8 @@ pub(crate) fn one_shot_parallel_tcp(
         rank_losses: master.rank_losses,
         recovery_bytes: outcome.stats.recovery_bytes(),
         recovery_messages: outcome.stats.recovery_messages(),
+        constraint_bytes: outcome.stats.constraint_bytes(),
+        constraint_messages: outcome.stats.constraint_messages(),
     };
     warn_rank_losses(&report.rank_losses, report.vtime);
     job.advance(JobState::Done);
@@ -1285,8 +1344,13 @@ pub(crate) fn one_shot_coverage_tcp(
             bootstrap_workers(
                 ep,
                 engine,
-                WorkerRole::Coverage,
-                worker_settings.clone(),
+                &WorkerConfig {
+                    role: WorkerRole::Coverage,
+                    modes: engine.modes.clone(),
+                    settings: worker_settings.clone(),
+                    strategy: Strategy::DataPipeline,
+                    strategy_seed: seed,
+                },
                 &subsets,
             );
             baseline_master(ep, engine, examples, &partition, granularity)

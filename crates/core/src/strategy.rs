@@ -1,0 +1,876 @@
+//! The strategy seam: three ways to parallelize one ILP run over the same
+//! mesh, protocol, and virtual-time accounting.
+//!
+//! p²-mdie as published is **data-parallel**: examples are partitioned,
+//! every rank searches the full refinement lattice of its own seed, and
+//! rules travel a pipeline so each is scored against every subset (Figure
+//! 7). That is one point in a design space the cluster-ILP literature maps
+//! out more broadly, and this module hosts the other two classic points
+//! behind one [`Strategy`] switch:
+//!
+//! * [`Strategy::DataPipeline`] — the paper's algorithm, untouched. The
+//!   seam routes it through the exact pre-seam code path
+//!   ([`crate::master::run_master`] / [`crate::worker::run_worker`]), so a
+//!   default-strategy run is bit-identical to one that predates the seam
+//!   (pinned by `crates/core/tests/strategy_seam.rs`).
+//! * [`Strategy::SearchPartition`] — **hypothesis-parallel**: every rank
+//!   holds the *full* example set and the ranks split the refinement
+//!   lattice itself. The split rides on a structural fact of
+//!   [`p2mdie_ilp::refine::RuleShape`]: successors only ever append
+//!   strictly larger literal indices, so every non-empty shape keeps its
+//!   first literal forever and hashing that first literal
+//!   ([`p2mdie_ilp::LatticeSlice`]) yields disjoint, subtree-closed,
+//!   collectively exhaustive slices — no shape is searched twice, none is
+//!   lost (pinned in `crates/ilp`'s `sliced_searches_union_to_the_full_search`).
+//! * [`Strategy::ConstraintDriven`] — **constraint-parallel**: ranks run
+//!   independently seeded searches over the shared seed's lattice and
+//!   broadcast the *dead* regions they prove (shapes whose positive cover
+//!   already fell below `min_pos` — coverage is anti-monotone under
+//!   specialization, so the whole subtree under such a shape is dead).
+//!   Each epoch runs two search rounds with a constraint exchange between
+//!   them: round one explores in a rank-specific deterministic order and
+//!   collects dead shapes, the ranks swap them as [`Msg::Constraint`]
+//!   broadcasts, and round two searches with the merged
+//!   [`p2mdie_ilp::ConstraintStore`] cutting the proven-dead subtrees.
+//!   Constraints are bottom-clause relative, so the store is keyed to the
+//!   seed example and cleared the moment the seed changes; forgetting
+//!   constraints is always sound (a cut is an optimization, never a
+//!   correctness requirement).
+//!
+//! # Determinism contracts
+//!
+//! All three strategies are deterministic for a fixed
+//! (`workers`, `seed`, strategy) triple, in-process and over TCP: every
+//! receive names its source rank, exploration orders derive from
+//! [`splitmix64`] chains seeded by (strategy seed, epoch, rank, round), and
+//! the master breaks rule ties by pool order, which is itself rank-ordered.
+//! The non-default strategies replicate the full example set on every rank,
+//! so local coverage counts *are* global counts and the master needs no
+//! separate evaluation round — one accepted rule per epoch, broadcast as
+//! [`Msg::MarkCovered`], keeps every rank's live set bit-identical.
+//!
+//! # Traffic accounting
+//!
+//! Constraint broadcasts are metered in a dedicated
+//! [`p2mdie_cluster::TrafficStats`] row (`constraint_bytes` /
+//! `constraint_messages`), exactly like the recovery row of the
+//! self-healing protocol: total traffic still includes them, but reports
+//! can say how much of the bill was pruning gossip (surfaced as
+//! [`ParallelReport::constraint_bytes`]). Over TCP the workers return their
+//! constraint counters in the shutdown report and the master absorbs them.
+
+use crate::driver::{threads_per_worker, ParallelConfig, RecoveryPolicy};
+use crate::job::{JobState, Lifecycle};
+use crate::master::{ship_kb, AcceptedRule, EpochTrace, MasterOutcome};
+use crate::protocol::{Msg, StageTrace, WorkerConfig, WorkerRole};
+use crate::report::ParallelReport;
+use crate::scheduler::EPHEMERAL_JOB;
+use crate::worker::adopt_kb_snapshot;
+use p2mdie_cluster::comm::Endpoint;
+use p2mdie_cluster::net::run_cluster_tcp;
+use p2mdie_cluster::transport::Transport;
+use p2mdie_cluster::{run_cluster, ClusterError};
+use p2mdie_ilp::bitset::Bitset;
+use p2mdie_ilp::engine::IlpEngine;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_ilp::refine::splitmix64;
+use p2mdie_ilp::settings::{Settings, Width};
+use p2mdie_ilp::{take_top, ConstraintStore, LatticeSlice, ScoredRule, SearchGuide};
+use p2mdie_logic::clause::Clause;
+use p2mdie_obs::span;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How the ranks divide one learning run among themselves.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Strategy {
+    /// The paper's data-parallel pipelined algorithm (Figure 7): examples
+    /// partitioned, full lattice per rank, rules scored by travelling the
+    /// pipeline. The default, and byte-for-byte the pre-seam protocol.
+    #[default]
+    DataPipeline,
+    /// Hypothesis-parallel: full example replication, the refinement
+    /// lattice split into disjoint per-rank slices by first-literal hash.
+    SearchPartition,
+    /// Constraint-parallel: full example replication, independently seeded
+    /// searches exchanging proven-dead subtrees as lattice cuts.
+    ConstraintDriven,
+}
+
+impl Strategy {
+    /// Every strategy, in wire-tag order (the eval sweep's axis).
+    pub const ALL: [Strategy; 3] = [
+        Strategy::DataPipeline,
+        Strategy::SearchPartition,
+        Strategy::ConstraintDriven,
+    ];
+
+    /// Table/CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::DataPipeline => "data-pipeline",
+            Strategy::SearchPartition => "search-partition",
+            Strategy::ConstraintDriven => "constraint-driven",
+        }
+    }
+
+    /// Wire tag (stable; protocol v7).
+    pub fn tag(self) -> u8 {
+        match self {
+            Strategy::DataPipeline => 0,
+            Strategy::SearchPartition => 1,
+            Strategy::ConstraintDriven => 2,
+        }
+    }
+
+    /// Inverse of [`Strategy::tag`].
+    pub fn from_tag(tag: u8) -> Option<Strategy> {
+        Strategy::ALL.into_iter().find(|s| s.tag() == tag)
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Dead shapes a rank offers its peers per exchange. A cap, not a budget:
+/// the search may prove more subtrees dead than this, and dropping the
+/// excess only costs pruning opportunity, never correctness.
+const DEAD_SHAPE_CAP: usize = 64;
+
+/// Everything a non-default-strategy worker owns: its engine, the **full**
+/// example set (both non-default strategies replicate data), the width cap
+/// on rules returned per epoch, and the strategy with its seed.
+pub struct StrategyWorkerContext {
+    /// The local ILP engine (the KB grows as rules are accepted).
+    pub engine: IlpEngine,
+    /// The full example set — replicated, not partitioned.
+    pub local: Examples,
+    /// Cap on the rules a rank returns per epoch (the paper's `W`).
+    pub width: Width,
+    /// Which non-default strategy to run.
+    pub strategy: Strategy,
+    /// Seed salting the lattice slices and the exploration orders.
+    pub strategy_seed: u64,
+}
+
+impl StrategyWorkerContext {
+    /// Bundles a strategy worker context.
+    pub fn new(
+        engine: IlpEngine,
+        local: Examples,
+        width: Width,
+        strategy: Strategy,
+        strategy_seed: u64,
+    ) -> Self {
+        StrategyWorkerContext {
+            engine,
+            local,
+            width,
+            strategy,
+            strategy_seed,
+        }
+    }
+}
+
+/// The per-(epoch, rank, round) exploration seed: a [`splitmix64`] chain
+/// over the strategy seed, so different ranks (and the two rounds of the
+/// constraint-driven epoch) walk the lattice in different — but fully
+/// deterministic — orders.
+fn explore_seed(strategy_seed: u64, epoch: u32, rank: usize, round: u32) -> u64 {
+    let mut x = splitmix64(strategy_seed ^ u64::from(epoch));
+    x = splitmix64(x ^ (rank as u64) << 32);
+    splitmix64(x ^ u64::from(round))
+}
+
+/// The master protocol shared by both non-default strategies.
+///
+/// Every rank holds the full example set and an identical live set, so the
+/// counts inside each [`Msg::RulesFound`] are already *global*: the master
+/// pools the per-rank rules, accepts the single best acceptable one per
+/// epoch (ties broken by pool order, which is rank-then-rule order), and
+/// broadcasts [`Msg::MarkCovered`] — no evaluation round, no pipeline. An
+/// epoch with no acceptable rule retires the shared seed example
+/// ([`Msg::RetireSeed`]; rank 1 answers for the mesh, since every rank
+/// retires the same example).
+pub fn run_strategy_master<T: Transport>(
+    ep: &mut Endpoint<T>,
+    settings: &Settings,
+    total_pos: usize,
+) -> MasterOutcome {
+    let p = ep.workers();
+    let mut out = MasterOutcome::default();
+    let mut remaining = total_pos;
+
+    ep.broadcast(&Msg::LoadExamples);
+
+    while remaining > 0 {
+        out.epochs += 1;
+        let epoch = out.epochs;
+        let mut epoch_span = Some(span!(ep.tracer(), "epoch", ep.now(), epoch = epoch));
+        let mut trace = EpochTrace {
+            epoch,
+            pipelines: vec![Vec::new(); p],
+            bag_size: 0,
+            accepted: 0,
+        };
+
+        for k in 1..=p {
+            ep.send(k, &Msg::StartPipeline { epoch });
+        }
+        // Pool the per-rank harvests, deduplicating by clause: with
+        // replicated examples a rule's counts are identical wherever it was
+        // found, so the first copy (lowest rank, best local order) wins.
+        let mut pool: Vec<(Clause, u32, u32, u8)> = Vec::new();
+        let mut any_seed = false;
+        for k in 1..=p {
+            let msg = Msg::recv(ep, k, "RulesFound");
+            let Msg::RulesFound {
+                origin,
+                rules,
+                had_seed,
+                trace: ptrace,
+            } = msg
+            else {
+                panic!("strategy master: expected RulesFound from rank {k}, got {msg:?}");
+            };
+            any_seed |= had_seed;
+            for (clause, pos, neg) in rules {
+                if !pool.iter().any(|(c, ..)| *c == clause) {
+                    pool.push((clause, pos, neg, origin));
+                }
+            }
+            trace.pipelines[origin as usize - 1] = ptrace;
+        }
+        trace.bag_size = pool.len() as u32;
+
+        if !any_seed {
+            out.stalled = true;
+            out.traces.push(trace);
+            if let Some(s) = epoch_span.take() {
+                s.end(ep.now());
+            }
+            break;
+        }
+
+        // Master-side pool scan is compute: one step per pooled rule.
+        ep.advance_steps(pool.len() as u64);
+        let mut best: Option<(Clause, u32, u32, u8, i64)> = None;
+        for (clause, pos, neg, origin) in pool {
+            if !settings.is_good(pos, neg) {
+                continue;
+            }
+            let score = settings.score.score(pos, neg, clause.body.len());
+            // Strictly greater: ties keep the earliest pool entry.
+            if best.as_ref().is_none_or(|b| score > b.4) {
+                best = Some((clause, pos, neg, origin, score));
+            }
+        }
+
+        match best {
+            Some((clause, pos, neg, origin, _)) => {
+                ep.broadcast(&Msg::MarkCovered {
+                    rule: clause.clone(),
+                });
+                remaining = remaining.saturating_sub(pos as usize);
+                out.theory.push(AcceptedRule {
+                    clause,
+                    pos,
+                    neg,
+                    epoch,
+                    origin,
+                });
+                trace.accepted = 1;
+            }
+            None => {
+                // No acceptable rule for the shared seed: retire it. Every
+                // rank clears the same example; rank 1 reports the count.
+                ep.broadcast(&Msg::RetireSeed);
+                let msg = Msg::recv(ep, 1, "SeedRetired");
+                let Msg::SeedRetired { removed } = msg else {
+                    panic!("strategy master: expected SeedRetired from rank 1, got {msg:?}");
+                };
+                if removed == 0 {
+                    out.stalled = true;
+                    out.traces.push(trace);
+                    if let Some(s) = epoch_span.take() {
+                        s.end(ep.now());
+                    }
+                    break;
+                }
+                remaining = remaining.saturating_sub(removed as usize);
+                out.set_aside += removed;
+            }
+        }
+        let accepted = trace.accepted;
+        out.traces.push(trace);
+        if let Some(s) = epoch_span.take() {
+            s.end_with(
+                ep.now(),
+                &[
+                    ("accepted", accepted.into()),
+                    ("remaining", (remaining as u64).into()),
+                ],
+            );
+        }
+    }
+
+    ep.broadcast(&Msg::Stop);
+    out
+}
+
+/// The worker protocol shared by both non-default strategies. Must be
+/// called on ranks `1..=p` with the **full** example set in `ctx.local`.
+///
+/// The shared-seed invariant: every rank holds identical examples, applies
+/// every `MarkCovered`/`RetireSeed` identically, and picks its epoch seed
+/// as the *first* live positive — so all ranks saturate the same example
+/// into the same bottom clause, which is what makes lattice slices and
+/// exchanged constraints commensurable across ranks.
+pub fn run_strategy_worker<T: Transport>(ep: &mut Endpoint<T>, mut ctx: StrategyWorkerContext) {
+    let me = ep.rank();
+    assert!(
+        me >= 1,
+        "run_strategy_worker must not run on the master rank"
+    );
+    assert!(
+        ctx.strategy != Strategy::DataPipeline,
+        "the data-pipeline strategy runs the legacy run_worker loop"
+    );
+
+    let mut live = ctx.local.full_pos_live();
+    let mut current_seed: Option<usize> = None;
+    // Constraint state (ConstraintDriven only): the store is bottom-clause
+    // relative, so it is keyed to the seed index that produced it and
+    // cleared whenever the seed moves.
+    let mut store = ConstraintStore::new();
+    let mut store_key: Option<usize> = None;
+
+    loop {
+        let msg = Msg::recv(ep, 0, "a master command");
+        match msg {
+            Msg::KbSnapshot(snap) => adopt_kb_snapshot(&mut ctx.engine, *snap, me),
+            Msg::LoadExamples => {
+                ep.advance_steps(ctx.local.len() as u64);
+            }
+            Msg::StartPipeline { epoch } => {
+                current_seed = live.first();
+                if ctx.strategy == Strategy::ConstraintDriven && store_key != current_seed {
+                    store.clear();
+                    store_key = current_seed;
+                }
+                let (rules, trace, had_seed) =
+                    run_strategy_epoch(ep, &mut ctx, &live, current_seed, epoch, &mut store);
+                ep.send(
+                    0,
+                    &Msg::RulesFound {
+                        origin: me as u8,
+                        rules,
+                        had_seed,
+                        trace,
+                    },
+                );
+            }
+            Msg::MarkCovered { rule } => {
+                let cov = ctx.engine.evaluate(&rule, &ctx.local, Some(&live), None);
+                ep.advance_steps(cov.steps);
+                live.difference_with(&cov.pos);
+                ctx.engine.assert_rule(rule);
+            }
+            Msg::RetireSeed => {
+                let mut removed = 0u32;
+                if let Some(idx) = current_seed {
+                    if live.get(idx) {
+                        live.clear(idx);
+                        removed = 1;
+                    }
+                }
+                // Every rank retired the same shared seed; rank 1 speaks
+                // for the mesh.
+                if me == 1 {
+                    ep.send(0, &Msg::SeedRetired { removed });
+                }
+            }
+            Msg::Stop => return,
+            other => panic!("strategy worker {me}: unexpected master message {other:?}"),
+        }
+    }
+}
+
+/// One strategy epoch on one rank: saturate the shared seed, search under
+/// the strategy's guide, return the width-capped harvest as materialized
+/// clauses plus a stage trace per search round.
+fn run_strategy_epoch<T: Transport>(
+    ep: &mut Endpoint<T>,
+    ctx: &mut StrategyWorkerContext,
+    live: &Bitset,
+    seed_idx: Option<usize>,
+    epoch: u32,
+    store: &mut ConstraintStore,
+) -> (Vec<(Clause, u32, u32)>, Vec<StageTrace>, bool) {
+    let me = ep.rank();
+    // The seed (and whether its saturation succeeds) is identical on every
+    // rank, so the skip below is rank-uniform and nobody blocks waiting for
+    // a peer that bailed out.
+    let Some(idx) = seed_idx else {
+        return (Vec::new(), Vec::new(), false);
+    };
+    let seed_example = ctx.local.pos[idx].clone();
+    let Some(bottom) = ctx.engine.saturate(&seed_example) else {
+        return (Vec::new(), Vec::new(), true);
+    };
+    ep.advance_steps(bottom.steps);
+
+    let mut traces = Vec::new();
+    let mut round = |ep: &mut Endpoint<T>,
+                     ctx: &StrategyWorkerContext,
+                     guide: &SearchGuide,
+                     constraints: Option<&ConstraintStore>,
+                     step: u8,
+                     rules_in: u32|
+     -> (Vec<ScoredRule>, Vec<p2mdie_ilp::RuleShape>) {
+        let start = ep.now();
+        let stage_span = span!(ep.tracer(), "stage", start, origin = me as u8, step = step);
+        let out =
+            ctx.engine
+                .search_guided(&bottom, &ctx.local, Some(live), &[], guide, constraints);
+        ep.advance_steps(out.steps);
+        stage_span.end_with(
+            ep.now(),
+            &[
+                ("rules_out", (out.good.len() as u64).into()),
+                ("cut", (out.cut as u64).into()),
+            ],
+        );
+        traces.push(StageTrace {
+            worker: me as u8,
+            step,
+            start,
+            end: ep.now(),
+            rules_in,
+            rules_out: out.good.len() as u32,
+        });
+        (out.good, out.dead)
+    };
+
+    let good = match ctx.strategy {
+        Strategy::SearchPartition => {
+            let guide = SearchGuide {
+                slice: Some(LatticeSlice {
+                    rank: (me - 1) as u64,
+                    of: ep.workers() as u64,
+                    salt: ctx.strategy_seed,
+                }),
+                ..SearchGuide::default()
+            };
+            round(ep, ctx, &guide, None, 1, 0).0
+        }
+        Strategy::ConstraintDriven => {
+            let p = ep.workers();
+            let guide1 = SearchGuide {
+                explore_seed: Some(explore_seed(ctx.strategy_seed, epoch, me, 1)),
+                collect_dead: true,
+                dead_cap: DEAD_SHAPE_CAP,
+                ..SearchGuide::default()
+            };
+            let (good1, dead1) = round(ep, ctx, &guide1, Some(store), 1, 0);
+
+            // Exchange: broadcast my dead shapes, then gather each peer's
+            // in rank order. Sends are buffered, so every rank sending
+            // before receiving cannot deadlock; the traffic lands in the
+            // dedicated constraint row of the stats.
+            if p > 1 {
+                ep.set_constraint_phase(true);
+                for k in (1..=p).filter(|&k| k != me) {
+                    ep.send(
+                        k,
+                        &Msg::Constraint {
+                            origin: me as u8,
+                            epoch,
+                            shapes: dead1.clone(),
+                        },
+                    );
+                }
+                ep.set_constraint_phase(false);
+                for k in (1..=p).filter(|&k| k != me) {
+                    let msg = Msg::recv(ep, k, "a Constraint broadcast");
+                    let Msg::Constraint { shapes, .. } = msg else {
+                        panic!(
+                            "strategy worker {me}: expected a Constraint from rank {k}, \
+                             got {msg:?}"
+                        );
+                    };
+                    store.merge(&shapes);
+                }
+            }
+            store.merge(&dead1);
+
+            let guide2 = SearchGuide {
+                explore_seed: Some(explore_seed(ctx.strategy_seed, epoch, me, 2)),
+                collect_dead: true,
+                dead_cap: DEAD_SHAPE_CAP,
+                ..SearchGuide::default()
+            };
+            let (good2, dead2) = round(ep, ctx, &guide2, Some(store), 2, store.len() as u32);
+            store.merge(&dead2);
+
+            let mut good = good1;
+            good.extend(good2);
+            good
+        }
+        Strategy::DataPipeline => unreachable!("guarded at the loop entry"),
+    };
+
+    // Deterministic harvest: best-first by rank key, duplicates (a shape
+    // found in both rounds) collapsed, width cap applied.
+    let mut good = take_top(good, usize::MAX);
+    good.dedup_by(|a, b| a.shape == b.shape);
+    good.truncate(ctx.width.cap());
+    let rules = good
+        .iter()
+        .map(|r| (r.shape.to_clause(&bottom), r.pos, r.neg))
+        .collect();
+    (rules, traces, true)
+}
+
+/// [`crate::driver::run_parallel`]'s engine room for the non-default
+/// strategies: a fresh in-process mesh, full example replication, the
+/// shared strategy master. The lifecycle walk mirrors
+/// [`crate::scheduler::one_shot_parallel`].
+pub(crate) fn one_shot_strategy(
+    engine: &IlpEngine,
+    examples: &Examples,
+    cfg: &ParallelConfig,
+) -> Result<ParallelReport, ClusterError> {
+    assert!(
+        cfg.strategy != Strategy::DataPipeline,
+        "the data-pipeline strategy dispatches through one_shot_parallel"
+    );
+    assert!(
+        !cfg.repartition,
+        "repartitioning only applies to the data-pipeline strategy \
+         (the others replicate examples on every rank)"
+    );
+    assert!(
+        matches!(cfg.recovery, RecoveryPolicy::Abort),
+        "worker-death recovery only covers the data-pipeline strategy"
+    );
+    let started = Instant::now();
+    let mut job = Lifecycle::new(EPHEMERAL_JOB);
+    job.advance(JobState::Dispatching);
+
+    let threads_per_rank = threads_per_worker(engine.settings.eval_threads, cfg.workers);
+    let contexts: Vec<Mutex<Option<StrategyWorkerContext>>> = (0..cfg.workers)
+        .map(|_| {
+            let mut worker_engine = if cfg.ship_kb {
+                engine.with_empty_kb()
+            } else {
+                engine.clone()
+            };
+            worker_engine.settings.eval_threads = threads_per_rank;
+            Mutex::new(Some(StrategyWorkerContext::new(
+                worker_engine,
+                examples.clone(),
+                cfg.width,
+                cfg.strategy,
+                cfg.seed,
+            )))
+        })
+        .collect();
+    let settings = engine.settings.clone();
+    let total_pos = examples.num_pos();
+
+    job.advance(JobState::Running);
+    let run = run_cluster(
+        cfg.workers,
+        cfg.model,
+        |ep| {
+            if cfg.ship_kb {
+                ship_kb(ep, &engine.kb);
+            }
+            run_strategy_master(ep, &settings, total_pos)
+        },
+        |ep| {
+            let ctx = contexts[ep.rank() - 1]
+                .lock()
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: worker-context lock poisoned by an earlier panic",
+                        ep.rank()
+                    )
+                })
+                .take()
+                .expect("each worker context is taken exactly once");
+            run_strategy_worker(ep, ctx);
+        },
+    );
+    let outcome = match run {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            job.advance(JobState::Failed);
+            return Err(e);
+        }
+    };
+
+    job.advance(JobState::Draining);
+    let master = outcome.result;
+    let report = ParallelReport {
+        workers: cfg.workers,
+        theory: master.theory,
+        epochs: master.epochs,
+        set_aside: master.set_aside,
+        vtime: outcome.master_vtime,
+        worker_vtimes: outcome.worker_vtimes,
+        total_bytes: outcome.stats.total_bytes(),
+        total_messages: outcome.stats.total_messages(),
+        worker_steps: outcome.worker_steps,
+        dropped_sends: outcome.dropped_sends,
+        wall: started.elapsed(),
+        traces: master.traces,
+        stalled: master.stalled,
+        rank_losses: master.rank_losses,
+        recovery_bytes: outcome.stats.recovery_bytes(),
+        recovery_messages: outcome.stats.recovery_messages(),
+        constraint_bytes: outcome.stats.constraint_bytes(),
+        constraint_messages: outcome.stats.constraint_messages(),
+    };
+    job.advance(JobState::Done);
+    Ok(report)
+}
+
+/// [`one_shot_strategy`] with every worker a real OS process over localhost
+/// TCP: the full example set ships to every rank (replication is the
+/// strategy's data model, and the bytes are accounted like any other
+/// transfer), and the workers' constraint counters come back in their
+/// shutdown reports.
+pub(crate) fn one_shot_strategy_tcp(
+    engine: &IlpEngine,
+    examples: &Examples,
+    cfg: &ParallelConfig,
+    tcp: &crate::remote::TcpConfig,
+) -> Result<ParallelReport, ClusterError> {
+    assert!(
+        cfg.strategy != Strategy::DataPipeline,
+        "the data-pipeline strategy dispatches through one_shot_parallel_tcp"
+    );
+    assert!(!cfg.repartition && matches!(cfg.recovery, RecoveryPolicy::Abort));
+    let started = Instant::now();
+    let mut job = Lifecycle::new(EPHEMERAL_JOB);
+    job.advance(JobState::Dispatching);
+    let bin = tcp.resolve_worker_bin()?;
+    let subsets = vec![examples.clone(); cfg.workers];
+    let mut worker_settings = engine.settings.clone();
+    worker_settings.eval_threads = threads_per_worker(engine.settings.eval_threads, cfg.workers);
+    let config = WorkerConfig {
+        role: WorkerRole::Pipeline {
+            width: cfg.width,
+            repartition: false,
+        },
+        modes: engine.modes.clone(),
+        settings: worker_settings,
+        strategy: cfg.strategy,
+        strategy_seed: cfg.seed,
+    };
+    let settings = engine.settings.clone();
+    let total_pos = examples.num_pos();
+
+    job.advance(JobState::Running);
+    let run = run_cluster_tcp(
+        cfg.workers,
+        cfg.model,
+        tcp.timeout,
+        |rank, addr| crate::remote::spawn_worker(&bin, rank, addr, tcp),
+        |ep| {
+            crate::remote::bootstrap_workers(ep, engine, &config, &subsets);
+            run_strategy_master(ep, &settings, total_pos)
+        },
+    );
+    let outcome = match run {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            job.advance(JobState::Failed);
+            return Err(e);
+        }
+    };
+
+    job.advance(JobState::Draining);
+    let master = outcome.result;
+    let report = ParallelReport {
+        workers: cfg.workers,
+        theory: master.theory,
+        epochs: master.epochs,
+        set_aside: master.set_aside,
+        vtime: outcome.master_vtime,
+        worker_vtimes: outcome.worker_vtimes,
+        total_bytes: outcome.stats.total_bytes(),
+        total_messages: outcome.stats.total_messages(),
+        worker_steps: outcome.worker_steps,
+        dropped_sends: outcome.dropped_sends,
+        wall: started.elapsed(),
+        traces: master.traces,
+        stalled: master.stalled,
+        rank_losses: master.rank_losses,
+        recovery_bytes: outcome.stats.recovery_bytes(),
+        recovery_messages: outcome.stats.recovery_messages(),
+        constraint_bytes: outcome.stats.constraint_bytes(),
+        constraint_messages: outcome.stats.constraint_messages(),
+    };
+    job.advance(JobState::Done);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_parallel;
+    use p2mdie_cluster::CostModel;
+    use p2mdie_ilp::modes::ModeSet;
+    use p2mdie_logic::clause::Literal;
+    use p2mdie_logic::kb::KnowledgeBase;
+    use p2mdie_logic::symbol::SymbolTable;
+    use p2mdie_logic::term::Term;
+
+    /// Multiples of 6 or 10 in 1..=n — needs a two-rule theory.
+    fn problem(n: i64) -> (IlpEngine, Examples) {
+        let t = SymbolTable::new();
+        let mut kb = KnowledgeBase::new(t.clone());
+        for i in 1..=n {
+            if i % 2 == 0 {
+                kb.assert_fact(Literal::new(t.intern("even"), vec![Term::Int(i)]));
+            }
+            if i % 3 == 0 {
+                kb.assert_fact(Literal::new(t.intern("div3"), vec![Term::Int(i)]));
+            }
+            if i % 5 == 0 {
+                kb.assert_fact(Literal::new(t.intern("div5"), vec![Term::Int(i)]));
+            }
+        }
+        let modes = ModeSet::parse(
+            &t,
+            "special(+num)",
+            &[(1, "even(+num)"), (1, "div3(+num)"), (1, "div5(+num)")],
+        )
+        .unwrap();
+        let tgt = t.intern("special");
+        let ex = Examples::new(
+            (1..=n)
+                .filter(|i| i % 6 == 0 || i % 10 == 0)
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
+            (1..=n)
+                .filter(|i| i % 6 != 0 && i % 10 != 0)
+                .map(|i| Literal::new(tgt, vec![Term::Int(i)]))
+                .collect(),
+        );
+        let engine = IlpEngine::new(
+            kb,
+            modes,
+            Settings {
+                min_pos: 2,
+                noise: 0,
+                max_body: 3,
+                ..Settings::default()
+            },
+        );
+        (engine, ex)
+    }
+
+    fn cfg(workers: usize, strategy: Strategy) -> ParallelConfig {
+        let mut cfg = ParallelConfig::new(workers, Width::Unlimited, 42).with_strategy(strategy);
+        cfg.model = CostModel::free();
+        cfg
+    }
+
+    fn check_complete_and_consistent(engine: &IlpEngine, ex: &Examples, clauses: &[Clause]) {
+        let mut covered = Bitset::new(ex.num_pos());
+        for c in clauses {
+            let cov = engine.evaluate(c, ex, None, None);
+            covered.union_with(&cov.pos);
+            assert_eq!(cov.neg_count(), 0, "inconsistent clause in theory");
+        }
+        assert_eq!(
+            covered.count(),
+            ex.num_pos(),
+            "theory must cover all positives"
+        );
+    }
+
+    #[test]
+    fn strategy_tags_roundtrip() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(Strategy::from_tag(200), None);
+        assert_eq!(Strategy::default(), Strategy::DataPipeline);
+    }
+
+    /// Both non-default strategies learn a complete, consistent theory on
+    /// the two-rule problem, at several mesh widths.
+    #[test]
+    fn nondefault_strategies_learn_correct_theories() {
+        let (engine, ex) = problem(120);
+        for strategy in [Strategy::SearchPartition, Strategy::ConstraintDriven] {
+            for workers in [1, 2, 3] {
+                let rep = run_parallel(&engine, &ex, &cfg(workers, strategy)).unwrap();
+                assert!(!rep.stalled, "{strategy} with {workers} workers stalled");
+                check_complete_and_consistent(&engine, &ex, &rep.clauses());
+            }
+        }
+    }
+
+    /// The same (strategy, workers, seed) triple is deterministic:
+    /// identical theory, epochs, traffic, and steps across runs.
+    #[test]
+    fn strategy_runs_are_deterministic() {
+        let (engine, ex) = problem(120);
+        for strategy in [Strategy::SearchPartition, Strategy::ConstraintDriven] {
+            let a = run_parallel(&engine, &ex, &cfg(3, strategy)).unwrap();
+            let b = run_parallel(&engine, &ex, &cfg(3, strategy)).unwrap();
+            assert_eq!(a.theory, b.theory, "{strategy}");
+            assert_eq!(a.epochs, b.epochs, "{strategy}");
+            assert_eq!(a.total_bytes, b.total_bytes, "{strategy}");
+            assert_eq!(a.worker_steps, b.worker_steps, "{strategy}");
+        }
+    }
+
+    /// Constraint gossip is metered in its dedicated row: present under
+    /// `ConstraintDriven` with p ≥ 2, absent everywhere else, and always a
+    /// subset of the total.
+    #[test]
+    fn constraint_traffic_is_metered_separately() {
+        let (engine, ex) = problem(120);
+        let driven = run_parallel(&engine, &ex, &cfg(3, Strategy::ConstraintDriven)).unwrap();
+        assert!(
+            driven.constraint_messages > 0,
+            "a 3-rank constraint-driven run must gossip"
+        );
+        assert!(driven.constraint_bytes > 0);
+        assert!(driven.constraint_bytes <= driven.total_bytes);
+        assert!(driven.constraint_messages <= driven.total_messages);
+
+        let sliced = run_parallel(&engine, &ex, &cfg(3, Strategy::SearchPartition)).unwrap();
+        assert_eq!(sliced.constraint_bytes, 0);
+        assert_eq!(sliced.constraint_messages, 0);
+
+        let solo = run_parallel(&engine, &ex, &cfg(1, Strategy::ConstraintDriven)).unwrap();
+        assert_eq!(
+            solo.constraint_messages, 0,
+            "a single rank has nobody to gossip with"
+        );
+    }
+
+    /// The default strategy still routes through the legacy path: its
+    /// report never shows constraint traffic.
+    #[test]
+    fn data_pipeline_reports_no_constraint_traffic() {
+        let (engine, ex) = problem(120);
+        let rep = run_parallel(&engine, &ex, &cfg(2, Strategy::DataPipeline)).unwrap();
+        assert!(!rep.theory.is_empty());
+        assert_eq!(rep.constraint_bytes, 0);
+        assert_eq!(rep.constraint_messages, 0);
+    }
+}

@@ -201,6 +201,67 @@ fn baseline_job_matches_the_standalone_baseline() {
     service.shutdown().unwrap();
 }
 
+/// Cancelling a job once it is already `Running` is advisory: the job
+/// still reaches a legal terminal state (`Done` when the cancel lost the
+/// race to the refill loop, `Failed` when it won), the late-cancel
+/// [`Msg::CancelJob`](p2mdie_core::protocol::Msg::CancelJob) broadcast
+/// never wedges the refill loop, and the mesh keeps serving later jobs
+/// bit-identically.
+#[test]
+fn cancel_after_running_leaves_legal_state_and_does_not_wedge() {
+    let ds = p2mdie_datasets::trains(12, 5);
+    let service = Service::new(&ds.engine, ServiceConfig::new(WORKERS));
+
+    let first = service
+        .submit(
+            JobSpec::learn(ds.examples.clone())
+                .with_seed(3)
+                .with_width(WIDTH),
+        )
+        .unwrap();
+    // Give the refill loop time to dequeue and dispatch, then cancel
+    // mid-run. The cancel is advisory, so whichever way the race goes the
+    // outcome must be terminal and legal — no third option, no hang.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    first.cancel();
+    let outcome = first.wait();
+    match outcome.state {
+        JobState::Done => {
+            // Too late to stop: the job ran to completion and its result
+            // is exactly the uncancelled one.
+            assert_eq!(outcome.learned().theory, solo_learn(&ds, 3).theory);
+        }
+        JobState::Failed => {
+            assert_eq!(
+                outcome.error.as_deref(),
+                Some("cancelled before dispatch"),
+                "a cancelled job must fail with the queue-cancel reason"
+            );
+            assert!(outcome.output.is_none());
+        }
+        other => panic!("cancel left the job in a non-terminal state: {other:?}"),
+    }
+
+    // The refill loop must not be wedged by the advisory broadcast: a
+    // subsequent job runs to completion and matches its solo run.
+    let second = service
+        .submit(
+            JobSpec::learn(ds.examples.clone())
+                .with_seed(4)
+                .with_width(WIDTH),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(second.state, JobState::Done);
+    assert_eq!(second.learned().theory, solo_learn(&ds, 4).theory);
+
+    let report = service.shutdown().unwrap();
+    assert_eq!(
+        report.dropped_sends, 0,
+        "every advisory CancelJob frame must have been deliverable"
+    );
+}
+
 /// Live introspection over the wire (protocol v6): `Service::metrics()`
 /// pulls one snapshot per resident worker while the mesh is idle, and the
 /// per-worker inference-step counters must move by exactly the deltas the

@@ -1,0 +1,174 @@
+//! The strategy seam's backward-compatibility contract: routing a run
+//! through [`ParallelConfig::with_strategy`] with
+//! [`Strategy::DataPipeline`] must be **bit-identical** to the pre-seam
+//! composition — `run_cluster` driving `run_master` against one
+//! `run_worker` per rank over a seeded static partition. Not just the
+//! theory: epochs, set-aside count, virtual time, per-rank inference
+//! steps, and the traffic totals must all match, and the dedicated
+//! constraint-traffic row must stay zero (the data-pipeline protocol
+//! never broadcasts constraints).
+//!
+//! The randomized differential sweep covers worker counts, seeds, and
+//! pipeline widths, so any conditional the seam might have leaked into
+//! the legacy path shows up as a diff here.
+
+use p2mdie_cluster::{run_cluster, ClusterOutcome, CostModel};
+use p2mdie_core::driver::{run_parallel, ParallelConfig, TransportKind};
+use p2mdie_core::master::{run_master, MasterOutcome};
+use p2mdie_core::partition::partition_examples;
+use p2mdie_core::remote::TcpConfig;
+use p2mdie_core::worker::{run_worker, WorkerContext};
+use p2mdie_core::Strategy;
+use p2mdie_ilp::engine::IlpEngine;
+use p2mdie_ilp::examples::Examples;
+use p2mdie_ilp::settings::Width;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The pre-seam shape of `run_parallel`: partition the examples, run the
+/// Figure-5/6/7 protocol directly on the simulated cluster. Pinning
+/// `eval_threads` to 1 on both sides keeps the composition independent of
+/// the machine's core count.
+fn pre_seam_run(
+    engine: &IlpEngine,
+    examples: &Examples,
+    workers: usize,
+    width: Width,
+    seed: u64,
+) -> ClusterOutcome<MasterOutcome> {
+    let (subsets, _partition) = partition_examples(examples, workers, seed);
+    let contexts: Vec<Mutex<Option<WorkerContext>>> = subsets
+        .into_iter()
+        .map(|local| Mutex::new(Some(WorkerContext::new(engine.clone(), local, width))))
+        .collect();
+    let settings = engine.settings.clone();
+    let total_pos = examples.num_pos();
+    run_cluster(
+        workers,
+        CostModel::beowulf_2005(),
+        |ep| run_master(ep, &settings, total_pos),
+        |ep| {
+            let ctx = contexts[ep.rank() - 1]
+                .lock()
+                .expect("context lock")
+                .take()
+                .expect("each context taken once");
+            run_worker(ep, ctx);
+        },
+    )
+    .expect("pre-seam cluster run")
+}
+
+fn pinned_engine(ds: &p2mdie_datasets::Dataset) -> IlpEngine {
+    let mut engine = ds.engine.clone();
+    engine.settings.eval_threads = 1;
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Differential: the seam's `DataPipeline` arm vs the inline pre-seam
+    /// composition, across worker counts, seeds, and widths.
+    #[test]
+    fn data_pipeline_through_the_seam_is_bit_identical(
+        workers in 1usize..=3,
+        seed in 0u64..6,
+        width_pick in 0usize..3,
+    ) {
+        let width = [Width::Unlimited, Width::Limit(4), Width::Limit(10)][width_pick];
+        let ds = p2mdie_datasets::trains(12, 5);
+        let engine = pinned_engine(&ds);
+
+        let cfg = ParallelConfig::new(workers, width, seed)
+            .with_strategy(Strategy::DataPipeline);
+        let seam = run_parallel(&engine, &ds.examples, &cfg).expect("seam run");
+        let pre = pre_seam_run(&engine, &ds.examples, workers, width, seed);
+
+        prop_assert_eq!(&seam.theory, &pre.result.theory, "theory drifted");
+        prop_assert_eq!(seam.epochs, pre.result.epochs, "epochs drifted");
+        prop_assert_eq!(seam.set_aside, pre.result.set_aside);
+        prop_assert_eq!(seam.stalled, pre.result.stalled);
+        prop_assert_eq!(seam.vtime, pre.master_vtime, "master clock drifted");
+        prop_assert_eq!(&seam.worker_vtimes, &pre.worker_vtimes);
+        prop_assert_eq!(&seam.worker_steps, &pre.worker_steps, "per-rank steps drifted");
+        prop_assert_eq!(seam.total_bytes, pre.stats.total_bytes(), "traffic bytes drifted");
+        prop_assert_eq!(seam.total_messages, pre.stats.total_messages());
+        prop_assert_eq!(seam.dropped_sends, 0u64);
+        prop_assert_eq!(
+            seam.constraint_bytes, 0u64,
+            "the data-pipeline protocol must never meter constraint traffic"
+        );
+        prop_assert_eq!(seam.constraint_messages, 0u64);
+        prop_assert_eq!(pre.stats.constraint_bytes(), 0u64);
+    }
+}
+
+/// The default `ParallelConfig` takes the seam's `DataPipeline` arm, so a
+/// caller that never heard of strategies gets the paper's protocol
+/// unchanged — same report as asking for it explicitly.
+#[test]
+fn default_config_is_the_data_pipeline_strategy() {
+    let ds = p2mdie_datasets::trains(12, 5);
+    let engine = pinned_engine(&ds);
+    let implicit = run_parallel(
+        &engine,
+        &ds.examples,
+        &ParallelConfig::new(2, Width::Limit(10), 7),
+    )
+    .expect("implicit run");
+    let explicit = run_parallel(
+        &engine,
+        &ds.examples,
+        &ParallelConfig::new(2, Width::Limit(10), 7).with_strategy(Strategy::DataPipeline),
+    )
+    .expect("explicit run");
+    assert_eq!(implicit.theory, explicit.theory);
+    assert_eq!(implicit.epochs, explicit.epochs);
+    assert_eq!(implicit.vtime, explicit.vtime);
+    assert_eq!(implicit.total_bytes, explicit.total_bytes);
+    assert_eq!(implicit.worker_steps, explicit.worker_steps);
+}
+
+/// Cross-strategy smoke over real worker processes: each non-default
+/// strategy run on a localhost TCP mesh induces the same theory, epochs,
+/// and per-rank steps as its in-process twin, and the constraint-driven
+/// run's exchange traffic makes it back to the master through the
+/// per-worker [`Msg::WorkerReport`] counters.
+#[test]
+fn strategies_over_tcp_match_in_process_runs() {
+    let worker_bin = env!("CARGO_BIN_EXE_p2mdie-worker");
+    let ds = p2mdie_datasets::trains(12, 5);
+    let engine = pinned_engine(&ds);
+
+    for strategy in [Strategy::SearchPartition, Strategy::ConstraintDriven] {
+        let cfg = ParallelConfig::new(2, Width::Limit(10), 5)
+            .with_strategy(strategy)
+            .with_kb_shipping();
+        let reference = run_parallel(&engine, &ds.examples, &cfg).expect("in-process run");
+
+        let tcp_cfg = cfg
+            .clone()
+            .with_transport(TransportKind::Tcp(TcpConfig::with_worker_bin(worker_bin)));
+        let tcp = run_parallel(&engine, &ds.examples, &tcp_cfg).expect("TCP run");
+
+        assert_eq!(reference.theory, tcp.theory, "{strategy}: theory drifted");
+        assert_eq!(reference.epochs, tcp.epochs, "{strategy}");
+        assert_eq!(reference.set_aside, tcp.set_aside, "{strategy}");
+        assert_eq!(
+            reference.worker_steps, tcp.worker_steps,
+            "{strategy}: per-rank steps drifted"
+        );
+        assert_eq!(tcp.dropped_sends, 0, "{strategy}");
+        if strategy == Strategy::ConstraintDriven {
+            assert!(
+                tcp.constraint_messages > 0,
+                "the workers' constraint exchange must reach the master's meters"
+            );
+            assert!(tcp.constraint_bytes > 0);
+            assert!(tcp.constraint_bytes < tcp.total_bytes);
+        } else {
+            assert_eq!(tcp.constraint_bytes, 0, "{strategy} metered constraints");
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Evaluation machinery for the p²-mdie reproduction: stratified k-fold
 //! cross-validation, theory accuracy, the paired Student t-test of the
 //! paper's Table 6, ASCII table rendering, and the experiment sweep driver
-//! that regenerates Tables 1–6 from live runs.
+//! that regenerates Tables 1–6 from live runs, plus a cross-strategy
+//! comparison table (Table 7, beyond the paper) produced by the sweep's
+//! strategy axis.
 
 pub mod accuracy;
 pub mod folds;
@@ -14,5 +16,5 @@ pub use accuracy::{score_theory, Confusion};
 pub use folds::{stratified_folds, Fold};
 pub use stats::{betai, ln_gamma, mean, stddev};
 pub use sweep::{run_sweep, DatasetSweep, RunSeries, SweepConfig, SweepResults};
-pub use tables::{render_table, table1, table2, table3, table4, table5, table6};
+pub use tables::{render_table, table1, table2, table3, table4, table5, table6, table7};
 pub use ttest::{paired_ttest, t_two_tailed_p, TTest};

@@ -7,6 +7,7 @@ use crate::accuracy::score_theory;
 use crate::folds::stratified_folds;
 use p2mdie_cluster::CostModel;
 use p2mdie_core::driver::{run_parallel, run_sequential_timed, ParallelConfig};
+use p2mdie_core::Strategy;
 use p2mdie_datasets::Dataset;
 use p2mdie_ilp::settings::Width;
 
@@ -27,6 +28,11 @@ pub struct SweepConfig {
     pub widths: Vec<Width>,
     /// Virtual-time cost model.
     pub model: CostModel,
+    /// Parallelization strategies for the cross-strategy axis (Table 7).
+    /// Each one runs at `widths[0]` × `procs.last()` so the comparison is
+    /// apples-to-apples; the paper's grid (Tables 2–6) always runs the
+    /// data-pipeline protocol. Empty disables the axis.
+    pub strategies: Vec<Strategy>,
     /// Print per-run progress to stderr.
     pub verbose: bool,
 }
@@ -44,6 +50,7 @@ impl Default for SweepConfig {
             procs: vec![2, 4, 8],
             widths: vec![Width::Unlimited, Width::Limit(10)],
             model: CostModel::beowulf_2005(),
+            strategies: vec![Strategy::DataPipeline],
             verbose: false,
         }
     }
@@ -60,6 +67,10 @@ pub struct RunSeries {
     pub epochs: Vec<f64>,
     /// Communication volumes (MBytes).
     pub mbytes: Vec<f64>,
+    /// Constraint-broadcast volumes (MBytes) — the labelled subset of
+    /// `mbytes` spent exchanging pruning constraints; zero everywhere
+    /// except `Strategy::ConstraintDriven` cells.
+    pub cmbytes: Vec<f64>,
     /// Per-fold speedups vs the sequential fold time.
     pub speedups: Vec<f64>,
 }
@@ -77,6 +88,9 @@ pub struct DatasetSweep {
     pub seq: RunSeries,
     /// One series per `(width, procs)` cell, in sweep order.
     pub cells: Vec<(Width, usize, RunSeries)>,
+    /// One series per strategy on the cross-strategy axis (all at
+    /// `widths[0]` × `procs.last()`), in config order.
+    pub strategy_cells: Vec<(Strategy, RunSeries)>,
 }
 
 impl DatasetSweep {
@@ -86,6 +100,14 @@ impl DatasetSweep {
             .iter()
             .find(|(w, p, _)| *w == width && *p == procs)
             .map(|(_, _, s)| s)
+    }
+
+    /// Finds a strategy cell's series.
+    pub fn strategy_cell(&self, strategy: Strategy) -> Option<&RunSeries> {
+        self.strategy_cells
+            .iter()
+            .find(|(s, _)| *s == strategy)
+            .map(|(_, s)| s)
     }
 }
 
@@ -128,7 +150,14 @@ fn sweep_dataset(ds: &Dataset, cfg: &SweepConfig) -> DatasetSweep {
             .iter()
             .flat_map(|w| cfg.procs.iter().map(|p| (*w, *p, RunSeries::default())))
             .collect::<Vec<_>>(),
+        strategy_cells: cfg
+            .strategies
+            .iter()
+            .map(|s| (*s, RunSeries::default()))
+            .collect::<Vec<_>>(),
     };
+    let strategy_width = cfg.widths.first().copied().unwrap_or(Width::Unlimited);
+    let strategy_procs = cfg.procs.last().copied().unwrap_or(2);
 
     for (fi, fold) in folds.iter().enumerate() {
         // Sequential baseline for this fold.
@@ -148,20 +177,11 @@ fn sweep_dataset(ds: &Dataset, cfg: &SweepConfig) -> DatasetSweep {
         out.seq.accs.push(seq_acc);
         out.seq.epochs.push(seq.epochs as f64);
         out.seq.mbytes.push(0.0);
+        out.seq.cmbytes.push(0.0);
         out.seq.speedups.push(1.0);
 
         for (w, p, series) in &mut out.cells {
-            let pcfg = ParallelConfig {
-                workers: *p,
-                width: *w,
-                model: cfg.model,
-                seed: cfg.seed.wrapping_add(fi as u64),
-                repartition: false,
-                ship_kb: false,
-                transport: p2mdie_core::driver::TransportKind::InProcess,
-                recovery: p2mdie_core::driver::RecoveryPolicy::Abort,
-                chaos: Vec::new(),
-            };
+            let pcfg = cell_config(cfg, *p, *w, fi, Strategy::DataPipeline);
             let rep = run_parallel(&ds.engine, &fold.train, &pcfg)
                 .unwrap_or_else(|e| panic!("parallel run failed: {e}"));
             let acc = score_theory(&ds.engine, &rep.clauses(), &fold.test).accuracy_pct();
@@ -182,10 +202,59 @@ fn sweep_dataset(ds: &Dataset, cfg: &SweepConfig) -> DatasetSweep {
             series.accs.push(acc);
             series.epochs.push(rep.epochs as f64);
             series.mbytes.push(rep.megabytes());
+            series.cmbytes.push(rep.constraint_bytes as f64 / 1.0e6);
+            series.speedups.push(seq.vtime / rep.vtime);
+        }
+
+        // Cross-strategy axis: every strategy at the same (width, procs)
+        // cell, against the same folds, so Table 7 compares like with like.
+        for (strat, series) in &mut out.strategy_cells {
+            let pcfg = cell_config(cfg, strategy_procs, strategy_width, fi, *strat);
+            let rep = run_parallel(&ds.engine, &fold.train, &pcfg)
+                .unwrap_or_else(|e| panic!("strategy run failed: {e}"));
+            let acc = score_theory(&ds.engine, &rep.clauses(), &fold.test).accuracy_pct();
+            if cfg.verbose {
+                eprintln!(
+                    "[{}] fold {fi}: strategy={strat} t={:.0}s speedup={:.2} epochs={} {:.1}MB ({:.2}MB constraints) acc={:.1}%",
+                    ds.name,
+                    rep.vtime,
+                    seq.vtime / rep.vtime,
+                    rep.epochs,
+                    rep.megabytes(),
+                    rep.constraint_bytes as f64 / 1.0e6,
+                    acc,
+                );
+            }
+            series.times.push(rep.vtime);
+            series.accs.push(acc);
+            series.epochs.push(rep.epochs as f64);
+            series.mbytes.push(rep.megabytes());
+            series.cmbytes.push(rep.constraint_bytes as f64 / 1.0e6);
             series.speedups.push(seq.vtime / rep.vtime);
         }
     }
     out
+}
+
+fn cell_config(
+    cfg: &SweepConfig,
+    workers: usize,
+    width: Width,
+    fold: usize,
+    strategy: Strategy,
+) -> ParallelConfig {
+    ParallelConfig {
+        workers,
+        width,
+        model: cfg.model,
+        seed: cfg.seed.wrapping_add(fold as u64),
+        repartition: false,
+        ship_kb: false,
+        transport: p2mdie_core::driver::TransportKind::InProcess,
+        recovery: p2mdie_core::driver::RecoveryPolicy::Abort,
+        chaos: Vec::new(),
+        strategy,
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +273,7 @@ mod tests {
             procs: vec![2],
             widths: vec![Width::Limit(4)],
             model: CostModel::beowulf_2005(),
+            strategies: Vec::new(),
             verbose: false,
         };
         let res = run_sweep(&cfg);
@@ -211,10 +281,53 @@ mod tests {
         let d = &res.datasets[0];
         assert_eq!(d.seq.times.len(), 2);
         assert_eq!(d.cells.len(), 1);
+        assert!(d.strategy_cells.is_empty());
         let cell = d.cell(Width::Limit(4), 2).unwrap();
         assert_eq!(cell.times.len(), 2);
         assert!(cell.times.iter().all(|t| *t > 0.0));
         assert!(cell.accs.iter().all(|a| (0.0..=100.0).contains(a)));
         assert!(cell.mbytes.iter().all(|m| *m > 0.0));
+        assert!(cell.cmbytes.iter().all(|c| *c == 0.0));
+    }
+
+    /// The cross-strategy axis: all three strategies on two datasets, each
+    /// producing a complete series, with constraint traffic non-zero only
+    /// under the constraint-driven strategy.
+    #[test]
+    fn strategy_axis_covers_every_strategy_on_two_datasets() {
+        let cfg = SweepConfig {
+            datasets: vec!["carcinogenesis".into(), "mesh".into()],
+            scale: 0.08,
+            seed: 7,
+            folds: 2,
+            procs: vec![2],
+            widths: vec![Width::Limit(4)],
+            model: CostModel::beowulf_2005(),
+            strategies: Strategy::ALL.to_vec(),
+            verbose: false,
+        };
+        let res = run_sweep(&cfg);
+        assert_eq!(res.datasets.len(), 2);
+        for d in &res.datasets {
+            assert_eq!(d.strategy_cells.len(), Strategy::ALL.len());
+            for strat in Strategy::ALL {
+                let s = d.strategy_cell(strat).unwrap();
+                assert_eq!(s.times.len(), 2);
+                assert!(s.times.iter().all(|t| *t > 0.0), "{strat} on {}", d.name);
+                assert!(s.accs.iter().all(|a| (0.0..=100.0).contains(a)));
+                if strat == Strategy::ConstraintDriven {
+                    assert!(
+                        s.cmbytes.iter().all(|c| *c > 0.0),
+                        "no constraint traffic on {}",
+                        d.name
+                    );
+                } else {
+                    assert!(
+                        s.cmbytes.iter().all(|c| *c == 0.0),
+                        "{strat} metered constraints"
+                    );
+                }
+            }
+        }
     }
 }

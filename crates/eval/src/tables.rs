@@ -155,10 +155,48 @@ pub fn table6(res: &SweepResults) -> String {
     )
 }
 
+/// Table 7 (beyond the paper): cross-strategy comparison. One row per
+/// dataset × strategy, every strategy run at the same `(width, procs)`
+/// cell over the same folds, with the constraint-broadcast traffic broken
+/// out of the total so the cost of the pruning exchange is visible.
+pub fn table7(res: &SweepResults) -> String {
+    let header = vec![
+        "Dataset".to_owned(),
+        "Strategy".to_owned(),
+        "Speedup".to_owned(),
+        "Time (s)".to_owned(),
+        "Epochs".to_owned(),
+        "Comm (MB)".to_owned(),
+        "Constr (MB)".to_owned(),
+        "Accuracy".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    for d in &res.datasets {
+        for (strat, s) in &d.strategy_cells {
+            rows.push(vec![
+                d.name.clone(),
+                strat.label().to_owned(),
+                format!("{:.2}", mean(&s.speedups)),
+                format!("{:.0}", mean(&s.times)),
+                format!("{:.0}", mean(&s.epochs)),
+                format!("{:.3}", mean(&s.mbytes)),
+                format!("{:.3}", mean(&s.cmbytes)),
+                format!("{:.2} ({:.2})", mean(&s.accs), stddev(&s.accs)),
+            ]);
+        }
+    }
+    render_table(
+        "Table 7. Cross-strategy comparison (same width, procs, and folds)",
+        &header,
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sweep::{DatasetSweep, SweepConfig};
+    use p2mdie_core::Strategy;
     use p2mdie_ilp::settings::Width;
 
     fn fake_results() -> SweepResults {
@@ -166,6 +204,7 @@ mod tests {
             datasets: vec!["toy".into()],
             procs: vec![2, 4],
             widths: vec![Width::Unlimited, Width::Limit(10)],
+            strategies: Strategy::ALL.to_vec(),
             ..SweepConfig::default()
         };
         let series = |t: f64| RunSeries {
@@ -173,7 +212,12 @@ mod tests {
             accs: vec![60.0, 62.0],
             epochs: vec![10.0, 12.0],
             mbytes: vec![1.5, 2.5],
+            cmbytes: vec![0.0, 0.0],
             speedups: vec![2.0, 2.2],
+        };
+        let cseries = || RunSeries {
+            cmbytes: vec![0.25, 0.35],
+            ..series(30.0)
         };
         SweepResults {
             config,
@@ -187,6 +231,11 @@ mod tests {
                     (Width::Unlimited, 4, series(25.0)),
                     (Width::Limit(10), 2, series(45.0)),
                     (Width::Limit(10), 4, series(20.0)),
+                ],
+                strategy_cells: vec![
+                    (Strategy::DataPipeline, series(25.0)),
+                    (Strategy::SearchPartition, series(28.0)),
+                    (Strategy::ConstraintDriven, cseries()),
                 ],
             }],
         }
@@ -207,6 +256,22 @@ mod tests {
         assert!(t5.contains("11"));
         let t6 = table6(&r);
         assert!(t6.contains("61.00"));
+    }
+
+    /// Table 7 renders one row per strategy, labelled, with the constraint
+    /// column non-zero only on the constraint-driven row.
+    #[test]
+    fn table7_has_a_row_per_strategy() {
+        let r = fake_results();
+        let t7 = table7(&r);
+        for strat in Strategy::ALL {
+            assert!(t7.contains(strat.label()), "missing {strat} row:\n{t7}");
+        }
+        let driven = t7
+            .lines()
+            .find(|l| l.contains("constraint-driven"))
+            .unwrap();
+        assert!(driven.contains("0.300"), "{driven}");
     }
 
     #[test]

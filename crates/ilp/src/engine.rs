@@ -7,8 +7,8 @@ use crate::coverage::Coverage;
 use crate::examples::Examples;
 use crate::mdie::{run_sequential, SequentialOutcome};
 use crate::modes::ModeSet;
-use crate::refine::RuleShape;
-use crate::search::{search_rules, SearchOutcome};
+use crate::refine::{ConstraintStore, RuleShape};
+use crate::search::{search_rules, search_rules_guided, SearchGuide, SearchOutcome};
 use crate::settings::Settings;
 use p2mdie_logic::clause::{Clause, Literal};
 use p2mdie_logic::kb::KnowledgeBase;
@@ -71,6 +71,31 @@ impl IlpEngine {
         seeds: &[RuleShape],
     ) -> SearchOutcome {
         search_rules(&self.kb, &self.settings, bottom, examples, live_pos, seeds)
+    }
+
+    /// [`IlpEngine::search`] with strategy hooks (lattice slice, seeded
+    /// exploration, dead-shape collection, constraint cuts). A default
+    /// guide and empty store reduce to the plain search bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_guided(
+        &self,
+        bottom: &BottomClause,
+        examples: &Examples,
+        live_pos: Option<&Bitset>,
+        seeds: &[RuleShape],
+        guide: &SearchGuide,
+        constraints: Option<&ConstraintStore>,
+    ) -> SearchOutcome {
+        search_rules_guided(
+            &self.kb,
+            &self.settings,
+            bottom,
+            examples,
+            live_pos,
+            seeds,
+            guide,
+            constraints,
+        )
     }
 
     /// Evaluates one rule (`evalOnExamples`, Fig. 2 step 6), fanning out

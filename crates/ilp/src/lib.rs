@@ -57,6 +57,8 @@ pub use engine::IlpEngine;
 pub use examples::Examples;
 pub use mdie::{run_sequential, LearnedRule, SequentialOutcome};
 pub use modes::{ModeArg, ModeDecl, ModeSet};
-pub use refine::RuleShape;
-pub use search::{search_rules, take_top, ScoredRule, SearchOutcome};
+pub use refine::{ConstraintStore, LatticeSlice, RuleShape};
+pub use search::{
+    search_rules, search_rules_guided, take_top, ScoredRule, SearchGuide, SearchOutcome,
+};
 pub use settings::{ScoreFn, Settings, Width};

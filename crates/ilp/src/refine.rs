@@ -105,6 +105,129 @@ impl RuleShape {
     }
 }
 
+/// SplitMix64 — the small deterministic mixer used for lattice partitioning
+/// and seeded exploration orders (no external RNG dependency). Public so
+/// the strategy layer can derive per-(epoch, rank, round) exploration
+/// seeds from the same chain.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A disjoint slice of the refinement lattice for hypothesis-parallel
+/// search (the "data-parallel Aleph" strategy: same examples everywhere,
+/// different parts of the search space per rank).
+///
+/// Because [`RuleShape::successors`] only ever appends a strictly larger
+/// index, every non-empty shape keeps the first literal it was born with —
+/// the lattice is a forest of complete subtrees rooted at the one-literal
+/// shapes. Partitioning by a salted hash of that *first* literal therefore
+/// yields disjoint, collectively exhaustive subtrees: no shape is reachable
+/// from two slices, and every shape is reachable from exactly one. The
+/// empty shape (the shared root) is admitted by every slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatticeSlice {
+    /// This slice's index in `0..of`.
+    pub rank: u64,
+    /// Total number of slices.
+    pub of: u64,
+    /// Shared salt (derived from the job seed) so reruns and resubmissions
+    /// repartition identically.
+    pub salt: u64,
+}
+
+impl LatticeSlice {
+    /// True when `shape` belongs to this slice of the lattice.
+    pub fn admits(&self, shape: &RuleShape) -> bool {
+        if self.of <= 1 {
+            return true;
+        }
+        match shape.lits.first() {
+            // The shared root: every slice starts its search there.
+            None => true,
+            Some(&first) => splitmix64(u64::from(first) ^ self.salt) % self.of == self.rank,
+        }
+    }
+}
+
+/// A set of *dead* shapes: shapes proven unable to reach `min_pos` positive
+/// cover, which — coverage being anti-monotone under specialization — kills
+/// their entire specialization subtree too.
+///
+/// This is the pruning knowledge the constraint-driven strategy gossips
+/// between ranks. Shapes index into one specific bottom clause, so a store
+/// is only meaningful between searches that share the same saturated seed
+/// example; callers must clear it when the seed changes.
+///
+/// The store keeps a generalization antichain: inserting a shape drops any
+/// stored shape it generalizes, and is itself dropped when a stored shape
+/// already generalizes it.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintStore {
+    shapes: Vec<RuleShape>,
+}
+
+impl ConstraintStore {
+    /// Maximum shapes retained; beyond this, inserts are dropped (pruning
+    /// is an optimization — forgetting a constraint is always sound).
+    pub const CAP: usize = 512;
+
+    /// An empty store.
+    pub fn new() -> Self {
+        ConstraintStore::default()
+    }
+
+    /// Number of stored (minimal) dead shapes.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// True when no constraints are held.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// The stored antichain, for broadcasting to peers.
+    pub fn shapes(&self) -> &[RuleShape] {
+        &self.shapes
+    }
+
+    /// Records a dead shape. Returns true when the store changed.
+    pub fn insert(&mut self, shape: RuleShape) -> bool {
+        if self.shapes.iter().any(|s| s.generalizes(&shape)) {
+            return false;
+        }
+        self.shapes.retain(|s| !shape.generalizes(s));
+        if self.shapes.len() >= Self::CAP {
+            return false;
+        }
+        self.shapes.push(shape);
+        true
+    }
+
+    /// Merges a batch of shapes received from a peer.
+    pub fn merge(&mut self, shapes: &[RuleShape]) {
+        for s in shapes {
+            self.insert(s.clone());
+        }
+    }
+
+    /// True when `shape` is within some stored dead shape's subtree (a
+    /// stored generalization of `shape` exists) — the search may skip it
+    /// without evaluating.
+    pub fn prunes(&self, shape: &RuleShape) -> bool {
+        self.shapes.iter().any(|s| s.generalizes(shape))
+    }
+
+    /// Drops every constraint (the seed example changed, so stored shapes
+    /// no longer index into the current bottom clause).
+    pub fn clear(&mut self) {
+        self.shapes.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +314,77 @@ mod tests {
         assert!(!ab.generalizes(&a));
         assert!(RuleShape::empty().generalizes(&a));
         assert!(a.generalizes(&a));
+    }
+
+    /// All dataflow-closed shapes of the hand-built bottom clause.
+    fn all_shapes() -> Vec<RuleShape> {
+        let (_, b) = bottom();
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = vec![RuleShape::empty()];
+        while let Some(s) = queue.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            queue.extend(s.successors(&b, 4));
+        }
+        seen.into_iter().collect()
+    }
+
+    #[test]
+    fn lattice_slices_partition_every_nonempty_shape() {
+        let shapes = all_shapes();
+        for of in 1..=4u64 {
+            for shape in &shapes {
+                let admitting = (0..of)
+                    .filter(|&rank| LatticeSlice { rank, of, salt: 42 }.admits(shape))
+                    .count() as u64;
+                if shape.lits.is_empty() {
+                    assert_eq!(admitting, of, "shared root belongs to every slice");
+                } else {
+                    assert_eq!(admitting, 1, "{shape:?} must land on exactly one slice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_slices_are_subtree_closed() {
+        // Whatever slice admits a shape also admits all its successors —
+        // the partition never cuts a subtree in half.
+        let (_, b) = bottom();
+        let slice = LatticeSlice {
+            rank: 1,
+            of: 3,
+            salt: 7,
+        };
+        for shape in all_shapes() {
+            if !shape.lits.is_empty() && slice.admits(&shape) {
+                for succ in shape.successors(&b, 4) {
+                    assert!(slice.admits(&succ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_store_keeps_a_minimal_antichain() {
+        let mut store = ConstraintStore::new();
+        assert!(store.insert(RuleShape::from_indices(vec![0, 1])));
+        // A specialization of a stored dead shape adds nothing.
+        assert!(!store.insert(RuleShape::from_indices(vec![0, 1, 2])));
+        assert_eq!(store.len(), 1);
+        // A generalization replaces the more specific entry.
+        assert!(store.insert(RuleShape::from_indices(vec![0])));
+        assert_eq!(store.len(), 1);
+        assert!(store.prunes(&RuleShape::from_indices(vec![0, 2])));
+        assert!(!store.prunes(&RuleShape::from_indices(vec![2])));
+        store.merge(&[
+            RuleShape::from_indices(vec![2]),
+            RuleShape::from_indices(vec![0, 2]),
+        ]);
+        assert_eq!(store.len(), 2);
+        store.clear();
+        assert!(store.is_empty());
     }
 
     #[test]

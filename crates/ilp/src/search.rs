@@ -24,7 +24,7 @@ use crate::bitset::Bitset;
 use crate::bottom::BottomClause;
 use crate::coverage::{evaluate_side_prepared, prepare_rule};
 use crate::examples::Examples;
-use crate::refine::RuleShape;
+use crate::refine::{splitmix64, ConstraintStore, LatticeSlice, RuleShape};
 use crate::settings::Settings;
 use p2mdie_logic::fxhash::FxHashSet;
 use p2mdie_logic::kb::KnowledgeBase;
@@ -66,6 +66,13 @@ pub struct SearchOutcome {
     pub nodes: usize,
     /// Inference steps spent evaluating candidates (virtual-time fuel).
     pub steps: u64,
+    /// Dead-shape cut frontier discovered this search (shapes whose whole
+    /// specialization subtree was abandoned for lack of positive cover).
+    /// Only collected when [`SearchGuide::collect_dead`] is set.
+    pub dead: Vec<RuleShape>,
+    /// Nodes skipped *without evaluation* because a constraint-store entry
+    /// already proved their subtree dead.
+    pub cut: usize,
 }
 
 impl SearchOutcome {
@@ -73,6 +80,27 @@ impl SearchOutcome {
     pub fn best(&self) -> Option<&ScoredRule> {
         self.good.first()
     }
+}
+
+/// Strategy hooks threaded through [`search_rules_guided`]. The default
+/// guide is a strict no-op: `search_rules` through a default guide is
+/// bit-identical to the unguided search (pinned by test).
+#[derive(Clone, Debug, Default)]
+pub struct SearchGuide {
+    /// Restrict expansion to one slice of the refinement lattice
+    /// (hypothesis-parallel search). Successors outside the slice are never
+    /// enqueued; since slices are subtree-closed this loses nothing the
+    /// slice owns.
+    pub slice: Option<LatticeSlice>,
+    /// Deterministically shuffle each node's successor order with this
+    /// seed. Under an exhausted node budget different seeds explore
+    /// different lattice regions — the constraint-driven strategy's source
+    /// of inter-rank diversity. `None` keeps index order.
+    pub explore_seed: Option<u64>,
+    /// Collect the dead-shape cut frontier into [`SearchOutcome::dead`].
+    pub collect_dead: bool,
+    /// Cap on collected dead shapes (broadcast payload bound).
+    pub dead_cap: usize,
 }
 
 /// Runs one breadth-first search over `bottom`'s refinement lattice.
@@ -89,7 +117,37 @@ pub fn search_rules(
     live_pos: Option<&Bitset>,
     seeds: &[RuleShape],
 ) -> SearchOutcome {
+    search_rules_guided(
+        kb,
+        settings,
+        bottom,
+        examples,
+        live_pos,
+        seeds,
+        &SearchGuide::default(),
+        None,
+    )
+}
+
+/// [`search_rules`] with strategy hooks: an optional lattice slice, an
+/// optional exploration seed, dead-shape collection, and a constraint store
+/// of known-dead shapes to cut before evaluation. With the default guide
+/// and no store this is exactly the plain search.
+#[allow(clippy::too_many_arguments)]
+pub fn search_rules_guided(
+    kb: &KnowledgeBase,
+    settings: &Settings,
+    bottom: &BottomClause,
+    examples: &Examples,
+    live_pos: Option<&Bitset>,
+    seeds: &[RuleShape],
+    guide: &SearchGuide,
+    constraints: Option<&ConstraintStore>,
+) -> SearchOutcome {
     let mut out = SearchOutcome::default();
+    // Running RNG state for the successor shuffle; advanced only when an
+    // exploration seed is set, so the default path touches nothing.
+    let mut rng = guide.explore_seed.map(splitmix64);
     // Each queued node carries its parent's coverage masks (shared among
     // siblings); roots and seeds evaluate under the caller's live mask.
     type Masks = Rc<(Bitset, Bitset)>;
@@ -114,6 +172,13 @@ pub fn search_rules(
             break;
         }
         if !visited.insert(shape.clone()) {
+            continue;
+        }
+        // A gossiped constraint proving this subtree dead saves the whole
+        // evaluation (seeds are always evaluated — Fig. 7's Good = S
+        // contract holds regardless of strategy).
+        if !seed_set.contains(&shape) && constraints.is_some_and(|c| c.prunes(&shape)) {
+            out.cut += 1;
             continue;
         }
         // Compile the candidate once; both sides (and every example) reuse
@@ -142,6 +207,12 @@ pub fn search_rules(
         // good, reports nothing, and is not expanded — its negative
         // coverage is unobservable, so don't pay for it.
         if pos < settings.min_pos && !is_seed {
+            // This is the cut frontier: the shape and every specialization
+            // are dead here and (coverage only shrinks as the live set
+            // shrinks) stay dead for the rest of this bottom clause's life.
+            if guide.collect_dead && out.dead.len() < guide.dead_cap {
+                out.dead.push(shape);
+            }
             continue;
         }
         let (neg_bits, neg_steps) = evaluate_side_prepared(
@@ -183,7 +254,19 @@ pub fn search_rules(
             continue;
         }
         let masks: Masks = Rc::new((pos_bits, neg_bits));
-        for succ in shape.successors(bottom, settings.max_body) {
+        let mut succs = shape.successors(bottom, settings.max_body);
+        if let Some(slice) = &guide.slice {
+            succs.retain(|s| slice.admits(s));
+        }
+        if let Some(state) = rng.as_mut() {
+            // Fisher–Yates with the running SplitMix64 stream: deterministic
+            // for a given seed, different orders for different seeds.
+            for i in (1..succs.len()).rev() {
+                *state = splitmix64(*state);
+                succs.swap(i, (*state % (i as u64 + 1)) as usize);
+            }
+        }
+        for succ in succs {
             if !visited.contains(&succ) {
                 queue.push_back((succ, Some(Rc::clone(&masks))));
             }
@@ -350,6 +433,135 @@ mod tests {
         assert_eq!(out.seed_scored.len(), 1);
         assert_eq!(out.seed_scored[0].pos, 3);
         assert_eq!(out.seed_scored[0].neg, 6);
+    }
+
+    #[test]
+    fn default_guide_is_a_strict_no_op() {
+        let (_, kb, modes, ex) = world();
+        let settings = Settings {
+            noise: 3,
+            min_pos: 1,
+            ..Settings::default()
+        };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let plain = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
+        let guided = search_rules_guided(
+            &kb,
+            &settings,
+            &bottom,
+            &ex,
+            None,
+            &[],
+            &SearchGuide::default(),
+            Some(&ConstraintStore::new()),
+        );
+        assert_eq!(plain.good, guided.good);
+        assert_eq!(plain.seed_scored, guided.seed_scored);
+        assert_eq!(plain.nodes, guided.nodes);
+        assert_eq!(plain.steps, guided.steps);
+        assert_eq!(guided.cut, 0);
+        assert!(guided.dead.is_empty());
+    }
+
+    #[test]
+    fn sliced_searches_union_to_the_full_search() {
+        let (_, kb, modes, ex) = world();
+        let settings = Settings {
+            noise: 3,
+            min_pos: 1,
+            ..Settings::default()
+        };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let plain = search_rules(&kb, &settings, &bottom, &ex, None, &[]);
+        let full: std::collections::HashSet<RuleShape> =
+            plain.good.iter().map(|r| r.shape.clone()).collect();
+        for of in [2u64, 3] {
+            let mut union = std::collections::HashSet::new();
+            for rank in 0..of {
+                let guide = SearchGuide {
+                    slice: Some(LatticeSlice { rank, of, salt: 11 }),
+                    ..SearchGuide::default()
+                };
+                let out =
+                    search_rules_guided(&kb, &settings, &bottom, &ex, None, &[], &guide, None);
+                for r in &out.good {
+                    assert!(
+                        union.insert(r.shape.clone()),
+                        "slices must be disjoint: {:?} found twice",
+                        r.shape
+                    );
+                }
+            }
+            assert_eq!(union, full, "slices must be collectively exhaustive");
+        }
+    }
+
+    #[test]
+    fn constraints_cut_nodes_without_changing_good_rules() {
+        // The div6 world plus a `small` predicate (≤ 9): true of the seed
+        // (6) so it reaches the bottom clause, but covering only one
+        // positive — the {small} subtree is dead under min_pos = 2.
+        let (t, mut kb, _, ex) = world();
+        for i in 1..=9i64 {
+            kb.assert_fact(Literal::new(t.intern("small"), vec![Term::Int(i)]));
+        }
+        let modes = ModeSet::parse(
+            &t,
+            "div6(+num)",
+            &[(1, "even(+num)"), (1, "div3(+num)"), (1, "small(+num)")],
+        )
+        .unwrap();
+        let settings = Settings {
+            min_pos: 2,
+            noise: 0,
+            ..Settings::default()
+        };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let collect = SearchGuide {
+            collect_dead: true,
+            dead_cap: 64,
+            ..SearchGuide::default()
+        };
+        let first = search_rules_guided(&kb, &settings, &bottom, &ex, None, &[], &collect, None);
+        assert!(!first.dead.is_empty(), "this world has dead subtrees");
+        let mut store = ConstraintStore::new();
+        store.merge(&first.dead);
+        let second = search_rules_guided(
+            &kb,
+            &settings,
+            &bottom,
+            &ex,
+            None,
+            &[],
+            &SearchGuide::default(),
+            Some(&store),
+        );
+        assert!(second.cut > 0, "gossiped constraints must cut work");
+        assert!(second.nodes < first.nodes);
+        assert_eq!(first.good, second.good, "pruning is sound");
+    }
+
+    #[test]
+    fn explore_seed_is_deterministic_and_diverse() {
+        let (_, kb, modes, ex) = world();
+        let settings = Settings {
+            noise: 3,
+            min_pos: 1,
+            ..Settings::default()
+        };
+        let bottom = saturate(&kb, &modes, &settings, &ex.pos[0]).unwrap();
+        let guide = |seed| SearchGuide {
+            explore_seed: Some(seed),
+            ..SearchGuide::default()
+        };
+        let a = search_rules_guided(&kb, &settings, &bottom, &ex, None, &[], &guide(5), None);
+        let b = search_rules_guided(&kb, &settings, &bottom, &ex, None, &[], &guide(5), None);
+        assert_eq!(a.good, b.good);
+        assert_eq!(a.nodes, b.nodes);
+        // With an unconstrained budget the shuffle only reorders the
+        // traversal: the good set (sorted) is seed-independent.
+        let c = search_rules_guided(&kb, &settings, &bottom, &ex, None, &[], &guide(6), None);
+        assert_eq!(a.good, c.good);
     }
 
     #[test]

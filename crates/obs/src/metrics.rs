@@ -98,9 +98,17 @@ impl Histo {
     /// Records one observation — three relaxed `fetch_add`s, nothing else.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical observations of `v` in one update (the
+    /// weighted form sampled recorders use: one sampled event stands for
+    /// `n` real ones, so count and sum stay unbiased in expectation).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
     }
 
     /// Snapshot of the non-empty buckets.
@@ -452,6 +460,11 @@ pub mod hot {
     static POSTING_PROBE_MISSES: AtomicU64 = AtomicU64::new(0);
     static ALL_GROUND_KERNEL: AtomicU64 = AtomicU64::new(0);
     static BATCH_OCCUPANCY: Histo = Histo::new();
+    // Sampling ratio: record every Nth event, weight-scaled by N so the
+    // exported totals stay unbiased. 1 (the default) records everything
+    // and never touches TICK — exact counts, unchanged behavior.
+    static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
+    static TICK: AtomicU64 = AtomicU64::new(0);
 
     /// Is hot-counter sampling on? One relaxed load — the entire cost of
     /// every instrumentation site while sampling is off.
@@ -460,8 +473,16 @@ pub mod hot {
         ENABLED.load(Ordering::Relaxed)
     }
 
-    /// Turns sampling on.
+    /// Turns sampling on. If `P2MDIE_HOT_SAMPLE` is set to an integer N,
+    /// the sampling ratio is taken from it (record every Nth event,
+    /// weighted by N); unset or unparsable leaves the ratio as configured
+    /// (default 1 = record everything).
     pub fn enable() {
+        if let Ok(s) = std::env::var("P2MDIE_HOT_SAMPLE") {
+            if let Ok(n) = s.trim().parse::<u64>() {
+                set_sample_every(n);
+            }
+        }
         ENABLED.store(true, Ordering::Relaxed);
     }
 
@@ -470,11 +491,38 @@ pub mod hot {
         ENABLED.store(false, Ordering::Relaxed);
     }
 
+    /// Sets the sampling ratio: record every `every`-th event, scaling
+    /// each recorded event by `every` so totals remain unbiased in
+    /// expectation. 0 is clamped to 1 (record everything, exact).
+    pub fn set_sample_every(every: u64) {
+        SAMPLE_EVERY.store(every.max(1), Ordering::Relaxed);
+    }
+
+    /// The current sampling ratio.
+    pub fn sample_every() -> u64 {
+        SAMPLE_EVERY.load(Ordering::Relaxed)
+    }
+
+    /// The weight of this event if it is sampled, `None` if it is skipped.
+    /// At ratio 1 this is branch-only (no tick traffic); at ratio N every
+    /// Nth event across all hot sites is recorded with weight N.
+    #[inline(always)]
+    fn sample_weight() -> Option<u64> {
+        let every = SAMPLE_EVERY.load(Ordering::Relaxed);
+        if every <= 1 {
+            return Some(1);
+        }
+        let t = TICK.fetch_add(1, Ordering::Relaxed);
+        t.is_multiple_of(every).then_some(every)
+    }
+
     /// A posting-list probe found a run.
     #[inline(always)]
     pub fn posting_probe_hit() {
         if enabled() {
-            POSTING_PROBE_HITS.fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = sample_weight() {
+                POSTING_PROBE_HITS.fetch_add(w, Ordering::Relaxed);
+            }
         }
     }
 
@@ -482,7 +530,9 @@ pub mod hot {
     #[inline(always)]
     pub fn posting_probe_miss() {
         if enabled() {
-            POSTING_PROBE_MISSES.fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = sample_weight() {
+                POSTING_PROBE_MISSES.fetch_add(w, Ordering::Relaxed);
+            }
         }
     }
 
@@ -490,7 +540,9 @@ pub mod hot {
     #[inline(always)]
     pub fn all_ground_kernel() {
         if enabled() {
-            ALL_GROUND_KERNEL.fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = sample_weight() {
+                ALL_GROUND_KERNEL.fetch_add(w, Ordering::Relaxed);
+            }
         }
     }
 
@@ -498,17 +550,20 @@ pub mod hot {
     #[inline(always)]
     pub fn batch_occupancy(goals: usize) {
         if enabled() {
-            BATCH_OCCUPANCY.record(goals as u64);
+            if let Some(w) = sample_weight() {
+                BATCH_OCCUPANCY.record_n(goals as u64, w);
+            }
         }
     }
 
-    /// Zeroes every hot counter (test isolation; sampling state is
-    /// untouched).
+    /// Zeroes every hot counter and the sampling tick (test isolation;
+    /// the enabled flag and sampling ratio are untouched).
     pub fn reset() {
         POSTING_PROBE_HITS.store(0, Ordering::Relaxed);
         POSTING_PROBE_MISSES.store(0, Ordering::Relaxed);
         ALL_GROUND_KERNEL.store(0, Ordering::Relaxed);
         BATCH_OCCUPANCY.reset();
+        TICK.store(0, Ordering::Relaxed);
     }
 
     /// The hot counters as snapshot entries (merged into metric reports).
@@ -636,9 +691,18 @@ mod tests {
         crate::json::parse(&a).expect("valid JSON");
     }
 
+    /// The hot counters are process-wide statics, so tests that flip the
+    /// guard or the sampling ratio must not interleave.
+    fn hot_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn hot_counters_gate_on_the_sampling_guard() {
+        let _guard = hot_lock();
         hot::disable();
+        hot::set_sample_every(1);
         hot::reset();
         hot::posting_probe_hit();
         hot::all_ground_kernel();
@@ -653,6 +717,42 @@ mod tests {
         assert_eq!(snap.counter("prover_posting_probe_hits_total"), 1);
         assert_eq!(snap.counter("prover_posting_probe_misses_total"), 1);
         hot::disable();
+        hot::reset();
+    }
+
+    /// At ratio N every Nth event is recorded with weight N, so exported
+    /// totals equal the true event count whenever it is a multiple of N —
+    /// deterministic here because the tick is reset and events are serial.
+    #[test]
+    fn sampled_hot_counters_are_weight_scaled() {
+        let _guard = hot_lock();
+        hot::disable();
+        hot::set_sample_every(4);
+        hot::reset();
+        hot::enable();
+        for _ in 0..8 {
+            hot::posting_probe_hit();
+        }
+        // Ticks 0..8: ticks 0 and 4 sample, each with weight 4.
+        let snap = MetricsSnapshot::from_entries(hot::entries());
+        assert_eq!(snap.counter("prover_posting_probe_hits_total"), 8);
+        // The histogram records weighted too: ticks 8..12, tick 8 samples.
+        for _ in 0..4 {
+            hot::batch_occupancy(3);
+        }
+        match MetricsSnapshot::from_entries(hot::entries())
+            .get("prover_batch_occupancy")
+            .cloned()
+        {
+            Some(MetricValue::Histogram { count, sum, .. }) => {
+                assert_eq!(count, 4);
+                assert_eq!(sum, 12);
+            }
+            other => panic!("missing histogram: {other:?}"),
+        }
+        assert_eq!(hot::sample_every(), 4);
+        hot::disable();
+        hot::set_sample_every(1);
         hot::reset();
     }
 

@@ -195,6 +195,7 @@ fn parallel_virtual_time_beats_sequential() {
             transport: p2mdie::core::TransportKind::InProcess,
             recovery: p2mdie::core::RecoveryPolicy::Abort,
             chaos: Vec::new(),
+            strategy: p2mdie::core::Strategy::DataPipeline,
         },
     )
     .unwrap();
